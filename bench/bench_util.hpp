@@ -1,0 +1,38 @@
+#pragma once
+
+/// Shared formatting helpers for the figure/table regeneration benches.
+/// Each bench prints the same rows/series the paper reports, with a header
+/// that states the experiment, the paper's qualitative expectation, and our
+/// measured shape.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace bench {
+
+inline void banner(const std::string& id, const std::string& title) {
+  std::printf("\n================================================================================\n");
+  std::printf("%s — %s\n", id.c_str(), title.c_str());
+  std::printf("================================================================================\n");
+}
+
+inline void note(const std::string& text) { std::printf("%s\n", text.c_str()); }
+
+inline void rule() {
+  std::printf("--------------------------------------------------------------------------------\n");
+}
+
+/// Sweep of per-unit-length inductance 0..5 nH/mm (the paper's range).
+inline std::vector<double> inductance_sweep(int n_points) {
+  std::vector<double> ls;
+  ls.reserve(n_points + 1);
+  for (int i = 0; i <= n_points; ++i) {
+    ls.push_back(5.0e-6 * i / n_points);  // H/m
+  }
+  return ls;
+}
+
+inline double to_nH_per_mm(double l_si) { return l_si * 1e6; }
+
+}  // namespace bench

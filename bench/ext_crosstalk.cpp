@@ -1,0 +1,48 @@
+/// Extension bench — coupled-line crosstalk (motivated by the paper's
+/// Section 1.1/3 discussion of neighbour switching and Miller capacitance):
+/// aggressor delay vs neighbour activity and victim noise vs coupling
+/// strength, with and without inductive (mutual-L) coupling.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "rlc/core/elmore.hpp"
+#include "rlc/ringosc/coupled_bus.hpp"
+
+int main() {
+  using namespace rlc::ringosc;
+  using rlc::core::Technology;
+
+  bench::banner("EXTENSION: CROSSTALK",
+                "coupled-line delay spread and victim noise (100 nm, l = 1 nH/mm)");
+
+  const auto tech = Technology::nm100();
+  const auto rc = rlc::core::rc_optimum(tech);
+  const double h = 0.5 * rc.h, k = 0.5 * rc.k;
+
+  std::printf("%12s %6s %14s %14s %14s %16s\n", "cc/c", "km",
+              "d_inphase(ps)", "d_quiet(ps)", "d_anti(ps)", "victim noise(V)");
+  bench::rule();
+  for (double ccf : {0.1, 0.2, 0.3, 0.4}) {
+    for (double km : {0.0, 0.3}) {
+      CouplingParams cp;
+      cp.cc = ccf * tech.c;
+      cp.km = km;
+      const auto r = run_crosstalk(tech, cp, 1e-6, h, k, 12);
+      if (!r.completed) continue;
+      std::printf("%12.1f %6.1f %14.1f %14.1f %14.1f %16.3f\n", ccf, km,
+                  r.delay_inphase * 1e12, r.delay_quiet * 1e12,
+                  r.delay_antiphase * 1e12, r.victim_peak_noise);
+    }
+  }
+  bench::rule();
+  bench::note("Expected shapes (normalized VDD = 1):\n"
+              " * km = 0 rows: capacitive Miller effect — inphase < quiet < antiphase,\n"
+              "   spread and victim noise growing with cc.\n"
+              " * km = 0.3 rows: inductive coupling acts OPPOSITELY (in-phase loops\n"
+              "   see L(1+k), anti-phase L(1-k)), reversing the delay ordering and\n"
+              "   partially cancelling the capacitive victim noise as cc grows —\n"
+              "   the classic sign difference between C- and L-coupling that makes\n"
+              "   inductance-aware noise analysis non-optional for wide buses.");
+  return 0;
+}

@@ -1,0 +1,73 @@
+/// Extension bench — does the DC resistance model (used throughout the
+/// paper and this library) hold up against a skin-effect-corrected line?
+/// Compares the exact 50% delay with z(s) = r sqrt(1 + s/w_s) + s l against
+/// the DC-r model, for the Table 1 geometry.  Also reports the crossover
+/// frequency that justifies the approximation a priori.
+
+#include <cstdio>
+#include <cmath>
+#include <complex>
+
+#include "bench_util.hpp"
+#include "rlc/core/delay.hpp"
+#include "rlc/core/elmore.hpp"
+#include "rlc/laplace/talbot.hpp"
+#include "rlc/math/constants.hpp"
+#include "rlc/tline/transfer.hpp"
+
+namespace {
+
+double delay_of(const rlc::laplace::LaplaceFn& F, double tau_scale) {
+  const auto v = [&](double t) { return rlc::laplace::talbot_invert(F, t, 48); };
+  double lo = 0.02 * tau_scale, hi = 8.0 * tau_scale;
+  if (v(lo) > 0.5 || v(hi) < 0.5) return -1.0;
+  for (int i = 0; i < 55; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    (v(mid) < 0.5 ? lo : hi) = mid;
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace
+
+int main() {
+  using namespace rlc::core;
+  bench::banner("EXTENSION: SKIN EFFECT",
+                "50% delay with skin-corrected resistance vs the DC-r model");
+
+  const double ws = rlc::tline::skin_crossover_angular_frequency(
+      rlc::math::kRhoCopper, 2e-6, 2.5e-6);
+  std::printf("Table 1 wire (2 x 2.5 um Cu): skin crossover f_s = %.2f GHz\n\n",
+              ws / (2.0 * rlc::math::kPi) * 1e-9);
+
+  for (const auto& tech : {Technology::nm250(), Technology::nm100()}) {
+    const auto rc = rc_optimum(tech);
+    std::printf("--- %s, (h, k) = (h_optRC, k_optRC) ---\n", tech.name.c_str());
+    std::printf("%12s %14s %16s %10s\n", "l (nH/mm)", "tau DC-r (ps)",
+                "tau skin (ps)", "shift");
+    bench::rule();
+    for (double l : {0.5e-6, 2e-6, 5e-6}) {
+      const auto line = tech.line(l);
+      const auto dl = tech.rep.scaled(rc.k);
+      const auto est = segment_delay(tech.rep, line, rc.h, rc.k);
+      const auto Fdc = [&](std::complex<double> s) {
+        return rlc::tline::exact_transfer_dc_safe(line, rc.h, dl, s) / s;
+      };
+      const auto Fskin = [&](std::complex<double> s) {
+        return rlc::tline::exact_transfer_skin(line, rc.h, dl, ws, s) / s;
+      };
+      const double t_dc = delay_of(Fdc, est.tau);
+      const double t_skin = delay_of(Fskin, est.tau);
+      std::printf("%12.2f %14.2f %16.2f %9.2f%%\n", bench::to_nH_per_mm(l),
+                  t_dc * 1e12, t_skin * 1e12, 100.0 * (t_skin - t_dc) / t_dc);
+    }
+    std::printf("\n");
+  }
+  bench::rule();
+  bench::note("Expected: delay shifts of a few percent at the low-l end (fast edges\n"
+              "push part of the spectrum past the ~4 GHz crossover) shrinking below\n"
+              "1%% at high l where the response slows — small enough that the\n"
+              "paper's (and this library's) DC resistance model is adequate for\n"
+              "delay optimization; the skin term mainly damps the ringing slightly.");
+  return 0;
+}

@@ -1,0 +1,59 @@
+/// Figure 12 — Peak and rms interconnect current densities vs line
+/// inductance for the 100 nm top-level metal (five-stage ring oscillator).
+///
+/// Paper shape: both densities essentially flat in l — wire inductance does
+/// not degrade interconnect (Joule heating / electromigration) reliability.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "rlc/core/elmore.hpp"
+#include "rlc/ringosc/ring.hpp"
+
+int main() {
+  using namespace rlc::ringosc;
+  using rlc::core::Technology;
+
+  bench::banner("FIGURE 12",
+                "Peak and rms wire current density vs line inductance (100 nm)");
+
+  const auto tech = Technology::nm100();
+  const auto rc = rlc::core::rc_optimum(tech);
+  std::printf("wire cross-section: %.1f um x %.1f um; EM rms budget 2e10 A/m^2\n",
+              tech.width * 1e6, tech.thickness * 1e6);
+  std::printf("%12s %16s %16s %10s %10s\n", "l (nH/mm)", "J_peak (A/m^2)",
+              "J_rms (A/m^2)", "EM flag", "heat flag");
+  bench::rule();
+  double jpk_min = 1e300, jpk_max = 0.0, jrms_min = 1e300, jrms_max = 0.0;
+  for (double l : {0.2e-6, 0.8e-6, 1.4e-6, 1.8e-6, 2.6e-6, 3.5e-6, 5.0e-6}) {
+    RingParams p;
+    p.l = l;
+    p.h = rc.h;
+    p.k = rc.k;
+    p.segments_per_line = 12;
+    const auto r = simulate_ring(tech, p);
+    if (!r.completed) continue;
+    std::printf("%12.2f %16.3e %16.3e %10s %10s\n", bench::to_nH_per_mm(l),
+                r.wire_density.j_peak, r.wire_density.j_rms,
+                r.wire_density.em_concern ? "YES" : "no",
+                r.wire_density.joule_concern ? "YES" : "no");
+    // Track the spread in the functional (pre-false-switching) regime that
+    // the paper's flatness claim refers to.
+    if (l <= 1.8e-6) {
+      jpk_min = std::min(jpk_min, r.wire_density.j_peak);
+      jpk_max = std::max(jpk_max, r.wire_density.j_peak);
+      jrms_min = std::min(jrms_min, r.wire_density.j_rms);
+      jrms_max = std::max(jrms_max, r.wire_density.j_rms);
+    }
+  }
+  bench::rule();
+  std::printf("  spread in the functional regime (l <= 1.8 nH/mm): "
+              "J_peak x%.2f, J_rms x%.2f\n",
+              jpk_max / jpk_min, jrms_max / jrms_min);
+  bench::note("(paper: both densities do not change appreciably with l =>\n"
+              " interconnect reliability is not degraded by inductance variation.\n"
+              " Past the false-switching onset the ring toggles ~2-3x faster and the\n"
+              " rms density steps up with it — a symptom of the Figure 11 failure,\n"
+              " not an inductance-driven reliability mechanism.)");
+  return 0;
+}

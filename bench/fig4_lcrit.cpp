@@ -1,0 +1,39 @@
+/// Figure 4 — Critical inductance l_crit at the RLC-optimal (h, k) as a
+/// function of line inductance l, for the 250 nm and 100 nm nodes.
+///
+/// Paper shape: both curves grow with l; the 100 nm curve lies below the
+/// 250 nm curve (scaled designs become underdamped at smaller l), and
+/// l_crit stays the same order of magnitude as practical l values.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "rlc/core/lcrit.hpp"
+#include "rlc/core/optimizer.hpp"
+
+int main() {
+  using namespace rlc::core;
+  bench::banner("FIGURE 4", "l_crit(h_optRLC, k_optRLC) vs line inductance l");
+
+  const auto ls = bench::inductance_sweep(25);
+  const Technology t250 = Technology::nm250();
+  const Technology t100 = Technology::nm100();
+  const auto r250 = optimize_rlc_sweep(t250, ls);
+  const auto r100 = optimize_rlc_sweep(t100, ls);
+
+  std::printf("%12s %18s %18s\n", "l (nH/mm)", "lcrit 250nm (nH/mm)",
+              "lcrit 100nm (nH/mm)");
+  bench::rule();
+  for (std::size_t i = 0; i < ls.size(); ++i) {
+    if (!r250[i].converged || !r100[i].converged) continue;
+    const double lc250 = critical_inductance(t250, r250[i].h, r250[i].k);
+    const double lc100 = critical_inductance(t100, r100[i].h, r100[i].k);
+    std::printf("%12.2f %18.4f %18.4f\n", bench::to_nH_per_mm(ls[i]),
+                bench::to_nH_per_mm(lc250), bench::to_nH_per_mm(lc100));
+  }
+  bench::rule();
+  bench::note("Expected shape: both curves increase with l; 100nm < 250nm everywhere;\n"
+              "l and l_crit same order of magnitude for practical l (so the\n"
+              "Kahng-Muddu critically-damped delay approximation is not usable).");
+  return 0;
+}

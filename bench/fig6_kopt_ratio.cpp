@@ -1,0 +1,42 @@
+/// Figure 6 — k_optRLC / k_optRC vs line inductance l.
+///
+/// Paper shape: decreases from just below 1 and flattens as the optimal
+/// driver resistance approaches the line's characteristic impedance.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "rlc/core/elmore.hpp"
+#include "rlc/core/optimizer.hpp"
+
+int main() {
+  using namespace rlc::core;
+  bench::banner("FIGURE 6", "k_optRLC / k_optRC vs line inductance l");
+
+  const auto ls = bench::inductance_sweep(25);
+  const auto t250 = Technology::nm250();
+  const auto t100 = Technology::nm100();
+  const auto r250 = optimize_rlc_sweep(t250, ls);
+  const auto r100 = optimize_rlc_sweep(t100, ls);
+  const double k250 = rc_optimum(t250).k;
+  const double k100 = rc_optimum(t100).k;
+
+  std::printf("%12s %12s %12s %22s %22s\n", "l (nH/mm)", "250nm", "100nm",
+              "Rdrv/Z0_lossless 250nm", "Rdrv/Z0_lossless 100nm");
+  bench::rule();
+  for (std::size_t i = 0; i < ls.size(); ++i) {
+    double z250 = -1.0, z100 = -1.0;
+    if (ls[i] > 0.0) {
+      z250 = (t250.rep.rs / r250[i].k) / t250.line(ls[i]).z0_lossless();
+      z100 = (t100.rep.rs / r100[i].k) / t100.line(ls[i]).z0_lossless();
+    }
+    std::printf("%12.2f %12.4f %12.4f %22.3f %22.3f\n",
+                bench::to_nH_per_mm(ls[i]),
+                r250[i].converged ? r250[i].k / k250 : -1.0,
+                r100[i].converged ? r100[i].k / k100 : -1.0, z250, z100);
+  }
+  bench::rule();
+  bench::note("Expected shape: monotone decrease, flattening with l; the driver\n"
+              "impedance ratio trends toward impedance matching (slowly, from below).");
+  return 0;
+}

@@ -1,0 +1,51 @@
+/// Figure 7 — Ratio of optimum delay per unit length (tau/h) with and
+/// without considering line inductance, vs l.  Three series: 250 nm,
+/// 100 nm, and the control case "100 nm with the 250 nm dielectric"
+/// (identical wire capacitance) which isolates driver scaling as the cause
+/// of the increased inductance sensitivity.
+///
+/// Paper shape: 250 nm reaches ~2x at l = 5 nH/mm; 100 nm rises much faster
+/// to ~3.5x; the identical-c control still rises much faster than 250 nm.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "rlc/core/optimizer.hpp"
+
+int main() {
+  using namespace rlc::core;
+  bench::banner("FIGURE 7",
+                "(tau/h)_RLC-opt / (tau/h)_opt-at-l=0 vs line inductance l");
+
+  const auto ls = bench::inductance_sweep(25);
+  const Technology techs[] = {Technology::nm250(), Technology::nm100(),
+                              Technology::nm100_with_250nm_dielectric()};
+
+  std::printf("%12s %14s %14s %20s\n", "l (nH/mm)", "250nm", "100nm",
+              "100nm(c=250nm)");
+  bench::rule();
+  std::vector<std::vector<OptimResult>> sweeps;
+  for (const auto& t : techs) sweeps.push_back(optimize_rlc_sweep(t, ls));
+  for (std::size_t i = 0; i < ls.size(); ++i) {
+    std::printf("%12.2f", bench::to_nH_per_mm(ls[i]));
+    for (const auto& sw : sweeps) {
+      const double ratio = (sw[i].converged && sw[0].converged)
+                               ? sw[i].delay_per_length / sw[0].delay_per_length
+                               : -1.0;
+      std::printf(" %14.4f", ratio);
+    }
+    std::printf("\n");
+  }
+  bench::rule();
+  for (std::size_t j = 0; j < 3; ++j) {
+    std::printf("  %-18s ratio at l=5 nH/mm: %.2fx\n", techs[j].name.c_str(),
+                sweeps[j].back().delay_per_length / sweeps[j][0].delay_per_length);
+  }
+  bench::note("(paper: ~2x at 250nm, ~3.5x at 100nm; identical-c control confirms the\n"
+              " increase is entirely due to scaled driver capacitance/resistance)\n"
+              "Note: the control curve overlays the 100nm curve EXACTLY — the Pade\n"
+              "coefficients are invariant under c -> a*c with h -> h/sqrt(a),\n"
+              "k -> k*sqrt(a), so the normalized delay ratio does not depend on c at\n"
+              "all.  This makes the paper's qualitative claim a provable identity.");
+  return 0;
+}

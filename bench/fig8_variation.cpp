@@ -1,0 +1,48 @@
+/// Figure 8 — Delay cost of inductance *variation*: the line is sized for
+/// the RC optimum (h_optRC, k_optRC) because the effective l cannot be
+/// predicted; the actual inductance is l.  Plots the ratio of that delay
+/// per unit length to the true RLC optimum at each l.
+///
+/// Paper shape: worst-case penalty ~6% at 250 nm and ~12% at 100 nm.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "rlc/core/elmore.hpp"
+#include "rlc/core/optimizer.hpp"
+
+int main() {
+  using namespace rlc::core;
+  bench::banner("FIGURE 8",
+                "tau/h at (h_optRC, k_optRC) divided by optimal RLC tau/h, vs l");
+
+  const auto ls = bench::inductance_sweep(25);
+  std::printf("%12s %14s %14s\n", "l (nH/mm)", "250nm", "100nm");
+  bench::rule();
+  double worst[2] = {0.0, 0.0};
+  const Technology techs[] = {Technology::nm250(), Technology::nm100()};
+  std::vector<std::vector<double>> ratios(2);
+  for (int j = 0; j < 2; ++j) {
+    const auto rc = rc_optimum(techs[j]);
+    const auto opt = optimize_rlc_sweep(techs[j], ls);
+    for (std::size_t i = 0; i < ls.size(); ++i) {
+      const double fixed =
+          delay_per_length(techs[j].rep, techs[j].line(ls[i]), rc.h, rc.k);
+      const double ratio = opt[i].converged
+                               ? fixed / opt[i].delay_per_length
+                               : -1.0;
+      ratios[j].push_back(ratio);
+      worst[j] = std::max(worst[j], ratio);
+    }
+  }
+  for (std::size_t i = 0; i < ls.size(); ++i) {
+    std::printf("%12.2f %14.4f %14.4f\n", bench::to_nH_per_mm(ls[i]),
+                ratios[0][i], ratios[1][i]);
+  }
+  bench::rule();
+  std::printf("  worst-case penalty: 250nm %.1f%%, 100nm %.1f%%\n",
+              (worst[0] - 1.0) * 100.0, (worst[1] - 1.0) * 100.0);
+  bench::note("(paper: ~6%% at 250nm, ~12%% at 100nm — scaling increases the cost of\n"
+              " not knowing the effective inductance)");
+  return 0;
+}

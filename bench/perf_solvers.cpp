@@ -1,0 +1,146 @@
+/// Solver-performance benches (google-benchmark), backing the paper's
+/// efficiency claims:
+///   * Eq. (3) delay solve — "less than four iterations in all cases";
+///   * the (h, k) optimization — "less than six iterations", "extremely
+///     efficient";
+/// plus the supporting kernels (sparse LU on ladder matrices, transient
+/// steps) and the Newton-vs-Nelder-Mead ablation (DESIGN.md ablation 3).
+
+#include <benchmark/benchmark.h>
+
+#include "rlc/core/delay.hpp"
+#include "rlc/core/elmore.hpp"
+#include "rlc/core/optimizer.hpp"
+#include "rlc/linalg/sparse_lu.hpp"
+#include "rlc/ringosc/ladder.hpp"
+#include "rlc/spice/transient.hpp"
+
+namespace {
+
+using namespace rlc::core;
+
+void BM_DelaySolve(benchmark::State& state) {
+  const auto tech = Technology::nm100();
+  const double l = state.range(0) * 1e-6;
+  const auto rc = rc_optimum(tech);
+  const TwoPole sys(pade_coeffs_hk(tech.rep, tech.line(l), rc.h, rc.k));
+  long iters = 0, solves = 0;
+  for (auto _ : state) {
+    const auto r = threshold_delay(sys);
+    benchmark::DoNotOptimize(r.tau);
+    iters += r.newton_iterations;
+    ++solves;
+  }
+  state.counters["newton_iters"] =
+      static_cast<double>(iters) / static_cast<double>(solves);
+}
+BENCHMARK(BM_DelaySolve)->Arg(0)->Arg(2)->Arg(5);
+
+void BM_OptimizeRlc(benchmark::State& state) {
+  const auto tech = Technology::nm100();
+  const double l = state.range(0) * 1e-6;
+  // Warm start as in a sweep (the paper's use case).
+  OptimOptions opts;
+  const auto warm = optimize_rlc(tech, l > 0 ? l - 0.5e-6 : 0.0);
+  opts.h0 = warm.h;
+  opts.k0 = warm.k;
+  long iters = 0, solves = 0;
+  for (auto _ : state) {
+    const auto r = optimize_rlc(tech, l, opts);
+    benchmark::DoNotOptimize(r.delay_per_length);
+    iters += r.newton_iterations;
+    ++solves;
+  }
+  state.counters["newton_iters"] =
+      static_cast<double>(iters) / static_cast<double>(solves);
+}
+BENCHMARK(BM_OptimizeRlc)->Arg(0)->Arg(2)->Arg(5);
+
+void BM_OptimizeSweep51Points(benchmark::State& state) {
+  const auto tech = Technology::nm250();
+  std::vector<double> ls;
+  for (int i = 0; i <= 50; ++i) ls.push_back(i * 0.1e-6);
+  for (auto _ : state) {
+    const auto rs = optimize_rlc_sweep(tech, ls);
+    benchmark::DoNotOptimize(rs.back().delay_per_length);
+  }
+}
+BENCHMARK(BM_OptimizeSweep51Points);
+
+void BM_NelderMeadFallback(benchmark::State& state) {
+  // Ablation 3: derivative-free optimization of the same objective — the
+  // price of not having the analytic pole sensitivities.
+  const auto tech = Technology::nm100();
+  OptimOptions opts;
+  opts.max_newton_iterations = 1;  // force the fallback path
+  for (auto _ : state) {
+    const auto r = optimize_rlc(tech, 2e-6, opts);
+    benchmark::DoNotOptimize(r.delay_per_length);
+  }
+}
+BENCHMARK(BM_NelderMeadFallback);
+
+void BM_SparseLuLadder(benchmark::State& state) {
+  // Factor the MNA-like tridiagonal ladder matrix of n unknowns.
+  const int n = static_cast<int>(state.range(0));
+  std::vector<rlc::linalg::Triplet> t;
+  for (int i = 0; i < n; ++i) {
+    t.push_back({i, i, 2.1});
+    if (i > 0) t.push_back({i, i - 1, -1.0});
+    if (i + 1 < n) t.push_back({i, i + 1, -1.0});
+  }
+  const auto m = rlc::linalg::CscMatrix::from_triplets(n, n, t);
+  const std::vector<double> b(n, 1.0);
+  for (auto _ : state) {
+    const rlc::linalg::SparseLU lu(m);
+    benchmark::DoNotOptimize(lu.solve(b));
+  }
+}
+BENCHMARK(BM_SparseLuLadder)->Arg(100)->Arg(400)->Arg(1600);
+
+void BM_SparseLuRefactor(benchmark::State& state) {
+  // Numeric-only refactorization vs full factorization on a ladder matrix
+  // (the transient inner loop's dominant cost).
+  const int n = static_cast<int>(state.range(0));
+  std::vector<rlc::linalg::Triplet> t;
+  for (int i = 0; i < n; ++i) {
+    t.push_back({i, i, 2.1});
+    if (i > 0) t.push_back({i, i - 1, -1.0});
+    if (i + 1 < n) t.push_back({i, i + 1, -1.0});
+  }
+  auto m = rlc::linalg::CscMatrix::from_triplets(n, n, t);
+  rlc::linalg::SparseLU lu(m);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lu.refactor(m));
+  }
+}
+BENCHMARK(BM_SparseLuRefactor)->Arg(100)->Arg(400)->Arg(1600);
+
+void BM_TransientRlcSegment(benchmark::State& state) {
+  // One driver-line-load transient (the inner loop of the Section 3.3
+  // experiments), nseg ladder segments.
+  const auto tech = Technology::nm100();
+  const auto rc = rc_optimum(tech);
+  const int nseg = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    const auto dl = tech.rep.scaled(rc.k);
+    rlc::spice::Circuit ckt;
+    const auto src = ckt.node("s"), drv = ckt.node("d"), end = ckt.node("e");
+    ckt.add_vsource("V", src, ckt.ground(),
+                    rlc::spice::PulseSpec{0, 1, 0, 1e-14, 1e-14, 1, 0});
+    ckt.add_resistor("Rs", src, drv, dl.rs_eff);
+    ckt.add_capacitor("Cp", drv, ckt.ground(), dl.cp_eff);
+    rlc::ringosc::add_rlc_ladder(ckt, "ln", drv, end, tech.line(2e-6), rc.h, nseg);
+    ckt.add_capacitor("Cl", end, ckt.ground(), dl.cl_eff);
+    rlc::spice::TransientOptions o;
+    o.tstop = 1e-9;
+    o.dt = 2e-12;
+    o.probes = {rlc::spice::Probe::node_voltage(end, "v")};
+    benchmark::DoNotOptimize(run_transient(ckt, o).steps_accepted);
+  }
+}
+BENCHMARK(BM_TransientRlcSegment)->Arg(8)->Arg(32);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,98 @@
+/// Full extraction-to-waveforms pipeline on a 5-wire bus: capacitances from
+/// the 2D BEM solver, inductances (self + all-pairs mutual) from the
+/// partial-inductance matrix, simulated with the MNA engine.  The middle
+/// wire is the victim; the others switch in the pattern given on the
+/// command line.
+///
+///   $ ./bus_crosstalk_extracted [pattern] [len_mm] [node]
+///   $ ./bus_crosstalk_extracted "ss_ss" 2 100     # s=switch, _=victim/quiet
+///
+/// Pattern characters: 's' rising aggressor, 'f' falling aggressor,
+/// 'q' quiet, '_' the victim (exactly one).
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "rlc/analysis/signal_metrics.hpp"
+#include "rlc/core/elmore.hpp"
+#include "rlc/ringosc/extracted_bus.hpp"
+#include "rlc/spice/transient.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rlc::spice;
+  using rlc::core::Technology;
+
+  const std::string pattern = argc > 1 ? argv[1] : "ss_ss";
+  const double len = (argc > 2 ? std::atof(argv[2]) : 2.0) * 1e-3;
+  const std::string node = argc > 3 ? argv[3] : "100";
+  const Technology tech =
+      node == "250" ? Technology::nm250() : Technology::nm100();
+
+  const int n = static_cast<int>(pattern.size());
+  const auto victim_pos = pattern.find('_');
+  if (victim_pos == std::string::npos) {
+    std::fprintf(stderr, "pattern needs exactly one victim '_'\n");
+    return 2;
+  }
+
+  Circuit ckt;
+  std::vector<std::pair<NodeId, NodeId>> ends;
+  for (int i = 0; i < n; ++i) {
+    ends.emplace_back(ckt.node("in" + std::to_string(i)),
+                      ckt.node("out" + std::to_string(i)));
+  }
+  rlc::ringosc::ExtractedBusOptions opts;
+  opts.nseg = 10;
+  opts.bem_panels = 10;
+  const auto bus =
+      rlc::ringosc::add_extracted_bus(ckt, "bus", ends, tech, len, opts);
+
+  std::printf("Extracted %d-wire bus, %.1f mm, %s geometry:\n", n, len * 1e3,
+              tech.name.c_str());
+  std::printf("  c(victim) = %.1f pF/m total, cc(adjacent) = %.1f pF/m\n",
+              bus.cmatrix(victim_pos, victim_pos) * 1e12,
+              -bus.cmatrix(victim_pos, victim_pos > 0 ? victim_pos - 1 : 1) * 1e12);
+  std::printf("  l_self = %.2f nH/mm, k(adjacent) = %.3f, k(across bus) = %.3f\n\n",
+              bus.l_self * 1e6,
+              bus.lmatrix(0, 1) / bus.lmatrix(0, 0),
+              bus.lmatrix(0, n - 1) / bus.lmatrix(0, 0));
+
+  const double k = 100.0;
+  const auto dl = tech.rep.scaled(k);
+  const PulseSpec rise{0, tech.vdd, 0, 20e-12, 20e-12, 1, 0};
+  const PulseSpec fall{tech.vdd, 0, 0, 20e-12, 20e-12, 1, 0};
+  for (int i = 0; i < n; ++i) {
+    const auto src = ckt.node("src" + std::to_string(i));
+    switch (pattern[i]) {
+      case 's': ckt.add_vsource("V" + std::to_string(i), src, ckt.ground(), rise); break;
+      case 'f': ckt.add_vsource("V" + std::to_string(i), src, ckt.ground(), fall); break;
+      default:  ckt.add_vsource("V" + std::to_string(i), src, ckt.ground(), DcSpec{0.0});
+    }
+    ckt.add_resistor("Rs" + std::to_string(i), src, ends[i].first, dl.rs_eff);
+    ckt.add_capacitor("Cl" + std::to_string(i), ends[i].second, ckt.ground(),
+                      dl.cl_eff);
+  }
+
+  TransientOptions o;
+  o.tstop = 2e-9;
+  o.dt = 1e-12;
+  o.probes = {Probe::node_voltage(ends[victim_pos].second, "victim")};
+  const auto r = run_transient(ckt, o);
+  if (!r.completed) {
+    std::fprintf(stderr, "transient failed\n");
+    return 1;
+  }
+  const auto& v = r.signal("victim");
+  const auto exc = rlc::analysis::rail_excursion(v, tech.vdd);
+  const double noise = std::max(exc.v_max, -exc.v_min);
+  std::printf("Victim (wire %zu) far-end noise with pattern '%s': %.3f V "
+              "(%.0f%% of VDD)\n", victim_pos, pattern.c_str(), noise,
+              100.0 * noise / tech.vdd);
+  std::printf("Noise crosses VDD/2: %s -> %s\n",
+              noise > 0.5 * tech.vdd ? "YES" : "no",
+              noise > 0.5 * tech.vdd
+                  ? "could falsely switch a downstream gate"
+                  : "safe against false switching at this length");
+  return 0;
+}

@@ -1,0 +1,115 @@
+/// Mini command-line circuit simulator: parse a SPICE-subset deck and run
+/// the analyses it requests, printing CSV to stdout.
+///
+///   $ ./netlist_runner deck.sp            # runs .tran and/or .ac cards
+///   $ ./netlist_runner deck.sp --csv out  # writes out_tran.csv / out_ac.csv
+///   $ ./netlist_runner --demo             # runs a built-in RLC-line demo
+///
+/// See rlc/spice/netlist_parser.hpp for the supported card set.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "rlc/spice/dcop.hpp"
+#include "rlc/spice/netlist_parser.hpp"
+#include "rlc/spice/waveform_io.hpp"
+
+namespace {
+
+constexpr const char* kDemoDeck = R"(demo: underdamped driver-line-load segment
+* One 2 mm segment of a 100nm-style global wire (r=4.4 Ohm/mm, c=123 pF/m,
+* l=2 nH/mm) as a 4-section pi ladder, driven through 30 Ohm into 40 fF.
+Vin  src 0 pulse(0 1.2 10p 10p 10p 3n) ac 1
+Rs   src drv 30
+C0   drv 0 20f
+R1 drv  n1 2.2
+L1 n1   m1 1n
+C1 m1 0 62f
+R2 m1   n2 2.2
+L2 n2   m2 1n
+C2 m2 0 62f
+R3 m2   n3 2.2
+L3 n3   m3 1n
+C3 m3 0 62f
+R4 m3   n4 2.2
+L4 n4   out 1n
+C4 out 0 31f
+CL   out 0 40f
+.tran 2p 2n
+.ac dec 8 10meg 20g
+.end
+)";
+
+void run_deck(rlc::spice::ParsedDeck deck, const std::string& csv_prefix) {
+  std::printf("* %s\n", deck.title.c_str());
+  if (!deck.tran && !deck.ac) {
+    // No analysis card: print the DC operating point.
+    const auto dc = rlc::spice::dc_operating_point(deck.circuit);
+    std::printf("* DC operating point (%s)\n",
+                dc.converged ? "converged" : "FAILED");
+    for (rlc::spice::NodeId n = 1; n < deck.circuit.node_count(); ++n) {
+      std::printf("v(%s),%.9g\n", deck.circuit.node_name(n).c_str(),
+                  dc.voltage(n));
+    }
+    return;
+  }
+  if (deck.tran) {
+    const auto r = rlc::spice::run_transient(deck.circuit, *deck.tran);
+    std::printf("* transient: %s, %ld steps\n",
+                r.completed ? "completed" : "FAILED", r.steps_accepted);
+    if (!csv_prefix.empty()) {
+      rlc::spice::write_csv_file(csv_prefix + "_tran.csv", r);
+      std::printf("* wrote %s_tran.csv (%zu samples)\n", csv_prefix.c_str(),
+                  r.time.size());
+    }
+    std::printf("time");
+    for (const auto& l : r.labels) std::printf(",%s", l.c_str());
+    std::printf("\n");
+    // Thin the output to <= 200 rows for terminal friendliness.
+    const std::size_t stride = std::max<std::size_t>(1, r.time.size() / 200);
+    for (std::size_t i = 0; i < r.time.size(); i += stride) {
+      std::printf("%.6e", r.time[i]);
+      for (const auto& s : r.signals) std::printf(",%.6g", s[i]);
+      std::printf("\n");
+    }
+  }
+  if (deck.ac) {
+    const auto r = rlc::spice::run_ac(deck.circuit, *deck.ac);
+    if (!csv_prefix.empty()) {
+      rlc::spice::write_csv_file(csv_prefix + "_ac.csv", r);
+      std::printf("* wrote %s_ac.csv\n", csv_prefix.c_str());
+    }
+    std::printf("* ac sweep (%zu points)\nfreq", r.freq.size());
+    for (const auto& l : r.labels) std::printf(",|%s|", l.c_str());
+    std::printf("\n");
+    for (std::size_t i = 0; i < r.freq.size(); ++i) {
+      std::printf("%.6e", r.freq[i]);
+      for (const auto& s : r.signals) std::printf(",%.6g", std::abs(s[i]));
+      std::printf("\n");
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string csv_prefix;
+  for (int i = 2; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--csv") == 0) csv_prefix = argv[i + 1];
+  }
+  try {
+    if (argc > 1 && std::strcmp(argv[1], "--demo") == 0) {
+      run_deck(rlc::spice::parse_netlist(kDemoDeck), csv_prefix);
+    } else if (argc > 1) {
+      run_deck(rlc::spice::parse_netlist_file(argv[1]), csv_prefix);
+    } else {
+      std::fprintf(stderr, "usage: %s <deck.sp> | --demo\n", argv[0]);
+      return 2;
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

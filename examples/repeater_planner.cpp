@@ -1,0 +1,67 @@
+/// Repeater planner: given a total route length and an uncertainty range for
+/// the effective line inductance, produce a buffering plan (number of
+/// repeaters, size, segment length) and report the delay exposure across the
+/// inductance range — the Section 3.2 workflow as a tool.
+///
+///   $ ./repeater_planner [route_mm] [lmin_nH_mm] [lmax_nH_mm] [node]
+///   $ ./repeater_planner 45 0.5 2.5 100
+
+#include <cstdio>
+#include <cstdlib>
+#include <cmath>
+#include <string>
+
+#include "rlc/core/elmore.hpp"
+#include "rlc/core/lcrit.hpp"
+#include "rlc/core/optimizer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rlc::core;
+
+  const double route_mm = argc > 1 ? std::atof(argv[1]) : 45.0;
+  const double lmin = (argc > 2 ? std::atof(argv[2]) : 0.5) * 1e-6;
+  const double lmax = (argc > 3 ? std::atof(argv[3]) : 2.5) * 1e-6;
+  const std::string node = argc > 4 ? argv[4] : "100";
+  const Technology tech =
+      node == "250" ? Technology::nm250() : Technology::nm100();
+  const double route = route_mm * 1e-3;
+
+  std::printf("Route: %.1f mm on %s top metal; inductance range %.2f-%.2f nH/mm\n\n",
+              route_mm, tech.name.c_str(), lmin * 1e6, lmax * 1e6);
+
+  // Plan for the middle of the inductance range.
+  const double l_design = 0.5 * (lmin + lmax);
+  const OptimResult opt = optimize_rlc(tech, l_design);
+  if (!opt.converged) {
+    std::fprintf(stderr, "optimization failed\n");
+    return 1;
+  }
+  // Integer repeater count: round the stage count, then re-derive h.
+  const int n_stages = std::max(1, static_cast<int>(std::lround(route / opt.h)));
+  const double h_actual = route / n_stages;
+
+  std::printf("Plan (designed at l = %.2f nH/mm):\n", l_design * 1e6);
+  std::printf("  repeaters:        %d (one per %.2f mm segment)\n", n_stages,
+              h_actual * 1e3);
+  std::printf("  repeater size:    %.0f x minimum\n", opt.k);
+  std::printf("  nominal delay:    %.1f ps end-to-end\n",
+              1e12 * opt.delay_per_length * route);
+
+  std::printf("\nDelay exposure across the inductance range (fixed plan):\n");
+  std::printf("%12s %14s %16s %14s\n", "l (nH/mm)", "delay (ps)",
+              "vs re-optimized", "damping");
+  for (int i = 0; i <= 8; ++i) {
+    const double l = lmin + (lmax - lmin) * i / 8.0;
+    const double dpl =
+        delay_per_length(tech.rep, tech.line(l), h_actual, opt.k);
+    const OptimResult re = optimize_rlc(tech, l);
+    const double lc = critical_inductance(tech, h_actual, opt.k);
+    std::printf("%12.2f %14.1f %+15.1f%% %14s\n", l * 1e6, 1e12 * dpl * route,
+                100.0 * (dpl / re.delay_per_length - 1.0),
+                l > lc ? "underdamped" : "overdamped");
+  }
+  std::printf("\nSegments become underdamped above l_crit = %.2f nH/mm: expect\n"
+              "overshoot/undershoot there (see signal_integrity_check).\n",
+              critical_inductance(tech, h_actual, opt.k) * 1e6);
+  return 0;
+}

@@ -1,0 +1,45 @@
+/// Delay / energy / area trade-off explorer: how much switching energy and
+/// repeater area can be saved by backing off from the delay-optimal buffer
+/// size — the practical question downstream of the paper's optimizer.
+///
+///   $ ./tradeoff_explorer [l_nH_mm] [node]
+///   $ ./tradeoff_explorer 1.5 100
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "rlc/core/tradeoff.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rlc::core;
+
+  const double l = (argc > 1 ? std::atof(argv[1]) : 1.5) * 1e-6;
+  const std::string node = argc > 2 ? argv[2] : "100";
+  const Technology tech =
+      node == "250" ? Technology::nm250() : Technology::nm100();
+
+  std::printf("Delay/energy/area trade-off, %s, l = %.2f nH/mm "
+              "(inductance-aware sizing)\n\n", tech.name.c_str(), l * 1e6);
+
+  const auto pts = delay_energy_tradeoff(tech, l, 12, 0.15);
+  if (pts.empty()) {
+    std::fprintf(stderr, "trade-off sweep failed\n");
+    return 1;
+  }
+  const auto& best = pts.back();  // delay-optimal point
+
+  std::printf("%10s %10s %14s %14s %12s %12s\n", "k", "h (mm)",
+              "delay (ps/mm)", "energy (pJ/m)", "vs fastest", "energy save");
+  for (const auto& p : pts) {
+    std::printf("%10.0f %10.2f %14.2f %14.2f %+11.1f%% %11.1f%%\n", p.k,
+                p.h * 1e3, p.delay_per_length * 1e9,
+                p.energy_per_length * 1e12,
+                100.0 * (p.delay_per_length / best.delay_per_length - 1.0),
+                100.0 * (1.0 - p.energy_per_length / best.energy_per_length));
+  }
+  std::printf("\nReading: each row re-optimizes the segment length for its buffer\n"
+              "size, so every point is on the Pareto front.  Accepting ~20%% more\n"
+              "delay typically saves a third or more of the repeater energy.\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+/// Buffer insertion on a branching net (van Ginneken DP on the RC tree
+/// substrate): a trunk splitting into four sinks at different distances,
+/// buffered with a geometric library built from the Table 1 repeater.
+/// Reports per-sink Elmore delays and skew before/after buffering.
+///
+///   $ ./tree_buffering [node]
+
+#include <cstdio>
+#include <string>
+
+#include "rlc/core/elmore.hpp"
+#include "rlc/tree/buffering.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rlc::tree;
+  using rlc::core::Technology;
+
+  const std::string node = argc > 1 ? argv[1] : "100";
+  const Technology tech =
+      node == "250" ? Technology::nm250() : Technology::nm100();
+  const auto rc = rlc::core::rc_optimum(tech);
+
+  // Net: driver -> 8 mm trunk -> split -> {4, 9, 14, 22} mm branches,
+  // each loaded with a k_optRC-sized receiver.
+  const auto wire = [&](RcTree& t, NodeId from, double mm) {
+    return t.add_wire(from, tech.r * mm * 1e-3, tech.c * mm * 1e-3,
+                      std::max(4, static_cast<int>(mm)));
+  };
+  RcTree t(tech.rep.rs / rc.k);
+  const auto split = wire(t, 0, 8.0);
+  std::vector<NodeId> sinks;
+  for (double mm : {4.0, 9.0, 14.0, 22.0}) {
+    const auto s = wire(t, split, mm);
+    t.add_cap(s, tech.rep.c0 * rc.k);
+    sinks.push_back(s);
+  }
+
+  const auto report = [&](const char* tag, const std::vector<double>& m1) {
+    double worst = 0.0, best = 1e300;
+    std::printf("%s per-sink Elmore delays:", tag);
+    for (const auto s : sinks) {
+      std::printf(" %.1f", m1[s] * 1e12);
+      worst = std::max(worst, m1[s]);
+      best = std::min(best, m1[s]);
+    }
+    std::printf(" ps   (worst %.1f, skew %.1f)\n", worst * 1e12,
+                (worst - best) * 1e12);
+    return worst;
+  };
+
+  std::printf("Net on %s: 8 mm trunk + {4, 9, 14, 22} mm branches, driver and\n"
+              "receivers sized k_optRC = %.0f\n\n", tech.name.c_str(), rc.k);
+  const double before = report("unbuffered:", t.elmore_delays());
+
+  const auto lib = BufferLibrary::geometric(tech.rep, rc.k / 8.0, 1.6, 7);
+  const auto res = van_ginneken(t, lib);
+  std::printf("\nvan Ginneken: %zu buffers, worst delay %.1f ps (%.1f%% faster)\n",
+              res.placements.size(), res.delay * 1e12,
+              100.0 * (1.0 - res.delay / before));
+  for (const auto& p : res.placements) {
+    std::printf("  buffer k = %.0f at tree node %d\n",
+                tech.rep.rs / lib.cells[p.cell].rs, p.node);
+  }
+  std::printf("\n(The per-unit-length optimum of the paper applies to uniform\n"
+              "lines; the DP generalizes the same repeater abstraction to trees.)\n");
+  return 0;
+}

@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file reliability.hpp
+/// Reliability assessments of Section 3.3.2: gate-oxide overstress caused by
+/// voltage overshoot at repeater inputs, and interconnect Joule-heating /
+/// electromigration exposure from peak and rms wire current densities.
+
+#include <span>
+
+namespace rlc::analysis {
+
+/// Gate-oxide stress from a waveform applied to a MOS gate.
+struct OxideStress {
+  double v_peak = 0.0;        ///< worst-case |gate voltage| seen [V]
+  double overstress_ratio = 0.0;  ///< v_peak / vdd (1.0 = rail)
+  bool exceeds_margin = false;    ///< v_peak > vdd * margin
+};
+
+/// Assess the oxide stress of a gate waveform; `margin` is the tolerated
+/// fractional excursion above VDD (supply voltage scales with oxide
+/// thickness precisely to cap the oxide field, so sustained v > vdd wears
+/// the oxide; 10% is a typical budget).
+OxideStress oxide_stress(std::span<const double> v_gate, double vdd,
+                         double margin = 1.10);
+
+/// Interconnect current-density exposure.
+struct CurrentDensity {
+  double j_peak = 0.0;  ///< peak |J| [A/m^2]
+  double j_rms = 0.0;   ///< time-weighted rms J [A/m^2]
+  bool em_concern = false;    ///< j_rms above the electromigration budget
+  bool joule_concern = false; ///< j_peak above the self-heating budget
+};
+
+/// Compute current densities from a wire-current waveform i(t) and the wire
+/// cross-section area.  Budgets default to the classical limits used in the
+/// paper's reference [28] (rms ~ 2e10 A/m^2 EM budget, peak ~ 1e12 A/m^2
+/// transient self-heating scale).
+CurrentDensity current_density(std::span<const double> t,
+                               std::span<const double> i, double area,
+                               double j_rms_budget = 2e10,
+                               double j_peak_budget = 1e12);
+
+}  // namespace rlc::analysis

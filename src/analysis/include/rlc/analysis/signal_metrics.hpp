@@ -1,0 +1,70 @@
+#pragma once
+
+/// \file signal_metrics.hpp
+/// Waveform measurements for the circuit-level experiments: threshold
+/// crossings, oscillation period, overshoot/undershoot and glitch (false
+/// transition) detection — the quantities behind Figures 9-11.
+
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace rlc::analysis {
+
+enum class Edge { kRising, kFalling };
+
+/// Times at which y(t) crosses `threshold` with the given edge direction,
+/// linearly interpolated between samples.  t must be strictly increasing.
+std::vector<double> threshold_crossings(std::span<const double> t,
+                                        std::span<const double> y,
+                                        double threshold, Edge edge);
+
+/// First crossing (either edge) after t_min, if any.
+std::optional<double> first_crossing_after(std::span<const double> t,
+                                           std::span<const double> y,
+                                           double threshold, Edge edge,
+                                           double t_min);
+
+/// Mean spacing of consecutive rising crossings of `threshold` within
+/// [t_begin, end] — the oscillation period of a settled oscillator.
+/// Returns nullopt when fewer than `min_cycles + 1` crossings are found.
+std::optional<double> oscillation_period(std::span<const double> t,
+                                         std::span<const double> y,
+                                         double threshold, double t_begin,
+                                         int min_cycles = 3);
+
+/// Signal extremes relative to the rails (0, vdd):
+struct RailExcursion {
+  double overshoot = 0.0;   ///< max(y) - vdd, clamped at 0
+  double undershoot = 0.0;  ///< -min(y), clamped at 0
+  double v_max = 0.0;
+  double v_min = 0.0;
+};
+RailExcursion rail_excursion(std::span<const double> y, double vdd);
+
+/// 10-90% (by default) rise time of a step-like waveform with final value
+/// v_final: time between the first crossings of lo_frac*v_final and
+/// hi_frac*v_final.  nullopt if either level is never reached.
+std::optional<double> rise_time(std::span<const double> t,
+                                std::span<const double> y, double v_final,
+                                double lo_frac = 0.1, double hi_frac = 0.9);
+
+/// Settling time: the earliest time after which |y - v_final| stays within
+/// band*|v_final| for the remainder of the record.  nullopt if the waveform
+/// never settles within the band.
+std::optional<double> settling_time(std::span<const double> t,
+                                    std::span<const double> y, double v_final,
+                                    double band = 0.02);
+
+/// Count "extra" threshold crossings per nominal switching event — a proxy
+/// for glitches/false transitions: for a clean periodic signal the number
+/// of rising crossings equals the number of falling crossings equals the
+/// cycle count; ringing through the threshold adds pairs.
+struct GlitchCount {
+  int rising = 0;
+  int falling = 0;
+};
+GlitchCount count_crossings(std::span<const double> t,
+                            std::span<const double> y, double threshold);
+
+}  // namespace rlc::analysis

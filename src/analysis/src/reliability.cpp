@@ -1,0 +1,32 @@
+#include "rlc/analysis/reliability.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "rlc/math/stats.hpp"
+
+namespace rlc::analysis {
+
+OxideStress oxide_stress(std::span<const double> v_gate, double vdd,
+                         double margin) {
+  if (!(vdd > 0.0)) throw std::domain_error("oxide_stress: vdd must be > 0");
+  OxideStress s;
+  for (double v : v_gate) s.v_peak = std::max(s.v_peak, std::abs(v));
+  s.overstress_ratio = s.v_peak / vdd;
+  s.exceeds_margin = s.v_peak > vdd * margin;
+  return s;
+}
+
+CurrentDensity current_density(std::span<const double> t,
+                               std::span<const double> i, double area,
+                               double j_rms_budget, double j_peak_budget) {
+  if (!(area > 0.0)) throw std::domain_error("current_density: area must be > 0");
+  CurrentDensity cd;
+  cd.j_peak = rlc::math::peak_abs(i) / area;
+  cd.j_rms = rlc::math::rms_trapz(t, i) / area;
+  cd.em_concern = cd.j_rms > j_rms_budget;
+  cd.joule_concern = cd.j_peak > j_peak_budget;
+  return cd;
+}
+
+}  // namespace rlc::analysis

@@ -1,0 +1,105 @@
+#include "rlc/analysis/signal_metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace rlc::analysis {
+
+std::vector<double> threshold_crossings(std::span<const double> t,
+                                        std::span<const double> y,
+                                        double threshold, Edge edge) {
+  if (t.size() != y.size()) {
+    throw std::invalid_argument("threshold_crossings: size mismatch");
+  }
+  std::vector<double> out;
+  for (std::size_t i = 1; i < t.size(); ++i) {
+    const double y0 = y[i - 1], y1 = y[i];
+    const bool crosses = (edge == Edge::kRising)
+                             ? (y0 < threshold && y1 >= threshold)
+                             : (y0 > threshold && y1 <= threshold);
+    if (!crosses) continue;
+    const double frac = (threshold - y0) / (y1 - y0);
+    out.push_back(t[i - 1] + frac * (t[i] - t[i - 1]));
+  }
+  return out;
+}
+
+std::optional<double> first_crossing_after(std::span<const double> t,
+                                           std::span<const double> y,
+                                           double threshold, Edge edge,
+                                           double t_min) {
+  const auto xs = threshold_crossings(t, y, threshold, edge);
+  for (double x : xs) {
+    if (x >= t_min) return x;
+  }
+  return std::nullopt;
+}
+
+std::optional<double> oscillation_period(std::span<const double> t,
+                                         std::span<const double> y,
+                                         double threshold, double t_begin,
+                                         int min_cycles) {
+  auto xs = threshold_crossings(t, y, threshold, Edge::kRising);
+  std::erase_if(xs, [t_begin](double x) { return x < t_begin; });
+  if (static_cast<int>(xs.size()) < min_cycles + 1) return std::nullopt;
+  // Mean spacing over all settled cycles.
+  return (xs.back() - xs.front()) / static_cast<double>(xs.size() - 1);
+}
+
+RailExcursion rail_excursion(std::span<const double> y, double vdd) {
+  RailExcursion r;
+  if (y.empty()) return r;
+  r.v_max = *std::max_element(y.begin(), y.end());
+  r.v_min = *std::min_element(y.begin(), y.end());
+  r.overshoot = std::max(0.0, r.v_max - vdd);
+  r.undershoot = std::max(0.0, -r.v_min);
+  return r;
+}
+
+std::optional<double> rise_time(std::span<const double> t,
+                                std::span<const double> y, double v_final,
+                                double lo_frac, double hi_frac) {
+  if (!(v_final != 0.0) || !(lo_frac < hi_frac)) {
+    throw std::invalid_argument("rise_time: invalid thresholds");
+  }
+  const auto lo = first_crossing_after(t, y, lo_frac * v_final, Edge::kRising,
+                                       t.empty() ? 0.0 : t.front());
+  const auto hi = first_crossing_after(t, y, hi_frac * v_final, Edge::kRising,
+                                       t.empty() ? 0.0 : t.front());
+  if (!lo || !hi || *hi < *lo) return std::nullopt;
+  return *hi - *lo;
+}
+
+std::optional<double> settling_time(std::span<const double> t,
+                                    std::span<const double> y, double v_final,
+                                    double band) {
+  if (t.size() != y.size() || t.empty()) {
+    throw std::invalid_argument("settling_time: size mismatch");
+  }
+  if (!(band > 0.0)) throw std::invalid_argument("settling_time: band must be > 0");
+  const double tol = band * std::abs(v_final);
+  // Walk backwards: find the last sample OUTSIDE the band.
+  std::size_t last_out = t.size();  // sentinel: none
+  for (std::size_t i = t.size(); i-- > 0;) {
+    if (std::abs(y[i] - v_final) > tol) {
+      last_out = i;
+      break;
+    }
+  }
+  if (last_out == t.size()) return t.front();      // always inside
+  if (last_out == t.size() - 1) return std::nullopt;  // never settles
+  return t[last_out + 1];
+}
+
+GlitchCount count_crossings(std::span<const double> t,
+                            std::span<const double> y, double threshold) {
+  GlitchCount g;
+  g.rising = static_cast<int>(
+      threshold_crossings(t, y, threshold, Edge::kRising).size());
+  g.falling = static_cast<int>(
+      threshold_crossings(t, y, threshold, Edge::kFalling).size());
+  return g;
+}
+
+}  // namespace rlc::analysis

@@ -1,0 +1,70 @@
+#pragma once
+
+/// \file baselines.hpp
+/// The two prior-art approaches the paper argues against, implemented as
+/// baselines so the comparison can be regenerated:
+///
+/// 1. Kahng–Muddu [23]: when the system is neither strongly over- nor
+///    under-damped, use the critically damped delay formula.  Since b1 is
+///    independent of the line inductance, this predicts a delay that does
+///    not change with l near l_crit — which is why it cannot drive the
+///    optimization (Section 2.1).
+///
+/// 2. Ismail–Friedman [21, 22]: empirical power-law corrections to the
+///    Elmore optimum, curve-fitted to circuit-simulation results.  We
+///    reproduce the *methodology* (fitting a parametric form to simulated
+///    optima over a training range) rather than copying their published
+///    constants, and the ablation bench demonstrates the paper's criticism:
+///    limited validity range and no visibility of effects outside the
+///    fitted family (e.g. the h ratio < 1 at l = 0).
+
+#include <vector>
+
+#include "rlc/core/pade.hpp"
+#include "rlc/core/technology.hpp"
+
+namespace rlc::core {
+
+/// f*100% delay of the critically damped two-pole system:
+/// solve (1 + x) exp(-x) = 1 - f, tau = x * b1 / 2.
+/// For f = 0.5, tau = 0.83917... * b1 — independent of b2 and hence of l.
+double critically_damped_delay(const PadeCoeffs& pc, double f = 0.5);
+
+/// Dimensionless inductance measure used by the curve-fit baseline:
+/// X = (l / r) / (r_s (c_0 + c_p)) — the wire's L/R time constant per unit
+/// length relative to the driver's intrinsic time constant.
+double inductance_parameter(const Technology& tech, double l);
+
+/// Curve-fitted repeater-sizing baseline (Ismail–Friedman style):
+///   h_opt(l) = h_optRC * (1 + a_h * X^b_h)
+///   k_opt(l) = k_optRC / (1 + a_k * X^b_k)
+/// with (a, b) fitted by least squares against a training sweep of exact
+/// optimizations.
+class CurveFitBaseline {
+ public:
+  /// Fit on the given technology over the given inductance values
+  /// (l = 0 points are skipped: X = 0 carries no fit information).
+  /// Throws std::invalid_argument with fewer than 3 usable points.
+  static CurveFitBaseline fit(const Technology& tech,
+                              const std::vector<double>& l_values);
+
+  /// Predicted optimal segment length [m] for any technology (the fit
+  /// transfers through the dimensionless X — or fails to; see the bench).
+  double h_opt(const Technology& tech, double l) const;
+  /// Predicted optimal repeater size.
+  double k_opt(const Technology& tech, double l) const;
+
+  double a_h() const { return a_h_; }
+  double b_h() const { return b_h_; }
+  double a_k() const { return a_k_; }
+  double b_k() const { return b_k_; }
+  /// Fitted range of X (predictions outside it are extrapolations).
+  double x_min() const { return x_min_; }
+  double x_max() const { return x_max_; }
+
+ private:
+  double a_h_ = 0.0, b_h_ = 1.0, a_k_ = 0.0, b_k_ = 1.0;
+  double x_min_ = 0.0, x_max_ = 0.0;
+};
+
+}  // namespace rlc::core

@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file delay.hpp
+/// f*100% threshold delay of the two-pole step response: the solution tau of
+/// Eq. (3),
+///
+///   1 - f - [ s2 exp(s1 tau) - s1 exp(s2 tau) ] / (s2 - s1) = 0,
+///
+/// taken as the *first* upward crossing of v(t) = f (for underdamped systems
+/// v(t) crosses the threshold several times; the first crossing is the
+/// signal delay).  Solved by safeguarded Newton-Raphson exactly as in the
+/// paper ("convergence is achieved in less than four iterations in all
+/// cases"); the solver reports its iteration count so the benches can check
+/// that claim.
+
+#include "rlc/core/two_pole.hpp"
+
+namespace rlc::core {
+
+/// Result of a threshold-delay solve.
+struct DelayResult {
+  double tau = 0.0;        ///< threshold crossing time [s]
+  int newton_iterations = 0;
+  bool converged = false;
+};
+
+struct DelayOptions {
+  double f = 0.5;          ///< threshold fraction, 0 < f < 1 (50% delay default)
+  double rel_tol = 1e-13;  ///< relative tolerance on tau
+  int max_iterations = 100;
+};
+
+/// First time v(tau) = f.  Brackets the first crossing with a geometric
+/// scan, then polishes with bisection-guarded Newton on v(t) - f.
+/// Throws std::domain_error for f outside (0, 1).
+DelayResult threshold_delay(const TwoPole& sys, const DelayOptions& opts = {});
+
+/// Convenience: 50% delay, throwing std::runtime_error if not converged.
+double delay_50(const TwoPole& sys);
+
+/// Convenience: threshold delay of the segment (tech repeater, line, h, k).
+DelayResult segment_delay(const Repeater& rep, const tline::LineParams& line,
+                          double h, double k, const DelayOptions& opts = {});
+
+}  // namespace rlc::core

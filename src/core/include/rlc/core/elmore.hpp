@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file elmore.hpp
+/// Elmore-delay (RC-only) repeater insertion: the closed forms of
+/// Section 3.1,
+///
+///   h_optRC = sqrt( 2 r_s (c_0 + c_p) / (r c) )
+///   k_optRC = sqrt( r_s c / (r c_0) )
+///   tau_optRC = 2 r_s (c_0 + c_p) (1 + sqrt( 2 c_0 / (c_0 + c_p) ))
+///
+/// and the inverse problem the paper solves with SPICE: given measured
+/// (h_opt, k_opt, tau_opt) for a technology, infer (r_s, c_0, c_p).
+
+#include "rlc/core/technology.hpp"
+
+namespace rlc::core {
+
+/// Optimal single-segment sizing under the Elmore (RC) delay model.
+struct RcOptimum {
+  double h = 0.0;    ///< optimal segment length [m]
+  double k = 0.0;    ///< optimal repeater size (multiple of minimum)
+  double tau = 0.0;  ///< Elmore delay of one optimal segment [s]
+
+  double delay_per_length() const { return tau / h; }
+};
+
+/// Elmore delay of one segment of length h driven by a size-k repeater
+/// (the bracketed term of t_Elmore in Section 3.1):
+///   (rs/k)(cp k + c0 k) + (rs/k) c h + r h c0 k + r c h^2 / 2.
+double elmore_segment_delay(const Repeater& rep, double r, double c, double h,
+                            double k);
+
+/// Closed-form RC optimum for a technology's top metal.
+RcOptimum rc_optimum(const Technology& tech);
+
+/// Closed-form RC optimum from raw parameters.
+RcOptimum rc_optimum(const Repeater& rep, double r, double c);
+
+/// Infer the minimum-repeater parameters (r_s, c_0, c_p) from an observed
+/// RC optimum (h, k, tau) and wire parameters (r, c) by inverting the three
+/// closed forms — the calibration step the paper performs with SPICE
+/// simulations to populate Table 1.  Throws std::domain_error if the triple
+/// is inconsistent (e.g. tau outside the representable range).
+Repeater infer_repeater_from_rc_optimum(double r, double c, double h, double k,
+                                        double tau);
+
+}  // namespace rlc::core

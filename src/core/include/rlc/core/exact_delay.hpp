@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file exact_delay.hpp
+/// Reference ("exact") time-domain quantities obtained from the full Eq. (1)
+/// transfer function by numerical inverse Laplace (fixed Talbot), with no
+/// Pade truncation.  Used to quantify the accuracy of the two-pole model
+/// (ablation 1) and as the gold standard in integration tests.  Orders of
+/// magnitude slower than the two-pole path — not for use inside optimizer
+/// loops.
+
+#include <optional>
+#include <vector>
+
+#include "rlc/core/technology.hpp"
+#include "rlc/tline/transfer.hpp"
+
+namespace rlc::core {
+
+/// Normalized exact step response v(t) of the driver-line-load stage at the
+/// given times (unit final value).
+std::vector<double> exact_step_response(const tline::LineParams& line,
+                                        double h, const tline::DriverLoad& dl,
+                                        const std::vector<double>& times,
+                                        int talbot_points = 48);
+
+/// First f*100% crossing of the exact step response, found by bisection on
+/// the Talbot-inverted waveform.  `tau_scale` sets the search window
+/// (0.02..8 x tau_scale); pass the two-pole delay as the scale.
+/// Returns nullopt if the threshold is not bracketed in the window.
+std::optional<double> exact_threshold_delay(const tline::LineParams& line,
+                                            double h,
+                                            const tline::DriverLoad& dl,
+                                            double tau_scale, double f = 0.5,
+                                            int talbot_points = 48);
+
+/// Convenience overload on a technology and repeater size.
+std::optional<double> exact_threshold_delay(const Technology& tech, double l,
+                                            double h, double k,
+                                            double tau_scale, double f = 0.5);
+
+}  // namespace rlc::core

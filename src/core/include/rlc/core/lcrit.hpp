@@ -1,0 +1,24 @@
+#pragma once
+
+/// \file lcrit.hpp
+/// Critical line inductance (Eq. 4): the per-unit-length inductance that
+/// makes the two-pole system critically damped (b1^2 - 4 b2 = 0) for a given
+/// segment length h and repeater size k.  For l < l_crit the segment is
+/// overdamped, for l > l_crit underdamped (overshoot/undershoot appear).
+
+#include "rlc/core/technology.hpp"
+
+namespace rlc::core {
+
+/// l_crit [H/m] per Eq. (4).  `r`, `c` are the wire parameters; the repeater
+/// is scaled by k.  May return a negative value when even l = 0 leaves the
+/// system underdamped (physically: no inductance needed for ringing —
+/// does not occur for the paper's parameter ranges, but callers should not
+/// assume positivity).
+double critical_inductance(const Repeater& rep, double r, double c, double h,
+                           double k);
+
+/// Convenience overload on a Technology.
+double critical_inductance(const Technology& tech, double h, double k);
+
+}  // namespace rlc::core

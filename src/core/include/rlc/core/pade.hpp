@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file pade.hpp
+/// Second-order Pade expansion of the driver-interconnect-load transfer
+/// function (Eq. 2 of the paper):
+///
+///   H(s) ~ 1 / (1 + s b1 + s^2 b2)
+///
+///   b1 = Rs (Cp + Cl) + r c h^2 / 2 + Rs c h + Cl r h
+///   b2 = l c h^2 / 2 + r^2 c^2 h^4 / 24 + Rs (Cp + Cl) r c h^2 / 2
+///        + (Rs c h + Cl r h) r c h^2 / 6 + Cl l h + Rs Cp Cl r h
+///
+/// with Rs = rs/k, Cp = cp*k, Cl = c0*k.  The (h, k) optimizer needs the
+/// analytic sensitivities of b1 and b2 with respect to segment length h and
+/// repeater size k; these are provided and verified against finite
+/// differences in the test suite.
+
+#include "rlc/core/technology.hpp"
+#include "rlc/tline/line.hpp"
+#include "rlc/tline/transfer.hpp"
+
+namespace rlc::core {
+
+/// First two denominator moments of the Pade-approximated transfer function.
+struct PadeCoeffs {
+  double b1 = 0.0;  ///< [s]
+  double b2 = 0.0;  ///< [s^2]
+};
+
+/// Sensitivities of (b1, b2) to segment length h and repeater size k.
+struct PadeDerivs {
+  double db1_dh = 0.0;
+  double db1_dk = 0.0;
+  double db2_dh = 0.0;
+  double db2_dk = 0.0;
+};
+
+/// Pade coefficients for an explicit driver/load (Eq. 2).
+PadeCoeffs pade_coeffs(const tline::LineParams& line, double h,
+                       const tline::DriverLoad& dl);
+
+/// Pade coefficients as a function of (h, k) with the technology's repeater.
+PadeCoeffs pade_coeffs_hk(const Repeater& rep, const tline::LineParams& line,
+                          double h, double k);
+
+/// Analytic d(b1,b2)/d(h,k) for the technology's repeater scaling.
+PadeDerivs pade_derivs_hk(const Repeater& rep, const tline::LineParams& line,
+                          double h, double k);
+
+/// Evaluate the Pade-approximated transfer function 1/(1 + s b1 + s^2 b2).
+std::complex<double> pade_transfer(const PadeCoeffs& pc, std::complex<double> s);
+
+}  // namespace rlc::core

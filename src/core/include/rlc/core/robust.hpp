@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file robust.hpp
+/// Robust repeater sizing under parameter uncertainty — Section 3.2 turned
+/// into a design tool.  The effective line inductance (return path) and the
+/// effective capacitance (Miller factor of switching neighbours) cannot be
+/// known at sizing time; instead of sizing for one nominal corner, minimize
+/// the worst-case *regret*
+///
+///   regret(h, k) = max over corners  dpl(h, k; corner) / dpl_opt(corner)
+///
+/// where dpl is the delay per unit length and dpl_opt(corner) is the best
+/// achievable at that corner.  regret >= 1 always; the minimax sizing keeps
+/// it closest to 1 across the whole uncertainty box.
+
+#include <vector>
+
+#include "rlc/core/optimizer.hpp"
+
+namespace rlc::core {
+
+/// Uncertainty box for (c, l); sampled on an n_c x n_l grid (corners plus
+/// interior points — the regret maximum can sit strictly inside the box).
+struct RobustOptions {
+  double c_min = 0.0;  ///< [F/m]
+  double c_max = 0.0;
+  double l_min = 0.0;  ///< [H/m]
+  double l_max = 0.0;
+  int n_c = 3;
+  int n_l = 3;
+  double f = 0.5;
+};
+
+struct RobustResult {
+  double h = 0.0;
+  double k = 0.0;
+  double worst_regret = 0.0;     ///< at the robust sizing
+  double nominal_regret = 0.0;   ///< regret of sizing at the box center
+  bool converged = false;
+};
+
+/// Worst-case regret of a FIXED sizing over the uncertainty grid.
+/// `per_corner_opt` may be reused between calls (see optimize_robust).
+double worst_case_regret(const Repeater& rep, double r, double h, double k,
+                         const RobustOptions& opts);
+
+/// Minimize the worst-case regret over (h, k).  Internally solves the
+/// per-corner optima once, then runs Nelder-Mead on the max-regret surface.
+RobustResult optimize_robust(const Repeater& rep, double r,
+                             const RobustOptions& opts);
+
+}  // namespace rlc::core

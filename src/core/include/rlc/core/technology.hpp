@@ -1,0 +1,76 @@
+#pragma once
+
+/// \file technology.hpp
+/// Technology database: the interconnect and repeater parameters of the
+/// paper's Table 1 (NTRS'97 roadmap, top-level metal, Copper) plus the
+/// supply-voltage assumptions the circuit-level experiments need.
+///
+/// Units are SI throughout (Ohm/m, F/m, H/m, m, s, V); the named
+/// constructors take the paper's mixed units (Ohm/mm, pF/m, um, fF, kOhm)
+/// and convert.
+
+#include <stdexcept>
+#include <string>
+
+#include "rlc/tline/line.hpp"
+#include "rlc/tline/transfer.hpp"
+
+namespace rlc::core {
+
+/// Minimum-sized repeater small-signal parameters for a technology node.
+struct Repeater {
+  double rs = 0.0;  ///< output resistance of a minimum-sized repeater [Ohm]
+  double c0 = 0.0;  ///< input capacitance of a minimum-sized repeater [F]
+  double cp = 0.0;  ///< output parasitic capacitance of a minimum repeater [F]
+
+  /// Effective driver/load around the line for a size-k repeater:
+  /// Rs = rs/k, Cp = cp*k, Cl = c0*k (Section 2.1).
+  tline::DriverLoad scaled(double k) const {
+    if (!(k > 0.0)) throw std::domain_error("Repeater::scaled: k must be > 0");
+    return {rs / k, cp * k, c0 * k};
+  }
+};
+
+/// Top-level-metal interconnect + repeater parameters for one node.
+struct Technology {
+  std::string name;
+  double node = 0.0;       ///< feature size [m]
+  double r = 0.0;          ///< wire resistance per unit length [Ohm/m]
+  double c = 0.0;          ///< wire capacitance per unit length [F/m]
+  double eps_r = 0.0;      ///< interlevel dielectric constant
+  double width = 0.0;      ///< wire width [m]
+  double pitch = 0.0;      ///< wire pitch [m]
+  double thickness = 0.0;  ///< wire (metal) thickness [m]
+  double t_ins = 0.0;      ///< distance from top metal to substrate [m]
+  Repeater rep;            ///< minimum repeater parameters
+  double vdd = 0.0;        ///< supply voltage [V] (assumption; paper omits it)
+  double l_max = 5.0e-6;   ///< upper end of the paper's inductance sweep [H/m]
+
+  /// Line parameters for a given per-unit-length inductance l [H/m].
+  tline::LineParams line(double l) const { return {r, l, c}; }
+
+  /// 250 nm node, metal 6 (Table 1).  VDD assumed 2.5 V.
+  static Technology nm250();
+
+  /// 100 nm node, metal 8 (Table 1).  VDD assumed 1.2 V.
+  static Technology nm100();
+
+  /// The paper's control experiment for Figure 7: the 100 nm node with the
+  /// dielectric (and hence wire capacitance) of the 250 nm node, isolating
+  /// the effect of driver scaling.
+  static Technology nm100_with_250nm_dielectric();
+
+  /// Geometric interpolation/extrapolation between the two calibrated nodes:
+  /// every scaled parameter (r_s, c_0, c_p, c, eps_r, VDD) follows a
+  /// constant-ratio-per-generation law anchored at 250 nm and 100 nm, with
+  /// the top-metal geometry held fixed (as in Table 1).  `node_m` in meters,
+  /// e.g. 180e-9; sensible roughly within [70 nm, 350 nm] — this is the
+  /// "technology scaling" knob for trend studies beyond the paper's two
+  /// points (Section 4's "progressively more susceptible" claim).
+  static Technology interpolated(double node_m);
+
+  /// Validate invariants; throws std::domain_error on violation.
+  void validate() const;
+};
+
+}  // namespace rlc::core

@@ -1,0 +1,55 @@
+#pragma once
+
+/// \file tradeoff.hpp
+/// Constrained optimization variants and the delay/energy/area trade-off —
+/// the practical extensions of the paper's methodology (repeater libraries
+/// quantize k; power budgets argue for smaller-than-delay-optimal buffers).
+///
+/// All delays are f*100% threshold delays from the same two-pole machinery
+/// as the unconstrained optimizer.
+
+#include <vector>
+
+#include "rlc/core/optimizer.hpp"
+
+namespace rlc::core {
+
+/// Minimize tau/h over h only, with the repeater size fixed (e.g. the
+/// nearest size available in a cell library).  Brent minimization on a
+/// bracketed interval around the RC optimum.
+OptimResult optimize_h_for_fixed_k(const Repeater& rep,
+                                   const tline::LineParams& line, double k,
+                                   double f = 0.5);
+
+/// Minimize tau/h over k only, with the segment length fixed (e.g. set by
+/// floorplan constraints on where repeaters can be placed).
+OptimResult optimize_k_for_fixed_h(const Repeater& rep,
+                                   const tline::LineParams& line, double h,
+                                   double f = 0.5);
+
+/// Per-unit-length dynamic switching energy of a buffered line at VDD:
+/// E/len = (c + (c0 + cp) k / h) * VDD^2   [J/m per transition].
+double energy_per_length(const Technology& tech, double h, double k);
+
+/// Repeater area proxy per unit length: k / h (minimum-inverter areas per
+/// meter of route).
+double area_per_length(double h, double k);
+
+/// One point on the delay/energy/area trade-off curve.
+struct TradeoffPoint {
+  double k = 0.0;
+  double h = 0.0;
+  double delay_per_length = 0.0;   ///< [s/m]
+  double energy_per_length = 0.0;  ///< [J/m] per transition
+  double area_per_length = 0.0;    ///< [1/m]
+};
+
+/// Sweep repeater size from `k_fraction_min` * k_opt up to k_opt, re-solving
+/// the optimal segment length for each size: the classic delay-vs-energy
+/// Pareto front for inductance-aware repeater insertion.
+std::vector<TradeoffPoint> delay_energy_tradeoff(const Technology& tech,
+                                                 double l, int n_points = 10,
+                                                 double k_fraction_min = 0.2,
+                                                 double f = 0.5);
+
+}  // namespace rlc::core

@@ -1,0 +1,60 @@
+#include "rlc/core/elmore.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rlc::core {
+
+double elmore_segment_delay(const Repeater& rep, double r, double c, double h,
+                            double k) {
+  if (!(h > 0.0) || !(k > 0.0)) {
+    throw std::domain_error("elmore_segment_delay: h and k must be > 0");
+  }
+  const double rs = rep.rs, c0 = rep.c0, cp = rep.cp;
+  return (rs / k) * (cp * k + c0 * k) + (rs / k) * c * h + r * h * c0 * k +
+         0.5 * r * c * h * h;
+}
+
+RcOptimum rc_optimum(const Repeater& rep, double r, double c) {
+  if (!(r > 0.0) || !(c > 0.0)) {
+    throw std::domain_error("rc_optimum: r and c must be > 0");
+  }
+  RcOptimum o;
+  o.h = std::sqrt(2.0 * rep.rs * (rep.c0 + rep.cp) / (r * c));
+  o.k = std::sqrt(rep.rs * c / (r * rep.c0));
+  o.tau = 2.0 * rep.rs * (rep.c0 + rep.cp) *
+          (1.0 + std::sqrt(2.0 * rep.c0 / (rep.c0 + rep.cp)));
+  return o;
+}
+
+RcOptimum rc_optimum(const Technology& tech) {
+  return rc_optimum(tech.rep, tech.r, tech.c);
+}
+
+Repeater infer_repeater_from_rc_optimum(double r, double c, double h, double k,
+                                        double tau) {
+  if (!(r > 0.0 && c > 0.0 && h > 0.0 && k > 0.0 && tau > 0.0)) {
+    throw std::domain_error("infer_repeater_from_rc_optimum: inputs must be > 0");
+  }
+  // From h: A := rs (c0 + cp) = r c h^2 / 2.
+  const double A = 0.5 * r * c * h * h;
+  // From tau: tau = 2 A (1 + sqrt(2 c0/(c0+cp)))
+  //   => sqrt(2 c0/(c0+cp)) = tau/(2A) - 1 =: g, need 0 < g < sqrt(2).
+  const double g = tau / (2.0 * A) - 1.0;
+  if (!(g > 0.0 && g < std::sqrt(2.0))) {
+    throw std::domain_error(
+        "infer_repeater_from_rc_optimum: (h, tau) pair inconsistent with the "
+        "Elmore optimum closed forms");
+  }
+  const double beta = 0.5 * g * g;  // c0 / (c0 + cp), in (0, 1)
+  // From k: rs = k^2 (r/c) c0; combined with A = rs (c0+cp) and
+  // c0 = beta (c0+cp):  A = k^2 (r/c) beta (c0+cp)^2.
+  const double sum = std::sqrt(A * c / (k * k * r * beta));  // c0 + cp
+  Repeater rep;
+  rep.c0 = beta * sum;
+  rep.cp = (1.0 - beta) * sum;
+  rep.rs = A / sum;
+  return rep;
+}
+
+}  // namespace rlc::core

@@ -1,0 +1,62 @@
+#include "rlc/core/exact_delay.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "rlc/laplace/talbot.hpp"
+
+namespace rlc::core {
+
+namespace {
+
+rlc::laplace::LaplaceFn step_transform(const tline::LineParams& line, double h,
+                                       const tline::DriverLoad& dl) {
+  return [line, h, dl](std::complex<double> s) {
+    return rlc::tline::exact_transfer_dc_safe(line, h, dl, s) / s;
+  };
+}
+
+}  // namespace
+
+std::vector<double> exact_step_response(const tline::LineParams& line,
+                                        double h, const tline::DriverLoad& dl,
+                                        const std::vector<double>& times,
+                                        int talbot_points) {
+  line.validate();
+  return rlc::laplace::talbot_invert(step_transform(line, h, dl), times,
+                                     talbot_points);
+}
+
+std::optional<double> exact_threshold_delay(const tline::LineParams& line,
+                                            double h,
+                                            const tline::DriverLoad& dl,
+                                            double tau_scale, double f,
+                                            int talbot_points) {
+  line.validate();
+  if (!(f > 0.0 && f < 1.0)) {
+    throw std::domain_error("exact_threshold_delay: f must be in (0, 1)");
+  }
+  if (!(tau_scale > 0.0)) {
+    throw std::domain_error("exact_threshold_delay: tau_scale must be > 0");
+  }
+  const auto F = step_transform(line, h, dl);
+  const auto v = [&](double t) {
+    return rlc::laplace::talbot_invert(F, t, talbot_points);
+  };
+  double lo = 0.02 * tau_scale, hi = 8.0 * tau_scale;
+  if (v(lo) > f || v(hi) < f) return std::nullopt;
+  for (int i = 0; i < 60; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    (v(mid) < f ? lo : hi) = mid;
+  }
+  return 0.5 * (lo + hi);
+}
+
+std::optional<double> exact_threshold_delay(const Technology& tech, double l,
+                                            double h, double k,
+                                            double tau_scale, double f) {
+  return exact_threshold_delay(tech.line(l), h, tech.rep.scaled(k), tau_scale,
+                               f);
+}
+
+}  // namespace rlc::core

@@ -1,0 +1,26 @@
+#include "rlc/core/lcrit.hpp"
+
+#include <stdexcept>
+
+#include "rlc/core/pade.hpp"
+
+namespace rlc::core {
+
+double critical_inductance(const Repeater& rep, double r, double c, double h,
+                           double k) {
+  if (!(h > 0.0) || !(k > 0.0)) {
+    throw std::domain_error("critical_inductance: h and k must be > 0");
+  }
+  const auto dl = rep.scaled(k);
+  // b1 does not depend on l; b2 = l*(c h^2/2 + Cl h) + b2_0 where b2_0 is
+  // b2 evaluated at l = 0.  Critical damping: b2 = b1^2 / 4.
+  const PadeCoeffs pc0 = pade_coeffs({r, 0.0, c}, h, dl);
+  const double slope = 0.5 * c * h * h + dl.cl_eff * h;  // d b2 / d l
+  return (0.25 * pc0.b1 * pc0.b1 - pc0.b2) / slope;
+}
+
+double critical_inductance(const Technology& tech, double h, double k) {
+  return critical_inductance(tech.rep, tech.r, tech.c, h, k);
+}
+
+}  // namespace rlc::core

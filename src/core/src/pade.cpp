@@ -1,0 +1,53 @@
+#include "rlc/core/pade.hpp"
+
+namespace rlc::core {
+
+PadeCoeffs pade_coeffs(const tline::LineParams& line, double h,
+                       const tline::DriverLoad& dl) {
+  line.validate();
+  if (!(h > 0.0)) throw std::domain_error("pade_coeffs: h must be > 0");
+  const double r = line.r, l = line.l, c = line.c;
+  const double Rs = dl.rs_eff, Cp = dl.cp_eff, Cl = dl.cl_eff;
+  PadeCoeffs pc;
+  pc.b1 = Rs * (Cp + Cl) + r * c * h * h / 2.0 + Rs * c * h + Cl * r * h;
+  pc.b2 = l * c * h * h / 2.0 + r * r * c * c * h * h * h * h / 24.0 +
+          Rs * (Cp + Cl) * r * c * h * h / 2.0 +
+          (Rs * c * h + Cl * r * h) * r * c * h * h / 6.0 + Cl * l * h +
+          Rs * Cp * Cl * r * h;
+  return pc;
+}
+
+PadeCoeffs pade_coeffs_hk(const Repeater& rep, const tline::LineParams& line,
+                          double h, double k) {
+  return pade_coeffs(line, h, rep.scaled(k));
+}
+
+PadeDerivs pade_derivs_hk(const Repeater& rep, const tline::LineParams& line,
+                          double h, double k) {
+  line.validate();
+  if (!(h > 0.0) || !(k > 0.0)) {
+    throw std::domain_error("pade_derivs_hk: h and k must be > 0");
+  }
+  const double r = line.r, l = line.l, c = line.c;
+  const double rs = rep.rs, c0 = rep.c0, cp = rep.cp;
+  PadeDerivs d;
+  // b1 = rs(cp+c0) + r c h^2/2 + (rs/k) c h + c0 k r h
+  d.db1_dh = r * c * h + rs * c / k + c0 * k * r;
+  d.db1_dk = -rs * c * h / (k * k) + c0 * r * h;
+  // b2 = l c h^2/2 + r^2 c^2 h^4/24 + rs(cp+c0) r c h^2/2
+  //      + (rs c/k + c0 k r) (r c / 6) h^3 + c0 k l h + rs cp c0 k r h
+  d.db2_dh = l * c * h + r * r * c * c * h * h * h / 6.0 +
+             rs * (cp + c0) * r * c * h +
+             (rs * c / k + c0 * k * r) * (r * c / 2.0) * h * h + c0 * k * l +
+             rs * cp * c0 * k * r;
+  d.db2_dk = (-rs * c / (k * k) + c0 * r) * (r * c / 6.0) * h * h * h +
+             c0 * l * h + rs * cp * c0 * r * h;
+  return d;
+}
+
+std::complex<double> pade_transfer(const PadeCoeffs& pc,
+                                   std::complex<double> s) {
+  return 1.0 / (1.0 + s * pc.b1 + s * s * pc.b2);
+}
+
+}  // namespace rlc::core

@@ -1,0 +1,115 @@
+#include "rlc/core/robust.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "rlc/math/nelder_mead.hpp"
+
+namespace rlc::core {
+
+namespace {
+
+struct Corner {
+  tline::LineParams line;
+  double dpl_opt = 0.0;
+};
+
+void check(const RobustOptions& o) {
+  if (!(o.c_min > 0.0 && o.c_max >= o.c_min && o.l_min >= 0.0 &&
+        o.l_max >= o.l_min && o.n_c >= 1 && o.n_l >= 1)) {
+    throw std::invalid_argument("RobustOptions: inconsistent uncertainty box");
+  }
+}
+
+std::vector<Corner> build_corners(const Repeater& rep, double r,
+                                  const RobustOptions& o) {
+  std::vector<Corner> corners;
+  OptimOptions oo;
+  oo.f = o.f;
+  for (int i = 0; i < o.n_c; ++i) {
+    const double c = o.n_c == 1 ? o.c_min
+                                : o.c_min + (o.c_max - o.c_min) * i / (o.n_c - 1);
+    for (int j = 0; j < o.n_l; ++j) {
+      const double l = o.n_l == 1 ? o.l_min
+                                  : o.l_min + (o.l_max - o.l_min) * j / (o.n_l - 1);
+      Corner cn;
+      cn.line = {r, l, c};
+      const OptimResult res = optimize_rlc(rep, cn.line, oo);
+      if (!res.converged) {
+        throw std::runtime_error("optimize_robust: corner optimization failed");
+      }
+      oo.h0 = res.h;  // warm start the next corner
+      oo.k0 = res.k;
+      cn.dpl_opt = res.delay_per_length;
+      corners.push_back(cn);
+    }
+  }
+  return corners;
+}
+
+double regret_over(const std::vector<Corner>& corners, const Repeater& rep,
+                   double h, double k, double f) {
+  double worst = 0.0;
+  for (const auto& cn : corners) {
+    double dpl;
+    try {
+      dpl = delay_per_length(rep, cn.line, h, k, f);
+    } catch (const std::exception&) {
+      return std::numeric_limits<double>::quiet_NaN();
+    }
+    worst = std::max(worst, dpl / cn.dpl_opt);
+  }
+  return worst;
+}
+
+}  // namespace
+
+double worst_case_regret(const Repeater& rep, double r, double h, double k,
+                         const RobustOptions& opts) {
+  check(opts);
+  if (!(h > 0.0 && k > 0.0)) {
+    throw std::domain_error("worst_case_regret: h and k must be > 0");
+  }
+  return regret_over(build_corners(rep, r, opts), rep, h, k, opts.f);
+}
+
+RobustResult optimize_robust(const Repeater& rep, double r,
+                             const RobustOptions& opts) {
+  check(opts);
+  const auto corners = build_corners(rep, r, opts);
+
+  // Nominal sizing: optimum at the box center.
+  const tline::LineParams nominal{r, 0.5 * (opts.l_min + opts.l_max),
+                                  0.5 * (opts.c_min + opts.c_max)};
+  OptimOptions oo;
+  oo.f = opts.f;
+  const OptimResult nom = optimize_rlc(rep, nominal, oo);
+  if (!nom.converged) {
+    throw std::runtime_error("optimize_robust: nominal optimization failed");
+  }
+
+  const double h_ref = nom.h, k_ref = nom.k;
+  const auto objective = [&](const std::vector<double>& x) {
+    if (x[0] <= 0.0 || x[1] <= 0.0) {
+      return std::numeric_limits<double>::quiet_NaN();
+    }
+    return regret_over(corners, rep, x[0] * h_ref, x[1] * k_ref, opts.f);
+  };
+  rlc::math::NelderMeadOptions nm;
+  nm.max_iterations = 3000;
+  nm.f_tolerance = 1e-10;
+  nm.x_tolerance = 1e-7;
+  nm.initial_step = 0.1;
+  const auto sol = rlc::math::nelder_mead(objective, {1.0, 1.0}, nm);
+
+  RobustResult res;
+  res.converged = sol.converged && std::isfinite(sol.fx);
+  res.h = sol.x[0] * h_ref;
+  res.k = sol.x[1] * k_ref;
+  res.worst_regret = sol.fx;
+  res.nominal_regret = regret_over(corners, rep, nom.h, nom.k, opts.f);
+  return res;
+}
+
+}  // namespace rlc::core

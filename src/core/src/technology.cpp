@@ -1,0 +1,94 @@
+#include "rlc/core/technology.hpp"
+
+#include <cmath>
+
+namespace rlc::core {
+
+namespace {
+// Unit helpers for Table 1's mixed units.
+constexpr double ohm_per_mm(double v) { return v * 1e3; }   // -> Ohm/m
+constexpr double pf_per_m(double v) { return v * 1e-12; }   // -> F/m
+constexpr double um(double v) { return v * 1e-6; }          // -> m
+constexpr double kohm(double v) { return v * 1e3; }         // -> Ohm
+constexpr double fF(double v) { return v * 1e-15; }         // -> F
+constexpr double nm(double v) { return v * 1e-9; }          // -> m
+}  // namespace
+
+Technology Technology::nm250() {
+  Technology t;
+  t.name = "250nm";
+  t.node = nm(250);
+  t.r = ohm_per_mm(4.4);
+  t.c = pf_per_m(203.50);
+  t.eps_r = 3.3;
+  t.width = um(2);
+  t.pitch = um(4);
+  t.thickness = um(2.5);
+  t.t_ins = um(13.9);
+  t.rep = {kohm(11.784), fF(1.6314), fF(6.2474)};
+  t.vdd = 2.5;
+  t.validate();
+  return t;
+}
+
+Technology Technology::nm100() {
+  Technology t;
+  t.name = "100nm";
+  t.node = nm(100);
+  t.r = ohm_per_mm(4.4);
+  t.c = pf_per_m(123.33);
+  t.eps_r = 2.0;
+  t.width = um(2);
+  t.pitch = um(4);
+  t.thickness = um(2.5);
+  t.t_ins = um(15.4);
+  t.rep = {kohm(7.534), fF(0.758), fF(3.68)};
+  t.vdd = 1.2;
+  t.validate();
+  return t;
+}
+
+Technology Technology::nm100_with_250nm_dielectric() {
+  Technology t = nm100();
+  const Technology ref = nm250();
+  t.name = "100nm(c=250nm)";
+  t.eps_r = ref.eps_r;
+  t.c = ref.c;
+  t.validate();
+  return t;
+}
+
+Technology Technology::interpolated(double node_m) {
+  if (!(node_m > 10e-9 && node_m < 1e-6)) {
+    throw std::domain_error("Technology::interpolated: node out of range");
+  }
+  const Technology a = nm250();
+  const Technology b = nm100();
+  // s = 0 at 250 nm, 1 at 100 nm, linear in log(node).
+  const double s = std::log(node_m / a.node) / std::log(b.node / a.node);
+  const auto geom = [s](double va, double vb) {
+    return va * std::pow(vb / va, s);
+  };
+  Technology t = a;
+  t.name = std::to_string(static_cast<int>(std::lround(node_m * 1e9))) + "nm";
+  t.node = node_m;
+  t.c = geom(a.c, b.c);
+  t.eps_r = geom(a.eps_r, b.eps_r);
+  t.rep.rs = geom(a.rep.rs, b.rep.rs);
+  t.rep.c0 = geom(a.rep.c0, b.rep.c0);
+  t.rep.cp = geom(a.rep.cp, b.rep.cp);
+  t.vdd = geom(a.vdd, b.vdd);
+  t.t_ins = geom(a.t_ins, b.t_ins);
+  t.validate();
+  return t;
+}
+
+void Technology::validate() const {
+  const bool ok = r > 0.0 && c > 0.0 && eps_r > 0.0 && width > 0.0 &&
+                  pitch >= width && thickness > 0.0 && t_ins > 0.0 &&
+                  rep.rs > 0.0 && rep.c0 > 0.0 && rep.cp >= 0.0 && vdd > 0.0 &&
+                  l_max > 0.0;
+  if (!ok) throw std::domain_error("Technology::validate: parameter out of range");
+}
+
+}  // namespace rlc::core

@@ -1,0 +1,114 @@
+#include "rlc/core/tradeoff.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "rlc/math/brent.hpp"
+
+namespace rlc::core {
+
+namespace {
+
+/// tau/h as a 1-D objective with invalid points mapped to +inf.
+double objective_or_inf(const Repeater& rep, const tline::LineParams& line,
+                        double h, double k, double f) {
+  if (!(h > 0.0) || !(k > 0.0)) return 1e300;
+  try {
+    return delay_per_length(rep, line, h, k, f);
+  } catch (const std::exception&) {
+    return 1e300;
+  }
+}
+
+OptimResult pack_result(const Repeater& rep, const tline::LineParams& line,
+                        double h, double k, double f, bool converged) {
+  OptimResult res;
+  res.h = h;
+  res.k = k;
+  res.method = OptimMethod::kNewton;  // 1-D Brent; field kept for uniformity
+  res.converged = converged;
+  if (converged) {
+    DelayOptions dopts;
+    dopts.f = f;
+    const DelayResult dr = segment_delay(rep, line, h, k, dopts);
+    res.converged = dr.converged;
+    res.tau = dr.tau;
+    res.delay_per_length = dr.tau / h;
+  }
+  return res;
+}
+
+}  // namespace
+
+OptimResult optimize_h_for_fixed_k(const Repeater& rep,
+                                   const tline::LineParams& line, double k,
+                                   double f) {
+  line.validate();
+  if (!(k > 0.0)) throw std::domain_error("optimize_h_for_fixed_k: k must be > 0");
+  const RcOptimum rc = rc_optimum(rep, line.r, line.c);
+  const auto g = [&](double h) { return objective_or_inf(rep, line, h, k, f); };
+  // Bracket generously around the RC optimum; the RLC optimum moves h up by
+  // at most a small factor over the paper's sweep range.
+  const auto m = rlc::math::brent_minimize(g, 0.05 * rc.h, 10.0 * rc.h, 1e-10);
+  return pack_result(rep, line, m.x, k, f, m.converged);
+}
+
+OptimResult optimize_k_for_fixed_h(const Repeater& rep,
+                                   const tline::LineParams& line, double h,
+                                   double f) {
+  line.validate();
+  if (!(h > 0.0)) throw std::domain_error("optimize_k_for_fixed_h: h must be > 0");
+  const RcOptimum rc = rc_optimum(rep, line.r, line.c);
+  const auto g = [&](double k) { return objective_or_inf(rep, line, h, k, f); };
+  const auto m = rlc::math::brent_minimize(g, 0.02 * rc.k, 10.0 * rc.k, 1e-10);
+  return pack_result(rep, line, h, m.x, f, m.converged);
+}
+
+double energy_per_length(const Technology& tech, double h, double k) {
+  if (!(h > 0.0) || !(k > 0.0)) {
+    throw std::domain_error("energy_per_length: h and k must be > 0");
+  }
+  const double cap_per_len = tech.c + (tech.rep.c0 + tech.rep.cp) * k / h;
+  return cap_per_len * tech.vdd * tech.vdd;
+}
+
+double area_per_length(double h, double k) {
+  if (!(h > 0.0) || !(k > 0.0)) {
+    throw std::domain_error("area_per_length: h and k must be > 0");
+  }
+  return k / h;
+}
+
+std::vector<TradeoffPoint> delay_energy_tradeoff(const Technology& tech,
+                                                 double l, int n_points,
+                                                 double k_fraction_min,
+                                                 double f) {
+  if (n_points < 2 || !(k_fraction_min > 0.0 && k_fraction_min < 1.0)) {
+    throw std::invalid_argument("delay_energy_tradeoff: bad sweep spec");
+  }
+  OptimOptions opts;
+  opts.f = f;
+  const OptimResult best = optimize_rlc(tech, l, opts);
+  if (!best.converged) {
+    throw std::runtime_error("delay_energy_tradeoff: unconstrained solve failed");
+  }
+  std::vector<TradeoffPoint> out;
+  out.reserve(n_points);
+  for (int i = 0; i < n_points; ++i) {
+    const double frac =
+        k_fraction_min + (1.0 - k_fraction_min) * i / (n_points - 1);
+    const double k = frac * best.k;
+    const OptimResult r = optimize_h_for_fixed_k(tech.rep, tech.line(l), k, f);
+    if (!r.converged) continue;
+    TradeoffPoint p;
+    p.k = k;
+    p.h = r.h;
+    p.delay_per_length = r.delay_per_length;
+    p.energy_per_length = energy_per_length(tech, r.h, k);
+    p.area_per_length = area_per_length(r.h, k);
+    out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace rlc::core

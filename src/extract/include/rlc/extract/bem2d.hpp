@@ -1,0 +1,74 @@
+#pragma once
+
+/// \file bem2d.hpp
+/// 2D boundary-element (method of moments) electrostatic solver for
+/// per-unit-length capacitance of long parallel conductors above a ground
+/// plane in a homogeneous dielectric — the FASTCAP substitute used to
+/// reproduce the `c` column of the paper's Table 1.
+///
+/// Each conductor's boundary is discretized into flat panels carrying
+/// piecewise-constant line-charge density.  The potential kernel is the 2D
+/// free-space Green's function with the ground-plane image:
+///   G(p, q) = -(1/2 pi eps) [ ln|p - q| - ln|p - q*| ],  q* = image of q,
+/// so the plane y = 0 is an exact equipotential at zero.  Collocation at
+/// panel midpoints yields a dense system solved with LU; Maxwell capacitance
+/// matrix columns follow from unit-potential drives.
+
+#include <vector>
+
+#include "rlc/extract/geometry.hpp"
+#include "rlc/linalg/matrix.hpp"
+
+namespace rlc::extract {
+
+/// Straight boundary panel from (x1, y1) to (x2, y2), y > 0.
+struct Panel {
+  double x1 = 0.0, y1 = 0.0;
+  double x2 = 0.0, y2 = 0.0;
+
+  double length() const;
+  double xm() const { return 0.5 * (x1 + x2); }
+  double ym() const { return 0.5 * (y1 + y2); }
+};
+
+struct Bem2dOptions {
+  int panels_per_side = 24;  ///< panels per rectangle side (refine to converge)
+  double eps_r = 1.0;        ///< homogeneous relative permittivity
+  bool grade_panels = true;  ///< grade panel sizes toward corners (charge
+                             ///< density peaks there)
+};
+
+/// Potential at point (px, py) due to a unit line-charge density on `panel`
+/// *and its negative image* in the y = 0 plane, for eps = eps0*eps_r.
+/// Exposed for tests.
+double panel_potential(const Panel& panel, double px, double py, double eps);
+
+/// Discretize the boundary of a rectangle into panels.
+std::vector<Panel> panelize(const RectConductor& rect, const Bem2dOptions& opts);
+
+/// Discretize a circle (center height `h`, radius `a`) into an n-gon.
+std::vector<Panel> panelize_circle(double x_center, double height,
+                                   double radius, int n_panels);
+
+/// Maxwell capacitance matrix [F/m] for arbitrary panelized conductors:
+/// conductors[i] is the panel list of conductor i.  Entry (i, j) is the
+/// charge on conductor i per unit potential on conductor j (others
+/// grounded).  Diagonal positive, off-diagonals negative.
+rlc::linalg::MatrixD capacitance_matrix_panels(
+    const std::vector<std::vector<Panel>>& conductors, double eps_r);
+
+/// Maxwell capacitance matrix for rectangular wires above the plane.
+rlc::linalg::MatrixD capacitance_matrix(const std::vector<RectConductor>& wires,
+                                        const Bem2dOptions& opts = {});
+
+/// Total capacitance per unit length of wire `which` with every other wire
+/// AND the plane grounded: the Maxwell diagonal C(which, which).
+double total_capacitance(const std::vector<RectConductor>& wires, int which,
+                         const Bem2dOptions& opts = {});
+
+/// Analytic check case: capacitance per unit length of a circular cylinder
+/// of radius a with axis height h above a ground plane:
+///   C = 2 pi eps / acosh(h / a).
+double cylinder_over_plane_exact(double radius, double height, double eps_r);
+
+}  // namespace rlc::extract

@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file capacitance.hpp
+/// Closed-form (empirical) per-unit-length capacitance models for on-chip
+/// wires, used as fast estimates and as sanity bounds for the BEM solver:
+///   * parallel-plate,
+///   * Sakurai-Tamaru single microstrip over a plane,
+///   * Sakurai-Tamaru coupled lines (lateral coupling to neighbours),
+/// plus the Miller-effect switching-range helper motivating the paper's
+/// "effective line capacitance can vary by as much as 4x" remark.
+
+#include "rlc/extract/geometry.hpp"
+
+namespace rlc::extract {
+
+/// Parallel-plate capacitance per unit length: eps * w / d [F/m].
+double parallel_plate(double width, double separation, double eps_r);
+
+/// Sakurai-Tamaru single-line formula (wire width w, thickness t, height h
+/// above plane):  C/eps = 1.15 (w/h) + 2.80 (t/h)^0.222.
+/// Valid roughly for 0.3 < w/h < 30 and 0.3 < t/h < 10.
+double sakurai_tamaru_single(double width, double thickness, double height,
+                             double eps_r);
+
+/// Sakurai-Tamaru line-to-line coupling capacitance per side for two
+/// parallel wires with edge-to-edge spacing s:
+///   Cc/eps = [0.03 (w/h) + 0.83 (t/h) - 0.07 (t/h)^0.222] (s/h)^-1.34.
+double sakurai_tamaru_coupling(double width, double thickness, double height,
+                               double spacing, double eps_r);
+
+/// Total capacitance of the middle wire of a 3-wire bus using the
+/// Sakurai-Tamaru formulas: ground term + 2 coupling terms.
+double sakurai_tamaru_bus_middle(double width, double thickness, double height,
+                                 double pitch, double eps_r);
+
+/// Switching-dependent effective capacitance range (Miller effect,
+/// Section 3): with ground capacitance cg and per-side coupling cc,
+/// the effective capacitance of a victim spans
+///   [cg (both neighbours switch in phase) .. cg + 4 cc (both anti-phase)].
+struct MillerRange {
+  double c_min = 0.0;
+  double c_nominal = 0.0;  ///< quiet neighbours: cg + 2 cc
+  double c_max = 0.0;
+};
+MillerRange miller_range(double cg, double cc_per_side);
+
+}  // namespace rlc::extract

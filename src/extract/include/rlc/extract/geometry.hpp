@@ -1,0 +1,31 @@
+#pragma once
+
+/// \file geometry.hpp
+/// 2D cross-section geometry for per-unit-length RLC extraction of long
+/// parallel on-chip wires.  The x axis runs along the wire pitch, the y axis
+/// is vertical; a perfect ground plane lies at y = 0 (the substrate or an
+/// orthogonally-routed dense metal layer below).
+
+#include <vector>
+
+namespace rlc::extract {
+
+/// Axis-aligned rectangular conductor cross-section.
+struct RectConductor {
+  double x_center = 0.0;  ///< [m]
+  double y_bottom = 0.0;  ///< height of the bottom face above the plane [m]
+  double width = 0.0;     ///< [m]
+  double thickness = 0.0; ///< [m]
+
+  double x_left() const { return x_center - 0.5 * width; }
+  double x_right() const { return x_center + 0.5 * width; }
+  double y_top() const { return y_bottom + thickness; }
+  double y_center() const { return y_bottom + 0.5 * thickness; }
+};
+
+/// A parallel-bus cross section: `n` identical wires at the given pitch,
+/// all `height` above the ground plane (paper Table 1 geometry).
+std::vector<RectConductor> parallel_bus(int n, double width, double thickness,
+                                        double pitch, double height);
+
+}  // namespace rlc::extract

@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file inductance.hpp
+/// Partial- and loop-inductance estimation for on-chip wires — the
+/// FASTHENRY substitute.  The paper treats the per-unit-length inductance l
+/// as a swept parameter (0..5 nH/mm) precisely because the current return
+/// path — and hence the loop inductance — depends on distant topology and
+/// switching activity; these formulas show that range is physical:
+///   * Ruehli/Grover partial self-inductance of a rectangular bar,
+///   * partial mutual inductance of parallel filaments (GMD form),
+///   * loop inductance of a wire over a return plane / explicit return wire.
+
+#include <vector>
+
+#include "rlc/linalg/matrix.hpp"
+
+namespace rlc::extract {
+
+/// Partial self-inductance [H] of a rectangular bar of length len, width w,
+/// thickness t (Ruehli's approximation, len >> w + t):
+///   L = (mu0 len / 2 pi) [ ln(2 len / (w + t)) + 0.5 + 0.2235 (w + t)/len ].
+double partial_self_inductance(double length, double width, double thickness);
+
+/// Partial mutual inductance [H] between two parallel filaments of length
+/// len separated by center distance d (Grover):
+///   M = (mu0 len / 2 pi) [ ln(len/d + sqrt(1 + (len/d)^2))
+///                          - sqrt(1 + (d/len)^2) + d/len ].
+double partial_mutual_inductance(double length, double distance);
+
+/// Geometric mean distance of a rectangular cross-section from itself:
+/// GMD ~ 0.22313 (w + t) (used to map rectangles onto equivalent filaments).
+double rect_self_gmd(double width, double thickness);
+
+/// Loop inductance per unit length [H/m] of a wire (equivalent radius from
+/// the GMD) with its return current in a perfect plane at distance h below
+/// the wire axis (image method):  l = (mu0 / 2 pi) acosh(h / r_eff).
+double loop_inductance_over_plane(double width, double thickness,
+                                  double height_above_plane);
+
+/// Loop inductance per unit length [H/m] of a wire with an explicit return
+/// wire at center-to-center distance d (both same cross-section):
+///   l = (mu0 / pi) ln(d / r_eff).
+double loop_inductance_wire_pair(double width, double thickness,
+                                 double distance);
+
+/// Per-unit-length partial self-inductance [H/m] of a wire *segment* of the
+/// given length (partial inductance grows logarithmically with segment
+/// length — the reason "inductance per unit length" is ill-defined without a
+/// return path, Section 1.1).
+double partial_self_per_length(double segment_length, double width,
+                               double thickness);
+
+/// Partial inductance matrix [H] of parallel same-length wires at the given
+/// x positions (self terms via Ruehli's rectangle formula, mutual terms via
+/// Grover's parallel-filament formula with center-to-center distances) —
+/// the per-bus view a FASTHENRY run would produce for straight segments.
+/// positions.size() >= 1; length, width, thickness > 0.
+rlc::linalg::MatrixD partial_inductance_matrix(
+    const std::vector<double>& positions, double segment_length, double width,
+    double thickness);
+
+/// Loop inductance [H] of a signal/return pair read out of a partial
+/// matrix:  L_loop = L_ss + L_rr - 2 L_sr.
+double loop_from_partial(const rlc::linalg::MatrixD& partial, int signal,
+                         int ret);
+
+}  // namespace rlc::extract

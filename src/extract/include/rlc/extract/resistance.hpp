@@ -1,0 +1,28 @@
+#pragma once
+
+/// \file resistance.hpp
+/// Wire resistance per unit length, temperature dependence, and the skin
+/// depth used to check that the DC resistance model is adequate at the
+/// frequencies of interest (for the paper's top-metal geometry skin effect
+/// is marginal below ~10 GHz, Section 1.1).
+
+namespace rlc::extract {
+
+/// DC resistance per unit length [Ohm/m]: rho / (w * t).
+double resistance_per_length(double resistivity, double width,
+                             double thickness);
+
+/// Resistivity at temperature T [K] with linear TCR alpha [1/K] around
+/// a reference temperature T0:  rho(T) = rho0 (1 + alpha (T - T0)).
+double resistivity_at_temperature(double rho0, double alpha, double t_ref,
+                                  double t);
+
+/// Skin depth [m] at frequency f [Hz]: sqrt(rho / (pi f mu0)).
+double skin_depth(double resistivity, double frequency);
+
+/// True if the conductor cross-section is thin compared to the skin depth
+/// at f (DC resistance model valid): min(w, t)/2 < delta.
+bool dc_resistance_valid(double resistivity, double width, double thickness,
+                         double frequency);
+
+}  // namespace rlc::extract

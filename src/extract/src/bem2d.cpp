@@ -1,0 +1,182 @@
+#include "rlc/extract/bem2d.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "rlc/linalg/lu.hpp"
+#include "rlc/math/constants.hpp"
+
+namespace rlc::extract {
+
+namespace {
+
+/// Antiderivative of ln sqrt(w^2 + v^2) dw:
+///   F(w) = 0.5 [ w ln(w^2 + v^2) - 2w + 2v atan(w / v) ]   (v != 0)
+///   F(w) = w ln|w| - w                                      (v == 0)
+double log_kernel_antiderivative(double w, double v) {
+  if (v == 0.0) {
+    if (w == 0.0) return 0.0;
+    return w * std::log(std::abs(w)) - w;
+  }
+  return 0.5 * (w * std::log(w * w + v * v) - 2.0 * w) + v * std::atan(w / v);
+}
+
+/// Integral of ln|p - q| over the segment, in local (u, v) coordinates:
+/// u = along-panel coordinate of p, v = perpendicular offset, L = length.
+double log_integral(double u, double v, double L) {
+  return log_kernel_antiderivative(L - u, v) - log_kernel_antiderivative(-u, v);
+}
+
+}  // namespace
+
+double Panel::length() const {
+  const double dx = x2 - x1, dy = y2 - y1;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+double panel_potential(const Panel& panel, double px, double py, double eps) {
+  const double L = panel.length();
+  if (!(L > 0.0)) throw std::domain_error("panel_potential: zero-length panel");
+  const double tx = (panel.x2 - panel.x1) / L;
+  const double ty = (panel.y2 - panel.y1) / L;
+  // Direct panel.
+  double rx = px - panel.x1, ry = py - panel.y1;
+  const double u_d = rx * tx + ry * ty;
+  const double v_d = -rx * ty + ry * tx;
+  const double I_direct = log_integral(u_d, v_d, L);
+  // Image panel: (x, y) -> (x, -y); same length, mirrored tangent.
+  const double txi = tx, tyi = -ty;
+  rx = px - panel.x1;
+  ry = py + panel.y1;
+  const double u_i = rx * txi + ry * tyi;
+  const double v_i = -rx * tyi + ry * txi;
+  const double I_image = log_integral(u_i, v_i, L);
+  return -(I_direct - I_image) / (2.0 * rlc::math::kPi * eps);
+}
+
+namespace {
+
+/// Split [0, 1] into n cosine-graded intervals (finer near both ends).
+std::vector<double> graded_breaks(int n, bool graded) {
+  std::vector<double> b(n + 1);
+  for (int i = 0; i <= n; ++i) {
+    const double f = static_cast<double>(i) / n;
+    b[i] = graded ? 0.5 * (1.0 - std::cos(rlc::math::kPi * f)) : f;
+  }
+  return b;
+}
+
+void add_side(std::vector<Panel>& out, double xa, double ya, double xb,
+              double yb, int n, bool graded) {
+  const auto br = graded_breaks(n, graded);
+  for (int i = 0; i < n; ++i) {
+    Panel p;
+    p.x1 = xa + (xb - xa) * br[i];
+    p.y1 = ya + (yb - ya) * br[i];
+    p.x2 = xa + (xb - xa) * br[i + 1];
+    p.y2 = ya + (yb - ya) * br[i + 1];
+    out.push_back(p);
+  }
+}
+
+}  // namespace
+
+std::vector<Panel> panelize(const RectConductor& rect,
+                            const Bem2dOptions& opts) {
+  if (!(rect.width > 0.0 && rect.thickness > 0.0 && rect.y_bottom > 0.0)) {
+    throw std::domain_error("panelize: rectangle must have w, t > 0 and lie above the plane");
+  }
+  std::vector<Panel> panels;
+  const int n = opts.panels_per_side;
+  panels.reserve(static_cast<std::size_t>(4) * n);
+  const double xl = rect.x_left(), xr = rect.x_right();
+  const double yb = rect.y_bottom, yt = rect.y_top();
+  add_side(panels, xl, yb, xr, yb, n, opts.grade_panels);  // bottom
+  add_side(panels, xr, yb, xr, yt, n, opts.grade_panels);  // right
+  add_side(panels, xr, yt, xl, yt, n, opts.grade_panels);  // top
+  add_side(panels, xl, yt, xl, yb, n, opts.grade_panels);  // left
+  return panels;
+}
+
+std::vector<Panel> panelize_circle(double x_center, double height,
+                                   double radius, int n_panels) {
+  if (!(radius > 0.0 && height > radius && n_panels >= 3)) {
+    throw std::domain_error("panelize_circle: need 0 < a < h and n >= 3");
+  }
+  std::vector<Panel> panels;
+  panels.reserve(n_panels);
+  for (int i = 0; i < n_panels; ++i) {
+    const double a0 = 2.0 * rlc::math::kPi * i / n_panels;
+    const double a1 = 2.0 * rlc::math::kPi * (i + 1) / n_panels;
+    Panel p;
+    p.x1 = x_center + radius * std::cos(a0);
+    p.y1 = height + radius * std::sin(a0);
+    p.x2 = x_center + radius * std::cos(a1);
+    p.y2 = height + radius * std::sin(a1);
+    panels.push_back(p);
+  }
+  return panels;
+}
+
+rlc::linalg::MatrixD capacitance_matrix_panels(
+    const std::vector<std::vector<Panel>>& conductors, double eps_r) {
+  const int nc = static_cast<int>(conductors.size());
+  if (nc == 0) throw std::invalid_argument("capacitance_matrix_panels: no conductors");
+  const double eps = rlc::math::kEps0 * eps_r;
+  // Flatten.
+  std::vector<const Panel*> all;
+  std::vector<int> owner;
+  for (int k = 0; k < nc; ++k) {
+    for (const Panel& p : conductors[k]) {
+      all.push_back(&p);
+      owner.push_back(k);
+    }
+  }
+  const std::size_t np = all.size();
+  // Collocation system: P sigma = V at panel midpoints.
+  rlc::linalg::MatrixD P(np, np);
+  for (std::size_t i = 0; i < np; ++i) {
+    const double px = all[i]->xm(), py = all[i]->ym();
+    for (std::size_t j = 0; j < np; ++j) {
+      P(i, j) = panel_potential(*all[j], px, py, eps);
+    }
+  }
+  const rlc::linalg::LUD lu(P);
+  rlc::linalg::MatrixD C(nc, nc);
+  std::vector<double> v(np);
+  for (int drive = 0; drive < nc; ++drive) {
+    for (std::size_t i = 0; i < np; ++i) v[i] = (owner[i] == drive) ? 1.0 : 0.0;
+    const auto sigma = lu.solve(v);
+    for (std::size_t j = 0; j < np; ++j) {
+      C(owner[j], drive) += sigma[j] * all[j]->length();
+    }
+  }
+  return C;
+}
+
+rlc::linalg::MatrixD capacitance_matrix(const std::vector<RectConductor>& wires,
+                                        const Bem2dOptions& opts) {
+  std::vector<std::vector<Panel>> conductors;
+  conductors.reserve(wires.size());
+  for (const auto& w : wires) conductors.push_back(panelize(w, opts));
+  return capacitance_matrix_panels(conductors, opts.eps_r);
+}
+
+double total_capacitance(const std::vector<RectConductor>& wires, int which,
+                         const Bem2dOptions& opts) {
+  if (which < 0 || which >= static_cast<int>(wires.size())) {
+    throw std::out_of_range("total_capacitance: conductor index out of range");
+  }
+  const auto C = capacitance_matrix(wires, opts);
+  return C(which, which);
+}
+
+double cylinder_over_plane_exact(double radius, double height, double eps_r) {
+  if (!(radius > 0.0 && height > radius)) {
+    throw std::domain_error("cylinder_over_plane_exact: need 0 < a < h");
+  }
+  return 2.0 * rlc::math::kPi * rlc::math::kEps0 * eps_r /
+         std::acosh(height / radius);
+}
+
+}  // namespace rlc::extract

@@ -1,0 +1,69 @@
+#include "rlc/extract/capacitance.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "rlc/math/constants.hpp"
+
+namespace rlc::extract {
+
+namespace {
+void require_positive(double v, const char* what) {
+  if (!(v > 0.0)) throw std::domain_error(std::string("capacitance: ") + what + " must be > 0");
+}
+}  // namespace
+
+double parallel_plate(double width, double separation, double eps_r) {
+  require_positive(width, "width");
+  require_positive(separation, "separation");
+  require_positive(eps_r, "eps_r");
+  return rlc::math::kEps0 * eps_r * width / separation;
+}
+
+double sakurai_tamaru_single(double width, double thickness, double height,
+                             double eps_r) {
+  require_positive(width, "width");
+  require_positive(thickness, "thickness");
+  require_positive(height, "height");
+  require_positive(eps_r, "eps_r");
+  const double wh = width / height;
+  const double th = thickness / height;
+  return rlc::math::kEps0 * eps_r * (1.15 * wh + 2.80 * std::pow(th, 0.222));
+}
+
+double sakurai_tamaru_coupling(double width, double thickness, double height,
+                               double spacing, double eps_r) {
+  require_positive(width, "width");
+  require_positive(thickness, "thickness");
+  require_positive(height, "height");
+  require_positive(spacing, "spacing");
+  require_positive(eps_r, "eps_r");
+  const double wh = width / height;
+  const double th = thickness / height;
+  const double sh = spacing / height;
+  const double base = 0.03 * wh + 0.83 * th - 0.07 * std::pow(th, 0.222);
+  return rlc::math::kEps0 * eps_r * base * std::pow(sh, -1.34);
+}
+
+double sakurai_tamaru_bus_middle(double width, double thickness, double height,
+                                 double pitch, double eps_r) {
+  if (!(pitch > width)) {
+    throw std::domain_error("sakurai_tamaru_bus_middle: pitch must exceed width");
+  }
+  const double spacing = pitch - width;
+  return sakurai_tamaru_single(width, thickness, height, eps_r) +
+         2.0 * sakurai_tamaru_coupling(width, thickness, height, spacing, eps_r);
+}
+
+MillerRange miller_range(double cg, double cc_per_side) {
+  if (!(cg >= 0.0) || !(cc_per_side >= 0.0)) {
+    throw std::domain_error("miller_range: capacitances must be >= 0");
+  }
+  MillerRange r;
+  r.c_min = cg;                          // both neighbours switch with victim
+  r.c_nominal = cg + 2.0 * cc_per_side;  // quiet neighbours
+  r.c_max = cg + 4.0 * cc_per_side;      // both neighbours switch against
+  return r;
+}
+
+}  // namespace rlc::extract

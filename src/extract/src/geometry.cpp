@@ -1,0 +1,27 @@
+#include "rlc/extract/geometry.hpp"
+
+#include <stdexcept>
+
+namespace rlc::extract {
+
+std::vector<RectConductor> parallel_bus(int n, double width, double thickness,
+                                        double pitch, double height) {
+  if (n < 1 || !(width > 0.0 && thickness > 0.0 && height > 0.0) ||
+      !(pitch > width)) {
+    throw std::domain_error("parallel_bus: invalid bus geometry");
+  }
+  std::vector<RectConductor> wires;
+  wires.reserve(n);
+  const double x0 = -0.5 * (n - 1) * pitch;
+  for (int i = 0; i < n; ++i) {
+    RectConductor w;
+    w.x_center = x0 + i * pitch;
+    w.y_bottom = height;
+    w.width = width;
+    w.thickness = thickness;
+    wires.push_back(w);
+  }
+  return wires;
+}
+
+}  // namespace rlc::extract

@@ -1,0 +1,101 @@
+#include "rlc/extract/inductance.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "rlc/math/constants.hpp"
+
+namespace rlc::extract {
+
+namespace {
+constexpr double kMu0Over2Pi = rlc::math::kMu0 / (2.0 * rlc::math::kPi);
+
+void require_positive(double v, const char* what) {
+  if (!(v > 0.0)) {
+    throw std::domain_error(std::string("inductance: ") + what + " must be > 0");
+  }
+}
+}  // namespace
+
+double partial_self_inductance(double length, double width, double thickness) {
+  require_positive(length, "length");
+  require_positive(width, "width");
+  require_positive(thickness, "thickness");
+  const double wt = width + thickness;
+  return kMu0Over2Pi * length *
+         (std::log(2.0 * length / wt) + 0.5 + 0.2235 * wt / length);
+}
+
+double partial_mutual_inductance(double length, double distance) {
+  require_positive(length, "length");
+  require_positive(distance, "distance");
+  const double ld = length / distance;
+  return kMu0Over2Pi * length *
+         (std::log(ld + std::sqrt(1.0 + ld * ld)) -
+          std::sqrt(1.0 + 1.0 / (ld * ld)) + 1.0 / ld);
+}
+
+double rect_self_gmd(double width, double thickness) {
+  require_positive(width, "width");
+  require_positive(thickness, "thickness");
+  return 0.22313 * (width + thickness);
+}
+
+double loop_inductance_over_plane(double width, double thickness,
+                                  double height_above_plane) {
+  const double r_eff = rect_self_gmd(width, thickness);
+  if (!(height_above_plane > r_eff)) {
+    throw std::domain_error(
+        "loop_inductance_over_plane: height must exceed the effective radius");
+  }
+  return kMu0Over2Pi * std::acosh(height_above_plane / r_eff);
+}
+
+double loop_inductance_wire_pair(double width, double thickness,
+                                 double distance) {
+  const double r_eff = rect_self_gmd(width, thickness);
+  if (!(distance > r_eff)) {
+    throw std::domain_error(
+        "loop_inductance_wire_pair: distance must exceed the effective radius");
+  }
+  return 2.0 * kMu0Over2Pi * std::log(distance / r_eff);
+}
+
+double partial_self_per_length(double segment_length, double width,
+                               double thickness) {
+  return partial_self_inductance(segment_length, width, thickness) /
+         segment_length;
+}
+
+rlc::linalg::MatrixD partial_inductance_matrix(
+    const std::vector<double>& positions, double segment_length, double width,
+    double thickness) {
+  if (positions.empty()) {
+    throw std::domain_error("partial_inductance_matrix: need >= 1 wire");
+  }
+  const std::size_t n = positions.size();
+  rlc::linalg::MatrixD L(n, n);
+  const double self = partial_self_inductance(segment_length, width, thickness);
+  for (std::size_t i = 0; i < n; ++i) {
+    L(i, i) = self;
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double d = std::abs(positions[i] - positions[j]);
+      const double m = partial_mutual_inductance(segment_length, d);
+      L(i, j) = m;
+      L(j, i) = m;
+    }
+  }
+  return L;
+}
+
+double loop_from_partial(const rlc::linalg::MatrixD& partial, int signal,
+                         int ret) {
+  const auto n = static_cast<int>(partial.rows());
+  if (signal < 0 || ret < 0 || signal >= n || ret >= n || signal == ret) {
+    throw std::out_of_range("loop_from_partial: bad wire indices");
+  }
+  return partial(signal, signal) + partial(ret, ret) -
+         2.0 * partial(signal, ret);
+}
+
+}  // namespace rlc::extract

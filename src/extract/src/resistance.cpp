@@ -1,0 +1,38 @@
+#include "rlc/extract/resistance.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "rlc/math/constants.hpp"
+
+namespace rlc::extract {
+
+double resistance_per_length(double resistivity, double width,
+                             double thickness) {
+  if (!(resistivity > 0.0 && width > 0.0 && thickness > 0.0)) {
+    throw std::domain_error("resistance_per_length: inputs must be > 0");
+  }
+  return resistivity / (width * thickness);
+}
+
+double resistivity_at_temperature(double rho0, double alpha, double t_ref,
+                                  double t) {
+  if (!(rho0 > 0.0)) throw std::domain_error("resistivity_at_temperature: rho0 must be > 0");
+  return rho0 * (1.0 + alpha * (t - t_ref));
+}
+
+double skin_depth(double resistivity, double frequency) {
+  if (!(resistivity > 0.0 && frequency > 0.0)) {
+    throw std::domain_error("skin_depth: inputs must be > 0");
+  }
+  return std::sqrt(resistivity / (rlc::math::kPi * frequency * rlc::math::kMu0));
+}
+
+bool dc_resistance_valid(double resistivity, double width, double thickness,
+                         double frequency) {
+  const double delta = skin_depth(resistivity, frequency);
+  return 0.5 * std::min(width, thickness) < delta;
+}
+
+}  // namespace rlc::extract

@@ -1,0 +1,22 @@
+#pragma once
+
+/// \file stehfest.hpp
+/// Gaver–Stehfest inverse Laplace transform.  Only needs F on the real
+/// axis, which makes it a useful independent cross-check of the Talbot
+/// inversion for smooth (non-oscillatory) responses; it is known to lose
+/// accuracy for strongly underdamped responses, which the tests document.
+
+#include <functional>
+#include <vector>
+
+namespace rlc::laplace {
+
+/// Invert F (real-axis samples only) at time t > 0 using N terms
+/// (N even, typically 12-18; larger N amplifies roundoff).
+double stehfest_invert(const std::function<double(double)>& F_real, double t,
+                       int N = 14);
+
+/// Stehfest weights V_k for given even N (exposed for tests).
+std::vector<double> stehfest_weights(int N);
+
+}  // namespace rlc::laplace

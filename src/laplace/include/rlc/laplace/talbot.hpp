@@ -1,0 +1,30 @@
+#pragma once
+
+/// \file talbot.hpp
+/// Numerical inverse Laplace transform by the fixed-Talbot method
+/// (Abate & Valko).  Used to recover the *exact* time-domain step response
+/// of the driver-interconnect-load structure from Eq. (1) so the accuracy of
+/// the second-order Pade model can be quantified (DESIGN.md, ablation 1).
+///
+/// Requirements: F(s) analytic for Re(s) > 0 with all singularities in the
+/// open left half-plane (true for the passive RC/RLC structures here) and
+/// f real-valued.
+
+#include <complex>
+#include <functional>
+#include <vector>
+
+namespace rlc::laplace {
+
+/// F: Laplace-domain function; must accept complex s with Re(s) > 0.
+using LaplaceFn = std::function<std::complex<double>(std::complex<double>)>;
+
+/// Invert F at a single time t > 0 with M Talbot contour points.
+/// M ~ 32-64 gives ~10-12 significant digits for smooth f.
+double talbot_invert(const LaplaceFn& F, double t, int M = 48);
+
+/// Invert F on a vector of time points (each independent).
+std::vector<double> talbot_invert(const LaplaceFn& F,
+                                  const std::vector<double>& times, int M = 48);
+
+}  // namespace rlc::laplace

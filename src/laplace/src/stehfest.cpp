@@ -1,0 +1,44 @@
+#include "rlc/laplace/stehfest.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rlc::laplace {
+
+std::vector<double> stehfest_weights(int N) {
+  if (N < 2 || N % 2 != 0) {
+    throw std::invalid_argument("stehfest_weights: N must be even and >= 2");
+  }
+  auto factorial = [](int m) {
+    double f = 1.0;
+    for (int i = 2; i <= m; ++i) f *= i;
+    return f;
+  };
+  std::vector<double> v(N + 1, 0.0);  // 1-based
+  const int half = N / 2;
+  for (int k = 1; k <= N; ++k) {
+    double sum = 0.0;
+    const int jmin = (k + 1) / 2;
+    const int jmax = std::min(k, half);
+    for (int j = jmin; j <= jmax; ++j) {
+      const double num = std::pow(static_cast<double>(j), half) * factorial(2 * j);
+      const double den = factorial(half - j) * factorial(j) * factorial(j - 1) *
+                         factorial(k - j) * factorial(2 * j - k);
+      sum += num / den;
+    }
+    v[k] = ((k + half) % 2 == 0 ? 1.0 : -1.0) * sum;
+  }
+  return v;
+}
+
+double stehfest_invert(const std::function<double(double)>& F_real, double t,
+                       int N) {
+  if (!(t > 0.0)) throw std::invalid_argument("stehfest_invert: t must be > 0");
+  const auto v = stehfest_weights(N);
+  const double ln2_t = std::log(2.0) / t;
+  double acc = 0.0;
+  for (int k = 1; k <= N; ++k) acc += v[k] * F_real(k * ln2_t);
+  return acc * ln2_t;
+}
+
+}  // namespace rlc::laplace

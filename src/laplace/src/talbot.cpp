@@ -1,0 +1,37 @@
+#include "rlc/laplace/talbot.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "rlc/math/constants.hpp"
+
+namespace rlc::laplace {
+
+double talbot_invert(const LaplaceFn& F, double t, int M) {
+  if (!(t > 0.0)) throw std::invalid_argument("talbot_invert: t must be > 0");
+  if (M < 4) throw std::invalid_argument("talbot_invert: M must be >= 4");
+  using cplx = std::complex<double>;
+  const double r = 2.0 * M / (5.0 * t);
+  // theta = 0 term: s = r (real), contribution 0.5 * exp(r t) * F(r) * r.
+  double acc = 0.5 * std::exp(r * t) * F(cplx{r, 0.0}).real();
+  for (int k = 1; k < M; ++k) {
+    const double theta = k * rlc::math::kPi / M;
+    const double cot = std::cos(theta) / std::sin(theta);
+    const cplx s{r * theta * cot, r * theta};
+    // sigma(theta) = theta + (theta*cot - 1)*cot
+    const double sigma = theta + (theta * cot - 1.0) * cot;
+    const cplx amp = std::exp(s * t) * F(s) * cplx{1.0, sigma};
+    acc += amp.real();
+  }
+  return acc * r / M;
+}
+
+std::vector<double> talbot_invert(const LaplaceFn& F,
+                                  const std::vector<double>& times, int M) {
+  std::vector<double> out;
+  out.reserve(times.size());
+  for (double t : times) out.push_back(talbot_invert(F, t, M));
+  return out;
+}
+
+}  // namespace rlc::laplace

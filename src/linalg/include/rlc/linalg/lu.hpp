@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file lu.hpp
+/// Dense LU factorization with partial (row) pivoting and solve, for double
+/// and complex<double>.  Throws std::runtime_error on numerically singular
+/// input.
+
+#include <complex>
+#include <vector>
+
+#include "rlc/linalg/matrix.hpp"
+
+namespace rlc::linalg {
+
+/// In-place LU with partial pivoting.  After construction, solve() may be
+/// called repeatedly for multiple right-hand sides.
+template <typename T>
+class LU {
+ public:
+  /// Factor A (copied).  Throws std::runtime_error if singular.
+  explicit LU(const Matrix<T>& A);
+
+  /// Solve A x = b.
+  std::vector<T> solve(const std::vector<T>& b) const;
+
+  std::size_t size() const { return n_; }
+
+ private:
+  std::size_t n_ = 0;
+  Matrix<T> lu_;
+  std::vector<std::size_t> perm_;
+};
+
+extern template class LU<double>;
+extern template class LU<std::complex<double>>;
+
+using LUD = LU<double>;
+using LUC = LU<std::complex<double>>;
+
+}  // namespace rlc::linalg

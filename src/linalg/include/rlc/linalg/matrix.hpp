@@ -1,0 +1,70 @@
+#pragma once
+
+/// \file matrix.hpp
+/// Dense row-major matrix over double or complex<double>.  Used by the BEM
+/// capacitance extractor (dense boundary-element systems) and by small MNA
+/// problems; large circuit matrices go through the sparse path instead.
+
+#include <complex>
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace rlc::linalg {
+
+template <typename T>
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, T init = T{})
+      : rows_(rows), cols_(cols), data_(rows * cols, init) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  T& operator()(std::size_t i, std::size_t j) { return data_[i * cols_ + j]; }
+  const T& operator()(std::size_t i, std::size_t j) const {
+    return data_[i * cols_ + j];
+  }
+
+  /// Bounds-checked access.
+  T& at(std::size_t i, std::size_t j) {
+    check(i, j);
+    return data_[i * cols_ + j];
+  }
+  const T& at(std::size_t i, std::size_t j) const {
+    check(i, j);
+    return data_[i * cols_ + j];
+  }
+
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+
+  /// y = A * x.
+  std::vector<T> multiply(const std::vector<T>& x) const {
+    if (x.size() != cols_) throw std::invalid_argument("Matrix::multiply: size mismatch");
+    std::vector<T> y(rows_, T{});
+    for (std::size_t i = 0; i < rows_; ++i) {
+      T acc{};
+      for (std::size_t j = 0; j < cols_; ++j) acc += (*this)(i, j) * x[j];
+      y[i] = acc;
+    }
+    return y;
+  }
+
+  /// Fill with zero.
+  void set_zero() { std::fill(data_.begin(), data_.end(), T{}); }
+
+ private:
+  void check(std::size_t i, std::size_t j) const {
+    if (i >= rows_ || j >= cols_) throw std::out_of_range("Matrix: index out of range");
+  }
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<T> data_;
+};
+
+using MatrixD = Matrix<double>;
+using MatrixC = Matrix<std::complex<double>>;
+
+}  // namespace rlc::linalg

@@ -1,0 +1,83 @@
+#pragma once
+
+/// \file sparse.hpp
+/// Sparse matrix support: triplet (COO) assembly and compressed sparse
+/// column storage.  Circuit (MNA) matrices are assembled as triplets —
+/// device stamps simply append — and compressed once per topology.
+
+#include <cstddef>
+#include <vector>
+
+namespace rlc::linalg {
+
+/// One (row, col, value) entry; duplicates are summed on compression,
+/// matching the semantics of MNA device stamping.
+struct Triplet {
+  int row = 0;
+  int col = 0;
+  double value = 0.0;
+};
+
+/// Compressed sparse column matrix.
+class CscMatrix {
+ public:
+  CscMatrix() = default;
+
+  /// Build from triplets, summing duplicates and dropping explicit zeros
+  /// only if `drop_zeros` (MNA keeps them so the pattern stays stable
+  /// across refactorizations).
+  static CscMatrix from_triplets(int rows, int cols,
+                                 const std::vector<Triplet>& triplets,
+                                 bool drop_zeros = false);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  int nnz() const { return static_cast<int>(values_.size()); }
+
+  const std::vector<int>& col_ptr() const { return col_ptr_; }
+  const std::vector<int>& row_idx() const { return row_idx_; }
+  const std::vector<double>& values() const { return values_; }
+  std::vector<double>& values() { return values_; }
+
+  /// y = A * x (dense vector).
+  std::vector<double> multiply(const std::vector<double>& x) const;
+
+  /// Value at (i, j); 0 if not stored (linear scan of column j).
+  double at(int i, int j) const;
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<int> col_ptr_;   // size cols+1
+  std::vector<int> row_idx_;   // size nnz, sorted within each column
+  std::vector<double> values_; // size nnz
+};
+
+/// Caches the triplet-to-CSC slot mapping for repeated assemblies with an
+/// identical triplet structure — the classic SPICE "matrix pointer"
+/// optimization.  The first compress() builds the CSC matrix and records,
+/// for every triplet, the value slot it accumulates into; subsequent calls
+/// with the same (row, col) sequence skip sorting entirely and just scatter
+/// values.  A structural change is detected and triggers a rebuild.
+class TripletCompressor {
+ public:
+  /// Compress `triplets` into the cached CSC matrix and return it.  The
+  /// reference stays valid until the next call.
+  const CscMatrix& compress(int rows, int cols,
+                            const std::vector<Triplet>& triplets);
+
+  /// True if the last compress() reused the cached mapping.
+  bool reused() const { return reused_; }
+
+ private:
+  bool structure_matches(int rows, int cols,
+                         const std::vector<Triplet>& triplets) const;
+  CscMatrix matrix_;
+  std::vector<int> slot_;       // triplet index -> value slot
+  std::vector<int> sig_rows_;   // structure signature
+  std::vector<int> sig_cols_;
+  bool built_ = false;
+  bool reused_ = false;
+};
+
+}  // namespace rlc::linalg

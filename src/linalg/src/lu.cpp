@@ -1,0 +1,70 @@
+#include "rlc/linalg/lu.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace rlc::linalg {
+
+namespace {
+double magnitude(double v) { return std::abs(v); }
+double magnitude(const std::complex<double>& v) { return std::abs(v); }
+}  // namespace
+
+template <typename T>
+LU<T>::LU(const Matrix<T>& A) : n_(A.rows()), lu_(A), perm_(A.rows()) {
+  if (A.rows() != A.cols()) throw std::invalid_argument("LU: matrix must be square");
+  std::iota(perm_.begin(), perm_.end(), std::size_t{0});
+  for (std::size_t k = 0; k < n_; ++k) {
+    // Partial pivot: largest magnitude in column k at or below the diagonal.
+    std::size_t piv = k;
+    double best = magnitude(lu_(k, k));
+    for (std::size_t i = k + 1; i < n_; ++i) {
+      const double m = magnitude(lu_(i, k));
+      if (m > best) {
+        best = m;
+        piv = i;
+      }
+    }
+    if (best == 0.0 || !std::isfinite(best)) {
+      throw std::runtime_error("LU: matrix is singular to working precision");
+    }
+    if (piv != k) {
+      for (std::size_t j = 0; j < n_; ++j) std::swap(lu_(k, j), lu_(piv, j));
+      std::swap(perm_[k], perm_[piv]);
+    }
+    const T pivval = lu_(k, k);
+    for (std::size_t i = k + 1; i < n_; ++i) {
+      const T m = lu_(i, k) / pivval;
+      lu_(i, k) = m;
+      if (m != T{}) {
+        for (std::size_t j = k + 1; j < n_; ++j) lu_(i, j) -= m * lu_(k, j);
+      }
+    }
+  }
+}
+
+template <typename T>
+std::vector<T> LU<T>::solve(const std::vector<T>& b) const {
+  if (b.size() != n_) throw std::invalid_argument("LU::solve: size mismatch");
+  std::vector<T> x(n_);
+  // Apply permutation, then forward substitution (L has unit diagonal).
+  for (std::size_t i = 0; i < n_; ++i) x[i] = b[perm_[i]];
+  for (std::size_t i = 0; i < n_; ++i) {
+    T acc = x[i];
+    for (std::size_t j = 0; j < i; ++j) acc -= lu_(i, j) * x[j];
+    x[i] = acc;
+  }
+  // Back substitution.
+  for (std::size_t ii = n_; ii-- > 0;) {
+    T acc = x[ii];
+    for (std::size_t j = ii + 1; j < n_; ++j) acc -= lu_(ii, j) * x[j];
+    x[ii] = acc / lu_(ii, ii);
+  }
+  return x;
+}
+
+template class LU<double>;
+template class LU<std::complex<double>>;
+
+}  // namespace rlc::linalg

@@ -1,0 +1,8 @@
+#include "rlc/linalg/matrix.hpp"
+
+// Matrix<T> is fully inline; this translation unit pins explicit
+// instantiations so common instantiations compile once.
+namespace rlc::linalg {
+template class Matrix<double>;
+template class Matrix<std::complex<double>>;
+}  // namespace rlc::linalg

@@ -1,0 +1,129 @@
+#include "rlc/linalg/sparse.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rlc::linalg {
+
+CscMatrix CscMatrix::from_triplets(int rows, int cols,
+                                   const std::vector<Triplet>& triplets,
+                                   bool drop_zeros) {
+  CscMatrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  for (const auto& t : triplets) {
+    if (t.row < 0 || t.row >= rows || t.col < 0 || t.col >= cols) {
+      throw std::out_of_range("CscMatrix::from_triplets: index out of range");
+    }
+  }
+  // Count entries per column (before dedup).
+  std::vector<int> count(cols + 1, 0);
+  for (const auto& t : triplets) ++count[t.col + 1];
+  std::vector<int> start(cols + 1, 0);
+  for (int j = 0; j < cols; ++j) start[j + 1] = start[j] + count[j + 1];
+  // Scatter into per-column buckets.
+  std::vector<int> pos(start.begin(), start.end() - 1);
+  std::vector<int> ri(triplets.size());
+  std::vector<double> vx(triplets.size());
+  for (const auto& t : triplets) {
+    const int p = pos[t.col]++;
+    ri[p] = t.row;
+    vx[p] = t.value;
+  }
+  // Sort each column by row and sum duplicates.
+  m.col_ptr_.assign(cols + 1, 0);
+  std::vector<std::pair<int, double>> colbuf;
+  for (int j = 0; j < cols; ++j) {
+    colbuf.clear();
+    for (int p = start[j]; p < start[j + 1]; ++p) colbuf.emplace_back(ri[p], vx[p]);
+    std::sort(colbuf.begin(), colbuf.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (std::size_t i = 0; i < colbuf.size();) {
+      int r = colbuf[i].first;
+      double sum = 0.0;
+      std::size_t k = i;
+      while (k < colbuf.size() && colbuf[k].first == r) sum += colbuf[k++].second;
+      if (!(drop_zeros && sum == 0.0)) {
+        m.row_idx_.push_back(r);
+        m.values_.push_back(sum);
+      }
+      i = k;
+    }
+    m.col_ptr_[j + 1] = static_cast<int>(m.row_idx_.size());
+  }
+  return m;
+}
+
+std::vector<double> CscMatrix::multiply(const std::vector<double>& x) const {
+  if (static_cast<int>(x.size()) != cols_) {
+    throw std::invalid_argument("CscMatrix::multiply: size mismatch");
+  }
+  std::vector<double> y(rows_, 0.0);
+  for (int j = 0; j < cols_; ++j) {
+    const double xj = x[j];
+    if (xj == 0.0) continue;
+    for (int p = col_ptr_[j]; p < col_ptr_[j + 1]; ++p) {
+      y[row_idx_[p]] += values_[p] * xj;
+    }
+  }
+  return y;
+}
+
+bool TripletCompressor::structure_matches(
+    int rows, int cols, const std::vector<Triplet>& triplets) const {
+  if (!built_ || rows != matrix_.rows() || cols != matrix_.cols() ||
+      triplets.size() != sig_rows_.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < triplets.size(); ++i) {
+    if (triplets[i].row != sig_rows_[i] || triplets[i].col != sig_cols_[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+const CscMatrix& TripletCompressor::compress(
+    int rows, int cols, const std::vector<Triplet>& triplets) {
+  if (structure_matches(rows, cols, triplets)) {
+    auto& vals = matrix_.values();
+    std::fill(vals.begin(), vals.end(), 0.0);
+    for (std::size_t i = 0; i < triplets.size(); ++i) {
+      vals[slot_[i]] += triplets[i].value;
+    }
+    reused_ = true;
+    return matrix_;
+  }
+  // Rebuild: compress normally, then derive the triplet -> slot mapping by
+  // binary search within each (sorted) column.
+  matrix_ = CscMatrix::from_triplets(rows, cols, triplets);
+  slot_.resize(triplets.size());
+  sig_rows_.resize(triplets.size());
+  sig_cols_.resize(triplets.size());
+  const auto& cp = matrix_.col_ptr();
+  const auto& ri = matrix_.row_idx();
+  for (std::size_t i = 0; i < triplets.size(); ++i) {
+    const int c = triplets[i].col;
+    const auto begin = ri.begin() + cp[c];
+    const auto end = ri.begin() + cp[c + 1];
+    const auto it = std::lower_bound(begin, end, triplets[i].row);
+    slot_[i] = static_cast<int>(it - ri.begin());
+    sig_rows_[i] = triplets[i].row;
+    sig_cols_[i] = triplets[i].col;
+  }
+  built_ = true;
+  reused_ = false;
+  return matrix_;
+}
+
+double CscMatrix::at(int i, int j) const {
+  if (i < 0 || i >= rows_ || j < 0 || j >= cols_) {
+    throw std::out_of_range("CscMatrix::at: index out of range");
+  }
+  for (int p = col_ptr_[j]; p < col_ptr_[j + 1]; ++p) {
+    if (row_idx_[p] == i) return values_[p];
+  }
+  return 0.0;
+}
+
+}  // namespace rlc::linalg

@@ -1,0 +1,29 @@
+#pragma once
+
+/// \file constants.hpp
+/// Physical and mathematical constants used throughout the library.
+/// All values are SI.
+
+namespace rlc::math {
+
+/// pi to double precision.
+inline constexpr double kPi = 3.14159265358979323846;
+
+/// Vacuum permittivity eps0 [F/m].
+inline constexpr double kEps0 = 8.8541878128e-12;
+
+/// Vacuum permeability mu0 [H/m].
+inline constexpr double kMu0 = 1.25663706212e-6;
+
+/// Speed of light in vacuum [m/s].
+inline constexpr double kC0 = 2.99792458e8;
+
+/// Resistivity of bulk copper at room temperature [Ohm*m].
+/// (Thin-film/DSM copper with barrier liners is effectively higher; the
+/// technology database stores the effective per-unit-length resistance.)
+inline constexpr double kRhoCopper = 1.72e-8;
+
+/// Resistivity of aluminum at room temperature [Ohm*m].
+inline constexpr double kRhoAluminum = 2.82e-8;
+
+}  // namespace rlc::math

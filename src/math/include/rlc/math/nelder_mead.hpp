@@ -1,0 +1,34 @@
+#pragma once
+
+/// \file nelder_mead.hpp
+/// Derivative-free Nelder–Mead simplex minimization.  Used as an independent
+/// cross-check for the Newton-based (h, k) optimizer of the core library and
+/// as a fallback when the stationarity system is ill-conditioned.
+
+#include <functional>
+#include <vector>
+
+namespace rlc::math {
+
+struct NelderMeadOptions {
+  int max_iterations = 2000;
+  double f_tolerance = 1e-14;  ///< required f-spread at convergence
+  double x_tolerance = 1e-9;   ///< required simplex diameter (relative)
+  double initial_step = 0.1;   ///< relative size of the initial simplex
+};
+
+struct NelderMeadResult {
+  std::vector<double> x;
+  double fx = 0.0;
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Minimize f over R^n starting from x0.  Points where f returns a
+/// non-finite value are treated as +inf (allowing hard constraints by
+/// returning NaN/inf from f).
+NelderMeadResult nelder_mead(const std::function<double(const std::vector<double>&)>& f,
+                             std::vector<double> x0,
+                             const NelderMeadOptions& opts = {});
+
+}  // namespace rlc::math

@@ -1,0 +1,21 @@
+#pragma once
+
+/// \file quadrature.hpp
+/// Numerical integration: fixed-order Gauss–Legendre panels and adaptive
+/// Simpson.  Used by the BEM capacitance extractor (Galerkin integrals of the
+/// log-kernel) and by waveform RMS computations on non-uniform samples.
+
+#include <functional>
+
+namespace rlc::math {
+
+/// Integrate f over [a, b] with an n-point Gauss–Legendre rule
+/// (n in {2..8, 12, 16} supported; other values fall back to 16).
+double gauss_legendre(const std::function<double(double)>& f, double a,
+                      double b, int n = 8);
+
+/// Integrate f over [a, b] with adaptive Simpson to absolute tolerance tol.
+double adaptive_simpson(const std::function<double(double)>& f, double a,
+                        double b, double tol = 1e-10, int max_depth = 30);
+
+}  // namespace rlc::math

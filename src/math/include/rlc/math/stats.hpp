@@ -1,0 +1,33 @@
+#pragma once
+
+/// \file stats.hpp
+/// Statistics over sampled (possibly non-uniform) waveforms: peak, RMS,
+/// mean, min/max.  RMS and mean are time-weighted (trapezoidal) so they are
+/// correct for adaptive-step transient output.
+
+#include <cstddef>
+#include <span>
+
+namespace rlc::math {
+
+/// max_i |y_i| over the samples.
+double peak_abs(std::span<const double> y);
+
+/// max_i y_i.
+double maximum(std::span<const double> y);
+
+/// min_i y_i.
+double minimum(std::span<const double> y);
+
+/// Time-weighted mean of y(t) over [t.front(), t.back()], trapezoidal.
+/// Requires t strictly increasing and t.size() == y.size() >= 2.
+double mean_trapz(std::span<const double> t, std::span<const double> y);
+
+/// Time-weighted RMS of y(t): sqrt( (1/T) * integral y^2 dt ), trapezoidal
+/// on y^2.  Requirements as mean_trapz.
+double rms_trapz(std::span<const double> t, std::span<const double> y);
+
+/// Trapezoidal integral of y dt.
+double integral_trapz(std::span<const double> t, std::span<const double> y);
+
+}  // namespace rlc::math

@@ -1,0 +1,130 @@
+#include "rlc/math/nelder_mead.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace rlc::math {
+
+namespace {
+
+double safe_eval(const std::function<double(const std::vector<double>&)>& f,
+                 const std::vector<double>& x) {
+  const double v = f(x);
+  return std::isfinite(v) ? v : std::numeric_limits<double>::infinity();
+}
+
+}  // namespace
+
+NelderMeadResult nelder_mead(
+    const std::function<double(const std::vector<double>&)>& f,
+    std::vector<double> x0, const NelderMeadOptions& opts) {
+  const std::size_t n = x0.size();
+  NelderMeadResult res;
+  if (n == 0) return res;
+
+  // Standard coefficients.
+  constexpr double kAlpha = 1.0;  // reflection
+  constexpr double kGamma = 2.0;  // expansion
+  constexpr double kRho = 0.5;    // contraction
+  constexpr double kSigma = 0.5;  // shrink
+
+  std::vector<std::vector<double>> simplex(n + 1, x0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double step = opts.initial_step * std::abs(x0[i]);
+    if (step == 0.0) step = opts.initial_step;
+    simplex[i + 1][i] += step;
+  }
+  std::vector<double> fvals(n + 1);
+  for (std::size_t i = 0; i <= n; ++i) fvals[i] = safe_eval(f, simplex[i]);
+
+  std::vector<std::size_t> order(n + 1);
+  for (int it = 0; it < opts.max_iterations; ++it) {
+    res.iterations = it + 1;
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) { return fvals[a] < fvals[b]; });
+    const std::size_t best = order[0], worst = order[n], second = order[n - 1];
+
+    // Convergence: f-spread and simplex diameter.
+    const double fspread = std::abs(fvals[worst] - fvals[best]);
+    double diam = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      diam = std::max(diam, std::abs(simplex[worst][i] - simplex[best][i]) /
+                                (1.0 + std::abs(simplex[best][i])));
+    }
+    // Require BOTH the f-spread and the simplex diameter to be small: an
+    // f-spread-only test stops prematurely when the simplex straddles a
+    // minimum symmetrically (equal f at distinct points).
+    if (fspread <= opts.f_tolerance * (1.0 + std::abs(fvals[best])) &&
+        diam <= opts.x_tolerance) {
+      res.x = simplex[best];
+      res.fx = fvals[best];
+      res.converged = true;
+      return res;
+    }
+
+    // Centroid of all but the worst point.
+    std::vector<double> centroid(n, 0.0);
+    for (std::size_t i = 0; i <= n; ++i) {
+      if (i == worst) continue;
+      for (std::size_t j = 0; j < n; ++j) centroid[j] += simplex[i][j];
+    }
+    for (std::size_t j = 0; j < n; ++j) centroid[j] /= static_cast<double>(n);
+
+    auto blend = [&](double coef) {
+      std::vector<double> p(n);
+      for (std::size_t j = 0; j < n; ++j)
+        p[j] = centroid[j] + coef * (centroid[j] - simplex[worst][j]);
+      return p;
+    };
+
+    const auto xr = blend(kAlpha);
+    const double fr = safe_eval(f, xr);
+    if (fr < fvals[best]) {
+      const auto xe = blend(kGamma);
+      const double fe = safe_eval(f, xe);
+      if (fe < fr) {
+        simplex[worst] = xe;
+        fvals[worst] = fe;
+      } else {
+        simplex[worst] = xr;
+        fvals[worst] = fr;
+      }
+      continue;
+    }
+    if (fr < fvals[second]) {
+      simplex[worst] = xr;
+      fvals[worst] = fr;
+      continue;
+    }
+    // Contraction (outside if fr better than worst, inside otherwise).
+    const double ccoef = (fr < fvals[worst]) ? kRho : -kRho;
+    const auto xc = blend(ccoef);
+    const double fc = safe_eval(f, xc);
+    if (fc < std::min(fr, fvals[worst])) {
+      simplex[worst] = xc;
+      fvals[worst] = fc;
+      continue;
+    }
+    // Shrink toward the best point.
+    for (std::size_t i = 0; i <= n; ++i) {
+      if (i == best) continue;
+      for (std::size_t j = 0; j < n; ++j) {
+        simplex[i][j] =
+            simplex[best][j] + kSigma * (simplex[i][j] - simplex[best][j]);
+      }
+      fvals[i] = safe_eval(f, simplex[i]);
+    }
+  }
+  std::size_t best = 0;
+  for (std::size_t i = 1; i <= n; ++i)
+    if (fvals[i] < fvals[best]) best = i;
+  res.x = simplex[best];
+  res.fx = fvals[best];
+  res.converged = false;
+  return res;
+}
+
+}  // namespace rlc::math

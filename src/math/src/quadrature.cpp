@@ -1,0 +1,128 @@
+#include "rlc/math/quadrature.hpp"
+
+#include <array>
+#include <cmath>
+#include <vector>
+
+namespace rlc::math {
+
+namespace {
+
+struct Rule {
+  std::vector<double> nodes;    // on [-1, 1]
+  std::vector<double> weights;
+};
+
+// Tabulated Gauss–Legendre nodes/weights (symmetric halves listed in full).
+const Rule& rule_for(int n) {
+  static const Rule r2{{-0.5773502691896257, 0.5773502691896257}, {1.0, 1.0}};
+  static const Rule r3{{-0.7745966692414834, 0.0, 0.7745966692414834},
+                       {5.0 / 9.0, 8.0 / 9.0, 5.0 / 9.0}};
+  static const Rule r4{{-0.8611363115940526, -0.3399810435848563,
+                        0.3399810435848563, 0.8611363115940526},
+                       {0.3478548451374538, 0.6521451548625461,
+                        0.6521451548625461, 0.3478548451374538}};
+  static const Rule r5{
+      {-0.9061798459386640, -0.5384693101056831, 0.0, 0.5384693101056831,
+       0.9061798459386640},
+      {0.2369268850561891, 0.4786286704993665, 0.5688888888888889,
+       0.4786286704993665, 0.2369268850561891}};
+  static const Rule r6{
+      {-0.9324695142031521, -0.6612093864662645, -0.2386191860831969,
+       0.2386191860831969, 0.6612093864662645, 0.9324695142031521},
+      {0.1713244923791704, 0.3607615730481386, 0.4679139345726910,
+       0.4679139345726910, 0.3607615730481386, 0.1713244923791704}};
+  static const Rule r7{
+      {-0.9491079123427585, -0.7415311855993945, -0.4058451513773972, 0.0,
+       0.4058451513773972, 0.7415311855993945, 0.9491079123427585},
+      {0.1294849661688697, 0.2797053914892766, 0.3818300505051189,
+       0.4179591836734694, 0.3818300505051189, 0.2797053914892766,
+       0.1294849661688697}};
+  static const Rule r8{
+      {-0.9602898564975363, -0.7966664774136267, -0.5255324099163290,
+       -0.1834346424956498, 0.1834346424956498, 0.5255324099163290,
+       0.7966664774136267, 0.9602898564975363},
+      {0.1012285362903763, 0.2223810344533745, 0.3137066458778873,
+       0.3626837833783620, 0.3626837833783620, 0.3137066458778873,
+       0.2223810344533745, 0.1012285362903763}};
+  static const Rule r12{
+      {-0.9815606342467192, -0.9041172563704749, -0.7699026741943047,
+       -0.5873179542866175, -0.3678314989981802, -0.1252334085114689,
+       0.1252334085114689, 0.3678314989981802, 0.5873179542866175,
+       0.7699026741943047, 0.9041172563704749, 0.9815606342467192},
+      {0.0471753363865118, 0.1069393259953184, 0.1600783285433462,
+       0.2031674267230659, 0.2334925365383548, 0.2491470458134028,
+       0.2491470458134028, 0.2334925365383548, 0.2031674267230659,
+       0.1600783285433462, 0.1069393259953184, 0.0471753363865118}};
+  static const Rule r16{
+      {-0.9894009349916499, -0.9445750230732326, -0.8656312023878318,
+       -0.7554044083550030, -0.6178762444026438, -0.4580167776572274,
+       -0.2816035507792589, -0.0950125098376374, 0.0950125098376374,
+       0.2816035507792589, 0.4580167776572274, 0.6178762444026438,
+       0.7554044083550030, 0.8656312023878318, 0.9445750230732326,
+       0.9894009349916499},
+      {0.0271524594117541, 0.0622535239386479, 0.0951585116824928,
+       0.1246289712555339, 0.1495959888165767, 0.1691565193950025,
+       0.1826034150449236, 0.1894506104550685, 0.1894506104550685,
+       0.1826034150449236, 0.1691565193950025, 0.1495959888165767,
+       0.1246289712555339, 0.0951585116824928, 0.0622535239386479,
+       0.0271524594117541}};
+  switch (n) {
+    case 2: return r2;
+    case 3: return r3;
+    case 4: return r4;
+    case 5: return r5;
+    case 6: return r6;
+    case 7: return r7;
+    case 8: return r8;
+    case 12: return r12;
+    default: return r16;
+  }
+}
+
+double simpson(double a, double fa, double b, double fb, double fm) {
+  return (b - a) / 6.0 * (fa + 4.0 * fm + fb);
+}
+
+double adaptive_simpson_rec(const std::function<double(double)>& f, double a,
+                            double fa, double b, double fb, double m,
+                            double fm, double whole, double tol, int depth) {
+  const double lm = 0.5 * (a + m);
+  const double rm = 0.5 * (m + b);
+  const double flm = f(lm);
+  const double frm = f(rm);
+  const double left = simpson(a, fa, m, fm, flm);
+  const double right = simpson(m, fm, b, fb, frm);
+  const double delta = left + right - whole;
+  if (depth <= 0 || std::abs(delta) <= 15.0 * tol) {
+    return left + right + delta / 15.0;
+  }
+  return adaptive_simpson_rec(f, a, fa, m, fm, lm, flm, left, 0.5 * tol,
+                              depth - 1) +
+         adaptive_simpson_rec(f, m, fm, b, fb, rm, frm, right, 0.5 * tol,
+                              depth - 1);
+}
+
+}  // namespace
+
+double gauss_legendre(const std::function<double(double)>& f, double a,
+                      double b, int n) {
+  const Rule& r = rule_for(n);
+  const double half = 0.5 * (b - a);
+  const double mid = 0.5 * (a + b);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < r.nodes.size(); ++i) {
+    sum += r.weights[i] * f(mid + half * r.nodes[i]);
+  }
+  return half * sum;
+}
+
+double adaptive_simpson(const std::function<double(double)>& f, double a,
+                        double b, double tol, int max_depth) {
+  const double m = 0.5 * (a + b);
+  const double fa = f(a), fb = f(b), fm = f(m);
+  const double whole = simpson(a, fa, b, fb, fm);
+  return adaptive_simpson_rec(f, a, fa, b, fb, m, fm, whole, tol, max_depth);
+}
+
+}  // namespace rlc::math

@@ -1,0 +1,62 @@
+#include "rlc/math/stats.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace rlc::math {
+
+double peak_abs(std::span<const double> y) {
+  double p = 0.0;
+  for (double v : y) p = std::max(p, std::abs(v));
+  return p;
+}
+
+double maximum(std::span<const double> y) {
+  double m = -std::numeric_limits<double>::infinity();
+  for (double v : y) m = std::max(m, v);
+  return m;
+}
+
+double minimum(std::span<const double> y) {
+  double m = std::numeric_limits<double>::infinity();
+  for (double v : y) m = std::min(m, v);
+  return m;
+}
+
+namespace {
+void check_sizes(std::span<const double> t, std::span<const double> y) {
+  if (t.size() != y.size() || t.size() < 2) {
+    throw std::invalid_argument("waveform stats: need matching t/y with >= 2 samples");
+  }
+}
+}  // namespace
+
+double integral_trapz(std::span<const double> t, std::span<const double> y) {
+  check_sizes(t, y);
+  double acc = 0.0;
+  for (std::size_t i = 1; i < t.size(); ++i) {
+    acc += 0.5 * (y[i] + y[i - 1]) * (t[i] - t[i - 1]);
+  }
+  return acc;
+}
+
+double mean_trapz(std::span<const double> t, std::span<const double> y) {
+  check_sizes(t, y);
+  const double T = t.back() - t.front();
+  if (T <= 0.0) throw std::invalid_argument("mean_trapz: non-increasing time axis");
+  return integral_trapz(t, y) / T;
+}
+
+double rms_trapz(std::span<const double> t, std::span<const double> y) {
+  check_sizes(t, y);
+  const double T = t.back() - t.front();
+  if (T <= 0.0) throw std::invalid_argument("rms_trapz: non-increasing time axis");
+  double acc = 0.0;
+  for (std::size_t i = 1; i < t.size(); ++i) {
+    acc += 0.5 * (y[i] * y[i] + y[i - 1] * y[i - 1]) * (t[i] - t[i - 1]);
+  }
+  return std::sqrt(acc / T);
+}
+
+}  // namespace rlc::math

@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file extracted_bus.hpp
+/// Geometry-to-waveforms pipeline: build an N-line coupled bus whose
+/// electrical parameters come from the extraction substrate instead of
+/// hand-picked numbers — the shunt capacitances (ground and line-to-line)
+/// from the 2D BEM Maxwell matrix, and the inductances (self and mutual
+/// coupling coefficients) from the partial-inductance matrix.  This is the
+/// full FASTCAP/FASTHENRY -> SPICE flow the paper's experimental setup
+/// implies, in one call.
+
+#include <utility>
+
+#include "rlc/core/technology.hpp"
+#include "rlc/linalg/matrix.hpp"
+#include "rlc/ringosc/ladder.hpp"
+
+namespace rlc::ringosc {
+
+struct ExtractedBusOptions {
+  int nseg = 12;          ///< ladder segments per line
+  int bem_panels = 10;    ///< BEM panels per rectangle side
+  /// false: CAPACITIVE coupling only between nearest neighbours (electric
+  /// fields are short-range; the far off-diagonals of the Maxwell matrix
+  /// are negligible).  INDUCTIVE coupling is always kept between all pairs:
+  /// truncating the mutual-inductance matrix to nearest neighbours makes it
+  /// indefinite (non-passive) for strongly coupled buses — the circuit
+  /// blows up.  That asymmetry is precisely the paper's Section 1.1 point
+  /// that magnetic fields are long-range while electric fields are not.
+  bool couple_all_pairs = true;
+};
+
+struct ExtractedBus {
+  std::vector<Ladder> lines;
+  rlc::linalg::MatrixD cmatrix;  ///< Maxwell capacitance matrix [F/m]
+  rlc::linalg::MatrixD lmatrix;  ///< partial inductance matrix [H] (whole length)
+  double l_self = 0.0;           ///< per-unit-length self inductance used [H/m]
+};
+
+/// Build the bus between the given (from, to) endpoint pairs (one per line,
+/// in cross-section order).  Wire geometry, pitch, height and dielectric
+/// come from the technology; per-unit-length r from the technology as well.
+ExtractedBus add_extracted_bus(
+    rlc::spice::Circuit& ckt, const std::string& name,
+    const std::vector<std::pair<rlc::spice::NodeId, rlc::spice::NodeId>>& ends,
+    const rlc::core::Technology& tech, double length,
+    const ExtractedBusOptions& opts = {});
+
+}  // namespace rlc::ringosc

@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file inverter.hpp
+/// CMOS inverter cell calibrated to the paper's repeater abstraction: a
+/// size-k inverter exhibits output resistance ~ r_s/k, input capacitance
+/// c_0 k and output parasitic capacitance c_p k (Table 1 values).
+///
+/// Calibration: the level-1 transconductance factor is chosen so that the
+/// effective switching resistance of the minimum device matches r_s using
+/// the standard average-current approximation R_eff ~ 3 VDD / (4 I_dsat)
+/// (the linearized-repeater assumption the paper itself makes).  Input and
+/// output capacitances are attached as linear capacitors, exactly mirroring
+/// the Section 2.1 driver model.
+
+#include "rlc/core/technology.hpp"
+#include "rlc/spice/circuit.hpp"
+
+namespace rlc::ringosc {
+
+/// MOS threshold assumption: vt = kVtFraction * VDD (typical DSM ratio).
+inline constexpr double kVtFraction = 0.22;
+
+/// Channel-length-modulation default.
+inline constexpr double kLambda = 0.05;
+
+/// Level-1 beta of the *minimum-size* device such that
+/// R_eff = 3 VDD / (4 * 0.5 beta (VDD - VT)^2) equals rep.rs.
+double unit_beta(const rlc::core::Technology& tech);
+
+/// NMOS / PMOS parameters for the technology (symmetric drive strengths).
+rlc::spice::MosParams nmos_params(const rlc::core::Technology& tech);
+rlc::spice::MosParams pmos_params(const rlc::core::Technology& tech);
+
+/// Handle to the devices of one inverter instance.
+struct InverterCell {
+  rlc::spice::Mosfet* pmos = nullptr;
+  rlc::spice::Mosfet* nmos = nullptr;
+  rlc::spice::Capacitor* cin = nullptr;   ///< c0 * k at the input
+  rlc::spice::Capacitor* cout = nullptr;  ///< cp * k at the output
+};
+
+/// Add a size-k inverter between `in` and `out` supplied from `vdd_node`.
+/// Gate input capacitance (c0 k) and output parasitic (cp k) are attached
+/// to ground as linear capacitors.
+InverterCell add_inverter(rlc::spice::Circuit& ckt, const std::string& name,
+                          rlc::spice::NodeId in, rlc::spice::NodeId out,
+                          rlc::spice::NodeId vdd_node,
+                          const rlc::core::Technology& tech, double k);
+
+/// Static (DC-swept) switching threshold of the calibrated inverter —
+/// useful for tests; for the symmetric sizing used here it sits at VDD/2.
+double inverter_switching_threshold(const rlc::core::Technology& tech);
+
+}  // namespace rlc::ringosc

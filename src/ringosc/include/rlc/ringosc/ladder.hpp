@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file ladder.hpp
+/// Discretization of a distributed RLC line into a ladder of lumped
+/// pi-segments for transient simulation: each segment carries r*dx in series
+/// with l*dx, with c*dx/2 shunts at both segment ends (interior nodes
+/// accumulate a full c*dx).  The segment count needed for a given accuracy
+/// is studied by bench/ablation_ladder.
+
+#include <string>
+#include <vector>
+
+#include "rlc/spice/circuit.hpp"
+#include "rlc/tline/line.hpp"
+
+namespace rlc::ringosc {
+
+/// Handles to the ladder internals (for probing currents/voltages).
+struct Ladder {
+  std::vector<rlc::spice::NodeId> nodes;        ///< from-end ... to-end (size nseg+1)
+  std::vector<rlc::spice::NodeId> mid_nodes;    ///< internal R-L junction per segment
+  std::vector<rlc::spice::Resistor*> resistors; ///< per-segment series R
+  std::vector<rlc::spice::Inductor*> inductors; ///< per-segment series L
+
+  /// Every node of the ladder except the two endpoints (for setting
+  /// consistent initial conditions).
+  std::vector<rlc::spice::NodeId> interior_nodes() const {
+    std::vector<rlc::spice::NodeId> out(nodes.begin() + 1, nodes.end() - 1);
+    out.insert(out.end(), mid_nodes.begin(), mid_nodes.end());
+    return out;
+  }
+
+  /// Series resistor of the middle segment (wire-current probe point).
+  rlc::spice::Resistor* middle_resistor() const {
+    return resistors[resistors.size() / 2];
+  }
+};
+
+/// Build a pi-ladder between existing nodes `from` and `to`.
+/// When line.l == 0 the inductors are omitted (pure RC ladder).
+Ladder add_rlc_ladder(rlc::spice::Circuit& ckt, const std::string& name,
+                      rlc::spice::NodeId from, rlc::spice::NodeId to,
+                      const rlc::tline::LineParams& line, double length,
+                      int nseg);
+
+}  // namespace rlc::ringosc

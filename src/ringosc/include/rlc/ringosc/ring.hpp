@@ -1,0 +1,75 @@
+#pragma once
+
+/// \file ring.hpp
+/// The circuit-level experiments of Section 3.3: an N-stage ring oscillator
+/// whose stages are size-k inverters driving length-h RLC lines (Figures
+/// 9-12), and the square-wave-driven buffered line used as the non-ring
+/// control experiment.
+
+#include <optional>
+#include <vector>
+
+#include "rlc/analysis/reliability.hpp"
+#include "rlc/analysis/signal_metrics.hpp"
+#include "rlc/core/technology.hpp"
+#include "rlc/ringosc/inverter.hpp"
+#include "rlc/ringosc/ladder.hpp"
+#include "rlc/spice/transient.hpp"
+
+namespace rlc::ringosc {
+
+/// Structural parameters of the ring / buffered line.
+struct RingParams {
+  int stages = 5;            ///< number of inverter stages (odd for a ring)
+  int segments_per_line = 24;
+  double l = 0.0;            ///< line inductance per unit length [H/m]
+  double h = 0.0;            ///< line length per stage [m]
+  double k = 0.0;            ///< inverter size
+};
+
+/// Simulation controls.  Zero tstop/dt mean "derive from the estimated
+/// stage delay" (the two-pole model provides the estimate).
+struct RingSimOptions {
+  double dt = 0.0;
+  double tstop = 0.0;
+  double settle_cycles = 6.0;  ///< ignore this many estimated periods
+  int min_cycles = 3;          ///< required crossings for a period estimate
+};
+
+/// Everything the Section 3.3 figures need from one ring simulation.
+struct RingResult {
+  bool completed = false;
+  std::optional<double> period;  ///< oscillation period [s] (Figure 11)
+  rlc::analysis::RailExcursion input_excursion;  ///< at the probed inverter input
+  rlc::analysis::CurrentDensity wire_density;    ///< mid-wire (Figure 12)
+  // Waveforms of the probed stage (Figures 9-10); times after settling.
+  std::vector<double> time;
+  std::vector<double> v_in;    ///< probed inverter input (far end of its line)
+  std::vector<double> v_out;   ///< probed inverter output
+  std::vector<double> i_wire;  ///< mid-wire current [A]
+  double t_estimate = 0.0;     ///< estimated period used for scaling [s]
+};
+
+/// Build and simulate the ring oscillator.
+RingResult simulate_ring(const rlc::core::Technology& tech,
+                         const RingParams& params,
+                         const RingSimOptions& sim = {});
+
+/// The control experiment: `stages` repeaters in a chain, each driving a
+/// length-h line, excited by a square wave; used to show the false-switching
+/// phenomenon is not a ring artifact (end of Section 3.3.1).
+struct BufferedLineResult {
+  bool completed = false;
+  /// Rising output transitions per rising input transition; > 1 indicates
+  /// false switching.
+  double transition_ratio = 0.0;
+  rlc::analysis::RailExcursion mid_excursion;
+  std::vector<double> time;
+  std::vector<double> v_out;
+};
+BufferedLineResult simulate_buffered_line(const rlc::core::Technology& tech,
+                                          const RingParams& params,
+                                          double drive_period, int cycles = 6,
+                                          const RingSimOptions& sim = {});
+
+}  // namespace rlc::ringosc

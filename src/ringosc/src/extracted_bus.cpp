@@ -1,0 +1,85 @@
+#include "rlc/ringosc/extracted_bus.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "rlc/extract/bem2d.hpp"
+#include "rlc/extract/inductance.hpp"
+
+namespace rlc::ringosc {
+
+using rlc::spice::Circuit;
+using rlc::spice::NodeId;
+
+ExtractedBus add_extracted_bus(
+    Circuit& ckt, const std::string& name,
+    const std::vector<std::pair<NodeId, NodeId>>& ends,
+    const rlc::core::Technology& tech, double length,
+    const ExtractedBusOptions& opts) {
+  const int n = static_cast<int>(ends.size());
+  if (n < 1) throw std::invalid_argument("add_extracted_bus: need >= 1 line");
+  if (!(length > 0.0) || opts.nseg < 1) {
+    throw std::invalid_argument("add_extracted_bus: bad length/nseg");
+  }
+
+  ExtractedBus bus;
+
+  // ---- Capacitance extraction (BEM, Maxwell matrix). ----
+  rlc::extract::Bem2dOptions bopts;
+  bopts.panels_per_side = opts.bem_panels;
+  bopts.eps_r = tech.eps_r;
+  const auto wires = rlc::extract::parallel_bus(n, tech.width, tech.thickness,
+                                                tech.pitch, tech.t_ins);
+  bus.cmatrix = rlc::extract::capacitance_matrix(wires, bopts);
+
+  // ---- Inductance extraction (partial matrix over the bus length). ----
+  std::vector<double> positions;
+  for (const auto& w : wires) positions.push_back(w.x_center);
+  bus.lmatrix = rlc::extract::partial_inductance_matrix(
+      positions, length, tech.width, tech.thickness);
+  bus.l_self = bus.lmatrix(0, 0) / length;
+
+  // ---- Build the ladders.  Ground capacitance per line = Maxwell row sum
+  //      (total cap to everything minus the line-to-line parts, which are
+  //      added explicitly as coupling capacitors). ----
+  for (int i = 0; i < n; ++i) {
+    double cg = 0.0;
+    for (int j = 0; j < n; ++j) cg += bus.cmatrix(i, j);  // row sum >= 0
+    cg = std::max(cg, 1e-3 * bus.cmatrix(i, i));  // defensive floor
+    const rlc::tline::LineParams line{tech.r, bus.l_self, cg};
+    bus.lines.push_back(add_rlc_ladder(ckt, name + ".w" + std::to_string(i),
+                                       ends[i].first, ends[i].second, line,
+                                       length, opts.nseg));
+  }
+
+  // ---- Coupling: capacitors between junctions, K elements between the
+  //      per-segment inductors. ----
+  const double dx = length / opts.nseg;
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      // Capacitive coupling may be truncated to neighbours; mutual
+      // inductance must NOT be (see ExtractedBusOptions::couple_all_pairs).
+      const bool cap_coupled = opts.couple_all_pairs || j == i + 1;
+      const double cc = -bus.cmatrix(i, j);  // off-diagonals are negative
+      const double km =
+          bus.lmatrix(i, j) / std::sqrt(bus.lmatrix(i, i) * bus.lmatrix(j, j));
+      for (int s = 0; s < opts.nseg; ++s) {
+        if (cap_coupled && cc > 0.0) {
+          ckt.add_capacitor(
+              name + ".cc" + std::to_string(i) + "_" + std::to_string(j) +
+                  "_" + std::to_string(s),
+              bus.lines[i].nodes[s + 1], bus.lines[j].nodes[s + 1], cc * dx);
+        }
+        if (km != 0.0) {
+          ckt.add_mutual(name + ".k" + std::to_string(i) + "_" +
+                             std::to_string(j) + "_" + std::to_string(s),
+                         *bus.lines[i].inductors[s], *bus.lines[j].inductors[s],
+                         km);
+        }
+      }
+    }
+  }
+  return bus;
+}
+
+}  // namespace rlc::ringosc

@@ -1,0 +1,53 @@
+#include "rlc/ringosc/inverter.hpp"
+
+namespace rlc::ringosc {
+
+using rlc::core::Technology;
+using rlc::spice::Circuit;
+using rlc::spice::MosParams;
+using rlc::spice::MosType;
+using rlc::spice::NodeId;
+
+double unit_beta(const Technology& tech) {
+  const double vt = kVtFraction * tech.vdd;
+  const double vov = tech.vdd - vt;
+  // rs = 3 VDD / (2 beta vov^2)  =>  beta = 3 VDD / (2 rs vov^2).
+  return 3.0 * tech.vdd / (2.0 * tech.rep.rs * vov * vov);
+}
+
+MosParams nmos_params(const Technology& tech) {
+  MosParams p;
+  p.type = MosType::kNmos;
+  p.vt = kVtFraction * tech.vdd;
+  p.beta = unit_beta(tech);
+  p.lambda = kLambda;
+  return p;
+}
+
+MosParams pmos_params(const Technology& tech) {
+  MosParams p = nmos_params(tech);
+  p.type = MosType::kPmos;
+  return p;
+}
+
+InverterCell add_inverter(Circuit& ckt, const std::string& name, NodeId in,
+                          NodeId out, NodeId vdd_node, const Technology& tech,
+                          double k) {
+  InverterCell cell;
+  cell.pmos = &ckt.add_mosfet(name + ".mp", out, in, vdd_node,
+                              pmos_params(tech), k);
+  cell.nmos = &ckt.add_mosfet(name + ".mn", out, in, ckt.ground(),
+                              nmos_params(tech), k);
+  cell.cin = &ckt.add_capacitor(name + ".cin", in, ckt.ground(),
+                                tech.rep.c0 * k);
+  cell.cout = &ckt.add_capacitor(name + ".cout", out, ckt.ground(),
+                                 tech.rep.cp * k);
+  return cell;
+}
+
+double inverter_switching_threshold(const Technology& tech) {
+  // Symmetric betas and thresholds => the static switching point is VDD/2.
+  return 0.5 * tech.vdd;
+}
+
+}  // namespace rlc::ringosc

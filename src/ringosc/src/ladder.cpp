@@ -1,0 +1,50 @@
+#include "rlc/ringosc/ladder.hpp"
+
+#include <stdexcept>
+
+namespace rlc::ringosc {
+
+using rlc::spice::Circuit;
+using rlc::spice::NodeId;
+
+Ladder add_rlc_ladder(Circuit& ckt, const std::string& name, NodeId from,
+                      NodeId to, const rlc::tline::LineParams& line,
+                      double length, int nseg) {
+  if (nseg < 1) throw std::invalid_argument("add_rlc_ladder: nseg must be >= 1");
+  if (!(length > 0.0)) throw std::invalid_argument("add_rlc_ladder: length must be > 0");
+  if (!(line.r > 0.0 && line.c > 0.0 && line.l >= 0.0)) {
+    throw std::invalid_argument("add_rlc_ladder: invalid line parameters");
+  }
+  const double dx = length / nseg;
+  const double rseg = line.r * dx;
+  const double lseg = line.l * dx;
+  const double cseg = line.c * dx;
+
+  Ladder lad;
+  lad.nodes.push_back(from);
+  for (int i = 1; i < nseg; ++i) {
+    lad.nodes.push_back(ckt.node(name + ".n" + std::to_string(i)));
+  }
+  lad.nodes.push_back(to);
+
+  for (int i = 0; i < nseg; ++i) {
+    const NodeId a = lad.nodes[i];
+    const NodeId b = lad.nodes[i + 1];
+    const std::string seg = name + ".s" + std::to_string(i);
+    if (lseg > 0.0) {
+      // a --R-- mid --L-- b
+      const NodeId mid = ckt.node(seg + ".m");
+      lad.mid_nodes.push_back(mid);
+      lad.resistors.push_back(&ckt.add_resistor(seg + ".r", a, mid, rseg));
+      lad.inductors.push_back(&ckt.add_inductor(seg + ".l", mid, b, lseg));
+    } else {
+      lad.resistors.push_back(&ckt.add_resistor(seg + ".r", a, b, rseg));
+    }
+    // Pi shunt capacitances: half at each end of the segment.
+    ckt.add_capacitor(seg + ".ca", a, ckt.ground(), 0.5 * cseg);
+    ckt.add_capacitor(seg + ".cb", b, ckt.ground(), 0.5 * cseg);
+  }
+  return lad;
+}
+
+}  // namespace rlc::ringosc

@@ -1,0 +1,187 @@
+#include "rlc/ringosc/ring.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "rlc/core/delay.hpp"
+#include "rlc/core/elmore.hpp"
+
+namespace rlc::ringosc {
+
+using rlc::core::Technology;
+using rlc::spice::Circuit;
+using rlc::spice::NodeId;
+using rlc::spice::Probe;
+
+namespace {
+
+/// Estimated per-stage delay from the two-pole model — used only to scale
+/// dt/tstop, so a rough value is fine.
+double estimate_stage_delay(const Technology& tech, const RingParams& p) {
+  const auto dr = rlc::core::segment_delay(tech.rep, tech.line(p.l), p.h, p.k);
+  if (dr.converged) return dr.tau;
+  // Fall back to the Elmore scale.
+  return rlc::core::elmore_segment_delay(tech.rep, tech.r, tech.c, p.h, p.k);
+}
+
+void check_params(const RingParams& p) {
+  if (p.stages < 3 || p.stages % 2 == 0) {
+    throw std::invalid_argument("RingParams: stages must be odd and >= 3");
+  }
+  if (p.segments_per_line < 1 || !(p.h > 0.0) || !(p.k > 0.0) || !(p.l >= 0.0)) {
+    throw std::invalid_argument("RingParams: invalid line/driver parameters");
+  }
+}
+
+}  // namespace
+
+RingResult simulate_ring(const Technology& tech, const RingParams& params,
+                         const RingSimOptions& sim) {
+  check_params(params);
+  RingResult res;
+
+  // Time scales: a ring of N stages oscillates with period ~ 2 N tau_stage.
+  const double tau_stage = estimate_stage_delay(tech, params);
+  const double t_period_est = 2.0 * params.stages * tau_stage;
+  res.t_estimate = t_period_est;
+  const double tstop =
+      sim.tstop > 0.0 ? sim.tstop : (sim.settle_cycles + 10.0) * t_period_est;
+  const double record_start = sim.settle_cycles * t_period_est;
+  double dt = sim.dt > 0.0 ? sim.dt : t_period_est / 4000.0;
+  dt = std::clamp(dt, 1e-15, tstop / 100.0);
+
+  Circuit ckt;
+  const NodeId vdd = ckt.node("vdd");
+  ckt.add_vsource("vsupply", vdd, ckt.ground(), rlc::spice::DcSpec{tech.vdd});
+
+  // Stage i: inverter input in[i] -> output out[i]; line from out[i] to
+  // in[(i+1) % stages].
+  std::vector<NodeId> in(params.stages), out(params.stages);
+  for (int i = 0; i < params.stages; ++i) {
+    in[i] = ckt.node("in" + std::to_string(i));
+    out[i] = ckt.node("out" + std::to_string(i));
+  }
+  Ladder probe_ladder;
+  std::vector<Ladder> ladders;
+  for (int i = 0; i < params.stages; ++i) {
+    add_inverter(ckt, "inv" + std::to_string(i), in[i], out[i], vdd, tech,
+                 params.k);
+    Ladder lad = add_rlc_ladder(ckt, "line" + std::to_string(i), out[i],
+                                in[(i + 1) % params.stages], tech.line(params.l),
+                                params.h, params.segments_per_line);
+    if (i == 0) probe_ladder = lad;
+    ladders.push_back(std::move(lad));
+  }
+
+  rlc::spice::TransientOptions topts;
+  topts.tstop = tstop;
+  topts.dt = dt;
+  topts.record_start = record_start;
+  // Start the ring in a logically consistent state with exactly ONE
+  // inconsistency (a single traveling wavefront at the stage-(N-1) -> 0
+  // wrap), so it settles into the fundamental oscillation mode instead of a
+  // higher harmonic: stage inputs alternate VDD/0 (N odd leaves one clash).
+  const auto in_logic = [&](int i) { return (i % 2 == 0) ? tech.vdd : 0.0; };
+  for (int i = 0; i < params.stages; ++i) {
+    const double vi = in_logic(i);
+    const double vo = tech.vdd - vi;
+    topts.initial_voltages.emplace_back(in[i], vi);
+    topts.initial_voltages.emplace_back(out[i], vo);
+    // Line i sits at the driving output's logic level.
+    for (const NodeId nd : ladders[i].interior_nodes()) {
+      topts.initial_voltages.emplace_back(nd, vo);
+    }
+  }
+  // Probe the stage-1 inverter: its input is the far end of line 0 (the
+  // waveform with the overshoot/undershoot of Figures 9-10), its output is
+  // out[1]; the wire current is the middle series resistor of line 0.
+  topts.probes = {
+      Probe::node_voltage(in[1], "v_in"),
+      Probe::node_voltage(out[1], "v_out"),
+      Probe::resistor_current(*probe_ladder.middle_resistor(), "i_wire"),
+  };
+
+  auto tran = rlc::spice::run_transient(ckt, topts);
+  res.completed = tran.completed;
+  if (!tran.completed || tran.time.size() < 8) return res;
+
+  res.time = tran.time;
+  res.v_in = tran.signal("v_in");
+  res.v_out = tran.signal("v_out");
+  res.i_wire = tran.signal("i_wire");
+
+  res.period = rlc::analysis::oscillation_period(
+      res.time, res.v_out, 0.5 * tech.vdd, res.time.front(), sim.min_cycles);
+  res.input_excursion = rlc::analysis::rail_excursion(res.v_in, tech.vdd);
+  res.wire_density = rlc::analysis::current_density(
+      res.time, res.i_wire, tech.width * tech.thickness);
+  return res;
+}
+
+BufferedLineResult simulate_buffered_line(const Technology& tech,
+                                          const RingParams& params,
+                                          double drive_period, int cycles,
+                                          const RingSimOptions& sim) {
+  check_params(params);
+  if (!(drive_period > 0.0) || cycles < 1) {
+    throw std::invalid_argument("simulate_buffered_line: bad drive spec");
+  }
+  BufferedLineResult res;
+
+  Circuit ckt;
+  const NodeId vdd = ckt.node("vdd");
+  ckt.add_vsource("vsupply", vdd, ckt.ground(), rlc::spice::DcSpec{tech.vdd});
+
+  const NodeId drive = ckt.node("drive");
+  rlc::spice::PulseSpec pulse;
+  pulse.v1 = 0.0;
+  pulse.v2 = tech.vdd;
+  pulse.delay = 0.05 * drive_period;
+  pulse.rise = 0.01 * drive_period;
+  pulse.fall = 0.01 * drive_period;
+  pulse.width = 0.5 * drive_period - pulse.rise;
+  pulse.period = drive_period;
+  ckt.add_vsource("vdrive", drive, ckt.ground(), pulse);
+
+  // Chain: drive -> inv0 -> line0 -> inv1 -> line1 -> ... -> final repeater
+  // loaded by an identical repeater ("the other end connected to an
+  // identical repeater").
+  NodeId prev = drive;
+  for (int i = 0; i < params.stages; ++i) {
+    const NodeId o = ckt.node("o" + std::to_string(i));
+    const NodeId n = ckt.node("n" + std::to_string(i));
+    add_inverter(ckt, "inv" + std::to_string(i), prev, o, vdd, tech, params.k);
+    add_rlc_ladder(ckt, "line" + std::to_string(i), o, n, tech.line(params.l),
+                   params.h, params.segments_per_line);
+    prev = n;
+  }
+  const NodeId sink = ckt.node("sink");
+  add_inverter(ckt, "invL", prev, sink, vdd, tech, params.k);
+
+  rlc::spice::TransientOptions topts;
+  topts.tstop = cycles * drive_period;
+  topts.dt = sim.dt > 0.0 ? sim.dt : drive_period / 4000.0;
+  topts.record_start = drive_period;  // skip the start-up transient
+  topts.probes = {
+      Probe::node_voltage(sink, "v_out"),
+      Probe::node_voltage(prev, "v_last_in"),
+  };
+  auto tran = rlc::spice::run_transient(ckt, topts);
+  res.completed = tran.completed;
+  if (!tran.completed || tran.time.size() < 8) return res;
+
+  res.time = tran.time;
+  res.v_out = tran.signal("v_out");
+  const auto gc = rlc::analysis::count_crossings(res.time, res.v_out,
+                                                 0.5 * tech.vdd);
+  const double observed_window = res.time.back() - res.time.front();
+  const double drive_edges = observed_window / drive_period;  // rising edges
+  res.transition_ratio =
+      drive_edges > 0.0 ? static_cast<double>(gc.rising) / drive_edges : 0.0;
+  res.mid_excursion = rlc::analysis::rail_excursion(
+      tran.signal("v_last_in"), tech.vdd);
+  return res;
+}
+
+}  // namespace rlc::ringosc

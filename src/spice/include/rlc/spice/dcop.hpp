@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file dcop.hpp
+/// DC operating point: Newton-Raphson on the static circuit equations with
+/// gmin stepping and source stepping as convergence fallbacks (the standard
+/// SPICE homotopy ladder).
+
+#include <vector>
+
+#include "rlc/spice/circuit.hpp"
+
+namespace rlc::spice {
+
+struct DcOptions {
+  int max_iterations = 200;
+  double reltol = 1e-6;
+  double abstol_v = 1e-9;
+  double abstol_i = 1e-12;
+  double max_voltage_step = 1.0;
+  double gmin_final = 1e-12;  ///< residual gmin left in the final solve
+};
+
+struct DcResult {
+  std::vector<double> x;  ///< unknown vector (node voltages, branch currents)
+  bool converged = false;
+  int iterations = 0;     ///< Newton iterations of the final (direct) solve
+  bool used_gmin_stepping = false;
+  bool used_source_stepping = false;
+
+  /// Voltage of node n.
+  double voltage(NodeId n) const { return n == 0 ? 0.0 : x[n - 1]; }
+};
+
+/// Compute the DC operating point.  The circuit is finalized if needed.
+DcResult dc_operating_point(Circuit& ckt, const DcOptions& opts = {});
+
+}  // namespace rlc::spice

@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file mosfet.hpp
+/// Level-1 (Shichman–Hodges) MOSFET with channel-length modulation.  Gate
+/// capacitances are NOT included here: the repeater abstraction of the paper
+/// lumps the input capacitance (c0 k) and the output parasitic (cp k) as
+/// linear capacitors, which callers add explicitly (see ringosc::Inverter).
+/// This matches the paper's driver model (Section 2.1: "it is assumed that
+/// the repeater resistance and output parasitic capacitance is linear").
+
+#include "rlc/spice/device.hpp"
+
+namespace rlc::spice {
+
+enum class MosType { kNmos, kPmos };
+
+/// Level-1 parameters.  `beta` is kp * W / L of the unit device; scale by
+/// the repeater size k through the `size` multiplier of the Mosfet device.
+struct MosParams {
+  MosType type = MosType::kNmos;
+  double vt = 0.0;      ///< threshold magnitude [V] (> 0 for both types)
+  double beta = 0.0;    ///< transconductance factor kp W/L [A/V^2]
+  double lambda = 0.0;  ///< channel-length modulation [1/V]
+};
+
+/// Linearization of the drain current at an operating point.
+struct MosEval {
+  double ids = 0.0;  ///< drain-to-source current (drain terminal, A)
+  double gm = 0.0;   ///< d ids / d vgs
+  double gds = 0.0;  ///< d ids / d vds
+};
+
+/// Evaluate the level-1 drain current and small-signal conductances for any
+/// (vgs, vds), handling the reverse (vds < 0) region by source/drain swap
+/// and PMOS by voltage mirroring.  Exposed for direct unit testing.
+MosEval mos_eval(const MosParams& p, double vgs, double vds);
+
+class Mosfet : public Device {
+ public:
+  Mosfet(std::string name, NodeId d, NodeId g, NodeId s, MosParams params,
+         double size = 1.0);
+  bool nonlinear() const override { return true; }
+  void stamp(const StampContext& ctx, Stamper& st) const override;
+  /// Small-signal gm/gds stamps linearized at the DC operating point.
+  void stamp_ac(const AcContext& ctx, AcStamper& st) const override;
+  const MosParams& params() const { return params_; }
+  double size() const { return size_; }
+  /// Drain current at a given solution vector.
+  double drain_current(const std::vector<double>& x) const;
+
+ private:
+  NodeId d_, g_, s_;
+  MosParams params_;
+  double size_;
+};
+
+}  // namespace rlc::spice

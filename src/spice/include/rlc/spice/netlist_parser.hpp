@@ -1,0 +1,73 @@
+#pragma once
+
+/// \file netlist_parser.hpp
+/// A SPICE-deck front end for the circuit engine.  Supported subset:
+///
+///   * first line is the title (SPICE convention); `*` starts a comment
+///     line; a leading `+` continues the previous card; case-insensitive
+///     keywords; engineering suffixes f/p/n/u/m/k/meg/g/t on numbers.
+///   * devices:
+///       Rxxx n1 n2 value
+///       Cxxx n1 n2 value [ic=v0]
+///       Lxxx n1 n2 value [ic=i0]
+///       Vxxx n+ n- dc v | pulse(v1 v2 td tr tf pw per) |
+///                        pwl(t1 v1 t2 v2 ...) | sin(off amp freq [td damp])
+///                        [ac mag]
+///       Ixxx n+ n- <same source syntax>
+///       Exxx p n cp cn gain            (VCVS)
+///       Gxxx p n cp cn gm              (VCCS)
+///       Kxxx Lname1 Lname2 k           (mutual inductance)
+///       Mxxx d g s modelname [m=size]  (level-1 MOSFET, size = multiplier)
+///       Xxxx n1 n2 ... subcktname   (subcircuit instance)
+///   * cards:
+///       .model name nmos|pmos vt=.. beta=.. [lambda=..]
+///       .subckt name port1 port2 ... / .ends   (definitions; X expands them,
+///           local nodes are namespaced as "Xinst.node", nesting allowed)
+///       .tran tstep tstop [tstart]
+///       .ac dec points fstart fstop
+///       .ic v(node)=value [v(node)=value ...]
+///       .end
+///
+/// Parse errors throw NetlistError carrying the 1-based line number.
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+#include "rlc/spice/ac.hpp"
+#include "rlc/spice/circuit.hpp"
+#include "rlc/spice/transient.hpp"
+
+namespace rlc::spice {
+
+class NetlistError : public std::runtime_error {
+ public:
+  NetlistError(int line, const std::string& message)
+      : std::runtime_error("netlist line " + std::to_string(line) + ": " +
+                           message),
+        line_(line) {}
+  int line() const { return line_; }
+
+ private:
+  int line_;
+};
+
+/// Everything a deck describes.
+struct ParsedDeck {
+  std::string title;
+  Circuit circuit;
+  std::optional<TransientOptions> tran;  ///< from .tran (ICs merged in)
+  std::optional<AcOptions> ac;           ///< from .ac
+};
+
+/// Parse a deck from text.
+ParsedDeck parse_netlist(const std::string& text);
+
+/// Parse a deck from a file; throws std::runtime_error if unreadable.
+ParsedDeck parse_netlist_file(const std::string& path);
+
+/// Parse one SPICE number with engineering suffix ("2.2k", "10meg", "1.5p").
+/// Exposed for tests.  Throws std::invalid_argument on garbage.
+double parse_spice_number(const std::string& token);
+
+}  // namespace rlc::spice

@@ -1,0 +1,55 @@
+#pragma once
+
+/// \file waveform.hpp
+/// Independent-source waveforms in the style of SPICE source specifications:
+/// DC, PULSE, PWL and (damped) SIN.
+
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace rlc::spice {
+
+/// Constant value.
+struct DcSpec {
+  double value = 0.0;
+};
+
+/// SPICE PULSE(v1 v2 delay rise fall width period): starts at v1, after
+/// `delay` ramps to v2 over `rise`, holds for `width`, ramps back over
+/// `fall`; repeats with `period` (<= 0 means single-shot).
+struct PulseSpec {
+  double v1 = 0.0;
+  double v2 = 0.0;
+  double delay = 0.0;
+  double rise = 1e-12;
+  double fall = 1e-12;
+  double width = 0.0;
+  double period = 0.0;
+};
+
+/// Piecewise-linear waveform; points must be sorted by time.  Before the
+/// first point the first value holds; after the last, the last value holds.
+struct PwlSpec {
+  std::vector<std::pair<double, double>> points;  ///< (time, value)
+};
+
+/// offset + amplitude * exp(-damping (t - delay)) * sin(2 pi freq (t - delay))
+/// for t >= delay; `offset` before.
+struct SinSpec {
+  double offset = 0.0;
+  double amplitude = 0.0;
+  double freq = 0.0;
+  double delay = 0.0;
+  double damping = 0.0;
+};
+
+using Waveform = std::variant<DcSpec, PulseSpec, PwlSpec, SinSpec>;
+
+/// Waveform value at time t.
+double waveform_value(const Waveform& w, double t);
+
+/// Value used for DC analyses (t = 0 for time-varying sources).
+double waveform_dc_value(const Waveform& w);
+
+}  // namespace rlc::spice

@@ -1,0 +1,42 @@
+#pragma once
+
+/// \file waveform_io.hpp
+/// CSV import/export for analysis results, so waveforms can be plotted or
+/// diffed outside the library (gnuplot, python, golden-file regression).
+/// Format: a header row "time,<label>,<label>,..." followed by one row per
+/// sample, full double precision (%.17g) so a write/read round trip is
+/// lossless.
+
+#include <iosfwd>
+#include <string>
+
+#include "rlc/spice/ac.hpp"
+#include "rlc/spice/transient.hpp"
+
+namespace rlc::spice {
+
+/// Write a transient result as CSV.
+void write_csv(std::ostream& out, const TransientResult& r);
+void write_csv_file(const std::string& path, const TransientResult& r);
+
+/// Write an AC result as CSV with magnitude/phase column pairs:
+/// "freq,|label|,arg(label),..." (phase in radians).
+void write_csv(std::ostream& out, const AcResult& r);
+void write_csv_file(const std::string& path, const AcResult& r);
+
+/// Parsed CSV waveform table (first column is the axis: time or frequency).
+struct CsvTable {
+  std::vector<std::string> labels;             ///< excludes the axis column
+  std::vector<double> axis;
+  std::vector<std::vector<double>> columns;    ///< columns[i] matches labels[i]
+
+  /// Column by label; throws std::out_of_range if absent.
+  const std::vector<double>& column(const std::string& label) const;
+};
+
+/// Read a CSV written by write_csv (or any compatible numeric CSV).
+/// Throws std::runtime_error on malformed input.
+CsvTable read_csv(std::istream& in);
+CsvTable read_csv_file(const std::string& path);
+
+}  // namespace rlc::spice

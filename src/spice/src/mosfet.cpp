@@ -1,0 +1,117 @@
+#include "rlc/spice/mosfet.hpp"
+
+#include <stdexcept>
+
+namespace rlc::spice {
+
+namespace {
+
+/// Forward-region (vds >= 0) NMOS-type evaluation.
+MosEval nmos_forward(double vt, double beta, double lambda, double vgs,
+                     double vds) {
+  MosEval e;
+  const double vov = vgs - vt;
+  if (vov <= 0.0) return e;  // cutoff
+  const double clm = 1.0 + lambda * vds;
+  if (vds < vov) {
+    // Triode.
+    const double q = vov * vds - 0.5 * vds * vds;
+    e.ids = beta * q * clm;
+    e.gm = beta * vds * clm;
+    e.gds = beta * (vov - vds) * clm + beta * q * lambda;
+  } else {
+    // Saturation.
+    const double q = 0.5 * vov * vov;
+    e.ids = beta * q * clm;
+    e.gm = beta * vov * clm;
+    e.gds = beta * q * lambda;
+  }
+  return e;
+}
+
+/// NMOS-type for any vds: vds < 0 handled by swapping source and drain.
+/// With J(vgs, vds) = -I(vgd, -vds):
+///   dJ/dvgs = -dI/dvgd,   dJ/dvds = dI/dvgd + dI/dvsd.
+MosEval nmos_eval(double vt, double beta, double lambda, double vgs,
+                  double vds) {
+  if (vds >= 0.0) return nmos_forward(vt, beta, lambda, vgs, vds);
+  const MosEval m = nmos_forward(vt, beta, lambda, vgs - vds, -vds);
+  MosEval e;
+  e.ids = -m.ids;
+  e.gm = -m.gm;
+  e.gds = m.gm + m.gds;
+  return e;
+}
+
+}  // namespace
+
+MosEval mos_eval(const MosParams& p, double vgs, double vds) {
+  if (p.type == MosType::kNmos) {
+    return nmos_eval(p.vt, p.beta, p.lambda, vgs, vds);
+  }
+  // PMOS: I_p(vgs, vds) = -I_n(-vgs, -vds); both derivatives carry the
+  // double sign flip, so gm and gds are returned unchanged.
+  const MosEval m = nmos_eval(p.vt, p.beta, p.lambda, -vgs, -vds);
+  MosEval e;
+  e.ids = -m.ids;
+  e.gm = m.gm;
+  e.gds = m.gds;
+  return e;
+}
+
+Mosfet::Mosfet(std::string name, NodeId d, NodeId g, NodeId s,
+               MosParams params, double size)
+    : Device(std::move(name)), d_(d), g_(g), s_(s), params_(params),
+      size_(size) {
+  if (!(params.vt > 0.0) || !(params.beta > 0.0) || !(params.lambda >= 0.0)) {
+    throw std::domain_error("Mosfet: require vt > 0, beta > 0, lambda >= 0");
+  }
+  if (!(size > 0.0)) throw std::domain_error("Mosfet: size must be > 0");
+}
+
+void Mosfet::stamp(const StampContext& ctx, Stamper& st) const {
+  const double vgs = ctx.v(g_) - ctx.v(s_);
+  const double vds = ctx.v(d_) - ctx.v(s_);
+  MosEval e = mos_eval(params_, vgs, vds);
+  e.ids *= size_;
+  e.gm *= size_;
+  e.gds *= size_;
+  // Linearized drain current (flows d -> s):
+  //   i = ids0 + gm (vgs - vgs0) + gds (vds - vds0)
+  //     = gm vgs + gds vds + ieq,   ieq = ids0 - gm vgs0 - gds vds0.
+  const double ieq = e.ids - e.gm * vgs - e.gds * vds;
+  const int id = Stamper::unk(d_), ig = Stamper::unk(g_), is = Stamper::unk(s_);
+  // Row d (current leaves drain node into the channel):
+  st.add(id, id, e.gds);
+  st.add(id, ig, e.gm);
+  st.add(id, is, -(e.gds + e.gm));
+  st.add_rhs(id, -ieq);
+  // Row s (current enters the source node):
+  st.add(is, id, -e.gds);
+  st.add(is, ig, -e.gm);
+  st.add(is, is, e.gds + e.gm);
+  st.add_rhs(is, ieq);
+}
+
+void Mosfet::stamp_ac(const AcContext& ctx, AcStamper& st) const {
+  const double vgs = ctx.v_op(g_) - ctx.v_op(s_);
+  const double vds = ctx.v_op(d_) - ctx.v_op(s_);
+  MosEval e = mos_eval(params_, vgs, vds);
+  const double gm = e.gm * size_;
+  const double gds = e.gds * size_;
+  const int id = Stamper::unk(d_), ig = Stamper::unk(g_), is = Stamper::unk(s_);
+  st.add(id, id, gds);
+  st.add(id, ig, gm);
+  st.add(id, is, -(gds + gm));
+  st.add(is, id, -gds);
+  st.add(is, ig, -gm);
+  st.add(is, is, gds + gm);
+}
+
+double Mosfet::drain_current(const std::vector<double>& x) const {
+  const auto v = [&x](NodeId n) { return n == 0 ? 0.0 : x[n - 1]; };
+  MosEval e = mos_eval(params_, v(g_) - v(s_), v(d_) - v(s_));
+  return e.ids * size_;
+}
+
+}  // namespace rlc::spice

@@ -1,0 +1,474 @@
+#include "rlc/spice/netlist_parser.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+
+namespace rlc::spice {
+
+namespace {
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+/// Logical line after comment stripping and continuation joining.
+struct Card {
+  std::string text;
+  int line = 0;
+};
+
+std::vector<Card> split_cards(const std::string& text) {
+  std::vector<Card> cards;
+  std::istringstream in(text);
+  std::string raw;
+  int lineno = 0;
+  bool first = true;
+  while (std::getline(in, raw)) {
+    ++lineno;
+    // Strip trailing comments introduced by ';' or '$'.
+    const auto cpos = raw.find_first_of(";$");
+    if (cpos != std::string::npos) raw.erase(cpos);
+    // Trim.
+    const auto b = raw.find_first_not_of(" \t\r");
+    if (first) {
+      // Title line (may be empty).
+      cards.push_back({"", 0});  // placeholder: slot 0 is the title
+      cards[0].text = (b == std::string::npos) ? "" : raw.substr(b);
+      cards[0].line = lineno;
+      first = false;
+      continue;
+    }
+    if (b == std::string::npos) continue;
+    raw = raw.substr(b);
+    if (raw[0] == '*') continue;
+    if (raw[0] == '+') {
+      if (cards.size() <= 1) {
+        throw NetlistError(lineno, "continuation '+' with nothing to continue");
+      }
+      cards.back().text += " " + raw.substr(1);
+      continue;
+    }
+    cards.push_back({raw, lineno});
+  }
+  if (cards.empty()) cards.push_back({"", 1});
+  return cards;
+}
+
+/// Tokenize a card; '(' ')' ',' '=' are treated as separators, so
+/// "pulse(0 1 0 1n 1n 5n 10n)" and "vt=0.5" split cleanly.
+std::vector<std::string> tokenize(const std::string& s) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : s) {
+    if (c == '(' || c == ')' || c == ',' || c == '=' || std::isspace(
+            static_cast<unsigned char>(c))) {
+      if (!cur.empty()) {
+        out.push_back(cur);
+        cur.clear();
+      }
+      if (c == '=') out.push_back("=");
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+}  // namespace
+
+double parse_spice_number(const std::string& token) {
+  const std::string t = lower(token);
+  std::size_t pos = 0;
+  double v;
+  try {
+    v = std::stod(t, &pos);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("not a number: '" + token + "'");
+  }
+  const std::string suffix = t.substr(pos);
+  if (suffix.empty()) return v;
+  if (suffix.rfind("meg", 0) == 0) return v * 1e6;
+  switch (suffix[0]) {
+    case 'f': return v * 1e-15;
+    case 'p': return v * 1e-12;
+    case 'n': return v * 1e-9;
+    case 'u': return v * 1e-6;
+    case 'm': return v * 1e-3;
+    case 'k': return v * 1e3;
+    case 'g': return v * 1e9;
+    case 't': return v * 1e12;
+    default:
+      throw std::invalid_argument("bad numeric suffix: '" + token + "'");
+  }
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : cards_(split_cards(text)) {}
+
+  ParsedDeck run() {
+    deck_.title = cards_[0].text;
+    for (std::size_t i = 1; i < cards_.size(); ++i) {
+      const Card& c = cards_[i];
+      line_ = c.line;
+      toks_ = tokenize(c.text);
+      if (toks_.empty()) continue;
+      const std::string head = lower(toks_[0]);
+      if (head == ".end") break;
+      if (head == ".subckt") {
+        i = collect_subckt(i);
+        continue;
+      }
+      if (head[0] == '.') {
+        card(head);
+      } else {
+        device(head);
+      }
+    }
+    // Attach collected initial conditions to the transient options.
+    if (deck_.tran) deck_.tran->initial_voltages = ics_;
+    deck_.circuit.finalize();
+    return std::move(deck_);
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw NetlistError(line_, msg);
+  }
+
+  double num(std::size_t i, const char* what) const {
+    if (i >= toks_.size()) fail(std::string("missing ") + what);
+    try {
+      return parse_spice_number(toks_[i]);
+    } catch (const std::exception& e) {
+      fail(std::string(what) + ": " + e.what());
+    }
+  }
+
+  NodeId node(std::size_t i) {
+    if (i >= toks_.size()) fail("missing node");
+    return deck_.circuit.node(map_node(toks_[i]));
+  }
+
+  /// Map a node name through the active subcircuit instantiation: ports map
+  /// to the instance's connections, ground stays global, anything else gets
+  /// the instance prefix.
+  std::string map_node(const std::string& raw) const {
+    if (node_map_ == nullptr) return raw;
+    const auto it = node_map_->find(lower(raw));
+    if (it != node_map_->end()) return it->second;
+    if (raw == "0" || lower(raw) == "gnd") return raw;
+    return name_prefix_ + raw;
+  }
+
+  /// Prefix a device name with the active instance path.
+  std::string map_name(const std::string& raw) const {
+    return name_prefix_.empty() ? raw : name_prefix_ + raw;
+  }
+
+  /// Value of "key=value" anywhere after position `from`; nullopt if absent.
+  std::optional<double> keyval(std::size_t from, const std::string& key) const {
+    for (std::size_t i = from; i + 1 < toks_.size(); ++i) {
+      if (lower(toks_[i]) == key && toks_[i + 1] == "=") {
+        if (i + 2 >= toks_.size()) fail("missing value after '" + key + "='");
+        return parse_spice_number(toks_[i + 2]);
+      }
+    }
+    return std::nullopt;
+  }
+
+  /// Parse a source specification starting at token `i`:
+  /// [dc] v | pulse(...) | pwl(...) | sin(...), then optional "ac mag".
+  std::pair<Waveform, double> source_spec(std::size_t i) {
+    Waveform w = DcSpec{0.0};
+    double ac_mag = 0.0;
+    bool have_main = false;
+    while (i < toks_.size()) {
+      const std::string kw = lower(toks_[i]);
+      if (kw == "dc") {
+        w = DcSpec{num(i + 1, "dc value")};
+        i += 2;
+        have_main = true;
+      } else if (kw == "ac") {
+        ac_mag = num(i + 1, "ac magnitude");
+        i += 2;
+      } else if (kw == "pulse") {
+        PulseSpec p;
+        p.v1 = num(i + 1, "pulse v1");
+        p.v2 = num(i + 2, "pulse v2");
+        p.delay = num(i + 3, "pulse delay");
+        p.rise = num(i + 4, "pulse rise");
+        p.fall = num(i + 5, "pulse fall");
+        p.width = num(i + 6, "pulse width");
+        const bool has_period =
+            i + 7 < toks_.size() && lower(toks_[i + 7]) != "ac";
+        p.period = has_period ? num(i + 7, "pulse period") : 0.0;
+        i += has_period ? 8 : 7;
+        w = p;
+        have_main = true;
+      } else if (kw == "pwl") {
+        PwlSpec p;
+        std::size_t j = i + 1;
+        while (j + 1 < toks_.size() && lower(toks_[j]) != "ac") {
+          p.points.emplace_back(num(j, "pwl time"), num(j + 1, "pwl value"));
+          j += 2;
+        }
+        if (p.points.empty()) fail("pwl needs at least one (t, v) pair");
+        i = j;
+        w = p;
+        have_main = true;
+      } else if (kw == "sin") {
+        SinSpec sp;
+        sp.offset = num(i + 1, "sin offset");
+        sp.amplitude = num(i + 2, "sin amplitude");
+        sp.freq = num(i + 3, "sin frequency");
+        std::size_t j = i + 4;
+        if (j < toks_.size() && lower(toks_[j]) != "ac") {
+          sp.delay = num(j, "sin delay");
+          ++j;
+          if (j < toks_.size() && lower(toks_[j]) != "ac") {
+            sp.damping = num(j, "sin damping");
+            ++j;
+          }
+        }
+        i = j;
+        w = sp;
+        have_main = true;
+      } else if (!have_main) {
+        // Bare number = DC value.
+        w = DcSpec{num(i, "source value")};
+        ++i;
+        have_main = true;
+      } else {
+        fail("unexpected token '" + toks_[i] + "' in source spec");
+      }
+    }
+    return {w, ac_mag};
+  }
+
+  void device(const std::string& head) {
+    if (head[0] == 'x') {
+      expand_instance();
+      return;
+    }
+    auto& ckt = deck_.circuit;
+    const std::string name = map_name(toks_[0]);
+    switch (head[0]) {
+      case 'r':
+        ckt.add_resistor(name, node(1), node(2), num(3, "resistance"));
+        break;
+      case 'c': {
+        const auto ic = keyval(4, "ic");
+        ckt.add_capacitor(name, node(1), node(2), num(3, "capacitance"), ic);
+        break;
+      }
+      case 'l': {
+        const auto ic = keyval(4, "ic");
+        ckt.add_inductor(name, node(1), node(2), num(3, "inductance"), ic);
+        break;
+      }
+      case 'v': {
+        const auto p = node(1);
+        const auto n = node(2);
+        const auto [w, ac] = source_spec(3);
+        ckt.add_vsource(name, p, n, w, ac);
+        break;
+      }
+      case 'i': {
+        const auto p = node(1);
+        const auto n = node(2);
+        const auto [w, ac] = source_spec(3);
+        ckt.add_isource(name, p, n, w, ac);
+        break;
+      }
+      case 'e':
+        ckt.add_vcvs(name, node(1), node(2), node(3), node(4), num(5, "gain"));
+        break;
+      case 'g':
+        ckt.add_vccs(name, node(1), node(2), node(3), node(4), num(5, "gm"));
+        break;
+      case 'k': {
+        if (toks_.size() < 4) fail("K card: Kxxx L1 L2 k");
+        auto* l1 = dynamic_cast<Inductor*>(ckt.find(map_name(toks_[1])));
+        auto* l2 = dynamic_cast<Inductor*>(ckt.find(map_name(toks_[2])));
+        if (l1 == nullptr || l2 == nullptr) {
+          fail("K card references unknown inductor '" + toks_[1] + "'/'" +
+               toks_[2] + "' (declare inductors first)");
+        }
+        ckt.add_mutual(name, *l1, *l2, num(3, "coupling"));
+        break;
+      }
+      case 'm': {
+        if (toks_.size() < 5) fail("M card: Mxxx d g s model [m=size]");
+        const auto it = models_.find(lower(toks_[4]));
+        if (it == models_.end()) fail("unknown .model '" + toks_[4] + "'");
+        const double size = keyval(5, "m").value_or(1.0);
+        ckt.add_mosfet(name, node(1), node(2), node(3), it->second, size);
+        break;
+      }
+      default:
+        fail("unsupported device type '" + std::string(1, head[0]) + "'");
+    }
+  }
+
+  void card(const std::string& head) {
+    if (head == ".model") {
+      if (toks_.size() < 3) fail(".model name nmos|pmos vt=.. beta=..");
+      MosParams mp;
+      const std::string kind = lower(toks_[2]);
+      if (kind == "nmos") {
+        mp.type = MosType::kNmos;
+      } else if (kind == "pmos") {
+        mp.type = MosType::kPmos;
+      } else {
+        fail(".model type must be nmos or pmos");
+      }
+      const auto vt = keyval(3, "vt");
+      const auto beta = keyval(3, "beta");
+      if (!vt || !beta) fail(".model requires vt= and beta=");
+      mp.vt = *vt;
+      mp.beta = *beta;
+      mp.lambda = keyval(3, "lambda").value_or(0.0);
+      models_[lower(toks_[1])] = mp;
+    } else if (head == ".tran") {
+      TransientOptions t;
+      t.dt = num(1, ".tran tstep");
+      t.tstop = num(2, ".tran tstop");
+      if (toks_.size() > 3) t.record_start = num(3, ".tran tstart");
+      deck_.tran = t;
+    } else if (head == ".ac") {
+      if (toks_.size() < 5 || lower(toks_[1]) != "dec") {
+        fail(".ac dec points fstart fstop");
+      }
+      AcOptions a;
+      a.frequencies = log_frequencies(num(3, "fstart"), num(4, "fstop"),
+                                      static_cast<int>(num(2, "points")));
+      deck_.ac = a;
+    } else if (head == ".ic") {
+      // tokens: .ic v ( node ) = value ... -> after tokenize: ".ic" "v" node "=" value
+      std::size_t i = 1;
+      while (i < toks_.size()) {
+        if (lower(toks_[i]) != "v" || i + 3 >= toks_.size() ||
+            toks_[i + 2] != "=") {
+          fail(".ic expects v(node)=value pairs");
+        }
+        ics_.emplace_back(deck_.circuit.node(toks_[i + 1]),
+                          parse_spice_number(toks_[i + 3]));
+        i += 4;
+      }
+    } else if (head == ".options" || head == ".option") {
+      // Accepted and ignored (documented no-op).
+    } else {
+      fail("unsupported card '" + head + "'");
+    }
+  }
+
+  /// Record a .subckt ... .ends block starting at card index i; returns the
+  /// index of the .ends card (the caller's loop continues after it).
+  std::size_t collect_subckt(std::size_t i) {
+    if (toks_.size() < 2) fail(".subckt needs a name and ports");
+    Subckt sub;
+    const std::string name = lower(toks_[1]);
+    for (std::size_t p = 2; p < toks_.size(); ++p) sub.ports.push_back(toks_[p]);
+    std::size_t j = i + 1;
+    for (; j < cards_.size(); ++j) {
+      const auto t = tokenize(cards_[j].text);
+      if (!t.empty() && lower(t[0]) == ".ends") break;
+      if (!t.empty() && lower(t[0]) == ".subckt") {
+        fail("nested .subckt definitions are not supported (nest via X instances)");
+      }
+      sub.body.push_back(cards_[j]);
+    }
+    if (j >= cards_.size()) fail(".subckt '" + name + "' missing .ends");
+    subckts_[name] = std::move(sub);
+    return j;
+  }
+
+  /// Expand an X card by replaying the subcircuit body through the regular
+  /// device path with node/name mapping active.  Supports nesting.
+  void expand_instance() {
+    if (toks_.size() < 2) fail("X card: Xname nodes... subcktname");
+    const std::string inst = map_name(toks_[0]);
+    const std::string sub_name = lower(toks_.back());
+    const auto it = subckts_.find(sub_name);
+    if (it == subckts_.end()) fail("unknown .subckt '" + toks_.back() + "'");
+    const Subckt& sub = it->second;
+    if (toks_.size() - 2 != sub.ports.size()) {
+      fail("subckt '" + sub_name + "' expects " +
+           std::to_string(sub.ports.size()) + " nodes, got " +
+           std::to_string(toks_.size() - 2));
+    }
+    if (++expansion_depth_ > 20) fail("subcircuit nesting too deep (cycle?)");
+    // Build the port map in the CALLER's namespace first.
+    auto local_map = std::make_unique<std::map<std::string, std::string>>();
+    for (std::size_t p = 0; p < sub.ports.size(); ++p) {
+      (*local_map)[lower(sub.ports[p])] = map_node(toks_[1 + p]);
+    }
+    // Swap in the instance context and replay the body.
+    auto* saved_map = node_map_;
+    const std::string saved_prefix = name_prefix_;
+    const auto saved_toks = toks_;
+    const int saved_line = line_;
+    node_map_ = local_map.get();
+    name_prefix_ = inst + ".";
+    for (const Card& c : sub.body) {
+      line_ = c.line;
+      toks_ = tokenize(c.text);
+      if (toks_.empty()) continue;
+      const std::string head = lower(toks_[0]);
+      if (head[0] == '.') {
+        if (head == ".model") {
+          card(head);  // models are global
+        } else {
+          fail("card '" + head + "' not allowed inside .subckt");
+        }
+      } else {
+        device(head);
+      }
+    }
+    node_map_ = saved_map;
+    name_prefix_ = saved_prefix;
+    toks_ = saved_toks;
+    line_ = saved_line;
+    --expansion_depth_;
+  }
+
+  struct Subckt {
+    std::vector<std::string> ports;
+    std::vector<Card> body;
+  };
+
+  std::vector<Card> cards_;
+  std::vector<std::string> toks_;
+  int line_ = 0;
+  ParsedDeck deck_;
+  std::map<std::string, MosParams> models_;
+  std::vector<std::pair<NodeId, double>> ics_;
+  std::map<std::string, Subckt> subckts_;
+  const std::map<std::string, std::string>* node_map_ = nullptr;
+  std::string name_prefix_;
+  int expansion_depth_ = 0;
+};
+
+}  // namespace
+
+ParsedDeck parse_netlist(const std::string& text) { return Parser(text).run(); }
+
+ParsedDeck parse_netlist_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open netlist file: " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return parse_netlist(ss.str());
+}
+
+}  // namespace rlc::spice

@@ -1,0 +1,70 @@
+#include "rlc/spice/waveform.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rlc/math/constants.hpp"
+
+namespace rlc::spice {
+
+namespace {
+
+double pulse_value(const PulseSpec& p, double t) {
+  if (t < p.delay) return p.v1;
+  double tau = t - p.delay;
+  if (p.period > 0.0) tau = std::fmod(tau, p.period);
+  if (tau < p.rise) {
+    return p.v1 + (p.v2 - p.v1) * tau / p.rise;
+  }
+  tau -= p.rise;
+  if (tau < p.width) return p.v2;
+  tau -= p.width;
+  if (tau < p.fall) {
+    return p.v2 + (p.v1 - p.v2) * tau / p.fall;
+  }
+  return p.v1;
+}
+
+double pwl_value(const PwlSpec& p, double t) {
+  if (p.points.empty()) return 0.0;
+  if (t <= p.points.front().first) return p.points.front().second;
+  if (t >= p.points.back().first) return p.points.back().second;
+  const auto it = std::upper_bound(
+      p.points.begin(), p.points.end(), t,
+      [](double tt, const std::pair<double, double>& pt) { return tt < pt.first; });
+  const auto& hi = *it;
+  const auto& lo = *(it - 1);
+  const double span = hi.first - lo.first;
+  if (span <= 0.0) return hi.second;
+  return lo.second + (hi.second - lo.second) * (t - lo.first) / span;
+}
+
+double sin_value(const SinSpec& s, double t) {
+  if (t < s.delay) return s.offset;
+  const double tau = t - s.delay;
+  return s.offset + s.amplitude * std::exp(-s.damping * tau) *
+                        std::sin(2.0 * rlc::math::kPi * s.freq * tau);
+}
+
+}  // namespace
+
+double waveform_value(const Waveform& w, double t) {
+  return std::visit(
+      [t](const auto& spec) -> double {
+        using T = std::decay_t<decltype(spec)>;
+        if constexpr (std::is_same_v<T, DcSpec>) {
+          return spec.value;
+        } else if constexpr (std::is_same_v<T, PulseSpec>) {
+          return pulse_value(spec, t);
+        } else if constexpr (std::is_same_v<T, PwlSpec>) {
+          return pwl_value(spec, t);
+        } else {
+          return sin_value(spec, t);
+        }
+      },
+      w);
+}
+
+double waveform_dc_value(const Waveform& w) { return waveform_value(w, 0.0); }
+
+}  // namespace rlc::spice

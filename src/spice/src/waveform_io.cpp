@@ -1,0 +1,131 @@
+#include "rlc/spice/waveform_io.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace rlc::spice {
+
+namespace {
+
+void write_value(std::ostream& out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out << buf;
+}
+
+std::ofstream open_or_throw(const std::string& path) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("cannot open for writing: " + path);
+  return f;
+}
+
+}  // namespace
+
+void write_csv(std::ostream& out, const TransientResult& r) {
+  out << "time";
+  for (const auto& l : r.labels) out << "," << l;
+  out << "\n";
+  for (std::size_t i = 0; i < r.time.size(); ++i) {
+    write_value(out, r.time[i]);
+    for (const auto& s : r.signals) {
+      out << ",";
+      write_value(out, s[i]);
+    }
+    out << "\n";
+  }
+}
+
+void write_csv_file(const std::string& path, const TransientResult& r) {
+  auto f = open_or_throw(path);
+  write_csv(f, r);
+}
+
+void write_csv(std::ostream& out, const AcResult& r) {
+  out << "freq";
+  for (const auto& l : r.labels) out << ",|" << l << "|,arg(" << l << ")";
+  out << "\n";
+  for (std::size_t i = 0; i < r.freq.size(); ++i) {
+    write_value(out, r.freq[i]);
+    for (const auto& s : r.signals) {
+      out << ",";
+      write_value(out, std::abs(s[i]));
+      out << ",";
+      write_value(out, std::arg(s[i]));
+    }
+    out << "\n";
+  }
+}
+
+void write_csv_file(const std::string& path, const AcResult& r) {
+  auto f = open_or_throw(path);
+  write_csv(f, r);
+}
+
+const std::vector<double>& CsvTable::column(const std::string& label) const {
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (labels[i] == label) return columns[i];
+  }
+  throw std::out_of_range("CsvTable::column: no column '" + label + "'");
+}
+
+CsvTable read_csv(std::istream& in) {
+  CsvTable t;
+  std::string line;
+  if (!std::getline(in, line)) throw std::runtime_error("read_csv: empty input");
+  // Header.
+  {
+    std::istringstream hs(line);
+    std::string cell;
+    bool first = true;
+    while (std::getline(hs, cell, ',')) {
+      if (first) {
+        first = false;  // axis column name ignored
+      } else {
+        t.labels.push_back(cell);
+      }
+    }
+  }
+  t.columns.assign(t.labels.size(), {});
+  int lineno = 1;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string cell;
+    std::size_t col = 0;
+    while (std::getline(ls, cell, ',')) {
+      double v;
+      try {
+        v = std::stod(cell);
+      } catch (const std::exception&) {
+        throw std::runtime_error("read_csv: bad number '" + cell + "' at line " +
+                                 std::to_string(lineno));
+      }
+      if (col == 0) {
+        t.axis.push_back(v);
+      } else if (col - 1 < t.columns.size()) {
+        t.columns[col - 1].push_back(v);
+      } else {
+        throw std::runtime_error("read_csv: extra column at line " +
+                                 std::to_string(lineno));
+      }
+      ++col;
+    }
+    if (col != t.labels.size() + 1) {
+      throw std::runtime_error("read_csv: wrong column count at line " +
+                               std::to_string(lineno));
+    }
+  }
+  return t;
+}
+
+CsvTable read_csv_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("cannot open for reading: " + path);
+  return read_csv(f);
+}
+
+}  // namespace rlc::spice

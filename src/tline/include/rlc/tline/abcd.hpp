@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file abcd.hpp
+/// ABCD (chain) two-port matrices over complex frequency.  The paper builds
+/// the driver-interconnect-load transfer function (Eq. 1) as the cascade
+///   series(Rs) * shunt(s*Cp) * rlc_line(theta*h, Z0) * shunt(s*Cl).
+
+#include <complex>
+
+#include "rlc/tline/line.hpp"
+
+namespace rlc::tline {
+
+/// Chain-parameter matrix [[A, B], [C, D]]: V1 = A V2 + B I2, I1 = C V2 + D I2.
+struct Abcd {
+  std::complex<double> a{1.0, 0.0};
+  std::complex<double> b{0.0, 0.0};
+  std::complex<double> c{0.0, 0.0};
+  std::complex<double> d{1.0, 0.0};
+
+  /// Cascade: this stage followed by `next` (matrix product this * next).
+  Abcd cascade(const Abcd& next) const;
+
+  /// Identity two-port.
+  static Abcd identity() { return {}; }
+
+  /// Series impedance Z: [[1, Z], [0, 1]].
+  static Abcd series_impedance(std::complex<double> z);
+
+  /// Shunt admittance Y: [[1, 0], [Y, 1]].
+  static Abcd shunt_admittance(std::complex<double> y);
+
+  /// Uniform RLC line of length h at complex frequency s:
+  /// [[cosh(theta h), Z0 sinh(theta h)], [sinh(theta h)/Z0, cosh(theta h)]].
+  static Abcd rlc_line(const LineParams& line, double h, std::complex<double> s);
+
+  /// Voltage transfer V2/V1 into a load admittance Y_load:
+  /// H = 1 / (A + B * Y_load) after the load has been absorbed, i.e. for the
+  /// full cascade including the load shunt, H = 1 / A.
+  std::complex<double> voltage_transfer_open() const { return 1.0 / a; }
+};
+
+}  // namespace rlc::tline

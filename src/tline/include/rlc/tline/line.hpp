@@ -1,0 +1,50 @@
+#pragma once
+
+/// \file line.hpp
+/// Per-unit-length parameters of a uniform lossy RLC transmission line and
+/// the derived secondary parameters Z0(s) (characteristic impedance) and
+/// theta(s) (propagation constant), as used in Eq. (1) of the paper.
+
+#include <cmath>
+#include <complex>
+#include <stdexcept>
+
+namespace rlc::tline {
+
+/// Per-unit-length line parameters, SI units.
+struct LineParams {
+  double r = 0.0;  ///< series resistance [Ohm/m]
+  double l = 0.0;  ///< series inductance [H/m]
+  double c = 0.0;  ///< shunt capacitance [F/m]
+
+  /// Characteristic impedance Z0(s) = sqrt((r + s*l) / (s*c)).
+  std::complex<double> z0(std::complex<double> s) const {
+    return std::sqrt((r + s * l) / (s * c));
+  }
+
+  /// Propagation constant theta(s) = sqrt((r + s*l) * s * c) [1/m].
+  std::complex<double> theta(std::complex<double> s) const {
+    return std::sqrt((r + s * l) * s * c);
+  }
+
+  /// Lossless characteristic impedance sqrt(l/c) — the large-inductance
+  /// asymptote the optimal driver impedance matches (Section 3.1).
+  double z0_lossless() const {
+    if (l <= 0.0 || c <= 0.0) {
+      throw std::domain_error("z0_lossless requires l > 0 and c > 0");
+    }
+    return std::sqrt(l / c);
+  }
+
+  /// Time of flight per unit length sqrt(l*c) [s/m] (lossless limit).
+  double time_of_flight() const { return std::sqrt(l * c); }
+
+  /// Validate physical ranges (r, c > 0; l >= 0).  Throws std::domain_error.
+  void validate() const {
+    if (!(r > 0.0) || !(c > 0.0) || !(l >= 0.0)) {
+      throw std::domain_error("LineParams: require r > 0, c > 0, l >= 0");
+    }
+  }
+};
+
+}  // namespace rlc::tline

@@ -1,0 +1,66 @@
+#pragma once
+
+/// \file transfer.hpp
+/// Exact Laplace-domain transfer function of the driver-interconnect-load
+/// structure of Figure 1 / Eq. (1):
+///
+///   H(s) = 1 / { [1 + s Rs (Cp + Cl)] cosh(theta h)
+///                + [Rs/Z0 + s Cl Z0 + s^2 Rs Cp Cl Z0] sinh(theta h) }
+///
+/// Two implementations are provided: the closed form of Eq. (1) and the
+/// ABCD cascade of the four stages; they agree to machine precision and the
+/// test suite enforces this.
+
+#include <complex>
+
+#include "rlc/tline/abcd.hpp"
+#include "rlc/tline/line.hpp"
+
+namespace rlc::tline {
+
+/// Lumped driver/load around the distributed line (Figure 1).
+struct DriverLoad {
+  double rs_eff = 0.0;  ///< driver series resistance Rs = r_s / k [Ohm]
+  double cp_eff = 0.0;  ///< driver output parasitic capacitance Cp = c_p * k [F]
+  double cl_eff = 0.0;  ///< receiver input capacitance Cl = c_0 * k [F]
+};
+
+/// Exact H(s) per Eq. (1).
+///
+/// Well-defined for all s != 0 in the right half plane and on the imaginary
+/// axis; the apparent singularity of Z0 at s -> 0 cancels (Rs/Z0 sinh and
+/// s Cl Z0 sinh are both analytic at 0) — callers evaluating near s = 0
+/// should use exact_transfer_dc_safe().
+std::complex<double> exact_transfer(const LineParams& line, double h,
+                                    const DriverLoad& dl,
+                                    std::complex<double> s);
+
+/// Exact H(s) written in the singularity-free form using
+/// sinh(theta h)/Z0 = s c h * sinhc(theta h) and Z0 sinh(theta h) =
+/// (r + s l) h * sinhc(theta h), valid at and near s = 0 (H(0) = 1).
+std::complex<double> exact_transfer_dc_safe(const LineParams& line, double h,
+                                            const DriverLoad& dl,
+                                            std::complex<double> s);
+
+/// H(s) assembled from the ABCD cascade (cross-check path).
+std::complex<double> abcd_transfer(const LineParams& line, double h,
+                                   const DriverLoad& dl,
+                                   std::complex<double> s);
+
+/// Exact H(s) with a one-parameter skin-effect model: the series impedance
+/// per unit length becomes z(s) = r sqrt(1 + s/w_s) + s l, which is r at low
+/// frequency and follows the sqrt(f) resistance rise (with the correct
+/// R ~ X asymptote) above the crossover w_s.  Pass w_s from
+/// skin_crossover_angular_frequency(); the sqrt branch is taken with
+/// positive real part so the line stays passive.
+std::complex<double> exact_transfer_skin(const LineParams& line, double h,
+                                         const DriverLoad& dl, double w_skin,
+                                         std::complex<double> s);
+
+/// Crossover angular frequency where the skin depth equals half the smaller
+/// conductor cross-section dimension: w_s = 8 rho / (mu0 d^2), d = min(w, t).
+/// Below w_s the DC resistance model is accurate.
+double skin_crossover_angular_frequency(double resistivity, double width,
+                                        double thickness);
+
+}  // namespace rlc::tline

@@ -1,0 +1,39 @@
+#include "rlc/tline/abcd.hpp"
+
+namespace rlc::tline {
+
+Abcd Abcd::cascade(const Abcd& next) const {
+  Abcd out;
+  out.a = a * next.a + b * next.c;
+  out.b = a * next.b + b * next.d;
+  out.c = c * next.a + d * next.c;
+  out.d = c * next.b + d * next.d;
+  return out;
+}
+
+Abcd Abcd::series_impedance(std::complex<double> z) {
+  Abcd m;
+  m.b = z;
+  return m;
+}
+
+Abcd Abcd::shunt_admittance(std::complex<double> y) {
+  Abcd m;
+  m.c = y;
+  return m;
+}
+
+Abcd Abcd::rlc_line(const LineParams& line, double h, std::complex<double> s) {
+  const std::complex<double> th = line.theta(s) * h;
+  const std::complex<double> z0 = line.z0(s);
+  const std::complex<double> ch = std::cosh(th);
+  const std::complex<double> sh = std::sinh(th);
+  Abcd m;
+  m.a = ch;
+  m.b = z0 * sh;
+  m.c = sh / z0;
+  m.d = ch;
+  return m;
+}
+
+}  // namespace rlc::tline

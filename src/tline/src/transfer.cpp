@@ -1,0 +1,94 @@
+#include "rlc/tline/transfer.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "rlc/math/constants.hpp"
+
+namespace rlc::tline {
+
+namespace {
+
+using cplx = std::complex<double>;
+
+/// sinh(x)/x with a series fallback near zero.
+cplx sinhc(cplx x) {
+  if (std::abs(x) < 1e-4) {
+    const cplx x2 = x * x;
+    return 1.0 + x2 / 6.0 + x2 * x2 / 120.0;
+  }
+  return std::sinh(x) / x;
+}
+
+}  // namespace
+
+cplx exact_transfer(const LineParams& line, double h, const DriverLoad& dl,
+                    cplx s) {
+  const cplx th = line.theta(s) * h;
+  const cplx z0 = line.z0(s);
+  const cplx ch = std::cosh(th);
+  const cplx sh = std::sinh(th);
+  const cplx denom =
+      (1.0 + s * dl.rs_eff * (dl.cp_eff + dl.cl_eff)) * ch +
+      (dl.rs_eff / z0 + s * dl.cl_eff * z0 + s * s * dl.rs_eff * dl.cp_eff * dl.cl_eff * z0) *
+          sh;
+  return 1.0 / denom;
+}
+
+cplx exact_transfer_dc_safe(const LineParams& line, double h,
+                            const DriverLoad& dl, cplx s) {
+  // theta^2 = (r + s l) s c; use sinh(th)/Z0 = s c h sinhc(th) and
+  // Z0 sinh(th) = (r + s l) h sinhc(th), both analytic at s = 0.
+  const cplx zser = line.r + s * line.l;        // series impedance per length
+  const cplx ypar = s * line.c;                 // shunt admittance per length
+  const cplx th2 = zser * ypar * h * h;         // (theta h)^2
+  const cplx th = std::sqrt(th2);
+  const cplx ch = std::cosh(th);
+  const cplx shc = sinhc(th);
+  const cplx denom =
+      (1.0 + s * dl.rs_eff * (dl.cp_eff + dl.cl_eff)) * ch +
+      dl.rs_eff * ypar * h * shc +
+      (s * dl.cl_eff + s * s * dl.rs_eff * dl.cp_eff * dl.cl_eff) * zser * h * shc;
+  return 1.0 / denom;
+}
+
+cplx exact_transfer_skin(const LineParams& line, double h,
+                         const DriverLoad& dl, double w_skin, cplx s) {
+  if (!(w_skin > 0.0)) {
+    throw std::domain_error("exact_transfer_skin: w_skin must be > 0");
+  }
+  // Series impedance with the skin correction; shunt admittance unchanged.
+  cplx zr = std::sqrt(1.0 + s / w_skin);
+  if (zr.real() < 0.0) zr = -zr;  // passive branch
+  const cplx zser = line.r * zr + s * line.l;
+  const cplx ypar = s * line.c;
+  const cplx th = std::sqrt(zser * ypar) * h;
+  const cplx ch = std::cosh(th);
+  const cplx shc = sinhc(th);
+  const cplx denom =
+      (1.0 + s * dl.rs_eff * (dl.cp_eff + dl.cl_eff)) * ch +
+      dl.rs_eff * ypar * h * shc +
+      (s * dl.cl_eff + s * s * dl.rs_eff * dl.cp_eff * dl.cl_eff) * zser * h * shc;
+  return 1.0 / denom;
+}
+
+double skin_crossover_angular_frequency(double resistivity, double width,
+                                        double thickness) {
+  if (!(resistivity > 0.0 && width > 0.0 && thickness > 0.0)) {
+    throw std::domain_error(
+        "skin_crossover_angular_frequency: inputs must be > 0");
+  }
+  const double d = std::min(width, thickness);
+  return 8.0 * resistivity / (rlc::math::kMu0 * d * d);
+}
+
+cplx abcd_transfer(const LineParams& line, double h, const DriverLoad& dl,
+                   cplx s) {
+  const Abcd chain = Abcd::series_impedance(dl.rs_eff)
+                         .cascade(Abcd::shunt_admittance(s * dl.cp_eff))
+                         .cascade(Abcd::rlc_line(line, h, s))
+                         .cascade(Abcd::shunt_admittance(s * dl.cl_eff));
+  return chain.voltage_transfer_open();
+}
+
+}  // namespace rlc::tline

@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file buffering.hpp
+/// Van Ginneken-style optimal buffer insertion on RC trees: bottom-up
+/// dynamic programming over (load capacitance, worst sink delay) candidates
+/// with Pareto pruning — the tree generalization of the paper's uniform-line
+/// repeater insertion, using the same repeater abstraction (r_s, c_0, c_p).
+/// Delay model: Elmore.
+
+#include <vector>
+
+#include "rlc/core/technology.hpp"
+#include "rlc/tree/rc_tree.hpp"
+
+namespace rlc::tree {
+
+/// One buffer cell: output resistance, input capacitance, output parasitic,
+/// intrinsic delay.  `from_repeater` builds a cell from the paper's
+/// repeater abstraction at size k (intrinsic delay rs/k * (cp + c0) k ~ the
+/// self-loaded delay; callers may override).
+struct BufferCell {
+  double rs = 0.0;         ///< output resistance [Ohm]
+  double cin = 0.0;        ///< input capacitance [F]
+  double cp = 0.0;         ///< output parasitic capacitance [F]
+  double intrinsic = 0.0;  ///< intrinsic delay [s]
+
+  static BufferCell from_repeater(const rlc::core::Repeater& rep, double k);
+};
+
+struct BufferLibrary {
+  std::vector<BufferCell> cells;
+
+  /// Geometrically sized library from the repeater abstraction:
+  /// k = k_min * ratio^i, i = 0..n-1.
+  static BufferLibrary geometric(const rlc::core::Repeater& rep, double k_min,
+                                 double ratio, int n);
+};
+
+/// A chosen insertion: buffer cell index at a tree node.
+struct Placement {
+  NodeId node = 0;
+  int cell = 0;
+};
+
+struct BufferingResult {
+  double delay = 0.0;  ///< worst root-to-sink Elmore delay after buffering
+  std::vector<Placement> placements;
+};
+
+struct BufferingOptions {
+  /// Nodes where insertion is allowed; empty = every node except the root.
+  std::vector<NodeId> legal_nodes;
+  /// Keep at most this many Pareto candidates per node (0 = unlimited).
+  int max_candidates = 0;
+};
+
+/// Minimize the worst root-to-sink Elmore delay by optimally inserting
+/// buffers from `lib` at legal nodes of `tree`.  Returns the optimal delay
+/// and the placements achieving it.  The unbuffered solution is always a
+/// candidate, so the result never exceeds the plain Elmore delay.
+BufferingResult van_ginneken(const RcTree& tree, const BufferLibrary& lib,
+                             const BufferingOptions& opts = {});
+
+/// Worst sink Elmore delay without any buffering (baseline).
+double unbuffered_delay(const RcTree& tree);
+
+}  // namespace rlc::tree

@@ -1,0 +1,81 @@
+#pragma once
+
+/// \file rc_tree.hpp
+/// RC interconnect trees: the branching generalization of the paper's
+/// point-to-point line.  Provides the first two impulse-response moments at
+/// every node (Elmore delay = m1, computed by the classic two-pass O(n)
+/// algorithm) and per-sink two-pole reductions compatible with
+/// rlc::core::TwoPole, so the same Eq. (3) threshold-delay machinery applies
+/// to tree sinks.
+///
+/// Moment conventions: H_i(s) = 1 - m1_i s + m2_i s^2 - ... so that
+/// b1 = m1 and b2 = m1^2 - m2 reduce each sink to the paper's two-pole form.
+
+#include <vector>
+
+#include "rlc/core/pade.hpp"
+
+namespace rlc::tree {
+
+using NodeId = int;
+
+/// A rooted RC tree.  Node 0 is the root, driven from an ideal source
+/// through the driver resistance given at construction.  Each further node
+/// hangs off its parent through an edge resistance and carries a lumped
+/// capacitance to ground.
+class RcTree {
+ public:
+  /// `driver_resistance` > 0: the source/driver output resistance feeding
+  /// the root; `root_cap` >= 0: lumped capacitance at the root node.
+  explicit RcTree(double driver_resistance, double root_cap = 0.0);
+
+  /// Add a node with capacitance `cap` connected to `parent` through
+  /// resistance `r_edge` (> 0).  Returns the new node id.
+  NodeId add_node(NodeId parent, double r_edge, double cap);
+
+  /// Convenience: add a uniform wire of total resistance r_total and total
+  /// capacitance c_total from `from`, as `nseg` pi-segments.  Returns the
+  /// far-end node.
+  NodeId add_wire(NodeId from, double r_total, double c_total, int nseg);
+
+  /// Add extra lumped capacitance at an existing node (e.g. a sink load).
+  void add_cap(NodeId node, double cap);
+
+  int size() const { return static_cast<int>(parent_.size()); }
+  NodeId parent(NodeId n) const { return parent_[n]; }
+  double edge_resistance(NodeId n) const { return r_edge_[n]; }
+  double node_cap(NodeId n) const { return cap_[n]; }
+  double driver_resistance() const { return rs_; }
+  const std::vector<NodeId>& children(NodeId n) const { return children_[n]; }
+  /// Nodes with no children.
+  std::vector<NodeId> leaves() const;
+  /// Total capacitance of the tree.
+  double total_cap() const;
+
+  /// First moment (Elmore delay) at every node [s].
+  std::vector<double> elmore_delays() const;
+
+  /// First and second impulse-response moments at every node.
+  struct Moments {
+    double m1 = 0.0;
+    double m2 = 0.0;
+  };
+  std::vector<Moments> moments() const;
+
+  /// Two-pole (Pade) reduction at one node: b1 = m1, b2 = m1^2 - m2.
+  /// Throws std::runtime_error when the moments are not reducible
+  /// (b2 <= 0): a single lumped RC is a true one-pole system, and nodes
+  /// near the root of a deep tree can have m2 > m1^2 (fast local rise with
+  /// a long far-capacitance tail).  Sinks of interest are reducible in
+  /// practice; callers must handle the refusal.
+  rlc::core::PadeCoeffs two_pole_at(NodeId node) const;
+
+ private:
+  double rs_;
+  std::vector<NodeId> parent_;
+  std::vector<double> r_edge_;
+  std::vector<double> cap_;
+  std::vector<std::vector<NodeId>> children_;
+};
+
+}  // namespace rlc::tree

@@ -1,0 +1,180 @@
+#include "rlc/tree/buffering.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace rlc::tree {
+
+BufferCell BufferCell::from_repeater(const rlc::core::Repeater& rep, double k) {
+  if (!(k > 0.0)) throw std::domain_error("BufferCell: k must be > 0");
+  BufferCell c;
+  c.rs = rep.rs / k;
+  c.cin = rep.c0 * k;
+  c.cp = rep.cp * k;
+  // Self-loaded delay of the stage: Rs * Cp (the load term Rs*C_load is
+  // added by the DP when the downstream capacitance is known).
+  c.intrinsic = c.rs * c.cp;
+  return c;
+}
+
+BufferLibrary BufferLibrary::geometric(const rlc::core::Repeater& rep,
+                                       double k_min, double ratio, int n) {
+  if (!(k_min > 0.0) || !(ratio > 1.0) || n < 1) {
+    throw std::domain_error("BufferLibrary::geometric: bad parameters");
+  }
+  BufferLibrary lib;
+  double k = k_min;
+  for (int i = 0; i < n; ++i) {
+    lib.cells.push_back(BufferCell::from_repeater(rep, k));
+    k *= ratio;
+  }
+  return lib;
+}
+
+namespace {
+
+/// One DP candidate: downstream load as seen from the current point, the
+/// worst delay from here to any downstream sink, and the placements chosen.
+struct Candidate {
+  double cap = 0.0;
+  double delay = 0.0;
+  std::vector<Placement> placements;
+};
+
+/// Keep the Pareto frontier: sort by cap ascending and drop any candidate
+/// whose delay is not strictly better than a cheaper one's.
+void prune(std::vector<Candidate>& cands, int max_candidates) {
+  std::sort(cands.begin(), cands.end(), [](const Candidate& a, const Candidate& b) {
+    if (a.cap != b.cap) return a.cap < b.cap;
+    return a.delay < b.delay;
+  });
+  std::vector<Candidate> keep;
+  double best_delay = std::numeric_limits<double>::infinity();
+  for (auto& c : cands) {
+    if (c.delay < best_delay - 1e-18) {
+      best_delay = c.delay;
+      keep.push_back(std::move(c));
+    }
+  }
+  if (max_candidates > 0 && static_cast<int>(keep.size()) > max_candidates) {
+    // Uniformly subsample, always keeping the extremes.
+    std::vector<Candidate> thin;
+    const int n = static_cast<int>(keep.size());
+    for (int i = 0; i < max_candidates; ++i) {
+      thin.push_back(std::move(keep[i * (n - 1) / (max_candidates - 1)]));
+    }
+    keep = std::move(thin);
+  }
+  cands = std::move(keep);
+}
+
+/// Merge two children candidate lists at a branch point: caps add, delays
+/// take the max.  Cross product then prune.
+std::vector<Candidate> merge(const std::vector<Candidate>& a,
+                             const std::vector<Candidate>& b,
+                             int max_candidates) {
+  std::vector<Candidate> out;
+  out.reserve(a.size() * b.size());
+  for (const auto& x : a) {
+    for (const auto& y : b) {
+      Candidate c;
+      c.cap = x.cap + y.cap;
+      c.delay = std::max(x.delay, y.delay);
+      c.placements = x.placements;
+      c.placements.insert(c.placements.end(), y.placements.begin(),
+                          y.placements.end());
+      out.push_back(std::move(c));
+    }
+  }
+  prune(out, max_candidates);
+  return out;
+}
+
+}  // namespace
+
+double unbuffered_delay(const RcTree& tree) {
+  const auto m1 = tree.elmore_delays();
+  double worst = 0.0;
+  for (const NodeId leaf : tree.leaves()) worst = std::max(worst, m1[leaf]);
+  return worst;
+}
+
+BufferingResult van_ginneken(const RcTree& tree, const BufferLibrary& lib,
+                             const BufferingOptions& opts) {
+  if (lib.cells.empty()) {
+    throw std::invalid_argument("van_ginneken: empty buffer library");
+  }
+  std::vector<char> legal(tree.size(), opts.legal_nodes.empty() ? 1 : 0);
+  legal[0] = 0;  // never at the root (the driver is already there)
+  for (const NodeId n : opts.legal_nodes) {
+    if (n <= 0 || n >= tree.size()) {
+      throw std::out_of_range("van_ginneken: bad legal node");
+    }
+    legal[n] = 1;
+  }
+
+  // Bottom-up over nodes (children always have larger ids).
+  std::vector<std::vector<Candidate>> cands(tree.size());
+  for (NodeId n = tree.size() - 1; n >= 0; --n) {
+    std::vector<Candidate> cur;
+    if (tree.children(n).empty()) {
+      cur.push_back({tree.node_cap(n), 0.0, {}});
+    } else {
+      // Children lists have already been propagated through their edges.
+      cur = cands[tree.children(n).front()];
+      for (std::size_t i = 1; i < tree.children(n).size(); ++i) {
+        cur = merge(cur, cands[tree.children(n)[i]], opts.max_candidates);
+      }
+      for (auto& c : cur) c.cap += tree.node_cap(n);
+    }
+    // Optional buffer at this node: the buffer drives everything downstream.
+    if (legal[n]) {
+      std::vector<Candidate> with_buf;
+      for (int ci = 0; ci < static_cast<int>(lib.cells.size()); ++ci) {
+        const BufferCell& cell = lib.cells[ci];
+        // Best downstream option behind this buffer.
+        const Candidate* best = nullptr;
+        double best_delay = std::numeric_limits<double>::infinity();
+        for (const auto& c : cur) {
+          const double d = c.delay + cell.intrinsic + cell.rs * (c.cap + cell.cp);
+          if (d < best_delay) {
+            best_delay = d;
+            best = &c;
+          }
+        }
+        if (best == nullptr) continue;
+        Candidate nc;
+        nc.cap = cell.cin;
+        nc.delay = best_delay;
+        nc.placements = best->placements;
+        nc.placements.push_back({n, ci});
+        with_buf.push_back(std::move(nc));
+      }
+      cur.insert(cur.end(), std::make_move_iterator(with_buf.begin()),
+                 std::make_move_iterator(with_buf.end()));
+      prune(cur, opts.max_candidates);
+    }
+    // Propagate through the edge to the parent (root has no edge).
+    if (n > 0) {
+      const double r = tree.edge_resistance(n);
+      for (auto& c : cur) c.delay += r * c.cap;
+    }
+    cands[n] = std::move(cur);
+  }
+
+  // Driver at the root.
+  BufferingResult res;
+  res.delay = std::numeric_limits<double>::infinity();
+  for (const auto& c : cands[0]) {
+    const double d = c.delay + tree.driver_resistance() * c.cap;
+    if (d < res.delay) {
+      res.delay = d;
+      res.placements = c.placements;
+    }
+  }
+  return res;
+}
+
+}  // namespace rlc::tree

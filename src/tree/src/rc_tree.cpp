@@ -1,0 +1,115 @@
+#include "rlc/tree/rc_tree.hpp"
+
+#include <stdexcept>
+
+namespace rlc::tree {
+
+RcTree::RcTree(double driver_resistance, double root_cap) : rs_(driver_resistance) {
+  if (!(driver_resistance > 0.0) || !(root_cap >= 0.0)) {
+    throw std::domain_error("RcTree: require rs > 0 and root_cap >= 0");
+  }
+  parent_.push_back(-1);
+  r_edge_.push_back(0.0);
+  cap_.push_back(root_cap);
+  children_.emplace_back();
+}
+
+NodeId RcTree::add_node(NodeId parent, double r_edge, double cap) {
+  if (parent < 0 || parent >= size()) {
+    throw std::out_of_range("RcTree::add_node: bad parent");
+  }
+  if (!(r_edge > 0.0) || !(cap >= 0.0)) {
+    throw std::domain_error("RcTree::add_node: require r_edge > 0, cap >= 0");
+  }
+  const NodeId id = size();
+  parent_.push_back(parent);
+  r_edge_.push_back(r_edge);
+  cap_.push_back(cap);
+  children_.emplace_back();
+  children_[parent].push_back(id);
+  return id;
+}
+
+NodeId RcTree::add_wire(NodeId from, double r_total, double c_total, int nseg) {
+  if (nseg < 1) throw std::domain_error("RcTree::add_wire: nseg must be >= 1");
+  if (!(r_total > 0.0) || !(c_total >= 0.0)) {
+    throw std::domain_error("RcTree::add_wire: require r > 0, c >= 0");
+  }
+  const double rseg = r_total / nseg;
+  const double cseg = c_total / nseg;
+  NodeId cur = from;
+  // Pi segments: half capacitance at each segment end; adjacent halves merge.
+  add_cap(cur, 0.5 * cseg);
+  for (int i = 0; i < nseg; ++i) {
+    const double end_cap = (i + 1 < nseg) ? cseg : 0.5 * cseg;
+    cur = add_node(cur, rseg, end_cap);
+  }
+  return cur;
+}
+
+void RcTree::add_cap(NodeId node, double cap) {
+  if (node < 0 || node >= size()) throw std::out_of_range("RcTree::add_cap: bad node");
+  if (!(cap >= 0.0)) throw std::domain_error("RcTree::add_cap: cap must be >= 0");
+  cap_[node] += cap;
+}
+
+std::vector<NodeId> RcTree::leaves() const {
+  std::vector<NodeId> out;
+  for (NodeId n = 0; n < size(); ++n) {
+    if (children_[n].empty()) out.push_back(n);
+  }
+  return out;
+}
+
+double RcTree::total_cap() const {
+  double acc = 0.0;
+  for (double c : cap_) acc += c;
+  return acc;
+}
+
+std::vector<double> RcTree::elmore_delays() const {
+  std::vector<double> m1(size());
+  // Downstream capacitance by reverse topological order (children have
+  // larger ids than parents by construction).
+  std::vector<double> cdown(cap_);
+  for (NodeId n = size() - 1; n >= 1; --n) cdown[parent_[n]] += cdown[n];
+  // Prefix accumulation: m1(i) = m1(parent) + R_edge(i) * Cdown(i), with the
+  // driver resistance common to the whole tree.
+  m1[0] = rs_ * cdown[0];
+  for (NodeId n = 1; n < size(); ++n) {
+    m1[n] = m1[parent_[n]] + r_edge_[n] * cdown[n];
+  }
+  return m1;
+}
+
+std::vector<RcTree::Moments> RcTree::moments() const {
+  const std::vector<double> m1 = elmore_delays();
+  // Second moment: same recursion with capacitances weighted by m1:
+  // m2(i) = sum_k R_ik C_k m1_k.
+  std::vector<double> c2(size());
+  for (NodeId n = 0; n < size(); ++n) c2[n] = cap_[n] * m1[n];
+  for (NodeId n = size() - 1; n >= 1; --n) c2[parent_[n]] += c2[n];
+  std::vector<Moments> out(size());
+  out[0] = {m1[0], rs_ * c2[0]};
+  for (NodeId n = 1; n < size(); ++n) {
+    out[n].m1 = m1[n];
+    out[n].m2 = out[parent_[n]].m2 + r_edge_[n] * c2[n];
+  }
+  return out;
+}
+
+rlc::core::PadeCoeffs RcTree::two_pole_at(NodeId node) const {
+  if (node < 0 || node >= size()) {
+    throw std::out_of_range("RcTree::two_pole_at: bad node");
+  }
+  const auto ms = moments();
+  rlc::core::PadeCoeffs pc;
+  pc.b1 = ms[node].m1;
+  pc.b2 = ms[node].m1 * ms[node].m1 - ms[node].m2;
+  if (!(pc.b1 > 0.0) || !(pc.b2 > 0.0)) {
+    throw std::runtime_error("RcTree::two_pole_at: moments not reducible");
+  }
+  return pc;
+}
+
+}  // namespace rlc::tree

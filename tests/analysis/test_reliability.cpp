@@ -1,0 +1,79 @@
+#include "rlc/analysis/reliability.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace rlc::analysis {
+namespace {
+
+TEST(OxideStress, CleanWaveformWithinMargin) {
+  const std::vector<double> v{0.0, 0.6, 1.2, 1.25};
+  const auto s = oxide_stress(v, 1.2);
+  EXPECT_NEAR(s.v_peak, 1.25, 1e-12);
+  EXPECT_NEAR(s.overstress_ratio, 1.25 / 1.2, 1e-12);
+  EXPECT_FALSE(s.exceeds_margin);  // within the 10% budget
+}
+
+TEST(OxideStress, OvershootBeyondMarginFlagged) {
+  const std::vector<double> v{0.0, 1.2, 1.5};
+  const auto s = oxide_stress(v, 1.2);
+  EXPECT_TRUE(s.exceeds_margin);
+}
+
+TEST(OxideStress, NegativeExcursionsCountViaMagnitude) {
+  // A -1.4 V undershoot stresses the oxide exactly like +1.4 V.
+  const std::vector<double> v{0.0, -1.4};
+  const auto s = oxide_stress(v, 1.2);
+  EXPECT_NEAR(s.v_peak, 1.4, 1e-12);
+  EXPECT_TRUE(s.exceeds_margin);
+}
+
+TEST(OxideStress, CustomMargin) {
+  const std::vector<double> v{1.3};
+  EXPECT_FALSE(oxide_stress(v, 1.2, 1.2).exceeds_margin);
+  EXPECT_TRUE(oxide_stress(v, 1.2, 1.05).exceeds_margin);
+  EXPECT_THROW(oxide_stress(v, 0.0), std::domain_error);
+}
+
+TEST(CurrentDensity, DcWaveform) {
+  const std::vector<double> t{0.0, 1.0};
+  const std::vector<double> i{1e-3, 1e-3};
+  const double area = 5e-12;  // 2 um x 2.5 um
+  const auto cd = current_density(t, i, area);
+  EXPECT_NEAR(cd.j_peak, 2e8, 1.0);
+  EXPECT_NEAR(cd.j_rms, 2e8, 1.0);
+  EXPECT_FALSE(cd.em_concern);
+  EXPECT_FALSE(cd.joule_concern);
+}
+
+TEST(CurrentDensity, BudgetsTrigger) {
+  const std::vector<double> t{0.0, 1.0};
+  const std::vector<double> i{0.5, 0.5};  // 0.5 A through 5 um^2: 1e11 A/m^2
+  const auto cd = current_density(t, i, 5e-12);
+  EXPECT_TRUE(cd.em_concern);
+  EXPECT_FALSE(cd.joule_concern);  // peak budget 1e12 not hit
+  const auto cd2 = current_density(t, i, 4e-13);
+  EXPECT_TRUE(cd2.joule_concern);
+}
+
+TEST(CurrentDensity, PeakSeesTransientRmsDoesNot) {
+  // A short spike dominates the peak but barely moves the rms.
+  std::vector<double> t, i;
+  for (int n = 0; n <= 1000; ++n) {
+    t.push_back(n * 1e-3);
+    i.push_back(n == 500 ? 1.0 : 1e-3);
+  }
+  const auto cd = current_density(t, i, 1e-12);
+  EXPECT_NEAR(cd.j_peak, 1e12, 1e9);
+  EXPECT_LT(cd.j_rms, 0.1 * cd.j_peak);
+}
+
+TEST(CurrentDensity, InputValidation) {
+  const std::vector<double> t{0.0, 1.0};
+  const std::vector<double> i{1.0, 1.0};
+  EXPECT_THROW(current_density(t, i, 0.0), std::domain_error);
+}
+
+}  // namespace
+}  // namespace rlc::analysis

@@ -1,0 +1,161 @@
+#include "rlc/analysis/signal_metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "rlc/math/constants.hpp"
+
+namespace rlc::analysis {
+namespace {
+
+struct Wave {
+  std::vector<double> t, y;
+};
+
+Wave sine_wave(double freq, double amp, double offset, double tstop, int n) {
+  Wave w;
+  for (int i = 0; i < n; ++i) {
+    const double tt = tstop * i / (n - 1);
+    w.t.push_back(tt);
+    w.y.push_back(offset + amp * std::sin(2.0 * rlc::math::kPi * freq * tt));
+  }
+  return w;
+}
+
+TEST(SignalMetrics, RisingCrossingsOfSine) {
+  // 5.5 periods of a 1 MHz sine: upward crossings of the offset level fall
+  // at t = k/f for k = 1..5 (the t = 0 start point is not a crossing).
+  const auto w = sine_wave(1e6, 1.0, 0.5, 5.5e-6, 55001);
+  const auto xs = threshold_crossings(w.t, w.y, 0.5, Edge::kRising);
+  ASSERT_EQ(xs.size(), 5u);
+  EXPECT_NEAR(xs[0], 1e-6, 2e-9);
+  EXPECT_NEAR(xs[1] - xs[0], 1e-6, 2e-9);
+}
+
+TEST(SignalMetrics, CrossingInterpolationIsAccurate) {
+  // Linear ramp crossing 0.5 exactly at t = 0.5.
+  const std::vector<double> t{0.0, 1.0};
+  const std::vector<double> y{0.0, 1.0};
+  const auto xs = threshold_crossings(t, y, 0.5, Edge::kRising);
+  ASSERT_EQ(xs.size(), 1u);
+  EXPECT_NEAR(xs[0], 0.5, 1e-12);
+}
+
+TEST(SignalMetrics, FallingEdge) {
+  const std::vector<double> t{0.0, 1.0, 2.0};
+  const std::vector<double> y{1.0, -1.0, 1.0};
+  EXPECT_EQ(threshold_crossings(t, y, 0.0, Edge::kFalling).size(), 1u);
+  EXPECT_EQ(threshold_crossings(t, y, 0.0, Edge::kRising).size(), 1u);
+}
+
+TEST(SignalMetrics, FirstCrossingAfter) {
+  const auto w = sine_wave(1e6, 1.0, 0.0, 5e-6, 50001);
+  const auto x = first_crossing_after(w.t, w.y, 0.0, Edge::kRising, 2.2e-6);
+  ASSERT_TRUE(x.has_value());
+  EXPECT_NEAR(*x, 3e-6, 2e-9);
+  EXPECT_FALSE(
+      first_crossing_after(w.t, w.y, 0.0, Edge::kRising, 9e-6).has_value());
+}
+
+TEST(SignalMetrics, OscillationPeriodOfSine) {
+  const auto w = sine_wave(2.5e6, 1.0, 0.0, 4e-6, 40001);
+  const auto p = oscillation_period(w.t, w.y, 0.0, 0.0, 3);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_NEAR(*p, 0.4e-6, 1e-9);
+}
+
+TEST(SignalMetrics, PeriodRequiresEnoughCycles) {
+  const auto w = sine_wave(1e6, 1.0, 0.0, 2.5e-6, 25001);  // only 2 crossings
+  EXPECT_FALSE(oscillation_period(w.t, w.y, 0.0, 0.0, 3).has_value());
+}
+
+TEST(SignalMetrics, PeriodIgnoresSamplesBeforeTBegin) {
+  // Fast garbage before t_begin must not contaminate the estimate.
+  Wave w = sine_wave(1e6, 1.0, 0.0, 6e-6, 60001);
+  const auto p = oscillation_period(w.t, w.y, 0.0, 2e-6, 3);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_NEAR(*p, 1e-6, 2e-9);
+}
+
+TEST(SignalMetrics, RailExcursion) {
+  const std::vector<double> y{-0.3, 0.5, 1.4, 1.0, 0.0};
+  const auto r = rail_excursion(y, 1.2);
+  EXPECT_NEAR(r.overshoot, 0.2, 1e-12);
+  EXPECT_NEAR(r.undershoot, 0.3, 1e-12);
+  EXPECT_DOUBLE_EQ(r.v_max, 1.4);
+  EXPECT_DOUBLE_EQ(r.v_min, -0.3);
+}
+
+TEST(SignalMetrics, RailExcursionCleanSignal) {
+  const std::vector<double> y{0.0, 0.6, 1.2};
+  const auto r = rail_excursion(y, 1.2);
+  EXPECT_DOUBLE_EQ(r.overshoot, 0.0);
+  EXPECT_DOUBLE_EQ(r.undershoot, 0.0);
+}
+
+TEST(SignalMetrics, GlitchCountSeesRinging) {
+  // Square-ish wave with a ringing dip through the threshold: extra
+  // crossing pair shows up in the counts.
+  const std::vector<double> t{0, 1, 2, 3, 4, 5, 6, 7};
+  const std::vector<double> y{0, 1, 0.4, 1, 1, 0, 0, 0};  // dip at t=2
+  const auto g = count_crossings(t, y, 0.5);
+  EXPECT_EQ(g.rising, 2);   // genuine rise + recovery from dip
+  EXPECT_EQ(g.falling, 2);  // dip + genuine fall
+}
+
+TEST(SignalMetrics, RiseTimeOfExponential) {
+  // 10-90% rise time of 1 - e^{-t/tau} is tau (ln 0.9/0.1... ) = tau ln 9.
+  std::vector<double> t, y;
+  const double tau = 1e-9;
+  for (int i = 0; i <= 20000; ++i) {
+    const double tt = 10e-9 * i / 20000;
+    t.push_back(tt);
+    y.push_back(1.0 - std::exp(-tt / tau));
+  }
+  const auto rt = rise_time(t, y, 1.0);
+  ASSERT_TRUE(rt.has_value());
+  EXPECT_NEAR(*rt, tau * std::log(9.0), 1e-12 + 2e-3 * tau);
+}
+
+TEST(SignalMetrics, RiseTimeUnreachedLevel) {
+  const std::vector<double> t{0.0, 1.0, 2.0};
+  const std::vector<double> y{0.0, 0.5, 0.6};  // never reaches 0.9
+  EXPECT_FALSE(rise_time(t, y, 1.0).has_value());
+  EXPECT_THROW(rise_time(t, y, 1.0, 0.9, 0.1), std::invalid_argument);
+}
+
+TEST(SignalMetrics, SettlingTimeOfDampedRinging) {
+  std::vector<double> t, y;
+  for (int i = 0; i <= 40000; ++i) {
+    const double tt = 20.0 * i / 40000;
+    t.push_back(tt);
+    y.push_back(1.0 + std::exp(-tt) * std::cos(8.0 * tt));
+  }
+  // |y - 1| = e^{-t} |cos| <= e^{-t}; 2% band entered for good at the last
+  // excursion beyond 0.02, which occurs near t ~ ln(50) at a cos peak.
+  const auto st = settling_time(t, y, 1.0, 0.02);
+  ASSERT_TRUE(st.has_value());
+  EXPECT_GT(*st, 2.5);
+  EXPECT_LT(*st, std::log(50.0) + 0.1);
+}
+
+TEST(SignalMetrics, SettlingTimeEdgeCases) {
+  const std::vector<double> t{0.0, 1.0, 2.0};
+  const std::vector<double> settled{1.0, 1.0, 1.0};
+  EXPECT_DOUBLE_EQ(*settling_time(t, settled, 1.0), 0.0);
+  const std::vector<double> never{1.0, 1.0, 5.0};
+  EXPECT_FALSE(settling_time(t, never, 1.0).has_value());
+  EXPECT_THROW(settling_time(t, settled, 1.0, 0.0), std::invalid_argument);
+}
+
+TEST(SignalMetrics, SizeMismatchThrows) {
+  const std::vector<double> t{0.0, 1.0};
+  const std::vector<double> y{0.0};
+  EXPECT_THROW(threshold_crossings(t, y, 0.5, Edge::kRising),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rlc::analysis

@@ -1,0 +1,63 @@
+#include "rlc/core/exact_delay.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rlc/core/delay.hpp"
+#include "rlc/core/elmore.hpp"
+
+namespace rlc::core {
+namespace {
+
+TEST(ExactDelay, StepResponseMonotoneEndpoints) {
+  const auto tech = Technology::nm250();
+  const auto rc = rc_optimum(tech);
+  const auto dl = tech.rep.scaled(rc.k);
+  const auto est = segment_delay(tech.rep, tech.line(1e-6), rc.h, rc.k);
+  const auto v = exact_step_response(tech.line(1e-6), rc.h, dl,
+                                     {0.1 * est.tau, est.tau, 8.0 * est.tau});
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_LT(v[0], 0.3);           // barely started
+  EXPECT_NEAR(v[2], 1.0, 5e-3);   // settled to the rail
+  EXPECT_GT(v[1], v[0]);
+}
+
+TEST(ExactDelay, AgreesWithTwoPoleAtLowInductance) {
+  const auto tech = Technology::nm250();
+  const auto rc = rc_optimum(tech);
+  const auto est = segment_delay(tech.rep, tech.line(0.0), rc.h, rc.k);
+  const auto ex = exact_threshold_delay(tech, 0.0, rc.h, rc.k, est.tau);
+  ASSERT_TRUE(ex.has_value());
+  EXPECT_NEAR(*ex, est.tau, 0.05 * est.tau);
+}
+
+TEST(ExactDelay, ThresholdMonotoneInF) {
+  const auto tech = Technology::nm100();
+  const auto rc = rc_optimum(tech);
+  const auto est = segment_delay(tech.rep, tech.line(1e-6), rc.h, rc.k);
+  const auto t25 = exact_threshold_delay(tech, 1e-6, rc.h, rc.k, est.tau, 0.25);
+  const auto t50 = exact_threshold_delay(tech, 1e-6, rc.h, rc.k, est.tau, 0.50);
+  const auto t75 = exact_threshold_delay(tech, 1e-6, rc.h, rc.k, est.tau, 0.75);
+  ASSERT_TRUE(t25 && t50 && t75);
+  EXPECT_LT(*t25, *t50);
+  EXPECT_LT(*t50, *t75);
+}
+
+TEST(ExactDelay, Validation) {
+  const auto tech = Technology::nm100();
+  const auto rc = rc_optimum(tech);
+  EXPECT_THROW(
+      exact_threshold_delay(tech, 1e-6, rc.h, rc.k, rc.tau, /*f=*/1.5),
+      std::domain_error);
+  EXPECT_THROW(exact_threshold_delay(tech, 1e-6, rc.h, rc.k, /*scale=*/0.0),
+               std::domain_error);
+  // Window that misses the crossing (everything already settled at the
+  // lower edge): nullopt rather than a bogus root.
+  const auto est = segment_delay(tech.rep, tech.line(1e-6), rc.h, rc.k);
+  EXPECT_FALSE(
+      exact_threshold_delay(tech, 1e-6, rc.h, rc.k, 1e3 * est.tau).has_value());
+}
+
+}  // namespace
+}  // namespace rlc::core

@@ -1,0 +1,80 @@
+#include "rlc/core/lcrit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rlc/core/pade.hpp"
+#include "rlc/core/two_pole.hpp"
+
+namespace rlc::core {
+namespace {
+
+TEST(Lcrit, SystemIsCriticallyDampedAtLcrit) {
+  // Defining property of Eq. (4): b1^2 - 4 b2 = 0 exactly at l = l_crit.
+  const auto tech = Technology::nm250();
+  const double h = 0.0144, k = 578.0;
+  const double lc = critical_inductance(tech, h, k);
+  ASSERT_GT(lc, 0.0);
+  const auto pc = pade_coeffs_hk(tech.rep, tech.line(lc), h, k);
+  const double disc = pc.b1 * pc.b1 - 4.0 * pc.b2;
+  EXPECT_NEAR(disc / (pc.b1 * pc.b1), 0.0, 1e-10);
+}
+
+TEST(Lcrit, SignOfDiscriminantFlipsAroundLcrit) {
+  const auto tech = Technology::nm100();
+  const double h = 0.0111, k = 528.0;
+  const double lc = critical_inductance(tech, h, k);
+  ASSERT_GT(lc, 0.0);
+  const TwoPole below(pade_coeffs_hk(tech.rep, tech.line(0.5 * lc), h, k));
+  const TwoPole above(pade_coeffs_hk(tech.rep, tech.line(2.0 * lc), h, k));
+  EXPECT_EQ(below.damping(), Damping::kOverdamped);
+  EXPECT_EQ(above.damping(), Damping::kUnderdamped);
+}
+
+TEST(Lcrit, SmallerAtScaledNode) {
+  // Figure 4's observation: l_crit at 100 nm sits below l_crit at 250 nm for
+  // comparable sizings, so scaled designs ring at smaller inductance.
+  const auto t250 = Technology::nm250();
+  const auto t100 = Technology::nm100();
+  const double l250 = critical_inductance(t250, 0.0144, 578.0);
+  const double l100 = critical_inductance(t100, 0.0111, 528.0);
+  EXPECT_LT(l100, l250);
+}
+
+TEST(Lcrit, OverloadsAgree) {
+  const auto tech = Technology::nm250();
+  EXPECT_DOUBLE_EQ(critical_inductance(tech, 0.01, 300.0),
+                   critical_inductance(tech.rep, tech.r, tech.c, 0.01, 300.0));
+}
+
+TEST(Lcrit, InputValidation) {
+  const auto tech = Technology::nm250();
+  EXPECT_THROW(critical_inductance(tech, 0.0, 300.0), std::domain_error);
+  EXPECT_THROW(critical_inductance(tech, 0.01, 0.0), std::domain_error);
+}
+
+class LcritSweep
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(LcritSweep, ConsistentWithDampingAcrossSizings) {
+  const auto [h, k] = GetParam();
+  const auto tech = Technology::nm100();
+  const double lc = critical_inductance(tech, h, k);
+  if (lc <= 0.0) {
+    // Already underdamped at l = 0 — verify that claim.
+    const TwoPole sys(pade_coeffs_hk(tech.rep, tech.line(0.0), h, k));
+    EXPECT_EQ(sys.damping(), Damping::kUnderdamped);
+    return;
+  }
+  const auto pc = pade_coeffs_hk(tech.rep, tech.line(lc), h, k);
+  EXPECT_NEAR((pc.b1 * pc.b1 - 4.0 * pc.b2) / (pc.b1 * pc.b1), 0.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizings, LcritSweep,
+    ::testing::Combine(::testing::Values(0.003, 0.008, 0.0111, 0.02),
+                       ::testing::Values(100.0, 300.0, 528.0, 900.0)));
+
+}  // namespace
+}  // namespace rlc::core

@@ -1,0 +1,82 @@
+#include "rlc/core/robust.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rlc/core/elmore.hpp"
+
+namespace rlc::core {
+namespace {
+
+RobustOptions paper_box(const Technology& tech) {
+  // Miller range ~ 2x in c, return-path range 0.5..2.5 nH/mm in l.
+  RobustOptions o;
+  o.c_min = 0.7 * tech.c;
+  o.c_max = 1.4 * tech.c;
+  o.l_min = 0.5e-6;
+  o.l_max = 2.5e-6;
+  return o;
+}
+
+TEST(Robust, RegretIsAtLeastOne) {
+  const auto tech = Technology::nm100();
+  const auto o = paper_box(tech);
+  const auto rc = rc_optimum(tech);
+  const double regret = worst_case_regret(tech.rep, tech.r, rc.h, rc.k, o);
+  EXPECT_GE(regret, 1.0);
+}
+
+TEST(Robust, RobustSizingBeatsNominalOnWorstCase) {
+  const auto tech = Technology::nm100();
+  const auto o = paper_box(tech);
+  const auto res = optimize_robust(tech.rep, tech.r, o);
+  ASSERT_TRUE(res.converged);
+  EXPECT_GE(res.worst_regret, 1.0);
+  EXPECT_LE(res.worst_regret, res.nominal_regret + 1e-9);
+  // With a ~2x box the regret should stay within a few percent — the
+  // quantified version of the paper's Figure 8 message.
+  EXPECT_LT(res.worst_regret, 1.10);
+}
+
+TEST(Robust, DegenerateBoxRecoversPointOptimum) {
+  // A zero-size box must return (essentially) the plain optimizer's answer
+  // with regret ~ 1.
+  const auto tech = Technology::nm250();
+  RobustOptions o;
+  o.c_min = o.c_max = tech.c;
+  o.l_min = o.l_max = 1e-6;
+  o.n_c = o.n_l = 1;
+  const auto res = optimize_robust(tech.rep, tech.r, o);
+  ASSERT_TRUE(res.converged);
+  EXPECT_NEAR(res.worst_regret, 1.0, 1e-4);
+  const auto exact = optimize_rlc(tech, 1e-6);
+  EXPECT_NEAR(res.h, exact.h, 0.02 * exact.h);
+  EXPECT_NEAR(res.k, exact.k, 0.02 * exact.k);
+}
+
+TEST(Robust, WiderUncertaintyMeansMoreRegret) {
+  const auto tech = Technology::nm100();
+  RobustOptions narrow = paper_box(tech);
+  narrow.l_min = 1.4e-6;
+  narrow.l_max = 1.6e-6;
+  narrow.c_min = 0.95 * tech.c;
+  narrow.c_max = 1.05 * tech.c;
+  const auto rn = optimize_robust(tech.rep, tech.r, narrow);
+  const auto rw = optimize_robust(tech.rep, tech.r, paper_box(tech));
+  ASSERT_TRUE(rn.converged && rw.converged);
+  EXPECT_LT(rn.worst_regret, rw.worst_regret);
+}
+
+TEST(Robust, Validation) {
+  const auto tech = Technology::nm100();
+  RobustOptions o = paper_box(tech);
+  o.c_max = 0.5 * o.c_min;
+  EXPECT_THROW(optimize_robust(tech.rep, tech.r, o), std::invalid_argument);
+  o = paper_box(tech);
+  EXPECT_THROW(worst_case_regret(tech.rep, tech.r, 0.0, 100.0, o),
+               std::domain_error);
+}
+
+}  // namespace
+}  // namespace rlc::core

@@ -1,0 +1,110 @@
+#include "rlc/core/technology.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rlc::core {
+namespace {
+
+TEST(Technology, Table1Values250nm) {
+  const auto t = Technology::nm250();
+  EXPECT_DOUBLE_EQ(t.r, 4.4e3);          // 4.4 Ohm/mm
+  EXPECT_DOUBLE_EQ(t.c, 203.50e-12);     // 203.50 pF/m
+  EXPECT_DOUBLE_EQ(t.eps_r, 3.3);
+  EXPECT_DOUBLE_EQ(t.width, 2e-6);
+  EXPECT_DOUBLE_EQ(t.pitch, 4e-6);
+  EXPECT_DOUBLE_EQ(t.thickness, 2.5e-6);
+  EXPECT_DOUBLE_EQ(t.t_ins, 13.9e-6);
+  EXPECT_DOUBLE_EQ(t.rep.rs, 11.784e3);
+  EXPECT_DOUBLE_EQ(t.rep.c0, 1.6314e-15);
+  EXPECT_DOUBLE_EQ(t.rep.cp, 6.2474e-15);
+}
+
+TEST(Technology, Table1Values100nm) {
+  const auto t = Technology::nm100();
+  EXPECT_DOUBLE_EQ(t.c, 123.33e-12);
+  EXPECT_DOUBLE_EQ(t.eps_r, 2.0);
+  EXPECT_DOUBLE_EQ(t.t_ins, 15.4e-6);
+  EXPECT_DOUBLE_EQ(t.rep.rs, 7.534e3);
+  EXPECT_DOUBLE_EQ(t.rep.c0, 0.758e-15);
+  EXPECT_DOUBLE_EQ(t.rep.cp, 3.68e-15);
+}
+
+TEST(Technology, ScalingTrendsMatchThePaper) {
+  // The paper's central claim attributes growing inductance sensitivity to
+  // the reduction of driver capacitance and output resistance with scaling.
+  const auto a = Technology::nm250();
+  const auto b = Technology::nm100();
+  EXPECT_LT(b.rep.rs, a.rep.rs);
+  EXPECT_LT(b.rep.c0, a.rep.c0);
+  EXPECT_LT(b.rep.cp, a.rep.cp);
+  EXPECT_LT(b.c, a.c);  // lower-k dielectric at 100 nm
+  EXPECT_DOUBLE_EQ(a.r, b.r);  // same top-metal geometry
+}
+
+TEST(Technology, ArtificialDielectricVariant) {
+  const auto v = Technology::nm100_with_250nm_dielectric();
+  const auto ref250 = Technology::nm250();
+  const auto ref100 = Technology::nm100();
+  EXPECT_DOUBLE_EQ(v.c, ref250.c);
+  EXPECT_DOUBLE_EQ(v.eps_r, ref250.eps_r);
+  // Driver parameters stay those of the 100 nm node.
+  EXPECT_DOUBLE_EQ(v.rep.rs, ref100.rep.rs);
+  EXPECT_DOUBLE_EQ(v.rep.c0, ref100.rep.c0);
+}
+
+TEST(Technology, LineBuildsWithGivenInductance) {
+  const auto t = Technology::nm250();
+  const auto line = t.line(2e-6);
+  EXPECT_DOUBLE_EQ(line.r, t.r);
+  EXPECT_DOUBLE_EQ(line.c, t.c);
+  EXPECT_DOUBLE_EQ(line.l, 2e-6);
+}
+
+TEST(Repeater, ScalingLaw) {
+  const Repeater rep{1000.0, 1e-15, 4e-15};
+  const auto dl = rep.scaled(10.0);
+  EXPECT_DOUBLE_EQ(dl.rs_eff, 100.0);
+  EXPECT_DOUBLE_EQ(dl.cp_eff, 4e-14);
+  EXPECT_DOUBLE_EQ(dl.cl_eff, 1e-14);
+  EXPECT_THROW(rep.scaled(0.0), std::domain_error);
+  EXPECT_THROW(rep.scaled(-2.0), std::domain_error);
+}
+
+TEST(Technology, InterpolationRecoversAnchors) {
+  const auto a = Technology::interpolated(250e-9);
+  const auto ref_a = Technology::nm250();
+  EXPECT_NEAR(a.rep.rs, ref_a.rep.rs, 1e-6 * ref_a.rep.rs);
+  EXPECT_NEAR(a.c, ref_a.c, 1e-6 * ref_a.c);
+  EXPECT_NEAR(a.vdd, ref_a.vdd, 1e-9);
+  const auto b = Technology::interpolated(100e-9);
+  const auto ref_b = Technology::nm100();
+  EXPECT_NEAR(b.rep.c0, ref_b.rep.c0, 1e-6 * ref_b.rep.c0);
+  EXPECT_NEAR(b.vdd, ref_b.vdd, 1e-9);
+}
+
+TEST(Technology, InterpolationIsMonotoneBetweenAnchors) {
+  double prev_rs = Technology::nm250().rep.rs + 1.0;
+  for (double node : {250e-9, 180e-9, 130e-9, 100e-9, 70e-9}) {
+    const auto t = Technology::interpolated(node);
+    EXPECT_LT(t.rep.rs, prev_rs) << node;
+    prev_rs = t.rep.rs;
+    EXPECT_NO_THROW(t.validate());
+  }
+}
+
+TEST(Technology, InterpolationRejectsAbsurdNodes) {
+  EXPECT_THROW(Technology::interpolated(1e-9), std::domain_error);
+  EXPECT_THROW(Technology::interpolated(5e-6), std::domain_error);
+}
+
+TEST(Technology, ValidateCatchesCorruption) {
+  auto t = Technology::nm250();
+  t.c = -1.0;
+  EXPECT_THROW(t.validate(), std::domain_error);
+  t = Technology::nm250();
+  t.pitch = 0.5 * t.width;
+  EXPECT_THROW(t.validate(), std::domain_error);
+}
+
+}  // namespace
+}  // namespace rlc::core

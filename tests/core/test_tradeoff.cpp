@@ -1,0 +1,96 @@
+#include "rlc/core/tradeoff.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rlc/core/elmore.hpp"
+
+namespace rlc::core {
+namespace {
+
+TEST(FixedK, MatchesUnconstrainedAtOptimalK) {
+  const auto tech = Technology::nm100();
+  const double l = 1e-6;
+  const auto full = optimize_rlc(tech, l);
+  ASSERT_TRUE(full.converged);
+  const auto fixed = optimize_h_for_fixed_k(tech.rep, tech.line(l), full.k);
+  ASSERT_TRUE(fixed.converged);
+  EXPECT_NEAR(fixed.h, full.h, 1e-3 * full.h);
+  EXPECT_NEAR(fixed.delay_per_length, full.delay_per_length,
+              1e-6 * full.delay_per_length);
+}
+
+TEST(FixedK, SuboptimalKCostsDelay) {
+  const auto tech = Technology::nm100();
+  const double l = 1e-6;
+  const auto full = optimize_rlc(tech, l);
+  const auto half = optimize_h_for_fixed_k(tech.rep, tech.line(l), 0.5 * full.k);
+  ASSERT_TRUE(half.converged);
+  EXPECT_GT(half.delay_per_length, full.delay_per_length);
+}
+
+TEST(FixedH, MatchesUnconstrainedAtOptimalH) {
+  const auto tech = Technology::nm250();
+  const double l = 2e-6;
+  const auto full = optimize_rlc(tech, l);
+  ASSERT_TRUE(full.converged);
+  const auto fixed = optimize_k_for_fixed_h(tech.rep, tech.line(l), full.h);
+  ASSERT_TRUE(fixed.converged);
+  EXPECT_NEAR(fixed.k, full.k, 2e-3 * full.k);
+}
+
+TEST(FixedVariants, InputValidation) {
+  const auto tech = Technology::nm100();
+  EXPECT_THROW(optimize_h_for_fixed_k(tech.rep, tech.line(1e-6), 0.0),
+               std::domain_error);
+  EXPECT_THROW(optimize_k_for_fixed_h(tech.rep, tech.line(1e-6), -1.0),
+               std::domain_error);
+}
+
+TEST(Energy, FormulaAndMonotonicity) {
+  const auto tech = Technology::nm100();
+  const double h = 0.01, k = 300.0;
+  const double expect =
+      (tech.c + (tech.rep.c0 + tech.rep.cp) * k / h) * tech.vdd * tech.vdd;
+  EXPECT_NEAR(energy_per_length(tech, h, k), expect, 1e-12 * expect);
+  EXPECT_GT(energy_per_length(tech, h, 2.0 * k), energy_per_length(tech, h, k));
+  EXPECT_THROW(energy_per_length(tech, 0.0, k), std::domain_error);
+}
+
+TEST(Tradeoff, ParetoFrontIsMonotone) {
+  // Along the sweep from small k to the delay-optimal k: delay falls,
+  // energy and area rise — a proper Pareto front.
+  const auto tech = Technology::nm100();
+  const auto pts = delay_energy_tradeoff(tech, 1.5e-6, 8);
+  ASSERT_GE(pts.size(), 6u);
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    EXPECT_GT(pts[i].k, pts[i - 1].k);
+    EXPECT_LE(pts[i].delay_per_length, pts[i - 1].delay_per_length * (1 + 1e-9))
+        << i;
+    EXPECT_GT(pts[i].energy_per_length, pts[i - 1].energy_per_length) << i;
+    EXPECT_GT(pts[i].area_per_length, pts[i - 1].area_per_length) << i;
+  }
+}
+
+TEST(Tradeoff, SmallBuffersBuyLargeEnergySavings) {
+  // The classic result: backing off ~20-30% in delay saves a large fraction
+  // of the repeater energy.
+  const auto tech = Technology::nm100();
+  const auto pts = delay_energy_tradeoff(tech, 1.5e-6, 10, 0.2);
+  const auto& slow = pts.front();   // smallest k
+  const auto& fast = pts.back();    // delay-optimal k
+  const double delay_cost = slow.delay_per_length / fast.delay_per_length;
+  const double energy_save = 1.0 - slow.energy_per_length / fast.energy_per_length;
+  EXPECT_LT(delay_cost, 1.6);
+  EXPECT_GT(energy_save, 0.25);
+}
+
+TEST(Tradeoff, InputValidation) {
+  const auto tech = Technology::nm100();
+  EXPECT_THROW(delay_energy_tradeoff(tech, 1e-6, 1), std::invalid_argument);
+  EXPECT_THROW(delay_energy_tradeoff(tech, 1e-6, 5, 1.5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rlc::core

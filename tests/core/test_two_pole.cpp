@@ -1,0 +1,131 @@
+#include "rlc/core/two_pole.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rlc/math/constants.hpp"
+
+namespace rlc::core {
+namespace {
+
+TEST(TwoPole, RejectsNonPassiveCoefficients) {
+  EXPECT_THROW(TwoPole(PadeCoeffs{0.0, 1e-20}), std::domain_error);
+  EXPECT_THROW(TwoPole(PadeCoeffs{1e-10, 0.0}), std::domain_error);
+  EXPECT_THROW(TwoPole(PadeCoeffs{-1e-10, 1e-20}), std::domain_error);
+}
+
+TEST(TwoPole, DampingClassification) {
+  // disc = b1^2 - 4 b2.
+  EXPECT_EQ(TwoPole(PadeCoeffs{4e-10, 1e-20}).damping(), Damping::kOverdamped);
+  EXPECT_EQ(TwoPole(PadeCoeffs{2e-10, 1e-20}).damping(),
+            Damping::kCriticallyDamped);
+  EXPECT_EQ(TwoPole(PadeCoeffs{1e-10, 1e-20}).damping(), Damping::kUnderdamped);
+}
+
+TEST(TwoPole, PolesSatisfyCharacteristicEquation) {
+  for (const PadeCoeffs pc : {PadeCoeffs{4e-10, 1e-20}, PadeCoeffs{1e-10, 1e-20}}) {
+    const TwoPole sys(pc);
+    for (const auto s : {sys.s1(), sys.s2()}) {
+      const auto resid = pc.b2 * s * s + pc.b1 * s + 1.0;
+      EXPECT_NEAR(std::abs(resid), 0.0, 1e-9);
+    }
+    // Poles in the open left half plane (stable).
+    EXPECT_LT(sys.s1().real(), 0.0);
+    EXPECT_LT(sys.s2().real(), 0.0);
+  }
+}
+
+TEST(TwoPole, StepResponseBoundaryValues) {
+  const TwoPole sys(PadeCoeffs{3e-10, 1e-20});
+  EXPECT_DOUBLE_EQ(sys.step_response(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(sys.step_response(-1e-9), 0.0);
+  EXPECT_NEAR(sys.step_response(1e-7), 1.0, 1e-9);  // settles to the rail
+}
+
+TEST(TwoPole, OverdampedIsMonotonic) {
+  const TwoPole sys(PadeCoeffs{5e-10, 1e-20});
+  double prev = 0.0;
+  for (int i = 1; i <= 300; ++i) {
+    const double v = sys.step_response(i * 1e-11);
+    EXPECT_GE(v, prev - 1e-12);
+    prev = v;
+  }
+  EXPECT_LE(prev, 1.0 + 1e-9);
+}
+
+TEST(TwoPole, UnderdampedOvershootMatchesClosedForm) {
+  // zeta = b1/(2 sqrt(b2)); peak value = 1 + exp(-zeta pi / sqrt(1 - zeta^2)).
+  const TwoPole sys(PadeCoeffs{1e-10, 1e-20});
+  const double zeta = sys.damping_ratio();
+  ASSERT_LT(zeta, 1.0);
+  double vmax = 0.0;
+  for (int i = 1; i <= 4000; ++i) {
+    vmax = std::max(vmax, sys.step_response(i * 2.5e-13));
+  }
+  const double expected =
+      1.0 + std::exp(-zeta * rlc::math::kPi / std::sqrt(1.0 - zeta * zeta));
+  EXPECT_NEAR(vmax, expected, 2e-4);
+  EXPECT_NEAR(sys.overshoot(), expected - 1.0, 1e-12);
+}
+
+TEST(TwoPole, UndershootMatchesSampledMinimumAfterPeak) {
+  const TwoPole sys(PadeCoeffs{0.8e-10, 1e-20});
+  const double wd = sys.damped_frequency();
+  ASSERT_GT(wd, 0.0);
+  // First minimum at t = 2 pi / wd.
+  const double tmin = 2.0 * rlc::math::kPi / wd;
+  EXPECT_NEAR(1.0 - sys.step_response(tmin), sys.undershoot(), 1e-9);
+}
+
+TEST(TwoPole, DerivativeMatchesFiniteDifference) {
+  for (const PadeCoeffs pc : {PadeCoeffs{5e-10, 1e-20}, PadeCoeffs{1e-10, 1e-20}}) {
+    const TwoPole sys(pc);
+    for (double t : {2e-11, 1e-10, 5e-10}) {
+      const double dt = 1e-15;
+      const double fd =
+          (sys.step_response(t + dt) - sys.step_response(t - dt)) / (2.0 * dt);
+      EXPECT_NEAR(sys.step_response_derivative(t), fd,
+                  1e-5 * std::abs(fd) + 1e-3);
+    }
+  }
+}
+
+TEST(TwoPole, NearCriticalSeriesIsContinuous) {
+  // Step response must vary smoothly as the discriminant crosses zero.
+  const double b1 = 2e-10;
+  const double b2c = b1 * b1 / 4.0;
+  const double t = 1.5e-10;
+  const double v_minus = TwoPole(PadeCoeffs{b1, b2c * (1.0 - 1e-9)}).step_response(t);
+  const double v_exact = TwoPole(PadeCoeffs{b1, b2c}).step_response(t);
+  const double v_plus = TwoPole(PadeCoeffs{b1, b2c * (1.0 + 1e-9)}).step_response(t);
+  EXPECT_NEAR(v_minus, v_exact, 1e-7);
+  EXPECT_NEAR(v_plus, v_exact, 1e-7);
+}
+
+TEST(TwoPole, CriticallyDampedClosedForm) {
+  // v(t) = 1 - (1 + alpha t) exp(-alpha t) with alpha = 2/b1.
+  const double b1 = 2e-10;
+  const TwoPole sys(PadeCoeffs{b1, b1 * b1 / 4.0});
+  const double alpha = 2.0 / b1;
+  for (double t : {5e-11, 2e-10, 8e-10}) {
+    const double expect = 1.0 - (1.0 + alpha * t) * std::exp(-alpha * t);
+    EXPECT_NEAR(sys.step_response(t), expect, 1e-9);
+  }
+}
+
+TEST(TwoPole, FrequenciesAndRatios) {
+  const TwoPole sys(PadeCoeffs{1e-10, 1e-20});
+  EXPECT_NEAR(sys.natural_frequency(), 1e10, 1e-3);
+  EXPECT_NEAR(sys.damping_ratio(), 0.5, 1e-12);
+  // wd = wn sqrt(1 - zeta^2)
+  EXPECT_NEAR(sys.damped_frequency(), 1e10 * std::sqrt(0.75), 1e4);
+  // Overdamped: no oscillation, no overshoot.
+  const TwoPole od(PadeCoeffs{5e-10, 1e-20});
+  EXPECT_DOUBLE_EQ(od.damped_frequency(), 0.0);
+  EXPECT_DOUBLE_EQ(od.overshoot(), 0.0);
+  EXPECT_DOUBLE_EQ(od.undershoot(), 0.0);
+}
+
+}  // namespace
+}  // namespace rlc::core

@@ -1,0 +1,155 @@
+#include "rlc/extract/bem2d.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rlc/math/constants.hpp"
+
+namespace rlc::extract {
+namespace {
+
+TEST(PanelPotential, SymmetricAboutPanelCenter) {
+  const Panel p{-1e-6, 5e-6, 1e-6, 5e-6};  // horizontal panel at y = 5 um
+  const double eps = rlc::math::kEps0;
+  const double left = panel_potential(p, -3e-6, 5e-6, eps);
+  const double right = panel_potential(p, 3e-6, 5e-6, eps);
+  EXPECT_NEAR(left, right, 1e-6 * std::abs(left));
+}
+
+TEST(PanelPotential, VanishesOnGroundPlane) {
+  // The image construction forces phi = 0 at y = 0 exactly.
+  const Panel p{-1e-6, 5e-6, 1e-6, 5e-6};
+  const double eps = rlc::math::kEps0;
+  for (double x : {-4e-6, 0.0, 2e-6, 7e-6}) {
+    EXPECT_NEAR(panel_potential(p, x, 0.0, eps), 0.0, 1e-12);
+  }
+}
+
+TEST(PanelPotential, FarFieldMatchesLineChargePair) {
+  // Far away, the panel and its image look like a line-charge dipole:
+  // phi ~ (q / 2 pi eps) ln(r'/r) with q = panel length.
+  const Panel p{-0.5e-6, 10e-6, 0.5e-6, 10e-6};
+  const double eps = rlc::math::kEps0;
+  const double px = 300e-6, py = 40e-6;
+  const double r = std::hypot(px, py - 10e-6);
+  const double rp = std::hypot(px, py + 10e-6);
+  const double expect = (1e-6 / (2.0 * rlc::math::kPi * eps)) * std::log(rp / r);
+  EXPECT_NEAR(panel_potential(p, px, py, eps), expect, 1e-3 * std::abs(expect));
+}
+
+TEST(Panelize, CountsAndClosure) {
+  RectConductor r;
+  r.x_center = 0.0;
+  r.y_bottom = 5e-6;
+  r.width = 2e-6;
+  r.thickness = 1e-6;
+  Bem2dOptions opts;
+  opts.panels_per_side = 8;
+  const auto panels = panelize(r, opts);
+  EXPECT_EQ(panels.size(), 32u);
+  // Total perimeter preserved.
+  double per = 0.0;
+  for (const auto& p : panels) per += p.length();
+  EXPECT_NEAR(per, 2.0 * (2e-6 + 1e-6), 1e-12);
+}
+
+TEST(Panelize, RejectsConductorTouchingPlane) {
+  RectConductor r;
+  r.y_bottom = 0.0;
+  r.width = 1e-6;
+  r.thickness = 1e-6;
+  EXPECT_THROW(panelize(r, {}), std::domain_error);
+}
+
+TEST(Bem2d, CylinderOverPlaneMatchesExact) {
+  // Gold-standard analytic case: C = 2 pi eps / acosh(h/a).
+  const double a = 1e-6, h = 8e-6;
+  const auto panels = panelize_circle(0.0, h, a, 96);
+  const auto C = capacitance_matrix_panels({panels}, 1.0);
+  const double exact = cylinder_over_plane_exact(a, h, 1.0);
+  EXPECT_NEAR(C(0, 0), exact, 2e-3 * exact);
+}
+
+TEST(Bem2d, CylinderConvergesUnderRefinement) {
+  const double a = 1e-6, h = 6e-6;
+  const double exact = cylinder_over_plane_exact(a, h, 1.0);
+  double prev_err = 1e9;
+  for (int n : {12, 24, 48, 96}) {
+    const auto C = capacitance_matrix_panels({panelize_circle(0.0, h, a, n)}, 1.0);
+    const double err = std::abs(C(0, 0) - exact) / exact;
+    EXPECT_LT(err, prev_err * 1.05) << n;
+    prev_err = err;
+  }
+  EXPECT_LT(prev_err, 1e-3);
+}
+
+TEST(Bem2d, DielectricScalesLinearly) {
+  const auto wires = parallel_bus(1, 2e-6, 2.5e-6, 4e-6, 13.9e-6);
+  Bem2dOptions o1;
+  o1.panels_per_side = 12;
+  Bem2dOptions o2 = o1;
+  o2.eps_r = 3.3;
+  const double c1 = total_capacitance(wires, 0, o1);
+  const double c2 = total_capacitance(wires, 0, o2);
+  EXPECT_NEAR(c2 / c1, 3.3, 1e-9);
+}
+
+TEST(Bem2d, MaxwellMatrixSignsAndSymmetry) {
+  const auto wires = parallel_bus(3, 2e-6, 2.5e-6, 4e-6, 13.9e-6);
+  Bem2dOptions opts;
+  opts.panels_per_side = 10;
+  const auto C = capacitance_matrix(wires, opts);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_GT(C(i, i), 0.0);
+    double row = 0.0;
+    for (int j = 0; j < 3; ++j) {
+      if (i != j) {
+        EXPECT_LT(C(i, j), 0.0) << i << j;
+        // Collocation breaks exact symmetry; require ~1% agreement.
+        EXPECT_NEAR(C(i, j), C(j, i), 0.02 * std::abs(C(i, j)));
+      }
+      row += C(i, j);
+    }
+    EXPECT_GT(row, 0.0);  // net capacitance to the ground plane
+  }
+  // Outer wires mirror each other.
+  EXPECT_NEAR(C(0, 0), C(2, 2), 1e-6 * C(0, 0));
+}
+
+TEST(Bem2d, NeighborsIncreaseTotalCapacitance) {
+  // Lateral coupling adds to the middle wire's total capacitance (the
+  // Miller discussion in Section 3).
+  Bem2dOptions opts;
+  opts.panels_per_side = 10;
+  opts.eps_r = 3.3;
+  const auto alone = parallel_bus(1, 2e-6, 2.5e-6, 4e-6, 13.9e-6);
+  const auto bus = parallel_bus(3, 2e-6, 2.5e-6, 4e-6, 13.9e-6);
+  const double c_alone = total_capacitance(alone, 0, opts);
+  const double c_mid = total_capacitance(bus, 1, opts);
+  EXPECT_GT(c_mid, 1.5 * c_alone);
+}
+
+TEST(Bem2d, Table1GeometryIsRightOrderOfMagnitude) {
+  // The paper extracted c = 203.5 pF/m (250 nm node, eps_r 3.3) with a 3D
+  // extractor and a multi-layer environment; our 2D substrate-only model
+  // must land in the same decade.
+  Bem2dOptions opts;
+  opts.panels_per_side = 16;
+  opts.eps_r = 3.3;
+  const auto bus = parallel_bus(3, 2e-6, 2.5e-6, 4e-6, 13.9e-6);
+  const double c = total_capacitance(bus, 1, opts);
+  EXPECT_GT(c, 60e-12);
+  EXPECT_LT(c, 400e-12);
+}
+
+TEST(Bem2d, InputValidation) {
+  EXPECT_THROW(capacitance_matrix_panels({}, 1.0), std::invalid_argument);
+  EXPECT_THROW(panelize_circle(0.0, 1e-6, 2e-6, 32), std::domain_error);
+  const auto wires = parallel_bus(1, 2e-6, 2.5e-6, 4e-6, 13.9e-6);
+  EXPECT_THROW(total_capacitance(wires, 5, {}), std::out_of_range);
+  EXPECT_THROW(cylinder_over_plane_exact(2.0, 1.0, 1.0), std::domain_error);
+}
+
+}  // namespace
+}  // namespace rlc::extract

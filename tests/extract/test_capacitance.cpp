@@ -1,0 +1,58 @@
+#include "rlc/extract/capacitance.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rlc/math/constants.hpp"
+
+namespace rlc::extract {
+namespace {
+
+TEST(Capacitance, ParallelPlate) {
+  // 2 um wide plate 1 um above ground in vacuum.
+  const double c = parallel_plate(2e-6, 1e-6, 1.0);
+  EXPECT_NEAR(c, 2.0 * rlc::math::kEps0, 1e-20);
+  EXPECT_THROW(parallel_plate(0.0, 1e-6, 1.0), std::domain_error);
+}
+
+TEST(Capacitance, SakuraiSingleAgainstHandEvaluation) {
+  // w/h = 1, t/h = 1: C/eps = 1.15 + 2.80 = 3.95.
+  const double c = sakurai_tamaru_single(1e-6, 1e-6, 1e-6, 1.0);
+  EXPECT_NEAR(c, 3.95 * rlc::math::kEps0, 1e-4 * c);
+}
+
+TEST(Capacitance, SingleLineMonotonicities) {
+  const double base = sakurai_tamaru_single(2e-6, 2.5e-6, 13.9e-6, 3.3);
+  EXPECT_GT(sakurai_tamaru_single(4e-6, 2.5e-6, 13.9e-6, 3.3), base);  // wider
+  EXPECT_GT(sakurai_tamaru_single(2e-6, 5.0e-6, 13.9e-6, 3.3), base);  // thicker
+  EXPECT_LT(sakurai_tamaru_single(2e-6, 2.5e-6, 30e-6, 3.3), base);    // higher
+}
+
+TEST(Capacitance, CouplingFallsWithSpacing) {
+  const double near = sakurai_tamaru_coupling(2e-6, 2.5e-6, 13.9e-6, 1e-6, 3.3);
+  const double far = sakurai_tamaru_coupling(2e-6, 2.5e-6, 13.9e-6, 4e-6, 3.3);
+  EXPECT_GT(near, far);
+  EXPECT_GT(far, 0.0);
+}
+
+TEST(Capacitance, BusMiddleCombinesGroundAndCoupling) {
+  const double w = 2e-6, t = 2.5e-6, hgt = 13.9e-6, pitch = 4e-6, er = 3.3;
+  const double total = sakurai_tamaru_bus_middle(w, t, hgt, pitch, er);
+  const double ground = sakurai_tamaru_single(w, t, hgt, er);
+  const double cc = sakurai_tamaru_coupling(w, t, hgt, pitch - w, er);
+  EXPECT_NEAR(total, ground + 2.0 * cc, 1e-18);
+  EXPECT_THROW(sakurai_tamaru_bus_middle(w, t, hgt, 1e-6, er), std::domain_error);
+}
+
+TEST(Capacitance, MillerRangeSpansFourX) {
+  // Section 3: "effective line capacitance can vary by as much as 4x" when
+  // the aspect ratio makes coupling dominate.
+  const MillerRange r = miller_range(1e-12, 1.5e-12);
+  EXPECT_DOUBLE_EQ(r.c_min, 1e-12);
+  EXPECT_DOUBLE_EQ(r.c_nominal, 4e-12);
+  EXPECT_DOUBLE_EQ(r.c_max, 7e-12);
+  EXPECT_GT(r.c_max / r.c_min, 4.0);
+  EXPECT_THROW(miller_range(-1.0, 0.0), std::domain_error);
+}
+
+}  // namespace
+}  // namespace rlc::extract

@@ -1,0 +1,47 @@
+#include "rlc/extract/resistance.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rlc/math/constants.hpp"
+
+namespace rlc::extract {
+namespace {
+
+TEST(Resistance, Table1GeometryGivesFewOhmsPerMm) {
+  // Bulk copper in the 2 x 2.5 um^2 cross-section: 3.44 Ohm/mm; the paper's
+  // 4.4 Ohm/mm reflects barrier/liner overhead — same ballpark.
+  const double r = resistance_per_length(rlc::math::kRhoCopper, 2e-6, 2.5e-6);
+  EXPECT_NEAR(r, 3.44e3, 0.05e3);
+  EXPECT_LT(r, 4.4e3);
+  EXPECT_GT(4.4e3 / r, 1.0);
+  EXPECT_LT(4.4e3 / r, 1.6);
+}
+
+TEST(Resistance, TemperatureCoefficient) {
+  // Copper TCR ~ 0.0039/K: +10% at +25 K around room temperature... check
+  // the linear model exactly.
+  const double rho = resistivity_at_temperature(1.72e-8, 0.0039, 300.0, 350.0);
+  EXPECT_NEAR(rho, 1.72e-8 * (1.0 + 0.0039 * 50.0), 1e-14);
+}
+
+TEST(Resistance, SkinDepthCopperAt1GHz) {
+  // Classic number: ~2.1 um at 1 GHz for copper.
+  const double d = skin_depth(1.72e-8, 1e9);
+  EXPECT_NEAR(d, 2.09e-6, 0.05e-6);
+}
+
+TEST(Resistance, DcModelValidityBoundary) {
+  // Table 1 wire (2 x 2.5 um): half-thickness 1 um < delta up to ~4 GHz.
+  EXPECT_TRUE(dc_resistance_valid(1.72e-8, 2e-6, 2.5e-6, 1e9));
+  EXPECT_FALSE(dc_resistance_valid(1.72e-8, 20e-6, 25e-6, 1e9));
+}
+
+TEST(Resistance, InputValidation) {
+  EXPECT_THROW(resistance_per_length(0.0, 1e-6, 1e-6), std::domain_error);
+  EXPECT_THROW(skin_depth(1.72e-8, 0.0), std::domain_error);
+  EXPECT_THROW(resistivity_at_temperature(0.0, 0.0039, 300.0, 350.0),
+               std::domain_error);
+}
+
+}  // namespace
+}  // namespace rlc::extract

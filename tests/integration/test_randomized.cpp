@@ -1,0 +1,160 @@
+/// Randomized cross-validation: independent implementations must agree on
+/// randomly generated problems.  Fixed seeds keep the suite deterministic.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "rlc/core/delay.hpp"
+#include "rlc/linalg/lu.hpp"
+#include "rlc/linalg/sparse_lu.hpp"
+#include "rlc/spice/dcop.hpp"
+#include "rlc/tree/rc_tree.hpp"
+
+namespace {
+
+TEST(Randomized, SparseAndDenseLuAgreeOnRandomMnaLikeSystems) {
+  std::mt19937 rng(2026);
+  std::uniform_real_distribution<double> g(0.1, 10.0);
+  std::uniform_int_distribution<int> pick(0, 29);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int n = 30;
+    // Random conductance network: symmetric stamps + diagonal dominance,
+    // the structure MNA produces.
+    rlc::linalg::MatrixD a(n, n);
+    std::vector<rlc::linalg::Triplet> trip;
+    for (int e = 0; e < 120; ++e) {
+      int i = pick(rng), j = pick(rng);
+      if (i == j) continue;
+      const double cond = g(rng);
+      a(i, i) += cond;
+      a(j, j) += cond;
+      a(i, j) -= cond;
+      a(j, i) -= cond;
+      trip.push_back({i, i, cond});
+      trip.push_back({j, j, cond});
+      trip.push_back({i, j, -cond});
+      trip.push_back({j, i, -cond});
+    }
+    for (int i = 0; i < n; ++i) {
+      a(i, i) += 1e-3;  // gmin-like ground reference
+      trip.push_back({i, i, 1e-3});
+    }
+    std::vector<double> b(n);
+    std::uniform_real_distribution<double> rb(-1.0, 1.0);
+    for (auto& v : b) v = rb(rng);
+
+    const auto xd = rlc::linalg::LUD(a).solve(b);
+    const auto m = rlc::linalg::CscMatrix::from_triplets(n, n, trip);
+    const auto xs = rlc::linalg::SparseLU(m).solve(b);
+    for (int i = 0; i < n; ++i) {
+      EXPECT_NEAR(xs[i], xd[i], 1e-8 * (1.0 + std::abs(xd[i])))
+          << "trial " << trial << " i " << i;
+    }
+  }
+}
+
+TEST(Randomized, TreeElmoreMatchesMnaDcWithDischargePath) {
+  // Elmore m1 equals the area under (1 - v(t)) for a step input; cheaper
+  // cross-check: the DC solution through the tree must be flat (no drops),
+  // and the total capacitance must equal the sum of stamped caps — guards
+  // the tree builder against topology bugs on random trees.
+  std::mt19937 rng(7);
+  std::uniform_real_distribution<double> rr(10.0, 1e3);
+  std::uniform_real_distribution<double> rc(1e-15, 1e-12);
+  for (int trial = 0; trial < 10; ++trial) {
+    rlc::tree::RcTree t(500.0, rc(rng));
+    std::uniform_int_distribution<int> parent_pick(0, 0);
+    double cap_sum = t.node_cap(0);
+    for (int n = 1; n <= 25; ++n) {
+      std::uniform_int_distribution<int> pp(0, t.size() - 1);
+      const double c = rc(rng);
+      t.add_node(pp(rng), rr(rng), c);
+      cap_sum += c;
+    }
+    EXPECT_NEAR(t.total_cap(), cap_sum, 1e-20);
+    // Elmore delays are positive and monotone along any root-to-leaf path.
+    const auto m1 = t.elmore_delays();
+    for (rlc::tree::NodeId n = 1; n < t.size(); ++n) {
+      EXPECT_GT(m1[n], m1[t.parent(n)]) << trial << " node " << n;
+    }
+    // Moments: m2 > 0 everywhere.  b2 = m1^2 - m2 may legitimately be
+    // negative at nodes near the root (fast local rise, long far-capacitance
+    // tail), where the two-pole reduction must refuse; where it is positive
+    // the reduction must produce a solvable delay.
+    const auto ms = t.moments();
+    for (rlc::tree::NodeId n = 0; n < t.size(); ++n) {
+      EXPECT_GT(ms[n].m2, 0.0);
+      if (ms[n].m1 * ms[n].m1 - ms[n].m2 > 0.0) {
+        const rlc::core::TwoPole sys(t.two_pole_at(n));
+        const auto d = rlc::core::threshold_delay(sys);
+        ASSERT_TRUE(d.converged) << trial << " node " << n;
+        EXPECT_NEAR(sys.step_response(d.tau), 0.5, 1e-7);
+      } else {
+        EXPECT_THROW(t.two_pole_at(n), std::runtime_error) << n;
+      }
+    }
+  }
+}
+
+TEST(Randomized, RandomResistorNetworksSatisfyDcConservation) {
+  // KCL sanity on random resistive meshes solved by the full DC path:
+  // current out of the source equals current into ground.
+  std::mt19937 rng(99);
+  std::uniform_real_distribution<double> rr(10.0, 1e4);
+  for (int trial = 0; trial < 10; ++trial) {
+    rlc::spice::Circuit c;
+    const int n_nodes = 8;
+    std::vector<rlc::spice::NodeId> nodes;
+    for (int i = 0; i < n_nodes; ++i) nodes.push_back(c.node("n" + std::to_string(i)));
+    std::uniform_int_distribution<int> pick(0, n_nodes - 1);
+    std::vector<const rlc::spice::Resistor*> to_gnd;
+    int idx = 0;
+    // Spanning chain guarantees connectivity.
+    for (int i = 1; i < n_nodes; ++i) {
+      c.add_resistor("Rc" + std::to_string(i), nodes[i - 1], nodes[i], rr(rng));
+    }
+    for (int e = 0; e < 10; ++e) {
+      const int i = pick(rng), j = pick(rng);
+      if (i == j) continue;
+      c.add_resistor("Rx" + std::to_string(idx++), nodes[i], nodes[j], rr(rng));
+    }
+    to_gnd.push_back(&c.add_resistor("Rg0", nodes[3], c.ground(), rr(rng)));
+    to_gnd.push_back(&c.add_resistor("Rg1", nodes[6], c.ground(), rr(rng)));
+    auto& vsrc = c.add_vsource("V1", nodes[0], c.ground(), rlc::spice::DcSpec{5.0});
+    const auto dc = rlc::spice::dc_operating_point(c);
+    ASSERT_TRUE(dc.converged) << trial;
+    const double i_src = dc.x[vsrc.branch_base()];
+    double i_gnd = 0.0;
+    for (const auto* r : to_gnd) i_gnd += r->current(dc.x);
+    // Source branch current flows p -> n inside the source; KCL at ground:
+    // what leaves through the resistors returns through the source.
+    EXPECT_NEAR(-i_src, i_gnd, 1e-6 * (std::abs(i_gnd) + 1e-9)) << trial;
+  }
+}
+
+TEST(Randomized, TwoPoleDelayInvariants) {
+  // For random passive (b1, b2): the 50% delay exists, is positive, grows
+  // with b1 at fixed b2/b1^2 ratio, and v(tau) = 0.5 exactly.
+  std::mt19937 rng(5);
+  std::uniform_real_distribution<double> rb1(1e-12, 1e-9);
+  std::uniform_real_distribution<double> ratio(0.01, 30.0);  // b2 / (b1^2/4)
+  for (int trial = 0; trial < 60; ++trial) {
+    const double b1 = rb1(rng);
+    const double b2 = ratio(rng) * b1 * b1 / 4.0;
+    const rlc::core::TwoPole sys({b1, b2});
+    const auto r = rlc::core::threshold_delay(sys);
+    ASSERT_TRUE(r.converged) << trial;
+    EXPECT_GT(r.tau, 0.0);
+    EXPECT_NEAR(sys.step_response(r.tau), 0.5, 1e-7) << trial;
+    // Scaling invariance: (a*b1, a^2*b2) scales tau by a.
+    const double a = 3.0;
+    const rlc::core::TwoPole scaled({a * b1, a * a * b2});
+    const auto rs = rlc::core::threshold_delay(scaled);
+    ASSERT_TRUE(rs.converged);
+    EXPECT_NEAR(rs.tau, a * r.tau, 1e-6 * rs.tau) << trial;
+  }
+}
+
+}  // namespace

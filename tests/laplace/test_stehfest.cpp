@@ -1,0 +1,62 @@
+#include "rlc/laplace/stehfest.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+namespace rlc::laplace {
+namespace {
+
+TEST(Stehfest, WeightsSumToZero) {
+  // Sum of Stehfest weights is 0 (constant Laplace image of 0 inverts to 0);
+  // a classic self-check of the coefficient generation.
+  for (int n : {8, 10, 12, 14, 16}) {
+    const auto v = stehfest_weights(n);
+    const double sum = std::accumulate(v.begin() + 1, v.end(), 0.0);
+    EXPECT_NEAR(sum, 0.0, 1e-4 * std::abs(v[n / 2])) << "N = " << n;
+  }
+}
+
+TEST(Stehfest, WeightsRejectOddOrSmallN) {
+  EXPECT_THROW(stehfest_weights(7), std::invalid_argument);
+  EXPECT_THROW(stehfest_weights(0), std::invalid_argument);
+}
+
+TEST(Stehfest, StepFunction) {
+  const auto F = [](double s) { return 1.0 / s; };
+  EXPECT_NEAR(stehfest_invert(F, 1.0), 1.0, 1e-8);
+  EXPECT_NEAR(stehfest_invert(F, 17.0), 1.0, 1e-8);
+}
+
+TEST(Stehfest, Exponential) {
+  const double a = 2.0;
+  const auto F = [a](double s) { return 1.0 / (s + a); };
+  for (double t : {0.1, 0.5, 1.0}) {
+    EXPECT_NEAR(stehfest_invert(F, t), std::exp(-a * t), 1e-4) << t;
+  }
+}
+
+TEST(Stehfest, Ramp) {
+  const auto F = [](double s) { return 1.0 / (s * s); };
+  EXPECT_NEAR(stehfest_invert(F, 3.0), 3.0, 1e-4);
+}
+
+TEST(Stehfest, KnownWeaknessOnOscillatoryResponses) {
+  // Documented limitation: Gaver-Stehfest degrades on strongly oscillatory
+  // f(t).  sin(10 t) at t where it matters: expect visible error (this test
+  // asserts the limitation so users are not surprised).
+  const double w = 10.0;
+  const auto F = [w](double s) { return w / (s * s + w * w); };
+  const double t = 2.0;
+  const double err = std::abs(stehfest_invert(F, t, 14) - std::sin(w * t));
+  EXPECT_GT(err, 1e-3);
+}
+
+TEST(Stehfest, InputValidation) {
+  const auto F = [](double s) { return 1.0 / s; };
+  EXPECT_THROW(stehfest_invert(F, 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rlc::laplace

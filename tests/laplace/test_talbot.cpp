@@ -1,0 +1,88 @@
+#include "rlc/laplace/talbot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rlc/core/pade.hpp"
+#include "rlc/core/two_pole.hpp"
+
+namespace rlc::laplace {
+namespace {
+
+using cplx = std::complex<double>;
+
+TEST(Talbot, StepFunction) {
+  // L^-1[1/s] = 1.
+  const LaplaceFn F = [](cplx s) { return 1.0 / s; };
+  for (double t : {0.1, 1.0, 10.0}) {
+    EXPECT_NEAR(talbot_invert(F, t), 1.0, 1e-7) << t;
+  }
+}
+
+TEST(Talbot, Exponential) {
+  // L^-1[1/(s+a)] = exp(-a t).
+  const double a = 3.0;
+  const LaplaceFn F = [a](cplx s) { return 1.0 / (s + a); };
+  for (double t : {0.05, 0.3, 1.0, 2.0}) {
+    EXPECT_NEAR(talbot_invert(F, t), std::exp(-a * t), 1e-7) << t;
+  }
+}
+
+TEST(Talbot, Ramp) {
+  // L^-1[1/s^2] = t.
+  const LaplaceFn F = [](cplx s) { return 1.0 / (s * s); };
+  EXPECT_NEAR(talbot_invert(F, 2.5), 2.5, 1e-7);
+}
+
+TEST(Talbot, DampedOscillation) {
+  // L^-1[w/((s+a)^2 + w^2)] = exp(-a t) sin(w t).
+  const double a = 0.5, w = 4.0;
+  const LaplaceFn F = [=](cplx s) { return w / ((s + a) * (s + a) + w * w); };
+  for (double t : {0.2, 0.7, 1.9, 3.0}) {
+    EXPECT_NEAR(talbot_invert(F, t, 64), std::exp(-a * t) * std::sin(w * t),
+                2e-5) << t;
+  }
+}
+
+TEST(Talbot, MatchesTwoPoleClosedFormStepResponse) {
+  // The Pade step response has the closed form implemented in core::TwoPole;
+  // inverting H(s)/s numerically must reproduce it.  Underdamped case.
+  const rlc::core::PadeCoeffs pc{2e-10, 3e-20};  // disc = 4e-20 - 12e-20 < 0
+  const rlc::core::TwoPole sys(pc);
+  const LaplaceFn F = [&pc](cplx s) {
+    return 1.0 / (s * (1.0 + s * pc.b1 + s * s * pc.b2));
+  };
+  for (double t : {1e-11, 1e-10, 3e-10, 1e-9}) {
+    EXPECT_NEAR(talbot_invert(F, t, 64), sys.step_response(t), 2e-5) << t;
+  }
+}
+
+TEST(Talbot, MatchesTwoPoleOverdamped) {
+  const rlc::core::PadeCoeffs pc{5e-10, 1e-20};  // disc > 0
+  const rlc::core::TwoPole sys(pc);
+  const LaplaceFn F = [&pc](cplx s) {
+    return 1.0 / (s * (1.0 + s * pc.b1 + s * s * pc.b2));
+  };
+  for (double t : {1e-11, 2e-10, 1e-9, 4e-9}) {
+    EXPECT_NEAR(talbot_invert(F, t, 64), sys.step_response(t), 2e-5) << t;
+  }
+}
+
+TEST(Talbot, VectorOverload) {
+  const LaplaceFn F = [](cplx s) { return 1.0 / (s + 1.0); };
+  const auto v = talbot_invert(F, std::vector<double>{0.5, 1.0}, 48);
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_NEAR(v[0], std::exp(-0.5), 1e-7);
+  EXPECT_NEAR(v[1], std::exp(-1.0), 1e-7);
+}
+
+TEST(Talbot, InputValidation) {
+  const LaplaceFn F = [](cplx s) { return 1.0 / s; };
+  EXPECT_THROW(talbot_invert(F, 0.0), std::invalid_argument);
+  EXPECT_THROW(talbot_invert(F, -1.0), std::invalid_argument);
+  EXPECT_THROW(talbot_invert(F, 1.0, 2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rlc::laplace

@@ -1,0 +1,91 @@
+#include "rlc/linalg/lu.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+namespace rlc::linalg {
+namespace {
+
+TEST(DenseLU, Solves2x2) {
+  MatrixD a(2, 2);
+  a(0, 0) = 3.0; a(0, 1) = 1.0;
+  a(1, 0) = 1.0; a(1, 1) = 2.0;
+  const LUD lu(a);
+  const auto x = lu.solve({9.0, 8.0});
+  EXPECT_NEAR(x[0], 2.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(DenseLU, RequiresPivoting) {
+  // Zero on the leading diagonal: fails without row pivoting.
+  MatrixD a(2, 2);
+  a(0, 0) = 0.0; a(0, 1) = 1.0;
+  a(1, 0) = 1.0; a(1, 1) = 0.0;
+  const LUD lu(a);
+  const auto x = lu.solve({5.0, 7.0});
+  EXPECT_NEAR(x[0], 7.0, 1e-12);
+  EXPECT_NEAR(x[1], 5.0, 1e-12);
+}
+
+TEST(DenseLU, SingularThrows) {
+  MatrixD a(2, 2);
+  a(0, 0) = 1.0; a(0, 1) = 2.0;
+  a(1, 0) = 2.0; a(1, 1) = 4.0;
+  EXPECT_THROW(LUD{a}, std::runtime_error);
+}
+
+TEST(DenseLU, NonSquareThrows) {
+  MatrixD a(2, 3);
+  EXPECT_THROW(LUD{a}, std::invalid_argument);
+}
+
+TEST(DenseLU, RandomResidualSmall) {
+  std::mt19937 rng(42);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  const std::size_t n = 60;
+  MatrixD a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) a(i, j) = dist(rng);
+    a(i, i) += 3.0;  // keep it comfortably nonsingular
+  }
+  std::vector<double> xref(n);
+  for (auto& v : xref) v = dist(rng);
+  const auto b = a.multiply(xref);
+  const LUD lu(a);
+  const auto x = lu.solve(b);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], xref[i], 1e-9);
+}
+
+TEST(DenseLU, MultipleRhsReuse) {
+  MatrixD a(2, 2);
+  a(0, 0) = 2.0; a(0, 1) = 0.0;
+  a(1, 0) = 0.0; a(1, 1) = 4.0;
+  const LUD lu(a);
+  EXPECT_NEAR(lu.solve({2.0, 4.0})[0], 1.0, 1e-14);
+  EXPECT_NEAR(lu.solve({6.0, 8.0})[1], 2.0, 1e-14);
+}
+
+TEST(DenseLU, ComplexSystem) {
+  using cplx = std::complex<double>;
+  MatrixC a(2, 2);
+  a(0, 0) = {1.0, 1.0}; a(0, 1) = {0.0, -1.0};
+  a(1, 0) = {2.0, 0.0}; a(1, 1) = {1.0, 0.0};
+  const std::vector<cplx> xref{{1.0, -1.0}, {0.5, 2.0}};
+  const auto b = a.multiply(xref);
+  const LUC lu(a);
+  const auto x = lu.solve(b);
+  EXPECT_NEAR(std::abs(x[0] - xref[0]), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(x[1] - xref[1]), 0.0, 1e-12);
+}
+
+TEST(DenseLU, SolveSizeMismatchThrows) {
+  MatrixD a(2, 2);
+  a(0, 0) = a(1, 1) = 1.0;
+  const LUD lu(a);
+  EXPECT_THROW(lu.solve({1.0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rlc::linalg

@@ -1,0 +1,56 @@
+#include "rlc/linalg/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rlc::linalg {
+namespace {
+
+TEST(Matrix, ConstructAndIndex) {
+  MatrixD m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 1) = -4.0;
+  EXPECT_DOUBLE_EQ(m(0, 1), -4.0);
+}
+
+TEST(Matrix, AtThrowsOutOfRange) {
+  MatrixD m(2, 2);
+  EXPECT_THROW(m.at(2, 0), std::out_of_range);
+  EXPECT_THROW(m.at(0, 2), std::out_of_range);
+  EXPECT_NO_THROW(m.at(1, 1));
+}
+
+TEST(Matrix, Multiply) {
+  MatrixD m(2, 3);
+  // [1 2 3; 4 5 6] * [1, 0, -1] = [-2, -2]
+  m(0, 0) = 1; m(0, 1) = 2; m(0, 2) = 3;
+  m(1, 0) = 4; m(1, 1) = 5; m(1, 2) = 6;
+  const auto y = m.multiply({1.0, 0.0, -1.0});
+  ASSERT_EQ(y.size(), 2u);
+  EXPECT_DOUBLE_EQ(y[0], -2.0);
+  EXPECT_DOUBLE_EQ(y[1], -2.0);
+}
+
+TEST(Matrix, MultiplySizeMismatchThrows) {
+  MatrixD m(2, 3);
+  EXPECT_THROW(m.multiply({1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(Matrix, ComplexSupport) {
+  MatrixC m(1, 1);
+  m(0, 0) = {0.0, 1.0};
+  const auto y = m.multiply({{0.0, 1.0}});
+  EXPECT_DOUBLE_EQ(y[0].real(), -1.0);
+  EXPECT_DOUBLE_EQ(y[0].imag(), 0.0);
+}
+
+TEST(Matrix, SetZero) {
+  MatrixD m(2, 2, 3.0);
+  m.set_zero();
+  EXPECT_DOUBLE_EQ(m(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(m(1, 1), 0.0);
+}
+
+}  // namespace
+}  // namespace rlc::linalg

@@ -1,0 +1,112 @@
+#include "rlc/linalg/sparse.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rlc::linalg {
+namespace {
+
+TEST(CscMatrix, FromTripletsSumsDuplicates) {
+  // MNA stamping appends duplicate (i, j) entries that must accumulate.
+  const std::vector<Triplet> t{{0, 0, 1.0}, {0, 0, 2.0}, {1, 0, -1.0},
+                               {1, 1, 4.0}};
+  const auto m = CscMatrix::from_triplets(2, 2, t);
+  EXPECT_EQ(m.nnz(), 3);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 0), -1.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 1), 4.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 0.0);
+}
+
+TEST(CscMatrix, KeepsExplicitZerosByDefault) {
+  const std::vector<Triplet> t{{0, 0, 1.0}, {1, 1, 1.0}, {0, 1, 0.0}};
+  EXPECT_EQ(CscMatrix::from_triplets(2, 2, t).nnz(), 3);
+  EXPECT_EQ(CscMatrix::from_triplets(2, 2, t, /*drop_zeros=*/true).nnz(), 2);
+}
+
+TEST(CscMatrix, CancellingDuplicatesDropOnlyWhenRequested) {
+  const std::vector<Triplet> t{{0, 0, 1.0}, {0, 0, -1.0}, {1, 1, 1.0}};
+  EXPECT_EQ(CscMatrix::from_triplets(2, 2, t).nnz(), 2);
+  EXPECT_EQ(CscMatrix::from_triplets(2, 2, t, true).nnz(), 1);
+}
+
+TEST(CscMatrix, RowsSortedWithinColumns) {
+  const std::vector<Triplet> t{{2, 0, 3.0}, {0, 0, 1.0}, {1, 0, 2.0}};
+  const auto m = CscMatrix::from_triplets(3, 1, t);
+  ASSERT_EQ(m.nnz(), 3);
+  EXPECT_EQ(m.row_idx()[0], 0);
+  EXPECT_EQ(m.row_idx()[1], 1);
+  EXPECT_EQ(m.row_idx()[2], 2);
+}
+
+TEST(CscMatrix, Multiply) {
+  // [[1, 2], [0, 3]] * [1, 2] = [5, 6]
+  const std::vector<Triplet> t{{0, 0, 1.0}, {0, 1, 2.0}, {1, 1, 3.0}};
+  const auto m = CscMatrix::from_triplets(2, 2, t);
+  const auto y = m.multiply({1.0, 2.0});
+  EXPECT_DOUBLE_EQ(y[0], 5.0);
+  EXPECT_DOUBLE_EQ(y[1], 6.0);
+}
+
+TEST(CscMatrix, OutOfRangeTripletThrows) {
+  EXPECT_THROW(CscMatrix::from_triplets(2, 2, {{2, 0, 1.0}}),
+               std::out_of_range);
+  EXPECT_THROW(CscMatrix::from_triplets(2, 2, {{0, -1, 1.0}}),
+               std::out_of_range);
+}
+
+TEST(TripletCompressor, ReusesMappingForIdenticalStructure) {
+  TripletCompressor tc;
+  std::vector<Triplet> t{{0, 0, 1.0}, {1, 1, 2.0}, {0, 1, 3.0}, {0, 0, 4.0}};
+  const auto& m1 = tc.compress(2, 2, t);
+  EXPECT_FALSE(tc.reused());
+  EXPECT_DOUBLE_EQ(m1.at(0, 0), 5.0);  // duplicates summed
+  // Same structure, new values: must reuse and produce correct sums.
+  t[0].value = 10.0;
+  t[3].value = 1.0;
+  const auto& m2 = tc.compress(2, 2, t);
+  EXPECT_TRUE(tc.reused());
+  EXPECT_DOUBLE_EQ(m2.at(0, 0), 11.0);
+  EXPECT_DOUBLE_EQ(m2.at(1, 1), 2.0);
+}
+
+TEST(TripletCompressor, DetectsStructureChange) {
+  TripletCompressor tc;
+  std::vector<Triplet> t{{0, 0, 1.0}, {1, 1, 2.0}};
+  tc.compress(2, 2, t);
+  t.push_back({1, 0, -1.0});  // new entry
+  const auto& m = tc.compress(2, 2, t);
+  EXPECT_FALSE(tc.reused());
+  EXPECT_DOUBLE_EQ(m.at(1, 0), -1.0);
+  // Changed position with same count also triggers rebuild.
+  std::vector<Triplet> t2{{0, 0, 1.0}, {1, 1, 2.0}, {0, 1, -1.0}};
+  tc.compress(2, 2, t2);
+  EXPECT_FALSE(tc.reused());
+}
+
+TEST(TripletCompressor, MatchesFromTripletsOnRandomPatterns) {
+  TripletCompressor tc;
+  std::vector<Triplet> t;
+  for (int i = 0; i < 50; ++i) {
+    t.push_back({(i * 7) % 10, (i * 3) % 10, 0.1 * i - 2.0});
+  }
+  const auto ref = CscMatrix::from_triplets(10, 10, t);
+  tc.compress(10, 10, t);
+  for (auto& tr : t) tr.value *= -1.5;
+  const auto& m = tc.compress(10, 10, t);
+  ASSERT_TRUE(tc.reused());
+  for (int i = 0; i < 10; ++i) {
+    for (int j = 0; j < 10; ++j) {
+      EXPECT_NEAR(m.at(i, j), -1.5 * ref.at(i, j), 1e-12) << i << "," << j;
+    }
+  }
+}
+
+TEST(CscMatrix, EmptyMatrix) {
+  const auto m = CscMatrix::from_triplets(3, 3, {});
+  EXPECT_EQ(m.nnz(), 0);
+  const auto y = m.multiply({1.0, 1.0, 1.0});
+  EXPECT_DOUBLE_EQ(y[0], 0.0);
+}
+
+}  // namespace
+}  // namespace rlc::linalg

@@ -1,0 +1,76 @@
+#include "rlc/math/nelder_mead.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace rlc::math {
+namespace {
+
+TEST(NelderMead, Quadratic2D) {
+  const auto f = [](const std::vector<double>& x) {
+    return (x[0] - 1.0) * (x[0] - 1.0) + 10.0 * (x[1] + 2.0) * (x[1] + 2.0);
+  };
+  const auto r = nelder_mead(f, {0.0, 0.0});
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(r.x[0], 1.0, 1e-5);
+  EXPECT_NEAR(r.x[1], -2.0, 1e-5);
+}
+
+TEST(NelderMead, Rosenbrock) {
+  const auto f = [](const std::vector<double>& x) {
+    const double a = 1.0 - x[0];
+    const double b = x[1] - x[0] * x[0];
+    return a * a + 100.0 * b * b;
+  };
+  NelderMeadOptions opts;
+  opts.max_iterations = 10000;
+  const auto r = nelder_mead(f, {-1.2, 1.0}, opts);
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(r.x[0], 1.0, 1e-4);
+  EXPECT_NEAR(r.x[1], 1.0, 1e-4);
+}
+
+TEST(NelderMead, HardConstraintViaNan) {
+  // Minimize (x-3)^2 but only x > 0 is feasible (NaN outside); the optimum
+  // is interior so the constraint must not break convergence.
+  const auto f = [](const std::vector<double>& x) {
+    if (x[0] <= 0.0) return std::numeric_limits<double>::quiet_NaN();
+    return (x[0] - 3.0) * (x[0] - 3.0);
+  };
+  const auto r = nelder_mead(f, {0.5});
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(r.x[0], 3.0, 1e-5);
+}
+
+TEST(NelderMead, ZeroInitialCoordinateGetsAbsoluteStep) {
+  const auto f = [](const std::vector<double>& x) {
+    return x[0] * x[0] + (x[1] - 0.5) * (x[1] - 0.5);
+  };
+  const auto r = nelder_mead(f, {0.0, 0.0});
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(r.x[1], 0.5, 1e-5);
+}
+
+TEST(NelderMead, EmptyInputReturnsUnconverged) {
+  const auto f = [](const std::vector<double>&) { return 0.0; };
+  EXPECT_FALSE(nelder_mead(f, {}).converged);
+}
+
+// 4-D sphere function: dimension scaling sanity.
+TEST(NelderMead, Sphere4D) {
+  const auto f = [](const std::vector<double>& x) {
+    double s = 0.0;
+    for (double v : x) s += v * v;
+    return s;
+  };
+  NelderMeadOptions opts;
+  opts.max_iterations = 20000;
+  const auto r = nelder_mead(f, {1.0, -2.0, 0.5, 3.0}, opts);
+  ASSERT_TRUE(r.converged);
+  for (double v : r.x) EXPECT_NEAR(v, 0.0, 1e-4);
+}
+
+}  // namespace
+}  // namespace rlc::math

@@ -1,0 +1,131 @@
+#include "rlc/math/newton.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rlc::math {
+namespace {
+
+TEST(NewtonScalar, SqrtTwo) {
+  const auto f = [](double x) { return x * x - 2.0; };
+  const auto fp = [](double x) { return 2.0 * x; };
+  const auto r = newton_scalar(f, fp, 1.0);
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(r.x, std::sqrt(2.0), 1e-12);
+  EXPECT_LE(r.iterations, 8);
+}
+
+TEST(NewtonScalar, CubicFromFlatRegionNeedsDamping) {
+  // x^3 - x: near x = 1/sqrt(3) the derivative vanishes; damping keeps the
+  // iteration bounded where pure Newton overshoots wildly.
+  const auto f = [](double x) { return x * x * x - x; };
+  const auto fp = [](double x) { return 3.0 * x * x - 1.0; };
+  const auto r = newton_scalar(f, fp, 0.46);
+  ASSERT_TRUE(r.converged);
+  // Any of the three roots {-1, 0, 1} is a valid answer.
+  EXPECT_NEAR(std::abs(r.x) * (std::abs(r.x) - 1.0), 0.0, 1e-9);
+}
+
+TEST(NewtonScalar, ReportsFailureOnNoRoot) {
+  const auto f = [](double x) { return x * x + 1.0; };
+  const auto fp = [](double x) { return 2.0 * x; };
+  NewtonOptions opts;
+  opts.max_iterations = 30;
+  const auto r = newton_scalar(f, fp, 3.0, opts);
+  EXPECT_FALSE(r.converged);
+}
+
+TEST(NewtonBisect, FindsRootWithinBracket) {
+  const auto f = [](double x) { return std::cos(x) - x; };
+  const auto fp = [](double x) { return -std::sin(x) - 1.0; };
+  const auto r = newton_bisect_scalar(f, fp, 0.0, 1.5);
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(r.x, 0.7390851332151607, 1e-10);
+}
+
+TEST(NewtonBisect, RejectsBadBracket) {
+  const auto f = [](double x) { return x * x + 1.0; };
+  const auto fp = [](double x) { return 2.0 * x; };
+  const auto r = newton_bisect_scalar(f, fp, -1.0, 1.0);
+  EXPECT_FALSE(r.converged);
+}
+
+TEST(NewtonBisect, SurvivesPathologicalDerivative) {
+  // Derivative callback lies (returns 0); solver must fall back to bisection.
+  const auto f = [](double x) { return x - 0.25; };
+  const auto fp = [](double) { return 0.0; };
+  const auto r = newton_bisect_scalar(f, fp, 0.0, 1.0);
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(r.x, 0.25, 1e-9);
+}
+
+TEST(Newton2D, SolvesCoupledSystem) {
+  // x^2 + y^2 = 4, x*y = 1.
+  const Fn2 f = [](const std::array<double, 2>& v) {
+    return std::array<double, 2>{v[0] * v[0] + v[1] * v[1] - 4.0,
+                                 v[0] * v[1] - 1.0};
+  };
+  const Jac2 j = [](const std::array<double, 2>& v) {
+    return std::array<std::array<double, 2>, 2>{
+        std::array<double, 2>{2.0 * v[0], 2.0 * v[1]},
+        std::array<double, 2>{v[1], v[0]}};
+  };
+  const auto r = newton_2d(f, j, {2.0, 0.3});
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(r.x[0] * r.x[0] + r.x[1] * r.x[1], 4.0, 1e-9);
+  EXPECT_NEAR(r.x[0] * r.x[1], 1.0, 1e-9);
+}
+
+TEST(Newton2D, FdJacobianMatchesAnalytic) {
+  const Fn2 f = [](const std::array<double, 2>& v) {
+    return std::array<double, 2>{std::exp(v[0]) - v[1],
+                                 v[0] * v[0] + std::sin(v[1])};
+  };
+  const auto jfd = fd_jacobian_2d(f);
+  const std::array<double, 2> x{0.7, -0.3};
+  const auto J = jfd(x);
+  EXPECT_NEAR(J[0][0], std::exp(0.7), 1e-6);
+  EXPECT_NEAR(J[0][1], -1.0, 1e-6);
+  EXPECT_NEAR(J[1][0], 2.0 * 0.7, 1e-6);
+  EXPECT_NEAR(J[1][1], std::cos(-0.3), 1e-6);
+}
+
+TEST(Newton2D, RespectsLowerBounds) {
+  // Root at (-1, -1) but bounds keep the iterate positive; the solve must
+  // not converge to the out-of-bounds root and must never go non-positive.
+  const Fn2 f = [](const std::array<double, 2>& v) {
+    return std::array<double, 2>{v[0] + 1.0, v[1] + 1.0};
+  };
+  const auto r = newton_2d(f, fd_jacobian_2d(f), {1.0, 1.0}, {},
+                           std::array<double, 2>{0.0, 0.0});
+  EXPECT_FALSE(r.converged);
+  EXPECT_GT(r.x[0], 0.0);
+  EXPECT_GT(r.x[1], 0.0);
+}
+
+// Parameterized sweep: scalar Newton must converge for a family of shifted
+// exponential equations exp(x) = a, any a > 0.
+class NewtonExpSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(NewtonExpSweep, ConvergesToLog) {
+  const double a = GetParam();
+  const auto f = [a](double x) { return std::exp(x) - a; };
+  const auto fp = [](double x) { return std::exp(x); };
+  NewtonOptions opts;
+  // Large a needs many damped steps (the full Newton step overflows exp);
+  // small a has |f'| << 1 near the root so the f-tolerance translates into
+  // a looser x accuracy.
+  opts.max_iterations = 500;
+  opts.f_tolerance = 1e-12 * std::max(a, 1.0);
+  const auto r = newton_scalar(f, fp, 0.0, opts);
+  ASSERT_TRUE(r.converged) << "a = " << a;
+  EXPECT_NEAR(r.x, std::log(a), 1e-7 * (1.0 + std::abs(std::log(a))));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, NewtonExpSweep,
+                         ::testing::Values(1e-4, 0.1, 0.5, 1.0, 2.0, 10.0,
+                                           1e3, 1e6));
+
+}  // namespace
+}  // namespace rlc::math

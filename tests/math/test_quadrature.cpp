@@ -1,0 +1,64 @@
+#include "rlc/math/quadrature.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rlc/math/constants.hpp"
+
+namespace rlc::math {
+namespace {
+
+// An n-point Gauss-Legendre rule integrates polynomials up to degree 2n-1
+// exactly; verify for every tabulated order.
+class GaussExactness : public ::testing::TestWithParam<int> {};
+
+TEST_P(GaussExactness, IntegratesMaxDegreePolynomialExactly) {
+  const int n = GetParam();
+  const int deg = 2 * n - 1;
+  const auto f = [deg](double x) { return std::pow(x, deg) + std::pow(x, deg - 1); };
+  // integral over [0, 2] of x^d = 2^{d+1}/(d+1)
+  const double exact = std::pow(2.0, deg + 1) / (deg + 1) +
+                       std::pow(2.0, deg) / deg;
+  EXPECT_NEAR(gauss_legendre(f, 0.0, 2.0, n), exact, 1e-9 * std::abs(exact));
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, GaussExactness,
+                         ::testing::Values(2, 3, 4, 5, 6, 7, 8, 12, 16));
+
+TEST(GaussLegendre, SineOverHalfPeriod) {
+  const double v = gauss_legendre([](double x) { return std::sin(x); }, 0.0,
+                                  kPi, 16);
+  EXPECT_NEAR(v, 2.0, 1e-12);
+}
+
+TEST(GaussLegendre, ReversedIntervalFlipsSign) {
+  const auto f = [](double x) { return x * x; };
+  EXPECT_NEAR(gauss_legendre(f, 2.0, 0.0, 8), -gauss_legendre(f, 0.0, 2.0, 8),
+              1e-14);
+}
+
+TEST(AdaptiveSimpson, SmoothFunction) {
+  const double v =
+      adaptive_simpson([](double x) { return std::exp(-x * x); }, -6.0, 6.0,
+                       1e-12);
+  EXPECT_NEAR(v, std::sqrt(kPi), 1e-10);
+}
+
+TEST(AdaptiveSimpson, SharplyPeaked) {
+  // Lorentzian of width 1e-3 centered mid-interval.
+  const double w = 1e-3;
+  const auto f = [w](double x) { return w / (w * w + (x - 0.5) * (x - 0.5)); };
+  const double v = adaptive_simpson(f, 0.0, 1.0, 1e-10);
+  const double exact = std::atan(0.5 / w) - std::atan(-0.5 / w);
+  EXPECT_NEAR(v, exact, 1e-7);
+}
+
+TEST(AdaptiveSimpson, IntegrableLogSingularityNearEdge) {
+  const double v =
+      adaptive_simpson([](double x) { return std::log(x); }, 1e-12, 1.0, 1e-10);
+  EXPECT_NEAR(v, -1.0, 1e-4);
+}
+
+}  // namespace
+}  // namespace rlc::math

@@ -1,0 +1,62 @@
+#include "rlc/math/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "rlc/math/constants.hpp"
+
+namespace rlc::math {
+namespace {
+
+TEST(Stats, PeakAndExtremes) {
+  const std::vector<double> y{-3.0, 1.0, 2.5, -0.5};
+  EXPECT_DOUBLE_EQ(peak_abs(y), 3.0);
+  EXPECT_DOUBLE_EQ(maximum(y), 2.5);
+  EXPECT_DOUBLE_EQ(minimum(y), -3.0);
+}
+
+TEST(Stats, TrapzIntegralLinearRamp) {
+  const std::vector<double> t{0.0, 1.0, 2.0, 4.0};
+  const std::vector<double> y{0.0, 1.0, 2.0, 4.0};  // y = t
+  EXPECT_NEAR(integral_trapz(t, y), 8.0, 1e-14);    // t^2/2 at 4
+}
+
+TEST(Stats, MeanOfConstantIsConstant) {
+  const std::vector<double> t{0.0, 0.1, 0.7, 1.0};
+  const std::vector<double> y{5.0, 5.0, 5.0, 5.0};
+  EXPECT_NEAR(mean_trapz(t, y), 5.0, 1e-14);
+  EXPECT_NEAR(rms_trapz(t, y), 5.0, 1e-14);
+}
+
+TEST(Stats, RmsOfSineIsAmplitudeOverSqrt2) {
+  std::vector<double> t, y;
+  const int n = 20001;
+  for (int i = 0; i < n; ++i) {
+    const double tt = 2.0 * kPi * i / (n - 1);
+    t.push_back(tt);
+    y.push_back(3.0 * std::sin(tt));
+  }
+  EXPECT_NEAR(rms_trapz(t, y), 3.0 / std::sqrt(2.0), 1e-4);
+}
+
+TEST(Stats, NonUniformSamplingHandled) {
+  // y = t sampled very unevenly; trapz on a linear function is exact.
+  const std::vector<double> t{0.0, 0.001, 0.5, 0.51, 3.0};
+  const std::vector<double> y{0.0, 0.001, 0.5, 0.51, 3.0};
+  EXPECT_NEAR(integral_trapz(t, y), 4.5, 1e-12);
+  EXPECT_NEAR(mean_trapz(t, y), 1.5, 1e-12);
+}
+
+TEST(Stats, ThrowsOnBadInput) {
+  const std::vector<double> t{0.0, 1.0};
+  const std::vector<double> y1{1.0};
+  EXPECT_THROW(integral_trapz(t, y1), std::invalid_argument);
+  const std::vector<double> t_bad{1.0, 1.0};
+  const std::vector<double> y{1.0, 1.0};
+  EXPECT_THROW(mean_trapz(t_bad, y), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rlc::math

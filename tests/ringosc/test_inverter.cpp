@@ -1,0 +1,91 @@
+#include "rlc/ringosc/inverter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rlc/spice/dcop.hpp"
+
+namespace rlc::ringosc {
+namespace {
+
+using rlc::core::Technology;
+using rlc::spice::Circuit;
+using rlc::spice::DcSpec;
+
+TEST(Inverter, BetaCalibrationFormula) {
+  const auto tech = Technology::nm100();
+  const double vt = kVtFraction * tech.vdd;
+  const double beta = unit_beta(tech);
+  // R_eff = 3 VDD / (4 * Idsat) with Idsat = 0.5 beta (VDD - VT)^2 == rs.
+  const double idsat = 0.5 * beta * (tech.vdd - vt) * (tech.vdd - vt);
+  EXPECT_NEAR(3.0 * tech.vdd / (4.0 * idsat), tech.rep.rs,
+              1e-9 * tech.rep.rs);
+}
+
+TEST(Inverter, StrongerDriversAtOlderNode) {
+  // rs(250nm) > rs(100nm) but VDD also differs; beta just has to be
+  // positive and finite for both.
+  EXPECT_GT(unit_beta(Technology::nm250()), 0.0);
+  EXPECT_GT(unit_beta(Technology::nm100()), 0.0);
+}
+
+TEST(Inverter, DcTransferEndpointsAndThreshold) {
+  const auto tech = Technology::nm100();
+  for (double vin_frac : {0.0, 0.5, 1.0}) {
+    Circuit ckt;
+    const auto vdd = ckt.node("vdd"), in = ckt.node("in"), out = ckt.node("out");
+    ckt.add_vsource("Vdd", vdd, ckt.ground(), DcSpec{tech.vdd});
+    ckt.add_vsource("Vin", in, ckt.ground(), DcSpec{vin_frac * tech.vdd});
+    add_inverter(ckt, "inv", in, out, vdd, tech, 100.0);
+    const auto dc = rlc::spice::dc_operating_point(ckt);
+    ASSERT_TRUE(dc.converged) << vin_frac;
+    if (vin_frac == 0.0) {
+      EXPECT_NEAR(dc.voltage(out), tech.vdd, 0.01 * tech.vdd);
+    }
+    if (vin_frac == 1.0) {
+      EXPECT_NEAR(dc.voltage(out), 0.0, 0.01 * tech.vdd);
+    }
+    if (vin_frac == 0.5) {
+      EXPECT_NEAR(dc.voltage(out), inverter_switching_threshold(tech),
+                  0.05 * tech.vdd);
+    }
+  }
+}
+
+TEST(Inverter, EffectiveResistanceNearCalibrationTarget) {
+  // Measure the pull-down resistance at the mid-transition point: drive the
+  // output with a current and check V/I against rs/k within the tolerance
+  // of the averaged-resistance model.
+  const auto tech = Technology::nm100();
+  const double k = 50.0;
+  Circuit ckt;
+  const auto vdd = ckt.node("vdd"), in = ckt.node("in"), out = ckt.node("out");
+  ckt.add_vsource("Vdd", vdd, ckt.ground(), DcSpec{tech.vdd});
+  ckt.add_vsource("Vin", in, ckt.ground(), DcSpec{tech.vdd});  // NMOS on
+  add_inverter(ckt, "inv", in, out, vdd, tech, k);
+  // Inject current and read the output voltage: R_eff = V/I averaged over
+  // the transition is within ~2x of rs/k (model-level agreement).
+  const double itest = 0.25 * tech.vdd / (tech.rep.rs / k);
+  ckt.add_isource("Itest", ckt.ground(), out, DcSpec{itest});
+  const auto dc = rlc::spice::dc_operating_point(ckt);
+  ASSERT_TRUE(dc.converged);
+  const double reff = dc.voltage(out) / itest;
+  EXPECT_GT(reff, 0.3 * tech.rep.rs / k);
+  EXPECT_LT(reff, 3.0 * tech.rep.rs / k);
+}
+
+TEST(Inverter, CellCapacitorsMatchRepeaterAbstraction) {
+  const auto tech = Technology::nm250();
+  Circuit ckt;
+  const auto vdd = ckt.node("vdd"), in = ckt.node("in"), out = ckt.node("out");
+  ckt.add_vsource("Vdd", vdd, ckt.ground(), DcSpec{tech.vdd});
+  const auto cell = add_inverter(ckt, "inv", in, out, vdd, tech, 40.0);
+  EXPECT_NEAR(cell.cin->capacitance(), tech.rep.c0 * 40.0, 1e-22);
+  EXPECT_NEAR(cell.cout->capacitance(), tech.rep.cp * 40.0, 1e-22);
+  EXPECT_EQ(cell.pmos->params().type, rlc::spice::MosType::kPmos);
+  EXPECT_EQ(cell.nmos->params().type, rlc::spice::MosType::kNmos);
+}
+
+}  // namespace
+}  // namespace rlc::ringosc

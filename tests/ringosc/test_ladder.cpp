@@ -1,0 +1,109 @@
+#include "rlc/ringosc/ladder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rlc/core/delay.hpp"
+#include "rlc/core/technology.hpp"
+#include "rlc/spice/dcop.hpp"
+#include "rlc/spice/transient.hpp"
+
+namespace rlc::ringosc {
+namespace {
+
+using rlc::spice::Circuit;
+using rlc::spice::DcSpec;
+using rlc::spice::PulseSpec;
+
+TEST(Ladder, StructureCounts) {
+  Circuit ckt;
+  const auto a = ckt.node("a"), b = ckt.node("b");
+  const auto lad = add_rlc_ladder(ckt, "ln", a, b, {4400.0, 1e-6, 2e-10},
+                                  0.01, 8);
+  EXPECT_EQ(lad.nodes.size(), 9u);
+  EXPECT_EQ(lad.resistors.size(), 8u);
+  EXPECT_EQ(lad.inductors.size(), 8u);
+  EXPECT_EQ(lad.mid_nodes.size(), 8u);
+  EXPECT_EQ(lad.nodes.front(), a);
+  EXPECT_EQ(lad.nodes.back(), b);
+  // interior: 7 junctions + 8 mids
+  EXPECT_EQ(lad.interior_nodes().size(), 15u);
+}
+
+TEST(Ladder, RcOnlyWhenInductanceZero) {
+  Circuit ckt;
+  const auto a = ckt.node("a"), b = ckt.node("b");
+  const auto lad = add_rlc_ladder(ckt, "ln", a, b, {4400.0, 0.0, 2e-10},
+                                  0.01, 8);
+  EXPECT_TRUE(lad.inductors.empty());
+  EXPECT_TRUE(lad.mid_nodes.empty());
+  EXPECT_EQ(lad.resistors.size(), 8u);
+}
+
+TEST(Ladder, TotalSeriesResistanceAtDc) {
+  // End-to-end DC resistance must be exactly r * length.
+  Circuit ckt;
+  const auto a = ckt.node("a"), b = ckt.node("b");
+  add_rlc_ladder(ckt, "ln", a, b, {4400.0, 1e-6, 2e-10}, 0.0144, 16);
+  ckt.add_vsource("V1", a, ckt.ground(), DcSpec{1.0});
+  ckt.add_resistor("Rterm", b, ckt.ground(), 100.0);
+  const auto dc = rlc::spice::dc_operating_point(ckt);
+  ASSERT_TRUE(dc.converged);
+  const double rline = 4400.0 * 0.0144;
+  EXPECT_NEAR(dc.voltage(b), 100.0 / (100.0 + rline), 1e-6);
+}
+
+TEST(Ladder, FiftyPercentDelayNearTwoPolePrediction) {
+  // Drive a Table-1-style segment with an ideal source through Rs and load
+  // with Cl: the simulated 50% delay must sit close to the two-pole model's
+  // (the spatial discretization and the Pade truncation both contribute a
+  // few percent).
+  const auto tech = rlc::core::Technology::nm250();
+  const double h = 0.0144, k = 578.0;
+  const auto dl = tech.rep.scaled(k);
+  const double l = 1e-6;
+
+  Circuit ckt;
+  const auto src = ckt.node("src"), drv = ckt.node("drv"), end = ckt.node("end");
+  ckt.add_vsource("V1", src, ckt.ground(),
+                  PulseSpec{0, 1, 0, 1e-13, 1e-13, 1, 0});
+  ckt.add_resistor("Rs", src, drv, dl.rs_eff);
+  ckt.add_capacitor("Cp", drv, ckt.ground(), dl.cp_eff);
+  add_rlc_ladder(ckt, "ln", drv, end, tech.line(l), h, 32);
+  ckt.add_capacitor("Cl", end, ckt.ground(), dl.cl_eff);
+
+  rlc::spice::TransientOptions o;
+  o.tstop = 2e-9;
+  o.dt = 1e-12;
+  o.probes = {rlc::spice::Probe::node_voltage(end, "vend")};
+  const auto r = run_transient(ckt, o);
+  ASSERT_TRUE(r.completed);
+  const auto& v = r.signal("vend");
+  double t50 = -1.0;
+  for (std::size_t i = 1; i < r.time.size(); ++i) {
+    if (v[i - 1] < 0.5 && v[i] >= 0.5) {
+      const double f = (0.5 - v[i - 1]) / (v[i] - v[i - 1]);
+      t50 = r.time[i - 1] + f * (r.time[i] - r.time[i - 1]);
+      break;
+    }
+  }
+  ASSERT_GT(t50, 0.0);
+  const auto dr = rlc::core::segment_delay(tech.rep, tech.line(l), h, k);
+  ASSERT_TRUE(dr.converged);
+  EXPECT_NEAR(t50, dr.tau, 0.15 * dr.tau);
+}
+
+TEST(Ladder, InputValidation) {
+  Circuit ckt;
+  const auto a = ckt.node("a"), b = ckt.node("b");
+  EXPECT_THROW(add_rlc_ladder(ckt, "x", a, b, {1.0, 0.0, 1e-10}, 0.01, 0),
+               std::invalid_argument);
+  EXPECT_THROW(add_rlc_ladder(ckt, "x", a, b, {1.0, 0.0, 1e-10}, 0.0, 4),
+               std::invalid_argument);
+  EXPECT_THROW(add_rlc_ladder(ckt, "x", a, b, {0.0, 0.0, 1e-10}, 0.01, 4),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rlc::ringosc

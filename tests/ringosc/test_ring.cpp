@@ -1,0 +1,104 @@
+#include "rlc/ringosc/ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rlc/core/elmore.hpp"
+
+namespace rlc::ringosc {
+namespace {
+
+using rlc::core::Technology;
+
+// Small, fast configurations: 3 stages, short lines, coarse ladders.  The
+// full Figure 9-12 setups run in the bench harness.
+RingParams fast_params(const Technology& tech, double l) {
+  const auto rc = rlc::core::rc_optimum(tech);
+  RingParams p;
+  p.stages = 3;
+  p.segments_per_line = 8;
+  p.l = l;
+  p.h = 0.5 * rc.h;
+  p.k = 0.5 * rc.k;
+  return p;
+}
+
+TEST(Ring, OscillatesNearEstimatedPeriod) {
+  const auto tech = Technology::nm100();
+  const auto p = fast_params(tech, 0.2e-6);
+  const auto r = simulate_ring(tech, p);
+  ASSERT_TRUE(r.completed);
+  ASSERT_TRUE(r.period.has_value());
+  // Fundamental mode: within a factor ~2 of the 2*N*tau estimate.
+  EXPECT_GT(*r.period, 0.5 * r.t_estimate);
+  EXPECT_LT(*r.period, 2.0 * r.t_estimate);
+}
+
+TEST(Ring, OutputSwingsRailToRail) {
+  const auto tech = Technology::nm100();
+  const auto r = simulate_ring(tech, fast_params(tech, 0.2e-6));
+  ASSERT_TRUE(r.completed);
+  double vmin = 1e9, vmax = -1e9;
+  for (double v : r.v_out) {
+    vmin = std::min(vmin, v);
+    vmax = std::max(vmax, v);
+  }
+  EXPECT_LT(vmin, 0.15 * tech.vdd);
+  EXPECT_GT(vmax, 0.85 * tech.vdd);
+}
+
+TEST(Ring, InductanceIncreasesInputRinging) {
+  const auto tech = Technology::nm100();
+  const auto lo = simulate_ring(tech, fast_params(tech, 0.1e-6));
+  const auto hi = simulate_ring(tech, fast_params(tech, 1.5e-6));
+  ASSERT_TRUE(lo.completed);
+  ASSERT_TRUE(hi.completed);
+  const double ring_lo = lo.input_excursion.overshoot + lo.input_excursion.undershoot;
+  const double ring_hi = hi.input_excursion.overshoot + hi.input_excursion.undershoot;
+  EXPECT_GT(ring_hi, ring_lo);
+}
+
+TEST(Ring, CurrentDensityComputedFromMidWire) {
+  const auto tech = Technology::nm100();
+  const auto r = simulate_ring(tech, fast_params(tech, 0.2e-6));
+  ASSERT_TRUE(r.completed);
+  EXPECT_GT(r.wire_density.j_peak, 0.0);
+  EXPECT_GT(r.wire_density.j_rms, 0.0);
+  EXPECT_GE(r.wire_density.j_peak, r.wire_density.j_rms);
+}
+
+TEST(Ring, ParameterValidation) {
+  const auto tech = Technology::nm100();
+  RingParams p = fast_params(tech, 0.0);
+  p.stages = 4;  // even: not a ring oscillator
+  EXPECT_THROW(simulate_ring(tech, p), std::invalid_argument);
+  p = fast_params(tech, 0.0);
+  p.h = 0.0;
+  EXPECT_THROW(simulate_ring(tech, p), std::invalid_argument);
+  p = fast_params(tech, 0.0);
+  p.l = -1.0;
+  EXPECT_THROW(simulate_ring(tech, p), std::invalid_argument);
+}
+
+TEST(BufferedLine, CleanAtLowInductance) {
+  const auto tech = Technology::nm100();
+  const auto p = fast_params(tech, 0.2e-6);
+  // Drive period comfortably longer than the chain delay.
+  const double period = 24.0 * p.stages *
+                        rlc::core::rc_optimum(tech).tau;
+  const auto r = simulate_buffered_line(tech, p, period, 4);
+  ASSERT_TRUE(r.completed);
+  // One output transition per drive transition (within measurement slack).
+  EXPECT_NEAR(r.transition_ratio, 1.0, 0.45);
+}
+
+TEST(BufferedLine, ValidatesDriveSpec) {
+  const auto tech = Technology::nm100();
+  const auto p = fast_params(tech, 0.2e-6);
+  EXPECT_THROW(simulate_buffered_line(tech, p, 0.0, 4), std::invalid_argument);
+  EXPECT_THROW(simulate_buffered_line(tech, p, 1e-9, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rlc::ringosc

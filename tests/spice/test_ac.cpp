@@ -1,0 +1,136 @@
+#include "rlc/spice/ac.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rlc/core/technology.hpp"
+#include "rlc/math/constants.hpp"
+#include "rlc/ringosc/ladder.hpp"
+#include "rlc/tline/transfer.hpp"
+
+namespace rlc::spice {
+namespace {
+
+using cplx = std::complex<double>;
+
+TEST(Ac, RcLowPassPole) {
+  // |H| = 1/sqrt(2) and phase -45 deg at f = 1/(2 pi RC).
+  Circuit c;
+  const auto in = c.node("in"), out = c.node("out");
+  c.add_vsource("V1", in, c.ground(), DcSpec{0.0}, /*ac=*/1.0);
+  c.add_resistor("R1", in, out, 1e3);
+  c.add_capacitor("C1", out, c.ground(), 1e-9);
+  const double fc = 1.0 / (2.0 * rlc::math::kPi * 1e3 * 1e-9);
+  AcOptions o;
+  o.frequencies = {fc / 100.0, fc, fc * 100.0};
+  o.compute_dc_op = false;
+  const auto r = run_ac(c, o);
+  ASSERT_TRUE(r.completed);
+  const auto& h = r.signal("v(out)");
+  EXPECT_NEAR(std::abs(h[0]), 1.0, 1e-3);
+  EXPECT_NEAR(std::abs(h[1]), 1.0 / std::sqrt(2.0), 1e-6);
+  EXPECT_NEAR(std::arg(h[1]), -rlc::math::kPi / 4.0, 1e-6);
+  EXPECT_NEAR(std::abs(h[2]), 0.01, 1e-4);
+}
+
+TEST(Ac, RlcSeriesResonance) {
+  // Series RLC: voltage across C peaks near f0 = 1/(2 pi sqrt(LC)) with
+  // quality factor Q = (1/R) sqrt(L/C).
+  Circuit c;
+  const auto in = c.node("in"), m = c.node("m"), out = c.node("out");
+  c.add_vsource("V1", in, c.ground(), DcSpec{0.0}, 1.0);
+  c.add_resistor("R1", in, m, 10.0);
+  c.add_inductor("L1", m, out, 1e-6);
+  c.add_capacitor("C1", out, c.ground(), 1e-9);
+  const double f0 = 1.0 / (2.0 * rlc::math::kPi * std::sqrt(1e-6 * 1e-9));
+  const double q = std::sqrt(1e-6 / 1e-9) / 10.0;
+  AcOptions o;
+  o.frequencies = {f0};
+  o.compute_dc_op = false;
+  const auto r = run_ac(c, o);
+  EXPECT_NEAR(std::abs(r.signal("v(out)")[0]), q, 0.02 * q);
+}
+
+TEST(Ac, LadderMatchesExactTransferFunction) {
+  // The 32-segment pi-ladder driven through Rs/Cp into Cl must track the
+  // exact distributed-line H(j w) of Eq. (1) at frequencies into the GHz.
+  const auto tech = rlc::core::Technology::nm250();
+  const double h = 0.0144, k = 578.0, l = 1.5e-6;
+  const auto dl = tech.rep.scaled(k);
+
+  Circuit c;
+  const auto src = c.node("src"), drv = c.node("drv"), end = c.node("end");
+  c.add_vsource("V1", src, c.ground(), DcSpec{0.0}, 1.0);
+  c.add_resistor("Rs", src, drv, dl.rs_eff);
+  c.add_capacitor("Cp", drv, c.ground(), dl.cp_eff);
+  rlc::ringosc::add_rlc_ladder(c, "ln", drv, end, tech.line(l), h, 32);
+  c.add_capacitor("Cl", end, c.ground(), dl.cl_eff);
+
+  AcOptions o;
+  o.frequencies = {1e8, 5e8, 1e9, 2e9};
+  o.compute_dc_op = false;
+  o.probes = {Probe::node_voltage(end, "vend")};
+  const auto r = run_ac(c, o);
+  for (std::size_t i = 0; i < o.frequencies.size(); ++i) {
+    const cplx s{0.0, 2.0 * rlc::math::kPi * o.frequencies[i]};
+    const cplx exact = rlc::tline::exact_transfer_dc_safe(tech.line(l), h, dl, s);
+    const cplx sim = r.signal("vend")[i];
+    EXPECT_NEAR(std::abs(sim - exact), 0.0, 0.05 * std::abs(exact))
+        << "f = " << o.frequencies[i];
+  }
+}
+
+TEST(Ac, MosfetLinearizedAmplifier) {
+  // Common-source stage: NMOS in saturation with drain resistor RD;
+  // small-signal gain = -gm RD (low frequency).
+  Circuit c;
+  const auto vdd = c.node("vdd"), g = c.node("g"), d = c.node("d");
+  c.add_vsource("Vdd", vdd, c.ground(), DcSpec{3.0});
+  c.add_vsource("Vg", g, c.ground(), DcSpec{1.5}, /*ac=*/1.0);
+  c.add_resistor("RD", vdd, d, 5e3);
+  c.add_mosfet("M1", d, g, c.ground(), {MosType::kNmos, 0.5, 1e-4, 0.0});
+  AcOptions o;
+  o.frequencies = {1e3};
+  const auto r = run_ac(c, o);
+  // gm = beta * vov = 1e-4 * 1.0 = 1e-4; gain = -0.5.
+  const cplx gain = r.signal("v(d)")[0];
+  EXPECT_NEAR(gain.real(), -0.5, 0.02);
+  EXPECT_NEAR(gain.imag(), 0.0, 1e-6);
+}
+
+TEST(Ac, QuietSourcesContributeNothing) {
+  Circuit c;
+  const auto in = c.node("in"), out = c.node("out");
+  c.add_vsource("V1", in, c.ground(), DcSpec{5.0});  // ac_magnitude = 0
+  c.add_resistor("R1", in, out, 1e3);
+  c.add_resistor("R2", out, c.ground(), 1e3);
+  AcOptions o;
+  o.frequencies = {1e6};
+  o.compute_dc_op = false;
+  const auto r = run_ac(c, o);
+  EXPECT_NEAR(std::abs(r.signal("v(out)")[0]), 0.0, 1e-12);
+}
+
+TEST(Ac, LogFrequencyGrid) {
+  const auto f = log_frequencies(1e3, 1e6, 10);
+  ASSERT_EQ(f.size(), 31u);
+  EXPECT_DOUBLE_EQ(f.front(), 1e3);
+  EXPECT_NEAR(f.back(), 1e6, 1e-6 * 1e6);
+  for (std::size_t i = 1; i < f.size(); ++i) EXPECT_GT(f[i], f[i - 1]);
+  EXPECT_THROW(log_frequencies(0.0, 1e6, 10), std::invalid_argument);
+  EXPECT_THROW(log_frequencies(1e6, 1e3, 10), std::invalid_argument);
+}
+
+TEST(Ac, InputValidation) {
+  Circuit c;
+  const auto n = c.node("n");
+  c.add_resistor("R", n, c.ground(), 1.0);
+  AcOptions o;
+  EXPECT_THROW(run_ac(c, o), std::invalid_argument);  // no frequencies
+  o.frequencies = {-1.0};
+  EXPECT_THROW(run_ac(c, o), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rlc::spice

@@ -1,0 +1,127 @@
+#include "rlc/spice/coupled.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rlc/math/constants.hpp"
+#include "rlc/spice/ac.hpp"
+#include "rlc/spice/dcop.hpp"
+#include "rlc/spice/transient.hpp"
+
+namespace rlc::spice {
+namespace {
+
+TEST(Vcvs, DcGain) {
+  Circuit c;
+  const auto in = c.node("in"), out = c.node("out");
+  c.add_vsource("V1", in, c.ground(), DcSpec{2.0});
+  c.add_vcvs("E1", out, c.ground(), in, c.ground(), 3.5);
+  c.add_resistor("RL", out, c.ground(), 1e3);
+  const auto dc = dc_operating_point(c);
+  ASSERT_TRUE(dc.converged);
+  EXPECT_NEAR(dc.voltage(out), 7.0, 1e-9);
+}
+
+TEST(Vcvs, DifferentialControl) {
+  Circuit c;
+  const auto a = c.node("a"), b = c.node("b"), out = c.node("out");
+  c.add_vsource("V1", a, c.ground(), DcSpec{3.0});
+  c.add_vsource("V2", b, c.ground(), DcSpec{1.0});
+  c.add_vcvs("E1", out, c.ground(), a, b, 2.0);
+  c.add_resistor("RL", out, c.ground(), 1e3);
+  const auto dc = dc_operating_point(c);
+  ASSERT_TRUE(dc.converged);
+  EXPECT_NEAR(dc.voltage(out), 4.0, 1e-9);
+}
+
+TEST(Vccs, DcTransconductance) {
+  Circuit c;
+  const auto in = c.node("in"), out = c.node("out");
+  c.add_vsource("V1", in, c.ground(), DcSpec{2.0});
+  // i(out -> gnd through the source) = gm * v(in): with gm = 1 mS the
+  // source pulls 2 mA OUT of node out; through RL = 1k that is -2 V.
+  c.add_vccs("G1", out, c.ground(), in, c.ground(), 1e-3);
+  c.add_resistor("RL", out, c.ground(), 1e3);
+  const auto dc = dc_operating_point(c);
+  ASSERT_TRUE(dc.converged);
+  EXPECT_NEAR(dc.voltage(out), -2.0, 1e-6);  // gmin shunt offset
+}
+
+TEST(Mutual, ValidatesCoupling) {
+  Circuit c;
+  const auto a = c.node("a"), b = c.node("b");
+  auto& l1 = c.add_inductor("L1", a, c.ground(), 1e-6);
+  auto& l2 = c.add_inductor("L2", b, c.ground(), 1e-6);
+  EXPECT_THROW(c.add_mutual("K1", l1, l2, 1.0), std::domain_error);
+  EXPECT_THROW(c.add_mutual("K1", l1, l2, 0.0), std::domain_error);
+  EXPECT_NO_THROW(c.add_mutual("K1", l1, l2, -0.5));
+}
+
+TEST(Mutual, AcTransformerCoupling) {
+  // Transformer with k = 0.5, driven primary, open secondary (load R):
+  // V2/V1 at high frequency -> k * sqrt(L2/L1) (ideal transformer limit).
+  Circuit c;
+  const auto p = c.node("p"), s = c.node("s");
+  c.add_vsource("V1", p, c.ground(), DcSpec{0.0}, 1.0);
+  auto& l1 = c.add_inductor("L1", p, c.ground(), 1e-6);
+  auto& l2 = c.add_inductor("L2", s, c.ground(), 4e-6);
+  c.add_mutual("K1", l1, l2, 0.5);
+  c.add_resistor("RL", s, c.ground(), 1e9);  // effectively open
+  AcOptions o;
+  o.frequencies = {1e9};
+  o.compute_dc_op = false;
+  const auto r = run_ac(c, o);
+  // Open-secondary transfer: V2 = (M / L1) V1 = k sqrt(L2/L1) = 1.0.
+  EXPECT_NEAR(std::abs(r.signal("v(s)")[0]), 1.0, 1e-3);
+}
+
+TEST(Mutual, TransientEnergyTransfer) {
+  // Step the primary through a resistor; the coupled secondary must develop
+  // a voltage with the polarity of the coupling and settle back to zero.
+  Circuit c;
+  const auto in = c.node("in"), p = c.node("p"), s = c.node("s");
+  c.add_vsource("V1", in, c.ground(), PulseSpec{0, 1, 0, 1e-9, 1e-9, 1, 0});
+  c.add_resistor("R1", in, p, 50.0);
+  auto& l1 = c.add_inductor("L1", p, c.ground(), 1e-6);
+  auto& l2 = c.add_inductor("L2", s, c.ground(), 1e-6);
+  c.add_mutual("K1", l1, l2, 0.8);
+  c.add_resistor("R2", s, c.ground(), 50.0);
+  TransientOptions o;
+  // Coupled decay constant ~ L(1+k)/R = 36 ns; run 5e-7 so it fully dies.
+  o.tstop = 5e-7;
+  o.dt = 2e-11;
+  const auto r = run_transient(c, o);
+  ASSERT_TRUE(r.completed);
+  const auto& vs = r.signal("v(s)");
+  double peak = 0.0;
+  for (double v : vs) peak = std::max(peak, std::abs(v));
+  EXPECT_GT(peak, 0.05);            // coupling transfers energy
+  EXPECT_NEAR(vs.back(), 0.0, 1e-3);  // and dies off at DC
+}
+
+TEST(Mutual, SymmetricCoupledLinesSplitModes) {
+  // Two identical LC lines coupled magnetically have even/odd mode
+  // frequencies f_even = f0/sqrt(1+k), f_odd = f0/sqrt(1-k).  Drive one
+  // line and check the beat produces energy in the second.
+  Circuit c;
+  const auto a = c.node("a"), b = c.node("b");
+  auto& l1 = c.add_inductor("L1", a, c.ground(), 1e-6);
+  auto& l2 = c.add_inductor("L2", b, c.ground(), 1e-6);
+  c.add_capacitor("C1", a, c.ground(), 1e-9);
+  c.add_capacitor("C2", b, c.ground(), 1e-9);
+  c.add_mutual("K", l1, l2, 0.3);
+  TransientOptions o;
+  o.tstop = 3e-6;
+  o.dt = 3e-10;
+  o.be_startup_steps = 0;
+  o.initial_voltages = {{a, 1.0}};
+  const auto r = run_transient(c, o);
+  ASSERT_TRUE(r.completed);
+  double peak_b = 0.0;
+  for (double v : r.signal("v(b)")) peak_b = std::max(peak_b, std::abs(v));
+  EXPECT_GT(peak_b, 0.3);  // strong beat transfer between the lines
+}
+
+}  // namespace
+}  // namespace rlc::spice

@@ -1,0 +1,115 @@
+/// Failure injection: the analyses must fail *cleanly* (flags, not crashes
+/// or garbage) when pushed past their limits, and the convergence-aid
+/// ladders must rescue the hard-but-solvable cases.
+
+#include <gtest/gtest.h>
+
+#include "rlc/spice/dcop.hpp"
+#include "rlc/spice/transient.hpp"
+
+namespace rlc::spice {
+namespace {
+
+TEST(FailurePaths, TransientReportsIncompleteWhenNewtonStarved) {
+  // One Newton iteration is not enough for a MOSFET circuit: every step is
+  // rejected, the step size bottoms out, and the run reports completed =
+  // false instead of looping forever or returning junk.
+  Circuit c;
+  const auto vdd = c.node("vdd"), in = c.node("in"), out = c.node("out");
+  c.add_vsource("Vdd", vdd, c.ground(), DcSpec{2.5});
+  c.add_vsource("Vin", in, c.ground(),
+                PulseSpec{0, 2.5, 0, 1e-10, 1e-10, 1e-9, 2e-9});
+  c.add_mosfet("MP", out, in, vdd, {MosType::kPmos, 0.5, 2e-3, 0.05});
+  c.add_mosfet("MN", out, in, c.ground(), {MosType::kNmos, 0.5, 2e-3, 0.05});
+  c.add_capacitor("CL", out, c.ground(), 10e-15);
+  TransientOptions o;
+  o.tstop = 4e-9;
+  o.dt = 1e-11;
+  o.max_newton = 1;          // starve Newton
+  o.max_step_halvings = 4;   // give up quickly
+  const auto r = run_transient(c, o);
+  EXPECT_FALSE(r.completed);
+  EXPECT_GT(r.steps_rejected, 0);
+}
+
+TEST(FailurePaths, SameCircuitCompletesWithSaneBudget) {
+  Circuit c;
+  const auto vdd = c.node("vdd"), in = c.node("in"), out = c.node("out");
+  c.add_vsource("Vdd", vdd, c.ground(), DcSpec{2.5});
+  c.add_vsource("Vin", in, c.ground(),
+                PulseSpec{0, 2.5, 0, 1e-10, 1e-10, 1e-9, 2e-9});
+  c.add_mosfet("MP", out, in, vdd, {MosType::kPmos, 0.5, 2e-3, 0.05});
+  c.add_mosfet("MN", out, in, c.ground(), {MosType::kNmos, 0.5, 2e-3, 0.05});
+  c.add_capacitor("CL", out, c.ground(), 10e-15);
+  TransientOptions o;
+  o.tstop = 4e-9;
+  o.dt = 1e-11;
+  const auto r = run_transient(c, o);
+  ASSERT_TRUE(r.completed);
+  // tstop = 4 ns = two full input periods: the input has just wrapped to
+  // low, so the inverter output ends high.
+  EXPECT_GT(r.signal("v(out)").back(), 2.0);
+}
+
+TEST(FailurePaths, CrossCoupledLatchDcConverges) {
+  // Bistable cross-coupled inverters: a classic hard DC case.  Whatever
+  // homotopy path the solver takes, it must land on a valid equilibrium
+  // (both nodes on rails complementarily, or both at the metastable point).
+  Circuit c;
+  const auto vdd = c.node("vdd"), a = c.node("a"), b = c.node("b");
+  c.add_vsource("Vdd", vdd, c.ground(), DcSpec{2.5});
+  const MosParams pn{MosType::kNmos, 0.5, 2e-3, 0.05};
+  const MosParams pp{MosType::kPmos, 0.5, 2e-3, 0.05};
+  c.add_mosfet("MP1", a, b, vdd, pp);
+  c.add_mosfet("MN1", a, b, c.ground(), pn);
+  c.add_mosfet("MP2", b, a, vdd, pp);
+  c.add_mosfet("MN2", b, a, c.ground(), pn);
+  const auto dc = dc_operating_point(c);
+  ASSERT_TRUE(dc.converged);
+  const double va = dc.voltage(a), vb = dc.voltage(b);
+  // Valid equilibria: (hi, lo), (lo, hi), or the metastable midpoint.
+  const bool complementary =
+      (va > 2.3 && vb < 0.2) || (va < 0.2 && vb > 2.3);
+  const bool metastable = std::abs(va - 1.25) < 0.1 && std::abs(vb - 1.25) < 0.1;
+  EXPECT_TRUE(complementary || metastable) << va << " " << vb;
+}
+
+TEST(FailurePaths, StartFromDcThrowsWhenDcImpossible) {
+  // A current source into a capacitor has no DC solution (the gmin shunt
+  // makes it *technically* solvable at an absurd voltage; starve the
+  // iteration budget to force the failure path deterministically).
+  Circuit c;
+  const auto vdd = c.node("vdd"), a = c.node("a"), b = c.node("b");
+  c.add_vsource("Vdd", vdd, c.ground(), DcSpec{2.5});
+  const MosParams pn{MosType::kNmos, 0.5, 2e-3, 0.05};
+  const MosParams pp{MosType::kPmos, 0.5, 2e-3, 0.05};
+  c.add_mosfet("MP1", a, b, vdd, pp);
+  c.add_mosfet("MN1", a, b, c.ground(), pn);
+  c.add_mosfet("MP2", b, a, vdd, pp);
+  c.add_mosfet("MN2", b, a, c.ground(), pn);
+  DcOptions d;
+  d.max_iterations = 1;
+  const auto dc = dc_operating_point(c, d);
+  EXPECT_FALSE(dc.converged);
+}
+
+TEST(FailurePaths, SingularTopologyThrowsCleanly) {
+  // A current source driving an otherwise unconnected node pair is held up
+  // only by the gmin shunt: the solve must either converge (tiny gmin keeps
+  // it regular) or throw a typed error — never crash.  With a V-source loop
+  // (two ideal sources in parallel with different values) the matrix is
+  // truly singular and SparseLU must throw.
+  Circuit c;
+  const auto a = c.node("a");
+  c.add_vsource("V1", a, c.ground(), DcSpec{1.0});
+  c.add_vsource("V2", a, c.ground(), DcSpec{2.0});  // contradictory loop
+  EXPECT_THROW(
+      {
+        const auto dc = dc_operating_point(c);
+        (void)dc;
+      },
+      std::runtime_error);
+}
+
+}  // namespace
+}  // namespace rlc::spice

@@ -1,0 +1,141 @@
+#include "rlc/spice/mosfet.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rlc/spice/circuit.hpp"
+#include "rlc/spice/dcop.hpp"
+
+namespace rlc::spice {
+namespace {
+
+MosParams nmos() { return {MosType::kNmos, 0.5, 1e-3, 0.0}; }
+MosParams nmos_clm() { return {MosType::kNmos, 0.5, 1e-3, 0.05}; }
+
+TEST(MosEval, CutoffBelowThreshold) {
+  const auto e = mos_eval(nmos(), 0.4, 1.0);
+  EXPECT_DOUBLE_EQ(e.ids, 0.0);
+  EXPECT_DOUBLE_EQ(e.gm, 0.0);
+  EXPECT_DOUBLE_EQ(e.gds, 0.0);
+}
+
+TEST(MosEval, TriodeRegion) {
+  // vgs = 1.5, vds = 0.3 < vov = 1.0: i = beta (vov vds - vds^2/2).
+  const auto e = mos_eval(nmos(), 1.5, 0.3);
+  EXPECT_NEAR(e.ids, 1e-3 * (1.0 * 0.3 - 0.045), 1e-12);
+  EXPECT_NEAR(e.gm, 1e-3 * 0.3, 1e-12);
+  EXPECT_NEAR(e.gds, 1e-3 * (1.0 - 0.3), 1e-12);
+}
+
+TEST(MosEval, SaturationRegion) {
+  const auto e = mos_eval(nmos(), 1.5, 2.0);
+  EXPECT_NEAR(e.ids, 0.5e-3, 1e-12);
+  EXPECT_NEAR(e.gm, 1e-3, 1e-12);
+  EXPECT_DOUBLE_EQ(e.gds, 0.0);  // no CLM
+}
+
+TEST(MosEval, ContinuousAcrossTriodeSaturationBoundary) {
+  const double vgs = 1.5, vov = 1.0;
+  const auto below = mos_eval(nmos_clm(), vgs, vov - 1e-9);
+  const auto above = mos_eval(nmos_clm(), vgs, vov + 1e-9);
+  EXPECT_NEAR(below.ids, above.ids, 1e-12);
+  EXPECT_NEAR(below.gm, above.gm, 1e-9);
+}
+
+TEST(MosEval, ReverseModeAntisymmetric) {
+  // Swapping source and drain: I(vgs, vds) = -I(vgs - vds, -vds).
+  const double vgs = 1.2, vds = -0.8;
+  const auto rev = mos_eval(nmos_clm(), vgs, vds);
+  const auto fwd = mos_eval(nmos_clm(), vgs - vds, -vds);
+  EXPECT_NEAR(rev.ids, -fwd.ids, 1e-15);
+  EXPECT_LT(rev.ids, 0.0);
+}
+
+TEST(MosEval, DerivativesMatchFiniteDifferencesEverywhere) {
+  const auto p = nmos_clm();
+  const double dv = 1e-7;
+  for (double vgs : {0.2, 0.8, 1.2, 2.0}) {
+    for (double vds : {-1.5, -0.4, 0.0, 0.3, 1.0, 2.5}) {
+      const auto e = mos_eval(p, vgs, vds);
+      const double gm_fd =
+          (mos_eval(p, vgs + dv, vds).ids - mos_eval(p, vgs - dv, vds).ids) /
+          (2 * dv);
+      const double gds_fd =
+          (mos_eval(p, vgs, vds + dv).ids - mos_eval(p, vgs, vds - dv).ids) /
+          (2 * dv);
+      EXPECT_NEAR(e.gm, gm_fd, 1e-6 * std::abs(gm_fd) + 1e-10)
+          << vgs << " " << vds;
+      EXPECT_NEAR(e.gds, gds_fd, 1e-6 * std::abs(gds_fd) + 1e-10)
+          << vgs << " " << vds;
+    }
+  }
+}
+
+TEST(MosEval, PmosMirrorsNmos) {
+  const MosParams pp{MosType::kPmos, 0.5, 1e-3, 0.05};
+  const MosParams np{MosType::kNmos, 0.5, 1e-3, 0.05};
+  // PMOS conducting: vgs = -1.5, vds = -2.0.
+  const auto pe = mos_eval(pp, -1.5, -2.0);
+  const auto ne = mos_eval(np, 1.5, 2.0);
+  EXPECT_NEAR(pe.ids, -ne.ids, 1e-15);
+  EXPECT_NEAR(pe.gm, ne.gm, 1e-15);
+  EXPECT_NEAR(pe.gds, ne.gds, 1e-15);
+  // PMOS off when gate high.
+  EXPECT_DOUBLE_EQ(mos_eval(pp, 0.0, -1.0).ids, 0.0);
+}
+
+TEST(Mosfet, InverterVtcEndpoints) {
+  // CMOS inverter: in = 0 -> out = VDD; in = VDD -> out = 0.
+  const double vdd = 2.5;
+  for (double vin : {0.0, vdd}) {
+    Circuit c;
+    const auto nvdd = c.node("vdd"), in = c.node("in"), out = c.node("out");
+    c.add_vsource("Vdd", nvdd, c.ground(), DcSpec{vdd});
+    c.add_vsource("Vin", in, c.ground(), DcSpec{vin});
+    c.add_mosfet("MP", out, in, nvdd, {MosType::kPmos, 0.5, 2e-3, 0.05});
+    c.add_mosfet("MN", out, in, c.ground(), {MosType::kNmos, 0.5, 2e-3, 0.05});
+    const auto dc = dc_operating_point(c);
+    ASSERT_TRUE(dc.converged) << vin;
+    EXPECT_NEAR(dc.voltage(out), vdd - vin, 1e-3) << vin;
+  }
+}
+
+TEST(Mosfet, SymmetricInverterSwitchesAtMidRail) {
+  const double vdd = 2.5;
+  Circuit c;
+  const auto nvdd = c.node("vdd"), in = c.node("in"), out = c.node("out");
+  c.add_vsource("Vdd", nvdd, c.ground(), DcSpec{vdd});
+  c.add_vsource("Vin", in, c.ground(), DcSpec{0.5 * vdd});
+  c.add_mosfet("MP", out, in, nvdd, {MosType::kPmos, 0.5, 2e-3, 0.05});
+  c.add_mosfet("MN", out, in, c.ground(), {MosType::kNmos, 0.5, 2e-3, 0.05});
+  const auto dc = dc_operating_point(c);
+  ASSERT_TRUE(dc.converged);
+  EXPECT_NEAR(dc.voltage(out), 0.5 * vdd, 0.01 * vdd);
+}
+
+TEST(Mosfet, SizeScalesCurrent) {
+  const auto p = nmos();
+  Circuit c;
+  const auto d = c.node("d"), g = c.node("g");
+  c.add_vsource("Vd", d, c.ground(), DcSpec{2.0});
+  c.add_vsource("Vg", g, c.ground(), DcSpec{1.5});
+  auto& m = c.add_mosfet("M1", d, g, c.ground(), p, 8.0);
+  const auto dc = dc_operating_point(c);
+  ASSERT_TRUE(dc.converged);
+  EXPECT_NEAR(m.drain_current(dc.x), 8.0 * 0.5e-3, 1e-9);
+}
+
+TEST(Mosfet, ParameterValidation) {
+  Circuit c;
+  const auto a = c.node("a");
+  EXPECT_THROW(
+      c.add_mosfet("M", a, a, c.ground(), {MosType::kNmos, 0.0, 1e-3, 0.0}),
+      std::domain_error);
+  EXPECT_THROW(
+      c.add_mosfet("M", a, a, c.ground(), {MosType::kNmos, 0.5, 1e-3, 0.0}, 0.0),
+      std::domain_error);
+}
+
+}  // namespace
+}  // namespace rlc::spice

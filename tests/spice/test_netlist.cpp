@@ -1,0 +1,251 @@
+#include "rlc/spice/netlist_parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rlc/spice/dcop.hpp"
+
+namespace rlc::spice {
+namespace {
+
+TEST(SpiceNumber, EngineeringSuffixes) {
+  EXPECT_DOUBLE_EQ(parse_spice_number("2.2k"), 2200.0);
+  EXPECT_DOUBLE_EQ(parse_spice_number("10MEG"), 1e7);
+  EXPECT_DOUBLE_EQ(parse_spice_number("1.5p"), 1.5e-12);
+  EXPECT_DOUBLE_EQ(parse_spice_number("3n"), 3e-9);
+  EXPECT_DOUBLE_EQ(parse_spice_number("4u"), 4e-6);
+  EXPECT_DOUBLE_EQ(parse_spice_number("5m"), 5e-3);
+  EXPECT_DOUBLE_EQ(parse_spice_number("6f"), 6e-15);
+  EXPECT_DOUBLE_EQ(parse_spice_number("7g"), 7e9);
+  EXPECT_DOUBLE_EQ(parse_spice_number("1e-9"), 1e-9);
+  EXPECT_DOUBLE_EQ(parse_spice_number("-3.5"), -3.5);
+  EXPECT_THROW(parse_spice_number("abc"), std::invalid_argument);
+  EXPECT_THROW(parse_spice_number("1.5x"), std::invalid_argument);
+}
+
+TEST(Netlist, DividerParsesAndSolves) {
+  const auto deck = parse_netlist(R"(simple divider
+V1 in 0 dc 10
+R1 in mid 1k
+R2 mid 0 2k
+.end
+)");
+  EXPECT_EQ(deck.title, "simple divider");
+  Circuit& c = const_cast<Circuit&>(deck.circuit);
+  const auto dc = dc_operating_point(c);
+  ASSERT_TRUE(dc.converged);
+  EXPECT_NEAR(dc.voltage(c.node("mid")), 20.0 / 3.0, 1e-6);
+}
+
+TEST(Netlist, CommentsAndContinuations) {
+  const auto deck = parse_netlist(R"(title
+* a comment line
+R1 a 0
++ 4.7k    ; trailing comment
+V1 a 0 dc 1 $ another trailing comment
+)");
+  EXPECT_NE(deck.circuit.find("R1"), nullptr);
+  const auto* r = dynamic_cast<const Resistor*>(deck.circuit.find("R1"));
+  ASSERT_NE(r, nullptr);
+  EXPECT_DOUBLE_EQ(r->resistance(), 4700.0);
+}
+
+TEST(Netlist, SourceSyntaxes) {
+  const auto deck = parse_netlist(R"(sources
+Vdc  a 0 dc 3.3
+Vbare b 0 2.5
+Vp   c 0 pulse(0 1.2 1n 50p 50p 4n 10n) ac 1
+Vpwl d 0 pwl(0 0 1n 1 2n 0.5)
+Vsin e 0 sin(0.6 0.6 1g)
+Itest f 0 dc 1m ac 2
+)");
+  const auto* vp = dynamic_cast<const VSource*>(deck.circuit.find("Vp"));
+  ASSERT_NE(vp, nullptr);
+  EXPECT_DOUBLE_EQ(vp->ac_magnitude(), 1.0);
+  EXPECT_NEAR(vp->value_at(3e-9), 1.2, 1e-12);  // inside the pulse
+  const auto* vpwl = dynamic_cast<const VSource*>(deck.circuit.find("Vpwl"));
+  ASSERT_NE(vpwl, nullptr);
+  EXPECT_NEAR(vpwl->value_at(0.5e-9), 0.5, 1e-12);
+  const auto* vsin = dynamic_cast<const VSource*>(deck.circuit.find("Vsin"));
+  ASSERT_NE(vsin, nullptr);
+  EXPECT_NEAR(vsin->value_at(0.25e-9), 1.2, 1e-9);
+  const auto* vb = dynamic_cast<const VSource*>(deck.circuit.find("Vbare"));
+  ASSERT_NE(vb, nullptr);
+  EXPECT_DOUBLE_EQ(vb->value_at(0.0), 2.5);
+}
+
+TEST(Netlist, RlcWithIcsAndTran) {
+  const auto deck = parse_netlist(R"(rlc
+L1 a b 1u ic=1m
+C1 b 0 1n ic=0.5
+R1 a 0 50
+.ic v(b)=0.5
+.tran 10p 5n
+)");
+  ASSERT_TRUE(deck.tran.has_value());
+  EXPECT_DOUBLE_EQ(deck.tran->dt, 1e-11);
+  EXPECT_DOUBLE_EQ(deck.tran->tstop, 5e-9);
+  ASSERT_EQ(deck.tran->initial_voltages.size(), 1u);
+  EXPECT_DOUBLE_EQ(deck.tran->initial_voltages[0].second, 0.5);
+  const auto* l = dynamic_cast<const Inductor*>(deck.circuit.find("L1"));
+  ASSERT_NE(l, nullptr);
+  EXPECT_DOUBLE_EQ(l->initial_current(), 1e-3);
+}
+
+TEST(Netlist, ControlledSourcesAndMutual) {
+  const auto deck = parse_netlist(R"(coupled
+L1 a 0 1u
+L2 b 0 1u
+K1 L1 L2 0.8
+E1 c 0 a 0 2.0
+G1 d 0 b 0 1m
+R1 c 0 1k
+R2 d 0 1k
+)");
+  EXPECT_NE(deck.circuit.find("K1"), nullptr);
+  EXPECT_NE(deck.circuit.find("E1"), nullptr);
+  EXPECT_NE(deck.circuit.find("G1"), nullptr);
+}
+
+TEST(Netlist, MosfetWithModelCard) {
+  auto deck = parse_netlist(R"(inverter
+.model nch nmos vt=0.3 beta=1m lambda=0.05
+.model pch pmos vt=0.3 beta=1m
+Vdd vdd 0 dc 1.2
+Vin in 0 dc 0
+Mp out in vdd pch m=20
+Mn out in 0 nch m=20
+)");
+  const auto dc = dc_operating_point(deck.circuit);
+  ASSERT_TRUE(dc.converged);
+  EXPECT_NEAR(dc.voltage(deck.circuit.node("out")), 1.2, 0.02);
+  const auto* m = dynamic_cast<const Mosfet*>(deck.circuit.find("Mn"));
+  ASSERT_NE(m, nullptr);
+  EXPECT_DOUBLE_EQ(m->size(), 20.0);
+  EXPECT_DOUBLE_EQ(m->params().lambda, 0.05);
+}
+
+TEST(Netlist, AcCard) {
+  const auto deck = parse_netlist(R"(ac sweep
+V1 in 0 dc 0 ac 1
+R1 in out 1k
+C1 out 0 1n
+.ac dec 10 1k 1meg
+)");
+  ASSERT_TRUE(deck.ac.has_value());
+  EXPECT_EQ(deck.ac->frequencies.size(), 31u);
+  EXPECT_DOUBLE_EQ(deck.ac->frequencies.front(), 1e3);
+}
+
+TEST(Netlist, ErrorsCarryLineNumbers) {
+  try {
+    parse_netlist("title\nR1 a 0 1k\nXsub a b weird\n");
+    FAIL() << "expected NetlistError";
+  } catch (const NetlistError& e) {
+    EXPECT_EQ(e.line(), 3);
+  }
+  try {
+    parse_netlist("title\nK1 L1 L2 0.5\n");
+    FAIL() << "expected NetlistError (unknown inductors)";
+  } catch (const NetlistError& e) {
+    EXPECT_EQ(e.line(), 2);
+  }
+  EXPECT_THROW(parse_netlist("title\nM1 d g s nosuchmodel\n"), NetlistError);
+  EXPECT_THROW(parse_netlist("title\n.tran\n"), NetlistError);
+  EXPECT_THROW(parse_netlist("title\n.frobnicate 1 2\n"), NetlistError);
+}
+
+TEST(Netlist, StopsAtEnd) {
+  const auto deck = parse_netlist(R"(deck
+R1 a 0 1k
+.end
+R2 b 0 1k
+)");
+  EXPECT_NE(deck.circuit.find("R1"), nullptr);
+  EXPECT_EQ(deck.circuit.find("R2"), nullptr);
+}
+
+TEST(Netlist, SubcktExpansion) {
+  auto deck = parse_netlist(R"(subckt demo
+.subckt divider top bot mid
+R1 top mid 1k
+R2 mid bot 2k
+.ends
+V1 in 0 dc 9
+Xdiv in 0 out divider
+Rload out 0 1meg
+)");
+  // Devices are namespaced by instance.
+  EXPECT_NE(deck.circuit.find("Xdiv.R1"), nullptr);
+  EXPECT_NE(deck.circuit.find("Xdiv.R2"), nullptr);
+  const auto dc = dc_operating_point(deck.circuit);
+  ASSERT_TRUE(dc.converged);
+  EXPECT_NEAR(dc.voltage(deck.circuit.node("out")), 6.0, 0.01);
+}
+
+TEST(Netlist, SubcktLocalNodesAreNamespaced) {
+  auto deck = parse_netlist(R"(two instances
+.subckt rcstage in out
+Rs in mid 1k
+Rm mid out 1k
+Cm mid 0 1p
+.ends
+V1 a 0 dc 2
+X1 a b rcstage
+X2 b c rcstage
+Rterm c 0 2k
+)");
+  // Each instance gets its own "mid" node.
+  const auto n1 = deck.circuit.node("X1.mid");
+  const auto n2 = deck.circuit.node("X2.mid");
+  EXPECT_NE(n1, n2);
+  const auto dc = dc_operating_point(deck.circuit);
+  ASSERT_TRUE(dc.converged);
+  // Chain: 4k series into 2k load -> v(c) = 2 * 2/6.
+  EXPECT_NEAR(dc.voltage(deck.circuit.node("c")), 2.0 / 3.0, 1e-3);
+}
+
+TEST(Netlist, NestedSubcktInstances) {
+  auto deck = parse_netlist(R"(nested
+.subckt unit a b
+Ru a b 1k
+.ends
+.subckt pair x y
+X1 x m unit
+X2 m y unit
+.ends
+V1 in 0 dc 1
+Xp in out pair
+Rload out 0 2k
+)");
+  EXPECT_NE(deck.circuit.find("Xp.X1.Ru"), nullptr);
+  const auto dc = dc_operating_point(deck.circuit);
+  ASSERT_TRUE(dc.converged);
+  EXPECT_NEAR(dc.voltage(deck.circuit.node("out")), 0.5, 1e-6);
+}
+
+TEST(Netlist, SubcktErrors) {
+  EXPECT_THROW(parse_netlist("t\nX1 a b nosuch\n"), NetlistError);
+  EXPECT_THROW(parse_netlist("t\n.subckt s a\nR1 a 0 1k\n"), NetlistError);
+  EXPECT_THROW(parse_netlist(R"(t
+.subckt s a b
+R1 a b 1k
+.ends
+X1 onlyone s
+)"), NetlistError);
+  // Direct recursion is caught by the depth limit.
+  EXPECT_THROW(parse_netlist(R"(t
+.subckt loop a b
+X1 a b loop
+.ends
+X0 x y loop
+)"), NetlistError);
+}
+
+TEST(Netlist, MissingFileThrows) {
+  EXPECT_THROW(parse_netlist_file("/nonexistent/deck.sp"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace rlc::spice

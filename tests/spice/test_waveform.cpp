@@ -1,0 +1,67 @@
+#include "rlc/spice/waveform.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rlc/math/constants.hpp"
+
+namespace rlc::spice {
+namespace {
+
+TEST(Waveform, Dc) {
+  const Waveform w = DcSpec{3.3};
+  EXPECT_DOUBLE_EQ(waveform_value(w, 0.0), 3.3);
+  EXPECT_DOUBLE_EQ(waveform_value(w, 1e9), 3.3);
+  EXPECT_DOUBLE_EQ(waveform_dc_value(w), 3.3);
+}
+
+TEST(Waveform, PulseSingleShot) {
+  // 0 -> 1 after 1ns delay, 1ns rise, 2ns width, 1ns fall, no repeat.
+  const Waveform w = PulseSpec{0.0, 1.0, 1e-9, 1e-9, 1e-9, 2e-9, 0.0};
+  EXPECT_DOUBLE_EQ(waveform_value(w, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(waveform_value(w, 0.999e-9), 0.0);
+  EXPECT_NEAR(waveform_value(w, 1.5e-9), 0.5, 1e-12);   // mid-rise
+  EXPECT_DOUBLE_EQ(waveform_value(w, 2.5e-9), 1.0);     // plateau
+  EXPECT_NEAR(waveform_value(w, 4.5e-9), 0.5, 1e-12);   // mid-fall
+  EXPECT_DOUBLE_EQ(waveform_value(w, 10e-9), 0.0);      // back to v1
+}
+
+TEST(Waveform, PulsePeriodic) {
+  const Waveform w = PulseSpec{0.0, 2.0, 0.0, 1e-9, 1e-9, 3e-9, 10e-9};
+  // Same phase one period later.
+  for (double t : {0.5e-9, 2e-9, 4.5e-9, 9e-9}) {
+    EXPECT_NEAR(waveform_value(w, t), waveform_value(w, t + 10e-9), 1e-12) << t;
+    EXPECT_NEAR(waveform_value(w, t), waveform_value(w, t + 30e-9), 1e-12) << t;
+  }
+}
+
+TEST(Waveform, PwlInterpolatesAndClamps) {
+  const Waveform w = PwlSpec{{{1.0, 0.0}, {2.0, 10.0}, {4.0, -10.0}}};
+  EXPECT_DOUBLE_EQ(waveform_value(w, 0.0), 0.0);    // clamp left
+  EXPECT_NEAR(waveform_value(w, 1.5), 5.0, 1e-12);  // interp
+  EXPECT_NEAR(waveform_value(w, 3.0), 0.0, 1e-12);  // interp down
+  EXPECT_DOUBLE_EQ(waveform_value(w, 9.0), -10.0);  // clamp right
+}
+
+TEST(Waveform, PwlEmptyAndSinglePoint) {
+  EXPECT_DOUBLE_EQ(waveform_value(PwlSpec{}, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(waveform_value(PwlSpec{{{0.0, 7.0}}}, 5.0), 7.0);
+}
+
+TEST(Waveform, Sine) {
+  const Waveform w = SinSpec{1.0, 2.0, 1e6, 0.0, 0.0};
+  EXPECT_NEAR(waveform_value(w, 0.0), 1.0, 1e-12);
+  EXPECT_NEAR(waveform_value(w, 0.25e-6), 3.0, 1e-9);  // quarter period peak
+  EXPECT_NEAR(waveform_value(w, 0.75e-6), -1.0, 1e-9);
+}
+
+TEST(Waveform, DampedSineWithDelay) {
+  const Waveform w = SinSpec{0.0, 1.0, 1e6, 1e-6, 1e6};
+  EXPECT_DOUBLE_EQ(waveform_value(w, 0.5e-6), 0.0);  // before delay
+  const double t = 1.25e-6;  // quarter period after delay
+  EXPECT_NEAR(waveform_value(w, t), std::exp(-0.25) * 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace rlc::spice

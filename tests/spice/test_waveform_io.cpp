@@ -1,0 +1,94 @@
+#include "rlc/spice/waveform_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "rlc/spice/circuit.hpp"
+
+namespace rlc::spice {
+namespace {
+
+TransientResult small_transient() {
+  Circuit c;
+  const auto in = c.node("in"), out = c.node("out");
+  c.add_vsource("V1", in, c.ground(), PulseSpec{0, 1, 0, 1e-12, 1e-12, 1, 0});
+  c.add_resistor("R1", in, out, 1e3);
+  c.add_capacitor("C1", out, c.ground(), 1e-9);
+  TransientOptions o;
+  o.tstop = 1e-7;
+  o.dt = 1e-9;
+  return run_transient(c, o);
+}
+
+TEST(WaveformIo, TransientRoundTripIsLossless) {
+  const auto r = small_transient();
+  ASSERT_TRUE(r.completed);
+  std::ostringstream out;
+  write_csv(out, r);
+  std::istringstream in(out.str());
+  const auto t = read_csv(in);
+  ASSERT_EQ(t.labels.size(), r.labels.size());
+  ASSERT_EQ(t.axis.size(), r.time.size());
+  for (std::size_t i = 0; i < r.time.size(); ++i) {
+    EXPECT_EQ(t.axis[i], r.time[i]);  // bitwise: %.17g round trip
+    for (std::size_t j = 0; j < r.labels.size(); ++j) {
+      EXPECT_EQ(t.columns[j][i], r.signals[j][i]);
+    }
+  }
+  EXPECT_EQ(t.column("v(out)").size(), r.time.size());
+}
+
+TEST(WaveformIo, AcCsvHasMagnitudeAndPhase) {
+  AcResult r;
+  r.freq = {1e6, 1e7};
+  r.labels = {"vout"};
+  r.signals = {{{0.0, 1.0}, {-1.0, 0.0}}};  // j and -1
+  std::ostringstream out;
+  write_csv(out, r);
+  std::istringstream in(out.str());
+  const auto t = read_csv(in);
+  ASSERT_EQ(t.labels.size(), 2u);
+  EXPECT_EQ(t.labels[0], "|vout|");
+  EXPECT_EQ(t.labels[1], "arg(vout)");
+  EXPECT_NEAR(t.column("|vout|")[0], 1.0, 1e-15);
+  EXPECT_NEAR(t.column("arg(vout)")[0], 1.5707963267948966, 1e-15);
+  EXPECT_NEAR(t.column("arg(vout)")[1], 3.141592653589793, 1e-15);
+}
+
+TEST(WaveformIo, FileRoundTrip) {
+  const auto r = small_transient();
+  const std::string path = "/tmp/rlcopt_wave_io_test.csv";
+  write_csv_file(path, r);
+  const auto t = read_csv_file(path);
+  EXPECT_EQ(t.axis.size(), r.time.size());
+  EXPECT_THROW(read_csv_file("/nonexistent/x.csv"), std::runtime_error);
+}
+
+TEST(WaveformIo, RejectsMalformedCsv) {
+  {
+    std::istringstream in("");
+    EXPECT_THROW(read_csv(in), std::runtime_error);
+  }
+  {
+    std::istringstream in("time,a\n1.0,notanumber\n");
+    EXPECT_THROW(read_csv(in), std::runtime_error);
+  }
+  {
+    std::istringstream in("time,a\n1.0\n");
+    EXPECT_THROW(read_csv(in), std::runtime_error);  // missing column
+  }
+  {
+    std::istringstream in("time,a\n1.0,2.0,3.0\n");
+    EXPECT_THROW(read_csv(in), std::runtime_error);  // extra column
+  }
+  {
+    std::istringstream in("time,a\n1.0,2.0\n");
+    const auto t = read_csv(in);
+    EXPECT_THROW(t.column("b"), std::out_of_range);
+  }
+}
+
+}  // namespace
+}  // namespace rlc::spice

@@ -1,0 +1,75 @@
+#include "rlc/tline/abcd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rlc::tline {
+namespace {
+
+using cplx = std::complex<double>;
+
+TEST(Abcd, IdentityCascade) {
+  const Abcd i = Abcd::identity();
+  const Abcd z = Abcd::series_impedance({5.0, 1.0});
+  const Abcd c = i.cascade(z);
+  EXPECT_EQ(c.b, z.b);
+  EXPECT_EQ(c.a, z.a);
+}
+
+TEST(Abcd, SeriesThenShuntMatchesHandComputation) {
+  // [[1, Z], [0, 1]] * [[1, 0], [Y, 1]] = [[1 + ZY, Z], [Y, 1]]
+  const cplx Z{2.0, 1.0}, Y{0.5, -0.25};
+  const Abcd c = Abcd::series_impedance(Z).cascade(Abcd::shunt_admittance(Y));
+  EXPECT_NEAR(std::abs(c.a - (1.0 + Z * Y)), 0.0, 1e-15);
+  EXPECT_NEAR(std::abs(c.b - Z), 0.0, 1e-15);
+  EXPECT_NEAR(std::abs(c.c - Y), 0.0, 1e-15);
+  EXPECT_NEAR(std::abs(c.d - cplx{1.0, 0.0}), 0.0, 1e-15);
+}
+
+TEST(Abcd, LineIsReciprocal) {
+  // A reciprocal two-port satisfies AD - BC = 1; the RLC line must.
+  const LineParams line{4400.0, 1e-6, 2e-10};
+  const cplx s{1e8, 2.0e9};
+  const Abcd m = Abcd::rlc_line(line, 0.01, s);
+  const cplx det = m.a * m.d - m.b * m.c;
+  EXPECT_NEAR(std::abs(det - cplx{1.0, 0.0}), 0.0, 1e-9);
+}
+
+TEST(Abcd, LineIsSymmetric) {
+  const LineParams line{4400.0, 5e-7, 2e-10};
+  const Abcd m = Abcd::rlc_line(line, 0.005, {0.0, 1e9});
+  EXPECT_NEAR(std::abs(m.a - m.d), 0.0, 1e-12);
+}
+
+TEST(Abcd, TwoHalvesCascadeToWhole) {
+  // Cascading two length-h/2 lines must equal one length-h line.
+  const LineParams line{4400.0, 1e-6, 2e-10};
+  const cplx s{5e7, 1e9};
+  const Abcd whole = Abcd::rlc_line(line, 0.01, s);
+  const Abcd half = Abcd::rlc_line(line, 0.005, s);
+  const Abcd two = half.cascade(half);
+  EXPECT_NEAR(std::abs(two.a - whole.a) / std::abs(whole.a), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(two.b - whole.b) / std::abs(whole.b), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(two.c - whole.c) / std::abs(whole.c), 0.0, 1e-12);
+}
+
+TEST(LineParams, SecondaryParameters) {
+  const LineParams line{4400.0, 1e-6, 2e-10};
+  EXPECT_NEAR(line.z0_lossless(), std::sqrt(1e-6 / 2e-10), 1e-9);
+  EXPECT_NEAR(line.time_of_flight(), std::sqrt(1e-6 * 2e-10), 1e-20);
+  // At very high frequency Z0 -> sqrt(l/c).
+  const cplx z0hf = line.z0({0.0, 1e14});
+  EXPECT_NEAR(z0hf.real(), line.z0_lossless(), 0.01 * line.z0_lossless());
+}
+
+TEST(LineParams, Validation) {
+  EXPECT_THROW((LineParams{0.0, 1e-6, 2e-10}).validate(), std::domain_error);
+  EXPECT_THROW((LineParams{1.0, -1e-6, 2e-10}).validate(), std::domain_error);
+  EXPECT_THROW((LineParams{1.0, 1e-6, 0.0}).validate(), std::domain_error);
+  EXPECT_NO_THROW((LineParams{1.0, 0.0, 2e-10}).validate());
+  EXPECT_THROW((LineParams{1.0, 0.0, 1e-10}).z0_lossless(), std::domain_error);
+}
+
+}  // namespace
+}  // namespace rlc::tline

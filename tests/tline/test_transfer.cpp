@@ -1,0 +1,139 @@
+#include "rlc/tline/transfer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rlc/core/technology.hpp"
+
+namespace rlc::tline {
+namespace {
+
+using cplx = std::complex<double>;
+
+struct Case {
+  LineParams line;
+  double h;
+  DriverLoad dl;
+};
+
+Case paper_case(double l) {
+  const auto tech = rlc::core::Technology::nm250();
+  Case c;
+  c.line = tech.line(l);
+  c.h = 0.0144;
+  c.dl = tech.rep.scaled(578.0);
+  return c;
+}
+
+TEST(Transfer, ExactEqualsAbcdCascade) {
+  const Case c = paper_case(1e-6);
+  for (const cplx s : {cplx{1e8, 0.0}, cplx{1e7, 5e9}, cplx{0.0, 1e10},
+                       cplx{3e9, -2e9}}) {
+    const cplx he = exact_transfer(c.line, c.h, c.dl, s);
+    const cplx ha = abcd_transfer(c.line, c.h, c.dl, s);
+    EXPECT_NEAR(std::abs(he - ha) / std::abs(he), 0.0, 1e-10)
+        << "s = " << s.real() << " + " << s.imag() << "i";
+  }
+}
+
+TEST(Transfer, DcSafeFormAgreesAwayFromZero) {
+  const Case c = paper_case(2e-6);
+  const cplx s{1e6, 4e9};
+  const cplx a = exact_transfer(c.line, c.h, c.dl, s);
+  const cplx b = exact_transfer_dc_safe(c.line, c.h, c.dl, s);
+  EXPECT_NEAR(std::abs(a - b) / std::abs(a), 0.0, 1e-10);
+}
+
+TEST(Transfer, UnityAtDc) {
+  // H(0) = 1: a step eventually propagates at full amplitude.
+  const Case c = paper_case(1e-6);
+  const cplx h0 = exact_transfer_dc_safe(c.line, c.h, c.dl, {0.0, 0.0});
+  EXPECT_NEAR(h0.real(), 1.0, 1e-12);
+  EXPECT_NEAR(h0.imag(), 0.0, 1e-12);
+}
+
+TEST(Transfer, ContinuousThroughSmallS) {
+  const Case c = paper_case(1e-6);
+  const cplx near0 = exact_transfer_dc_safe(c.line, c.h, c.dl, {1e-3, 0.0});
+  EXPECT_NEAR(near0.real(), 1.0, 1e-9);
+}
+
+TEST(Transfer, MagnitudeRollsOff) {
+  // |H| must decrease from 1 toward 0 along the imaginary axis (low-pass).
+  const Case c = paper_case(1e-6);
+  const double m1 = std::abs(exact_transfer(c.line, c.h, c.dl, {0.0, 1e8}));
+  const double m2 = std::abs(exact_transfer(c.line, c.h, c.dl, {0.0, 1e10}));
+  const double m3 = std::abs(exact_transfer(c.line, c.h, c.dl, {0.0, 1e12}));
+  EXPECT_GT(m1, m2);
+  EXPECT_GT(m2, m3);
+  EXPECT_LT(m3, 1e-2);
+}
+
+TEST(Transfer, ConjugateSymmetry) {
+  // H(conj(s)) = conj(H(s)) — required for a real impulse response.
+  const Case c = paper_case(3e-6);
+  const cplx s{1e8, 7e9};
+  const cplx h1 = exact_transfer(c.line, c.h, c.dl, s);
+  const cplx h2 = exact_transfer(c.line, c.h, c.dl, std::conj(s));
+  EXPECT_NEAR(std::abs(h2 - std::conj(h1)), 0.0, 1e-12 * std::abs(h1));
+}
+
+TEST(TransferSkin, ReducesToDcModelAtLowFrequency) {
+  const Case c = paper_case(1e-6);
+  const double ws = skin_crossover_angular_frequency(1.72e-8, 2e-6, 2.5e-6);
+  // Far below the crossover the skin model must match the DC-r model.
+  const cplx s{0.0, ws * 1e-3};
+  const cplx a = exact_transfer_dc_safe(c.line, c.h, c.dl, s);
+  const cplx b = exact_transfer_skin(c.line, c.h, c.dl, ws, s);
+  EXPECT_NEAR(std::abs(a - b) / std::abs(a), 0.0, 1e-3);
+}
+
+TEST(TransferSkin, AddsLossAboveCrossover) {
+  // Above the crossover the extra resistance damps the response: |H_skin|
+  // < |H_dc| near the resonant peak.
+  const Case c = paper_case(2e-6);
+  const double ws = skin_crossover_angular_frequency(1.72e-8, 2e-6, 2.5e-6);
+  const cplx s{0.0, 4.0 * ws};
+  const double mag_dc = std::abs(exact_transfer_dc_safe(c.line, c.h, c.dl, s));
+  const double mag_skin = std::abs(exact_transfer_skin(c.line, c.h, c.dl, ws, s));
+  EXPECT_LT(mag_skin, mag_dc);
+}
+
+TEST(TransferSkin, CrossoverFrequencyValue) {
+  // Copper, 2 x 2.5 um: w_s = 8 rho / (mu0 d^2) with d = 2 um.
+  const double ws = skin_crossover_angular_frequency(1.72e-8, 2e-6, 2.5e-6);
+  EXPECT_NEAR(ws, 8.0 * 1.72e-8 / (1.25663706212e-6 * 4e-12), 1e-3 * ws);
+  // ~ 4.4 GHz as an ordinary frequency: the DC model is fine below that,
+  // which covers the paper's switching spectra.
+  EXPECT_NEAR(ws / (2.0 * 3.14159265), 4.36e9, 0.05e9);
+  EXPECT_THROW(skin_crossover_angular_frequency(0.0, 1e-6, 1e-6),
+               std::domain_error);
+}
+
+TEST(TransferSkin, RejectsBadCrossover) {
+  const Case c = paper_case(1e-6);
+  EXPECT_THROW(exact_transfer_skin(c.line, c.h, c.dl, 0.0, {0.0, 1e9}),
+               std::domain_error);
+}
+
+// Parameterized over inductance: the first two Taylor moments of the exact
+// H(s) must match the Pade b1 (and b1^2 - b2 relation) — checked indirectly
+// in core tests; here we verify H stays finite and unity-DC across the
+// paper's entire sweep range.
+class TransferSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(TransferSweep, WellBehavedAcrossInductanceRange) {
+  const Case c = paper_case(GetParam());
+  EXPECT_NEAR(std::abs(exact_transfer_dc_safe(c.line, c.h, c.dl, {0.0, 0.0})),
+              1.0, 1e-10);
+  const cplx h = exact_transfer(c.line, c.h, c.dl, {0.0, 2e9});
+  EXPECT_TRUE(std::isfinite(h.real()) && std::isfinite(h.imag()));
+  EXPECT_LT(std::abs(h), 10.0);  // passive network: bounded resonance
+}
+
+INSTANTIATE_TEST_SUITE_P(InductanceSweep, TransferSweep,
+                         ::testing::Values(0.0, 1e-7, 5e-7, 1e-6, 2e-6, 5e-6));
+
+}  // namespace
+}  // namespace rlc::tline

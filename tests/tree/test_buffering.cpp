@@ -1,0 +1,127 @@
+#include "rlc/tree/buffering.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rlc/core/elmore.hpp"
+
+namespace rlc::tree {
+namespace {
+
+using rlc::core::Technology;
+
+TEST(BufferCell, FromRepeaterScaling) {
+  const rlc::core::Repeater rep{1000.0, 1e-15, 4e-15};
+  const auto c = BufferCell::from_repeater(rep, 10.0);
+  EXPECT_DOUBLE_EQ(c.rs, 100.0);
+  EXPECT_DOUBLE_EQ(c.cin, 1e-14);
+  EXPECT_DOUBLE_EQ(c.cp, 4e-14);
+  EXPECT_DOUBLE_EQ(c.intrinsic, 100.0 * 4e-14);
+  EXPECT_THROW(BufferCell::from_repeater(rep, 0.0), std::domain_error);
+}
+
+TEST(BufferLibrary, GeometricSizes) {
+  const rlc::core::Repeater rep{1000.0, 1e-15, 4e-15};
+  const auto lib = BufferLibrary::geometric(rep, 10.0, 2.0, 4);
+  ASSERT_EQ(lib.cells.size(), 4u);
+  EXPECT_DOUBLE_EQ(lib.cells[0].rs, 100.0);
+  EXPECT_DOUBLE_EQ(lib.cells[3].rs, 12.5);
+  EXPECT_THROW(BufferLibrary::geometric(rep, 1.0, 1.0, 3), std::domain_error);
+}
+
+TEST(VanGinneken, NeverWorseThanUnbuffered) {
+  const auto tech = Technology::nm100();
+  RcTree t(tech.rep.rs / 100.0);
+  t.add_wire(0, 4.4e3 * 5e-3, 123e-12 * 5e-3, 20);  // 5 mm of wire
+  const auto lib = BufferLibrary::geometric(tech.rep, 50.0, 1.6, 6);
+  const auto res = van_ginneken(t, lib);
+  EXPECT_LE(res.delay, unbuffered_delay(t) * (1.0 + 1e-12));
+}
+
+TEST(VanGinneken, LongLineWantsBuffers) {
+  // A 60 mm 100nm-class line spans ~5.4 optimal segments; buffering must
+  // insert several repeaters and beat the quadratic unbuffered delay
+  // (ideal: ~5.4 * tau_optRC = 573 ps vs ~1 ns unbuffered).
+  const auto tech = Technology::nm100();
+  const double len = 60e-3;
+  RcTree t(tech.rep.rs / 528.0);
+  const auto end = t.add_wire(0, tech.r * len, tech.c * len, 80);
+  t.add_cap(end, tech.rep.c0 * 528.0);
+  const auto lib = BufferLibrary::geometric(tech.rep, 66.0, 2.0, 5);  // up to 1056
+  const auto res = van_ginneken(t, lib);
+  EXPECT_GE(res.placements.size(), 3u);
+  EXPECT_LT(res.delay, 0.75 * unbuffered_delay(t));
+}
+
+TEST(VanGinneken, LineSolutionTracksClosedFormSegmentation) {
+  // On a uniform line the DP should land near the closed-form optimum:
+  // ~L/h_optRC buffers of ~k_optRC size, and a delay close to
+  // (L/h) * tau_optRC.  The DP is restricted to discrete positions and
+  // sizes, so allow a modest margin.
+  const auto tech = Technology::nm250();
+  const auto rc = rlc::core::rc_optimum(tech);
+  const double len = 60e-3;  // ~4.2 optimal segments
+  RcTree t(tech.rep.rs / rc.k);
+  const auto end = t.add_wire(0, tech.r * len, tech.c * len, 80);
+  t.add_cap(end, tech.rep.c0 * rc.k);
+  // Library bracketing k_optRC.
+  const auto lib = BufferLibrary::geometric(tech.rep, rc.k / 2.0, 1.26, 7);
+  const auto res = van_ginneken(t, lib);
+  const double n_segments_ideal = len / rc.h;
+  EXPECT_NEAR(static_cast<double>(res.placements.size() + 1), n_segments_ideal,
+              1.6);
+  const double ideal_delay = n_segments_ideal * rc.tau;
+  EXPECT_LT(res.delay, 1.35 * ideal_delay);
+  EXPECT_GT(res.delay, 0.75 * ideal_delay);
+}
+
+TEST(VanGinneken, BranchSplitGetsDecoupled) {
+  // A light critical sink and a huge side load: optimal buffering shields
+  // the critical path by buffering the heavy branch.
+  const auto tech = Technology::nm100();
+  RcTree t(tech.rep.rs / 200.0);
+  const auto split = t.add_wire(0, 1e3, 0.5e-12, 4);
+  const auto fast = t.add_wire(split, 0.5e3, 0.2e-12, 2);
+  t.add_cap(fast, 5e-15);
+  const auto heavy_entry = t.add_node(split, 10.0, 0.0);
+  t.add_cap(heavy_entry, 4e-12);  // big lump behind a short stub
+  (void)fast;
+
+  const auto lib = BufferLibrary::geometric(tech.rep, 20.0, 2.0, 4);
+  BufferingOptions opts;
+  opts.legal_nodes = {heavy_entry};  // only allowed to shield the lump
+  const auto res = van_ginneken(t, lib, opts);
+  EXPECT_EQ(res.placements.size(), 1u);
+  EXPECT_EQ(res.placements[0].node, heavy_entry);
+  EXPECT_LT(res.delay, unbuffered_delay(t));
+}
+
+TEST(VanGinneken, CandidateCapKeepsResultSane) {
+  const auto tech = Technology::nm100();
+  RcTree t(tech.rep.rs / 300.0);
+  t.add_wire(0, 4.4e3 * 20e-3, 123e-12 * 20e-3, 40);
+  const auto lib = BufferLibrary::geometric(tech.rep, 100.0, 1.5, 5);
+  const auto full = van_ginneken(t, lib);
+  BufferingOptions capped;
+  capped.max_candidates = 8;
+  const auto thin = van_ginneken(t, lib, capped);
+  EXPECT_LE(full.delay, thin.delay * (1.0 + 1e-12));
+  EXPECT_LT(thin.delay, 1.15 * full.delay);  // pruning costs only a little
+}
+
+TEST(VanGinneken, Validation) {
+  RcTree t(100.0);
+  t.add_node(0, 1.0, 1e-15);
+  EXPECT_THROW(van_ginneken(t, BufferLibrary{}), std::invalid_argument);
+  const rlc::core::Repeater rep{1000.0, 1e-15, 4e-15};
+  const auto lib = BufferLibrary::geometric(rep, 1.0, 2.0, 2);
+  BufferingOptions opts;
+  opts.legal_nodes = {0};
+  EXPECT_THROW(van_ginneken(t, lib, opts), std::out_of_range);
+  opts.legal_nodes = {99};
+  EXPECT_THROW(van_ginneken(t, lib, opts), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace rlc::tree

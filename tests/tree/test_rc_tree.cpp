@@ -1,0 +1,153 @@
+#include "rlc/tree/rc_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rlc/core/delay.hpp"
+#include "rlc/spice/circuit.hpp"
+#include "rlc/spice/transient.hpp"
+
+namespace rlc::tree {
+namespace {
+
+TEST(RcTree, HandComputedElmoreChain) {
+  // source --rs=100-- n0(c=1p) --r=200-- n1(c=2p) --r=300-- n2(c=3p)
+  RcTree t(100.0, 1e-12);
+  const auto n1 = t.add_node(0, 200.0, 2e-12);
+  const auto n2 = t.add_node(n1, 300.0, 3e-12);
+  const auto m1 = t.elmore_delays();
+  // m1(n0) = 100 * 6p; m1(n1) = m1(n0) + 200 * 5p; m1(n2) = m1(n1) + 300*3p.
+  EXPECT_NEAR(m1[0], 100.0 * 6e-12, 1e-22);
+  EXPECT_NEAR(m1[n1], 100.0 * 6e-12 + 200.0 * 5e-12, 1e-22);
+  EXPECT_NEAR(m1[n2], 100.0 * 6e-12 + 200.0 * 5e-12 + 300.0 * 3e-12, 1e-22);
+}
+
+TEST(RcTree, HandComputedElmoreBranch) {
+  //        /-- r=100 -- a (c=1p)
+  // n0(0p)
+  //        \-- r=400 -- b (c=2p)
+  RcTree t(50.0, 0.0);
+  const auto a = t.add_node(0, 100.0, 1e-12);
+  const auto b = t.add_node(0, 400.0, 2e-12);
+  const auto m1 = t.elmore_delays();
+  EXPECT_NEAR(m1[a], 50.0 * 3e-12 + 100.0 * 1e-12, 1e-22);
+  EXPECT_NEAR(m1[b], 50.0 * 3e-12 + 400.0 * 2e-12, 1e-22);
+}
+
+TEST(RcTree, SecondMomentHandComputed) {
+  // Single node beyond root: source -rs- root(c0) -r- n1(c1).
+  const double rs = 100.0, r = 200.0, c0 = 1e-12, c1 = 2e-12;
+  RcTree t(rs, c0);
+  const auto n1 = t.add_node(0, r, c1);
+  const auto ms = t.moments();
+  const double m1_root = rs * (c0 + c1);
+  const double m1_n1 = m1_root + r * c1;
+  // m2(i) = sum_k R_ik C_k m1_k.
+  const double m2_root = rs * (c0 * m1_root + c1 * m1_n1);
+  const double m2_n1 = m2_root + r * c1 * m1_n1;
+  EXPECT_NEAR(ms[0].m1, m1_root, 1e-24);
+  EXPECT_NEAR(ms[n1].m1, m1_n1, 1e-24);
+  EXPECT_NEAR(ms[0].m2, m2_root, 1e-34);
+  EXPECT_NEAR(ms[n1].m2, m2_n1, 1e-34);
+}
+
+TEST(RcTree, WireBuilderPreservesTotals) {
+  RcTree t(100.0);
+  t.add_wire(0, 1000.0, 10e-12, 8);
+  EXPECT_NEAR(t.total_cap(), 10e-12, 1e-24);
+  // Elmore of a distributed line into nothing: rs*C + r*c/2 (continuum).
+  const auto m1 = t.elmore_delays();
+  const double expect = 100.0 * 10e-12 + 0.5 * 1000.0 * 10e-12;
+  EXPECT_NEAR(m1.back(), expect, 0.01 * expect);
+}
+
+TEST(RcTree, TwoPoleDelayMatchesSpiceOnTree) {
+  // A branching RC tree: compare the per-sink two-pole 50% delay estimate
+  // against the MNA transient.  The 2-pole reduction is exact to two
+  // moments, so a few percent agreement is expected.
+  const double rs = 1e3;
+  RcTree t(rs, 0.1e-12);
+  const auto trunk = t.add_wire(0, 2e3, 4e-12, 6);
+  const auto sink_a = t.add_wire(trunk, 1e3, 2e-12, 4);
+  const auto sink_b = t.add_wire(trunk, 3e3, 3e-12, 4);
+  t.add_cap(sink_a, 1e-12);
+  t.add_cap(sink_b, 0.5e-12);
+
+  // Mirror the tree in the circuit engine.
+  rlc::spice::Circuit ckt;
+  std::vector<rlc::spice::NodeId> nodes(t.size());
+  const auto src = ckt.node("src");
+  ckt.add_vsource("V", src, ckt.ground(),
+                  rlc::spice::PulseSpec{0, 1, 0, 1e-14, 1e-14, 1, 0});
+  nodes[0] = ckt.node("n0");
+  ckt.add_resistor("Rs", src, nodes[0], rs);
+  for (NodeId n = 1; n < t.size(); ++n) {
+    nodes[n] = ckt.node("n" + std::to_string(n));
+    ckt.add_resistor("R" + std::to_string(n), nodes[t.parent(n)], nodes[n],
+                     t.edge_resistance(n));
+  }
+  for (NodeId n = 0; n < t.size(); ++n) {
+    if (t.node_cap(n) > 0.0) {
+      ckt.add_capacitor("C" + std::to_string(n), nodes[n], ckt.ground(),
+                        t.node_cap(n));
+    }
+  }
+  rlc::spice::TransientOptions o;
+  o.tstop = 1e-7;
+  o.dt = 2e-11;
+  o.probes = {rlc::spice::Probe::node_voltage(nodes[sink_a], "a"),
+              rlc::spice::Probe::node_voltage(nodes[sink_b], "b")};
+  const auto r = run_transient(ckt, o);
+  ASSERT_TRUE(r.completed);
+
+  for (const auto& [sink, label] :
+       {std::pair<NodeId, const char*>{sink_a, "a"}, {sink_b, "b"}}) {
+    const rlc::core::TwoPole sys(t.two_pole_at(sink));
+    const double tau_model = rlc::core::delay_50(sys);
+    const auto& v = r.signal(label);
+    double tau_sim = -1.0;
+    for (std::size_t i = 1; i < r.time.size(); ++i) {
+      if (v[i - 1] < 0.5 && v[i] >= 0.5) {
+        const double f = (0.5 - v[i - 1]) / (v[i] - v[i - 1]);
+        tau_sim = r.time[i - 1] + f * (r.time[i] - r.time[i - 1]);
+        break;
+      }
+    }
+    ASSERT_GT(tau_sim, 0.0) << label;
+    EXPECT_NEAR(tau_model, tau_sim, 0.06 * tau_sim) << label;
+  }
+}
+
+TEST(RcTree, TwoPoleNotReducibleForPureSinglePole) {
+  // Driver + single lumped cap is a 1-pole system: b2 = m1^2 - m2 = 0, and
+  // the reduction must refuse rather than fabricate a second pole.
+  RcTree t(1e3, 1e-12);
+  EXPECT_THROW(t.two_pole_at(0), std::runtime_error);
+}
+
+TEST(RcTree, Validation) {
+  EXPECT_THROW(RcTree(0.0), std::domain_error);
+  RcTree t(100.0);
+  EXPECT_THROW(t.add_node(5, 1.0, 0.0), std::out_of_range);
+  EXPECT_THROW(t.add_node(0, 0.0, 0.0), std::domain_error);
+  EXPECT_THROW(t.add_node(0, 1.0, -1e-15), std::domain_error);
+  EXPECT_THROW(t.add_wire(0, 1.0, 1e-12, 0), std::domain_error);
+  EXPECT_THROW(t.add_cap(7, 1e-15), std::out_of_range);
+  EXPECT_THROW(t.two_pole_at(-1), std::out_of_range);
+}
+
+TEST(RcTree, LeavesAndChildren) {
+  RcTree t(10.0);
+  const auto a = t.add_node(0, 1.0, 1e-15);
+  const auto b = t.add_node(0, 1.0, 1e-15);
+  const auto c = t.add_node(a, 1.0, 1e-15);
+  const auto leaves = t.leaves();
+  ASSERT_EQ(leaves.size(), 2u);
+  EXPECT_EQ(leaves[0], b);
+  EXPECT_EQ(leaves[1], c);
+  EXPECT_EQ(t.children(0).size(), 2u);
+}
+
+}  // namespace
+}  // namespace rlc::tree
