@@ -4,8 +4,8 @@
 function(rlc_add_bench name)
   add_executable(${name} bench/${name}.cpp)
   target_link_libraries(${name} PRIVATE
-    rlc_core rlc_tline rlc_laplace rlc_math rlc_linalg rlc_extract rlc_spice
-    rlc_ringosc rlc_analysis rlcopt_warnings)
+    rlc_core rlc_exec rlc_tline rlc_laplace rlc_math rlc_linalg rlc_extract
+    rlc_spice rlc_ringosc rlc_analysis rlcopt_warnings)
   set_target_properties(${name} PROPERTIES
     RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
 endfunction()

@@ -9,6 +9,9 @@
 #include <string>
 #include <vector>
 
+#include "rlc/exec/counters.hpp"
+#include "rlc/exec/thread_pool.hpp"
+
 namespace bench {
 
 inline void banner(const std::string& id, const std::string& title) {
@@ -34,5 +37,12 @@ inline std::vector<double> inductance_sweep(int n_points) {
 }
 
 inline double to_nH_per_mm(double l_si) { return l_si * 1e6; }
+
+/// Print the per-sweep solver statistics accumulated by the bench's
+/// parallel sweeps, plus the pool concurrency they ran at.
+inline void solver_summary(const rlc::exec::Counters& counters) {
+  std::printf("%s | threads %zu\n", counters.summary().c_str(),
+              rlc::exec::default_pool().size());
+}
 
 }  // namespace bench

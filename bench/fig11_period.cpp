@@ -28,6 +28,7 @@ int main() {
       {Technology::nm250(), {0.2e-6, 1.0e-6, 2.0e-6, 3.5e-6, 5.0e-6}},
   };
 
+  rlc::exec::Counters counters;
   for (auto& s : series) {
     const auto rc = rlc::core::rc_optimum(s.tech);
     std::printf("\n--- %s (h = h_optRC = %.2f mm, k = k_optRC = %.0f) ---\n",
@@ -35,25 +36,35 @@ int main() {
     std::printf("%12s %14s %16s %16s\n", "l (nH/mm)", "period (ns)",
                 "in overshoot(V)", "in undershoot(V)");
     bench::rule();
-    double prev_period = -1.0;
-    for (double l : s.ls) {
+    // Each inductance point is an independent ring transient: fan them out
+    // over the pool, then print in grid order.
+    const auto results = rlc::exec::parallel_map(s.ls, [&](double l) {
+      const rlc::exec::StopWatch sw;
       RingParams p;
       p.l = l;
       p.h = rc.h;
       p.k = rc.k;
       p.segments_per_line = 12;
-      const auto r = simulate_ring(s.tech, p);
+      auto r = simulate_ring(s.tech, p);
+      counters.record_wall(sw.seconds());
+      return r;
+    });
+    double prev_period = -1.0;
+    for (std::size_t i = 0; i < s.ls.size(); ++i) {
+      const auto& r = results[i];
       const double period = r.completed ? r.period.value_or(-1.0) : -1.0;
       const char* marker = "";
       if (prev_period > 0.0 && period > 0.0 && period < 0.6 * prev_period) {
         marker = "  <-- period collapse (false switching)";
       }
-      std::printf("%12.2f %14.4f %16.3f %16.3f%s\n", bench::to_nH_per_mm(l),
-                  period * 1e9, r.input_excursion.overshoot,
-                  r.input_excursion.undershoot, marker);
+      std::printf("%12.2f %14.4f %16.3f %16.3f%s\n",
+                  bench::to_nH_per_mm(s.ls[i]), period * 1e9,
+                  r.input_excursion.overshoot, r.input_excursion.undershoot,
+                  marker);
       prev_period = period;
     }
   }
+  bench::solver_summary(counters);
 
   bench::rule();
   bench::note("Control: square-wave-driven 5-stage buffered line, 100 nm, l = 2.6 nH/mm");

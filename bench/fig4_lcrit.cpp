@@ -18,8 +18,11 @@ int main() {
   const auto ls = bench::inductance_sweep(25);
   const Technology t250 = Technology::nm250();
   const Technology t100 = Technology::nm100();
-  const auto r250 = optimize_rlc_sweep(t250, ls);
-  const auto r100 = optimize_rlc_sweep(t100, ls);
+  rlc::exec::Counters counters;
+  SweepOptions sweep;
+  sweep.counters = &counters;
+  const auto r250 = optimize_rlc_sweep(t250, ls, sweep);
+  const auto r100 = optimize_rlc_sweep(t100, ls, sweep);
 
   std::printf("%12s %18s %18s\n", "l (nH/mm)", "lcrit 250nm (nH/mm)",
               "lcrit 100nm (nH/mm)");
@@ -32,6 +35,7 @@ int main() {
                 bench::to_nH_per_mm(lc250), bench::to_nH_per_mm(lc100));
   }
   bench::rule();
+  bench::solver_summary(counters);
   bench::note("Expected shape: both curves increase with l; 100nm < 250nm everywhere;\n"
               "l and l_crit same order of magnitude for practical l (so the\n"
               "Kahng-Muddu critically-damped delay approximation is not usable).");

@@ -19,8 +19,11 @@ int main() {
   bench::rule();
   const auto t250 = Technology::nm250();
   const auto t100 = Technology::nm100();
-  const auto r250 = optimize_rlc_sweep(t250, ls);
-  const auto r100 = optimize_rlc_sweep(t100, ls);
+  rlc::exec::Counters counters;
+  SweepOptions sweep;
+  sweep.counters = &counters;
+  const auto r250 = optimize_rlc_sweep(t250, ls, sweep);
+  const auto r100 = optimize_rlc_sweep(t100, ls, sweep);
   const double h250 = rc_optimum(t250).h;
   const double h100 = rc_optimum(t100).h;
   for (std::size_t i = 0; i < ls.size(); ++i) {
@@ -29,6 +32,7 @@ int main() {
                 r100[i].converged ? r100[i].h / h100 : -1.0);
   }
   bench::rule();
+  bench::solver_summary(counters);
   bench::note("Expected shape: < 1 at l = 0 (an effect curve-fitted formulas miss),\n"
               "monotonically increasing with l; the 100nm curve rises faster.");
   return 0;

@@ -16,8 +16,11 @@ int main() {
   const auto ls = bench::inductance_sweep(25);
   const auto t250 = Technology::nm250();
   const auto t100 = Technology::nm100();
-  const auto r250 = optimize_rlc_sweep(t250, ls);
-  const auto r100 = optimize_rlc_sweep(t100, ls);
+  rlc::exec::Counters counters;
+  SweepOptions sweep;
+  sweep.counters = &counters;
+  const auto r250 = optimize_rlc_sweep(t250, ls, sweep);
+  const auto r100 = optimize_rlc_sweep(t100, ls, sweep);
   const double k250 = rc_optimum(t250).k;
   const double k100 = rc_optimum(t100).k;
 
@@ -36,6 +39,7 @@ int main() {
                 r100[i].converged ? r100[i].k / k100 : -1.0, z250, z100);
   }
   bench::rule();
+  bench::solver_summary(counters);
   bench::note("Expected shape: monotone decrease, flattening with l; the driver\n"
               "impedance ratio trends toward impedance matching (slowly, from below).");
   return 0;

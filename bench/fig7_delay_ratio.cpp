@@ -24,8 +24,11 @@ int main() {
   std::printf("%12s %14s %14s %20s\n", "l (nH/mm)", "250nm", "100nm",
               "100nm(c=250nm)");
   bench::rule();
+  rlc::exec::Counters counters;
+  SweepOptions sweep;
+  sweep.counters = &counters;
   std::vector<std::vector<OptimResult>> sweeps;
-  for (const auto& t : techs) sweeps.push_back(optimize_rlc_sweep(t, ls));
+  for (const auto& t : techs) sweeps.push_back(optimize_rlc_sweep(t, ls, sweep));
   for (std::size_t i = 0; i < ls.size(); ++i) {
     std::printf("%12.2f", bench::to_nH_per_mm(ls[i]));
     for (const auto& sw : sweeps) {
@@ -37,6 +40,7 @@ int main() {
     std::printf("\n");
   }
   bench::rule();
+  bench::solver_summary(counters);
   for (std::size_t j = 0; j < 3; ++j) {
     std::printf("  %-18s ratio at l=5 nH/mm: %.2fx\n", techs[j].name.c_str(),
                 sweeps[j].back().delay_per_length / sweeps[j][0].delay_per_length);

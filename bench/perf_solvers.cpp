@@ -8,9 +8,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+
 #include "rlc/core/delay.hpp"
 #include "rlc/core/elmore.hpp"
 #include "rlc/core/optimizer.hpp"
+#include "rlc/exec/counters.hpp"
+#include "rlc/exec/thread_pool.hpp"
 #include "rlc/linalg/sparse_lu.hpp"
 #include "rlc/ringosc/ladder.hpp"
 #include "rlc/spice/transient.hpp"
@@ -18,6 +22,9 @@
 namespace {
 
 using namespace rlc::core;
+
+/// Shared instrumentation for the sweep benches; summarized after the run.
+rlc::exec::Counters g_sweep_counters;
 
 void BM_DelaySolve(benchmark::State& state) {
   const auto tech = Technology::nm100();
@@ -66,6 +73,31 @@ void BM_OptimizeSweep51Points(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_OptimizeSweep51Points);
+
+/// Serial vs parallel sweep on the same >= 64-point grid: the parallel
+/// chunked-continuation path must approach a pool-size-bounded speedup
+/// (>= 2x with 4+ hardware threads; equal wall time on 1 thread).
+void BM_OptimizeSweep65(benchmark::State& state) {
+  const bool parallel = state.range(0) != 0;
+  const auto tech = Technology::nm250();
+  std::vector<double> ls;
+  for (int i = 0; i <= 64; ++i) ls.push_back(5e-6 * i / 64);
+  SweepOptions sweep;
+  sweep.parallel = parallel;
+  sweep.counters = &g_sweep_counters;
+  for (auto _ : state) {
+    const auto rs = optimize_rlc_sweep(tech, ls, sweep);
+    benchmark::DoNotOptimize(rs.back().delay_per_length);
+  }
+  state.counters["threads"] = parallel
+      ? static_cast<double>(rlc::exec::default_pool().size())
+      : 1.0;
+}
+BENCHMARK(BM_OptimizeSweep65)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgNames({"parallel"})
+    ->UseRealTime();
 
 void BM_NelderMeadFallback(benchmark::State& state) {
   // Ablation 3: derivative-free optimization of the same objective — the
@@ -143,4 +175,15 @@ BENCHMARK(BM_TransientRlcSegment)->Arg(8)->Arg(32);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN so the per-sweep solver statistics print after
+// the benchmark table.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  std::printf("%s | threads %zu\n",
+              g_sweep_counters.summary("sweep benches").c_str(),
+              rlc::exec::default_pool().size());
+  return 0;
+}

@@ -1,7 +1,9 @@
 #include "rlc/core/optimizer.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <complex>
+#include <cstddef>
 #include <limits>
 #include <stdexcept>
 
@@ -263,6 +265,91 @@ std::vector<OptimResult> optimize_rlc_sweep(const Technology& tech,
       cur.k0 = r.k;
     }
   }
+  return out;
+}
+
+namespace {
+
+/// One timed, counter-recorded point solve.
+OptimResult solve_instrumented(const Technology& tech, double l,
+                               const OptimOptions& opts,
+                               exec::Counters* counters) {
+  const exec::StopWatch sw;
+  const OptimResult r = optimize_rlc(tech, l, opts);
+  if (counters) {
+    counters->record_solve(r.newton_iterations,
+                           r.method == OptimMethod::kNelderMead, !r.converged,
+                           sw.seconds());
+  }
+  return r;
+}
+
+/// Serial warm-start continuation over l_values[begin:end) starting from
+/// `start`, writing into out[begin:end).
+void continue_serially(const Technology& tech,
+                       const std::vector<double>& l_values, std::size_t begin,
+                       std::size_t end, OptimOptions start,
+                       exec::Counters* counters, std::vector<OptimResult>& out) {
+  for (std::size_t i = begin; i < end; ++i) {
+    const OptimResult r = solve_instrumented(tech, l_values[i], start, counters);
+    out[i] = r;
+    if (r.converged) {
+      start.h0 = r.h;
+      start.k0 = r.k;
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<OptimResult> optimize_rlc_sweep(const Technology& tech,
+                                            const std::vector<double>& l_values,
+                                            const SweepOptions& sweep) {
+  const std::size_t n = l_values.size();
+  std::vector<OptimResult> out(n);
+  if (n == 0) return out;
+  exec::ThreadPool& pool = sweep.pool ? *sweep.pool : exec::default_pool();
+  const std::size_t chunk = sweep.chunk > 0 ? sweep.chunk : 1;
+  if (!sweep.parallel || pool.size() == 1 || n <= chunk) {
+    continue_serially(tech, l_values, 0, n, sweep.optim, sweep.counters, out);
+    return out;
+  }
+
+  // Phase 1 (serial): continuation over the chunk-start points only; each
+  // result seeds one chunk and doubles as that point's final answer, so the
+  // total solve count equals the serial path's.
+  const std::size_t n_chunks = (n + chunk - 1) / chunk;
+  std::vector<OptimResult> seeds(n_chunks);
+  {
+    OptimOptions cur = sweep.optim;
+    for (std::size_t j = 0; j < n_chunks; ++j) {
+      const OptimResult r =
+          solve_instrumented(tech, l_values[j * chunk], cur, sweep.counters);
+      seeds[j] = r;
+      if (r.converged) {
+        cur.h0 = r.h;
+        cur.k0 = r.k;
+      }
+    }
+  }
+
+  // Phase 2 (parallel): chunks are independent given their seeds; each
+  // writes a disjoint slice of `out`, so ordering is by construction.
+  pool.parallel_for(
+      n_chunks,
+      [&](std::size_t j) {
+        const std::size_t begin = j * chunk;
+        const std::size_t end = std::min(begin + chunk, n);
+        out[begin] = seeds[j];
+        OptimOptions start = sweep.optim;
+        if (seeds[j].converged) {
+          start.h0 = seeds[j].h;
+          start.k0 = seeds[j].k;
+        }
+        continue_serially(tech, l_values, begin + 1, end, start, sweep.counters,
+                          out);
+      },
+      /*grain=*/1);
   return out;
 }
 

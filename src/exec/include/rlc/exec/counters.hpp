@@ -1,0 +1,79 @@
+#pragma once
+
+/// \file counters.hpp
+/// Lock-free solver instrumentation for parallel sweeps.
+///
+/// A Counters object is shared by all tasks of a sweep (or a whole bench
+/// run) and accumulates, via atomics only:
+///   * per-solve Newton iteration counts,
+///   * Nelder-Mead fallback count,
+///   * residual-solve failures (non-converged results),
+///   * wall time per task (total / min / max).
+/// snapshot() gives a consistent-enough view for reporting after the loop
+/// has joined; summary() formats it for the figure benches.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace rlc::exec {
+
+class Counters {
+ public:
+  /// Record one optimization task: its Newton iteration count, whether the
+  /// Nelder-Mead fallback produced the answer, whether the solve failed to
+  /// converge at all, and its wall time in seconds.
+  void record_solve(std::int64_t newton_iterations, bool used_fallback,
+                    bool failed, double wall_seconds) noexcept;
+
+  /// Record a task that has only a wall time (e.g. a transient simulation).
+  void record_wall(double wall_seconds) noexcept;
+
+  struct Snapshot {
+    std::int64_t tasks = 0;
+    std::int64_t newton_iterations = 0;
+    std::int64_t fallbacks = 0;
+    std::int64_t failures = 0;
+    double wall_total_s = 0.0;
+    double wall_min_s = 0.0;  ///< 0 when no task was recorded
+    double wall_max_s = 0.0;
+    double wall_mean_s() const {
+      return tasks > 0 ? wall_total_s / static_cast<double>(tasks) : 0.0;
+    }
+  };
+
+  Snapshot snapshot() const noexcept;
+
+  /// One-line-per-metric human-readable block, e.g. for bench output:
+  ///   [solver counters] tasks 52 | newton iters 208 (4.0/solve) |
+  ///   nm fallbacks 0 | failures 0 | wall total 12.3 ms (mean 0.24 ms,
+  ///   min 0.11 ms, max 0.61 ms)
+  std::string summary(const std::string& label = std::string()) const;
+
+  void reset() noexcept;
+
+ private:
+  std::atomic<std::int64_t> tasks_{0};
+  std::atomic<std::int64_t> newton_iterations_{0};
+  std::atomic<std::int64_t> fallbacks_{0};
+  std::atomic<std::int64_t> failures_{0};
+  std::atomic<std::int64_t> wall_total_ns_{0};
+  std::atomic<std::int64_t> wall_min_ns_{-1};  // -1: nothing recorded yet
+  std::atomic<std::int64_t> wall_max_ns_{0};
+};
+
+/// Wall-clock stopwatch for timing one task body.
+class StopWatch {
+ public:
+  StopWatch() : t0_(std::chrono::steady_clock::now()) {}
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point t0_;
+};
+
+}  // namespace rlc::exec

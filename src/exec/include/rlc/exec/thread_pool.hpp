@@ -1,0 +1,94 @@
+#pragma once
+
+/// \file thread_pool.hpp
+/// Fixed-size thread pool and data-parallel loops for the sweep-shaped
+/// workloads of this library (inductance sweeps of the stationarity solve,
+/// randomized test trials, figure-bench grids).
+///
+/// Design constraints, in order:
+///   * determinism — parallel_for / parallel_map produce results identical
+///     to the serial loop and in input order, for any thread count;
+///   * no oversubscription — one pool, sized once from the hardware (or the
+///     RLC_NUM_THREADS override), shared by default across all callers;
+///   * simplicity — a single mutex-protected task queue, no work stealing;
+///     sweep tasks are coarse (one Newton solve each), so queue contention
+///     is negligible against solve cost.
+///
+/// The calling thread participates in the loop: a pool of size n spawns
+/// n - 1 workers, so size 1 means "run inline, spawn nothing" and the
+/// serial semantics are exact by construction.
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace rlc::exec {
+
+/// Thread count used by default-constructed pools: the RLC_NUM_THREADS
+/// environment variable when set to a positive integer, otherwise
+/// std::thread::hardware_concurrency() (minimum 1).
+std::size_t default_thread_count();
+
+class ThreadPool {
+ public:
+  /// n_threads = 0 picks default_thread_count().  The pool spawns
+  /// n_threads - 1 workers; the caller of parallel_for is the n-th.
+  explicit ThreadPool(std::size_t n_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total concurrency of a loop run on this pool (workers + caller).
+  std::size_t size() const noexcept { return size_; }
+
+  /// Run fn(i) for every i in [0, n).  Blocks until all iterations finish.
+  /// Iterations are distributed in contiguous chunks of `grain` indices
+  /// (0 picks a chunk size that yields ~4 chunks per thread).  The first
+  /// exception thrown by fn is rethrown here after the loop drains; later
+  /// iterations that have not started are skipped.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                    std::size_t grain = 0);
+
+ private:
+  struct Loop;
+  void worker_main();
+  void run_chunks(Loop& loop);
+
+  std::size_t size_ = 1;
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::vector<std::shared_ptr<Loop>> pending_;  // loops with unclaimed chunks
+  bool shutdown_ = false;
+};
+
+/// The process-wide pool used when callers do not provide one.  Constructed
+/// on first use with default_thread_count() threads.
+ThreadPool& default_pool();
+
+/// Apply fn to every element of items on `pool`, returning results in input
+/// order (result type must be default-constructible).  Deterministic: the
+/// output is identical to a serial std::transform for any thread count.
+template <typename T, typename F>
+auto parallel_map(ThreadPool& pool, const std::vector<T>& items, F&& fn)
+    -> std::vector<decltype(fn(std::declval<const T&>()))> {
+  std::vector<decltype(fn(std::declval<const T&>()))> out(items.size());
+  pool.parallel_for(items.size(),
+                    [&](std::size_t i) { out[i] = fn(items[i]); });
+  return out;
+}
+
+/// parallel_map on the shared default pool.
+template <typename T, typename F>
+auto parallel_map(const std::vector<T>& items, F&& fn)
+    -> std::vector<decltype(fn(std::declval<const T&>()))> {
+  return parallel_map(default_pool(), items, std::forward<F>(fn));
+}
+
+}  // namespace rlc::exec

@@ -1,0 +1,108 @@
+#include "rlc/exec/counters.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace rlc::exec {
+
+namespace {
+
+std::int64_t to_ns(double seconds) {
+  if (!(seconds > 0.0)) return 0;
+  return static_cast<std::int64_t>(seconds * 1e9);
+}
+
+void atomic_min(std::atomic<std::int64_t>& a, std::int64_t v) {
+  std::int64_t cur = a.load(std::memory_order_relaxed);
+  while ((cur < 0 || v < cur) &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<std::int64_t>& a, std::int64_t v) {
+  std::int64_t cur = a.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+/// Format seconds with an auto-selected unit (s / ms / us).
+std::string fmt_time(double s) {
+  char buf[48];
+  if (s >= 1.0) {
+    std::snprintf(buf, sizeof buf, "%.2f s", s);
+  } else if (s >= 1e-3) {
+    std::snprintf(buf, sizeof buf, "%.2f ms", s * 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.1f us", s * 1e6);
+  }
+  return buf;
+}
+
+}  // namespace
+
+void Counters::record_solve(std::int64_t newton_iterations, bool used_fallback,
+                            bool failed, double wall_seconds) noexcept {
+  tasks_.fetch_add(1, std::memory_order_relaxed);
+  newton_iterations_.fetch_add(newton_iterations, std::memory_order_relaxed);
+  if (used_fallback) fallbacks_.fetch_add(1, std::memory_order_relaxed);
+  if (failed) failures_.fetch_add(1, std::memory_order_relaxed);
+  const std::int64_t ns = to_ns(wall_seconds);
+  wall_total_ns_.fetch_add(ns, std::memory_order_relaxed);
+  atomic_min(wall_min_ns_, ns);
+  atomic_max(wall_max_ns_, ns);
+}
+
+void Counters::record_wall(double wall_seconds) noexcept {
+  record_solve(0, false, false, wall_seconds);
+}
+
+Counters::Snapshot Counters::snapshot() const noexcept {
+  Snapshot s;
+  s.tasks = tasks_.load(std::memory_order_relaxed);
+  s.newton_iterations = newton_iterations_.load(std::memory_order_relaxed);
+  s.fallbacks = fallbacks_.load(std::memory_order_relaxed);
+  s.failures = failures_.load(std::memory_order_relaxed);
+  s.wall_total_s = static_cast<double>(
+                       wall_total_ns_.load(std::memory_order_relaxed)) *
+                   1e-9;
+  const std::int64_t mn = wall_min_ns_.load(std::memory_order_relaxed);
+  s.wall_min_s = mn < 0 ? 0.0 : static_cast<double>(mn) * 1e-9;
+  s.wall_max_s =
+      static_cast<double>(wall_max_ns_.load(std::memory_order_relaxed)) * 1e-9;
+  return s;
+}
+
+std::string Counters::summary(const std::string& label) const {
+  const Snapshot s = snapshot();
+  const double iters_per_solve =
+      s.tasks > 0 ? static_cast<double>(s.newton_iterations) /
+                        static_cast<double>(s.tasks)
+                  : 0.0;
+  char head[96];
+  std::snprintf(head, sizeof head, "[solver counters%s%s] ",
+                label.empty() ? "" : " ", label.c_str());
+  char body[256];
+  std::snprintf(body, sizeof body,
+                "tasks %lld | newton iters %lld (%.1f/solve) | "
+                "nm fallbacks %lld | failures %lld",
+                static_cast<long long>(s.tasks),
+                static_cast<long long>(s.newton_iterations), iters_per_solve,
+                static_cast<long long>(s.fallbacks),
+                static_cast<long long>(s.failures));
+  return std::string(head) + body + " | wall total " + fmt_time(s.wall_total_s) +
+         " (mean " + fmt_time(s.wall_mean_s()) + ", min " +
+         fmt_time(s.wall_min_s) + ", max " + fmt_time(s.wall_max_s) + ")";
+}
+
+void Counters::reset() noexcept {
+  tasks_.store(0, std::memory_order_relaxed);
+  newton_iterations_.store(0, std::memory_order_relaxed);
+  fallbacks_.store(0, std::memory_order_relaxed);
+  failures_.store(0, std::memory_order_relaxed);
+  wall_total_ns_.store(0, std::memory_order_relaxed);
+  wall_min_ns_.store(-1, std::memory_order_relaxed);
+  wall_max_ns_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace rlc::exec

@@ -1,0 +1,137 @@
+#include "rlc/exec/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+
+namespace rlc::exec {
+
+std::size_t default_thread_count() {
+  if (const char* env = std::getenv("RLC_NUM_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0) {
+      return static_cast<std::size_t>(v);
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<std::size_t>(hw) : 1;
+}
+
+/// One parallel_for invocation.  Chunks are claimed by atomic increment of
+/// `next`; completion is accounted in `remaining` under `done_mutex` so the
+/// caller can sleep on `done_cv`.  Held by shared_ptr from both the caller
+/// and the pool's pending list, so a worker that observes the loop after the
+/// caller returned only sees an exhausted index range, never freed memory.
+struct ThreadPool::Loop {
+  std::size_t n = 0;
+  std::size_t grain = 1;
+  const std::function<void(std::size_t)>* fn = nullptr;
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> stop{false};
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  std::size_t remaining = 0;  // guarded by done_mutex
+  std::exception_ptr error;   // guarded by done_mutex
+};
+
+ThreadPool::ThreadPool(std::size_t n_threads) {
+  size_ = n_threads > 0 ? n_threads : default_thread_count();
+  workers_.reserve(size_ - 1);
+  for (std::size_t i = 0; i + 1 < size_; ++i) {
+    workers_.emplace_back([this] { worker_main(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    shutdown_ = true;
+  }
+  wake_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_main() {
+  for (;;) {
+    std::shared_ptr<Loop> loop;
+    {
+      std::unique_lock<std::mutex> lk(mutex_);
+      wake_.wait(lk, [&] { return shutdown_ || !pending_.empty(); });
+      if (pending_.empty()) return;  // shutdown with nothing left to help
+      loop = pending_.front();
+      if (loop->next.load(std::memory_order_relaxed) >= loop->n) {
+        // Exhausted loop the caller has not reaped yet; drop it and retry.
+        pending_.erase(pending_.begin());
+        continue;
+      }
+    }
+    run_chunks(*loop);
+  }
+}
+
+void ThreadPool::run_chunks(Loop& loop) {
+  const std::size_t n = loop.n;
+  const std::size_t grain = loop.grain;
+  for (;;) {
+    const std::size_t begin = loop.next.fetch_add(grain, std::memory_order_relaxed);
+    if (begin >= n) return;
+    const std::size_t end = std::min(begin + grain, n);
+    if (!loop.stop.load(std::memory_order_acquire)) {
+      try {
+        for (std::size_t i = begin;
+             i < end && !loop.stop.load(std::memory_order_relaxed); ++i) {
+          (*loop.fn)(i);
+        }
+      } catch (...) {
+        std::lock_guard<std::mutex> lk(loop.done_mutex);
+        if (!loop.error) loop.error = std::current_exception();
+        loop.stop.store(true, std::memory_order_release);
+      }
+    }
+    std::lock_guard<std::mutex> lk(loop.done_mutex);
+    loop.remaining -= end - begin;
+    if (loop.remaining == 0) loop.done_cv.notify_all();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn,
+                              std::size_t grain) {
+  if (n == 0) return;
+  if (size_ == 1 || n == 1) {
+    // Exactly the serial loop: same order, same exception behaviour.
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  if (grain == 0) grain = std::max<std::size_t>(1, n / (4 * size_));
+  auto loop = std::make_shared<Loop>();
+  loop->n = n;
+  loop->grain = grain;
+  loop->fn = &fn;
+  loop->remaining = n;
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    pending_.push_back(loop);
+  }
+  wake_.notify_all();
+  run_chunks(*loop);
+  {
+    std::unique_lock<std::mutex> lk(loop->done_mutex);
+    loop->done_cv.wait(lk, [&] { return loop->remaining == 0; });
+  }
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    pending_.erase(std::remove(pending_.begin(), pending_.end(), loop),
+                   pending_.end());
+  }
+  if (loop->error) std::rethrow_exception(loop->error);
+}
+
+ThreadPool& default_pool() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace rlc::exec

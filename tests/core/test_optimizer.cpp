@@ -168,5 +168,99 @@ TEST(Optimizer, InvalidLineRejected) {
                std::domain_error);
 }
 
+TEST(Optimizer, ResidualsInvalidNearCriticalDamping) {
+  // The pole sensitivities divide by D = sqrt(b1^2 - 4 b2); at (h, k) where
+  // the segment is near-critically damped the residual evaluation must
+  // refuse (valid == false) instead of returning garbage.  Locate such an h
+  // by bisecting the discriminant sign change along h at fixed k.
+  const auto tech = Technology::nm100();
+  const auto line = tech.line(5e-6);  // strongly inductive: both regimes exist
+  const double k = rc_optimum(tech).k;
+  const auto disc = [&](double h) {
+    const PadeCoeffs pc = pade_coeffs_hk(tech.rep, line, h, k);
+    return pc.b1 * pc.b1 - 4.0 * pc.b2;
+  };
+  // Multiplicative scan for a damping transition.
+  const double h_ref = rc_optimum(tech).h;
+  double lo = 0.0, hi = 0.0;
+  double prev_h = 1e-3 * h_ref;
+  double prev_d = disc(prev_h);
+  for (double h = prev_h * 1.25; h < 100.0 * h_ref; h *= 1.25) {
+    const double d = disc(h);
+    if ((prev_d > 0.0) != (d > 0.0)) {
+      lo = prev_h;
+      hi = h;
+      break;
+    }
+    prev_h = h;
+    prev_d = d;
+  }
+  ASSERT_GT(hi, 0.0) << "no damping transition found along h";
+  // Bisect to the float limit; the discriminant there is far inside the
+  // near-critical guard band.
+  double d_lo = disc(lo);
+  for (int it = 0; it < 200 && hi - lo > 0.0; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    if (mid == lo || mid == hi) break;
+    const double d_mid = disc(mid);
+    if ((d_lo > 0.0) == (d_mid > 0.0)) {
+      lo = mid;
+      d_lo = d_mid;
+    } else {
+      hi = mid;
+    }
+  }
+  const double h_crit = 0.5 * (lo + hi);
+  const auto sr = stationarity_residuals(tech.rep, line, h_crit, k);
+  EXPECT_FALSE(sr.valid);
+  // And optimize_rlc seeded exactly there must still not throw.
+  OptimOptions opts;
+  opts.h0 = h_crit;
+  opts.k0 = k;
+  OptimResult r;
+  EXPECT_NO_THROW(r = optimize_rlc(tech.rep, line, opts));
+  EXPECT_TRUE(r.converged);  // the fallback rescues the near-critical seed
+}
+
+TEST(Optimizer, NewtonDivergenceExercisesNelderMeadFallback) {
+  // At the 100 nm node with l = 2 nH/mm the cold-started Newton iteration
+  // genuinely diverges (the default 0.9x-Elmore seed is far outside the
+  // basin in the strongly inductive regime): the Nelder-Mead fallback must
+  // produce the converged answer and be labelled as such.
+  const auto tech = Technology::nm100();
+  const auto fb = optimize_rlc(tech, 2e-6);
+  ASSERT_TRUE(fb.converged);
+  EXPECT_EQ(fb.method, OptimMethod::kNelderMead);
+  EXPECT_GT(fb.newton_iterations, 0);  // Newton ran first, and failed
+
+  // Cross-check against the warm-started continuation, where Newton does
+  // converge: same optimum to fallback accuracy.
+  std::vector<double> ls;
+  for (int i = 0; i <= 4; ++i) ls.push_back(i * 0.5e-6);
+  const auto sweep = optimize_rlc_sweep(tech, ls);
+  const auto& ref = sweep.back();
+  ASSERT_TRUE(ref.converged);
+  ASSERT_EQ(ref.method, OptimMethod::kNewton);
+  EXPECT_NEAR(fb.delay_per_length, ref.delay_per_length,
+              1e-5 * ref.delay_per_length);
+  EXPECT_NEAR(fb.h, ref.h, 1e-2 * ref.h);
+  EXPECT_NEAR(fb.k, ref.k, 1e-2 * ref.k);
+}
+
+TEST(Optimizer, FallbackDisabledReturnsUnconvergedInsteadOfThrowing) {
+  const auto tech = Technology::nm250();
+  OptimOptions opts;
+  opts.max_newton_iterations = 1;  // Newton cannot converge in one step
+  opts.allow_fallback = false;
+  OptimResult r;
+  EXPECT_NO_THROW(r = optimize_rlc(tech, 1e-6, opts));
+  EXPECT_FALSE(r.converged);
+  EXPECT_EQ(r.method, OptimMethod::kNewton);
+  // The unconverged result must be inert, not half-filled.
+  EXPECT_EQ(r.h, 0.0);
+  EXPECT_EQ(r.k, 0.0);
+  EXPECT_EQ(r.delay_per_length, 0.0);
+}
+
 }  // namespace
 }  // namespace rlc::core

@@ -1,0 +1,180 @@
+/// rlc::exec unit tests: pool sizing (including the RLC_NUM_THREADS
+/// override), exact coverage and ordering of parallel_for / parallel_map,
+/// exception propagation, nested loops, and concurrent counter updates.
+/// This suite is the one CI runs under ThreadSanitizer.
+
+#include "rlc/exec/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "rlc/exec/counters.hpp"
+
+namespace {
+
+using rlc::exec::Counters;
+using rlc::exec::ThreadPool;
+
+/// Scoped setenv/unsetenv so env-sensitive tests cannot leak state.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    if (const char* old = std::getenv(name)) old_ = old;
+    ::setenv(name, value, 1);
+  }
+  ~ScopedEnv() {
+    if (old_) {
+      ::setenv(name_, old_->c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+
+ private:
+  const char* name_;
+  std::optional<std::string> old_;
+};
+
+TEST(ThreadPool, DefaultThreadCountHonorsEnvOverride) {
+  {
+    ScopedEnv env("RLC_NUM_THREADS", "3");
+    EXPECT_EQ(rlc::exec::default_thread_count(), 3u);
+    const ThreadPool pool;  // default-constructed pools pick it up too
+    EXPECT_EQ(pool.size(), 3u);
+  }
+  {
+    ScopedEnv env("RLC_NUM_THREADS", "1");
+    EXPECT_EQ(rlc::exec::default_thread_count(), 1u);
+  }
+  // Garbage and non-positive values fall back to hardware concurrency.
+  for (const char* bad : {"0", "-4", "abc", "2x", ""}) {
+    ScopedEnv env("RLC_NUM_THREADS", bad);
+    EXPECT_GE(rlc::exec::default_thread_count(), 1u) << bad;
+    EXPECT_NE(rlc::exec::default_thread_count(), 0u) << bad;
+  }
+}
+
+TEST(ThreadPool, ParallelForRunsEveryIndexExactlyOnce) {
+  for (const std::size_t threads : {1u, 2u, 3u, 7u}) {
+    ThreadPool pool(threads);
+    ASSERT_EQ(pool.size(), threads);
+    const std::size_t n = 997;  // prime, so chunks never divide evenly
+    std::vector<std::atomic<int>> hits(n);
+    pool.parallel_for(n, [&](std::size_t i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "threads " << threads << " index " << i;
+    }
+  }
+}
+
+TEST(ThreadPool, ParallelForHandlesEdgeShapes) {
+  ThreadPool pool(4);
+  int calls = 0;
+  pool.parallel_for(0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  // n == 1 runs inline on the caller.
+  std::atomic<int> one{0};
+  pool.parallel_for(1, [&](std::size_t i) { one += static_cast<int>(i) + 1; });
+  EXPECT_EQ(one.load(), 1);
+  // Grain far larger than n still covers everything.
+  std::vector<std::atomic<int>> hits(5);
+  pool.parallel_for(
+      5, [&](std::size_t i) { hits[i].fetch_add(1); }, /*grain=*/1000);
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelMapIsOrderedAndDeterministic) {
+  std::vector<int> items(512);
+  std::iota(items.begin(), items.end(), 0);
+  const auto expect = [&] {
+    std::vector<long> out;
+    for (int v : items) out.push_back(3L * v + 1);
+    return out;
+  }();
+  for (const std::size_t threads : {1u, 2u, 5u}) {
+    ThreadPool pool(threads);
+    const auto got = rlc::exec::parallel_map(
+        pool, items, [](const int& v) { return 3L * v + 1; });
+    EXPECT_EQ(got, expect) << "threads " << threads;
+  }
+}
+
+TEST(ThreadPool, FirstExceptionPropagatesAndPoolSurvives) {
+  ThreadPool pool(4);
+  const auto boom = [](std::size_t i) {
+    if (i == 137) throw std::runtime_error("boom at 137");
+  };
+  EXPECT_THROW(pool.parallel_for(1000, boom), std::runtime_error);
+  // The pool must remain fully usable after a failed loop.
+  std::atomic<long> sum{0};
+  pool.parallel_for(100, [&](std::size_t i) {
+    sum.fetch_add(static_cast<long>(i), std::memory_order_relaxed);
+  });
+  EXPECT_EQ(sum.load(), 99L * 100L / 2L);
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
+  ThreadPool pool(2);
+  std::atomic<long> total{0};
+  pool.parallel_for(8, [&](std::size_t) {
+    pool.parallel_for(16, [&](std::size_t) {
+      total.fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(total.load(), 8 * 16);
+}
+
+TEST(Counters, ConcurrentRecordingAggregatesExactly) {
+  Counters counters;
+  ThreadPool pool(8);
+  const std::size_t n = 20000;
+  pool.parallel_for(n, [&](std::size_t i) {
+    counters.record_solve(static_cast<std::int64_t>(i % 5), i % 7 == 0,
+                          i % 13 == 0, 1e-6);
+  });
+  const auto s = counters.snapshot();
+  std::int64_t iters = 0, fallbacks = 0, failures = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    iters += static_cast<std::int64_t>(i % 5);
+    if (i % 7 == 0) ++fallbacks;
+    if (i % 13 == 0) ++failures;
+  }
+  EXPECT_EQ(s.tasks, static_cast<std::int64_t>(n));
+  EXPECT_EQ(s.newton_iterations, iters);
+  EXPECT_EQ(s.fallbacks, fallbacks);
+  EXPECT_EQ(s.failures, failures);
+  EXPECT_NEAR(s.wall_total_s, 1e-6 * static_cast<double>(n), 1e-9 * n);
+  EXPECT_NEAR(s.wall_min_s, 1e-6, 2e-9);
+  EXPECT_NEAR(s.wall_max_s, 1e-6, 2e-9);
+  EXPECT_NEAR(s.wall_mean_s(), 1e-6, 2e-9);
+
+  const std::string text = counters.summary("unit");
+  EXPECT_NE(text.find("unit"), std::string::npos);
+  EXPECT_NE(text.find("tasks 20000"), std::string::npos);
+
+  counters.reset();
+  const auto z = counters.snapshot();
+  EXPECT_EQ(z.tasks, 0);
+  EXPECT_EQ(z.newton_iterations, 0);
+  EXPECT_EQ(z.wall_min_s, 0.0);
+  EXPECT_EQ(z.wall_mean_s(), 0.0);
+}
+
+TEST(Counters, EmptySummaryIsWellFormed) {
+  const Counters counters;
+  const auto s = counters.snapshot();
+  EXPECT_EQ(s.tasks, 0);
+  EXPECT_EQ(s.wall_min_s, 0.0);
+  EXPECT_EQ(counters.summary().find("[solver counters]"), 0u);
+}
+
+}  // namespace

@@ -1,12 +1,19 @@
 /// Randomized cross-validation: independent implementations must agree on
-/// randomly generated problems.  Fixed seeds keep the suite deterministic.
+/// randomly generated problems.  Fixed seeds keep the suite deterministic:
+/// every trial's inputs are drawn serially from the seeded RNG, the heavy
+/// solves then fan out over the rlc::exec pool (results collected in trial
+/// order), and all assertions run back on the main thread.
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cmath>
 #include <random>
+#include <string>
+#include <vector>
 
 #include "rlc/core/delay.hpp"
+#include "rlc/exec/thread_pool.hpp"
 #include "rlc/linalg/lu.hpp"
 #include "rlc/linalg/sparse_lu.hpp"
 #include "rlc/spice/dcop.hpp"
@@ -15,41 +22,56 @@
 namespace {
 
 TEST(Randomized, SparseAndDenseLuAgreeOnRandomMnaLikeSystems) {
+  struct Trial {
+    rlc::linalg::MatrixD a{30, 30};
+    std::vector<rlc::linalg::Triplet> trip;
+    std::vector<double> b;
+  };
+  const int n = 30;
   std::mt19937 rng(2026);
   std::uniform_real_distribution<double> g(0.1, 10.0);
   std::uniform_int_distribution<int> pick(0, 29);
-  for (int trial = 0; trial < 20; ++trial) {
-    const int n = 30;
+  std::uniform_real_distribution<double> rb(-1.0, 1.0);
+  std::vector<Trial> trials(20);
+  for (auto& t : trials) {
     // Random conductance network: symmetric stamps + diagonal dominance,
     // the structure MNA produces.
-    rlc::linalg::MatrixD a(n, n);
-    std::vector<rlc::linalg::Triplet> trip;
     for (int e = 0; e < 120; ++e) {
       int i = pick(rng), j = pick(rng);
       if (i == j) continue;
       const double cond = g(rng);
-      a(i, i) += cond;
-      a(j, j) += cond;
-      a(i, j) -= cond;
-      a(j, i) -= cond;
-      trip.push_back({i, i, cond});
-      trip.push_back({j, j, cond});
-      trip.push_back({i, j, -cond});
-      trip.push_back({j, i, -cond});
+      t.a(i, i) += cond;
+      t.a(j, j) += cond;
+      t.a(i, j) -= cond;
+      t.a(j, i) -= cond;
+      t.trip.push_back({i, i, cond});
+      t.trip.push_back({j, j, cond});
+      t.trip.push_back({i, j, -cond});
+      t.trip.push_back({j, i, -cond});
     }
     for (int i = 0; i < n; ++i) {
-      a(i, i) += 1e-3;  // gmin-like ground reference
-      trip.push_back({i, i, 1e-3});
+      t.a(i, i) += 1e-3;  // gmin-like ground reference
+      t.trip.push_back({i, i, 1e-3});
     }
-    std::vector<double> b(n);
-    std::uniform_real_distribution<double> rb(-1.0, 1.0);
-    for (auto& v : b) v = rb(rng);
+    t.b.resize(n);
+    for (auto& v : t.b) v = rb(rng);
+  }
 
-    const auto xd = rlc::linalg::LUD(a).solve(b);
-    const auto m = rlc::linalg::CscMatrix::from_triplets(n, n, trip);
-    const auto xs = rlc::linalg::SparseLU(m).solve(b);
+  struct Solved {
+    std::vector<double> dense, sparse;
+  };
+  const auto solved = rlc::exec::parallel_map(trials, [&](const Trial& t) {
+    Solved s;
+    s.dense = rlc::linalg::LUD(t.a).solve(t.b);
+    const auto m = rlc::linalg::CscMatrix::from_triplets(n, n, t.trip);
+    s.sparse = rlc::linalg::SparseLU(m).solve(t.b);
+    return s;
+  });
+
+  for (std::size_t trial = 0; trial < solved.size(); ++trial) {
     for (int i = 0; i < n; ++i) {
-      EXPECT_NEAR(xs[i], xd[i], 1e-8 * (1.0 + std::abs(xd[i])))
+      const double xd = solved[trial].dense[i];
+      EXPECT_NEAR(solved[trial].sparse[i], xd, 1e-8 * (1.0 + std::abs(xd)))
           << "trial " << trial << " i " << i;
     }
   }
@@ -60,39 +82,94 @@ TEST(Randomized, TreeElmoreMatchesMnaDcWithDischargePath) {
   // cross-check: the DC solution through the tree must be flat (no drops),
   // and the total capacitance must equal the sum of stamped caps — guards
   // the tree builder against topology bugs on random trees.
+  struct Edge {
+    int parent;
+    double r, c;
+  };
+  struct Spec {
+    double root_r, root_c;
+    std::vector<Edge> edges;
+    double cap_sum = 0.0;
+  };
   std::mt19937 rng(7);
   std::uniform_real_distribution<double> rr(10.0, 1e3);
   std::uniform_real_distribution<double> rc(1e-15, 1e-12);
-  for (int trial = 0; trial < 10; ++trial) {
-    rlc::tree::RcTree t(500.0, rc(rng));
-    std::uniform_int_distribution<int> parent_pick(0, 0);
-    double cap_sum = t.node_cap(0);
-    for (int n = 1; n <= 25; ++n) {
-      std::uniform_int_distribution<int> pp(0, t.size() - 1);
+  std::vector<Spec> specs(10);
+  for (auto& spec : specs) {
+    spec.root_r = 500.0;
+    spec.root_c = rc(rng);
+    spec.cap_sum = spec.root_c;
+    for (int node = 1; node <= 25; ++node) {
+      std::uniform_int_distribution<int> pp(0, node - 1);
       const double c = rc(rng);
-      t.add_node(pp(rng), rr(rng), c);
-      cap_sum += c;
+      spec.edges.push_back({pp(rng), rr(rng), c});
+      spec.cap_sum += c;
     }
-    EXPECT_NEAR(t.total_cap(), cap_sum, 1e-20);
-    // Elmore delays are positive and monotone along any root-to-leaf path.
+  }
+
+  struct NodeCheck {
+    bool reducible = false;  ///< b2 = m1^2 - m2 > 0: two-pole must solve
+    bool threw = false;      ///< two_pole_at refused (expected otherwise)
+    bool delay_converged = false;
+    double v_at_tau = 0.0;
+    double m2 = 0.0;
+  };
+  struct TreeOut {
+    double total_cap = 0.0;
+    std::vector<int> parent;
+    std::vector<double> m1;
+    std::vector<NodeCheck> nodes;
+  };
+  const auto outs = rlc::exec::parallel_map(specs, [](const Spec& spec) {
+    rlc::tree::RcTree t(spec.root_r, spec.root_c);
+    for (const auto& e : spec.edges) t.add_node(e.parent, e.r, e.c);
+    TreeOut out;
+    out.total_cap = t.total_cap();
     const auto m1 = t.elmore_delays();
-    for (rlc::tree::NodeId n = 1; n < t.size(); ++n) {
-      EXPECT_GT(m1[n], m1[t.parent(n)]) << trial << " node " << n;
+    out.m1.assign(m1.begin(), m1.end());
+    out.parent.resize(t.size());
+    for (rlc::tree::NodeId node = 1; node < t.size(); ++node) {
+      out.parent[node] = static_cast<int>(t.parent(node));
+    }
+    const auto ms = t.moments();
+    out.nodes.resize(t.size());
+    for (rlc::tree::NodeId node = 0; node < t.size(); ++node) {
+      NodeCheck& nc = out.nodes[node];
+      nc.m2 = ms[node].m2;
+      nc.reducible = ms[node].m1 * ms[node].m1 - ms[node].m2 > 0.0;
+      try {
+        const rlc::core::TwoPole sys(t.two_pole_at(node));
+        const auto d = rlc::core::threshold_delay(sys);
+        nc.delay_converged = d.converged;
+        if (d.converged) nc.v_at_tau = sys.step_response(d.tau);
+      } catch (const std::runtime_error&) {
+        nc.threw = true;
+      }
+    }
+    return out;
+  });
+
+  for (std::size_t trial = 0; trial < outs.size(); ++trial) {
+    const auto& out = outs[trial];
+    EXPECT_NEAR(out.total_cap, specs[trial].cap_sum, 1e-20);
+    // Elmore delays are positive and monotone along any root-to-leaf path.
+    for (std::size_t node = 1; node < out.m1.size(); ++node) {
+      EXPECT_GT(out.m1[node], out.m1[out.parent[node]])
+          << trial << " node " << node;
     }
     // Moments: m2 > 0 everywhere.  b2 = m1^2 - m2 may legitimately be
     // negative at nodes near the root (fast local rise, long far-capacitance
     // tail), where the two-pole reduction must refuse; where it is positive
     // the reduction must produce a solvable delay.
-    const auto ms = t.moments();
-    for (rlc::tree::NodeId n = 0; n < t.size(); ++n) {
-      EXPECT_GT(ms[n].m2, 0.0);
-      if (ms[n].m1 * ms[n].m1 - ms[n].m2 > 0.0) {
-        const rlc::core::TwoPole sys(t.two_pole_at(n));
-        const auto d = rlc::core::threshold_delay(sys);
-        ASSERT_TRUE(d.converged) << trial << " node " << n;
-        EXPECT_NEAR(sys.step_response(d.tau), 0.5, 1e-7);
+    for (std::size_t node = 0; node < out.nodes.size(); ++node) {
+      const auto& nc = out.nodes[node];
+      EXPECT_GT(nc.m2, 0.0);
+      if (nc.reducible) {
+        ASSERT_FALSE(nc.threw) << trial << " node " << node;
+        ASSERT_TRUE(nc.delay_converged) << trial << " node " << node;
+        EXPECT_NEAR(nc.v_at_tau, 0.5, 1e-7);
       } else {
-        EXPECT_THROW(t.two_pole_at(n), std::runtime_error) << n;
+        EXPECT_TRUE(nc.threw) << node;
       }
     }
   }
@@ -101,36 +178,71 @@ TEST(Randomized, TreeElmoreMatchesMnaDcWithDischargePath) {
 TEST(Randomized, RandomResistorNetworksSatisfyDcConservation) {
   // KCL sanity on random resistive meshes solved by the full DC path:
   // current out of the source equals current into ground.
+  struct Spec {
+    std::vector<double> chain_r;              // n-1 spanning-chain resistors
+    std::vector<std::array<int, 2>> extra;    // extra mesh edges
+    std::vector<double> extra_r;
+    double rg0, rg1;
+  };
+  const int n_nodes = 8;
   std::mt19937 rng(99);
   std::uniform_real_distribution<double> rr(10.0, 1e4);
-  for (int trial = 0; trial < 10; ++trial) {
-    rlc::spice::Circuit c;
-    const int n_nodes = 8;
-    std::vector<rlc::spice::NodeId> nodes;
-    for (int i = 0; i < n_nodes; ++i) nodes.push_back(c.node("n" + std::to_string(i)));
-    std::uniform_int_distribution<int> pick(0, n_nodes - 1);
-    std::vector<const rlc::spice::Resistor*> to_gnd;
-    int idx = 0;
-    // Spanning chain guarantees connectivity.
-    for (int i = 1; i < n_nodes; ++i) {
-      c.add_resistor("Rc" + std::to_string(i), nodes[i - 1], nodes[i], rr(rng));
-    }
+  std::uniform_int_distribution<int> pick(0, n_nodes - 1);
+  std::vector<Spec> specs(10);
+  for (auto& spec : specs) {
+    for (int i = 1; i < n_nodes; ++i) spec.chain_r.push_back(rr(rng));
     for (int e = 0; e < 10; ++e) {
       const int i = pick(rng), j = pick(rng);
       if (i == j) continue;
-      c.add_resistor("Rx" + std::to_string(idx++), nodes[i], nodes[j], rr(rng));
+      spec.extra.push_back({i, j});
+      spec.extra_r.push_back(rr(rng));
     }
-    to_gnd.push_back(&c.add_resistor("Rg0", nodes[3], c.ground(), rr(rng)));
-    to_gnd.push_back(&c.add_resistor("Rg1", nodes[6], c.ground(), rr(rng)));
-    auto& vsrc = c.add_vsource("V1", nodes[0], c.ground(), rlc::spice::DcSpec{5.0});
-    const auto dc = rlc::spice::dc_operating_point(c);
-    ASSERT_TRUE(dc.converged) << trial;
-    const double i_src = dc.x[vsrc.branch_base()];
+    spec.rg0 = rr(rng);
+    spec.rg1 = rr(rng);
+  }
+
+  struct DcOut {
+    bool converged = false;
+    double i_src = 0.0;
     double i_gnd = 0.0;
-    for (const auto* r : to_gnd) i_gnd += r->current(dc.x);
+  };
+  const auto outs = rlc::exec::parallel_map(specs, [&](const Spec& spec) {
+    rlc::spice::Circuit c;
+    std::vector<rlc::spice::NodeId> nodes;
+    for (int i = 0; i < n_nodes; ++i) {
+      nodes.push_back(c.node("n" + std::to_string(i)));
+    }
+    // Spanning chain guarantees connectivity.
+    for (int i = 1; i < n_nodes; ++i) {
+      c.add_resistor("Rc" + std::to_string(i), nodes[i - 1], nodes[i],
+                     spec.chain_r[i - 1]);
+    }
+    for (std::size_t e = 0; e < spec.extra.size(); ++e) {
+      c.add_resistor("Rx" + std::to_string(e), nodes[spec.extra[e][0]],
+                     nodes[spec.extra[e][1]], spec.extra_r[e]);
+    }
+    std::vector<const rlc::spice::Resistor*> to_gnd;
+    to_gnd.push_back(&c.add_resistor("Rg0", nodes[3], c.ground(), spec.rg0));
+    to_gnd.push_back(&c.add_resistor("Rg1", nodes[6], c.ground(), spec.rg1));
+    auto& vsrc =
+        c.add_vsource("V1", nodes[0], c.ground(), rlc::spice::DcSpec{5.0});
+    const auto dc = rlc::spice::dc_operating_point(c);
+    DcOut out;
+    out.converged = dc.converged;
+    if (dc.converged) {
+      out.i_src = dc.x[vsrc.branch_base()];
+      for (const auto* r : to_gnd) out.i_gnd += r->current(dc.x);
+    }
+    return out;
+  });
+
+  for (std::size_t trial = 0; trial < outs.size(); ++trial) {
+    ASSERT_TRUE(outs[trial].converged) << trial;
     // Source branch current flows p -> n inside the source; KCL at ground:
     // what leaves through the resistors returns through the source.
-    EXPECT_NEAR(-i_src, i_gnd, 1e-6 * (std::abs(i_gnd) + 1e-9)) << trial;
+    EXPECT_NEAR(-outs[trial].i_src, outs[trial].i_gnd,
+                1e-6 * (std::abs(outs[trial].i_gnd) + 1e-9))
+        << trial;
   }
 }
 
@@ -140,20 +252,42 @@ TEST(Randomized, TwoPoleDelayInvariants) {
   std::mt19937 rng(5);
   std::uniform_real_distribution<double> rb1(1e-12, 1e-9);
   std::uniform_real_distribution<double> ratio(0.01, 30.0);  // b2 / (b1^2/4)
-  for (int trial = 0; trial < 60; ++trial) {
-    const double b1 = rb1(rng);
-    const double b2 = ratio(rng) * b1 * b1 / 4.0;
-    const rlc::core::TwoPole sys({b1, b2});
-    const auto r = rlc::core::threshold_delay(sys);
-    ASSERT_TRUE(r.converged) << trial;
-    EXPECT_GT(r.tau, 0.0);
-    EXPECT_NEAR(sys.step_response(r.tau), 0.5, 1e-7) << trial;
-    // Scaling invariance: (a*b1, a^2*b2) scales tau by a.
-    const double a = 3.0;
-    const rlc::core::TwoPole scaled({a * b1, a * a * b2});
-    const auto rs = rlc::core::threshold_delay(scaled);
-    ASSERT_TRUE(rs.converged);
-    EXPECT_NEAR(rs.tau, a * r.tau, 1e-6 * rs.tau) << trial;
+  std::vector<std::array<double, 2>> coeffs(60);
+  for (auto& bc : coeffs) {
+    bc[0] = rb1(rng);
+    bc[1] = ratio(rng) * bc[0] * bc[0] / 4.0;
+  }
+
+  struct DelayOut {
+    bool converged = false, scaled_converged = false;
+    double tau = 0.0, v_at_tau = 0.0, scaled_tau = 0.0;
+  };
+  const double a = 3.0;
+  const auto outs =
+      rlc::exec::parallel_map(coeffs, [&](const std::array<double, 2>& bc) {
+        DelayOut out;
+        const rlc::core::TwoPole sys({bc[0], bc[1]});
+        const auto r = rlc::core::threshold_delay(sys);
+        out.converged = r.converged;
+        if (r.converged) {
+          out.tau = r.tau;
+          out.v_at_tau = sys.step_response(r.tau);
+        }
+        // Scaling invariance: (a*b1, a^2*b2) scales tau by a.
+        const rlc::core::TwoPole scaled({a * bc[0], a * a * bc[1]});
+        const auto rs = rlc::core::threshold_delay(scaled);
+        out.scaled_converged = rs.converged;
+        if (rs.converged) out.scaled_tau = rs.tau;
+        return out;
+      });
+
+  for (std::size_t trial = 0; trial < outs.size(); ++trial) {
+    const auto& out = outs[trial];
+    ASSERT_TRUE(out.converged) << trial;
+    EXPECT_GT(out.tau, 0.0);
+    EXPECT_NEAR(out.v_at_tau, 0.5, 1e-7) << trial;
+    ASSERT_TRUE(out.scaled_converged);
+    EXPECT_NEAR(out.scaled_tau, a * out.tau, 1e-6 * out.scaled_tau) << trial;
   }
 }
 
