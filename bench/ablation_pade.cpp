@@ -1,33 +1,42 @@
 /// Ablation 1 (DESIGN.md) — accuracy of the second-order Pade model
 /// (the paper's approximation 1) against the exact Eq. (1) transfer
-/// function, as a function of line inductance.  The exact 50% delay comes
-/// from Talbot inversion of Eq. (1); the model delay from the two-pole
-/// closed form.  Run at the RC-optimal sizing for both nodes.
+/// function, as a function of line inductance.  The exact 50% delays come
+/// from the exact-waveform engine via exact_sweep (fanned over the thread
+/// pool, with solver counters); the model delay from the two-pole closed
+/// form.  Run at the RC-optimal sizing for both nodes.
 
 #include <cstdio>
 #include <cmath>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "rlc/core/delay.hpp"
 #include "rlc/core/elmore.hpp"
 #include "rlc/core/exact_delay.hpp"
+#include "rlc/exec/counters.hpp"
 
 int main() {
   using namespace rlc::core;
   bench::banner("ABLATION: PADE ORDER",
                 "two-pole (Eq. 2) 50%-delay error vs exact Eq. (1), at (h_optRC, k_optRC)");
 
+  rlc::exec::Counters counters;
+  const std::vector<double> ls{0.0, 0.5e-6, 1e-6, 2e-6, 3e-6, 4e-6, 5e-6};
   for (const auto& tech : {Technology::nm250(), Technology::nm100()}) {
     const auto rc = rc_optimum(tech);
+    ExactSweepOptions sweep;
+    sweep.counters = &counters;
+    const auto exact = exact_sweep(tech, ls, rc.h, rc.k, sweep);
     std::printf("\n--- %s ---\n", tech.name.c_str());
     std::printf("%12s %16s %16s %10s\n", "l (nH/mm)", "exact tau (ps)",
                 "2-pole tau (ps)", "error");
     bench::rule();
-    for (double l : {0.0, 0.5e-6, 1e-6, 2e-6, 3e-6, 4e-6, 5e-6}) {
-      const auto dr = segment_delay(tech.rep, tech.line(l), rc.h, rc.k);
-      const double ex = exact_threshold_delay(tech, l, rc.h, rc.k, dr.tau).value();
-      std::printf("%12.2f %16.2f %16.2f %9.2f%%\n", bench::to_nH_per_mm(l),
-                  ex * 1e12, dr.tau * 1e12, 100.0 * (dr.tau - ex) / ex);
+    for (std::size_t i = 0; i < ls.size(); ++i) {
+      const auto dr = segment_delay(tech.rep, tech.line(ls[i]), rc.h, rc.k);
+      const double ex = exact[i].value();
+      std::printf("%12.2f %16.2f %16.2f %9.2f%%\n",
+                  bench::to_nH_per_mm(ls[i]), ex * 1e12, dr.tau * 1e12,
+                  100.0 * (dr.tau - ex) / ex);
     }
   }
   bench::rule();
@@ -35,5 +44,6 @@ int main() {
               "and ~10-14%% at the top of the sweep (the cost of the paper's\n"
               "approximation 1); the optimizer's *relative* comparisons (Figs 5-8)\n"
               "are much less sensitive since both sides share the model.");
+  bench::solver_summary(counters);
   return 0;
 }

@@ -30,3 +30,6 @@ rlc_add_bench(ext_skin_effect)
 
 rlc_add_bench(perf_solvers)
 target_link_libraries(perf_solvers PRIVATE benchmark::benchmark)
+
+rlc_add_bench(perf_exact)
+target_link_libraries(perf_exact PRIVATE benchmark::benchmark)

@@ -7,12 +7,92 @@
 
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "rlc/exec/counters.hpp"
 #include "rlc/exec/thread_pool.hpp"
 
 namespace bench {
+
+/// Minimal ordered JSON object builder for the machine-readable bench
+/// artifacts (BENCH_*.json).  Keys keep insertion order; values are
+/// rendered on insertion, so nesting is by composing builders.  No escaping
+/// beyond quotes/backslashes — keys and strings here are plain ASCII
+/// identifiers.
+class Json {
+ public:
+  Json& set(const std::string& key, double v) {
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    return raw(key, buf);
+  }
+  Json& set(const std::string& key, long long v) {
+    return raw(key, std::to_string(v));
+  }
+  Json& set(const std::string& key, int v) {
+    return raw(key, std::to_string(v));
+  }
+  Json& set(const std::string& key, bool v) {
+    return raw(key, v ? "true" : "false");
+  }
+  Json& set(const std::string& key, const std::string& v) {
+    return raw(key, "\"" + escaped(v) + "\"");
+  }
+  Json& set(const std::string& key, const char* v) {
+    return set(key, std::string(v));
+  }
+  Json& set(const std::string& key, const Json& nested) {
+    return raw(key, nested.str());
+  }
+  Json& set(const std::string& key, const std::vector<Json>& arr) {
+    std::string s = "[";
+    for (std::size_t i = 0; i < arr.size(); ++i) {
+      if (i) s += ", ";
+      s += arr[i].str();
+    }
+    return raw(key, s + "]");
+  }
+
+  std::string str() const {
+    std::string s = "{";
+    for (std::size_t i = 0; i < fields_.size(); ++i) {
+      if (i) s += ", ";
+      s += "\"" + fields_[i].first + "\": " + fields_[i].second;
+    }
+    return s + "}";
+  }
+
+ private:
+  static std::string escaped(const std::string& v) {
+    std::string out;
+    for (char c : v) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    return out;
+  }
+  Json& raw(const std::string& key, std::string rendered) {
+    fields_.emplace_back(key, std::move(rendered));
+    return *this;
+  }
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+/// Write a JSON document to `path`; returns false (with a note on stderr)
+/// on I/O failure so benches can keep printing their tables regardless.
+inline bool write_json_file(const std::string& path, const Json& j) {
+  std::FILE* fp = std::fopen(path.c_str(), "w");
+  if (!fp) {
+    std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+    return false;
+  }
+  const std::string s = j.str();
+  const bool ok = std::fwrite(s.data(), 1, s.size(), fp) == s.size() &&
+                  std::fputc('\n', fp) != EOF;
+  std::fclose(fp);
+  return ok;
+}
 
 inline void banner(const std::string& id, const std::string& title) {
   std::printf("\n================================================================================\n");

@@ -1,0 +1,301 @@
+/// Exact-waveform engine performance bench (google-benchmark) plus a
+/// measured legacy-vs-engine head-to-head that emits the machine-readable
+/// BENCH_exact.json artifact (path override: RLC_BENCH_JSON).  This seeds
+/// the repo's perf trajectory: future PRs regress-check the recorded
+/// speedup / accuracy numbers.
+///
+///   * exact_threshold_delay — legacy per-t bisection vs the windowed
+///     engine (target: >= 10x, accuracy <= 1e-3 relative; measured in the
+///     head-to-head and asserted structurally in tests/core);
+///   * exact_step_response — per-t contours vs shared-contour windows;
+///   * TransferEvaluator — memoized repeat probes vs raw dc-safe calls;
+///   * exact_sweep — serial vs ThreadPool fan-out with solver counters.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <complex>
+#include <cstdio>
+#include <cstdlib>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "rlc/core/delay.hpp"
+#include "rlc/core/elmore.hpp"
+#include "rlc/core/exact_delay.hpp"
+#include "rlc/exec/counters.hpp"
+#include "rlc/exec/thread_pool.hpp"
+#include "rlc/tline/evaluator.hpp"
+
+namespace {
+
+using namespace rlc::core;
+
+rlc::exec::Counters g_sweep_counters;
+
+struct Config {
+  Technology tech;
+  double l = 0.0;
+  double h = 0.0, k = 0.0, tau = 0.0;
+};
+
+Config make_config(const Technology& tech, double l) {
+  Config c{tech, l, 0.0, 0.0, 0.0};
+  const auto rc = rc_optimum(tech);
+  c.h = rc.h;
+  c.k = rc.k;
+  c.tau = segment_delay(tech.rep, tech.line(l), rc.h, rc.k).tau;
+  return c;
+}
+
+Config config_for(int node_nm, double l) {
+  return make_config(node_nm == 250 ? Technology::nm250() : Technology::nm100(),
+                     l);
+}
+
+void BM_ExactThresholdLegacy(benchmark::State& state) {
+  const auto c = config_for(250, state.range(0) * 1e-6);
+  ExactOptions o;
+  o.legacy_bisection = true;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        exact_threshold_delay(c.tech, c.l, c.h, c.k, c.tau, 0.5, o));
+  }
+}
+BENCHMARK(BM_ExactThresholdLegacy)->Arg(0)->Arg(2)->Arg(5);
+
+void BM_ExactThresholdEngine(benchmark::State& state) {
+  const auto c = config_for(250, state.range(0) * 1e-6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        exact_threshold_delay(c.tech, c.l, c.h, c.k, c.tau));
+  }
+}
+BENCHMARK(BM_ExactThresholdEngine)->Arg(0)->Arg(2)->Arg(5);
+
+std::vector<double> waveform_times(const Config& c, int n) {
+  std::vector<double> ts;
+  ts.reserve(n);
+  for (int i = 1; i <= n; ++i) ts.push_back(8.0 * c.tau * i / n);
+  return ts;
+}
+
+void BM_ExactWaveformPerT(benchmark::State& state) {
+  const auto c = config_for(100, 2e-6);
+  const auto ts = waveform_times(c, static_cast<int>(state.range(0)));
+  const auto dl = c.tech.rep.scaled(c.k);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        exact_step_response(c.tech.line(c.l), c.h, dl, ts));
+  }
+}
+BENCHMARK(BM_ExactWaveformPerT)->Arg(64)->Arg(256);
+
+void BM_ExactWaveformWindowed(benchmark::State& state) {
+  const auto c = config_for(100, 2e-6);
+  const auto ts = waveform_times(c, static_cast<int>(state.range(0)));
+  const auto dl = c.tech.rep.scaled(c.k);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        exact_step_response_windowed(c.tech.line(c.l), c.h, dl, ts));
+  }
+}
+BENCHMARK(BM_ExactWaveformWindowed)->Arg(64)->Arg(256);
+
+void BM_TransferEvalRaw(benchmark::State& state) {
+  const auto c = config_for(250, 2e-6);
+  const auto dl = c.tech.rep.scaled(c.k);
+  const auto line = c.tech.line(c.l);
+  const std::complex<double> s{1e8, 5e9};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rlc::tline::exact_transfer_dc_safe(line, c.h, dl, s));
+  }
+}
+BENCHMARK(BM_TransferEvalRaw);
+
+void BM_TransferEvalCached(benchmark::State& state) {
+  const auto c = config_for(250, 2e-6);
+  const rlc::tline::TransferEvaluator ev(c.tech.line(c.l), c.h,
+                                         c.tech.rep.scaled(c.k));
+  const std::complex<double> s{1e8, 5e9};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ev.transfer(s));
+  }
+}
+BENCHMARK(BM_TransferEvalCached);
+
+void BM_ExactSweep(benchmark::State& state) {
+  const bool parallel = state.range(0) != 0;
+  const auto tech = Technology::nm100();
+  const auto rc = rc_optimum(tech);
+  const auto ls = bench::inductance_sweep(12);
+  ExactSweepOptions o;
+  o.parallel = parallel;
+  o.counters = &g_sweep_counters;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(exact_sweep(tech, ls, rc.h, rc.k, o));
+  }
+  state.counters["threads"] =
+      parallel ? static_cast<double>(rlc::exec::default_pool().size()) : 1.0;
+}
+BENCHMARK(BM_ExactSweep)->Arg(0)->Arg(1)->ArgNames({"parallel"})->UseRealTime();
+
+// ---- Head-to-head: measured speedup + accuracy, recorded as JSON. ----
+
+double median_ns(const std::vector<double>& xs) {
+  std::vector<double> v = xs;
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
+template <typename F>
+double time_ns(F&& fn, int reps) {
+  std::vector<double> samples;
+  samples.reserve(reps);
+  for (int i = 0; i < reps; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    samples.push_back(
+        std::chrono::duration<double, std::nano>(t1 - t0).count());
+  }
+  return median_ns(samples);
+}
+
+struct HeadToHead {
+  bench::Json row;
+  double legacy_ns = 0.0, engine_ns = 0.0;
+  double speedup = 0.0, rel_err = 0.0, eval_ratio = 0.0;
+};
+
+HeadToHead head_to_head(int node_nm, double l) {
+  const auto c = config_for(node_nm, l);
+  ExactOptions legacy;
+  legacy.legacy_bisection = true;
+
+  ExactStats legacy_stats, engine_stats;
+  const double d_legacy =
+      exact_threshold_delay(c.tech, c.l, c.h, c.k, c.tau, 0.5, legacy,
+                            &legacy_stats)
+          .value();
+  const double d_engine =
+      exact_threshold_delay(c.tech, c.l, c.h, c.k, c.tau, 0.5, ExactOptions{},
+                            &engine_stats)
+          .value();
+  const double rel_err = std::abs(d_engine - d_legacy) / d_legacy;
+
+  const int reps = 9;
+  const double ns_legacy = time_ns(
+      [&] {
+        benchmark::DoNotOptimize(
+            exact_threshold_delay(c.tech, c.l, c.h, c.k, c.tau, 0.5, legacy));
+      },
+      reps);
+  const double ns_engine = time_ns(
+      [&] {
+        benchmark::DoNotOptimize(
+            exact_threshold_delay(c.tech, c.l, c.h, c.k, c.tau));
+      },
+      reps);
+
+  HeadToHead out;
+  out.legacy_ns = ns_legacy;
+  out.engine_ns = ns_engine;
+  out.speedup = ns_legacy / ns_engine;
+  out.rel_err = rel_err;
+  out.eval_ratio = static_cast<double>(legacy_stats.transfer_evals) /
+                   static_cast<double>(engine_stats.transfer_evals);
+
+  bench::Json j;
+  j.set("tech", node_nm == 250 ? "250nm" : "100nm")
+      .set("l_nH_per_mm", bench::to_nH_per_mm(l))
+      .set("delay_legacy_ps", d_legacy * 1e12)
+      .set("delay_engine_ps", d_engine * 1e12)
+      .set("rel_err", rel_err)
+      .set("legacy_ns", ns_legacy)
+      .set("engine_ns", ns_engine)
+      .set("speedup", ns_legacy / ns_engine)
+      .set("transfer_evals_legacy", static_cast<long long>(legacy_stats.transfer_evals))
+      .set("transfer_evals_engine", static_cast<long long>(engine_stats.transfer_evals))
+      .set("eval_ratio", out.eval_ratio)
+      .set("engine_windows", static_cast<long long>(engine_stats.windows))
+      .set("engine_brent_iterations",
+           static_cast<long long>(engine_stats.brent_iterations))
+      .set("engine_legacy_fallbacks",
+           static_cast<long long>(engine_stats.legacy_fallbacks));
+  out.row = j;
+  return out;
+}
+
+int run_head_to_head_and_emit_json() {
+  bench::banner("PERF: EXACT-WAVEFORM ENGINE",
+                "windowed Talbot + cached transfer evaluator vs legacy "
+                "per-t bisection");
+  std::vector<bench::Json> rows;
+  double min_speedup = 1e300, max_rel_err = 0.0, min_eval_ratio = 1e300;
+  double geo = 1.0;
+  const struct {
+    int node;
+    double l;
+  } configs[] = {{250, 0.0}, {250, 1e-6}, {250, 3e-6},
+                 {100, 0.0}, {100, 1e-6}, {100, 3e-6}};
+  std::printf("%8s %12s %12s %12s %10s %12s %12s\n", "tech", "l (nH/mm)",
+              "legacy (ms)", "engine (ms)", "speedup", "eval ratio",
+              "rel err");
+  bench::rule();
+  for (const auto& cfg : configs) {
+    const HeadToHead h = head_to_head(cfg.node, cfg.l);
+    rows.push_back(h.row);
+    min_speedup = std::min(min_speedup, h.speedup);
+    min_eval_ratio = std::min(min_eval_ratio, h.eval_ratio);
+    max_rel_err = std::max(max_rel_err, h.rel_err);
+    geo *= h.speedup;
+    std::printf("%8s %12.1f %12.3f %12.3f %9.1fx %11.1fx %12.2e\n",
+                cfg.node == 250 ? "250nm" : "100nm",
+                bench::to_nH_per_mm(cfg.l), h.legacy_ns * 1e-6,
+                h.engine_ns * 1e-6, h.speedup, h.eval_ratio, h.rel_err);
+  }
+  geo = std::pow(geo, 1.0 / std::size(configs));
+  bench::rule();
+  std::printf("speedup: min %.1fx, geomean %.1fx | eval ratio: min %.1fx | "
+              "max rel err %.2e (budget 1e-3)\n",
+              min_speedup, geo, min_eval_ratio, max_rel_err);
+
+  bench::Json doc;
+  doc.set("bench", "perf_exact")
+      .set("schema", 1)
+      .set("threads", static_cast<long long>(rlc::exec::default_pool().size()))
+      .set("head_to_head", rows);
+  bench::Json summary;
+  summary.set("min_speedup", min_speedup)
+      .set("geomean_speedup", geo)
+      .set("min_eval_ratio", min_eval_ratio)
+      .set("max_rel_err", max_rel_err)
+      .set("speedup_target", 10.0)
+      .set("rel_err_budget", 1e-3);
+  doc.set("summary", summary);
+
+  const char* env = std::getenv("RLC_BENCH_JSON");
+  const std::string path = env ? env : "BENCH_exact.json";
+  if (!bench::write_json_file(path, doc)) return 1;
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  const int rc = run_head_to_head_and_emit_json();
+  std::printf("%s | threads %zu\n",
+              g_sweep_counters.summary("exact sweeps").c_str(),
+              rlc::exec::default_pool().size());
+  return rc;
+}

@@ -1,13 +1,23 @@
 #include "rlc/core/exact_delay.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
+#include "rlc/core/delay.hpp"
 #include "rlc/laplace/talbot.hpp"
+#include "rlc/math/brent.hpp"
+#include "rlc/tline/evaluator.hpp"
 
 namespace rlc::core {
 
 namespace {
+
+/// Search window of the threshold solve, as multiples of tau_scale (the
+/// legacy path used the same bounds).
+constexpr double kSearchLo = 0.02;
+constexpr double kSearchHi = 8.0;
 
 rlc::laplace::LaplaceFn step_transform(const tline::LineParams& line, double h,
                                        const tline::DriverLoad& dl) {
@@ -15,6 +25,237 @@ rlc::laplace::LaplaceFn step_transform(const tline::LineParams& line, double h,
     return rlc::tline::exact_transfer_dc_safe(line, h, dl, s) / s;
   };
 }
+
+void validate_threshold_args(double tau_scale, double f) {
+  if (!(f > 0.0 && f < 1.0)) {
+    throw std::domain_error("exact_threshold_delay: f must be in (0, 1)");
+  }
+  if (!(tau_scale > 0.0)) {
+    throw std::domain_error("exact_threshold_delay: tau_scale must be > 0");
+  }
+}
+
+void validate_options(const ExactOptions& o, bool threshold_path) {
+  if (o.talbot_points < 4 || o.window_points < 4) {
+    throw std::domain_error("ExactOptions: contour sizes must be >= 4");
+  }
+  if (o.grid_points_per_window < 2) {
+    throw std::domain_error("ExactOptions: grid_points_per_window must be >= 2");
+  }
+  const bool ok = threshold_path ? o.window_ratio > 1.0 : o.window_ratio >= 1.0;
+  if (!ok) {
+    throw std::domain_error(threshold_path
+                                ? "ExactOptions: window_ratio must be > 1"
+                                : "ExactOptions: window_ratio must be >= 1");
+  }
+}
+
+/// The fast exact-waveform engine: one TransferEvaluator (hoisted
+/// invariants + F(s) memoization) feeding shared-contour Talbot windows.
+class WaveformEngine {
+ public:
+  WaveformEngine(const tline::LineParams& line, double h,
+                 const tline::DriverLoad& dl, const ExactOptions& opts)
+      : eval_(line, h, dl), F_(eval_.step_fn()), opts_(opts) {}
+
+  /// Waveform at arbitrary times, grouped into shared-contour windows.
+  std::vector<double> sample(const std::vector<double>& times) {
+    for (double t : times) {
+      if (!(t > 0.0)) {
+        throw std::domain_error(
+            "exact_step_response_windowed: times must be > 0");
+      }
+    }
+    std::vector<std::size_t> idx(times.size());
+    for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+    std::sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+      return times[a] > times[b];
+    });
+    std::vector<double> out(times.size());
+    std::size_t i = 0;
+    while (i < idx.size()) {
+      const double t_max = times[idx[i]];
+      const rlc::laplace::TalbotContour contour(F_, t_max,
+                                                opts_.window_points);
+      ++windows_;
+      const double t_min = t_max / opts_.window_ratio;
+      while (i < idx.size() && times[idx[i]] >= t_min * (1.0 - 1e-12)) {
+        out[idx[i]] = contour.eval(times[idx[i]]);
+        ++i;
+      }
+    }
+    return out;
+  }
+
+  /// First f-crossing: lazy top-down window descent + Brent polish.  Each
+  /// window above the crossing costs one contour build plus ONE foot probe
+  /// (is v still >= f at the window foot?); only the crossing window is
+  /// grid-scanned, bottom-up with early exit at the first bracket.
+  std::optional<double> threshold(double tau_scale, double f) {
+    const double lo = kSearchLo * tau_scale;
+    const double hi = kSearchHi * tau_scale;
+    const int n_w = opts_.grid_points_per_window;
+    const double lam = opts_.window_ratio;
+    double t_hi = hi;
+    bool top_window = true;
+    while (true) {
+      const rlc::laplace::TalbotContour contour(F_, t_hi,
+                                                opts_.window_points);
+      ++windows_;
+      if (top_window) {
+        // !(>= f) instead of (< f): a non-finite eval (kernel overflow at
+        // extreme window scales) must mean "cannot certify a crossing",
+        // not fall through into the descent on NaN comparisons.
+        if (!(contour.eval(t_hi) >= f)) return std::nullopt;  // not settled
+        top_window = false;
+      }
+      const double t_lo_w = std::max(lo, t_hi / lam);
+      const double gstep = std::pow(t_hi / t_lo_w, 1.0 / n_w);
+      const double v_foot = contour.eval(t_lo_w);
+      if (v_foot >= f) {
+        // Already above threshold at the window foot: the first crossing
+        // (if any) lies further down.
+        if (t_lo_w <= lo * (1.0 + 1e-12)) return std::nullopt;  // v(lo) >= f
+        t_hi = t_lo_w;
+        continue;
+      }
+      // The first crossing is inside (or at the top edge of) this window:
+      // walk the geometric grid upward from the foot and stop at the first
+      // bracket, which preserves first-crossing semantics at grid
+      // resolution.
+      double ta = t_lo_w, va = v_foot;
+      for (int j = 1; j <= n_w; ++j) {
+        const double tb = (j == n_w) ? t_hi : t_lo_w * std::pow(gstep, j);
+        const double vb = contour.eval(tb);
+        if (vb >= f) {
+          return polish(&contour, va - f, vb - f, ta, tb, gstep, lo, hi,
+                        tau_scale, f);
+        }
+        ta = tb;
+        va = vb;
+      }
+      // Below f all the way up to t_hi, yet the window above starts >= f:
+      // the crossing straddles the window boundary.
+      return polish(nullptr, 0.0, 0.0, t_hi, std::min(hi, t_hi * gstep),
+                    gstep, lo, hi, tau_scale, f);
+    }
+  }
+
+  /// Legacy per-t bisection (the pre-engine implementation), kept as the
+  /// reference and as the rescue path when the engine loses its bracket.
+  std::optional<double> legacy_threshold(double tau_scale, double f) {
+    const auto v = [&](double t) {
+      return rlc::laplace::talbot_invert(F_, t, opts_.talbot_points);
+    };
+    double lo = kSearchLo * tau_scale, hi = kSearchHi * tau_scale;
+    // The hi endpoint is negated so a non-finite value (kernel overflow at
+    // extreme scales) reports "no bracket" instead of bisecting on NaN.
+    // A non-finite v(lo) is tolerated: the deep foot overflows first while
+    // being physically ~0, i.e. safely below any threshold.
+    if (v(lo) > f || !(v(hi) >= f)) return std::nullopt;
+    for (int i = 0; i < 60; ++i) {
+      const double mid = 0.5 * (lo + hi);
+      (v(mid) < f ? lo : hi) = mid;
+    }
+    return 0.5 * (lo + hi);
+  }
+
+  ExactStats stats() const {
+    ExactStats s;
+    s.transfer_evals = static_cast<std::int64_t>(eval_.evaluations());
+    s.cache_hits = static_cast<std::int64_t>(eval_.cache_hits());
+    s.windows = windows_;
+    s.brent_iterations = brent_iterations_;
+    s.legacy_fallbacks = legacy_fallbacks_;
+    return s;
+  }
+
+ private:
+  /// Polish the crossing.  With the default window ratio the bracket from
+  /// the grid scan always sits above ~0.25 t_max of its window, where the
+  /// window contour is accurate enough to seed the per-t refinement — so
+  /// the root is brent-solved on it with zero extra transfer evaluations
+  /// and then converged onto the legacy integrand.  Deeper brackets (large
+  /// custom window ratios) and boundary straddles get a fresh contour
+  /// anchored at the bracket top, where the bracket is re-verified and
+  /// widened by grid steps if the coarser window misplaced it.
+  std::optional<double> polish(const rlc::laplace::TalbotContour* window,
+                               double ga_win, double gb_win, double a,
+                               double b, double gstep, double lo, double hi,
+                               double tau_scale, double f) {
+    if (window != nullptr && b >= 0.25 * window->t_max() && ga_win <= 0.0 &&
+        gb_win >= 0.0) {
+      const auto r = rlc::math::brent_root(
+          [&](double t) { return window->eval(t) - f; }, a, b,
+          1e-4 * tau_scale);
+      brent_iterations_ += r.iterations;
+      if (r.converged) return refine_per_t(*window, r.x, lo, hi, tau_scale, f);
+      // fall through to the fresh-contour attempts
+    }
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      const rlc::laplace::TalbotContour c(F_, b, opts_.window_points);
+      ++windows_;
+      const double ga = c.eval(a) - f;
+      const double gb = c.eval(b) - f;
+      if (ga <= 0.0 && gb >= 0.0) {
+        const auto r = rlc::math::brent_root(
+            [&](double t) { return c.eval(t) - f; }, a, b,
+            1e-4 * tau_scale);
+        brent_iterations_ += r.iterations;
+        if (r.converged) return refine_per_t(c, r.x, lo, hi, tau_scale, f);
+        break;
+      }
+      const double a_prev = a, b_prev = b;
+      if (ga > 0.0) a = std::max(lo, a / gstep);
+      if (gb < 0.0) b = std::min(hi, b * gstep);
+      if (a == a_prev && b == b_prev) break;  // pinned at the search edges
+    }
+    ++legacy_fallbacks_;
+    return legacy_threshold(tau_scale, f);
+  }
+
+  /// Converge the contour root onto the per-t integrand the legacy path
+  /// bisects.  On ringing (inductive) responses the shared-contour value
+  /// near the root can disagree with the per-t inversion by ~1e-3, so the
+  /// contour root alone would eat the whole accuracy budget; a few
+  /// fixed-slope Newton steps on talbot_invert itself close that gap to
+  /// root-finder precision.  The slope comes from the cached contour
+  /// (relative accuracy ~1e-3 there is ample for Newton), so each step
+  /// costs exactly one per-t inversion.
+  double refine_per_t(const rlc::laplace::TalbotContour& c, double t0,
+                      double lo, double hi, double tau_scale, double f) {
+    const double dt = 1e-3 * t0;
+    const double t_up = std::min(t0 + dt, c.t_max());
+    const double t_dn = t0 - dt;
+    const double slope = (c.eval(t_up) - c.eval(t_dn)) / (t_up - t_dn);
+    if (!std::isfinite(slope) || !(slope > 0.0)) return t0;
+    double t = t0, t_best = t0;
+    double g_best = std::numeric_limits<double>::infinity();
+    for (int i = 0; i < 3; ++i) {
+      const double g =
+          rlc::laplace::talbot_invert(F_, t, opts_.talbot_points) - f;
+      if (!(std::abs(g) < g_best)) break;  // stalled: keep the best point
+      g_best = std::abs(g);
+      t_best = t;
+      const double step = g / slope;
+      t = std::clamp(t - step, lo, hi);
+      // Each step shrinks the error ~1e3-fold (the slope is ~1e-3
+      // accurate), so a sub-1e-6 step leaves ~1e-9 relative error.
+      if (std::abs(step) <= 1e-6 * tau_scale) {
+        t_best = t;
+        break;
+      }
+    }
+    return t_best;
+  }
+
+  rlc::tline::TransferEvaluator eval_;
+  rlc::laplace::LaplaceFn F_;
+  ExactOptions opts_;
+  std::int64_t windows_ = 0;
+  std::int64_t brent_iterations_ = 0;
+  std::int64_t legacy_fallbacks_ = 0;
+};
 
 }  // namespace
 
@@ -27,29 +268,43 @@ std::vector<double> exact_step_response(const tline::LineParams& line,
                                      talbot_points);
 }
 
+std::vector<double> exact_step_response_windowed(
+    const tline::LineParams& line, double h, const tline::DriverLoad& dl,
+    const std::vector<double>& times, const ExactOptions& opts,
+    ExactStats* stats) {
+  line.validate();
+  validate_options(opts, /*threshold_path=*/false);
+  WaveformEngine engine(line, h, dl, opts);
+  auto out = engine.sample(times);
+  if (stats) *stats += engine.stats();
+  return out;
+}
+
+std::optional<double> exact_threshold_delay(const tline::LineParams& line,
+                                            double h,
+                                            const tline::DriverLoad& dl,
+                                            double tau_scale, double f,
+                                            const ExactOptions& opts,
+                                            ExactStats* stats) {
+  line.validate();
+  validate_threshold_args(tau_scale, f);
+  validate_options(opts, /*threshold_path=*/!opts.legacy_bisection);
+  WaveformEngine engine(line, h, dl, opts);
+  const auto out = opts.legacy_bisection
+                       ? engine.legacy_threshold(tau_scale, f)
+                       : engine.threshold(tau_scale, f);
+  if (stats) *stats += engine.stats();
+  return out;
+}
+
 std::optional<double> exact_threshold_delay(const tline::LineParams& line,
                                             double h,
                                             const tline::DriverLoad& dl,
                                             double tau_scale, double f,
                                             int talbot_points) {
-  line.validate();
-  if (!(f > 0.0 && f < 1.0)) {
-    throw std::domain_error("exact_threshold_delay: f must be in (0, 1)");
-  }
-  if (!(tau_scale > 0.0)) {
-    throw std::domain_error("exact_threshold_delay: tau_scale must be > 0");
-  }
-  const auto F = step_transform(line, h, dl);
-  const auto v = [&](double t) {
-    return rlc::laplace::talbot_invert(F, t, talbot_points);
-  };
-  double lo = 0.02 * tau_scale, hi = 8.0 * tau_scale;
-  if (v(lo) > f || v(hi) < f) return std::nullopt;
-  for (int i = 0; i < 60; ++i) {
-    const double mid = 0.5 * (lo + hi);
-    (v(mid) < f ? lo : hi) = mid;
-  }
-  return 0.5 * (lo + hi);
+  ExactOptions opts;
+  opts.talbot_points = talbot_points;
+  return exact_threshold_delay(line, h, dl, tau_scale, f, opts);
 }
 
 std::optional<double> exact_threshold_delay(const Technology& tech, double l,
@@ -57,6 +312,77 @@ std::optional<double> exact_threshold_delay(const Technology& tech, double l,
                                             double tau_scale, double f) {
   return exact_threshold_delay(tech.line(l), h, tech.rep.scaled(k), tau_scale,
                                f);
+}
+
+std::optional<double> exact_threshold_delay(const Technology& tech, double l,
+                                            double h, double k,
+                                            double tau_scale, double f,
+                                            const ExactOptions& opts,
+                                            ExactStats* stats) {
+  return exact_threshold_delay(tech.line(l), h, tech.rep.scaled(k), tau_scale,
+                               f, opts, stats);
+}
+
+std::vector<std::optional<double>> exact_sweep(
+    const std::vector<ExactSweepTask>& tasks, const ExactSweepOptions& opts) {
+  struct TaskOut {
+    std::optional<double> delay;
+    ExactStats stats;
+    double wall = 0.0;
+  };
+  const auto run_one = [&opts](const ExactSweepTask& task) {
+    rlc::exec::StopWatch sw;
+    TaskOut out;
+    out.delay = exact_threshold_delay(task.line, task.h, task.dl,
+                                      task.tau_scale, opts.f, opts.exact,
+                                      &out.stats);
+    out.wall = sw.seconds();
+    return out;
+  };
+  std::vector<TaskOut> outs;
+  if (opts.parallel && tasks.size() > 1) {
+    auto& pool = opts.pool ? *opts.pool : rlc::exec::default_pool();
+    outs = rlc::exec::parallel_map(pool, tasks, run_one);
+  } else {
+    outs.reserve(tasks.size());
+    for (const auto& t : tasks) outs.push_back(run_one(t));
+  }
+  std::vector<std::optional<double>> delays;
+  delays.reserve(outs.size());
+  for (const auto& o : outs) {
+    if (opts.counters) {
+      opts.counters->record_solve(o.stats.brent_iterations,
+                                  o.stats.legacy_fallbacks > 0,
+                                  !o.delay.has_value(), o.wall);
+    }
+    if (opts.stats) *opts.stats += o.stats;
+    delays.push_back(o.delay);
+  }
+  return delays;
+}
+
+std::vector<std::optional<double>> exact_sweep(
+    const Technology& tech, const std::vector<double>& ls, double h, double k,
+    const ExactSweepOptions& opts) {
+  std::vector<ExactSweepTask> tasks;
+  tasks.reserve(ls.size());
+  for (double l : ls) {
+    ExactSweepTask t;
+    t.line = tech.line(l);
+    t.h = h;
+    t.dl = tech.rep.scaled(k);
+    const auto d = segment_delay(tech.rep, t.line, h, k);
+    if (d.converged && d.tau > 0.0) {
+      t.tau_scale = d.tau;
+    } else {
+      // Elmore-style scale: driver charging plus distributed wire delay.
+      t.tau_scale =
+          t.dl.rs_eff * (t.dl.cp_eff + t.dl.cl_eff + t.line.c * h) +
+          t.line.r * h * (0.5 * t.line.c * h + t.dl.cl_eff);
+    }
+    tasks.push_back(t);
+  }
+  return exact_sweep(tasks, opts);
 }
 
 }  // namespace rlc::core

@@ -16,6 +16,14 @@ namespace rlc::laplace {
 double stehfest_invert(const std::function<double(double)>& F_real, double t,
                        int N = 14);
 
+/// Invert F on a vector of time points.  The weights are computed once and
+/// shared; each time still needs its own N real-axis samples of F (the
+/// Stehfest abscissae scale with 1/t), so this is an API-surface mirror of
+/// the windowed Talbot inverter, used as its independent cross-check.
+std::vector<double> stehfest_invert(const std::function<double(double)>& F_real,
+                                    const std::vector<double>& times,
+                                    int N = 14);
+
 /// Stehfest weights V_k for given even N (exposed for tests).
 std::vector<double> stehfest_weights(int N);
 

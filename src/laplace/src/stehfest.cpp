@@ -31,14 +31,32 @@ std::vector<double> stehfest_weights(int N) {
   return v;
 }
 
-double stehfest_invert(const std::function<double(double)>& F_real, double t,
-                       int N) {
+namespace {
+
+double stehfest_invert_with_weights(const std::function<double(double)>& F_real,
+                                    double t, const std::vector<double>& v) {
   if (!(t > 0.0)) throw std::invalid_argument("stehfest_invert: t must be > 0");
-  const auto v = stehfest_weights(N);
+  const int N = static_cast<int>(v.size()) - 1;
   const double ln2_t = std::log(2.0) / t;
   double acc = 0.0;
   for (int k = 1; k <= N; ++k) acc += v[k] * F_real(k * ln2_t);
   return acc * ln2_t;
+}
+
+}  // namespace
+
+double stehfest_invert(const std::function<double(double)>& F_real, double t,
+                       int N) {
+  return stehfest_invert_with_weights(F_real, t, stehfest_weights(N));
+}
+
+std::vector<double> stehfest_invert(const std::function<double(double)>& F_real,
+                                    const std::vector<double>& times, int N) {
+  const auto v = stehfest_weights(N);
+  std::vector<double> out;
+  out.reserve(times.size());
+  for (double t : times) out.push_back(stehfest_invert_with_weights(F_real, t, v));
+  return out;
 }
 
 }  // namespace rlc::laplace

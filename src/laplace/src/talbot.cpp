@@ -7,20 +7,61 @@
 
 namespace rlc::laplace {
 
+namespace {
+
+using cplx = std::complex<double>;
+
+/// Talbot node s_k and path weight (1 + i sigma_k) for k in [0, M);
+/// k = 0 is the real-axis point s = r with weight 1/2 (half the endpoint).
+cplx talbot_node(double r, int k, int M) {
+  if (k == 0) return cplx{r, 0.0};
+  const double theta = k * rlc::math::kPi / M;
+  const double cot = std::cos(theta) / std::sin(theta);
+  return cplx{r * theta * cot, r * theta};
+}
+
+cplx talbot_weight(int k, int M) {
+  if (k == 0) return cplx{0.5, 0.0};
+  const double theta = k * rlc::math::kPi / M;
+  const double cot = std::cos(theta) / std::sin(theta);
+  // sigma(theta) = theta + (theta*cot - 1)*cot
+  const double sigma = theta + (theta * cot - 1.0) * cot;
+  return cplx{1.0, sigma};
+}
+
+/// The r-independent part of the contour: s_k = r * base_k with
+/// base_k = theta cot(theta) + i theta, plus the path weights.  The engine
+/// builds several same-M contours per threshold solve, so cache the last M
+/// per thread and skip the trigonometry on rebuilds.
+struct ContourBasis {
+  int M = 0;
+  std::vector<cplx> base, weight;
+};
+
+const ContourBasis& contour_basis(int M) {
+  thread_local ContourBasis basis;
+  if (basis.M != M) {
+    basis.M = M;
+    basis.base.assign(1, cplx{1.0, 0.0});
+    basis.weight.assign(1, talbot_weight(0, M));
+    for (int k = 1; k < M; ++k) {
+      basis.base.push_back(talbot_node(1.0, k, M));
+      basis.weight.push_back(talbot_weight(k, M));
+    }
+  }
+  return basis;
+}
+
+}  // namespace
+
 double talbot_invert(const LaplaceFn& F, double t, int M) {
   if (!(t > 0.0)) throw std::invalid_argument("talbot_invert: t must be > 0");
   if (M < 4) throw std::invalid_argument("talbot_invert: M must be >= 4");
-  using cplx = std::complex<double>;
   const double r = 2.0 * M / (5.0 * t);
-  // theta = 0 term: s = r (real), contribution 0.5 * exp(r t) * F(r) * r.
-  double acc = 0.5 * std::exp(r * t) * F(cplx{r, 0.0}).real();
-  for (int k = 1; k < M; ++k) {
-    const double theta = k * rlc::math::kPi / M;
-    const double cot = std::cos(theta) / std::sin(theta);
-    const cplx s{r * theta * cot, r * theta};
-    // sigma(theta) = theta + (theta*cot - 1)*cot
-    const double sigma = theta + (theta * cot - 1.0) * cot;
-    const cplx amp = std::exp(s * t) * F(s) * cplx{1.0, sigma};
+  double acc = 0.0;
+  for (int k = 0; k < M; ++k) {
+    const cplx s = talbot_node(r, k, M);
+    const cplx amp = std::exp(s * t) * F(s) * talbot_weight(k, M);
     acc += amp.real();
   }
   return acc * r / M;
@@ -31,6 +72,69 @@ std::vector<double> talbot_invert(const LaplaceFn& F,
   std::vector<double> out;
   out.reserve(times.size());
   for (double t : times) out.push_back(talbot_invert(F, t, M));
+  return out;
+}
+
+TalbotContour::TalbotContour(const LaplaceFn& F, double t_max, int M) {
+  if (!(t_max > 0.0)) {
+    throw std::invalid_argument("TalbotContour: t_max must be > 0");
+  }
+  if (M < 4) throw std::invalid_argument("TalbotContour: M must be >= 4");
+  t_max_ = t_max;
+  r_ = 2.0 * M / (5.0 * t_max);
+  node_re_.reserve(M);
+  node_im_.reserve(M);
+  weight_re_.reserve(M);
+  weight_im_.reserve(M);
+  const ContourBasis& basis = contour_basis(M);
+  for (int k = 0; k < M; ++k) {
+    const cplx s = r_ * basis.base[k];
+    const cplx w = F(s) * basis.weight[k];
+    node_re_.push_back(s.real());
+    node_im_.push_back(s.imag());
+    weight_re_.push_back(w.real());
+    weight_im_.push_back(w.imag());
+  }
+}
+
+double TalbotContour::eval(double t) const {
+  // Allow a hair past t_max so root-finders can probe the upper bracket
+  // endpoint without tripping on rounding.
+  if (!(t > 0.0) || t > t_max_ * (1.0 + 1e-12)) {
+    throw std::invalid_argument("TalbotContour::eval: t outside (0, t_max]");
+  }
+  // Re(exp(s_k t) w_k) on plain doubles: exp(Re s_k t) * (cos(Im s_k t)
+  // Re w_k - sin(Im s_k t) Im w_k).  This is eval's entire cost, so keep it
+  // free of complex arithmetic.
+  double acc = 0.0;
+  const std::size_t m = weight_re_.size();
+  for (std::size_t k = 0; k < m; ++k) {
+    const double e = std::exp(node_re_[k] * t);
+    const double ph = node_im_[k] * t;
+    acc += e * (std::cos(ph) * weight_re_[k] - std::sin(ph) * weight_im_[k]);
+  }
+  return acc * r_ / static_cast<double>(m);
+}
+
+std::vector<double> talbot_invert_window(const LaplaceFn& F,
+                                         const std::vector<double>& times,
+                                         double t_max, int M, double lambda) {
+  if (!(lambda >= 1.0)) {
+    throw std::invalid_argument("talbot_invert_window: lambda must be >= 1");
+  }
+  const double t_min = t_max / lambda;
+  for (double t : times) {
+    if (!(t > 0.0) || t < t_min * (1.0 - 1e-12) ||
+        t > t_max * (1.0 + 1e-12)) {
+      throw std::invalid_argument(
+          "talbot_invert_window: every time must lie in [t_max/lambda, "
+          "t_max]");
+    }
+  }
+  const TalbotContour contour(F, t_max, M);
+  std::vector<double> out;
+  out.reserve(times.size());
+  for (double t : times) out.push_back(contour.eval(t));
   return out;
 }
 

@@ -22,6 +22,8 @@ const std::vector<double>& TransientResult::signal(
 namespace {
 
 double eval_probe(const Probe& p, const std::vector<double>& x) {
+  // Exhaustive over Probe::Kind: a probe the recorder does not understand
+  // must fail loudly, not silently record zeros.
   switch (p.kind) {
     case Probe::Kind::kNodeVoltage:
       return p.node == 0 ? 0.0 : x[p.node - 1];
@@ -30,7 +32,7 @@ double eval_probe(const Probe& p, const std::vector<double>& x) {
     case Probe::Kind::kResistorCurrent:
       return static_cast<const Resistor*>(p.device)->current(x);
   }
-  return 0.0;
+  throw std::logic_error("eval_probe: unknown probe kind '" + p.label + "'");
 }
 
 }  // namespace

@@ -1,0 +1,80 @@
+#pragma once
+
+/// \file evaluator.hpp
+/// TransferEvaluator: a per-(line, h, DriverLoad) evaluator of the exact
+/// Eq. (1) transfer function tuned for the inverse-Laplace hot path.
+///
+/// Against calling exact_transfer_dc_safe() in a loop it
+///   * hoists every s-independent invariant of the denominator at
+///     construction (driver/load products, c*h, l*h, r*h),
+///   * computes cosh(theta h) and sinh(theta h)/(theta h) from a SINGLE
+///     complex exponential instead of separate cosh + sinh calls,
+///   * memoizes H(s) by exact argument, so repeated probes at the same
+///     contour nodes (window re-anchoring, multi-threshold queries, the
+///     legacy bisection fallback) pay the transcendental cost once.
+///
+/// Results are identical to exact_transfer_dc_safe to roundoff; the test
+/// suite pins the agreement.  NOT thread-safe: the memo table is mutated on
+/// every query — give each thread its own evaluator (they are cheap).
+
+#include <complex>
+#include <cstddef>
+#include <functional>
+#include <unordered_map>
+#include <utility>
+
+#include "rlc/tline/line.hpp"
+#include "rlc/tline/transfer.hpp"
+
+namespace rlc::tline {
+
+class TransferEvaluator {
+ public:
+  /// Validates the line (LineParams::validate) and hoists the invariants.
+  TransferEvaluator(const LineParams& line, double h, const DriverLoad& dl);
+
+  /// Exact H(s), dc-safe form, memoized.
+  std::complex<double> transfer(std::complex<double> s) const;
+
+  /// Step-input transform H(s)/s (the function the Talbot inverters see).
+  std::complex<double> step(std::complex<double> s) const {
+    return transfer(s) / s;
+  }
+
+  /// Adapter for the laplace inverters (matches rlc::laplace::LaplaceFn).
+  /// The returned callable references *this — it must not outlive the
+  /// evaluator.
+  std::function<std::complex<double>(std::complex<double>)> step_fn() const {
+    return [this](std::complex<double> s) { return step(s); };
+  }
+
+  /// Fresh (non-memoized) transfer computations performed so far.
+  std::size_t evaluations() const noexcept { return evaluations_; }
+  /// Queries answered from the memo table.
+  std::size_t cache_hits() const noexcept { return cache_hits_; }
+
+ private:
+  struct KeyHash {
+    std::size_t operator()(
+        const std::pair<double, double>& k) const noexcept;
+  };
+
+  std::complex<double> compute(std::complex<double> s) const;
+
+  // Hoisted invariants of the dc-safe denominator.
+  double rs_cp_cl_ = 0.0;   ///< Rs (Cp + Cl)
+  double rs_ch_ = 0.0;      ///< Rs c h
+  double cl_ = 0.0;         ///< Cl
+  double rs_cp_cl2_ = 0.0;  ///< Rs Cp Cl
+  double ch_ = 0.0;         ///< c h
+  double lh_ = 0.0;         ///< l h
+  double rh_ = 0.0;         ///< r h
+
+  mutable std::unordered_map<std::pair<double, double>, std::complex<double>,
+                             KeyHash>
+      memo_;
+  mutable std::size_t evaluations_ = 0;
+  mutable std::size_t cache_hits_ = 0;
+};
+
+}  // namespace rlc::tline

@@ -1,0 +1,68 @@
+#include "rlc/tline/evaluator.hpp"
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+
+#include "transfer_detail.hpp"
+
+namespace rlc::tline {
+
+namespace {
+
+using cplx = std::complex<double>;
+
+}  // namespace
+
+std::size_t TransferEvaluator::KeyHash::operator()(
+    const std::pair<double, double>& k) const noexcept {
+  // Exact-bit-pattern hash; equality stays the exact double comparison, so
+  // distinct s never alias.
+  const auto a = std::bit_cast<std::uint64_t>(k.first);
+  const auto b = std::bit_cast<std::uint64_t>(k.second);
+  std::uint64_t x = a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2));
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  return static_cast<std::size_t>(x);
+}
+
+TransferEvaluator::TransferEvaluator(const LineParams& line, double h,
+                                     const DriverLoad& dl) {
+  line.validate();
+  rs_cp_cl_ = dl.rs_eff * (dl.cp_eff + dl.cl_eff);
+  rs_ch_ = dl.rs_eff * line.c * h;
+  cl_ = dl.cl_eff;
+  rs_cp_cl2_ = dl.rs_eff * dl.cp_eff * dl.cl_eff;
+  ch_ = line.c * h;
+  lh_ = line.l * h;
+  rh_ = line.r * h;
+}
+
+cplx TransferEvaluator::compute(cplx s) const {
+  // Same dc-safe form as exact_transfer_dc_safe, with the invariants hoisted
+  // and cosh/sinhc obtained from one complex exp.
+  const cplx zser_h = rh_ + s * lh_;  // (r + s l) h
+  const cplx ypar_h = s * ch_;        // s c h
+  const cplx th = std::sqrt(zser_h * ypar_h);
+  cplx ch, shc;
+  detail::cosh_sinhc(th, ch, shc);
+  const cplx denom = (1.0 + s * rs_cp_cl_) * ch + s * rs_ch_ * shc +
+                     (s * cl_ + s * s * rs_cp_cl2_) * zser_h * shc;
+  return 1.0 / denom;
+}
+
+cplx TransferEvaluator::transfer(cplx s) const {
+  const std::pair<double, double> key{s.real(), s.imag()};
+  const auto it = memo_.find(key);
+  if (it != memo_.end()) {
+    ++cache_hits_;
+    return it->second;
+  }
+  const cplx v = compute(s);
+  ++evaluations_;
+  memo_.emplace(key, v);
+  return v;
+}
+
+}  // namespace rlc::tline

@@ -4,21 +4,15 @@
 #include <stdexcept>
 
 #include "rlc/math/constants.hpp"
+#include "transfer_detail.hpp"
 
 namespace rlc::tline {
 
 namespace {
 
 using cplx = std::complex<double>;
-
-/// sinh(x)/x with a series fallback near zero.
-cplx sinhc(cplx x) {
-  if (std::abs(x) < 1e-4) {
-    const cplx x2 = x * x;
-    return 1.0 + x2 / 6.0 + x2 * x2 / 120.0;
-  }
-  return std::sinh(x) / x;
-}
+using detail::dc_safe_denominator;
+using detail::sinhc;
 
 }  // namespace
 
@@ -41,15 +35,10 @@ cplx exact_transfer_dc_safe(const LineParams& line, double h,
   // Z0 sinh(th) = (r + s l) h sinhc(th), both analytic at s = 0.
   const cplx zser = line.r + s * line.l;        // series impedance per length
   const cplx ypar = s * line.c;                 // shunt admittance per length
-  const cplx th2 = zser * ypar * h * h;         // (theta h)^2
-  const cplx th = std::sqrt(th2);
+  const cplx th = std::sqrt(zser * ypar * h * h);
   const cplx ch = std::cosh(th);
   const cplx shc = sinhc(th);
-  const cplx denom =
-      (1.0 + s * dl.rs_eff * (dl.cp_eff + dl.cl_eff)) * ch +
-      dl.rs_eff * ypar * h * shc +
-      (s * dl.cl_eff + s * s * dl.rs_eff * dl.cp_eff * dl.cl_eff) * zser * h * shc;
-  return 1.0 / denom;
+  return 1.0 / dc_safe_denominator(dl, s, zser, ypar, h, ch, shc);
 }
 
 cplx exact_transfer_skin(const LineParams& line, double h,
@@ -65,11 +54,7 @@ cplx exact_transfer_skin(const LineParams& line, double h,
   const cplx th = std::sqrt(zser * ypar) * h;
   const cplx ch = std::cosh(th);
   const cplx shc = sinhc(th);
-  const cplx denom =
-      (1.0 + s * dl.rs_eff * (dl.cp_eff + dl.cl_eff)) * ch +
-      dl.rs_eff * ypar * h * shc +
-      (s * dl.cl_eff + s * s * dl.rs_eff * dl.cp_eff * dl.cl_eff) * zser * h * shc;
-  return 1.0 / denom;
+  return 1.0 / dc_safe_denominator(dl, s, zser, ypar, h, ch, shc);
 }
 
 double skin_crossover_angular_frequency(double resistivity, double width,

@@ -1,0 +1,56 @@
+#pragma once
+
+/// \file transfer_detail.hpp
+/// Shared kernels of the Eq. (1) transfer-function implementations:
+/// the series-guarded sinh(x)/x and the singularity-free denominator
+/// assembly used by exact_transfer_dc_safe, exact_transfer_skin and the
+/// TransferEvaluator.  Internal to rlc_tline.
+
+#include <cmath>
+#include <complex>
+
+#include "rlc/tline/transfer.hpp"
+
+namespace rlc::tline::detail {
+
+using cplx = std::complex<double>;
+
+/// sinh(x)/x with a series fallback near zero (analytic at x = 0).
+inline cplx sinhc(cplx x) {
+  if (std::abs(x) < 1e-4) {
+    const cplx x2 = x * x;
+    return 1.0 + x2 / 6.0 + x2 * x2 / 120.0;
+  }
+  return std::sinh(x) / x;
+}
+
+/// cosh(x) and sinh(x)/x from a SINGLE complex exponential: e = exp(x),
+/// cosh = (e + 1/e)/2, sinh = (e - 1/e)/2, with the same series guard for
+/// sinhc near zero.  One exp instead of cosh + sinh halves the dominant
+/// transcendental cost of a transfer evaluation.
+inline void cosh_sinhc(cplx x, cplx& ch, cplx& shc) {
+  if (std::abs(x) < 1e-4) {
+    const cplx x2 = x * x;
+    ch = 1.0 + x2 / 2.0 + x2 * x2 / 24.0;
+    shc = 1.0 + x2 / 6.0 + x2 * x2 / 120.0;
+    return;
+  }
+  const cplx e = std::exp(x);
+  const cplx einv = 1.0 / e;
+  ch = 0.5 * (e + einv);
+  shc = 0.5 * (e - einv) / x;
+}
+
+/// Denominator of Eq. (1) in the singularity-free form, given the series
+/// impedance per length zser = r + s l (or its skin-corrected variant), the
+/// shunt admittance per length ypar = s c, and precomputed cosh(theta h)
+/// and sinhc(theta h).  H(s) = 1 / denominator.
+inline cplx dc_safe_denominator(const DriverLoad& dl, cplx s, cplx zser,
+                                cplx ypar, double h, cplx ch, cplx shc) {
+  return (1.0 + s * dl.rs_eff * (dl.cp_eff + dl.cl_eff)) * ch +
+         dl.rs_eff * ypar * h * shc +
+         (s * dl.cl_eff + s * s * dl.rs_eff * dl.cp_eff * dl.cl_eff) * zser *
+             h * shc;
+}
+
+}  // namespace rlc::tline::detail

@@ -50,6 +50,9 @@ double spice_delay_50(const Technology& tech, double l, double h, double k,
 }
 
 /// 50% delay from numerically inverting the EXACT transfer function (Eq. 1).
+/// Runs on the fast exact-waveform engine (the default path); the engine's
+/// agreement with the legacy per-t bisection is pinned in tests/core, so
+/// the three-stack comparison below also vouches for the engine.
 double exact_delay_50(const Technology& tech, double l, double h, double k) {
   const auto est = rlc::core::segment_delay(tech.rep, tech.line(l), h, k);
   return rlc::core::exact_threshold_delay(tech, l, h, k, est.tau).value_or(-1.0);

@@ -3,7 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <complex>
 #include <numeric>
+#include <vector>
+
+#include "rlc/laplace/talbot.hpp"
 
 namespace rlc::laplace {
 namespace {
@@ -56,6 +60,44 @@ TEST(Stehfest, KnownWeaknessOnOscillatoryResponses) {
 TEST(Stehfest, InputValidation) {
   const auto F = [](double s) { return 1.0 / s; };
   EXPECT_THROW(stehfest_invert(F, 0.0), std::invalid_argument);
+}
+
+TEST(Stehfest, MultiTimeOverloadMatchesScalar) {
+  const double a = 2.0;
+  const auto F = [a](double s) { return 1.0 / (s + a); };
+  const std::vector<double> times{0.1, 0.5, 1.0, 2.0};
+  const auto v = stehfest_invert(F, times, 14);
+  ASSERT_EQ(v.size(), times.size());
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    EXPECT_DOUBLE_EQ(v[i], stehfest_invert(F, times[i], 14)) << times[i];
+  }
+  const auto empty = stehfest_invert(F, std::vector<double>{}, 14);
+  EXPECT_TRUE(empty.empty());
+}
+
+TEST(Stehfest, CrossChecksWindowedTalbotOnSmoothResponse) {
+  // Independent-method agreement: Gaver-Stehfest (real-axis samples) and
+  // the shared-contour Talbot window must agree on a smooth RC-style step
+  // response.  This guards both inverters at once — a systematic error in
+  // either would break the match.
+  const double a = 5.0;
+  const auto F_real = [a](double s) { return a / (s * (s + a)); };
+  const rlc::laplace::LaplaceFn F_cplx = [a](std::complex<double> s) {
+    return a / (s * (s + a));
+  };
+  const double t_max = 1.6, lambda = 4.0;
+  std::vector<double> times;
+  for (int i = 0; i <= 8; ++i) {
+    times.push_back(t_max / lambda * std::pow(lambda, i / 8.0));
+  }
+  const auto stehfest = stehfest_invert(F_real, times, 14);
+  const auto talbot = talbot_invert_window(F_cplx, times, t_max, 48, lambda);
+  ASSERT_EQ(stehfest.size(), talbot.size());
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    EXPECT_NEAR(stehfest[i], talbot[i], 1e-4) << "t = " << times[i];
+    EXPECT_NEAR(talbot[i], 1.0 - std::exp(-a * times[i]), 1e-6)
+        << "t = " << times[i];
+  }
 }
 
 }  // namespace

@@ -84,5 +84,92 @@ TEST(Talbot, InputValidation) {
   EXPECT_THROW(talbot_invert(F, 1.0, 2), std::invalid_argument);
 }
 
+// ---- Shared-contour window inversion (TalbotContour). ----
+
+TEST(TalbotWindow, MatchesPerTInversionAcrossTheWindow) {
+  // One contour fixed at t_max must reproduce the per-t inversion for every
+  // time in [t_max/lambda, t_max], including the window foot.
+  const double a = 3.0;
+  const LaplaceFn F = [a](cplx s) { return 1.0 / (s * (s + a)) * a; };
+  const double t_max = 2.0, lambda = 4.0;
+  std::vector<double> times;
+  for (int i = 0; i <= 16; ++i) {
+    times.push_back(t_max / lambda * std::pow(lambda, i / 16.0));
+  }
+  const auto windowed = talbot_invert_window(F, times, t_max, 48, lambda);
+  ASSERT_EQ(windowed.size(), times.size());
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    const double exact = 1.0 - std::exp(-a * times[i]);
+    EXPECT_NEAR(windowed[i], exact, 1e-6) << "t = " << times[i];
+    EXPECT_NEAR(windowed[i], talbot_invert(F, times[i], 48), 1e-6)
+        << "t = " << times[i];
+  }
+}
+
+TEST(TalbotWindow, ContourCountsCostAndEvaluates) {
+  // Construction samples F exactly M times; eval() afterwards is free of
+  // further transfer evaluations.
+  int calls = 0;
+  const LaplaceFn F = [&calls](cplx s) {
+    ++calls;
+    return 1.0 / (s + 1.0);
+  };
+  const TalbotContour contour(F, 1.0, 32);
+  EXPECT_EQ(calls, 32);
+  EXPECT_EQ(contour.points(), 32);
+  EXPECT_DOUBLE_EQ(contour.t_max(), 1.0);
+  EXPECT_NEAR(contour.eval(1.0), std::exp(-1.0), 1e-7);
+  EXPECT_NEAR(contour.eval(0.5), std::exp(-0.5), 1e-6);
+  EXPECT_EQ(calls, 32);  // eval() reused the cached samples
+}
+
+TEST(TalbotWindow, FootAccuracyDegradesGracefully) {
+  // A lambda = 4 window stays usable from top to foot.  For a smooth pole
+  // the whole window is near the double-precision saturation plateau (the
+  // top, where exp(Re s * t) roundoff amplification is largest, is a few
+  // 1e-9 at M = 48); an oscillatory F with poles off the negative real
+  // axis is where the foot visibly degrades, yet stays within ~1e-5.
+  const LaplaceFn F = [](cplx s) { return 1.0 / (s + 1.0); };
+  const TalbotContour contour(F, 4.0, 48);
+  const double err_top = std::abs(contour.eval(4.0) - std::exp(-4.0));
+  const double err_foot = std::abs(contour.eval(1.0) - std::exp(-1.0));
+  EXPECT_LT(err_top, 2e-8);
+  EXPECT_LT(err_foot, 1e-5);
+
+  // Fast damped sine: f(t) = e^{-t} sin(15t), poles at -1 +/- 15i, i.e.
+  // far off the negative real axis relative to the contour radius.  This
+  // is the regime where sharing a contour costs accuracy: the anchor time
+  // converges while the foot visibly degrades.
+  const LaplaceFn G = [](cplx s) {
+    return 15.0 / ((s + 1.0) * (s + 1.0) + 225.0);
+  };
+  const auto g = [](double t) { return std::exp(-t) * std::sin(15.0 * t); };
+  const TalbotContour osc(G, 4.0, 48);
+  const double osc_top = std::abs(osc.eval(4.0) - g(4.0));
+  const double osc_foot = std::abs(osc.eval(1.0) - g(1.0));
+  EXPECT_LT(osc_top, 0.02);
+  EXPECT_GT(osc_foot, 10.0 * osc_top);
+}
+
+TEST(TalbotWindow, RejectsTimesOutsideTheWindow) {
+  const LaplaceFn F = [](cplx s) { return 1.0 / s; };
+  // lambda < 1 is rejected outright.
+  EXPECT_THROW(talbot_invert_window(F, {1.0}, 1.0, 48, 0.5),
+               std::invalid_argument);
+  // Times below t_max/lambda or above t_max are rejected, not silently
+  // extrapolated into the inaccurate deep-foot regime.
+  EXPECT_THROW(talbot_invert_window(F, {0.1}, 1.0, 48, 4.0),
+               std::invalid_argument);
+  EXPECT_THROW(talbot_invert_window(F, {1.5}, 1.0, 48, 4.0),
+               std::invalid_argument);
+  EXPECT_NO_THROW(talbot_invert_window(F, {0.25, 1.0}, 1.0, 48, 4.0));
+  // TalbotContour itself enforces (0, t_max].
+  const TalbotContour contour(F, 1.0, 32);
+  EXPECT_THROW(contour.eval(0.0), std::invalid_argument);
+  EXPECT_THROW(contour.eval(1.1), std::invalid_argument);
+  EXPECT_THROW(TalbotContour(F, 0.0, 32), std::invalid_argument);
+  EXPECT_THROW(TalbotContour(F, 1.0, 3), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace rlc::laplace

@@ -111,5 +111,24 @@ TEST(FailurePaths, SingularTopologyThrowsCleanly) {
       std::runtime_error);
 }
 
+TEST(FailurePaths, UnknownProbeKindThrowsInsteadOfRecordingZeros) {
+  // The probe recorder's switch is exhaustive over Probe::Kind; a kind it
+  // does not understand (e.g. from a future enum grown without updating
+  // eval_probe) must fail loudly, not silently log zeros.
+  Circuit c;
+  const auto in = c.node("in"), out = c.node("out");
+  c.add_vsource("Vin", in, c.ground(), DcSpec{1.0});
+  c.add_resistor("R1", in, out, 1e3);
+  c.add_capacitor("C1", out, c.ground(), 1e-12);
+  TransientOptions o;
+  o.tstop = 1e-9;
+  o.dt = 1e-10;
+  Probe bad = Probe::node_voltage(out, "v(out)");
+  bad.kind = static_cast<Probe::Kind>(99);
+  bad.label = "bogus";
+  o.probes = {bad};
+  EXPECT_THROW(run_transient(c, o), std::logic_error);
+}
+
 }  // namespace
 }  // namespace rlc::spice

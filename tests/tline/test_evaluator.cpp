@@ -1,0 +1,85 @@
+#include "rlc/tline/evaluator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+
+#include "rlc/core/technology.hpp"
+#include "rlc/tline/transfer.hpp"
+
+namespace rlc::tline {
+namespace {
+
+using cplx = std::complex<double>;
+
+struct Case {
+  LineParams line;
+  double h;
+  DriverLoad dl;
+};
+
+Case paper_case(double l) {
+  const auto tech = rlc::core::Technology::nm250();
+  Case c;
+  c.line = tech.line(l);
+  c.h = 0.0144;
+  c.dl = tech.rep.scaled(578.0);
+  return c;
+}
+
+TEST(TransferEvaluator, MatchesDcSafeTransferEverywhere) {
+  // The hoisted-invariant + single-exp evaluation must agree with the
+  // reference exact_transfer_dc_safe to roundoff, RC and RLC alike,
+  // from near-DC to deep rolloff.
+  for (double l : {0.0, 1e-6, 5e-6}) {
+    const Case c = paper_case(l);
+    const TransferEvaluator ev(c.line, c.h, c.dl);
+    for (const cplx s : {cplx{1e-3, 0.0}, cplx{1e6, 0.0}, cplx{1e8, 5e9},
+                         cplx{0.0, 1e10}, cplx{3e9, -2e9}, cplx{1e11, 1e11}}) {
+      const cplx ref = exact_transfer_dc_safe(c.line, c.h, c.dl, s);
+      const cplx got = ev.transfer(s);
+      EXPECT_NEAR(std::abs(got - ref), 0.0, 1e-12 * std::abs(ref))
+          << "l = " << l << ", s = " << s.real() << " + " << s.imag() << "i";
+    }
+  }
+}
+
+TEST(TransferEvaluator, StepIsTransferOverS) {
+  const Case c = paper_case(1e-6);
+  const TransferEvaluator ev(c.line, c.h, c.dl);
+  const cplx s{1e8, 5e9};
+  EXPECT_EQ(ev.step(s), ev.transfer(s) / s);
+  const auto fn = ev.step_fn();
+  EXPECT_EQ(fn(s), ev.step(s));
+}
+
+TEST(TransferEvaluator, MemoizesRepeatProbes) {
+  const Case c = paper_case(1e-6);
+  const TransferEvaluator ev(c.line, c.h, c.dl);
+  const cplx s1{1e8, 5e9}, s2{2e8, -3e9};
+  const cplx first = ev.transfer(s1);
+  EXPECT_EQ(ev.evaluations(), 1u);
+  EXPECT_EQ(ev.cache_hits(), 0u);
+  // Same argument: served from the memo, bit-identical.
+  EXPECT_EQ(ev.transfer(s1), first);
+  EXPECT_EQ(ev.evaluations(), 1u);
+  EXPECT_EQ(ev.cache_hits(), 1u);
+  // New argument: fresh evaluation.
+  ev.transfer(s2);
+  EXPECT_EQ(ev.evaluations(), 2u);
+  EXPECT_EQ(ev.cache_hits(), 1u);
+  // step() routes through the same memo.
+  ev.step(s2);
+  EXPECT_EQ(ev.evaluations(), 2u);
+  EXPECT_EQ(ev.cache_hits(), 2u);
+}
+
+TEST(TransferEvaluator, ValidatesTheLine) {
+  Case c = paper_case(1e-6);
+  c.line.r = -1.0;
+  EXPECT_THROW(TransferEvaluator(c.line, c.h, c.dl), std::domain_error);
+}
+
+}  // namespace
+}  // namespace rlc::tline

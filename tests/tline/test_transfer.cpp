@@ -59,6 +59,27 @@ TEST(Transfer, ContinuousThroughSmallS) {
   EXPECT_NEAR(near0.real(), 1.0, 1e-9);
 }
 
+TEST(Transfer, DcSafeSeriesBranchMatchesClosedFormAcrossGuard) {
+  // Regression for the shared cosh/sinhc helper (transfer_detail): the
+  // series branch engages for small |theta h|.  Sweep s across the guard
+  // boundary and pin the dc-safe form against the independent ABCD cascade
+  // — a broken series expansion would show up as a jump here.
+  const Case c = paper_case(1e-6);
+  for (double mag : {1e-2, 1.0, 1e2, 1e4, 1e6}) {
+    for (const cplx dir : {cplx{1.0, 0.0}, cplx{0.6, 0.8}, cplx{0.0, 1.0}}) {
+      const cplx s = mag * dir;
+      const cplx safe = exact_transfer_dc_safe(c.line, c.h, c.dl, s);
+      const cplx abcd = abcd_transfer(c.line, c.h, c.dl, s);
+      EXPECT_NEAR(std::abs(safe - abcd), 0.0, 1e-10 * std::abs(safe))
+          << "s = " << s.real() << " + " << s.imag() << "i";
+    }
+  }
+  // And the limit itself: the series branch must hit the exact DC value.
+  EXPECT_NEAR(
+      std::abs(exact_transfer_dc_safe(c.line, c.h, c.dl, {1e-6, 0.0}) - 1.0),
+      0.0, 1e-10);
+}
+
 TEST(Transfer, MagnitudeRollsOff) {
   // |H| must decrease from 1 toward 0 along the imaginary axis (low-pass).
   const Case c = paper_case(1e-6);
