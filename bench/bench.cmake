@@ -1,35 +1,10 @@
-# Benchmark harness: one binary per paper table/figure plus solver-speed and
-# ablation benches.  Binaries land in ${CMAKE_BINARY_DIR}/bench with nothing
-# else, so `for b in build/bench/*; do $b; done` regenerates every result.
-function(rlc_add_bench name)
-  add_executable(${name} bench/${name}.cpp)
-  target_link_libraries(${name} PRIVATE
-    rlc_core rlc_exec rlc_tline rlc_laplace rlc_math rlc_linalg rlc_extract
-    rlc_spice rlc_ringosc rlc_analysis rlcopt_warnings)
-  set_target_properties(${name} PROPERTIES
-    RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
-endfunction()
-
-rlc_add_bench(table1_tech)
-rlc_add_bench(fig2_step_response)
-rlc_add_bench(fig4_lcrit)
-rlc_add_bench(fig5_hopt_ratio)
-rlc_add_bench(fig6_kopt_ratio)
-rlc_add_bench(fig7_delay_ratio)
-rlc_add_bench(fig8_variation)
-rlc_add_bench(fig9_10_waveforms)
-rlc_add_bench(fig11_period)
-rlc_add_bench(fig12_current_density)
-rlc_add_bench(ablation_pade)
-rlc_add_bench(ablation_ladder)
-rlc_add_bench(ablation_baselines)
-rlc_add_bench(ext_crosstalk)
-rlc_add_bench(ext_frequency_response)
-rlc_add_bench(ext_scaling_trend)
-rlc_add_bench(ext_skin_effect)
-
-rlc_add_bench(perf_solvers)
-target_link_libraries(perf_solvers PRIVATE benchmark::benchmark)
-
-rlc_add_bench(perf_exact)
-target_link_libraries(perf_exact PRIVATE benchmark::benchmark)
+# Experiment driver: a single rlc_run binary serving every registered
+# scenario (paper figures/table, ablations, extensions, perf studies) from
+# the rlc::scenario registry.  It lands alone in ${CMAKE_BINARY_DIR}/bench,
+# so `./build/bench/rlc_run --all --json artifacts/` regenerates every
+# result and its JSON artifact.
+add_executable(rlc_run bench/rlc_run.cpp)
+target_link_libraries(rlc_run PRIVATE
+  rlc_scenario rlc_io rlc_exec rlc_core rlcopt_warnings)
+set_target_properties(rlc_run PROPERTIES
+  RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)

@@ -1,98 +1,21 @@
 #pragma once
 
-/// Shared formatting helpers for the figure/table regeneration benches.
-/// Each bench prints the same rows/series the paper reports, with a header
-/// that states the experiment, the paper's qualitative expectation, and our
-/// measured shape.
+/// Presentation-only helpers for the rlc_run driver: banners, rules, and
+/// the renderer that turns a rlc::scenario::ScenarioResult into the human
+/// tables the figure benches used to print.  Everything computational lives
+/// in src/scenario (specs, sweep grids, scenario bodies) and src/io (JSON);
+/// this header owns no experiment definitions.
 
+#include <algorithm>
+#include <cctype>
 #include <cstdio>
 #include <string>
-#include <utility>
 #include <vector>
 
 #include "rlc/exec/counters.hpp"
-#include "rlc/exec/thread_pool.hpp"
+#include "rlc/scenario/result.hpp"
 
 namespace bench {
-
-/// Minimal ordered JSON object builder for the machine-readable bench
-/// artifacts (BENCH_*.json).  Keys keep insertion order; values are
-/// rendered on insertion, so nesting is by composing builders.  No escaping
-/// beyond quotes/backslashes — keys and strings here are plain ASCII
-/// identifiers.
-class Json {
- public:
-  Json& set(const std::string& key, double v) {
-    char buf[40];
-    std::snprintf(buf, sizeof buf, "%.17g", v);
-    return raw(key, buf);
-  }
-  Json& set(const std::string& key, long long v) {
-    return raw(key, std::to_string(v));
-  }
-  Json& set(const std::string& key, int v) {
-    return raw(key, std::to_string(v));
-  }
-  Json& set(const std::string& key, bool v) {
-    return raw(key, v ? "true" : "false");
-  }
-  Json& set(const std::string& key, const std::string& v) {
-    return raw(key, "\"" + escaped(v) + "\"");
-  }
-  Json& set(const std::string& key, const char* v) {
-    return set(key, std::string(v));
-  }
-  Json& set(const std::string& key, const Json& nested) {
-    return raw(key, nested.str());
-  }
-  Json& set(const std::string& key, const std::vector<Json>& arr) {
-    std::string s = "[";
-    for (std::size_t i = 0; i < arr.size(); ++i) {
-      if (i) s += ", ";
-      s += arr[i].str();
-    }
-    return raw(key, s + "]");
-  }
-
-  std::string str() const {
-    std::string s = "{";
-    for (std::size_t i = 0; i < fields_.size(); ++i) {
-      if (i) s += ", ";
-      s += "\"" + fields_[i].first + "\": " + fields_[i].second;
-    }
-    return s + "}";
-  }
-
- private:
-  static std::string escaped(const std::string& v) {
-    std::string out;
-    for (char c : v) {
-      if (c == '"' || c == '\\') out += '\\';
-      out += c;
-    }
-    return out;
-  }
-  Json& raw(const std::string& key, std::string rendered) {
-    fields_.emplace_back(key, std::move(rendered));
-    return *this;
-  }
-  std::vector<std::pair<std::string, std::string>> fields_;
-};
-
-/// Write a JSON document to `path`; returns false (with a note on stderr)
-/// on I/O failure so benches can keep printing their tables regardless.
-inline bool write_json_file(const std::string& path, const Json& j) {
-  std::FILE* fp = std::fopen(path.c_str(), "w");
-  if (!fp) {
-    std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
-    return false;
-  }
-  const std::string s = j.str();
-  const bool ok = std::fwrite(s.data(), 1, s.size(), fp) == s.size() &&
-                  std::fputc('\n', fp) != EOF;
-  std::fclose(fp);
-  return ok;
-}
 
 inline void banner(const std::string& id, const std::string& title) {
   std::printf("\n================================================================================\n");
@@ -106,23 +29,78 @@ inline void rule() {
   std::printf("--------------------------------------------------------------------------------\n");
 }
 
-/// Sweep of per-unit-length inductance 0..5 nH/mm (the paper's range).
-inline std::vector<double> inductance_sweep(int n_points) {
-  std::vector<double> ls;
-  ls.reserve(n_points + 1);
-  for (int i = 0; i <= n_points; ++i) {
-    ls.push_back(5.0e-6 * i / n_points);  // H/m
-  }
-  return ls;
+/// Render one cell to text (%.6g for numbers, verbatim for labels).
+inline std::string cell_text(const rlc::scenario::Value& v) {
+  if (v.kind == rlc::scenario::Value::kText) return v.text;
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6g", v.number);
+  return buf;
 }
 
-inline double to_nH_per_mm(double l_si) { return l_si * 1e6; }
+/// Print a ScenarioResult table with per-column widths sized to fit the
+/// header and every cell.
+inline void print_table(const rlc::scenario::Table& t) {
+  if (!t.title.empty()) std::printf("%s\n", t.title.c_str());
+  std::vector<std::size_t> width(t.columns.size());
+  std::vector<std::vector<std::string>> cells;
+  for (std::size_t c = 0; c < t.columns.size(); ++c) {
+    width[c] = t.columns[c].size();
+  }
+  cells.reserve(t.rows.size());
+  for (const auto& row : t.rows) {
+    std::vector<std::string> r;
+    r.reserve(row.size());
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      r.push_back(cell_text(row[c]));
+      width[c] = std::max(width[c], r.back().size());
+    }
+    cells.push_back(std::move(r));
+  }
+  for (std::size_t c = 0; c < t.columns.size(); ++c) {
+    std::printf("%s%*s", c ? "  " : "", static_cast<int>(width[c]),
+                t.columns[c].c_str());
+  }
+  std::printf("\n");
+  rule();
+  for (const auto& r : cells) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      std::printf("%s%*s", c ? "  " : "", static_cast<int>(width[c]),
+                  r[c].c_str());
+    }
+    std::printf("\n");
+  }
+}
 
-/// Print the per-sweep solver statistics accumulated by the bench's
-/// parallel sweeps, plus the pool concurrency they ran at.
-inline void solver_summary(const rlc::exec::Counters& counters) {
-  std::printf("%s | threads %zu\n", counters.summary().c_str(),
-              rlc::exec::default_pool().size());
+/// Render a full scenario result: banner, tables, metrics, notes, and the
+/// solver-counter / wall-time footer.
+inline void print_result(const rlc::scenario::ScenarioResult& res) {
+  std::string id = res.name;
+  std::transform(id.begin(), id.end(), id.begin(),
+                 [](unsigned char ch) { return std::toupper(ch); });
+  banner(id, res.title);
+  if (!res.error.empty()) {
+    std::printf("ERROR: %s\n", res.error.c_str());
+    return;
+  }
+  for (const auto& t : res.tables) {
+    std::printf("\n");
+    print_table(t);
+  }
+  if (!res.metrics.empty()) {
+    std::printf("\n");
+    for (const auto& m : res.metrics) {
+      std::printf("  %s = %.6g\n", m.name.c_str(), m.value);
+    }
+  }
+  if (!res.notes.empty()) std::printf("\n");
+  for (const auto& n : res.notes) note(n);
+  rule();
+  if (res.counters.tasks > 0) {
+    std::printf("%s\n",
+                rlc::exec::Counters::summary(res.counters).c_str());
+  }
+  std::printf("[%s] threads %d | wall %.3f s%s\n", res.name.c_str(),
+              res.threads, res.wall_seconds, res.spec.quick ? " | quick" : "");
 }
 
 }  // namespace bench

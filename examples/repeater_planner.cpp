@@ -3,31 +3,50 @@
 /// repeaters, size, segment length) and report the delay exposure across the
 /// inductance range — the Section 3.2 workflow as a tool.
 ///
+/// The inductance range is a rlc::scenario::SweepSpec — the same grid
+/// definition the rlc_run experiments use — and the node resolves through
+/// rlc::scenario::technology_by_name, so interpolated nodes ("180nm") work.
+///
 ///   $ ./repeater_planner [route_mm] [lmin_nH_mm] [lmax_nH_mm] [node]
 ///   $ ./repeater_planner 45 0.5 2.5 100
 
 #include <cstdio>
 #include <cstdlib>
 #include <cmath>
+#include <exception>
 #include <string>
 
 #include "rlc/core/elmore.hpp"
 #include "rlc/core/lcrit.hpp"
 #include "rlc/core/optimizer.hpp"
+#include "rlc/scenario/spec.hpp"
 
 int main(int argc, char** argv) {
   using namespace rlc::core;
+  namespace scn = rlc::scenario;
 
   const double route_mm = argc > 1 ? std::atof(argv[1]) : 45.0;
   const double lmin = (argc > 2 ? std::atof(argv[2]) : 0.5) * 1e-6;
   const double lmax = (argc > 3 ? std::atof(argv[3]) : 2.5) * 1e-6;
-  const std::string node = argc > 4 ? argv[4] : "100";
-  const Technology tech =
-      node == "250" ? Technology::nm250() : Technology::nm100();
+
+  scn::ScenarioSpec spec;
+  spec.scenario = "repeater_planner";
+  spec.sweep = scn::SweepSpec{lmin, lmax, 9, {}};
+  if (argc > 4) spec.technology = argv[4];
+
+  Technology tech;
+  try {
+    spec.validate();
+    tech = scn::technology_by_name(spec.technology);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "repeater_planner: %s\n", e.what());
+    return 2;
+  }
   const double route = route_mm * 1e-3;
 
   std::printf("Route: %.1f mm on %s top metal; inductance range %.2f-%.2f nH/mm\n\n",
-              route_mm, tech.name.c_str(), lmin * 1e6, lmax * 1e6);
+              route_mm, tech.name.c_str(), scn::to_nH_per_mm(lmin),
+              scn::to_nH_per_mm(lmax));
 
   // Plan for the middle of the inductance range.
   const double l_design = 0.5 * (lmin + lmax);
@@ -40,7 +59,7 @@ int main(int argc, char** argv) {
   const int n_stages = std::max(1, static_cast<int>(std::lround(route / opt.h)));
   const double h_actual = route / n_stages;
 
-  std::printf("Plan (designed at l = %.2f nH/mm):\n", l_design * 1e6);
+  std::printf("Plan (designed at l = %.2f nH/mm):\n", scn::to_nH_per_mm(l_design));
   std::printf("  repeaters:        %d (one per %.2f mm segment)\n", n_stages,
               h_actual * 1e3);
   std::printf("  repeater size:    %.0f x minimum\n", opt.k);
@@ -50,18 +69,18 @@ int main(int argc, char** argv) {
   std::printf("\nDelay exposure across the inductance range (fixed plan):\n");
   std::printf("%12s %14s %16s %14s\n", "l (nH/mm)", "delay (ps)",
               "vs re-optimized", "damping");
-  for (int i = 0; i <= 8; ++i) {
-    const double l = lmin + (lmax - lmin) * i / 8.0;
+  for (const double l : spec.sweep.values()) {
     const double dpl =
         delay_per_length(tech.rep, tech.line(l), h_actual, opt.k);
     const OptimResult re = optimize_rlc(tech, l);
     const double lc = critical_inductance(tech, h_actual, opt.k);
-    std::printf("%12.2f %14.1f %+15.1f%% %14s\n", l * 1e6, 1e12 * dpl * route,
+    std::printf("%12.2f %14.1f %+15.1f%% %14s\n", scn::to_nH_per_mm(l),
+                1e12 * dpl * route,
                 100.0 * (dpl / re.delay_per_length - 1.0),
                 l > lc ? "underdamped" : "overdamped");
   }
   std::printf("\nSegments become underdamped above l_crit = %.2f nH/mm: expect\n"
               "overshoot/undershoot there (see signal_integrity_check).\n",
-              critical_inductance(tech, h_actual, opt.k) * 1e6);
+              scn::to_nH_per_mm(critical_inductance(tech, h_actual, opt.k)));
   return 0;
 }

@@ -2,27 +2,46 @@
 /// repeater area can be saved by backing off from the delay-optimal buffer
 /// size — the practical question downstream of the paper's optimizer.
 ///
+/// The request is expressed as a rlc::scenario::ScenarioSpec, the same typed
+/// spec the rlc_run experiments use, so any technology id the scenario layer
+/// resolves works here ("250", "100", or an interpolated node like "180nm").
+///
 ///   $ ./tradeoff_explorer [l_nH_mm] [node]
-///   $ ./tradeoff_explorer 1.5 100
+///   $ ./tradeoff_explorer 1.5 180nm
 
 #include <cstdio>
 #include <cstdlib>
+#include <exception>
 #include <string>
 
 #include "rlc/core/tradeoff.hpp"
+#include "rlc/scenario/spec.hpp"
 
 int main(int argc, char** argv) {
   using namespace rlc::core;
+  namespace scn = rlc::scenario;
 
+  scn::ScenarioSpec spec;
+  spec.scenario = "tradeoff_explorer";
   const double l = (argc > 1 ? std::atof(argv[1]) : 1.5) * 1e-6;
-  const std::string node = argc > 2 ? argv[2] : "100";
-  const Technology tech =
-      node == "250" ? Technology::nm250() : Technology::nm100();
+  spec.sweep = scn::SweepSpec{l, l, 1, {}};
+  if (argc > 2) spec.technology = argv[2];
+
+  Technology tech;
+  try {
+    spec.validate();
+    tech = scn::technology_by_name(spec.technology);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "tradeoff_explorer: %s\n", e.what());
+    return 2;
+  }
 
   std::printf("Delay/energy/area trade-off, %s, l = %.2f nH/mm "
-              "(inductance-aware sizing)\n\n", tech.name.c_str(), l * 1e6);
+              "(inductance-aware sizing)\n\n",
+              tech.name.c_str(), scn::to_nH_per_mm(l));
 
-  const auto pts = delay_energy_tradeoff(tech, l, 12, 0.15);
+  const auto pts = delay_energy_tradeoff(tech, spec.sweep.values().front(),
+                                         12, 0.15);
   if (pts.empty()) {
     std::fprintf(stderr, "trade-off sweep failed\n");
     return 1;

@@ -1,0 +1,179 @@
+#!/usr/bin/env python3
+"""Validate the BENCH_<name>.json artifacts rlc_run --json emits.
+
+Checks two layers:
+  1. the schema-2 envelope for EVERY artifact (field types, rectangular
+     tables, finite numbers, embedded spec),
+  2. per-scenario physics invariants for the experiments whose shape the
+     paper pins down (fig4, fig7, table1, perf_exact, ...).
+
+Usage: validate_bench_json.py ARTIFACT_DIR
+Exits non-zero listing every violation; prints a one-line summary on success.
+"""
+
+import json
+import math
+import sys
+from pathlib import Path
+
+SCHEMA_VERSION = 2
+
+# Every scenario rlc_run --all must have produced an artifact for.  This is
+# the same retirement contract as tests/scenario/test_registry.cpp.
+EXPECTED_SCENARIOS = [
+    "table1", "fig2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9_10",
+    "fig11", "fig12", "ablation_pade", "ablation_ladder",
+    "ablation_baselines", "ext_crosstalk", "ext_frequency_response",
+    "ext_scaling_trend", "ext_skin_effect", "perf_solvers", "perf_exact",
+]
+
+errors = []
+
+
+def err(name, message):
+    errors.append(f"{name}: {message}")
+
+
+def numbers(table, col):
+    """Numeric cells of a column (by index), skipping text cells."""
+    return [row[col] for row in table["rows"]
+            if isinstance(row[col], (int, float)) and not isinstance(row[col], bool)]
+
+
+def check_envelope(name, d):
+    if d.get("schema") != SCHEMA_VERSION:
+        err(name, f"schema {d.get('schema')!r} != {SCHEMA_VERSION}")
+    if d.get("bench") != name:
+        err(name, f"bench {d.get('bench')!r} != file stem {name!r}")
+    if d.get("error"):
+        err(name, f"scenario errored: {d['error']}")
+        return
+    for key, kind in (("title", str), ("quick", bool), ("threads", int),
+                      ("wall_seconds", (int, float)), ("spec", dict),
+                      ("counters", dict), ("tables", list),
+                      ("metrics", dict), ("notes", list)):
+        if not isinstance(d.get(key), kind):
+            err(name, f"field {key!r} missing or not {kind}")
+    if errors and errors[-1].startswith(name + ":"):
+        return  # shape already broken; skip the deep checks
+
+    if d["spec"].get("scenario") != name:
+        err(name, f"spec.scenario {d['spec'].get('scenario')!r} != {name!r}")
+    if d["threads"] < 1 or d["wall_seconds"] < 0:
+        err(name, "threads/wall_seconds out of range")
+    if d["counters"].get("tasks", 0) < 0:
+        err(name, "negative counters.tasks")
+
+    for t in d["tables"]:
+        cols = t.get("columns", [])
+        if not t.get("title") or not cols:
+            err(name, "table without title/columns")
+        if not t.get("rows"):
+            err(name, f"table {t.get('title')!r} has no rows")
+        for row in t.get("rows", []):
+            if len(row) != len(cols):
+                err(name, f"ragged row in table {t.get('title')!r}")
+            for cell in row:
+                if isinstance(cell, bool) or (
+                        isinstance(cell, (int, float))
+                        and not math.isfinite(cell)):
+                    err(name, f"non-finite/bool cell in {t.get('title')!r}")
+    for key, value in d["metrics"].items():
+        if not isinstance(value, (int, float)) or isinstance(value, bool) \
+                or not math.isfinite(value):
+            err(name, f"metric {key!r} not a finite number")
+
+
+def check_invariants(name, d):
+    tables, metrics = d["tables"], d["metrics"]
+    if name == "table1":
+        # Paper Table 1: h_optRC 14.40 mm (250nm) / 11.10 mm (100nm).
+        for key, want in (("h_optRC_250nm_mm", 14.40),
+                          ("h_optRC_100nm_mm", 11.10)):
+            got = metrics.get(key)
+            if got is None or abs(got - want) > 0.01 * want:
+                err(name, f"{key} = {got} not within 1% of {want}")
+    elif name == "fig4":
+        # l_crit positive everywhere; the 100nm curve below the 250nm one.
+        for c250, c100 in zip(numbers(tables[0], 1), numbers(tables[0], 2)):
+            if not (0 < c100 < c250):
+                err(name, f"expected 0 < lcrit_100nm < lcrit_250nm, "
+                          f"got {c100} vs {c250}")
+                break
+    elif name == "fig7":
+        # Ratios are normalized to the l = 0 row and grow monotonically.
+        for col in (1, 2, 3):
+            series = numbers(tables[0], col)
+            if abs(series[0] - 1.0) > 1e-12:
+                err(name, f"column {col} not normalized: first = {series[0]}")
+            if any(b < a - 1e-12 for a, b in zip(series, series[1:])):
+                err(name, f"column {col} not monotonically increasing")
+    elif name == "fig5":
+        # Optimal segment length grows with inductance (paper Figure 5).
+        for col in (1, 2):
+            series = numbers(tables[0], col)
+            if any(b < a - 1e-9 for a, b in zip(series, series[1:])):
+                err(name, f"column {col} should be non-decreasing")
+    elif name == "fig6":
+        # Optimal repeater size shrinks with inductance (paper Figure 6).
+        for col in (1, 2):
+            series = numbers(tables[0], col)
+            if any(b > a + 1e-9 for a, b in zip(series, series[1:])):
+                err(name, f"column {col} should be non-increasing")
+    elif name == "fig9_10":
+        # Inductance worsens the inverter input excursions (Figures 9/10).
+        if not (0 < metrics.get("period_ratio", -1)):
+            err(name, "period_ratio should be positive")
+        if metrics.get("input_overshoot_V_1", 0) <= \
+                metrics.get("input_overshoot_V_0", math.inf):
+            err(name, "higher-inductance ring should overshoot more")
+    elif name == "ablation_pade":
+        # The two-pole model degrades with l but stays a usable delay model
+        # over the paper's 0-5 nH/mm range (worst case ~14% at l = 5).
+        worst = max(v for k, v in metrics.items()
+                    if k.startswith("max_abs_err_pct"))
+        if worst > 25.0:
+            err(name, f"two-pole delay error {worst}% vs exact exceeds 25%")
+    elif name == "perf_exact":
+        # Accuracy is a hard invariant; speedups are advisory because CI
+        # runs every scenario concurrently with --all.
+        budget = metrics.get("rel_err_budget", 1e-3)
+        if metrics.get("max_rel_err", math.inf) > budget:
+            err(name, f"max_rel_err {metrics.get('max_rel_err')} "
+                      f"exceeds budget {budget}")
+
+
+def main():
+    if len(sys.argv) != 2:
+        sys.exit(__doc__)
+    art_dir = Path(sys.argv[1])
+    found = {p.stem.removeprefix("BENCH_"): p
+             for p in sorted(art_dir.glob("BENCH_*.json"))}
+    for name in EXPECTED_SCENARIOS:
+        if name not in found:
+            err(name, "artifact missing")
+    for name in found:
+        if name not in EXPECTED_SCENARIOS:
+            err(name, "unexpected artifact (extend EXPECTED_SCENARIOS?)")
+
+    for name, path in found.items():
+        try:
+            d = json.loads(path.read_text())
+        except json.JSONDecodeError as e:
+            err(name, f"invalid JSON: {e}")
+            continue
+        before = len(errors)
+        check_envelope(name, d)
+        if len(errors) == before and name in EXPECTED_SCENARIOS:
+            check_invariants(name, d)
+
+    if errors:
+        for e in errors:
+            print(f"FAIL {e}", file=sys.stderr)
+        sys.exit(1)
+    print(f"ok: {len(found)} artifacts valid "
+          f"(schema {SCHEMA_VERSION}, all invariants hold)")
+
+
+if __name__ == "__main__":
+    main()

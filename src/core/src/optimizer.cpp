@@ -310,7 +310,10 @@ std::vector<OptimResult> optimize_rlc_sweep(const Technology& tech,
   if (n == 0) return out;
   exec::ThreadPool& pool = sweep.pool ? *sweep.pool : exec::default_pool();
   const std::size_t chunk = sweep.chunk > 0 ? sweep.chunk : 1;
-  if (!sweep.parallel || pool.size() == 1 || n <= chunk) {
+  // No pool-size shortcut here: a 1-thread pool must take the same
+  // chunk-seeded path as any other size, or results would depend on the
+  // thread count (the scenario determinism tests pin this down).
+  if (!sweep.parallel || n <= chunk) {
     continue_serially(tech, l_values, 0, n, sweep.optim, sweep.counters, out);
     return out;
   }

@@ -51,6 +51,11 @@ class Counters {
   ///   min 0.11 ms, max 0.61 ms)
   std::string summary(const std::string& label = std::string()) const;
 
+  /// Same formatting from an already-taken Snapshot — for per-scenario
+  /// aggregation where the live Counters object is gone by render time.
+  static std::string summary(const Snapshot& s,
+                             const std::string& label = std::string());
+
   void reset() noexcept;
 
  private:

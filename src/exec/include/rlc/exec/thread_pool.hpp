@@ -23,14 +23,28 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
 namespace rlc::exec {
 
+/// Upper bound accepted from RLC_NUM_THREADS: values above this are treated
+/// as configuration errors (fall back to the hardware count) rather than an
+/// instruction to spawn thousands of threads.
+inline constexpr std::size_t kMaxThreadCount = 4096;
+
+/// Parse an RLC_NUM_THREADS-style value.  Returns the thread count for a
+/// positive integer in [1, kMaxThreadCount]; returns 0 — "use the hardware
+/// count" — for null/empty/non-numeric/trailing-garbage input, zero,
+/// negative values, and overflow, appending a one-line diagnostic to
+/// `*warning` when provided.  Exposed for the regression tests.
+std::size_t parse_thread_count(const char* text, std::string* warning = nullptr);
+
 /// Thread count used by default-constructed pools: the RLC_NUM_THREADS
-/// environment variable when set to a positive integer, otherwise
+/// environment variable when set to a positive integer (validated by
+/// parse_thread_count; malformed values warn once on stderr), otherwise
 /// std::thread::hardware_concurrency() (minimum 1).
 std::size_t default_thread_count();
 

@@ -74,7 +74,10 @@ Counters::Snapshot Counters::snapshot() const noexcept {
 }
 
 std::string Counters::summary(const std::string& label) const {
-  const Snapshot s = snapshot();
+  return summary(snapshot(), label);
+}
+
+std::string Counters::summary(const Snapshot& s, const std::string& label) {
   const double iters_per_solve =
       s.tasks > 0 ? static_cast<double>(s.newton_iterations) /
                         static_cast<double>(s.tasks)

@@ -2,18 +2,45 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 #include <memory>
 
 namespace rlc::exec {
 
-std::size_t default_thread_count() {
-  if (const char* env = std::getenv("RLC_NUM_THREADS")) {
-    char* end = nullptr;
-    const long v = std::strtol(env, &end, 10);
-    if (end != env && *end == '\0' && v > 0) {
-      return static_cast<std::size_t>(v);
+std::size_t parse_thread_count(const char* text, std::string* warning) {
+  const auto reject = [&](const std::string& why) -> std::size_t {
+    if (warning) {
+      *warning = "rlc::exec: RLC_NUM_THREADS=\"" +
+                 std::string(text ? text : "") + "\" " + why +
+                 "; using hardware concurrency";
     }
+    return 0;
+  };
+  if (!text) return 0;  // unset: hardware count, no warning
+  if (*text == '\0') return reject("is empty");
+  char* end = nullptr;
+  errno = 0;
+  const long v = std::strtol(text, &end, 10);
+  if (end == text || *end != '\0') return reject("is not an integer");
+  if (errno == ERANGE) return reject("overflows");
+  if (v <= 0) return reject("is not positive");
+  if (static_cast<unsigned long>(v) > kMaxThreadCount) {
+    return reject("exceeds the " + std::to_string(kMaxThreadCount) +
+                  "-thread limit");
+  }
+  return static_cast<std::size_t>(v);
+}
+
+std::size_t default_thread_count() {
+  std::string warning;
+  const std::size_t parsed =
+      parse_thread_count(std::getenv("RLC_NUM_THREADS"), &warning);
+  if (parsed > 0) return parsed;
+  if (!warning.empty()) {
+    static std::atomic<bool> warned{false};
+    if (!warned.exchange(true)) std::fprintf(stderr, "%s\n", warning.c_str());
   }
   const unsigned hw = std::thread::hardware_concurrency();
   return hw > 0 ? static_cast<std::size_t>(hw) : 1;

@@ -1,0 +1,75 @@
+#pragma once
+
+/// \file json.hpp
+/// Minimal ordered JSON writer for the machine-readable experiment
+/// artifacts (BENCH_*.json) and the ScenarioSpec round-trip.  Promoted out
+/// of bench/bench_util.hpp so the scenario layer, the rlc_run driver, and
+/// the examples share one implementation.
+///
+/// `Json` builds an object whose keys keep insertion order; values are
+/// rendered on insertion, so nesting is by composing builders.  `JsonArray`
+/// is the matching ordered array builder (rows of mixed numbers/strings).
+/// Strings are escaped per RFC 8259: quote, backslash, and every control
+/// character below 0x20 (the named escapes \b \f \n \r \t, \u00XX for the
+/// rest).  Non-finite numbers render as `null` — JSON has no inf/nan.
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace rlc::io {
+
+/// Escape a string body per RFC 8259 (no surrounding quotes).
+std::string json_escape(const std::string& v);
+
+/// Render a double as a JSON number round-trippable to the same bits
+/// (%.17g), or `null` when non-finite.
+std::string render_number(double v);
+
+class JsonArray;
+
+class Json {
+ public:
+  Json& set(const std::string& key, double v);
+  Json& set(const std::string& key, long long v);
+  Json& set(const std::string& key, int v);
+  Json& set(const std::string& key, bool v);
+  Json& set(const std::string& key, const std::string& v);
+  Json& set(const std::string& key, const char* v);
+  Json& set(const std::string& key, const Json& nested);
+  Json& set(const std::string& key, const JsonArray& arr);
+  Json& set(const std::string& key, const std::vector<Json>& arr);
+
+  std::string str() const;
+
+ private:
+  Json& raw(const std::string& key, std::string rendered);
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+class JsonArray {
+ public:
+  JsonArray& push(double v);
+  JsonArray& push(long long v);
+  JsonArray& push(int v);
+  JsonArray& push(bool v);
+  JsonArray& push(const std::string& v);
+  JsonArray& push(const char* v);
+  JsonArray& push(const Json& obj);
+  JsonArray& push(const JsonArray& arr);
+
+  std::size_t size() const { return items_.size(); }
+  std::string str() const;
+
+ private:
+  JsonArray& raw(std::string rendered);
+  std::vector<std::string> items_;
+};
+
+/// Write a JSON document (plus trailing newline) to `path`; returns false
+/// (with a note on stderr) on I/O failure so callers can keep rendering
+/// their human-readable output regardless.
+bool write_json_file(const std::string& path, const Json& j);
+
+}  // namespace rlc::io

@@ -1,0 +1,136 @@
+#include "rlc/io/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace rlc::io {
+
+std::string json_escape(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    switch (c) {
+      case '"':  out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b";  break;
+      case '\f': out += "\\f";  break;
+      case '\n': out += "\\n";  break;
+      case '\r': out += "\\r";  break;
+      case '\t': out += "\\t";  break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string render_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+Json& Json::set(const std::string& key, double v) {
+  return raw(key, render_number(v));
+}
+Json& Json::set(const std::string& key, long long v) {
+  return raw(key, std::to_string(v));
+}
+Json& Json::set(const std::string& key, int v) {
+  return raw(key, std::to_string(v));
+}
+Json& Json::set(const std::string& key, bool v) {
+  return raw(key, v ? "true" : "false");
+}
+Json& Json::set(const std::string& key, const std::string& v) {
+  std::string s = "\"";
+  s += json_escape(v);
+  s += '"';
+  return raw(key, std::move(s));
+}
+Json& Json::set(const std::string& key, const char* v) {
+  return set(key, std::string(v));
+}
+Json& Json::set(const std::string& key, const Json& nested) {
+  return raw(key, nested.str());
+}
+Json& Json::set(const std::string& key, const JsonArray& arr) {
+  return raw(key, arr.str());
+}
+Json& Json::set(const std::string& key, const std::vector<Json>& arr) {
+  std::string s = "[";
+  for (std::size_t i = 0; i < arr.size(); ++i) {
+    if (i) s += ", ";
+    s += arr[i].str();
+  }
+  return raw(key, s + "]");
+}
+
+std::string Json::str() const {
+  std::string s = "{";
+  for (std::size_t i = 0; i < fields_.size(); ++i) {
+    if (i) s += ", ";
+    s += '"';
+    s += json_escape(fields_[i].first);
+    s += "\": ";
+    s += fields_[i].second;
+  }
+  s += '}';
+  return s;
+}
+
+Json& Json::raw(const std::string& key, std::string rendered) {
+  fields_.emplace_back(key, std::move(rendered));
+  return *this;
+}
+
+JsonArray& JsonArray::push(double v) { return raw(render_number(v)); }
+JsonArray& JsonArray::push(long long v) { return raw(std::to_string(v)); }
+JsonArray& JsonArray::push(int v) { return raw(std::to_string(v)); }
+JsonArray& JsonArray::push(bool v) { return raw(v ? "true" : "false"); }
+JsonArray& JsonArray::push(const std::string& v) {
+  std::string s = "\"";
+  s += json_escape(v);
+  s += '"';
+  return raw(std::move(s));
+}
+JsonArray& JsonArray::push(const char* v) { return push(std::string(v)); }
+JsonArray& JsonArray::push(const Json& obj) { return raw(obj.str()); }
+JsonArray& JsonArray::push(const JsonArray& arr) { return raw(arr.str()); }
+
+std::string JsonArray::str() const {
+  std::string s = "[";
+  for (std::size_t i = 0; i < items_.size(); ++i) {
+    if (i) s += ", ";
+    s += items_[i];
+  }
+  return s + "]";
+}
+
+JsonArray& JsonArray::raw(std::string rendered) {
+  items_.push_back(std::move(rendered));
+  return *this;
+}
+
+bool write_json_file(const std::string& path, const Json& j) {
+  std::FILE* fp = std::fopen(path.c_str(), "w");
+  if (!fp) {
+    std::fprintf(stderr, "rlc::io: cannot write %s\n", path.c_str());
+    return false;
+  }
+  const std::string s = j.str();
+  const bool ok = std::fwrite(s.data(), 1, s.size(), fp) == s.size() &&
+                  std::fputc('\n', fp) != EOF;
+  std::fclose(fp);
+  return ok;
+}
+
+}  // namespace rlc::io

@@ -1,0 +1,95 @@
+#pragma once
+
+/// \file result.hpp
+/// Structured experiment output.  Scenario functions never print — they
+/// return a ScenarioResult (tables, scalar metrics, notes, solver counters,
+/// wall time), which the rlc_run driver renders as human tables via the
+/// bench formatters and serializes as a schema-versioned BENCH_<name>.json
+/// artifact.  Separating production from presentation is what lets
+/// independent scenarios run concurrently without interleaving output.
+
+#include <string>
+#include <vector>
+
+#include "rlc/exec/counters.hpp"
+#include "rlc/io/json.hpp"
+#include "rlc/scenario/spec.hpp"
+
+namespace rlc::scenario {
+
+/// Version of the BENCH_<name>.json envelope written by
+/// ScenarioResult::to_json (bumped from the ad-hoc schema 1 the old
+/// perf benches emitted).
+inline constexpr int kSchemaVersion = 2;
+
+/// One table cell: a number or a short text label (e.g. "-" for a
+/// non-converged point, a technology name in a key column).
+struct Value {
+  enum Kind { kNumber, kText };
+  Kind kind = kNumber;
+  double number = 0.0;
+  std::string text;
+
+  Value(double v) : number(v) {}                     // NOLINT(runtime/explicit)
+  Value(int v) : number(v) {}                        // NOLINT(runtime/explicit)
+  Value(long long v)                                 // NOLINT(runtime/explicit)
+      : number(static_cast<double>(v)) {}
+  Value(const char* v) : kind(kText), text(v) {}     // NOLINT(runtime/explicit)
+  Value(std::string v)                               // NOLINT(runtime/explicit)
+      : kind(kText), text(std::move(v)) {}
+};
+
+/// A rectangular table: named columns, rows of Values.
+struct Table {
+  std::string title;
+  std::vector<std::string> columns;
+  std::vector<std::vector<Value>> rows;
+
+  Table() = default;
+  Table(std::string title_, std::vector<std::string> columns_)
+      : title(std::move(title_)), columns(std::move(columns_)) {}
+
+  /// Append a row; throws std::invalid_argument on a width mismatch.
+  Table& row(std::vector<Value> cells);
+
+  io::Json to_json() const;
+};
+
+/// A named scalar result (max error, fitted exponent, speedup, ...).
+struct Metric {
+  std::string name;
+  double value = 0.0;
+};
+
+/// Everything one scenario run produced.
+struct ScenarioResult {
+  std::string name;   ///< scenario name (registry key)
+  std::string title;  ///< one-line description for banners
+  ScenarioSpec spec;  ///< the spec the run actually used
+  std::vector<Table> tables;
+  std::vector<Metric> metrics;
+  std::vector<std::string> notes;
+  exec::Counters::Snapshot counters;
+  double wall_seconds = 0.0;
+  int threads = 1;     ///< pool size the run saw
+  std::string error;   ///< non-empty: the scenario threw; everything else
+                       ///< except name/spec is unspecified
+
+  void metric(std::string n, double v) {
+    metrics.push_back({std::move(n), v});
+  }
+  void note(std::string text) { notes.push_back(std::move(text)); }
+
+  /// The schema-2 artifact envelope (see README "Machine-readable
+  /// artifacts"): schema, bench, title, quick, threads, wall_seconds,
+  /// spec{...}, counters{...}, tables[...], metrics{...}, notes[...],
+  /// and `error` when the run failed.
+  io::Json to_json() const;
+
+  /// Order-sensitive digest of every numeric cell and metric — equal
+  /// fingerprints mean bit-identical numbers.  Used by the determinism
+  /// tests (--threads 1 vs N) and the legacy-equivalence checks.
+  std::string numeric_fingerprint() const;
+};
+
+}  // namespace rlc::scenario

@@ -1,0 +1,78 @@
+#include "rlc/scenario/registry.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rlc::scenario {
+
+ScenarioRegistry& ScenarioRegistry::global() {
+  static ScenarioRegistry r;
+  return r;
+}
+
+void ScenarioRegistry::add(Scenario s) {
+  if (s.name.empty()) {
+    throw std::invalid_argument("rlc::scenario: scenario name must be set");
+  }
+  if (find(s.name) != nullptr) {
+    throw std::invalid_argument("rlc::scenario: duplicate scenario \"" +
+                                s.name + "\"");
+  }
+  if (s.defaults.scenario.empty()) s.defaults.scenario = s.name;
+  s.defaults.validate();
+  scenarios_.push_back(std::move(s));
+}
+
+const Scenario* ScenarioRegistry::find(const std::string& name) const {
+  const auto it =
+      std::find_if(scenarios_.begin(), scenarios_.end(),
+                   [&](const Scenario& s) { return s.name == name; });
+  return it == scenarios_.end() ? nullptr : &*it;
+}
+
+std::vector<std::string> ScenarioRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(scenarios_.size());
+  for (const auto& s : scenarios_) out.push_back(s.name);
+  return out;
+}
+
+void register_all_scenarios() {
+  static const bool once = [] {
+    ScenarioRegistry& r = ScenarioRegistry::global();
+    register_paper_scenarios(r);
+    register_ring_scenarios(r);
+    register_ablation_scenarios(r);
+    register_extension_scenarios(r);
+    register_perf_scenarios(r);
+    return true;
+  }();
+  (void)once;
+}
+
+ScenarioSpec quick_spec(ScenarioSpec spec) {
+  spec.quick = true;
+  if (spec.sweep.explicit_l.empty()) {
+    spec.sweep.points = std::min(spec.sweep.points, 7);
+  }
+  spec.segments_per_line = std::min(spec.segments_per_line, 8);
+  return spec;
+}
+
+ScenarioResult run_scenario(const Scenario& s, const ScenarioSpec& spec,
+                            exec::ThreadPool* pool) {
+  spec.validate();
+  exec::Counters counters;
+  ScenarioContext ctx{pool, &counters};
+  const exec::StopWatch watch;
+  ScenarioResult result = s.fn(spec, ctx);
+  result.wall_seconds = watch.seconds();
+  result.name = s.name;
+  result.title = s.title;
+  result.spec = spec;
+  result.counters = counters.snapshot();
+  result.threads = static_cast<int>(ctx.pool_ref().size());
+  return result;
+}
+
+}  // namespace rlc::scenario

@@ -1,0 +1,107 @@
+#include "rlc/scenario/result.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace rlc::scenario {
+
+Table& Table::row(std::vector<Value> cells) {
+  if (cells.size() != columns.size()) {
+    throw std::invalid_argument(
+        "rlc::scenario: table \"" + title + "\" expects " +
+        std::to_string(columns.size()) + " cells per row, got " +
+        std::to_string(cells.size()));
+  }
+  rows.push_back(std::move(cells));
+  return *this;
+}
+
+io::Json Table::to_json() const {
+  io::JsonArray cols;
+  for (const auto& c : columns) cols.push(c);
+  io::JsonArray rows_j;
+  for (const auto& r : rows) {
+    io::JsonArray row_j;
+    for (const auto& cell : r) {
+      if (cell.kind == Value::kText) {
+        row_j.push(cell.text);
+      } else {
+        row_j.push(cell.number);
+      }
+    }
+    rows_j.push(row_j);
+  }
+  io::Json j;
+  j.set("title", title);
+  j.set("columns", cols);
+  j.set("rows", rows_j);
+  return j;
+}
+
+io::Json ScenarioResult::to_json() const {
+  io::Json j;
+  j.set("schema", kSchemaVersion);
+  j.set("bench", name);
+  j.set("title", title);
+  j.set("quick", spec.quick);
+  j.set("threads", threads);
+  j.set("wall_seconds", wall_seconds);
+  j.set("spec", spec.to_json());
+
+  io::Json counters_j;
+  counters_j.set("tasks", static_cast<long long>(counters.tasks));
+  counters_j.set("newton_iterations",
+                 static_cast<long long>(counters.newton_iterations));
+  counters_j.set("fallbacks", static_cast<long long>(counters.fallbacks));
+  counters_j.set("failures", static_cast<long long>(counters.failures));
+  counters_j.set("wall_total_s", counters.wall_total_s);
+  counters_j.set("wall_min_s", counters.wall_min_s);
+  counters_j.set("wall_max_s", counters.wall_max_s);
+  j.set("counters", counters_j);
+
+  io::JsonArray tables_j;
+  for (const auto& t : tables) tables_j.push(t.to_json());
+  j.set("tables", tables_j);
+
+  io::Json metrics_j;
+  for (const auto& m : metrics) metrics_j.set(m.name, m.value);
+  j.set("metrics", metrics_j);
+
+  io::JsonArray notes_j;
+  for (const auto& n : notes) notes_j.push(n);
+  j.set("notes", notes_j);
+
+  if (!error.empty()) j.set("error", error);
+  return j;
+}
+
+std::string ScenarioResult::numeric_fingerprint() const {
+  std::string out;
+  char buf[40];
+  const auto add = [&](double v) {
+    std::snprintf(buf, sizeof buf, "%.17g;", v);
+    out += buf;
+  };
+  for (const auto& t : tables) {
+    out += t.title;
+    out += '|';
+    for (const auto& r : t.rows) {
+      for (const auto& cell : r) {
+        if (cell.kind == Value::kText) {
+          out += cell.text;
+          out += ';';
+        } else {
+          add(cell.number);
+        }
+      }
+    }
+  }
+  for (const auto& m : metrics) {
+    out += m.name;
+    out += '=';
+    add(m.value);
+  }
+  return out;
+}
+
+}  // namespace rlc::scenario

@@ -1,0 +1,236 @@
+/// Ablation scenarios (DESIGN.md): the Pade-order accuracy study, the
+/// pi-ladder discretization study, and the prior-art baselines the paper
+/// argues against.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+#include <vector>
+
+#include "rlc/core/baselines.hpp"
+#include "rlc/core/delay.hpp"
+#include "rlc/core/elmore.hpp"
+#include "rlc/core/exact_delay.hpp"
+#include "rlc/core/optimizer.hpp"
+#include "rlc/ringosc/ladder.hpp"
+#include "rlc/scenario/registry.hpp"
+#include "rlc/spice/transient.hpp"
+
+namespace rlc::scenario {
+
+namespace {
+
+using namespace rlc::core;
+
+ScenarioResult ablation_pade(const ScenarioSpec& spec, ScenarioContext& ctx) {
+  ScenarioResult res;
+  std::vector<double> ls = spec.sweep.explicit_l;
+  if (ls.empty()) ls = {0.0, 0.5e-6, 1e-6, 2e-6, 3e-6, 4e-6, 5e-6};
+  if (spec.quick) ls = {0.0, 2e-6, 5e-6};
+
+  for (const auto& tech : {Technology::nm250(), Technology::nm100()}) {
+    const auto rc = rc_optimum(tech);
+    ExactSweepOptions sweep;
+    sweep.exact = spec.exact_options();
+    sweep.f = spec.threshold;
+    sweep.parallel = spec.parallel;
+    sweep.pool = ctx.pool;
+    sweep.counters = ctx.counters;
+    const auto exact = exact_sweep(tech, ls, rc.h, rc.k, sweep);
+
+    Table t(tech.name + ": two-pole 50%-delay error vs exact Eq. (1)",
+            {"l (nH/mm)", "exact tau (ps)", "2-pole tau (ps)", "error (%)"});
+    double worst = 0.0;
+    for (std::size_t i = 0; i < ls.size(); ++i) {
+      const auto dr = segment_delay(tech.rep, tech.line(ls[i]), rc.h, rc.k,
+                                    DelayOptions{spec.threshold});
+      const double ex = exact[i].value();
+      const double err = 100.0 * (dr.tau - ex) / ex;
+      worst = std::max(worst, std::abs(err));
+      t.row({to_nH_per_mm(ls[i]), ex * 1e12, dr.tau * 1e12, err});
+    }
+    res.tables.push_back(std::move(t));
+    res.metric("max_abs_err_pct_" + tech.name, worst);
+  }
+  res.note(
+      "The two-pole model tracks the exact response to a few percent at low "
+      "l and ~10-14% at the top of the sweep (the cost of the paper's "
+      "approximation 1); the optimizer's *relative* comparisons (Figs 5-8) "
+      "are much less sensitive since both sides share the model.");
+  return res;
+}
+
+/// 50% delay of a pulse-driven driver-ladder-load segment, from the
+/// transient solver (the "SPICE measurement" of the discretization study).
+double spice_delay(const Technology& tech, double l, double h, double k,
+                   int nseg, double tau_scale) {
+  const auto dl = tech.rep.scaled(k);
+  rlc::spice::Circuit ckt;
+  const auto src = ckt.node("src"), drv = ckt.node("drv"),
+             end = ckt.node("end");
+  ckt.add_vsource("V1", src, ckt.ground(),
+                  rlc::spice::PulseSpec{0, 1, 0, 1e-14, 1e-14, 1, 0});
+  ckt.add_resistor("Rs", src, drv, dl.rs_eff);
+  ckt.add_capacitor("Cp", drv, ckt.ground(), dl.cp_eff);
+  rlc::ringosc::add_rlc_ladder(ckt, "ln", drv, end, tech.line(l), h, nseg);
+  ckt.add_capacitor("Cl", end, ckt.ground(), dl.cl_eff);
+  rlc::spice::TransientOptions o;
+  o.tstop = 8.0 * tau_scale;
+  o.dt = tau_scale / 500.0;
+  o.probes = {rlc::spice::Probe::node_voltage(end, "v")};
+  const auto r = run_transient(ckt, o);
+  const auto& v = r.signal("v");
+  for (std::size_t i = 1; i < r.time.size(); ++i) {
+    if (v[i - 1] < 0.5 && v[i] >= 0.5) {
+      const double f = (0.5 - v[i - 1]) / (v[i] - v[i - 1]);
+      return r.time[i - 1] + f * (r.time[i] - r.time[i - 1]);
+    }
+  }
+  return -1.0;
+}
+
+ScenarioResult ablation_ladder(const ScenarioSpec& spec,
+                               ScenarioContext& ctx) {
+  ScenarioResult res;
+  const auto tech = Technology::nm100();
+  const auto rc = rc_optimum(tech);
+  std::vector<double> ls = spec.sweep.explicit_l;
+  if (ls.empty()) ls = {1e-6, 3e-6};
+  std::vector<int> nsegs{2, 4, 8, 16, 32, 64};
+  if (spec.quick) nsegs = {2, 8, 16};
+
+  // Exact references for all inductances from one engine sweep.
+  ExactSweepOptions esw;
+  esw.exact = spec.exact_options();
+  esw.f = spec.threshold;
+  esw.parallel = spec.parallel;
+  esw.pool = ctx.pool;
+  esw.counters = ctx.counters;
+  const auto exact = exact_sweep(tech, ls, rc.h, rc.k, esw);
+
+  for (std::size_t li = 0; li < ls.size(); ++li) {
+    const double l = ls[li];
+    const auto est = segment_delay(tech.rep, tech.line(l), rc.h, rc.k,
+                                   DelayOptions{spec.threshold});
+    const double ex = exact[li].value();
+
+    // The per-nseg transients are independent: fan them over the pool.
+    const auto sims =
+        rlc::exec::parallel_map(ctx.pool_ref(), nsegs, [&](int nseg) {
+          const rlc::exec::StopWatch sw;
+          const double sim = spice_delay(tech, l, rc.h, rc.k, nseg, est.tau);
+          if (ctx.counters) ctx.counters->record_wall(sw.seconds());
+          return sim;
+        });
+
+    char title[96];
+    std::snprintf(title, sizeof title,
+                  "100nm, l = %.1f nH/mm, exact tau = %.2f ps",
+                  to_nH_per_mm(l), ex * 1e12);
+    Table t(title, {"nseg", "ladder tau (ps)", "error (%)"});
+    for (std::size_t si = 0; si < nsegs.size(); ++si) {
+      t.row({nsegs[si], sims[si] * 1e12, 100.0 * (sims[si] - ex) / ex});
+      if (nsegs[si] == 16) {
+        res.metric("err_16seg_pct_l" + std::to_string(li),
+                   100.0 * (sims[si] - ex) / ex);
+      }
+    }
+    res.tables.push_back(std::move(t));
+  }
+  res.note(
+      "The ring-oscillator experiments use 12-16 segments per line, where "
+      "the discretization error is at the percent level.");
+  return res;
+}
+
+ScenarioResult ablation_baselines(const ScenarioSpec& spec,
+                                  ScenarioContext&) {
+  ScenarioResult res;
+  const auto tech = Technology::nm100();
+  const auto rc = rc_optimum(tech);
+
+  Table km("(a) 50% delay at (h_optRC, k_optRC) vs inductance",
+           {"l (nH/mm)", "exact Eq.(3) (ps)", "Kahng-Muddu crit. (ps)"});
+  double km_min = 1e300, km_max = 0.0;
+  for (double l : {0.0, 0.5e-6, 1e-6, 2e-6, 3e-6, 5e-6}) {
+    const auto pc = pade_coeffs_hk(tech.rep, tech.line(l), rc.h, rc.k);
+    const auto exact = threshold_delay(TwoPole(pc));
+    const double kmd = critically_damped_delay(pc);
+    km_min = std::min(km_min, kmd);
+    km_max = std::max(km_max, kmd);
+    km.row({to_nH_per_mm(l), exact.tau * 1e12, kmd * 1e12});
+  }
+  res.tables.push_back(std::move(km));
+  res.metric("km_delay_spread_ps", (km_max - km_min) * 1e12);
+  res.note(
+      "The critically-damped approximation is EXACTLY constant in l (b1 has "
+      "no inductance term) — unusable for inductance-aware optimization, as "
+      "Section 2.1 argues.");
+
+  const auto t250 = Technology::nm250();
+  std::vector<double> train;
+  for (int i = 1; i <= 10; ++i) train.push_back(i * 0.5e-6);
+  const auto fitb = CurveFitBaseline::fit(t250, train);
+  res.metric("fit_a_h", fitb.a_h());
+  res.metric("fit_b_h", fitb.b_h());
+  res.metric("fit_a_k", fitb.a_k());
+  res.metric("fit_b_k", fitb.b_k());
+
+  Table fit("(b) Curve-fitted sizing (trained on 250nm, l in [0.5, 5] nH/mm)",
+            {"tech", "l (nH/mm)", "h err (%)", "k err (%)",
+             "delay penalty (%)"});
+  for (const auto& t : {Technology::nm250(), Technology::nm100()}) {
+    OptimOptions opts = spec.optim_options();
+    for (double l : {0.0, 1e-6, 3e-6, 5e-6}) {
+      const auto exact = optimize_rlc(t, l, opts);
+      if (!exact.converged) continue;
+      opts.h0 = exact.h;
+      opts.k0 = exact.k;
+      const double hf = fitb.h_opt(t, l);
+      const double kf = fitb.k_opt(t, l);
+      double penalty = 0.0;
+      try {
+        penalty = delay_per_length(t.rep, t.line(l), hf, kf) /
+                      exact.delay_per_length -
+                  1.0;
+      } catch (const std::exception&) {
+        penalty = -1.0;
+      }
+      fit.row({t.name, to_nH_per_mm(l), 100.0 * (hf / exact.h - 1.0),
+               100.0 * (kf / exact.k - 1.0), 100.0 * penalty});
+    }
+  }
+  res.tables.push_back(std::move(fit));
+  res.note(
+      "In-range on the trained technology the fit is decent; at l = 0 it "
+      "misses the Pade effect entirely (h error ~ +5%), and transferring to "
+      "the other node grows the errors — the validity-range limitation the "
+      "paper's analytic approach does not have.");
+  return res;
+}
+
+}  // namespace
+
+void register_ablation_scenarios(ScenarioRegistry& r) {
+  ScenarioSpec pade_defaults;
+  pade_defaults.sweep.explicit_l = {0.0, 0.5e-6, 1e-6, 2e-6, 3e-6, 4e-6,
+                                    5e-6};
+  r.add({"ablation_pade",
+         "Two-pole (Eq. 2) 50%-delay error vs exact Eq. (1), at (h_optRC, "
+         "k_optRC)",
+         "ablation", pade_defaults, ablation_pade});
+
+  ScenarioSpec ladder_defaults;
+  ladder_defaults.sweep.explicit_l = {1e-6, 3e-6};
+  r.add({"ablation_ladder",
+         "Pi-ladder discretization error vs exact distributed line",
+         "ablation", ladder_defaults, ablation_ladder});
+
+  r.add({"ablation_baselines",
+         "Kahng-Muddu delay approximation and curve-fitted sizing vs this "
+         "work",
+         "ablation", {}, ablation_baselines});
+}
+
+}  // namespace rlc::scenario

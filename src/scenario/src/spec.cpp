@@ -1,0 +1,196 @@
+#include "rlc/scenario/spec.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <stdexcept>
+
+namespace rlc::scenario {
+
+namespace {
+
+[[noreturn]] void invalid(const std::string& what) {
+  throw std::invalid_argument("rlc::scenario: " + what);
+}
+
+io::JsonArray to_json_array(const std::vector<double>& v) {
+  io::JsonArray a;
+  for (double x : v) a.push(x);
+  return a;
+}
+
+std::vector<double> numbers_of(const io::JsonValue& v, const char* where) {
+  std::vector<double> out;
+  for (const auto& item : v.items()) {
+    if (item.kind() != io::JsonValue::Kind::kNumber) {
+      invalid(std::string(where) + " must contain only numbers");
+    }
+    out.push_back(item.as_number());
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<double> SweepSpec::values() const {
+  validate();
+  if (!explicit_l.empty()) return explicit_l;
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(points));
+  if (points == 1) {
+    out.push_back(l_min);
+    return out;
+  }
+  // Same arithmetic as the historical bench::inductance_sweep helper
+  // (l_max * i / n with l_min == 0), so figure grids are bit-identical.
+  for (int i = 0; i < points; ++i) {
+    out.push_back(l_min + (l_max - l_min) * static_cast<double>(i) /
+                              static_cast<double>(points - 1));
+  }
+  return out;
+}
+
+void SweepSpec::validate() const {
+  if (!explicit_l.empty()) {
+    for (double l : explicit_l) {
+      if (!std::isfinite(l) || l < 0.0) {
+        invalid("sweep.explicit_l values must be finite and >= 0");
+      }
+    }
+    return;
+  }
+  if (points < 1) invalid("sweep.points must be >= 1");
+  if (!std::isfinite(l_min) || !std::isfinite(l_max)) {
+    invalid("sweep bounds must be finite");
+  }
+  if (l_min < 0.0) invalid("sweep.l_min must be >= 0");
+  if (l_max < l_min) invalid("sweep.l_max must be >= sweep.l_min");
+  if (points > 1 && l_max == l_min) {
+    invalid("sweep with points > 1 needs l_max > l_min");
+  }
+}
+
+void ScenarioSpec::validate() const {
+  if (scenario.empty()) invalid("spec.scenario must be set");
+  sweep.validate();
+  technology_by_name(technology);  // throws for unknown ids
+  if (!(threshold > 0.0 && threshold < 1.0)) {
+    invalid("spec.threshold must be in (0, 1)");
+  }
+  if (segments_per_line < 1) invalid("spec.segments_per_line must be >= 1");
+  if (ring_stages < 3 || ring_stages % 2 == 0) {
+    invalid("spec.ring_stages must be odd and >= 3");
+  }
+  if (max_newton_iterations < 1) {
+    invalid("spec.max_newton_iterations must be >= 1");
+  }
+  if (!(residual_tol > 0.0)) invalid("spec.residual_tol must be > 0");
+  if (talbot_points < 8) invalid("spec.talbot_points must be >= 8");
+}
+
+core::OptimOptions ScenarioSpec::optim_options() const {
+  core::OptimOptions o;
+  o.f = threshold;
+  o.max_newton_iterations = max_newton_iterations;
+  o.residual_tol = residual_tol;
+  return o;
+}
+
+core::ExactOptions ScenarioSpec::exact_options() const {
+  core::ExactOptions o;
+  o.talbot_points = talbot_points;
+  o.window_points = talbot_points;
+  return o;
+}
+
+io::Json ScenarioSpec::to_json() const {
+  io::Json sweep_j;
+  sweep_j.set("l_min", sweep.l_min);
+  sweep_j.set("l_max", sweep.l_max);
+  sweep_j.set("points", sweep.points);
+  if (!sweep.explicit_l.empty()) {
+    sweep_j.set("explicit_l", to_json_array(sweep.explicit_l));
+  }
+  io::Json j;
+  j.set("scenario", scenario);
+  j.set("technology", technology);
+  j.set("sweep", sweep_j);
+  j.set("threshold", threshold);
+  j.set("segments_per_line", segments_per_line);
+  j.set("ring_stages", ring_stages);
+  j.set("quick", quick);
+  j.set("parallel", parallel);
+  j.set("max_newton_iterations", max_newton_iterations);
+  j.set("residual_tol", residual_tol);
+  j.set("talbot_points", talbot_points);
+  return j;
+}
+
+ScenarioSpec ScenarioSpec::from_json(const io::JsonValue& v) {
+  if (v.kind() != io::JsonValue::Kind::kObject) {
+    invalid("spec must be a JSON object");
+  }
+  ScenarioSpec spec;
+  spec.scenario = v.string_or("scenario", spec.scenario);
+  spec.technology = v.string_or("technology", spec.technology);
+  if (const io::JsonValue* sw = v.find("sweep")) {
+    if (sw->kind() != io::JsonValue::Kind::kObject) {
+      invalid("spec.sweep must be an object");
+    }
+    spec.sweep.l_min = sw->number_or("l_min", spec.sweep.l_min);
+    spec.sweep.l_max = sw->number_or("l_max", spec.sweep.l_max);
+    spec.sweep.points = static_cast<int>(sw->int_or("points", spec.sweep.points));
+    if (const io::JsonValue* ex = sw->find("explicit_l")) {
+      spec.sweep.explicit_l = numbers_of(*ex, "spec.sweep.explicit_l");
+    }
+  }
+  spec.threshold = v.number_or("threshold", spec.threshold);
+  spec.segments_per_line =
+      static_cast<int>(v.int_or("segments_per_line", spec.segments_per_line));
+  spec.ring_stages = static_cast<int>(v.int_or("ring_stages", spec.ring_stages));
+  spec.quick = v.bool_or("quick", spec.quick);
+  spec.parallel = v.bool_or("parallel", spec.parallel);
+  spec.max_newton_iterations = static_cast<int>(
+      v.int_or("max_newton_iterations", spec.max_newton_iterations));
+  spec.residual_tol = v.number_or("residual_tol", spec.residual_tol);
+  spec.talbot_points =
+      static_cast<int>(v.int_or("talbot_points", spec.talbot_points));
+  spec.validate();
+  return spec;
+}
+
+ScenarioSpec ScenarioSpec::from_json_text(const std::string& text) {
+  return from_json(io::parse_json(text));
+}
+
+core::Technology technology_by_name(const std::string& name) {
+  if (name == "250nm" || name == "250") return core::Technology::nm250();
+  if (name == "100nm" || name == "100") return core::Technology::nm100();
+  if (name == "100nm_c250") {
+    return core::Technology::nm100_with_250nm_dielectric();
+  }
+  // "<N>nm" or a bare number: the interpolated node at N nanometers.
+  std::string digits = name;
+  if (digits.size() > 2 && digits.compare(digits.size() - 2, 2, "nm") == 0) {
+    digits.resize(digits.size() - 2);
+  }
+  if (!digits.empty()) {
+    bool numeric = true;
+    bool dot = false;
+    for (char ch : digits) {
+      if (ch == '.' && !dot) {
+        dot = true;
+      } else if (!std::isdigit(static_cast<unsigned char>(ch))) {
+        numeric = false;
+        break;
+      }
+    }
+    if (numeric) {
+      const double nm = std::stod(digits);
+      if (nm > 0.0) return core::Technology::interpolated(nm * 1e-9);
+    }
+  }
+  invalid("unknown technology id \"" + name +
+          "\" (expected 250nm, 100nm, 100nm_c250, or <N>nm)");
+}
+
+}  // namespace rlc::scenario

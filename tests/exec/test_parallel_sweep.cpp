@@ -81,24 +81,32 @@ TEST(ParallelSweep, ResultsAreInInputOrderForReversedGrid) {
   }
 }
 
-TEST(ParallelSweep, SingleThreadViaEnvOverrideIsExactlySerial) {
+TEST(ParallelSweep, ParallelPathIsBitIdenticalForAnyThreadCount) {
+  // The parallel path must not depend on the pool size AT ALL — including a
+  // pool forced to one thread via RLC_NUM_THREADS.  (It is allowed to differ
+  // from the parallel=false serial reference at rounding level, because the
+  // chunk seeds warm-start differently; what may not vary is the answer for
+  // a given chunking as threads change.)
   ::setenv("RLC_NUM_THREADS", "1", 1);
-  rlc::exec::ThreadPool pool;  // sized from the env override
+  rlc::exec::ThreadPool pool1;  // sized from the env override
   ::unsetenv("RLC_NUM_THREADS");
-  ASSERT_EQ(pool.size(), 1u);
+  ASSERT_EQ(pool1.size(), 1u);
   const auto ls = figure_grid();
   const auto tech = Technology::nm100();
-  const auto serial = optimize_rlc_sweep(tech, ls);
   SweepOptions sweep;
-  sweep.pool = &pool;
-  const auto par = optimize_rlc_sweep(tech, ls, sweep);
-  // One thread degenerates to the serial code path: bit-identical results.
-  ASSERT_EQ(par.size(), serial.size());
-  for (std::size_t i = 0; i < serial.size(); ++i) {
-    EXPECT_EQ(par[i].h, serial[i].h) << i;
-    EXPECT_EQ(par[i].k, serial[i].k) << i;
-    EXPECT_EQ(par[i].tau, serial[i].tau) << i;
-    EXPECT_EQ(par[i].newton_iterations, serial[i].newton_iterations) << i;
+  sweep.pool = &pool1;
+  const auto one = optimize_rlc_sweep(tech, ls, sweep);
+  for (const std::size_t threads : {2u, 5u}) {
+    rlc::exec::ThreadPool pool(threads);
+    sweep.pool = &pool;
+    const auto par = optimize_rlc_sweep(tech, ls, sweep);
+    ASSERT_EQ(par.size(), one.size());
+    for (std::size_t i = 0; i < one.size(); ++i) {
+      EXPECT_EQ(par[i].h, one[i].h) << i;
+      EXPECT_EQ(par[i].k, one[i].k) << i;
+      EXPECT_EQ(par[i].tau, one[i].tau) << i;
+      EXPECT_EQ(par[i].newton_iterations, one[i].newton_iterations) << i;
+    }
   }
 }
 

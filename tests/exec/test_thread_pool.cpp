@@ -61,6 +61,34 @@ TEST(ThreadPool, DefaultThreadCountHonorsEnvOverride) {
   }
 }
 
+TEST(ThreadPool, ParseThreadCountAcceptsPositiveIntegers) {
+  std::string warning;
+  EXPECT_EQ(rlc::exec::parse_thread_count("1", &warning), 1u);
+  EXPECT_EQ(rlc::exec::parse_thread_count("4", &warning), 4u);
+  EXPECT_EQ(rlc::exec::parse_thread_count("  16", &warning), 16u);
+  EXPECT_EQ(rlc::exec::parse_thread_count("4096", &warning), 4096u);
+  EXPECT_TRUE(warning.empty()) << warning;
+}
+
+TEST(ThreadPool, ParseThreadCountRejectsMalformedInputWithWarning) {
+  // Each malformed value maps to 0 ("use the default") and explains itself.
+  const char* bad[] = {"0",    "-3",   "abc", "4abc", "",
+                       "1e3",  " ",    "+",   "4097",
+                       "99999999999999999999"};  // ERANGE overflow
+  for (const char* text : bad) {
+    std::string warning;
+    EXPECT_EQ(rlc::exec::parse_thread_count(text, &warning), 0u) << text;
+    EXPECT_NE(warning.find("RLC_NUM_THREADS"), std::string::npos) << text;
+    EXPECT_NE(warning.find("hardware concurrency"), std::string::npos) << text;
+  }
+}
+
+TEST(ThreadPool, ParseThreadCountNullIsSilentDefault) {
+  std::string warning;
+  EXPECT_EQ(rlc::exec::parse_thread_count(nullptr, &warning), 0u);
+  EXPECT_TRUE(warning.empty());  // unset env is not an error
+}
+
 TEST(ThreadPool, ParallelForRunsEveryIndexExactlyOnce) {
   for (const std::size_t threads : {1u, 2u, 3u, 7u}) {
     ThreadPool pool(threads);

@@ -1,0 +1,100 @@
+/// Registry completeness tests: every legacy bench binary must be present
+/// as a registered scenario (the static list below is the retirement
+/// contract), registration is idempotent, and duplicates are rejected.
+
+#include "rlc/scenario/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace {
+
+using rlc::scenario::Scenario;
+using rlc::scenario::ScenarioRegistry;
+
+/// The 19 experiments the retired per-figure binaries served.  If a
+/// scenario is renamed or dropped, this list is the reviewable record of
+/// that decision — update it deliberately, not to make the test pass.
+const std::vector<std::string> kLegacyBenchNames = {
+    "table1",        "fig2",
+    "fig4",          "fig5",
+    "fig6",          "fig7",
+    "fig8",          "fig9_10",
+    "fig11",         "fig12",
+    "ablation_pade", "ablation_ladder",
+    "ablation_baselines", "ext_crosstalk",
+    "ext_frequency_response", "ext_scaling_trend",
+    "ext_skin_effect", "perf_solvers",
+    "perf_exact",
+};
+
+TEST(ScenarioRegistry, EveryLegacyBenchIsRegistered) {
+  rlc::scenario::register_all_scenarios();
+  const auto& reg = ScenarioRegistry::global();
+  for (const auto& name : kLegacyBenchNames) {
+    const Scenario* s = reg.find(name);
+    ASSERT_NE(s, nullptr) << name;
+    EXPECT_EQ(s->name, name);
+    EXPECT_FALSE(s->title.empty()) << name;
+    EXPECT_TRUE(s->fn != nullptr) << name;
+    EXPECT_EQ(s->defaults.scenario, name);
+    EXPECT_NO_THROW(s->defaults.validate()) << name;
+  }
+  // Nothing beyond the known set either: additions should extend the list.
+  EXPECT_EQ(reg.size(), kLegacyBenchNames.size());
+}
+
+TEST(ScenarioRegistry, GroupsAreConsistent) {
+  rlc::scenario::register_all_scenarios();
+  const auto& reg = ScenarioRegistry::global();
+  for (const auto& name : reg.names()) {
+    const std::string& g = reg.find(name)->group;
+    EXPECT_TRUE(g == "figure" || g == "table" || g == "ablation" ||
+                g == "extension" || g == "perf")
+        << name << " group " << g;
+  }
+  EXPECT_EQ(reg.find("fig4")->group, "figure");
+  EXPECT_EQ(reg.find("table1")->group, "table");
+  EXPECT_EQ(reg.find("perf_exact")->group, "perf");
+}
+
+TEST(ScenarioRegistry, RegisterAllIsIdempotent) {
+  rlc::scenario::register_all_scenarios();
+  const std::size_t n = ScenarioRegistry::global().size();
+  rlc::scenario::register_all_scenarios();
+  EXPECT_EQ(ScenarioRegistry::global().size(), n);
+}
+
+TEST(ScenarioRegistry, RejectsDuplicatesAndBlanks) {
+  ScenarioRegistry local;
+  Scenario s;
+  s.name = "x";
+  s.title = "t";
+  s.group = "figure";
+  s.fn = [](const rlc::scenario::ScenarioSpec&,
+            rlc::scenario::ScenarioContext&) {
+    return rlc::scenario::ScenarioResult{};
+  };
+  local.add(s);
+  EXPECT_EQ(local.size(), 1u);
+  EXPECT_THROW(local.add(s), std::invalid_argument);  // duplicate
+  Scenario blank = s;
+  blank.name.clear();
+  EXPECT_THROW(local.add(blank), std::invalid_argument);
+}
+
+TEST(ScenarioRegistry, QuickSpecShrinksGrids) {
+  rlc::scenario::ScenarioSpec spec;
+  spec.scenario = "fig4";
+  const auto q = rlc::scenario::quick_spec(spec);
+  EXPECT_TRUE(q.quick);
+  EXPECT_LE(q.sweep.points, 7);
+  EXPECT_LE(q.segments_per_line, 8);
+  EXPECT_NO_THROW(q.validate());
+}
+
+}  // namespace

@@ -1,0 +1,144 @@
+/// ScenarioSpec unit tests: sweep-grid arithmetic (bit-identical to the
+/// legacy bench::inductance_sweep helper), validation failures, technology
+/// resolution, and the JSON round-trip rlc_run --spec relies on.
+
+#include "rlc/scenario/spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace {
+
+using rlc::scenario::ScenarioSpec;
+using rlc::scenario::SweepSpec;
+using rlc::scenario::technology_by_name;
+
+/// The arithmetic the retired bench_util.hpp helper used for every figure
+/// sweep; values() must reproduce it bit-for-bit.
+std::vector<double> legacy_inductance_sweep(int n, double l_max = 5.0e-6) {
+  std::vector<double> ls;
+  for (int i = 0; i <= n; ++i) {
+    ls.push_back(l_max * static_cast<double>(i) / static_cast<double>(n));
+  }
+  return ls;
+}
+
+TEST(SweepSpec, DefaultGridMatchesLegacyHelperBitExactly) {
+  const std::vector<double> got = SweepSpec{}.values();  // 0..5 nH/mm, 26 pts
+  const std::vector<double> want = legacy_inductance_sweep(25);
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i], want[i]) << i;  // EQ, not NEAR: bit-identical
+  }
+}
+
+TEST(SweepSpec, GridShapes) {
+  EXPECT_EQ((SweepSpec{1e-6, 9e-6, 1, {}}.values()),
+            (std::vector<double>{1e-6}));
+  EXPECT_EQ((SweepSpec{0.0, 4e-6, 3, {}}.values()),
+            (std::vector<double>{0.0, 2e-6, 4e-6}));
+  const std::vector<double> list{5e-7, 2e-6};
+  EXPECT_EQ((SweepSpec{0, 0, 1, list}.values()), list);  // explicit wins
+}
+
+TEST(SweepSpec, ValidateRejectsBadGrids) {
+  EXPECT_THROW((SweepSpec{0, 5e-6, 0, {}}.validate()), std::invalid_argument);
+  EXPECT_THROW((SweepSpec{-1e-6, 5e-6, 5, {}}.validate()),
+               std::invalid_argument);
+  EXPECT_THROW((SweepSpec{5e-6, 1e-6, 5, {}}.validate()),
+               std::invalid_argument);
+  EXPECT_THROW((SweepSpec{1e-6, 1e-6, 5, {}}.validate()),
+               std::invalid_argument);
+  EXPECT_THROW((SweepSpec{0, 0, 1, {-1e-6}}.validate()),
+               std::invalid_argument);
+  EXPECT_NO_THROW((SweepSpec{1e-6, 1e-6, 1, {}}.validate()));
+}
+
+TEST(ScenarioSpec, ValidateChecksEveryField) {
+  ScenarioSpec ok;
+  ok.scenario = "fig4";
+  EXPECT_NO_THROW(ok.validate());
+
+  ScenarioSpec s = ok;
+  s.scenario.clear();
+  EXPECT_THROW(s.validate(), std::invalid_argument);
+
+  s = ok;
+  s.technology = "7nm_finfet_x";
+  EXPECT_THROW(s.validate(), std::invalid_argument);
+
+  s = ok;
+  s.threshold = 1.0;
+  EXPECT_THROW(s.validate(), std::invalid_argument);
+
+  s = ok;
+  s.segments_per_line = 0;
+  EXPECT_THROW(s.validate(), std::invalid_argument);
+
+  s = ok;
+  s.ring_stages = 4;  // even ring cannot oscillate
+  EXPECT_THROW(s.validate(), std::invalid_argument);
+}
+
+TEST(ScenarioSpec, TechnologyByNameResolvesAllSpellings) {
+  EXPECT_EQ(technology_by_name("250nm").name, technology_by_name("250").name);
+  EXPECT_EQ(technology_by_name("100nm").name, technology_by_name("100").name);
+  EXPECT_NO_THROW(technology_by_name("100nm_c250"));
+  // Interpolated nodes: "<N>nm" or a bare number.
+  const auto t180 = technology_by_name("180nm");
+  EXPECT_NEAR(t180.line(0.0).c, technology_by_name("180").line(0.0).c, 0.0);
+  EXPECT_THROW(technology_by_name(""), std::invalid_argument);
+  EXPECT_THROW(technology_by_name("bogus"), std::invalid_argument);
+}
+
+TEST(ScenarioSpec, JsonRoundTripPreservesEveryField) {
+  ScenarioSpec s;
+  s.scenario = "fig7";
+  s.technology = "250nm";
+  s.sweep = SweepSpec{1e-7, 4e-6, 11, {}};
+  s.threshold = 0.4;
+  s.segments_per_line = 20;
+  s.ring_stages = 7;
+  s.quick = true;
+  s.parallel = false;
+  s.max_newton_iterations = 55;
+  s.residual_tol = 1e-11;
+  s.talbot_points = 64;
+  const ScenarioSpec back = ScenarioSpec::from_json_text(s.to_json().str());
+  EXPECT_EQ(back, s);
+
+  ScenarioSpec e = s;
+  e.sweep = SweepSpec{0, 0, 26, {1.8e-6, 2.2e-6}};
+  EXPECT_EQ(ScenarioSpec::from_json_text(e.to_json().str()), e);
+}
+
+TEST(ScenarioSpec, FromJsonToleratesMissingFields) {
+  const ScenarioSpec s =
+      ScenarioSpec::from_json_text("{\"scenario\": \"fig4\"}");
+  EXPECT_EQ(s.scenario, "fig4");
+  EXPECT_EQ(s, [] {
+    ScenarioSpec d;
+    d.scenario = "fig4";
+    return d;
+  }());  // everything else at defaults
+}
+
+TEST(ScenarioSpec, OptionsMapSpecFields) {
+  ScenarioSpec s;
+  s.scenario = "x";
+  s.threshold = 0.45;
+  s.max_newton_iterations = 33;
+  s.residual_tol = 1e-8;
+  s.talbot_points = 40;
+  const auto opt = s.optim_options();
+  EXPECT_EQ(opt.f, 0.45);
+  EXPECT_EQ(opt.max_newton_iterations, 33);
+  EXPECT_EQ(opt.residual_tol, 1e-8);
+  const auto ex = s.exact_options();
+  EXPECT_EQ(ex.talbot_points, 40);
+  EXPECT_EQ(ex.window_points, 40);
+}
+
+}  // namespace
