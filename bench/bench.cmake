@@ -5,6 +5,6 @@
 # result and its JSON artifact.
 add_executable(rlc_run bench/rlc_run.cpp)
 target_link_libraries(rlc_run PRIVATE
-  rlc_scenario rlc_io rlc_exec rlc_core rlcopt_warnings)
+  rlc_scenario rlc_io rlc_exec rlc_core rlc_obs rlcopt_warnings)
 set_target_properties(rlc_run PROPERTIES
   RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)

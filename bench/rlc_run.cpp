@@ -24,6 +24,9 @@
 #include "rlc/exec/thread_pool.hpp"
 #include "rlc/io/json.hpp"
 #include "rlc/io/json_reader.hpp"
+#include "rlc/obs/metrics.hpp"
+#include "rlc/obs/progress.hpp"
+#include "rlc/obs/trace.hpp"
 #include "rlc/scenario/registry.hpp"
 
 namespace {
@@ -40,6 +43,10 @@ void usage(std::FILE* out) {
                "  --serial        run selected scenarios one at a time\n"
                "  --spec FILE     JSON ScenarioSpec overriding the defaults\n"
                "                  (requires exactly one scenario name)\n"
+               "  --trace FILE    capture spans, write Chrome trace-event JSON\n"
+               "                  (open in chrome://tracing or ui.perfetto.dev)\n"
+               "  --metrics       print the metrics registry table on stderr\n"
+               "  --progress      throttled [done/total] line on stderr\n"
                "  --help          this text\n"
                "\n"
                "Scenarios run concurrently on the rlc::exec pool (results are\n"
@@ -63,7 +70,8 @@ void list_scenarios() {
 
 int main(int argc, char** argv) {
   bool list = false, all = false, quick = false, serial = false;
-  std::string json_dir, spec_file, threads_arg;
+  bool metrics = false, progress = false;
+  std::string json_dir, spec_file, threads_arg, trace_file;
   std::vector<std::string> selected;
 
   for (int i = 1; i < argc; ++i) {
@@ -82,6 +90,9 @@ int main(int argc, char** argv) {
     else if (arg == "--json") json_dir = value("--json");
     else if (arg == "--spec") spec_file = value("--spec");
     else if (arg == "--threads") threads_arg = value("--threads");
+    else if (arg == "--trace") trace_file = value("--trace");
+    else if (arg == "--metrics") metrics = true;
+    else if (arg == "--progress") progress = true;
     else if (arg == "--help" || arg == "-h") { usage(stdout); return 0; }
     else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "rlc_run: unknown option %s\n", arg.c_str());
@@ -154,7 +165,13 @@ int main(int argc, char** argv) {
   // sweeps nest on the same pool; leaf loops always make progress, so this
   // cannot deadlock).  A failing scenario becomes an error result instead of
   // taking the whole run down.
+  // Arm the tracer before any scenario runs so every span of the run is
+  // captured; numerical results are bit-identical either way (pinned by
+  // tests/obs).
+  if (!trace_file.empty()) rlc::obs::Tracer::global().enable();
+
   std::vector<rlc::scenario::ScenarioResult> results(scenarios.size());
+  rlc::obs::Progress meter(scenarios.size(), progress);
   auto run_one = [&](std::size_t i) {
     try {
       results[i] = rlc::scenario::run_scenario(*scenarios[i], specs[i]);
@@ -165,12 +182,31 @@ int main(int argc, char** argv) {
       results[i].spec = specs[i];
       results[i].error = e.what();
     }
+    meter.tick(scenarios[i]->name);
   };
   if (serial || scenarios.size() == 1) {
     for (std::size_t i = 0; i < scenarios.size(); ++i) run_one(i);
   } else {
     rlc::exec::default_pool().parallel_for(scenarios.size(), run_one,
                                            /*grain=*/1);
+  }
+  meter.finish();
+
+  if (!trace_file.empty()) {
+    rlc::obs::Tracer::global().disable();
+    if (!rlc::obs::Tracer::global().write_chrome_trace(trace_file)) return 1;
+    std::fprintf(stderr, "rlc_run: wrote trace (%llu spans, %llu dropped) to %s\n",
+                 static_cast<unsigned long long>(
+                     rlc::obs::Tracer::global().span_count()),
+                 static_cast<unsigned long long>(
+                     rlc::obs::Tracer::global().dropped()),
+                 trace_file.c_str());
+  }
+
+  if (metrics) {
+    const std::string table =
+        rlc::obs::Registry::global().snapshot().without_zeros().table();
+    std::fprintf(stderr, "\n-- metrics registry --\n%s", table.c_str());
   }
 
   // Render in selection order, then write artifacts.

@@ -2,8 +2,8 @@
 """Validate the BENCH_<name>.json artifacts rlc_run --json emits.
 
 Checks two layers:
-  1. the schema-2 envelope for EVERY artifact (field types, rectangular
-     tables, finite numbers, embedded spec),
+  1. the schema-3 envelope for EVERY artifact (field types, rectangular
+     tables, finite numbers, embedded spec, observability block),
   2. per-scenario physics invariants for the experiments whose shape the
      paper pins down (fig4, fig7, table1, perf_exact, ...).
 
@@ -16,7 +16,7 @@ import math
 import sys
 from pathlib import Path
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 # Every scenario rlc_run --all must have produced an artifact for.  This is
 # the same retirement contract as tests/scenario/test_registry.cpp.
@@ -50,12 +50,14 @@ def check_envelope(name, d):
         return
     for key, kind in (("title", str), ("quick", bool), ("threads", int),
                       ("wall_seconds", (int, float)), ("spec", dict),
-                      ("counters", dict), ("tables", list),
-                      ("metrics", dict), ("notes", list)):
+                      ("counters", dict), ("observability", dict),
+                      ("tables", list), ("metrics", dict), ("notes", list)):
         if not isinstance(d.get(key), kind):
             err(name, f"field {key!r} missing or not {kind}")
     if errors and errors[-1].startswith(name + ":"):
         return  # shape already broken; skip the deep checks
+
+    check_observability(name, d["observability"])
 
     if d["spec"].get("scenario") != name:
         err(name, f"spec.scenario {d['spec'].get('scenario')!r} != {name!r}")
@@ -82,6 +84,43 @@ def check_envelope(name, d):
         if not isinstance(value, (int, float)) or isinstance(value, bool) \
                 or not math.isfinite(value):
             err(name, f"metric {key!r} not a finite number")
+
+
+def check_observability(name, o):
+    """Schema-3 observability block: a metrics snapshot (counters/gauges as
+    integers, histograms with consistent stats) plus a span rollup."""
+    for key, kind in (("tracing", bool), ("dropped_spans", int),
+                      ("metrics", dict), ("spans", dict)):
+        if not isinstance(o.get(key), kind):
+            err(name, f"observability.{key} missing or not {kind}")
+            return
+    m = o["metrics"]
+    for section in ("counters", "gauges", "histograms"):
+        if not isinstance(m.get(section), dict):
+            err(name, f"observability.metrics.{section} missing")
+            return
+    for key, value in list(m["counters"].items()) + list(m["gauges"].items()):
+        if not isinstance(value, int) or isinstance(value, bool):
+            err(name, f"observability metric {key!r} not an integer")
+    for key, h in m["histograms"].items():
+        for field in ("count", "sum", "min", "max", "mean", "p50", "p90",
+                      "p99"):
+            v = h.get(field)
+            if not isinstance(v, (int, float)) or isinstance(v, bool) \
+                    or not math.isfinite(v):
+                err(name, f"histogram {key!r}.{field} not a finite number")
+        if isinstance(h.get("count"), int) and h["count"] > 0:
+            if not (h["min"] <= h["p50"] <= h["p90"] <= h["p99"] <= h["max"]):
+                err(name, f"histogram {key!r} quantiles out of order")
+    for span, s in o["spans"].items():
+        for field in ("count", "total_ns", "top_level_ns"):
+            if not isinstance(s.get(field), int) or isinstance(s.get(field),
+                                                               bool):
+                err(name, f"span {span!r}.{field} not an integer")
+        if isinstance(s.get("count"), int) and s["count"] <= 0:
+            err(name, f"span {span!r} with non-positive count")
+    if o["tracing"] and not o["spans"]:
+        err(name, "tracing was on but the span rollup is empty")
 
 
 def check_invariants(name, d):

@@ -8,6 +8,8 @@
 #include "rlc/core/delay.hpp"
 #include "rlc/laplace/talbot.hpp"
 #include "rlc/math/brent.hpp"
+#include "rlc/obs/metrics.hpp"
+#include "rlc/obs/trace.hpp"
 #include "rlc/tline/evaluator.hpp"
 
 namespace rlc::core {
@@ -274,6 +276,7 @@ std::vector<double> exact_step_response_windowed(
     ExactStats* stats) {
   line.validate();
   validate_options(opts, /*threshold_path=*/false);
+  RLC_TRACE_SPAN("exact_sample");
   WaveformEngine engine(line, h, dl, opts);
   auto out = engine.sample(times);
   if (stats) *stats += engine.stats();
@@ -289,6 +292,10 @@ std::optional<double> exact_threshold_delay(const tline::LineParams& line,
   line.validate();
   validate_threshold_args(tau_scale, f);
   validate_options(opts, /*threshold_path=*/!opts.legacy_bisection);
+  RLC_TRACE_SPAN("exact_threshold");
+  static const int kCalls =
+      obs::Registry::global().counter("exact.threshold.calls");
+  obs::Registry::global().add(kCalls);
   WaveformEngine engine(line, h, dl, opts);
   const auto out = opts.legacy_bisection
                        ? engine.legacy_threshold(tau_scale, f)

@@ -9,6 +9,8 @@
 
 #include "rlc/math/nelder_mead.hpp"
 #include "rlc/math/newton.hpp"
+#include "rlc/obs/metrics.hpp"
+#include "rlc/obs/trace.hpp"
 
 namespace rlc::core {
 
@@ -113,6 +115,10 @@ OptimResult nelder_mead_fallback(const Repeater& rep,
                                  const tline::LineParams& line,
                                  const OptimOptions& opts, double h_ref,
                                  double k_ref, double u0, double w0) {
+  RLC_TRACE_SPAN("nelder_mead_fallback");
+  static const int kFallbacks =
+      obs::Registry::global().counter("optimizer.nm_fallbacks");
+  obs::Registry::global().add(kFallbacks);
   const auto objective = [&](const std::vector<double>& x) -> double {
     const double h = x[0] * h_ref;
     const double k = x[1] * k_ref;
@@ -180,6 +186,9 @@ bool is_local_minimum(const Repeater& rep, const tline::LineParams& line,
 
 OptimResult optimize_rlc(const Repeater& rep, const tline::LineParams& line,
                          const OptimOptions& opts) {
+  RLC_TRACE_SPAN("optimize_rlc");
+  static const int kCalls = obs::Registry::global().counter("optimizer.calls");
+  obs::Registry::global().add(kCalls);
   line.validate();
   // Reference scales from the Elmore optimum: Newton operates on
   // (u, w) = (h/h_ref, k/k_ref) so both variables are O(1).

@@ -3,6 +3,13 @@
 /// \file counters.hpp
 /// Lock-free solver instrumentation for parallel sweeps.
 ///
+/// Since the rlc::obs registry landed, Counters is a thin compatibility
+/// façade: every record_solve() both updates this instance (so each sweep
+/// or scenario keeps its isolated envelope totals) and forwards to the
+/// process-wide registry under the "sweep.*" metric names (so --metrics
+/// and the observability block see the same activity without a second
+/// instrumentation pass).
+///
 /// A Counters object is shared by all tasks of a sweep (or a whole bench
 /// run) and accumulates, via atomics only:
 ///   * per-solve Newton iteration counts,

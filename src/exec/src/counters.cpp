@@ -3,6 +3,8 @@
 #include <cmath>
 #include <cstdio>
 
+#include "rlc/obs/metrics.hpp"
+
 namespace rlc::exec {
 
 namespace {
@@ -51,6 +53,24 @@ void Counters::record_solve(std::int64_t newton_iterations, bool used_fallback,
   wall_total_ns_.fetch_add(ns, std::memory_order_relaxed);
   atomic_min(wall_min_ns_, ns);
   atomic_max(wall_max_ns_, ns);
+
+  // Counters is now a thin façade over rlc::obs: the per-instance atomics
+  // above keep the historical per-sweep envelope semantics, and the same
+  // record is forwarded to the process-wide registry so sweep activity
+  // shows up in --metrics / observability blocks alongside the solver
+  // metrics.
+  auto& reg = obs::Registry::global();
+  static const int kTasks = reg.counter("sweep.tasks");
+  static const int kIters = reg.counter("sweep.newton_iters");
+  static const int kFallbacks = reg.counter("sweep.fallbacks");
+  static const int kFailures = reg.counter("sweep.failures");
+  static const int kWall =
+      reg.histogram("sweep.task_wall_s", 1e-7, 10.0, 32);
+  reg.add(kTasks);
+  if (newton_iterations > 0) reg.add(kIters, newton_iterations);
+  if (used_fallback) reg.add(kFallbacks);
+  if (failed) reg.add(kFailures);
+  reg.record(kWall, wall_seconds);
 }
 
 void Counters::record_wall(double wall_seconds) noexcept {
@@ -78,13 +98,17 @@ std::string Counters::summary(const std::string& label) const {
 }
 
 std::string Counters::summary(const Snapshot& s, const std::string& label) {
-  const double iters_per_solve =
-      s.tasks > 0 ? static_cast<double>(s.newton_iterations) /
-                        static_cast<double>(s.tasks)
-                  : 0.0;
   char head[96];
   std::snprintf(head, sizeof head, "[solver counters%s%s] ",
                 label.empty() ? "" : " ", label.c_str());
+  if (s.tasks <= 0) {
+    // A zero-solve snapshot has no meaningful per-solve averages: render a
+    // plain marker instead of 0-task ratios (historically this path could
+    // surface division artifacts in downstream formatting).
+    return std::string(head) + "no solves recorded";
+  }
+  const double iters_per_solve = static_cast<double>(s.newton_iterations) /
+                                 static_cast<double>(s.tasks);
   char body[256];
   std::snprintf(body, sizeof body,
                 "tasks %lld | newton iters %lld (%.1f/solve) | "

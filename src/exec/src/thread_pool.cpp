@@ -7,7 +7,32 @@
 #include <cstdlib>
 #include <memory>
 
+#include "rlc/obs/metrics.hpp"
+#include "rlc/obs/trace.hpp"
+
 namespace rlc::exec {
+
+namespace {
+
+/// Pool instrumentation ids, interned once.  queue_depth is a level gauge
+/// (pending parallel loops right now); busy_ns accumulates worker+caller
+/// time spent inside run_chunks, i.e. actual chunk execution.
+struct PoolMetrics {
+  int queue_depth;
+  int queue_depth_max;
+  int loops;
+  int busy_ns;
+  static const PoolMetrics& get() {
+    static const PoolMetrics m{
+        obs::Registry::global().gauge("exec.pool.queue_depth"),
+        obs::Registry::global().gauge("exec.pool.queue_depth_max"),
+        obs::Registry::global().counter("exec.pool.loops"),
+        obs::Registry::global().counter("exec.pool.busy_ns")};
+    return m;
+  }
+};
+
+}  // namespace
 
 std::size_t parse_thread_count(const char* text, std::string* warning) {
   const auto reject = [&](const std::string& why) -> std::size_t {
@@ -91,6 +116,7 @@ void ThreadPool::worker_main() {
       if (loop->next.load(std::memory_order_relaxed) >= loop->n) {
         // Exhausted loop the caller has not reaped yet; drop it and retry.
         pending_.erase(pending_.begin());
+        obs::Registry::global().gauge_add(PoolMetrics::get().queue_depth, -1);
         continue;
       }
     }
@@ -99,6 +125,15 @@ void ThreadPool::worker_main() {
 }
 
 void ThreadPool::run_chunks(Loop& loop) {
+  RLC_TRACE_SPAN("pool_run_chunks");
+  const std::int64_t t0 = obs::Tracer::now_ns();
+  struct BusyScope {
+    std::int64_t t0;
+    ~BusyScope() {
+      obs::Registry::global().add(PoolMetrics::get().busy_ns,
+                                  obs::Tracer::now_ns() - t0);
+    }
+  } busy{t0};
   const std::size_t n = loop.n;
   const std::size_t grain = loop.grain;
   for (;;) {
@@ -127,11 +162,15 @@ void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn,
                               std::size_t grain) {
   if (n == 0) return;
+  RLC_TRACE_SPAN("parallel_for");
   if (size_ == 1 || n == 1) {
     // Exactly the serial loop: same order, same exception behaviour.
     for (std::size_t i = 0; i < n; ++i) fn(i);
     return;
   }
+  auto& reg = obs::Registry::global();
+  const PoolMetrics& pm = PoolMetrics::get();
+  reg.add(pm.loops);
   if (grain == 0) grain = std::max<std::size_t>(1, n / (4 * size_));
   auto loop = std::make_shared<Loop>();
   loop->n = n;
@@ -141,6 +180,9 @@ void ThreadPool::parallel_for(std::size_t n,
   {
     std::lock_guard<std::mutex> lk(mutex_);
     pending_.push_back(loop);
+    reg.gauge_add(pm.queue_depth, 1);
+    reg.gauge_max(pm.queue_depth_max,
+                  static_cast<std::int64_t>(pending_.size()));
   }
   wake_.notify_all();
   run_chunks(*loop);
@@ -150,8 +192,14 @@ void ThreadPool::parallel_for(std::size_t n,
   }
   {
     std::lock_guard<std::mutex> lk(mutex_);
-    pending_.erase(std::remove(pending_.begin(), pending_.end(), loop),
-                   pending_.end());
+    const auto new_end =
+        std::remove(pending_.begin(), pending_.end(), loop);
+    // A worker may have already dropped the exhausted loop (and adjusted
+    // the gauge); only account for entries removed here.
+    reg.gauge_add(pm.queue_depth,
+                  -static_cast<std::int64_t>(
+                      std::distance(new_end, pending_.end())));
+    pending_.erase(new_end, pending_.end());
   }
   if (loop->error) std::rethrow_exception(loop->error);
 }

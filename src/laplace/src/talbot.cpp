@@ -4,6 +4,8 @@
 #include <stdexcept>
 
 #include "rlc/math/constants.hpp"
+#include "rlc/obs/metrics.hpp"
+#include "rlc/obs/trace.hpp"
 
 namespace rlc::laplace {
 
@@ -57,6 +59,11 @@ const ContourBasis& contour_basis(int M) {
 double talbot_invert(const LaplaceFn& F, double t, int M) {
   if (!(t > 0.0)) throw std::invalid_argument("talbot_invert: t must be > 0");
   if (M < 4) throw std::invalid_argument("talbot_invert: M must be >= 4");
+  auto& reg = obs::Registry::global();
+  static const int kCalls = reg.counter("talbot.invert.calls");
+  static const int kEvals = reg.counter("talbot.invert.f_evals");
+  reg.add(kCalls);
+  reg.add(kEvals, M);
   const double r = 2.0 * M / (5.0 * t);
   double acc = 0.0;
   for (int k = 0; k < M; ++k) {
@@ -80,6 +87,13 @@ TalbotContour::TalbotContour(const LaplaceFn& F, double t_max, int M) {
     throw std::invalid_argument("TalbotContour: t_max must be > 0");
   }
   if (M < 4) throw std::invalid_argument("TalbotContour: M must be >= 4");
+  RLC_TRACE_SPAN("talbot_contour");
+  auto& reg = obs::Registry::global();
+  static const int kContours = reg.counter("talbot.contours");
+  static const int kEvalsPerContour =
+      reg.histogram("talbot.contour.f_evals", 4.0, 4096.0, 20);
+  reg.add(kContours);
+  reg.record(kEvalsPerContour, static_cast<double>(M));
   t_max_ = t_max;
   r_ = 2.0 * M / (5.0 * t_max);
   node_re_.reserve(M);

@@ -3,11 +3,41 @@
 #include <algorithm>
 #include <cmath>
 
+#include "rlc/obs/metrics.hpp"
+#include "rlc/obs/trace.hpp"
+
 namespace rlc::math {
+
+namespace {
+
+/// Records one Brent solve (iterations histogram + solves/failures) when
+/// the enclosing call returns; observation only, never feeds back.
+struct BrentScope {
+  int iters_hist;
+  int solves;
+  int failures;
+  const bool* converged;
+  const int* iterations;
+  ~BrentScope() {
+    auto& reg = obs::Registry::global();
+    reg.add(solves);
+    if (!*converged) reg.add(failures);
+    reg.record(iters_hist, static_cast<double>(*iterations));
+  }
+};
+
+}  // namespace
 
 BrentResult brent_root(const std::function<double(double)>& f, double a,
                        double b, double tol, int max_iter) {
+  RLC_TRACE_SPAN("brent_root");
+  auto& reg = obs::Registry::global();
+  static const int kIters =
+      reg.histogram("brent.root.iterations", 1.0, 256.0, 16);
+  static const int kSolves = reg.counter("brent.root.solves");
+  static const int kFailures = reg.counter("brent.root.failures");
   BrentResult r;
+  BrentScope scope{kIters, kSolves, kFailures, &r.converged, &r.iterations};
   double fa = f(a), fb = f(b);
   if (fa == 0.0) {
     r = {a, 0.0, 0, true};
@@ -88,11 +118,17 @@ BrentResult brent_root(const std::function<double(double)>& f, double a,
 std::optional<std::pair<double, double>> scan_bracket(
     const std::function<double(double)>& f, double a, double b, int n) {
   if (n < 1) return std::nullopt;
+  auto& reg = obs::Registry::global();
+  static const int kScans = reg.counter("brent.bracket.scans");
+  static const int kEvals = reg.counter("brent.bracket.evals");
+  reg.add(kScans);
+  reg.add(kEvals);  // f(x0) below; each loop step adds one more
   double x0 = a;
   double f0 = f(x0);
   for (int i = 1; i <= n; ++i) {
     const double x1 = a + (b - a) * static_cast<double>(i) / n;
     const double f1 = f(x1);
+    reg.add(kEvals);
     if (std::isfinite(f0) && std::isfinite(f1) && f0 * f1 <= 0.0) {
       return std::make_pair(x0, x1);
     }
@@ -105,7 +141,14 @@ std::optional<std::pair<double, double>> scan_bracket(
 MinResult brent_minimize(const std::function<double(double)>& f, double a,
                          double b, double tol, int max_iter) {
   static constexpr double kGolden = 0.3819660112501051;
+  auto& reg = obs::Registry::global();
+  static const int kIters =
+      reg.histogram("brent.minimize.iterations", 1.0, 256.0, 16);
+  static const int kSolves = reg.counter("brent.minimize.solves");
+  static const int kFailures = reg.counter("brent.minimize.failures");
   MinResult res;
+  BrentScope scope{kIters, kSolves, kFailures, &res.converged,
+                   &res.iterations};
   double x = a + kGolden * (b - a);
   double w = x, v = x;
   double fx = f(x), fw = fx, fv = fx;

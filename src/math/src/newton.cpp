@@ -3,12 +3,44 @@
 #include <algorithm>
 #include <cmath>
 
+#include "rlc/obs/metrics.hpp"
+#include "rlc/obs/trace.hpp"
+
 namespace rlc::math {
+
+namespace {
+
+/// Per-family instrumentation for a Newton solver: solves/failures
+/// counters plus an iterations-to-converge histogram, recorded when the
+/// enclosing solve returns (any exit path).  Pure observation — never
+/// feeds back into the iteration.
+struct SolveScope {
+  int iters_hist;
+  int solves;
+  int failures;
+  const bool* converged;
+  const int* iterations;
+  ~SolveScope() {
+    auto& reg = obs::Registry::global();
+    reg.add(solves);
+    if (!*converged) reg.add(failures);
+    reg.record(iters_hist, static_cast<double>(*iterations));
+  }
+};
+
+}  // namespace
 
 SolveResult newton_scalar(const std::function<double(double)>& f,
                           const std::function<double(double)>& fprime,
                           double x0, const NewtonOptions& opts) {
+  auto& reg = obs::Registry::global();
+  static const int kIters =
+      reg.histogram("newton.scalar.iterations", 1.0, 256.0, 16);
+  static const int kSolves = reg.counter("newton.scalar.solves");
+  static const int kFailures = reg.counter("newton.scalar.failures");
+  static const int kBacktracks = reg.counter("newton.scalar.backtracks");
   SolveResult r;
+  SolveScope scope{kIters, kSolves, kFailures, &r.converged, &r.iterations};
   double x = x0;
   double fx = f(x);
   for (int it = 0; it < opts.max_iterations; ++it) {
@@ -33,6 +65,7 @@ SolveResult newton_scalar(const std::function<double(double)>& f,
         fxn = f(xn);
         ++bt;
       }
+      if (bt > 0) reg.add(kBacktracks, bt);
     }
     if (opts.x_tolerance > 0.0 &&
         std::abs(step) <= opts.x_tolerance * (1.0 + std::abs(xn))) {
@@ -57,7 +90,13 @@ SolveResult newton_bisect_scalar(const std::function<double(double)>& f,
                                  const std::function<double(double)>& fprime,
                                  double lo, double hi,
                                  const NewtonOptions& opts) {
+  auto& reg = obs::Registry::global();
+  static const int kIters =
+      reg.histogram("newton.bisect.iterations", 1.0, 256.0, 16);
+  static const int kSolves = reg.counter("newton.bisect.solves");
+  static const int kFailures = reg.counter("newton.bisect.failures");
   SolveResult r;
+  SolveScope scope{kIters, kSolves, kFailures, &r.converged, &r.iterations};
   double flo = f(lo);
   double fhi = f(hi);
   if (flo == 0.0) {
@@ -141,7 +180,15 @@ SolveResult2 newton_2d(const Fn2& f, const Jac2& jac,
                        std::array<double, 2> x0, const NewtonOptions& opts,
                        std::optional<std::array<double, 2>> lower_bounds,
                        double bound_fraction) {
+  RLC_TRACE_SPAN("newton_2d");
+  auto& reg = obs::Registry::global();
+  static const int kIters =
+      reg.histogram("newton.2d.iterations", 1.0, 256.0, 16);
+  static const int kSolves = reg.counter("newton.2d.solves");
+  static const int kFailures = reg.counter("newton.2d.failures");
+  static const int kBacktracks = reg.counter("newton.2d.backtracks");
   SolveResult2 r;
+  SolveScope scope{kIters, kSolves, kFailures, &r.converged, &r.iterations};
   std::array<double, 2> x = x0;
   std::array<double, 2> fx = f(x);
   for (int it = 0; it < opts.max_iterations; ++it) {
@@ -181,6 +228,7 @@ SolveResult2 newton_2d(const Fn2& f, const Jac2& jac,
         fxn = f(xn);
         ++bt;
       }
+      if (bt > 0) reg.add(kBacktracks, bt);
       if (!std::isfinite(fxn[0]) || !std::isfinite(fxn[1])) break;
     }
     if (opts.x_tolerance > 0.0 &&

@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file progress.hpp
+/// Throttled completed/total progress line for long sweeps
+/// (`rlc_run --progress`).  Thread-safe: scenarios complete on pool
+/// threads, so tick() may be called concurrently; output is rate-limited
+/// so a thousand fast completions cost one stderr write per interval.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+namespace rlc::obs {
+
+class Progress {
+ public:
+  /// A meter over `total` units.  When `enabled` is false every call is a
+  /// no-op (callers keep one unconditional tick() in the loop).
+  Progress(std::size_t total, bool enabled);
+
+  /// One unit done; prints "\r[done/total] label" to stderr at most every
+  /// `kIntervalNs` (the final unit always prints).
+  void tick(const std::string& label = std::string());
+
+  /// Terminate the progress line (newline) if anything was printed.
+  void finish();
+
+  std::size_t done() const { return done_.load(std::memory_order_relaxed); }
+
+  static constexpr std::int64_t kIntervalNs = 100'000'000;  // 100 ms
+
+ private:
+  const std::size_t total_;
+  const bool enabled_;
+  std::atomic<std::size_t> done_{0};
+  std::atomic<std::int64_t> last_print_ns_{0};
+  std::atomic<bool> printed_{false};
+  std::mutex print_mu_;
+};
+
+}  // namespace rlc::obs

@@ -1,0 +1,37 @@
+#include "rlc/obs/progress.hpp"
+
+#include <cstdio>
+
+#include "rlc/obs/trace.hpp"
+
+namespace rlc::obs {
+
+Progress::Progress(std::size_t total, bool enabled)
+    : total_(total), enabled_(enabled) {}
+
+void Progress::tick(const std::string& label) {
+  const std::size_t done = done_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (!enabled_) return;
+  const std::int64_t now = Tracer::now_ns();
+  std::int64_t last = last_print_ns_.load(std::memory_order_relaxed);
+  const bool final_unit = done >= total_;
+  if (!final_unit && now - last < kIntervalNs) return;
+  if (!last_print_ns_.compare_exchange_strong(last, now,
+                                              std::memory_order_relaxed) &&
+      !final_unit) {
+    return;  // another thread just printed
+  }
+  std::lock_guard<std::mutex> lk(print_mu_);
+  std::fprintf(stderr, "\r[%zu/%zu] %-40.40s", done, total_, label.c_str());
+  std::fflush(stderr);
+  printed_.store(true, std::memory_order_relaxed);
+}
+
+void Progress::finish() {
+  if (!enabled_ || !printed_.load(std::memory_order_relaxed)) return;
+  std::lock_guard<std::mutex> lk(print_mu_);
+  std::fprintf(stderr, "\n");
+  std::fflush(stderr);
+}
+
+}  // namespace rlc::obs

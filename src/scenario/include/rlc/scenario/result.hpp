@@ -13,14 +13,17 @@
 
 #include "rlc/exec/counters.hpp"
 #include "rlc/io/json.hpp"
+#include "rlc/obs/metrics.hpp"
+#include "rlc/obs/trace.hpp"
 #include "rlc/scenario/spec.hpp"
 
 namespace rlc::scenario {
 
 /// Version of the BENCH_<name>.json envelope written by
-/// ScenarioResult::to_json (bumped from the ad-hoc schema 1 the old
-/// perf benches emitted).
-inline constexpr int kSchemaVersion = 2;
+/// ScenarioResult::to_json.  History: 1 was the ad-hoc perf-bench format,
+/// 2 added the scenario envelope, 3 added the `observability` block
+/// (metrics snapshot + span rollup).
+inline constexpr int kSchemaVersion = 3;
 
 /// One table cell: a number or a short text label (e.g. "-" for a
 /// non-converged point, a technology name in a key column).
@@ -61,6 +64,24 @@ struct Metric {
   double value = 0.0;
 };
 
+/// What the obs layer saw during one scenario run: the registry delta
+/// bracketing the scenario body plus the tracer's span rollup over the
+/// same bracket.  Attribution is exact when scenarios run one at a time
+/// (--serial, --spec, or a single name); under --all concurrency the
+/// registry and tracer are process-wide, so concurrently running
+/// scenarios bleed into each other's deltas — the numbers remain correct
+/// in aggregate, just not per-scenario-exclusive.
+struct Observability {
+  obs::MetricsSnapshot metrics;            ///< delta, zero entries dropped
+  std::vector<obs::Tracer::SpanStats> spans;  ///< rollup delta by name
+  std::uint64_t dropped_spans = 0;
+  bool tracing = false;  ///< tracer was enabled during the run
+
+  /// {"tracing": b, "dropped_spans": n, "metrics": {...},
+  ///  "spans": {name: {count, total_ns, top_level_ns}}}
+  io::Json to_json() const;
+};
+
 /// Everything one scenario run produced.
 struct ScenarioResult {
   std::string name;   ///< scenario name (registry key)
@@ -70,6 +91,7 @@ struct ScenarioResult {
   std::vector<Metric> metrics;
   std::vector<std::string> notes;
   exec::Counters::Snapshot counters;
+  Observability observability;
   double wall_seconds = 0.0;
   int threads = 1;     ///< pool size the run saw
   std::string error;   ///< non-empty: the scenario threw; everything else
@@ -80,15 +102,17 @@ struct ScenarioResult {
   }
   void note(std::string text) { notes.push_back(std::move(text)); }
 
-  /// The schema-2 artifact envelope (see README "Machine-readable
+  /// The schema-3 artifact envelope (see README "Machine-readable
   /// artifacts"): schema, bench, title, quick, threads, wall_seconds,
-  /// spec{...}, counters{...}, tables[...], metrics{...}, notes[...],
-  /// and `error` when the run failed.
+  /// spec{...}, counters{...}, observability{...}, tables[...],
+  /// metrics{...}, notes[...], and `error` when the run failed.
   io::Json to_json() const;
 
   /// Order-sensitive digest of every numeric cell and metric — equal
   /// fingerprints mean bit-identical numbers.  Used by the determinism
   /// tests (--threads 1 vs N) and the legacy-equivalence checks.
+  /// Deliberately excludes observability (counts vary with thread count
+  /// and tracing; the physics must not).
   std::string numeric_fingerprint() const;
 };
 

@@ -2,8 +2,37 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <unordered_map>
+
+#include "rlc/obs/metrics.hpp"
+#include "rlc/obs/trace.hpp"
 
 namespace rlc::scenario {
+
+namespace {
+
+/// Span rollup delta: later minus earlier, matched by name; names whose
+/// counts did not move are dropped.  Rollups are cumulative sums, so the
+/// subtraction is exact per name.
+std::vector<obs::Tracer::SpanStats> rollup_delta(
+    const std::vector<obs::Tracer::SpanStats>& earlier,
+    std::vector<obs::Tracer::SpanStats> later) {
+  std::unordered_map<std::string, const obs::Tracer::SpanStats*> by_name;
+  for (const auto& s : earlier) by_name.emplace(s.name, &s);
+  std::vector<obs::Tracer::SpanStats> out;
+  for (auto& s : later) {
+    const auto it = by_name.find(s.name);
+    if (it != by_name.end()) {
+      s.count -= it->second->count;
+      s.total_ns -= it->second->total_ns;
+      s.top_level_ns -= it->second->top_level_ns;
+    }
+    if (s.count > 0) out.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace
 
 ScenarioRegistry& ScenarioRegistry::global() {
   static ScenarioRegistry r;
@@ -64,14 +93,41 @@ ScenarioResult run_scenario(const Scenario& s, const ScenarioSpec& spec,
   spec.validate();
   exec::Counters counters;
   ScenarioContext ctx{pool, &counters};
+  // Bracket the scenario body with registry/tracer snapshots so the
+  // envelope can attribute activity to this run.  Exact when scenarios run
+  // one at a time; under --all concurrency the deltas include whatever
+  // other scenarios did meanwhile (see Observability doc).
+  const bool tracing = obs::Tracer::enabled();
+  const obs::MetricsSnapshot metrics_before = obs::Registry::global().snapshot();
+  const std::vector<obs::Tracer::SpanStats> spans_before =
+      tracing ? obs::Tracer::global().rollup()
+              : std::vector<obs::Tracer::SpanStats>{};
   const exec::StopWatch watch;
-  ScenarioResult result = s.fn(spec, ctx);
+  ScenarioResult result;
+  {
+    // The scenario body is itself a span (named after the scenario) so a
+    // trace shows where each scenario starts/ends; registry names are
+    // stable for the life of the process, satisfying the tracer's
+    // pointer-lifetime contract.
+    obs::SpanGuard span(s.name.c_str());
+    result = s.fn(spec, ctx);
+  }
   result.wall_seconds = watch.seconds();
   result.name = s.name;
   result.title = s.title;
   result.spec = spec;
   result.counters = counters.snapshot();
   result.threads = static_cast<int>(ctx.pool_ref().size());
+  result.observability.tracing = tracing;
+  result.observability.metrics = obs::Registry::global()
+                                     .snapshot()
+                                     .delta_since(metrics_before)
+                                     .without_zeros();
+  if (tracing) {
+    result.observability.spans =
+        rollup_delta(spans_before, obs::Tracer::global().rollup());
+    result.observability.dropped_spans = obs::Tracer::global().dropped();
+  }
   return result;
 }
 

@@ -38,6 +38,23 @@ io::Json Table::to_json() const {
   return j;
 }
 
+io::Json Observability::to_json() const {
+  io::Json spans_j;
+  for (const auto& s : spans) {
+    io::Json sj;
+    sj.set("count", static_cast<long long>(s.count));
+    sj.set("total_ns", static_cast<long long>(s.total_ns));
+    sj.set("top_level_ns", static_cast<long long>(s.top_level_ns));
+    spans_j.set(s.name, sj);
+  }
+  io::Json j;
+  j.set("tracing", tracing);
+  j.set("dropped_spans", static_cast<long long>(dropped_spans));
+  j.set("metrics", metrics.to_json());
+  j.set("spans", spans_j);
+  return j;
+}
+
 io::Json ScenarioResult::to_json() const {
   io::Json j;
   j.set("schema", kSchemaVersion);
@@ -58,6 +75,8 @@ io::Json ScenarioResult::to_json() const {
   counters_j.set("wall_min_s", counters.wall_min_s);
   counters_j.set("wall_max_s", counters.wall_max_s);
   j.set("counters", counters_j);
+
+  j.set("observability", observability.to_json());
 
   io::JsonArray tables_j;
   for (const auto& t : tables) tables_j.push(t.to_json());

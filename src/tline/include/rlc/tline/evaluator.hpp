@@ -33,6 +33,11 @@ class TransferEvaluator {
   /// Validates the line (LineParams::validate) and hoists the invariants.
   TransferEvaluator(const LineParams& line, double h, const DriverLoad& dl);
 
+  /// Flushes this evaluator's cache tallies into the global metrics
+  /// registry ("tline.transfer.evals" / "tline.transfer.cache_hits") —
+  /// batching at destruction keeps the per-query path untouched.
+  ~TransferEvaluator();
+
   /// Exact H(s), dc-safe form, memoized.
   std::complex<double> transfer(std::complex<double> s) const;
 

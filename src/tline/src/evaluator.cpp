@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdint>
 
+#include "rlc/obs/metrics.hpp"
 #include "transfer_detail.hpp"
 
 namespace rlc::tline {
@@ -37,6 +38,18 @@ TransferEvaluator::TransferEvaluator(const LineParams& line, double h,
   ch_ = line.c * h;
   lh_ = line.l * h;
   rh_ = line.r * h;
+}
+
+TransferEvaluator::~TransferEvaluator() {
+  auto& reg = obs::Registry::global();
+  static const int kEvals = reg.counter("tline.transfer.evals");
+  static const int kHits = reg.counter("tline.transfer.cache_hits");
+  if (evaluations_ > 0) {
+    reg.add(kEvals, static_cast<std::int64_t>(evaluations_));
+  }
+  if (cache_hits_ > 0) {
+    reg.add(kHits, static_cast<std::int64_t>(cache_hits_));
+  }
 }
 
 cplx TransferEvaluator::compute(cplx s) const {

@@ -1,0 +1,118 @@
+/// rlc::exec::Counters as a façade over the rlc::obs registry: per-sweep
+/// instance totals keep their historical semantics, every record also
+/// lands under the sweep.* registry metrics, and the zero-solve summary
+/// renders a plain marker instead of 0-task division artifacts.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "rlc/exec/counters.hpp"
+#include "rlc/obs/metrics.hpp"
+
+namespace {
+
+using rlc::exec::Counters;
+using rlc::obs::MetricsSnapshot;
+using rlc::obs::Registry;
+
+std::int64_t counter_value(const MetricsSnapshot& s, const std::string& name) {
+  for (const auto& [n, v] : s.counters) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+const rlc::obs::HistogramSnapshot* find_hist(const MetricsSnapshot& s,
+                                             const std::string& name) {
+  for (const auto& h : s.histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+TEST(CountersFacade, ZeroSolveSummaryRendersPlainMarker) {
+  const Counters c;
+  for (const std::string& text :
+       {c.summary(), c.summary("empty sweep"),
+        Counters::summary(Counters::Snapshot{}, "from snapshot")}) {
+    EXPECT_NE(text.find("no solves recorded"), std::string::npos) << text;
+    // The regression this pins: no 0-task ratios or division artifacts.
+    EXPECT_EQ(text.find("nan"), std::string::npos) << text;
+    EXPECT_EQ(text.find("inf"), std::string::npos) << text;
+    EXPECT_EQ(text.find("/solve"), std::string::npos) << text;
+  }
+  EXPECT_NE(c.summary("empty sweep").find("empty sweep"), std::string::npos);
+  // The snapshot itself is all zeros with a well-defined mean.
+  const Counters::Snapshot s = c.snapshot();
+  EXPECT_EQ(s.tasks, 0);
+  EXPECT_EQ(s.wall_min_s, 0.0);
+  EXPECT_EQ(s.wall_mean_s(), 0.0);
+}
+
+TEST(CountersFacade, SolveSummaryStillRendersRatios) {
+  Counters c;
+  c.record_solve(4, false, false, 1e-3);
+  c.record_solve(6, true, false, 3e-3);
+  const std::string text = c.summary("sweep");
+  EXPECT_NE(text.find("tasks 2"), std::string::npos) << text;
+  EXPECT_NE(text.find("newton iters 10 (5.0/solve)"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("nm fallbacks 1"), std::string::npos) << text;
+}
+
+TEST(CountersFacade, RecordSolveForwardsToSweepRegistryMetrics) {
+  Counters c;
+  const MetricsSnapshot before = Registry::global().snapshot();
+  c.record_solve(4, false, false, 1e-4);
+  c.record_solve(5, true, false, 2e-4);
+  c.record_solve(3, false, true, 3e-4);
+  const MetricsSnapshot delta = Registry::global().snapshot().delta_since(before);
+
+  EXPECT_EQ(counter_value(delta, "sweep.tasks"), 3);
+  EXPECT_EQ(counter_value(delta, "sweep.newton_iters"), 12);
+  EXPECT_EQ(counter_value(delta, "sweep.fallbacks"), 1);
+  EXPECT_EQ(counter_value(delta, "sweep.failures"), 1);
+  const auto* wall = find_hist(delta, "sweep.task_wall_s");
+  ASSERT_NE(wall, nullptr);
+  EXPECT_EQ(wall->count, 3u);
+
+  // The per-instance envelope saw the same activity.
+  const Counters::Snapshot s = c.snapshot();
+  EXPECT_EQ(s.tasks, 3);
+  EXPECT_EQ(s.newton_iterations, 12);
+  EXPECT_EQ(s.fallbacks, 1);
+  EXPECT_EQ(s.failures, 1);
+  EXPECT_NEAR(s.wall_total_s, 6e-4, 1e-9);
+  EXPECT_NEAR(s.wall_min_s, 1e-4, 1e-9);
+  EXPECT_NEAR(s.wall_max_s, 3e-4, 1e-9);
+}
+
+TEST(CountersFacade, InstancesStayIsolatedFromEachOther) {
+  Counters a, b;
+  a.record_solve(7, false, false, 1e-3);
+  EXPECT_EQ(a.snapshot().tasks, 1);
+  EXPECT_EQ(b.snapshot().tasks, 0);
+  b.reset();  // resetting one instance never touches another
+  EXPECT_EQ(a.snapshot().tasks, 1);
+  a.reset();
+  EXPECT_EQ(a.snapshot().tasks, 0);
+  EXPECT_NE(a.summary().find("no solves recorded"), std::string::npos);
+}
+
+TEST(CountersFacade, RecordWallCountsATaskWithoutIterations) {
+  Counters c;
+  const MetricsSnapshot before = Registry::global().snapshot();
+  c.record_wall(5e-4);
+  const MetricsSnapshot delta = Registry::global().snapshot().delta_since(before);
+  EXPECT_EQ(counter_value(delta, "sweep.tasks"), 1);
+  EXPECT_EQ(counter_value(delta, "sweep.newton_iters"), 0);
+  const Counters::Snapshot s = c.snapshot();
+  EXPECT_EQ(s.tasks, 1);
+  EXPECT_EQ(s.newton_iterations, 0);
+  EXPECT_NEAR(s.wall_min_s, 5e-4, 1e-9);
+}
+
+}  // namespace
