@@ -8,3 +8,11 @@ target_link_libraries(rlc_run PRIVATE
   rlc_scenario rlc_io rlc_exec rlc_core rlc_obs rlcopt_warnings)
 set_target_properties(rlc_run PROPERTIES
   RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+
+# NDJSON query server over rlc::svc (stdin/stdout or a Unix socket), plus
+# the cold-vs-warm serving bench behind --bench.
+add_executable(rlc_serve bench/rlc_serve.cpp)
+target_link_libraries(rlc_serve PRIVATE
+  rlc_svc rlc_scenario rlc_io rlc_exec rlc_core rlc_obs rlcopt_warnings)
+set_target_properties(rlc_serve PROPERTIES
+  RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "rlc/base/status.hpp"
 #include "rlc/exec/thread_pool.hpp"
 #include "rlc/io/json.hpp"
 #include "rlc/io/json_reader.hpp"
@@ -103,10 +104,18 @@ int main(int argc, char** argv) {
     }
   }
 
-  // Pin the pool size before anything touches the default pool; malformed
-  // values fall back to hardware concurrency with a warning (see
-  // rlc::exec::parse_thread_count).
+  // Pin the pool size before anything touches the default pool.  Both the
+  // --threads flag and a pre-set RLC_NUM_THREADS are validated STRICTLY:
+  // "0", negative, or garbage is a configuration error worth stopping for,
+  // not something to paper over with the hardware count.
   if (!threads_arg.empty()) setenv("RLC_NUM_THREADS", threads_arg.c_str(), 1);
+  if (const auto parsed = rlc::exec::parse_thread_count_strict(
+          std::getenv("RLC_NUM_THREADS"));
+      !parsed.is_ok()) {
+    std::fprintf(stderr, "rlc_run: %s\n",
+                 parsed.status().to_string().c_str());
+    return 2;
+  }
 
   rlc::scenario::register_all_scenarios();
   const auto& reg = rlc::scenario::ScenarioRegistry::global();
@@ -147,18 +156,38 @@ int main(int argc, char** argv) {
   for (const auto* s : scenarios) {
     rlc::scenario::ScenarioSpec spec = s->defaults;
     if (!spec_file.empty()) {
-      try {
-        spec = rlc::scenario::ScenarioSpec::from_json(
-            rlc::io::parse_json_file(spec_file));
-        spec.scenario = s->name;
-      } catch (const std::exception& e) {
+      rlc::StatusOr<rlc::scenario::ScenarioSpec> parsed = [&] {
+        try {
+          return rlc::scenario::ScenarioSpec::from_json(
+              rlc::io::parse_json_file(spec_file));
+        } catch (const std::exception& e) {  // unreadable file
+          return rlc::StatusOr<rlc::scenario::ScenarioSpec>(
+              rlc::Status::invalid_argument(e.what()));
+        }
+      }();
+      if (!parsed.is_ok()) {
         std::fprintf(stderr, "rlc_run: cannot load --spec %s: %s\n",
-                     spec_file.c_str(), e.what());
+                     spec_file.c_str(),
+                     parsed.status().to_string().c_str());
         return 2;
       }
+      spec = std::move(parsed).value();
+      spec.scenario = s->name;
     }
     if (quick) spec = rlc::scenario::quick_spec(std::move(spec));
     specs.push_back(std::move(spec));
+  }
+
+  // Create the artifact directory up front so an unwritable destination
+  // fails fast, before any scenario burns time.
+  if (!json_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(json_dir, ec);
+    if (ec) {
+      std::fprintf(stderr, "rlc_run: cannot create %s: %s\n", json_dir.c_str(),
+                   ec.message().c_str());
+      return 2;
+    }
   }
 
   // Run.  Independent scenarios fan over the shared pool (their internal
@@ -213,13 +242,6 @@ int main(int argc, char** argv) {
   for (const auto& res : results) bench::print_result(res);
 
   if (!json_dir.empty()) {
-    std::error_code ec;
-    std::filesystem::create_directories(json_dir, ec);
-    if (ec) {
-      std::fprintf(stderr, "rlc_run: cannot create %s: %s\n", json_dir.c_str(),
-                   ec.message().c_str());
-      return 1;
-    }
     std::printf("\n");
     for (const auto& res : results) {
       std::string path = json_dir;

@@ -1,0 +1,406 @@
+/// \file rlc_serve.cpp
+/// NDJSON query server over rlc::svc — the serving front-end of the
+/// redesigned public API.
+///
+/// Modes:
+///   rlc_serve                      read request lines from stdin, write
+///                                  one response line each to stdout
+///   rlc_serve --socket PATH       serve connections on a Unix socket
+///                                  (one connection at a time; the session
+///                                  and its caches persist across them)
+///   rlc_serve --bench [--json F]  synthetic cold-vs-warm throughput bench
+///                                  writing the BENCH_serve.json artifact
+///
+/// Stdin batching is greedy but never adds latency: the first getline
+/// blocks, then whatever further lines the stream already buffered (up to
+/// --max-batch) join the same submit_batch.  A lone interactive request is
+/// answered immediately; a canned CI pipe is served in parallel batches.
+///
+/// Exit codes: 0 served/bench OK, 2 bad usage or setup failure.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "rlc/base/status.hpp"
+#include "rlc/base/version.hpp"
+#include "rlc/exec/thread_pool.hpp"
+#include "rlc/io/json.hpp"
+#include "rlc/obs/metrics.hpp"
+#include "rlc/svc/serve.hpp"
+#include "rlc/svc/session.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#define RLC_SERVE_HAVE_UNIX_SOCKETS 1
+#else
+#define RLC_SERVE_HAVE_UNIX_SOCKETS 0
+#endif
+
+namespace {
+
+struct Args {
+  std::size_t threads = 0;       // 0: default_thread_count()
+  std::size_t cache = 4096;      // result-cache entries
+  int max_batch = 64;            // lines per submit_batch
+  std::string socket_path;       // empty: stdin/stdout
+  bool bench = false;
+  bool quick = false;
+  bool metrics = false;          // dump svc.* metrics to stderr on exit
+  std::string json_path;         // --bench artifact destination
+};
+
+int usage(const char* argv0, int code) {
+  std::FILE* out = code == 0 ? stdout : stderr;
+  std::fprintf(out,
+               "usage: %s [options]\n"
+               "  --threads N     session pool size (default: hardware / "
+               "RLC_NUM_THREADS)\n"
+               "  --cache N       result-cache capacity in entries "
+               "(default 4096, 0 disables)\n"
+               "  --max-batch N   request lines per parallel batch "
+               "(default 64)\n"
+               "  --socket PATH   serve a Unix socket instead of stdin\n"
+               "  --bench         run the cold-vs-warm throughput bench\n"
+               "  --quick         smaller bench workload (CI)\n"
+               "  --json FILE     write the bench artifact here "
+               "(default BENCH_serve.json)\n"
+               "  --metrics       print svc.* metrics to stderr on exit\n"
+               "  --version       print the library version\n",
+               argv0);
+  return code;
+}
+
+bool parse_size(const char* text, std::size_t* out) {
+  rlc::StatusOr<std::size_t> v = rlc::exec::parse_thread_count_strict(text);
+  if (!v.is_ok()) return false;
+  *out = *v;
+  return true;
+}
+
+/// Echo the svc.* slice of the metrics registry to stderr.
+void dump_metrics() {
+  const rlc::obs::MetricsSnapshot snap =
+      rlc::obs::Registry::global().snapshot();
+  for (const auto& [name, value] : snap.counters) {
+    if (name.rfind("svc.", 0) == 0) {
+      std::fprintf(stderr, "%-24s %lld\n", name.c_str(),
+                   static_cast<long long>(value));
+    }
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    if (name.rfind("svc.", 0) == 0) {
+      std::fprintf(stderr, "%-24s %lld\n", name.c_str(),
+                   static_cast<long long>(value));
+    }
+  }
+  for (const auto& h : snap.histograms) {
+    if (h.name.rfind("svc.", 0) != 0 || h.count == 0) continue;
+    std::fprintf(stderr, "%-24s count %llu  p50 %.0f  p99 %.0f  max %.0f\n",
+                 h.name.c_str(), static_cast<unsigned long long>(h.count),
+                 h.quantile(0.5), h.quantile(0.99), h.max);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// stdin/stdout transport
+
+int serve_stdio(rlc::svc::Server& server, int max_batch) {
+  // Unsynced iostreams give getline a real buffer, so in_avail() below can
+  // see the rest of a piped workload (synced-with-stdio cin never buffers).
+  std::ios::sync_with_stdio(false);
+  std::string line;
+  std::vector<std::string> block;
+  while (std::getline(std::cin, line)) {
+    block.push_back(line);
+    // Greedy drain of already-buffered input: batches parallelize piped
+    // workloads without delaying an interactive request.
+    while (block.size() < static_cast<std::size_t>(max_batch) &&
+           std::cin.rdbuf()->in_avail() > 0 && std::getline(std::cin, line)) {
+      block.push_back(line);
+    }
+    for (const std::string& resp : server.handle_lines(block)) {
+      std::fputs(resp.c_str(), stdout);
+      std::fputc('\n', stdout);
+    }
+    std::fflush(stdout);
+    block.clear();
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// Unix-socket transport
+
+#if RLC_SERVE_HAVE_UNIX_SOCKETS
+int serve_socket(rlc::svc::Server& server, const std::string& path,
+                 int max_batch) {
+  const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listener < 0) {
+    std::perror("rlc_serve: socket");
+    return 2;
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    std::fprintf(stderr, "rlc_serve: socket path too long: %s\n",
+                 path.c_str());
+    ::close(listener);
+    return 2;
+  }
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  ::unlink(path.c_str());
+  if (::bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+          0 ||
+      ::listen(listener, 8) < 0) {
+    std::perror("rlc_serve: bind/listen");
+    ::close(listener);
+    return 2;
+  }
+  std::fprintf(stderr, "rlc_serve %s listening on %s\n", rlc::version(),
+               path.c_str());
+
+  // Connections are served one at a time; the session (pool, caches)
+  // persists across them, so later connections arrive warm.
+  for (;;) {
+    const int conn = ::accept(listener, nullptr, nullptr);
+    if (conn < 0) {
+      std::perror("rlc_serve: accept");
+      break;
+    }
+    std::string pending;
+    char buf[4096];
+    for (;;) {
+      const ssize_t got = ::read(conn, buf, sizeof(buf));
+      if (got <= 0) break;
+      pending.append(buf, static_cast<std::size_t>(got));
+      // Serve every complete line received so far as one block: lines that
+      // arrived together batch together.
+      std::vector<std::string> block;
+      std::size_t start = 0;
+      for (std::size_t nl = pending.find('\n'); nl != std::string::npos;
+           nl = pending.find('\n', start)) {
+        block.push_back(pending.substr(start, nl - start));
+        start = nl + 1;
+        if (block.size() >= static_cast<std::size_t>(max_batch)) break;
+      }
+      pending.erase(0, start);
+      if (block.empty()) continue;
+      std::string out;
+      for (const std::string& resp : server.handle_lines(block)) {
+        out += resp;
+        out += '\n';
+      }
+      std::size_t sent = 0;
+      while (sent < out.size()) {
+        const ssize_t w = ::write(conn, out.data() + sent, out.size() - sent);
+        if (w <= 0) break;
+        sent += static_cast<std::size_t>(w);
+      }
+    }
+    ::close(conn);
+  }
+  ::close(listener);
+  ::unlink(path.c_str());
+  return 0;
+}
+#endif
+
+// ---------------------------------------------------------------------------
+// Cold-vs-warm throughput bench
+
+struct BenchPass {
+  double seconds = 0.0;
+  std::size_t requests = 0;
+  double qps() const { return seconds > 0.0 ? requests / seconds : 0.0; }
+};
+
+BenchPass run_pass(rlc::svc::Session& session,
+                   const std::vector<rlc::svc::QueryRequest>& reqs) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto results = session.submit_batch(reqs);
+  BenchPass pass;
+  pass.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  for (const auto& r : results) {
+    if (!r.is_ok()) {
+      std::fprintf(stderr, "rlc_serve --bench: request failed: %s\n",
+                   r.status().to_string().c_str());
+      std::exit(2);
+    }
+  }
+  pass.requests = reqs.size();
+  return pass;
+}
+
+int run_bench(const Args& args) {
+  // Workload: both technologies swept over the paper's inductance range,
+  // exact-waveform engine on (so the warm Talbot caches matter).
+  const int points = args.quick ? 24 : 96;
+  std::vector<rlc::svc::QueryRequest> reqs;
+  for (const char* tech : {"250nm", "100nm"}) {
+    for (int i = 0; i < points; ++i) {
+      rlc::svc::QueryRequest q;
+      q.technology = tech;
+      q.l = 5.0e-6 * i / (points - 1);
+      q.with_exact_delay = true;
+      reqs.push_back(q);
+    }
+  }
+
+  rlc::svc::SessionOptions serial_opts;
+  serial_opts.threads = 1;
+  serial_opts.cache_capacity = args.cache;
+  rlc::svc::Session serial(serial_opts);
+  const BenchPass t1_cold = run_pass(serial, reqs);
+  const BenchPass t1_warm = run_pass(serial, reqs);
+
+  rlc::svc::SessionOptions par_opts;
+  par_opts.threads = args.threads;
+  par_opts.cache_capacity = args.cache;
+  rlc::svc::Session parallel(par_opts);
+  const BenchPass tn_cold = run_pass(parallel, reqs);
+  const BenchPass tn_warm = run_pass(parallel, reqs);
+
+  const auto serial_stats = serial.cache_stats();
+  const double warm_hit_rate =
+      serial_stats.hits + serial_stats.misses > 0
+          ? static_cast<double>(serial_stats.hits) /
+                static_cast<double>(serial_stats.hits + serial_stats.misses)
+          : 0.0;
+
+  std::printf("rlc_serve bench (%zu requests, version %s)\n", reqs.size(),
+              rlc::version());
+  std::printf("  threads=1  cold %8.1f q/s   warm %10.1f q/s   (x%.1f)\n",
+              t1_cold.qps(), t1_warm.qps(),
+              t1_warm.qps() / std::max(t1_cold.qps(), 1e-9));
+  std::printf("  threads=%-2zu cold %8.1f q/s   warm %10.1f q/s   (x%.1f)\n",
+              parallel.threads(), tn_cold.qps(), tn_warm.qps(),
+              tn_warm.qps() / std::max(tn_cold.qps(), 1e-9));
+  std::printf("  warm-pass cache hit rate %.3f\n", warm_hit_rate);
+
+  rlc::io::Json j;
+  j.set("schema", rlc::svc::kServeSchemaVersion);
+  j.set("bench", "serve");
+  j.set("version", rlc::version());
+  j.set("quick", args.quick);
+  j.set("threads", static_cast<long long>(parallel.threads()));
+  j.set("requests", static_cast<long long>(reqs.size()));
+  rlc::io::Json m;
+  m.set("t1_cold_qps", t1_cold.qps());
+  m.set("t1_warm_qps", t1_warm.qps());
+  m.set("tn_cold_qps", tn_cold.qps());
+  m.set("tn_warm_qps", tn_warm.qps());
+  m.set("warm_speedup_t1", t1_warm.qps() / std::max(t1_cold.qps(), 1e-9));
+  m.set("parallel_speedup_cold",
+        tn_cold.qps() / std::max(t1_cold.qps(), 1e-9));
+  m.set("warm_cache_hit_rate", warm_hit_rate);
+  j.set("metrics", m);
+  const std::string path =
+      args.json_path.empty() ? "BENCH_serve.json" : args.json_path;
+  if (!rlc::io::write_json_file(path, j)) return 2;
+  std::printf("  wrote %s\n", path.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    const auto need_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "rlc_serve: %s needs a value\n", flag);
+        std::exit(usage(argv[0], 2));
+      }
+      return argv[++i];
+    };
+    if (a == "--help" || a == "-h") return usage(argv[0], 0);
+    if (a == "--version") {
+      std::printf("%s\n", rlc::version());
+      return 0;
+    }
+    if (a == "--threads") {
+      if (!parse_size(need_value("--threads"), &args.threads)) {
+        std::fprintf(stderr, "rlc_serve: invalid --threads value\n");
+        return 2;
+      }
+    } else if (a == "--cache") {
+      char* end = nullptr;
+      const long v = std::strtol(need_value("--cache"), &end, 10);
+      if (!end || *end != '\0' || v < 0) {
+        std::fprintf(stderr, "rlc_serve: invalid --cache value\n");
+        return 2;
+      }
+      args.cache = static_cast<std::size_t>(v);
+    } else if (a == "--max-batch") {
+      char* end = nullptr;
+      const long v = std::strtol(need_value("--max-batch"), &end, 10);
+      if (!end || *end != '\0' || v < 1) {
+        std::fprintf(stderr, "rlc_serve: invalid --max-batch value\n");
+        return 2;
+      }
+      args.max_batch = static_cast<int>(v);
+    } else if (a == "--socket") {
+      args.socket_path = need_value("--socket");
+    } else if (a == "--json") {
+      args.json_path = need_value("--json");
+    } else if (a == "--bench") {
+      args.bench = true;
+    } else if (a == "--quick") {
+      args.quick = true;
+    } else if (a == "--metrics") {
+      args.metrics = true;
+    } else {
+      std::fprintf(stderr, "rlc_serve: unknown option %s\n", a.c_str());
+      return usage(argv[0], 2);
+    }
+  }
+
+  // RLC_NUM_THREADS must be well-formed for a serving process: fail loudly
+  // instead of silently falling back to the hardware count.
+  if (const rlc::StatusOr<std::size_t> env =
+          rlc::exec::parse_thread_count_strict(std::getenv("RLC_NUM_THREADS"));
+      !env.is_ok()) {
+    std::fprintf(stderr, "rlc_serve: %s\n", env.status().to_string().c_str());
+    return 2;
+  }
+
+  if (args.bench) {
+    const int rc = run_bench(args);
+    if (args.metrics) dump_metrics();
+    return rc;
+  }
+
+  rlc::svc::SessionOptions sopts;
+  sopts.threads = args.threads;
+  sopts.cache_capacity = args.cache;
+  rlc::svc::Session session(sopts);
+  rlc::svc::ServeOptions wopts;
+  wopts.max_batch = args.max_batch;
+  rlc::svc::Server server(session, wopts);
+
+  int rc;
+  if (!args.socket_path.empty()) {
+#if RLC_SERVE_HAVE_UNIX_SOCKETS
+    rc = serve_socket(server, args.socket_path, args.max_batch);
+#else
+    std::fprintf(stderr, "rlc_serve: Unix sockets unavailable on this "
+                         "platform; use stdin mode\n");
+    rc = 2;
+#endif
+  } else {
+    rc = serve_stdio(server, args.max_batch);
+  }
+  if (args.metrics) dump_metrics();
+  return rc;
+}

@@ -36,7 +36,9 @@ int main(int argc, char** argv) {
 
   Technology tech;
   try {
-    spec.validate();
+    if (const rlc::Status st = spec.validate(); !st.is_ok()) {
+      throw std::invalid_argument(st.to_string());
+    }
     tech = scn::technology_by_name(spec.technology);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "repeater_planner: %s\n", e.what());

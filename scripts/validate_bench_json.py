@@ -1,22 +1,41 @@
 #!/usr/bin/env python3
-"""Validate the BENCH_<name>.json artifacts rlc_run --json emits.
+"""Validate the machine-readable artifacts of this repo.
 
-Checks two layers:
-  1. the schema-3 envelope for EVERY artifact (field types, rectangular
-     tables, finite numbers, embedded spec, observability block),
-  2. per-scenario physics invariants for the experiments whose shape the
-     paper pins down (fig4, fig7, table1, perf_exact, ...).
+Two modes:
 
-Usage: validate_bench_json.py ARTIFACT_DIR
+  validate_bench_json.py ARTIFACT_DIR
+      The BENCH_<name>.json artifacts rlc_run --json emits.  Checks
+      1. the schema-4 envelope for EVERY artifact (field types, version
+         stamp, rectangular tables, finite numbers, embedded spec,
+         observability block),
+      2. per-scenario physics invariants for the experiments whose shape
+         the paper pins down (fig4, fig7, table1, perf_exact, ...),
+      3. the BENCH_serve.json throughput artifact when present (its own
+         schema: cold-vs-warm q/s with a measurable warm-cache speedup).
+
+  validate_bench_json.py --serve-responses FILE
+      An NDJSON response transcript captured from rlc_serve: every line a
+      schema-stamped response envelope with a consistent status/code pair
+      and a result object on success.
+
 Exits non-zero listing every violation; prints a one-line summary on success.
 """
 
 import json
 import math
+import re
 import sys
 from pathlib import Path
 
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
+SERVE_SCHEMA_VERSION = 1
+VERSION_RE = re.compile(r"^\d+\.\d+\.\d+$")
+
+# rlc::StatusCode wire integers (stable; see src/base/.../status.hpp).
+STATUS_CODES = {
+    "ok": 0, "invalid_argument": 1, "not_found": 2, "no_convergence": 3,
+    "deadline_exceeded": 4, "cancelled": 5, "internal": 6,
+}
 
 # Every scenario rlc_run --all must have produced an artifact for.  This is
 # the same retirement contract as tests/scenario/test_registry.cpp.
@@ -40,11 +59,18 @@ def numbers(table, col):
             if isinstance(row[col], (int, float)) and not isinstance(row[col], bool)]
 
 
+def check_version_stamp(name, d):
+    v = d.get("version")
+    if not isinstance(v, str) or not VERSION_RE.match(v):
+        err(name, f"version stamp {v!r} missing or not semver")
+
+
 def check_envelope(name, d):
     if d.get("schema") != SCHEMA_VERSION:
         err(name, f"schema {d.get('schema')!r} != {SCHEMA_VERSION}")
     if d.get("bench") != name:
         err(name, f"bench {d.get('bench')!r} != file stem {name!r}")
+    check_version_stamp(name, d)
     if d.get("error"):
         err(name, f"scenario errored: {d['error']}")
         return
@@ -182,7 +208,86 @@ def check_invariants(name, d):
                       f"exceeds budget {budget}")
 
 
+def check_serve_artifact(name, d):
+    """BENCH_serve.json: the rlc_serve --bench throughput record.  Its own
+    schema (not a scenario envelope).  Structural checks plus the one
+    hard performance invariant: the warm-cache pass must be measurably
+    faster than the cold pass — warm requests are cache hits, so anything
+    close to 1.0 means the result cache is broken, not that CI was slow."""
+    if d.get("schema") != SERVE_SCHEMA_VERSION:
+        err(name, f"schema {d.get('schema')!r} != {SERVE_SCHEMA_VERSION}")
+    if d.get("bench") != "serve":
+        err(name, f"bench {d.get('bench')!r} != 'serve'")
+    check_version_stamp(name, d)
+    for key, kind in (("quick", bool), ("threads", int), ("requests", int),
+                      ("metrics", dict)):
+        if not isinstance(d.get(key), kind):
+            err(name, f"field {key!r} missing or not {kind}")
+            return
+    m = d["metrics"]
+    for key in ("t1_cold_qps", "t1_warm_qps", "tn_cold_qps", "tn_warm_qps",
+                "warm_speedup_t1", "parallel_speedup_cold",
+                "warm_cache_hit_rate"):
+        v = m.get(key)
+        if not isinstance(v, (int, float)) or isinstance(v, bool) \
+                or not math.isfinite(v) or v < 0:
+            err(name, f"metrics.{key} = {v!r} not a finite non-negative number")
+            return
+    if m["warm_speedup_t1"] < 2.0:
+        err(name, f"warm_speedup_t1 = {m['warm_speedup_t1']:.2f}: "
+                  "no measurable warm-cache speedup")
+    if not (0.0 < m["warm_cache_hit_rate"] <= 1.0):
+        err(name, f"warm_cache_hit_rate = {m['warm_cache_hit_rate']} "
+                  "outside (0, 1]")
+
+
+def check_serve_responses(path):
+    """Every line of an rlc_serve NDJSON transcript is a well-formed
+    schema-stamped response envelope."""
+    lines = [l for l in path.read_text().splitlines() if l.strip()]
+    if not lines:
+        err(path.name, "transcript is empty")
+    for i, line in enumerate(lines, 1):
+        where = f"{path.name}:{i}"
+        try:
+            d = json.loads(line)
+        except json.JSONDecodeError as e:
+            err(where, f"invalid JSON: {e}")
+            continue
+        if d.get("schema") != SERVE_SCHEMA_VERSION:
+            err(where, f"schema {d.get('schema')!r} != {SERVE_SCHEMA_VERSION}")
+        check_version_stamp(where, d)
+        status, code = d.get("status"), d.get("code")
+        if status not in STATUS_CODES:
+            err(where, f"unknown status {status!r}")
+            continue
+        if code != STATUS_CODES[status]:
+            err(where, f"code {code!r} inconsistent with status {status!r}")
+        if status == "ok":
+            if not isinstance(d.get("result"), dict):
+                err(where, "ok response without a result object")
+        else:
+            if not isinstance(d.get("message"), str) or not d["message"]:
+                err(where, "error response without a message")
+            if "result" in d:
+                err(where, "error response must not carry a result")
+    return len(lines)
+
+
+def finish(summary):
+    if errors:
+        for e in errors:
+            print(f"FAIL {e}", file=sys.stderr)
+        sys.exit(1)
+    print(summary)
+
+
 def main():
+    if len(sys.argv) == 3 and sys.argv[1] == "--serve-responses":
+        n = check_serve_responses(Path(sys.argv[2]))
+        finish(f"ok: {n} serve responses valid "
+               f"(schema {SERVE_SCHEMA_VERSION})")
+        return
     if len(sys.argv) != 2:
         sys.exit(__doc__)
     art_dir = Path(sys.argv[1])
@@ -192,7 +297,8 @@ def main():
         if name not in found:
             err(name, "artifact missing")
     for name in found:
-        if name not in EXPECTED_SCENARIOS:
+        # "serve" is optional: rlc_serve --bench writes it, rlc_run doesn't.
+        if name not in EXPECTED_SCENARIOS and name != "serve":
             err(name, "unexpected artifact (extend EXPECTED_SCENARIOS?)")
 
     for name, path in found.items():
@@ -201,17 +307,16 @@ def main():
         except json.JSONDecodeError as e:
             err(name, f"invalid JSON: {e}")
             continue
+        if name == "serve":
+            check_serve_artifact(name, d)
+            continue
         before = len(errors)
         check_envelope(name, d)
         if len(errors) == before and name in EXPECTED_SCENARIOS:
             check_invariants(name, d)
 
-    if errors:
-        for e in errors:
-            print(f"FAIL {e}", file=sys.stderr)
-        sys.exit(1)
-    print(f"ok: {len(found)} artifacts valid "
-          f"(schema {SCHEMA_VERSION}, all invariants hold)")
+    finish(f"ok: {len(found)} artifacts valid "
+           f"(schema {SCHEMA_VERSION}, all invariants hold)")
 
 
 if __name__ == "__main__":

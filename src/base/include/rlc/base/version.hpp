@@ -1,0 +1,18 @@
+#pragma once
+
+/// \file version.hpp
+/// Library version, stamped into every BENCH_*.json envelope and every
+/// rlc_serve response so artifacts and wire traffic are attributable to
+/// the build that produced them.
+
+namespace rlc {
+
+/// Semantic version string of the library ("<major>.<minor>.<patch>"),
+/// taken from the CMake project version at configure time.
+const char* version();
+
+/// The API generation of the umbrella header rlc/rlc.hpp.  Bumped only on
+/// breaking changes of the re-exported surface.
+inline constexpr int kApiVersion = 1;
+
+}  // namespace rlc

@@ -1,0 +1,58 @@
+#include "rlc/base/cancel.hpp"
+
+#include <cmath>
+
+namespace rlc {
+
+Deadline Deadline::after(double seconds) {
+  if (!std::isfinite(seconds)) return none();
+  // Clamp the conversion: ~100 years of nanoseconds still fits, anything
+  // larger is "no deadline" in every practical sense.
+  constexpr double kMaxSeconds = 3.0e9;
+  if (seconds >= kMaxSeconds) return none();
+  if (seconds < 0.0) seconds = 0.0;
+  return Deadline{Clock::now() +
+                  std::chrono::duration_cast<Clock::duration>(
+                      std::chrono::duration<double>(seconds))};
+}
+
+const ExecScope::State*& ExecScope::current() {
+  thread_local const State* active = nullptr;
+  return active;
+}
+
+ExecState current_exec_state() {
+  const ExecScope::State* s = ExecScope::current();
+  return s ? s->state : ExecState{};
+}
+
+ExecScope::ExecScope(CancelToken token, Deadline deadline)
+    : ExecScope(ExecState{std::move(token), deadline}) {}
+
+ExecScope::ExecScope(ExecState state) {
+  installed_.state = std::move(state);
+  installed_.armed = installed_.state.armed();
+  previous_ = current();
+  current() = &installed_;
+}
+
+ExecScope::~ExecScope() { current() = previous_; }
+
+void checkpoint() {
+  const ExecScope::State* s = ExecScope::current();
+  if (!s || !s->armed) return;
+  if (s->state.token.cancel_requested()) {
+    throw CancelledError(StatusCode::kCancelled);
+  }
+  if (s->state.deadline.expired()) {
+    throw CancelledError(StatusCode::kDeadlineExceeded);
+  }
+}
+
+bool stop_requested() {
+  const ExecScope::State* s = ExecScope::current();
+  if (!s || !s->armed) return false;
+  return s->state.token.cancel_requested() || s->state.deadline.expired();
+}
+
+}  // namespace rlc

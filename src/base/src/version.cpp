@@ -1,0 +1,11 @@
+#include "rlc/base/version.hpp"
+
+#ifndef RLC_VERSION_STRING
+#define RLC_VERSION_STRING "0.0.0"
+#endif
+
+namespace rlc {
+
+const char* version() { return RLC_VERSION_STRING; }
+
+}  // namespace rlc

@@ -25,8 +25,11 @@ struct DelayResult {
 };
 
 struct DelayOptions {
-  double f = 0.5;          ///< threshold fraction, 0 < f < 1 (50% delay default)
-  double rel_tol = 1e-13;  ///< relative tolerance on tau
+  double f = 0.5;  ///< threshold fraction, 0 < f < 1 (50% delay default)
+  union {
+    double rel_tolerance = 1e-13;  ///< relative tolerance on tau
+    [[deprecated("renamed to rel_tolerance")]] double rel_tol;
+  };
   int max_iterations = 100;
 };
 

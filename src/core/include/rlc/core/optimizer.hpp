@@ -21,6 +21,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "rlc/base/status.hpp"
 #include "rlc/core/delay.hpp"
 #include "rlc/core/elmore.hpp"
 #include "rlc/core/pade.hpp"
@@ -54,12 +55,22 @@ double delay_per_length(const Repeater& rep, const tline::LineParams& line,
 
 enum class OptimMethod { kNewton, kNelderMead };
 
+/// Naming convention (DESIGN.md "Options hygiene"): iteration budgets are
+/// `max_iterations`, tolerances are spelled-out `*_tolerance` — matching
+/// math::NewtonOptions / math::NelderMeadOptions.  The pre-1.0 abbreviated
+/// spellings survive one release as deprecated aliases of the same storage.
 struct OptimOptions {
   double f = 0.5;            ///< delay threshold fraction
   double h0 = 0.0;           ///< initial segment length (0: 0.9 * h_optRC)
   double k0 = 0.0;           ///< initial repeater size (0: 0.9 * k_optRC)
-  int max_newton_iterations = 80;
-  double residual_tol = 1e-9;  ///< on normalized residuals
+  union {
+    int max_iterations = 80;  ///< Newton budget for the (h, k) system
+    [[deprecated("renamed to max_iterations")]] int max_newton_iterations;
+  };
+  union {
+    double residual_tolerance = 1e-9;  ///< on normalized residuals
+    [[deprecated("renamed to residual_tolerance")]] double residual_tol;
+  };
   bool allow_fallback = true;  ///< Nelder-Mead when Newton fails
 };
 
@@ -109,5 +120,30 @@ struct SweepOptions {
 std::vector<OptimResult> optimize_rlc_sweep(const Technology& tech,
                                             const std::vector<double>& l_values,
                                             const SweepOptions& sweep);
+
+// ---------------------------------------------------------------------------
+// Checked entry points (the public boundary — see DESIGN.md "Errors").
+//
+// The throwing/flag-carrying functions above remain the low-level surface;
+// these wrappers validate their arguments up front (invalid_argument),
+// translate non-convergence into a typed Status (no_convergence), honor the
+// cooperative cancellation scope (cancelled / deadline_exceeded), and catch
+// everything else at the boundary (internal).  No exception escapes them.
+
+/// Validate an optimization request: finite l >= 0, f in (0, 1),
+/// max_iterations >= 1, residual_tolerance > 0.
+rlc::Status validate_optim_request(double l, const OptimOptions& opts);
+
+/// Checked optimize_rlc: Status instead of a converged flag or a throw.
+rlc::StatusOr<OptimResult> try_optimize_rlc(const Technology& tech, double l,
+                                            const OptimOptions& opts = {});
+
+/// Checked sweep.  Per-point non-convergence stays visible in each
+/// element's `converged` flag (a sweep with a hole is still an answer);
+/// only invalid arguments, cancellation/deadline, and internal errors turn
+/// into a non-ok Status.
+rlc::StatusOr<std::vector<OptimResult>> try_optimize_rlc_sweep(
+    const Technology& tech, const std::vector<double>& l_values,
+    const SweepOptions& sweep = {});
 
 }  // namespace rlc::core

@@ -45,7 +45,7 @@ DelayResult threshold_delay(const TwoPole& sys, const DelayOptions& opts) {
   rlc::math::NewtonOptions nopts;
   nopts.max_iterations = opts.max_iterations;
   nopts.f_tolerance = 1e-14;
-  nopts.x_tolerance = opts.rel_tol;
+  nopts.x_tolerance = opts.rel_tolerance;
   const auto sol = rlc::math::newton_bisect_scalar(
       v, [&sys](double t) { return sys.step_response_derivative(t); }, lo, hi,
       nopts);

@@ -1,11 +1,14 @@
 #include "rlc/core/optimizer.hpp"
 
+#include "rlc/base/cancel.hpp"
+
 #include <algorithm>
 #include <cmath>
 #include <complex>
 #include <cstddef>
 #include <limits>
 #include <stdexcept>
+#include <string>
 
 #include "rlc/math/nelder_mead.hpp"
 #include "rlc/math/newton.hpp"
@@ -218,8 +221,8 @@ OptimResult optimize_rlc(const Repeater& rep, const tline::LineParams& line,
   };
 
   rlc::math::NewtonOptions nopts;
-  nopts.max_iterations = opts.max_newton_iterations;
-  nopts.f_tolerance = opts.residual_tol;
+  nopts.max_iterations = opts.max_iterations;
+  nopts.f_tolerance = opts.residual_tolerance;
   nopts.x_tolerance = 1e-12;
   nopts.damped = true;
   const auto jac = rlc::math::fd_jacobian_2d(residual, 1e-6);
@@ -363,6 +366,72 @@ std::vector<OptimResult> optimize_rlc_sweep(const Technology& tech,
       },
       /*grain=*/1);
   return out;
+}
+
+rlc::Status validate_optim_request(double l, const OptimOptions& opts) {
+  if (!std::isfinite(l) || l < 0.0) {
+    return rlc::Status::invalid_argument(
+        "inductance l must be finite and >= 0");
+  }
+  if (!(opts.f > 0.0 && opts.f < 1.0)) {
+    return rlc::Status::invalid_argument("threshold f must be in (0, 1)");
+  }
+  if (opts.max_iterations < 1) {
+    return rlc::Status::invalid_argument("max_iterations must be >= 1");
+  }
+  if (!(opts.residual_tolerance > 0.0)) {
+    return rlc::Status::invalid_argument("residual_tolerance must be > 0");
+  }
+  return rlc::Status::ok();
+}
+
+namespace {
+
+/// Shared boundary: run `body` and convert every escape hatch to a Status.
+template <typename T, typename Body>
+rlc::StatusOr<T> at_boundary(Body&& body) {
+  try {
+    return body();
+  } catch (const rlc::CancelledError& e) {
+    return e.to_status();
+  } catch (const std::invalid_argument& e) {
+    return rlc::Status::invalid_argument(e.what());
+  } catch (const std::domain_error& e) {
+    return rlc::Status::invalid_argument(e.what());
+  } catch (const std::exception& e) {
+    return rlc::Status::internal(e.what());
+  }
+}
+
+}  // namespace
+
+rlc::StatusOr<OptimResult> try_optimize_rlc(const Technology& tech, double l,
+                                            const OptimOptions& opts) {
+  if (rlc::Status s = validate_optim_request(l, opts); !s.is_ok()) return s;
+  return at_boundary<OptimResult>([&]() -> rlc::StatusOr<OptimResult> {
+    const OptimResult r = optimize_rlc(tech, l, opts);
+    if (!r.converged) {
+      return rlc::Status::no_convergence(
+          "optimizer did not converge (Newton budget " +
+          std::to_string(opts.max_iterations) +
+          (opts.allow_fallback ? ", Nelder-Mead fallback exhausted)" : ")"));
+    }
+    return r;
+  });
+}
+
+rlc::StatusOr<std::vector<OptimResult>> try_optimize_rlc_sweep(
+    const Technology& tech, const std::vector<double>& l_values,
+    const SweepOptions& sweep) {
+  for (double l : l_values) {
+    if (rlc::Status s = validate_optim_request(l, sweep.optim); !s.is_ok()) {
+      return s;
+    }
+  }
+  using Out = std::vector<OptimResult>;
+  return at_boundary<Out>([&]() -> rlc::StatusOr<Out> {
+    return optimize_rlc_sweep(tech, l_values, sweep);
+  });
 }
 
 }  // namespace rlc::core

@@ -28,6 +28,8 @@
 #include <utility>
 #include <vector>
 
+#include "rlc/base/status.hpp"
+
 namespace rlc::exec {
 
 /// Upper bound accepted from RLC_NUM_THREADS: values above this are treated
@@ -41,6 +43,13 @@ inline constexpr std::size_t kMaxThreadCount = 4096;
 /// negative values, and overflow, appending a one-line diagnostic to
 /// `*warning` when provided.  Exposed for the regression tests.
 std::size_t parse_thread_count(const char* text, std::string* warning = nullptr);
+
+/// Strict variant for request-serving front-ends (rlc_run --threads,
+/// rlc_serve): null/empty means "use the hardware count" (returns 0); a
+/// valid positive integer in [1, kMaxThreadCount] is returned as-is; zero,
+/// negative, non-numeric, and overflowing values get an invalid_argument
+/// Status instead of the silent hardware-count fallback above.
+rlc::StatusOr<std::size_t> parse_thread_count_strict(const char* text);
 
 /// Thread count used by default-constructed pools: the RLC_NUM_THREADS
 /// environment variable when set to a positive integer (validated by

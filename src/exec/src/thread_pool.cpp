@@ -6,7 +6,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
+#include <optional>
 
+#include "rlc/base/cancel.hpp"
 #include "rlc/obs/metrics.hpp"
 #include "rlc/obs/trace.hpp"
 
@@ -58,6 +60,26 @@ std::size_t parse_thread_count(const char* text, std::string* warning) {
   return static_cast<std::size_t>(v);
 }
 
+rlc::StatusOr<std::size_t> parse_thread_count_strict(const char* text) {
+  if (!text) return std::size_t{0};  // unset: hardware count
+  const auto reject = [&](const std::string& why) {
+    return rlc::Status::invalid_argument("thread count \"" +
+                                         std::string(text) + "\" " + why);
+  };
+  if (*text == '\0') return reject("is empty");
+  char* end = nullptr;
+  errno = 0;
+  const long v = std::strtol(text, &end, 10);
+  if (end == text || *end != '\0') return reject("is not an integer");
+  if (errno == ERANGE) return reject("overflows");
+  if (v <= 0) return reject("must be >= 1");
+  if (static_cast<unsigned long>(v) > kMaxThreadCount) {
+    return reject("exceeds the " + std::to_string(kMaxThreadCount) +
+                  "-thread limit");
+  }
+  return static_cast<std::size_t>(v);
+}
+
 std::size_t default_thread_count() {
   std::string warning;
   const std::size_t parsed =
@@ -79,6 +101,7 @@ std::size_t default_thread_count() {
 struct ThreadPool::Loop {
   std::size_t n = 0;
   std::size_t grain = 1;
+  rlc::ExecState scope{};  ///< submitter's cancel/deadline scope (see below)
   const std::function<void(std::size_t)>* fn = nullptr;
   std::atomic<std::size_t> next{0};
   std::atomic<bool> stop{false};
@@ -134,6 +157,12 @@ void ThreadPool::run_chunks(Loop& loop) {
                                   obs::Tracer::now_ns() - t0);
     }
   } busy{t0};
+  // Inherit the submitting thread's cancellation/deadline scope so a solve
+  // fanned over the pool stays cancellable: rlc::checkpoint() inside fn sees
+  // the same {token, deadline} a serial run would.  Unarmed (the common,
+  // non-serving case) this installs nothing and costs nothing.
+  std::optional<rlc::ExecScope> scope;
+  if (loop.scope.armed()) scope.emplace(loop.scope);
   const std::size_t n = loop.n;
   const std::size_t grain = loop.grain;
   for (;;) {
@@ -175,6 +204,7 @@ void ThreadPool::parallel_for(std::size_t n,
   auto loop = std::make_shared<Loop>();
   loop->n = n;
   loop->grain = grain;
+  loop->scope = rlc::current_exec_state();
   loop->fn = &fn;
   loop->remaining = n;
   {

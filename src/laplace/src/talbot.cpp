@@ -1,5 +1,7 @@
 #include "rlc/laplace/talbot.hpp"
 
+#include "rlc/base/cancel.hpp"
+
 #include <cmath>
 #include <stdexcept>
 
@@ -64,6 +66,7 @@ double talbot_invert(const LaplaceFn& F, double t, int M) {
   static const int kEvals = reg.counter("talbot.invert.f_evals");
   reg.add(kCalls);
   reg.add(kEvals, M);
+  rlc::checkpoint();  // one stop point per inversion, not per node
   const double r = 2.0 * M / (5.0 * t);
   double acc = 0.0;
   for (int k = 0; k < M; ++k) {
@@ -88,6 +91,7 @@ TalbotContour::TalbotContour(const LaplaceFn& F, double t_max, int M) {
   }
   if (M < 4) throw std::invalid_argument("TalbotContour: M must be >= 4");
   RLC_TRACE_SPAN("talbot_contour");
+  rlc::checkpoint();  // one stop point per shared contour build
   auto& reg = obs::Registry::global();
   static const int kContours = reg.counter("talbot.contours");
   static const int kEvalsPerContour =

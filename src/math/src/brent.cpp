@@ -1,5 +1,7 @@
 #include "rlc/math/brent.hpp"
 
+#include "rlc/base/cancel.hpp"
+
 #include <algorithm>
 #include <cmath>
 
@@ -54,6 +56,7 @@ BrentResult brent_root(const std::function<double(double)>& f, double a,
   double c = a, fc = fa;
   double d = b - a, e = d;
   for (int it = 0; it < max_iter; ++it) {
+    rlc::checkpoint();  // cooperative cancellation/deadline (free when unset)
     r.iterations = it + 1;
     if (std::abs(fc) < std::abs(fb)) {
       a = b;
@@ -154,6 +157,7 @@ MinResult brent_minimize(const std::function<double(double)>& f, double a,
   double fx = f(x), fw = fx, fv = fx;
   double d = 0.0, e = 0.0;
   for (int it = 0; it < max_iter; ++it) {
+    rlc::checkpoint();  // cooperative cancellation/deadline (free when unset)
     res.iterations = it + 1;
     const double xm = 0.5 * (a + b);
     const double tol1 = tol * std::abs(x) + 1e-300;

@@ -1,5 +1,7 @@
 #include "rlc/math/newton.hpp"
 
+#include "rlc/base/cancel.hpp"
+
 #include <algorithm>
 #include <cmath>
 
@@ -44,6 +46,7 @@ SolveResult newton_scalar(const std::function<double(double)>& f,
   double x = x0;
   double fx = f(x);
   for (int it = 0; it < opts.max_iterations; ++it) {
+    rlc::checkpoint();  // cooperative cancellation/deadline (free when unset)
     r.iterations = it;
     if (std::abs(fx) <= opts.f_tolerance) {
       r.x = x;
@@ -117,6 +120,7 @@ SolveResult newton_bisect_scalar(const std::function<double(double)>& f,
   double x = 0.5 * (lo + hi);
   double fx = f(x);
   for (int it = 0; it < opts.max_iterations; ++it) {
+    rlc::checkpoint();  // cooperative cancellation/deadline (free when unset)
     r.iterations = it + 1;
     if (std::abs(fx) <= opts.f_tolerance ||
         (hi - lo) <= opts.x_tolerance * (1.0 + std::abs(x))) {
@@ -192,6 +196,7 @@ SolveResult2 newton_2d(const Fn2& f, const Jac2& jac,
   std::array<double, 2> x = x0;
   std::array<double, 2> fx = f(x);
   for (int it = 0; it < opts.max_iterations; ++it) {
+    rlc::checkpoint();  // cooperative cancellation/deadline (free when unset)
     r.iterations = it;
     if (inf_norm(fx) <= opts.f_tolerance) {
       r.x = x;

@@ -57,6 +57,11 @@ class ScenarioRegistry {
   /// Lookup by name; nullptr when absent.
   const Scenario* find(const std::string& name) const;
 
+  /// Status-carrying lookup for the public boundary: not_found (with the
+  /// offending name) instead of nullptr.  The pointer is owned by the
+  /// registry and stable for the life of the process.
+  rlc::StatusOr<const Scenario*> lookup(const std::string& name) const;
+
   /// Registration-order scenario names.
   std::vector<std::string> names() const;
 

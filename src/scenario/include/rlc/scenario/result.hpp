@@ -22,8 +22,9 @@ namespace rlc::scenario {
 /// Version of the BENCH_<name>.json envelope written by
 /// ScenarioResult::to_json.  History: 1 was the ad-hoc perf-bench format,
 /// 2 added the scenario envelope, 3 added the `observability` block
-/// (metrics snapshot + span rollup).
-inline constexpr int kSchemaVersion = 3;
+/// (metrics snapshot + span rollup), 4 added the library `version` stamp
+/// (every artifact and every rlc_serve response carries rlc::version()).
+inline constexpr int kSchemaVersion = 4;
 
 /// One table cell: a number or a short text label (e.g. "-" for a
 /// non-converged point, a technology name in a key column).

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "rlc/base/status.hpp"
 #include "rlc/core/exact_delay.hpp"
 #include "rlc/core/optimizer.hpp"
 #include "rlc/core/technology.hpp"
@@ -36,8 +37,14 @@ struct SweepSpec {
   int points = 26;                  ///< grid size (>= 1)
   std::vector<double> explicit_l;   ///< non-empty: overrides the grid
 
+  /// The grid; throws std::invalid_argument when the spec is invalid
+  /// (callers that want a typed error validate() first).
   std::vector<double> values() const;
-  void validate() const;  ///< throws std::invalid_argument
+
+  /// OK or invalid_argument with the first violated constraint.  Part of
+  /// the redesigned Status boundary: spec validation REPORTS rather than
+  /// throws, so serving front-ends can reject requests without unwinding.
+  rlc::Status validate() const;
 
   bool operator==(const SweepSpec&) const = default;
 };
@@ -58,7 +65,8 @@ struct ScenarioSpec {
   double residual_tol = 1e-9;
   int talbot_points = 48;      ///< exact-engine contour size
 
-  void validate() const;  ///< throws std::invalid_argument
+  /// OK or invalid_argument with the first violated constraint.
+  rlc::Status validate() const;
 
   /// Solver options implied by this spec (legacy benches used the same
   /// defaults, so default-spec scenarios match them bit-for-bit).
@@ -66,8 +74,12 @@ struct ScenarioSpec {
   core::ExactOptions exact_options() const;
 
   io::Json to_json() const;
-  static ScenarioSpec from_json(const io::JsonValue& v);
-  static ScenarioSpec from_json_text(const std::string& text);
+
+  /// Parse + validate.  invalid_argument covers both malformed JSON shapes
+  /// and out-of-domain values; no exception escapes (boundary rule,
+  /// DESIGN.md "Errors").
+  static rlc::StatusOr<ScenarioSpec> from_json(const io::JsonValue& v);
+  static rlc::StatusOr<ScenarioSpec> from_json_text(const std::string& text);
 
   bool operator==(const ScenarioSpec&) const = default;
 };

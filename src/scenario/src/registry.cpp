@@ -48,8 +48,20 @@ void ScenarioRegistry::add(Scenario s) {
                                 s.name + "\"");
   }
   if (s.defaults.scenario.empty()) s.defaults.scenario = s.name;
-  s.defaults.validate();
+  if (const rlc::Status st = s.defaults.validate(); !st.is_ok()) {
+    // Registering broken defaults is a programmer error, not a request
+    // error: fail loudly at registration time.
+    throw std::invalid_argument("rlc::scenario: defaults of \"" + s.name +
+                                "\": " + st.to_string());
+  }
   scenarios_.push_back(std::move(s));
+}
+
+rlc::StatusOr<const Scenario*> ScenarioRegistry::lookup(
+    const std::string& name) const {
+  if (const Scenario* s = find(name)) return s;
+  return rlc::Status::not_found("unknown scenario \"" + name +
+                                "\" (see rlc_run --list)");
 }
 
 const Scenario* ScenarioRegistry::find(const std::string& name) const {
@@ -90,7 +102,9 @@ ScenarioSpec quick_spec(ScenarioSpec spec) {
 
 ScenarioResult run_scenario(const Scenario& s, const ScenarioSpec& spec,
                             exec::ThreadPool* pool) {
-  spec.validate();
+  if (const rlc::Status st = spec.validate(); !st.is_ok()) {
+    throw std::invalid_argument(st.to_string());
+  }
   exec::Counters counters;
   ScenarioContext ctx{pool, &counters};
   // Bracket the scenario body with registry/tracer snapshots so the

@@ -1,5 +1,7 @@
 #include "rlc/scenario/result.hpp"
 
+#include "rlc/base/version.hpp"
+
 #include <cstdio>
 #include <stdexcept>
 
@@ -58,6 +60,7 @@ io::Json Observability::to_json() const {
 io::Json ScenarioResult::to_json() const {
   io::Json j;
   j.set("schema", kSchemaVersion);
+  j.set("version", rlc::version());
   j.set("bench", name);
   j.set("title", title);
   j.set("quick", spec.quick);

@@ -125,7 +125,7 @@ ScenarioResult perf_solvers(const ScenarioSpec& spec, ScenarioContext& ctx) {
   // Nelder-Mead fallback: the price of not having analytic sensitivities.
   {
     OptimOptions opts = spec.optim_options();
-    opts.max_newton_iterations = 1;  // force the fallback path
+    opts.max_iterations = 1;  // force the fallback path
     const double s_nm = time_s(
         [&] { g_sink = optimize_rlc(tech, 2e-6, opts).delay_per_length; },
         reps);

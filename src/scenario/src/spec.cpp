@@ -32,7 +32,9 @@ std::vector<double> numbers_of(const io::JsonValue& v, const char* where) {
 }  // namespace
 
 std::vector<double> SweepSpec::values() const {
-  validate();
+  if (const rlc::Status st = validate(); !st.is_ok()) {
+    throw std::invalid_argument(st.to_string());
+  }
   if (!explicit_l.empty()) return explicit_l;
   std::vector<double> out;
   out.reserve(static_cast<std::size_t>(points));
@@ -49,49 +51,61 @@ std::vector<double> SweepSpec::values() const {
   return out;
 }
 
-void SweepSpec::validate() const {
+rlc::Status SweepSpec::validate() const {
+  const auto bad = [](const char* what) {
+    return rlc::Status::invalid_argument(what);
+  };
   if (!explicit_l.empty()) {
     for (double l : explicit_l) {
       if (!std::isfinite(l) || l < 0.0) {
-        invalid("sweep.explicit_l values must be finite and >= 0");
+        return bad("sweep.explicit_l values must be finite and >= 0");
       }
     }
-    return;
+    return rlc::Status::ok();
   }
-  if (points < 1) invalid("sweep.points must be >= 1");
+  if (points < 1) return bad("sweep.points must be >= 1");
   if (!std::isfinite(l_min) || !std::isfinite(l_max)) {
-    invalid("sweep bounds must be finite");
+    return bad("sweep bounds must be finite");
   }
-  if (l_min < 0.0) invalid("sweep.l_min must be >= 0");
-  if (l_max < l_min) invalid("sweep.l_max must be >= sweep.l_min");
+  if (l_min < 0.0) return bad("sweep.l_min must be >= 0");
+  if (l_max < l_min) return bad("sweep.l_max must be >= sweep.l_min");
   if (points > 1 && l_max == l_min) {
-    invalid("sweep with points > 1 needs l_max > l_min");
+    return bad("sweep with points > 1 needs l_max > l_min");
   }
+  return rlc::Status::ok();
 }
 
-void ScenarioSpec::validate() const {
-  if (scenario.empty()) invalid("spec.scenario must be set");
-  sweep.validate();
-  technology_by_name(technology);  // throws for unknown ids
-  if (!(threshold > 0.0 && threshold < 1.0)) {
-    invalid("spec.threshold must be in (0, 1)");
+rlc::Status ScenarioSpec::validate() const {
+  const auto bad = [](std::string what) {
+    return rlc::Status::invalid_argument(std::move(what));
+  };
+  if (scenario.empty()) return bad("spec.scenario must be set");
+  if (const rlc::Status st = sweep.validate(); !st.is_ok()) return st;
+  try {
+    technology_by_name(technology);  // throws for unknown ids
+  } catch (const std::exception& e) {
+    return bad(e.what());
   }
-  if (segments_per_line < 1) invalid("spec.segments_per_line must be >= 1");
+  if (!(threshold > 0.0 && threshold < 1.0)) {
+    return bad("spec.threshold must be in (0, 1)");
+  }
+  if (segments_per_line < 1) return bad("spec.segments_per_line must be >= 1");
   if (ring_stages < 3 || ring_stages % 2 == 0) {
-    invalid("spec.ring_stages must be odd and >= 3");
+    return bad("spec.ring_stages must be odd and >= 3");
   }
   if (max_newton_iterations < 1) {
-    invalid("spec.max_newton_iterations must be >= 1");
+    return bad("spec.max_newton_iterations must be >= 1");
   }
-  if (!(residual_tol > 0.0)) invalid("spec.residual_tol must be > 0");
-  if (talbot_points < 8) invalid("spec.talbot_points must be >= 8");
+  if (!(residual_tol > 0.0)) return bad("spec.residual_tol must be > 0");
+  if (talbot_points < 8) return bad("spec.talbot_points must be >= 8");
+  return rlc::Status::ok();
 }
 
 core::OptimOptions ScenarioSpec::optim_options() const {
   core::OptimOptions o;
   o.f = threshold;
-  o.max_newton_iterations = max_newton_iterations;
-  o.residual_tol = residual_tol;
+  o.max_iterations = max_newton_iterations;
+  o.residual_tolerance = residual_tol;
   return o;
 }
 
@@ -125,41 +139,51 @@ io::Json ScenarioSpec::to_json() const {
   return j;
 }
 
-ScenarioSpec ScenarioSpec::from_json(const io::JsonValue& v) {
+rlc::StatusOr<ScenarioSpec> ScenarioSpec::from_json(const io::JsonValue& v) {
   if (v.kind() != io::JsonValue::Kind::kObject) {
-    invalid("spec must be a JSON object");
+    return rlc::Status::invalid_argument("spec must be a JSON object");
   }
   ScenarioSpec spec;
-  spec.scenario = v.string_or("scenario", spec.scenario);
-  spec.technology = v.string_or("technology", spec.technology);
-  if (const io::JsonValue* sw = v.find("sweep")) {
-    if (sw->kind() != io::JsonValue::Kind::kObject) {
-      invalid("spec.sweep must be an object");
+  try {
+    spec.scenario = v.string_or("scenario", spec.scenario);
+    spec.technology = v.string_or("technology", spec.technology);
+    if (const io::JsonValue* sw = v.find("sweep")) {
+      if (sw->kind() != io::JsonValue::Kind::kObject) {
+        invalid("spec.sweep must be an object");
+      }
+      spec.sweep.l_min = sw->number_or("l_min", spec.sweep.l_min);
+      spec.sweep.l_max = sw->number_or("l_max", spec.sweep.l_max);
+      spec.sweep.points = static_cast<int>(sw->int_or("points", spec.sweep.points));
+      if (const io::JsonValue* ex = sw->find("explicit_l")) {
+        spec.sweep.explicit_l = numbers_of(*ex, "spec.sweep.explicit_l");
+      }
     }
-    spec.sweep.l_min = sw->number_or("l_min", spec.sweep.l_min);
-    spec.sweep.l_max = sw->number_or("l_max", spec.sweep.l_max);
-    spec.sweep.points = static_cast<int>(sw->int_or("points", spec.sweep.points));
-    if (const io::JsonValue* ex = sw->find("explicit_l")) {
-      spec.sweep.explicit_l = numbers_of(*ex, "spec.sweep.explicit_l");
-    }
+    spec.threshold = v.number_or("threshold", spec.threshold);
+    spec.segments_per_line =
+        static_cast<int>(v.int_or("segments_per_line", spec.segments_per_line));
+    spec.ring_stages = static_cast<int>(v.int_or("ring_stages", spec.ring_stages));
+    spec.quick = v.bool_or("quick", spec.quick);
+    spec.parallel = v.bool_or("parallel", spec.parallel);
+    spec.max_newton_iterations = static_cast<int>(
+        v.int_or("max_newton_iterations", spec.max_newton_iterations));
+    spec.residual_tol = v.number_or("residual_tol", spec.residual_tol);
+    spec.talbot_points =
+        static_cast<int>(v.int_or("talbot_points", spec.talbot_points));
+  } catch (const std::exception& e) {
+    // numbers_of / the tolerant accessors throw on shape mismatches.
+    return rlc::Status::invalid_argument(e.what());
   }
-  spec.threshold = v.number_or("threshold", spec.threshold);
-  spec.segments_per_line =
-      static_cast<int>(v.int_or("segments_per_line", spec.segments_per_line));
-  spec.ring_stages = static_cast<int>(v.int_or("ring_stages", spec.ring_stages));
-  spec.quick = v.bool_or("quick", spec.quick);
-  spec.parallel = v.bool_or("parallel", spec.parallel);
-  spec.max_newton_iterations = static_cast<int>(
-      v.int_or("max_newton_iterations", spec.max_newton_iterations));
-  spec.residual_tol = v.number_or("residual_tol", spec.residual_tol);
-  spec.talbot_points =
-      static_cast<int>(v.int_or("talbot_points", spec.talbot_points));
-  spec.validate();
+  if (rlc::Status st = spec.validate(); !st.is_ok()) return st;
   return spec;
 }
 
-ScenarioSpec ScenarioSpec::from_json_text(const std::string& text) {
-  return from_json(io::parse_json(text));
+rlc::StatusOr<ScenarioSpec> ScenarioSpec::from_json_text(
+    const std::string& text) {
+  try {
+    return from_json(io::parse_json(text));
+  } catch (const std::exception& e) {
+    return rlc::Status::invalid_argument(e.what());
+  }
 }
 
 core::Technology technology_by_name(const std::string& name) {

@@ -1,0 +1,93 @@
+#pragma once
+
+/// \file cache.hpp
+/// Content-addressed LRU result cache of the query service.  Keys are
+/// canonical request strings (QueryRequest::cache_key) so two requests that
+/// produce the same answer by construction share one entry regardless of
+/// field order or delivery options.  A plain mutex protects the map+list:
+/// entries are small (one QueryResult), lookups are ~100 ns against solves
+/// of ~100 us, so lock contention is noise even at full batch fan-out.
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+namespace rlc::svc {
+
+/// Thread-safe LRU map string -> V.  capacity 0 disables storage entirely
+/// (every get misses, every put is dropped) — "caching off" needs no
+/// special-casing in the session.
+template <typename V>
+class LruCache {
+ public:
+  explicit LruCache(std::size_t capacity) : capacity_(capacity) {}
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::size_t size = 0;
+    std::size_t capacity = 0;
+  };
+
+  /// Copy-out lookup; refreshes recency on a hit.
+  std::optional<V> get(const std::string& key) {
+    std::lock_guard<std::mutex> lk(mutex_);
+    auto it = index_.find(key);
+    if (it == index_.end()) {
+      ++misses_;
+      return std::nullopt;
+    }
+    ++hits_;
+    order_.splice(order_.begin(), order_, it->second);
+    return it->second->second;
+  }
+
+  /// Insert or refresh; evicts the least-recently-used entry past capacity.
+  void put(const std::string& key, V value) {
+    std::lock_guard<std::mutex> lk(mutex_);
+    if (capacity_ == 0) return;
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      it->second->second = std::move(value);
+      order_.splice(order_.begin(), order_, it->second);
+      return;
+    }
+    order_.emplace_front(key, std::move(value));
+    index_[key] = order_.begin();
+    if (index_.size() > capacity_) {
+      index_.erase(order_.back().first);
+      order_.pop_back();
+      ++evictions_;
+    }
+  }
+
+  void clear() {
+    std::lock_guard<std::mutex> lk(mutex_);
+    index_.clear();
+    order_.clear();
+  }
+
+  Stats stats() const {
+    std::lock_guard<std::mutex> lk(mutex_);
+    return Stats{hits_, misses_, evictions_, index_.size(), capacity_};
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::size_t capacity_;
+  std::list<std::pair<std::string, V>> order_;  // front = most recent
+  std::unordered_map<std::string,
+                     typename std::list<std::pair<std::string, V>>::iterator>
+      index_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace rlc::svc

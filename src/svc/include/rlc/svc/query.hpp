@@ -1,0 +1,83 @@
+#pragma once
+
+/// \file query.hpp
+/// The unit of traffic of the rlc::svc query service: one parametric
+/// optimizer lookup (technology, inductance, threshold) -> (h_opt, k_opt,
+/// delay), exactly the small repeated query a signal-integrity flow issues
+/// by the thousands (paper Section 4; DesignCon-style SI optimization
+/// loops).  Requests validate to a typed Status, round-trip through JSON
+/// (the rlc_serve wire format), and hash to a canonical content-addressed
+/// cache key.
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "rlc/base/status.hpp"
+#include "rlc/io/json.hpp"
+#include "rlc/io/json_reader.hpp"
+
+namespace rlc::svc {
+
+/// One optimizer query.  Field names and defaults deliberately mirror
+/// core::OptimOptions / ScenarioSpec (post options-hygiene spellings).
+struct QueryRequest {
+  std::string technology = "100nm";  ///< see scenario::technology_by_name
+  double l = 0.0;                    ///< per-unit-length inductance [H/m]
+  double threshold = 0.5;            ///< delay threshold fraction, in (0, 1)
+  int max_iterations = 80;           ///< Newton budget of the (h, k) solve
+  double residual_tolerance = 1e-9;
+  bool with_exact_delay = false;  ///< also run the exact-waveform engine
+  int talbot_points = 48;         ///< exact-engine contour size
+  double line_length = 0.0;       ///< >0: also report L/h * tau over L [m]
+
+  /// Per-request latency budget in seconds, measured from the moment the
+  /// service picks the request up.  Infinity (the default) means no
+  /// deadline; 0 is an already-expired budget and comes back
+  /// deadline_exceeded without starting any work.
+  double deadline_seconds = std::numeric_limits<double>::infinity();
+
+  /// OK or invalid_argument naming the first bad field.
+  rlc::Status validate() const;
+
+  /// Canonical content-addressed key: every RESULT-AFFECTING field, fixed
+  /// order, exact double bits (%.17g).  deadline_seconds is excluded — a
+  /// deadline changes whether you get an answer, never which answer.
+  std::string cache_key() const;
+
+  /// FNV-1a 64 of cache_key(), for logs/metrics shards.
+  std::uint64_t cache_hash() const;
+
+  io::Json to_json() const;
+
+  /// Parse from a request object (unknown keys ignored, missing keys take
+  /// the defaults above), then validate.  Never throws.
+  static rlc::StatusOr<QueryRequest> from_json(const io::JsonValue& v);
+
+  bool operator==(const QueryRequest&) const = default;
+};
+
+/// Everything one query produced.  Numeric fields are bit-identical for a
+/// given request whether computed serially, in a batch on any thread
+/// count, or replayed from the cache (pinned by tests/svc).
+struct QueryResult {
+  double h = 0.0;                 ///< optimal segment length [m]
+  double k = 0.0;                 ///< optimal repeater size
+  double tau = 0.0;               ///< threshold delay of one segment [s]
+  double delay_per_length = 0.0;  ///< tau / h [s/m]
+  double total_delay = 0.0;       ///< line_length > 0: delay_per_length * L
+  double exact_delay = 0.0;       ///< exact-waveform segment delay [s]
+  bool has_exact = false;         ///< exact_delay is meaningful
+  int newton_iterations = 0;
+  std::string method;       ///< "newton" | "nelder_mead"
+  bool from_cache = false;  ///< served from the session result cache
+  double wall_seconds = 0.0;  ///< compute time of THIS call (~0 on a hit)
+
+  io::Json to_json() const;
+
+  /// Equality over the numeric payload only (from_cache / wall_seconds are
+  /// delivery metadata, not part of the answer).
+  bool same_answer(const QueryResult& o) const;
+};
+
+}  // namespace rlc::svc

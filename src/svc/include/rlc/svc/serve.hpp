@@ -1,0 +1,62 @@
+#pragma once
+
+/// \file serve.hpp
+/// Transport-agnostic NDJSON request framing over a Session.  bench/
+/// rlc_serve plugs this into stdin/stdout or a Unix socket; tests drive it
+/// directly with strings.
+///
+/// Wire format (one JSON object per line, one response line per request
+/// line, always in input order):
+///
+///   request:  {"op": "query" | "scenario" | "ping",
+///              "id": <number | string, optional, echoed back>,
+///              ... op-specific fields ...}
+///     query:    the QueryRequest fields (technology, l, threshold, ...)
+///     scenario: {"spec": {...ScenarioSpec...}, "deadline_seconds": s?}
+///     ping:     no extra fields
+///
+///   response: {"schema": kServeSchemaVersion, "version": rlc::version(),
+///              "id": ...?, "status": "<code name>", "code": <int>,
+///              "result": {...}}        on success
+///             {..., "message": "..."}  on error (no "result")
+///
+/// Malformed lines (bad JSON, missing/unknown op) get an invalid_argument
+/// response line — the stream stays aligned, one line in, one line out.
+
+#include <string>
+#include <vector>
+
+#include "rlc/svc/session.hpp"
+
+namespace rlc::svc {
+
+/// Response-envelope schema version (independent of the BENCH_*.json
+/// scenario envelope schema).  History: 1 initial.
+inline constexpr int kServeSchemaVersion = 1;
+
+struct ServeOptions {
+  /// Max request lines executed as one submit_batch by handle_lines.
+  int max_batch = 64;
+};
+
+class Server {
+ public:
+  explicit Server(Session& session, const ServeOptions& opts = {});
+
+  /// One request line -> one response line (no trailing newline).
+  /// Never throws; protocol errors become error responses.
+  std::string handle_line(const std::string& line);
+
+  /// A block of lines -> responses in input order.  "query" requests in
+  /// the block are answered through ONE submit_batch (sharded over the
+  /// session pool, at most max_batch per call); other ops run in place.
+  std::vector<std::string> handle_lines(const std::vector<std::string>& lines);
+
+  Session& session() { return session_; }
+
+ private:
+  Session& session_;
+  ServeOptions opts_;
+};
+
+}  // namespace rlc::svc

@@ -1,0 +1,184 @@
+#include "rlc/svc/query.hpp"
+
+#include <cmath>
+#include <cstdint>
+
+namespace rlc::svc {
+
+namespace {
+
+rlc::Status bad(const std::string& what) {
+  return rlc::Status::invalid_argument(what);
+}
+
+}  // namespace
+
+rlc::Status QueryRequest::validate() const {
+  if (technology.empty()) return bad("technology must be non-empty");
+  if (!std::isfinite(l) || l < 0.0) {
+    return bad("l must be finite and >= 0 (got " + io::render_number(l) + ")");
+  }
+  if (!(threshold > 0.0) || !(threshold < 1.0)) {
+    return bad("threshold must be in (0, 1) (got " +
+               io::render_number(threshold) + ")");
+  }
+  if (max_iterations < 1) return bad("max_iterations must be >= 1");
+  if (!(residual_tolerance > 0.0)) {
+    return bad("residual_tolerance must be > 0");
+  }
+  if (talbot_points < 4) return bad("talbot_points must be >= 4");
+  if (!std::isfinite(line_length) || line_length < 0.0) {
+    return bad("line_length must be finite and >= 0");
+  }
+  if (std::isnan(deadline_seconds) || deadline_seconds < 0.0) {
+    return bad("deadline_seconds must be >= 0 (or infinity for none)");
+  }
+  return rlc::Status::ok();
+}
+
+std::string QueryRequest::cache_key() const {
+  // Fixed field order, exact double bits (%.17g via render_number), one
+  // canonical spelling per field.  deadline_seconds is deliberately absent.
+  std::string key;
+  key.reserve(160);
+  key += "tech=";
+  key += technology;
+  key += ";l=";
+  key += io::render_number(l);
+  key += ";f=";
+  key += io::render_number(threshold);
+  key += ";it=";
+  key += std::to_string(max_iterations);
+  key += ";tol=";
+  key += io::render_number(residual_tolerance);
+  key += ";exact=";
+  key += with_exact_delay ? '1' : '0';
+  key += ";tp=";
+  key += std::to_string(talbot_points);
+  key += ";L=";
+  key += io::render_number(line_length);
+  return key;
+}
+
+std::uint64_t QueryRequest::cache_hash() const {
+  // FNV-1a 64.
+  std::uint64_t h = 14695981039346656037ULL;
+  for (unsigned char c : cache_key()) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+io::Json QueryRequest::to_json() const {
+  io::Json j;
+  j.set("technology", technology);
+  j.set("l", l);
+  j.set("threshold", threshold);
+  j.set("max_iterations", max_iterations);
+  j.set("residual_tolerance", residual_tolerance);
+  j.set("with_exact_delay", with_exact_delay);
+  j.set("talbot_points", talbot_points);
+  j.set("line_length", line_length);
+  // Infinity renders as null; from_json treats null/absent as "no deadline".
+  j.set("deadline_seconds", deadline_seconds);
+  return j;
+}
+
+namespace {
+
+// Strict field extraction: a missing key keeps the default, but a key that
+// is present with the wrong JSON kind is a framing error — a serving API
+// must not silently ignore a mistyped "l" and answer for l = 0.
+
+rlc::Status take_number(const io::JsonValue& v, const char* key,
+                        double* out) {
+  const io::JsonValue* f = v.find(key);
+  if (!f || f->is_null()) return rlc::Status::ok();
+  if (f->kind() != io::JsonValue::Kind::kNumber) {
+    return bad(std::string(key) + " must be a number");
+  }
+  *out = f->as_number();
+  return rlc::Status::ok();
+}
+
+rlc::Status take_int(const io::JsonValue& v, const char* key, int* out) {
+  double d = *out;
+  if (rlc::Status st = take_number(v, key, &d); !st.is_ok()) return st;
+  const int i = static_cast<int>(d);
+  if (static_cast<double>(i) != d) {
+    return bad(std::string(key) + " must be an integer");
+  }
+  *out = i;
+  return rlc::Status::ok();
+}
+
+rlc::Status take_bool(const io::JsonValue& v, const char* key, bool* out) {
+  const io::JsonValue* f = v.find(key);
+  if (!f || f->is_null()) return rlc::Status::ok();
+  if (f->kind() != io::JsonValue::Kind::kBool) {
+    return bad(std::string(key) + " must be a boolean");
+  }
+  *out = f->as_bool();
+  return rlc::Status::ok();
+}
+
+rlc::Status take_string(const io::JsonValue& v, const char* key,
+                        std::string* out) {
+  const io::JsonValue* f = v.find(key);
+  if (!f || f->is_null()) return rlc::Status::ok();
+  if (f->kind() != io::JsonValue::Kind::kString) {
+    return bad(std::string(key) + " must be a string");
+  }
+  *out = f->as_string();
+  return rlc::Status::ok();
+}
+
+}  // namespace
+
+rlc::StatusOr<QueryRequest> QueryRequest::from_json(const io::JsonValue& v) {
+  if (v.kind() != io::JsonValue::Kind::kObject) {
+    return bad("query request must be a JSON object");
+  }
+  QueryRequest req;
+  for (const rlc::Status& st : {
+           take_string(v, "technology", &req.technology),
+           take_number(v, "l", &req.l),
+           take_number(v, "threshold", &req.threshold),
+           take_int(v, "max_iterations", &req.max_iterations),
+           take_number(v, "residual_tolerance", &req.residual_tolerance),
+           take_bool(v, "with_exact_delay", &req.with_exact_delay),
+           take_int(v, "talbot_points", &req.talbot_points),
+           take_number(v, "line_length", &req.line_length),
+           take_number(v, "deadline_seconds", &req.deadline_seconds),
+       }) {
+    if (!st.is_ok()) return st;
+  }
+  if (rlc::Status st = req.validate(); !st.is_ok()) return st;
+  return req;
+}
+
+io::Json QueryResult::to_json() const {
+  io::Json j;
+  j.set("h", h);
+  j.set("k", k);
+  j.set("tau", tau);
+  j.set("delay_per_length", delay_per_length);
+  if (total_delay > 0.0) j.set("total_delay", total_delay);
+  if (has_exact) j.set("exact_delay", exact_delay);
+  j.set("newton_iterations", newton_iterations);
+  j.set("method", method);
+  j.set("from_cache", from_cache);
+  j.set("wall_seconds", wall_seconds);
+  return j;
+}
+
+bool QueryResult::same_answer(const QueryResult& o) const {
+  return h == o.h && k == o.k && tau == o.tau &&
+         delay_per_length == o.delay_per_length &&
+         total_delay == o.total_delay && exact_delay == o.exact_delay &&
+         has_exact == o.has_exact &&
+         newton_iterations == o.newton_iterations && method == o.method;
+}
+
+}  // namespace rlc::svc

@@ -1,0 +1,282 @@
+#include "rlc/svc/session.hpp"
+
+#include <chrono>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "rlc/core/exact_delay.hpp"
+#include "rlc/core/optimizer.hpp"
+#include "rlc/obs/metrics.hpp"
+#include "rlc/scenario/registry.hpp"
+
+namespace rlc::svc {
+
+namespace {
+
+/// svc.* instrumentation ids, interned once.  Hit rate = hits/(hits+misses);
+/// svc.latency_us carries p50/p99 through the registry's histogram
+/// quantiles; queue depth counts in-flight requests.
+struct SvcMetrics {
+  int requests;
+  int batches;
+  int cache_hits;
+  int cache_misses;
+  int deadline_exceeded;
+  int cancelled;
+  int errors;
+  int queue_depth;
+  int queue_depth_max;
+  int batch_size;
+  int latency_us;
+  static const SvcMetrics& get() {
+    auto& r = obs::Registry::global();
+    static const SvcMetrics m{
+        r.counter("svc.requests"),
+        r.counter("svc.batches"),
+        r.counter("svc.cache.hits"),
+        r.counter("svc.cache.misses"),
+        r.counter("svc.deadline_exceeded"),
+        r.counter("svc.cancelled"),
+        r.counter("svc.errors"),
+        r.gauge("svc.queue_depth"),
+        r.gauge("svc.queue_depth_max"),
+        r.histogram("svc.batch_size", 1.0, 4096.0, 12),
+        r.histogram("svc.latency_us", 1.0, 1.0e7, 32),
+    };
+    return m;
+  }
+};
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+struct Session::Impl {
+  explicit Impl(const SessionOptions& opts)
+      : pool(opts.threads), cache(opts.cache_capacity) {
+    scenario::register_all_scenarios();  // idempotent; needed by run_scenario
+  }
+
+  exec::ThreadPool pool;
+  LruCache<QueryResult> cache;
+
+  /// The whole request path for one query.  Never throws: every failure
+  /// mode is a Status (the boundary rule).  Order matters — validation,
+  /// then the pre-flight deadline/cancel check, then the cache, then the
+  /// solve — so an expired deadline does no work and writes nothing.
+  rlc::StatusOr<QueryResult> answer(const QueryRequest& req,
+                                    const CancelToken& cancel) {
+    auto& reg = obs::Registry::global();
+    const SvcMetrics& m = SvcMetrics::get();
+    const auto t0 = std::chrono::steady_clock::now();
+    reg.add(m.requests);
+
+    if (rlc::Status st = req.validate(); !st.is_ok()) {
+      reg.add(m.errors);
+      return st;
+    }
+    if (cancel.cancel_requested()) {
+      reg.add(m.cancelled);
+      return rlc::Status::cancelled("request cancelled before start");
+    }
+    const Deadline deadline = Deadline::after(req.deadline_seconds);
+    if (deadline.expired()) {
+      reg.add(m.deadline_exceeded);
+      return rlc::Status::deadline_exceeded(
+          "deadline expired before the solve started");
+    }
+
+    const std::string key = req.cache_key();
+    if (std::optional<QueryResult> hit = cache.get(key)) {
+      reg.add(m.cache_hits);
+      hit->from_cache = true;
+      hit->wall_seconds = seconds_since(t0);
+      reg.record(m.latency_us, hit->wall_seconds * 1e6);
+      return *hit;
+    }
+    reg.add(m.cache_misses);
+
+    ExecScope scope(cancel, deadline);
+    try {
+      rlc::StatusOr<QueryResult> result = compute(req);
+      if (result.is_ok()) {
+        result->wall_seconds = seconds_since(t0);
+        cache.put(key, *result);
+        reg.record(m.latency_us, result->wall_seconds * 1e6);
+      } else if (result.status().code() == StatusCode::kNoConvergence) {
+        reg.add(m.errors);
+      }
+      return result;
+    } catch (const CancelledError& e) {
+      reg.add(e.code() == StatusCode::kDeadlineExceeded ? m.deadline_exceeded
+                                                        : m.cancelled);
+      return e.to_status();
+    } catch (const std::invalid_argument& e) {
+      reg.add(m.errors);
+      return rlc::Status::invalid_argument(e.what());
+    } catch (const std::exception& e) {
+      reg.add(m.errors);
+      return rlc::Status::internal(std::string("query failed: ") + e.what());
+    }
+  }
+
+  /// The solve itself (inside the ExecScope; CancelledError may unwind
+  /// through here to the boundary in answer()).
+  rlc::StatusOr<QueryResult> compute(const QueryRequest& req) {
+    core::Technology tech;
+    try {
+      tech = scenario::technology_by_name(req.technology);
+    } catch (const std::exception& e) {
+      // Unknown id OR an out-of-range interpolated node: both are caller
+      // errors, whatever exception type the resolver used internally.
+      return rlc::Status::invalid_argument(e.what());
+    }
+    core::OptimOptions opts;
+    opts.f = req.threshold;
+    opts.max_iterations = req.max_iterations;
+    opts.residual_tolerance = req.residual_tolerance;
+    const core::OptimResult opt = core::optimize_rlc(tech, req.l, opts);
+    if (!opt.converged) {
+      return rlc::Status::no_convergence(
+          "optimizer did not converge within " +
+          std::to_string(req.max_iterations) + " iterations (technology " +
+          req.technology + ", l=" + io::render_number(req.l) + " H/m)");
+    }
+    QueryResult r;
+    r.h = opt.h;
+    r.k = opt.k;
+    r.tau = opt.tau;
+    r.delay_per_length = opt.delay_per_length;
+    r.newton_iterations = opt.newton_iterations;
+    r.method =
+        opt.method == core::OptimMethod::kNewton ? "newton" : "nelder_mead";
+    if (req.line_length > 0.0) {
+      r.total_delay = r.delay_per_length * req.line_length;
+    }
+    if (req.with_exact_delay) {
+      core::ExactOptions eo;
+      eo.talbot_points = req.talbot_points;
+      eo.window_points = req.talbot_points;
+      if (std::optional<double> exact = core::exact_threshold_delay(
+              tech, req.l, opt.h, opt.k, opt.tau, req.threshold, eo,
+              nullptr)) {
+        r.exact_delay = *exact;
+        r.has_exact = true;
+      } else {
+        return rlc::Status::no_convergence(
+            "exact-waveform engine did not bracket the threshold crossing");
+      }
+    }
+    return r;
+  }
+};
+
+Session::Session(const SessionOptions& opts)
+    : impl_(std::make_unique<Impl>(opts)) {}
+
+Session::~Session() = default;
+
+rlc::StatusOr<QueryResult> Session::submit(const QueryRequest& req) {
+  return submit(req, CancelToken{});
+}
+
+rlc::StatusOr<QueryResult> Session::submit(const QueryRequest& req,
+                                           const CancelToken& cancel) {
+  auto& reg = obs::Registry::global();
+  const SvcMetrics& m = SvcMetrics::get();
+  reg.gauge_add(m.queue_depth, 1);
+  reg.gauge_max(m.queue_depth_max, 1);
+  rlc::StatusOr<QueryResult> out = impl_->answer(req, cancel);
+  reg.gauge_add(m.queue_depth, -1);
+  return out;
+}
+
+std::vector<rlc::StatusOr<QueryResult>> Session::submit_batch(
+    const std::vector<QueryRequest>& reqs) {
+  return submit_batch(reqs, CancelToken{});
+}
+
+std::vector<rlc::StatusOr<QueryResult>> Session::submit_batch(
+    const std::vector<QueryRequest>& reqs, const CancelToken& cancel) {
+  auto& reg = obs::Registry::global();
+  const SvcMetrics& m = SvcMetrics::get();
+  const std::size_t n = reqs.size();
+  reg.add(m.batches);
+  reg.record(m.batch_size, static_cast<double>(n));
+  reg.gauge_add(m.queue_depth, static_cast<std::int64_t>(n));
+  reg.gauge_max(m.queue_depth_max, static_cast<std::int64_t>(n));
+
+  // One task per request (grain 1): requests are coarse relative to the
+  // queue, and per-request sharding keeps a slow solve from serializing its
+  // chunk-mates.  answer() never throws, so every slot gets filled.
+  std::vector<std::optional<rlc::StatusOr<QueryResult>>> slots(n);
+  impl_->pool.parallel_for(
+      n,
+      [&](std::size_t i) {
+        slots[i] = impl_->answer(reqs[i], cancel);
+        reg.gauge_add(m.queue_depth, -1);
+      },
+      1);
+
+  std::vector<rlc::StatusOr<QueryResult>> out;
+  out.reserve(n);
+  for (auto& slot : slots) {
+    out.push_back(slot ? std::move(*slot)
+                       : rlc::Status::internal("request slot never ran"));
+  }
+  return out;
+}
+
+rlc::StatusOr<scenario::ScenarioResult> Session::run_scenario(
+    const scenario::ScenarioSpec& spec, double deadline_seconds,
+    const CancelToken& cancel) {
+  auto& reg = obs::Registry::global();
+  const SvcMetrics& m = SvcMetrics::get();
+  reg.add(m.requests);
+  if (rlc::Status st = spec.validate(); !st.is_ok()) {
+    reg.add(m.errors);
+    return st;
+  }
+  rlc::StatusOr<const scenario::Scenario*> sc =
+      scenario::ScenarioRegistry::global().lookup(spec.scenario);
+  if (!sc.is_ok()) {
+    reg.add(m.errors);
+    return sc.status();
+  }
+  const Deadline deadline = Deadline::after(deadline_seconds);
+  if (deadline.expired()) {
+    reg.add(m.deadline_exceeded);
+    return rlc::Status::deadline_exceeded(
+        "deadline expired before the scenario started");
+  }
+  ExecScope scope(cancel, deadline);
+  try {
+    return scenario::run_scenario(**sc, spec, &impl_->pool);
+  } catch (const CancelledError& e) {
+    reg.add(e.code() == StatusCode::kDeadlineExceeded ? m.deadline_exceeded
+                                                      : m.cancelled);
+    return e.to_status();
+  } catch (const std::invalid_argument& e) {
+    reg.add(m.errors);
+    return rlc::Status::invalid_argument(e.what());
+  } catch (const std::exception& e) {
+    reg.add(m.errors);
+    return rlc::Status::internal(std::string("scenario failed: ") + e.what());
+  }
+}
+
+std::size_t Session::threads() const { return impl_->pool.size(); }
+
+exec::ThreadPool& Session::pool() { return impl_->pool; }
+
+LruCache<QueryResult>::Stats Session::cache_stats() const {
+  return impl_->cache.stats();
+}
+
+void Session::clear_cache() { impl_->cache.clear(); }
+
+}  // namespace rlc::svc

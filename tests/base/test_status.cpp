@@ -1,0 +1,91 @@
+#include "rlc/base/status.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "rlc/base/version.hpp"
+
+namespace rlc {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.is_ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.to_string(), "ok");
+}
+
+TEST(Status, FactoriesCarryCodeAndMessage) {
+  const Status s = Status::no_convergence("ran out of budget");
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_EQ(s.code(), StatusCode::kNoConvergence);
+  EXPECT_EQ(s.message(), "ran out of budget");
+  EXPECT_EQ(s.to_string(), "no_convergence: ran out of budget");
+}
+
+TEST(Status, CodeNamesAreStable) {
+  // These spellings and integers go over the rlc_serve wire; a change here
+  // is a protocol break, not a refactor.
+  EXPECT_STREQ(status_code_name(StatusCode::kOk), "ok");
+  EXPECT_STREQ(status_code_name(StatusCode::kInvalidArgument),
+               "invalid_argument");
+  EXPECT_STREQ(status_code_name(StatusCode::kNotFound), "not_found");
+  EXPECT_STREQ(status_code_name(StatusCode::kNoConvergence),
+               "no_convergence");
+  EXPECT_STREQ(status_code_name(StatusCode::kDeadlineExceeded),
+               "deadline_exceeded");
+  EXPECT_STREQ(status_code_name(StatusCode::kCancelled), "cancelled");
+  EXPECT_STREQ(status_code_name(StatusCode::kInternal), "internal");
+  EXPECT_EQ(static_cast<int>(StatusCode::kInvalidArgument), 1);
+  EXPECT_EQ(static_cast<int>(StatusCode::kNotFound), 2);
+  EXPECT_EQ(static_cast<int>(StatusCode::kNoConvergence), 3);
+  EXPECT_EQ(static_cast<int>(StatusCode::kDeadlineExceeded), 4);
+  EXPECT_EQ(static_cast<int>(StatusCode::kCancelled), 5);
+  EXPECT_EQ(static_cast<int>(StatusCode::kInternal), 6);
+}
+
+TEST(StatusOr, HoldsValue) {
+  StatusOr<int> r = 42;
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().is_ok());
+}
+
+TEST(StatusOr, HoldsError) {
+  StatusOr<int> r = Status::invalid_argument("nope");
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_THROW(r.value(), BadStatusAccess);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(StatusOr, OkStatusIsALogicError) {
+  EXPECT_THROW(StatusOr<int>{Status::ok()}, std::logic_error);
+}
+
+TEST(StatusOr, CopiesAndMovesNonTrivialPayloads) {
+  StatusOr<std::vector<std::string>> a =
+      std::vector<std::string>{"x", "y", "z"};
+  StatusOr<std::vector<std::string>> b = a;  // copy
+  EXPECT_EQ(b.value().size(), 3u);
+  StatusOr<std::vector<std::string>> c = std::move(a);
+  EXPECT_EQ(c.value()[2], "z");
+  c = Status::internal("overwritten");
+  EXPECT_FALSE(c.is_ok());
+  b = c;  // value -> error assignment
+  EXPECT_EQ(b.status().code(), StatusCode::kInternal);
+}
+
+TEST(Version, LooksLikeSemver) {
+  const std::string v = version();
+  // PROJECT_VERSION from CMake: digits and dots, at least "X.Y".
+  EXPECT_NE(v.find('.'), std::string::npos) << v;
+  EXPECT_TRUE(v.find_first_not_of("0123456789.") == std::string::npos) << v;
+  EXPECT_GE(kApiVersion, 1);
+}
+
+}  // namespace
+}  // namespace rlc

@@ -86,7 +86,7 @@ TEST(Optimizer, NewtonAndNelderMeadAgree) {
 
     // Force the fallback path by making Newton give up immediately.
     OptimOptions nm_only;
-    nm_only.max_newton_iterations = 1;
+    nm_only.max_iterations = 1;
     const auto b = optimize_rlc(tech, l, nm_only);
     ASSERT_TRUE(b.converged) << l;
     // Nelder-Mead terminates on simplex size, so (h, k) agreement is looser
@@ -250,7 +250,7 @@ TEST(Optimizer, NewtonDivergenceExercisesNelderMeadFallback) {
 TEST(Optimizer, FallbackDisabledReturnsUnconvergedInsteadOfThrowing) {
   const auto tech = Technology::nm250();
   OptimOptions opts;
-  opts.max_newton_iterations = 1;  // Newton cannot converge in one step
+  opts.max_iterations = 1;  // Newton cannot converge in one step
   opts.allow_fallback = false;
   OptimResult r;
   EXPECT_NO_THROW(r = optimize_rlc(tech, 1e-6, opts));

@@ -135,7 +135,7 @@ TEST(ScenarioRun, EnvelopeJsonParsesWithSchemaFields) {
   // The embedded spec round-trips back to the spec that ran.
   const rlc::io::JsonValue* spec_j = v.find("spec");
   ASSERT_NE(spec_j, nullptr);
-  EXPECT_EQ(ScenarioSpec::from_json(*spec_j), spec);
+  EXPECT_EQ(ScenarioSpec::from_json(*spec_j).value(), spec);
 }
 
 TEST(ScenarioRun, InvalidSpecIsRejectedBeforeRunning) {

@@ -44,42 +44,46 @@ TEST(SweepSpec, GridShapes) {
 }
 
 TEST(SweepSpec, ValidateRejectsBadGrids) {
-  EXPECT_THROW((SweepSpec{0, 5e-6, 0, {}}.validate()), std::invalid_argument);
-  EXPECT_THROW((SweepSpec{-1e-6, 5e-6, 5, {}}.validate()),
-               std::invalid_argument);
-  EXPECT_THROW((SweepSpec{5e-6, 1e-6, 5, {}}.validate()),
-               std::invalid_argument);
-  EXPECT_THROW((SweepSpec{1e-6, 1e-6, 5, {}}.validate()),
-               std::invalid_argument);
-  EXPECT_THROW((SweepSpec{0, 0, 1, {-1e-6}}.validate()),
-               std::invalid_argument);
-  EXPECT_NO_THROW((SweepSpec{1e-6, 1e-6, 1, {}}.validate()));
+  const auto code = [](const SweepSpec& sp) { return sp.validate().code(); };
+  EXPECT_EQ(code({0, 5e-6, 0, {}}), rlc::StatusCode::kInvalidArgument);
+  EXPECT_EQ(code({-1e-6, 5e-6, 5, {}}), rlc::StatusCode::kInvalidArgument);
+  EXPECT_EQ(code({5e-6, 1e-6, 5, {}}), rlc::StatusCode::kInvalidArgument);
+  EXPECT_EQ(code({1e-6, 1e-6, 5, {}}), rlc::StatusCode::kInvalidArgument);
+  EXPECT_EQ(code({0, 0, 1, {-1e-6}}), rlc::StatusCode::kInvalidArgument);
+  EXPECT_TRUE((SweepSpec{1e-6, 1e-6, 1, {}}.validate().is_ok()));
+  // values() still throws for callers that skip validate().
+  EXPECT_THROW((SweepSpec{0, 5e-6, 0, {}}.values()), std::invalid_argument);
 }
 
 TEST(ScenarioSpec, ValidateChecksEveryField) {
   ScenarioSpec ok;
   ok.scenario = "fig4";
-  EXPECT_NO_THROW(ok.validate());
+  EXPECT_TRUE(ok.validate().is_ok());
 
+  const auto expect_invalid = [](const ScenarioSpec& sp) {
+    const rlc::Status st = sp.validate();
+    EXPECT_EQ(st.code(), rlc::StatusCode::kInvalidArgument);
+    EXPECT_FALSE(st.message().empty());
+  };
   ScenarioSpec s = ok;
   s.scenario.clear();
-  EXPECT_THROW(s.validate(), std::invalid_argument);
+  expect_invalid(s);
 
   s = ok;
   s.technology = "7nm_finfet_x";
-  EXPECT_THROW(s.validate(), std::invalid_argument);
+  expect_invalid(s);
 
   s = ok;
   s.threshold = 1.0;
-  EXPECT_THROW(s.validate(), std::invalid_argument);
+  expect_invalid(s);
 
   s = ok;
   s.segments_per_line = 0;
-  EXPECT_THROW(s.validate(), std::invalid_argument);
+  expect_invalid(s);
 
   s = ok;
   s.ring_stages = 4;  // even ring cannot oscillate
-  EXPECT_THROW(s.validate(), std::invalid_argument);
+  expect_invalid(s);
 }
 
 TEST(ScenarioSpec, TechnologyByNameResolvesAllSpellings) {
@@ -106,17 +110,33 @@ TEST(ScenarioSpec, JsonRoundTripPreservesEveryField) {
   s.max_newton_iterations = 55;
   s.residual_tol = 1e-11;
   s.talbot_points = 64;
-  const ScenarioSpec back = ScenarioSpec::from_json_text(s.to_json().str());
+  const ScenarioSpec back =
+      ScenarioSpec::from_json_text(s.to_json().str()).value();
   EXPECT_EQ(back, s);
 
   ScenarioSpec e = s;
   e.sweep = SweepSpec{0, 0, 26, {1.8e-6, 2.2e-6}};
-  EXPECT_EQ(ScenarioSpec::from_json_text(e.to_json().str()), e);
+  EXPECT_EQ(ScenarioSpec::from_json_text(e.to_json().str()).value(), e);
+}
+
+TEST(ScenarioSpec, FromJsonReturnsStatusNotThrow) {
+  // Malformed document and out-of-domain value both come back as
+  // invalid_argument — nothing escapes the parse boundary.
+  EXPECT_EQ(ScenarioSpec::from_json_text("{oops").status().code(),
+            rlc::StatusCode::kInvalidArgument);
+  EXPECT_EQ(ScenarioSpec::from_json_text(
+                "{\"scenario\": \"fig4\", \"threshold\": 2.0}")
+                .status()
+                .code(),
+            rlc::StatusCode::kInvalidArgument);
+  EXPECT_EQ(
+      ScenarioSpec::from_json_text("{\"scenario\": \"fig4\"}").status().code(),
+      rlc::StatusCode::kOk);
 }
 
 TEST(ScenarioSpec, FromJsonToleratesMissingFields) {
   const ScenarioSpec s =
-      ScenarioSpec::from_json_text("{\"scenario\": \"fig4\"}");
+      ScenarioSpec::from_json_text("{\"scenario\": \"fig4\"}").value();
   EXPECT_EQ(s.scenario, "fig4");
   EXPECT_EQ(s, [] {
     ScenarioSpec d;
@@ -134,8 +154,8 @@ TEST(ScenarioSpec, OptionsMapSpecFields) {
   s.talbot_points = 40;
   const auto opt = s.optim_options();
   EXPECT_EQ(opt.f, 0.45);
-  EXPECT_EQ(opt.max_newton_iterations, 33);
-  EXPECT_EQ(opt.residual_tol, 1e-8);
+  EXPECT_EQ(opt.max_iterations, 33);
+  EXPECT_EQ(opt.residual_tolerance, 1e-8);
   const auto ex = s.exact_options();
   EXPECT_EQ(ex.talbot_points, 40);
   EXPECT_EQ(ex.window_points, 40);

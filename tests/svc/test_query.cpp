@@ -1,0 +1,127 @@
+#include "rlc/svc/query.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "rlc/io/json_reader.hpp"
+#include "rlc/svc/cache.hpp"
+
+namespace rlc::svc {
+namespace {
+
+TEST(QueryRequest, DefaultValidates) {
+  EXPECT_TRUE(QueryRequest{}.validate().is_ok());
+}
+
+TEST(QueryRequest, ValidateChecksEveryField) {
+  const auto invalid = [](auto mutate) {
+    QueryRequest q;
+    mutate(q);
+    return q.validate().code() == StatusCode::kInvalidArgument;
+  };
+  EXPECT_TRUE(invalid([](QueryRequest& q) { q.technology = ""; }));
+  EXPECT_TRUE(invalid([](QueryRequest& q) { q.l = -1.0; }));
+  EXPECT_TRUE(invalid([](QueryRequest& q) { q.threshold = 0.0; }));
+  EXPECT_TRUE(invalid([](QueryRequest& q) { q.threshold = 1.0; }));
+  EXPECT_TRUE(invalid([](QueryRequest& q) { q.max_iterations = 0; }));
+  EXPECT_TRUE(invalid([](QueryRequest& q) { q.residual_tolerance = 0.0; }));
+  EXPECT_TRUE(invalid([](QueryRequest& q) { q.talbot_points = 2; }));
+  EXPECT_TRUE(invalid([](QueryRequest& q) { q.line_length = -0.01; }));
+  EXPECT_TRUE(invalid([](QueryRequest& q) { q.deadline_seconds = -1.0; }));
+}
+
+TEST(QueryRequest, JsonRoundTrip) {
+  QueryRequest q;
+  q.technology = "250nm";
+  q.l = 3.25e-6;
+  q.threshold = 0.4;
+  q.max_iterations = 33;
+  q.with_exact_delay = true;
+  q.line_length = 0.01;
+  const io::JsonValue v = io::parse_json(q.to_json().str());
+  const rlc::StatusOr<QueryRequest> back = QueryRequest::from_json(v);
+  ASSERT_TRUE(back.is_ok()) << back.status().to_string();
+  EXPECT_EQ(*back, q);
+}
+
+TEST(QueryRequest, FromJsonRejectsBadShapes) {
+  EXPECT_EQ(QueryRequest::from_json(io::parse_json("[1,2]")).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(QueryRequest::from_json(io::parse_json("{\"l\": \"big\"}"))
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(QueryRequest::from_json(io::parse_json("{\"threshold\": 2.0}"))
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(QueryRequest, CacheKeyIgnoresDeadlineOnly) {
+  QueryRequest a;
+  QueryRequest b = a;
+  b.deadline_seconds = 0.25;  // delivery option: same answer, same key
+  EXPECT_EQ(a.cache_key(), b.cache_key());
+  EXPECT_EQ(a.cache_hash(), b.cache_hash());
+
+  // Every result-affecting field must split the key.
+  const auto differs = [&](auto mutate) {
+    QueryRequest q = a;
+    mutate(q);
+    return q.cache_key() != a.cache_key();
+  };
+  EXPECT_TRUE(differs([](QueryRequest& q) { q.technology = "250nm"; }));
+  EXPECT_TRUE(differs([](QueryRequest& q) { q.l = 1.0e-6; }));
+  EXPECT_TRUE(differs([](QueryRequest& q) { q.threshold = 0.9; }));
+  EXPECT_TRUE(differs([](QueryRequest& q) { q.max_iterations = 81; }));
+  EXPECT_TRUE(differs([](QueryRequest& q) { q.residual_tolerance = 1e-8; }));
+  EXPECT_TRUE(differs([](QueryRequest& q) { q.with_exact_delay = true; }));
+  EXPECT_TRUE(differs([](QueryRequest& q) { q.talbot_points = 64; }));
+  EXPECT_TRUE(differs([](QueryRequest& q) { q.line_length = 0.02; }));
+}
+
+TEST(LruCache, HitMissAndRecency) {
+  LruCache<int> cache(2);
+  EXPECT_FALSE(cache.get("a").has_value());
+  cache.put("a", 1);
+  cache.put("b", 2);
+  EXPECT_EQ(cache.get("a").value_or(-1), 1);  // refreshes "a"
+  cache.put("c", 3);                          // evicts "b" (LRU)
+  EXPECT_FALSE(cache.get("b").has_value());
+  EXPECT_EQ(cache.get("a").value_or(-1), 1);
+  EXPECT_EQ(cache.get("c").value_or(-1), 3);
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, 3u);
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.size, 2u);
+  EXPECT_EQ(stats.capacity, 2u);
+}
+
+TEST(LruCache, PutRefreshesExistingKey) {
+  LruCache<int> cache(2);
+  cache.put("a", 1);
+  cache.put("b", 2);
+  cache.put("a", 10);  // update, not insert
+  cache.put("c", 3);   // evicts "b" — "a" was refreshed by the put
+  EXPECT_EQ(cache.get("a").value_or(-1), 10);
+  EXPECT_FALSE(cache.get("b").has_value());
+}
+
+TEST(LruCache, ZeroCapacityDisablesStorage) {
+  LruCache<int> cache(0);
+  cache.put("a", 1);
+  EXPECT_FALSE(cache.get("a").has_value());
+  EXPECT_EQ(cache.stats().size, 0u);
+}
+
+TEST(LruCache, ClearInvalidatesEverything) {
+  LruCache<int> cache(8);
+  cache.put("a", 1);
+  cache.clear();
+  EXPECT_FALSE(cache.get("a").has_value());
+}
+
+}  // namespace
+}  // namespace rlc::svc

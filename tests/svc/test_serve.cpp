@@ -1,0 +1,147 @@
+#include "rlc/svc/serve.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "rlc/base/version.hpp"
+#include "rlc/io/json_reader.hpp"
+
+namespace rlc::svc {
+namespace {
+
+io::JsonValue response_of(Server& server, const std::string& line) {
+  return io::parse_json(server.handle_line(line));
+}
+
+class ServeTest : public ::testing::Test {
+ protected:
+  ServeTest() : session_(SessionOptions{2, 64}), server_(session_) {}
+  Session session_;
+  Server server_;
+};
+
+TEST_F(ServeTest, EveryResponseCarriesSchemaAndVersion) {
+  for (const char* line :
+       {"{\"op\":\"ping\"}", "{\"op\":\"query\",\"l\":1e-6}", "garbage"}) {
+    const io::JsonValue v = response_of(server_, line);
+    EXPECT_EQ(v.int_or("schema", -1), kServeSchemaVersion) << line;
+    EXPECT_EQ(v.string_or("version", ""), version()) << line;
+  }
+}
+
+TEST_F(ServeTest, PingAnswersWithThreads) {
+  const io::JsonValue v = response_of(server_, "{\"op\":\"ping\",\"id\":7}");
+  EXPECT_EQ(v.string_or("status", ""), "ok");
+  EXPECT_EQ(v.int_or("code", -1), 0);
+  EXPECT_EQ(v.number_or("id", 0.0), 7.0);
+  ASSERT_NE(v.find("result"), nullptr);
+  EXPECT_EQ(v.find("result")->int_or("threads", 0), 2);
+}
+
+TEST_F(ServeTest, QueryResponseCarriesTheAnswer) {
+  const io::JsonValue v = response_of(
+      server_,
+      "{\"op\":\"query\",\"id\":\"a\",\"technology\":\"100nm\",\"l\":2e-6}");
+  ASSERT_EQ(v.string_or("status", ""), "ok");
+  EXPECT_EQ(v.string_or("id", ""), "a");
+  const io::JsonValue* result = v.find("result");
+  ASSERT_NE(result, nullptr);
+  EXPECT_GT(result->number_or("h", 0.0), 0.0);
+  EXPECT_GT(result->number_or("delay_per_length", 0.0), 0.0);
+}
+
+TEST_F(ServeTest, MalformedFramingIsRejectedPerLine) {
+  // Each broken line gets its own invalid_argument response; the stream
+  // never desynchronizes and no exception escapes the server.
+  const std::vector<std::string> lines = {
+      "",                           // empty line
+      "{not json",                  // parse error
+      "[1,2,3]",                    // not an object
+      "{\"l\": 1e-6}",              // missing op
+      "{\"op\":\"frobnicate\"}",    // unknown op
+      "{\"op\":\"query\",\"l\":-5}",            // out-of-domain value
+      "{\"op\":\"query\",\"id\":{}}",           // bad id kind
+      "{\"op\":\"scenario\"}",                  // scenario without spec
+      "{\"op\":\"scenario\",\"spec\":{\"threshold\":7}}",  // bad spec
+  };
+  const std::vector<std::string> responses = server_.handle_lines(lines);
+  ASSERT_EQ(responses.size(), lines.size());
+  for (std::size_t i = 0; i < responses.size(); ++i) {
+    const io::JsonValue v = io::parse_json(responses[i]);
+    EXPECT_EQ(v.string_or("status", ""), "invalid_argument") << lines[i];
+    EXPECT_EQ(v.int_or("code", -1), 1) << lines[i];
+    EXPECT_FALSE(v.string_or("message", "").empty()) << lines[i];
+  }
+}
+
+TEST_F(ServeTest, MixedBlockKeepsInputOrder) {
+  const std::vector<std::string> lines = {
+      "{\"op\":\"query\",\"id\":0,\"l\":1e-6}",
+      "{\"op\":\"ping\",\"id\":1}",
+      "{\"op\":\"query\",\"id\":2,\"l\":2e-6}",
+      "broken",
+      "{\"op\":\"query\",\"id\":4,\"l\":3e-6}",
+  };
+  const std::vector<std::string> responses = server_.handle_lines(lines);
+  ASSERT_EQ(responses.size(), 5u);
+  for (const std::size_t i : {std::size_t{0}, std::size_t{1}, std::size_t{2},
+                              std::size_t{4}}) {
+    EXPECT_EQ(io::parse_json(responses[i]).number_or("id", -1.0),
+              static_cast<double>(i))
+        << responses[i];
+  }
+  EXPECT_EQ(io::parse_json(responses[3]).string_or("status", ""),
+            "invalid_argument");
+}
+
+TEST_F(ServeTest, BatchedQueriesMatchSingleShot) {
+  const std::string line =
+      "{\"op\":\"query\",\"technology\":\"250nm\",\"l\":1.5e-6}";
+  Session fresh(SessionOptions{1, 0});
+  Server reference(fresh);
+  const io::JsonValue single = response_of(reference, line);
+  const std::vector<std::string> batch =
+      server_.handle_lines({line, line, line});
+  for (const std::string& resp : batch) {
+    const io::JsonValue v = io::parse_json(resp);
+    ASSERT_EQ(v.string_or("status", ""), "ok");
+    // Bit-identical numeric payload, batched or not, cached or not.
+    EXPECT_EQ(v.find("result")->number_or("h", 0.0),
+              single.find("result")->number_or("h", 0.0));
+    EXPECT_EQ(v.find("result")->number_or("delay_per_length", 0.0),
+              single.find("result")->number_or("delay_per_length", 0.0));
+  }
+}
+
+TEST_F(ServeTest, DeadlineZeroQueryIsDeadlineExceededOnTheWire) {
+  const io::JsonValue v = response_of(
+      server_, "{\"op\":\"query\",\"l\":1e-6,\"deadline_seconds\":0}");
+  EXPECT_EQ(v.string_or("status", ""), "deadline_exceeded");
+  EXPECT_EQ(v.int_or("code", -1), 4);
+  EXPECT_EQ(v.find("result"), nullptr);
+}
+
+TEST_F(ServeTest, ScenarioOpRunsAQuickScenario) {
+  const io::JsonValue v = response_of(
+      server_,
+      "{\"op\":\"scenario\",\"id\":9,\"spec\":{\"scenario\":\"fig5\","
+      "\"quick\":true}}");
+  ASSERT_EQ(v.string_or("status", ""), "ok") << v.string_or("message", "");
+  const io::JsonValue* result = v.find("result");
+  ASSERT_NE(result, nullptr);
+  EXPECT_EQ(result->string_or("bench", ""), "fig5");
+  EXPECT_NE(result->find("tables"), nullptr);
+}
+
+TEST_F(ServeTest, UnknownScenarioIsNotFoundOnTheWire) {
+  const io::JsonValue v = response_of(
+      server_,
+      "{\"op\":\"scenario\",\"spec\":{\"scenario\":\"no_such_thing\"}}");
+  EXPECT_EQ(v.string_or("status", ""), "not_found");
+  EXPECT_EQ(v.int_or("code", -1), 2);
+}
+
+}  // namespace
+}  // namespace rlc::svc

@@ -1,0 +1,233 @@
+#include "rlc/svc/session.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "rlc/scenario/registry.hpp"
+
+namespace rlc::svc {
+namespace {
+
+/// The workload of the determinism tests: both technologies over the
+/// paper's inductance range, a couple of exact-engine and total-delay
+/// variants mixed in.
+std::vector<QueryRequest> grid_requests() {
+  std::vector<QueryRequest> reqs;
+  for (const char* tech : {"250nm", "100nm"}) {
+    for (int i = 0; i < 8; ++i) {
+      QueryRequest q;
+      q.technology = tech;
+      q.l = 5.0e-6 * i / 7;
+      reqs.push_back(q);
+    }
+  }
+  QueryRequest exact;
+  exact.with_exact_delay = true;
+  exact.l = 2.0e-6;
+  reqs.push_back(exact);
+  QueryRequest total;
+  total.l = 1.0e-6;
+  total.line_length = 0.01;
+  reqs.push_back(total);
+  return reqs;
+}
+
+TEST(Session, SubmitAnswersAQuery) {
+  Session session(SessionOptions{1, 0});
+  QueryRequest q;
+  q.l = 2.0e-6;
+  const rlc::StatusOr<QueryResult> r = session.submit(q);
+  ASSERT_TRUE(r.is_ok()) << r.status().to_string();
+  EXPECT_GT(r->h, 0.0);
+  EXPECT_GT(r->k, 0.0);
+  EXPECT_GT(r->delay_per_length, 0.0);
+  EXPECT_NEAR(r->delay_per_length, r->tau / r->h, 1e-22);
+  EXPECT_FALSE(r->from_cache);
+}
+
+TEST(Session, TotalDelayScalesWithLineLength) {
+  Session session(SessionOptions{1, 0});
+  QueryRequest q;
+  q.l = 1.0e-6;
+  q.line_length = 0.01;
+  const auto r = session.submit(q);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_NEAR(r->total_delay, r->delay_per_length * 0.01, 1e-22);
+}
+
+TEST(Session, BatchMatchesSerialBitForBitAcrossThreadCounts) {
+  const std::vector<QueryRequest> reqs = grid_requests();
+
+  // Reference: serial single-shot submits, caching off.
+  Session serial(SessionOptions{1, 0});
+  std::vector<QueryResult> expected;
+  for (const QueryRequest& q : reqs) {
+    rlc::StatusOr<QueryResult> r = serial.submit(q);
+    ASSERT_TRUE(r.is_ok()) << r.status().to_string();
+    expected.push_back(*r);
+  }
+
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    Session session(SessionOptions{threads, 1024});
+    const auto batch = session.submit_batch(reqs);
+    ASSERT_EQ(batch.size(), reqs.size());
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+      ASSERT_TRUE(batch[i].is_ok())
+          << "threads=" << threads << " i=" << i << ": "
+          << batch[i].status().to_string();
+      EXPECT_TRUE(batch[i]->same_answer(expected[i]))
+          << "threads=" << threads << " i=" << i;
+    }
+  }
+}
+
+TEST(Session, CacheHitsServeTheSameAnswer) {
+  Session session(SessionOptions{1, 64});
+  QueryRequest q;
+  q.l = 2.0e-6;
+  const auto cold = session.submit(q);
+  ASSERT_TRUE(cold.is_ok());
+  EXPECT_FALSE(cold->from_cache);
+  const auto warm = session.submit(q);
+  ASSERT_TRUE(warm.is_ok());
+  EXPECT_TRUE(warm->from_cache);
+  EXPECT_TRUE(warm->same_answer(*cold));
+  const auto stats = session.cache_stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+
+  // A result-affecting change is a different entry...
+  QueryRequest q2 = q;
+  q2.threshold = 0.4;
+  const auto other = session.submit(q2);
+  ASSERT_TRUE(other.is_ok());
+  EXPECT_FALSE(other->from_cache);
+  EXPECT_FALSE(other->same_answer(*cold));
+
+  // ...and clear_cache invalidates: the next submit recomputes.
+  session.clear_cache();
+  const auto recomputed = session.submit(q);
+  ASSERT_TRUE(recomputed.is_ok());
+  EXPECT_FALSE(recomputed->from_cache);
+  EXPECT_TRUE(recomputed->same_answer(*cold));
+}
+
+TEST(Session, DeadlineZeroReturnsDeadlineExceededWithoutWork) {
+  Session session(SessionOptions{1, 64});
+  QueryRequest q;
+  q.l = 2.0e-6;
+  q.deadline_seconds = 0.0;
+  const auto r = session.submit(q);
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded);
+  // No partial write: the cache never saw the request.
+  EXPECT_EQ(session.cache_stats().hits + session.cache_stats().misses, 0u);
+  // The same request with the deadline lifted computes normally (the
+  // deadline is not part of the cache key, so nothing stale can surface).
+  q.deadline_seconds = Session::kNoDeadline;
+  const auto ok = session.submit(q);
+  ASSERT_TRUE(ok.is_ok()) << ok.status().to_string();
+  EXPECT_FALSE(ok->from_cache);
+}
+
+TEST(Session, TinyDeadlineExpiresDuringTheRequest) {
+  // A 1 ns budget can expire before the solve starts or at the first
+  // checkpoint inside it; either way the typed code is the same and no
+  // partial result leaks out.
+  Session session(SessionOptions{1, 0});
+  QueryRequest q;
+  q.l = 2.0e-6;
+  q.with_exact_delay = true;
+  q.deadline_seconds = 1.0e-9;
+  const auto r = session.submit(q);
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(Session, PreCancelledTokenShortCircuits) {
+  Session session(SessionOptions{1, 64});
+  CancelSource src;
+  src.request_cancel();
+  QueryRequest q;
+  q.l = 2.0e-6;
+  const auto r = session.submit(q, src.token());
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCancelled);
+  EXPECT_EQ(session.cache_stats().hits + session.cache_stats().misses, 0u);
+}
+
+TEST(Session, MidBatchCancellationStopsCleanly) {
+  // Cancel from another thread while a batch is in flight: every element
+  // must come back either ok or cancelled — no crash, no torn result, and
+  // (under TSan) no race.  Which elements finish is timing-dependent by
+  // design; only the outcome set is pinned.
+  Session session(SessionOptions{4, 0});
+  std::vector<QueryRequest> reqs;
+  for (int i = 0; i < 64; ++i) {
+    QueryRequest q;
+    q.l = 5.0e-6 * i / 63;
+    q.with_exact_delay = true;  // slow enough for the cancel to land inside
+    reqs.push_back(q);
+  }
+  CancelSource src;
+  std::thread canceller([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    src.request_cancel();
+  });
+  const auto results = session.submit_batch(reqs, src.token());
+  canceller.join();
+  ASSERT_EQ(results.size(), reqs.size());
+  int cancelled = 0;
+  for (const auto& r : results) {
+    if (r.is_ok()) {
+      EXPECT_GT(r->delay_per_length, 0.0);
+    } else {
+      EXPECT_EQ(r.status().code(), StatusCode::kCancelled)
+          << r.status().to_string();
+      ++cancelled;
+    }
+  }
+  // 64 exact-engine solves on 4 threads take far longer than 5 ms, so at
+  // least the tail of the batch must have been cancelled.
+  EXPECT_GT(cancelled, 0);
+}
+
+TEST(Session, InvalidRequestAndUnknownTechnologyAreTypedErrors) {
+  Session session(SessionOptions{1, 0});
+  QueryRequest bad;
+  bad.threshold = 2.0;
+  EXPECT_EQ(session.submit(bad).status().code(),
+            StatusCode::kInvalidArgument);
+  QueryRequest unknown;
+  unknown.technology = "7nm_finfet_magic";
+  EXPECT_EQ(session.submit(unknown).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(Session, RunScenarioHonorsRegistryAndDeadline) {
+  Session session(SessionOptions{2, 0});
+  scenario::ScenarioSpec spec;
+  spec.scenario = "does_not_exist";
+  EXPECT_EQ(session.run_scenario(spec).status().code(),
+            StatusCode::kNotFound);
+
+  const scenario::Scenario* fig5 =
+      scenario::ScenarioRegistry::global().find("fig5");
+  ASSERT_NE(fig5, nullptr);
+  scenario::ScenarioSpec quick = scenario::quick_spec(fig5->defaults);
+
+  EXPECT_EQ(session.run_scenario(quick, 0.0).status().code(),
+            StatusCode::kDeadlineExceeded);
+
+  const auto r = session.run_scenario(quick);
+  ASSERT_TRUE(r.is_ok()) << r.status().to_string();
+  EXPECT_EQ(r->name, "fig5");
+  EXPECT_FALSE(r->tables.empty());
+}
+
+}  // namespace
+}  // namespace rlc::svc
