@@ -177,34 +177,54 @@ int serve_socket(rlc::svc::Server& server, const std::string& path,
     }
     std::string pending;
     char buf[4096];
+    bool conn_ok = true;
+    // Serve every complete line buffered in `pending`, in blocks of at most
+    // max_batch, until none remains.  One response per request line: a burst
+    // of more than max_batch lines must be fully answered before we block in
+    // read() again, or a client that waits for its responses deadlocks.
+    // `final_flush` additionally treats a trailing unterminated line as a
+    // request, matching getline semantics in stdin mode.
+    const auto drain = [&](bool final_flush) {
+      for (;;) {
+        std::vector<std::string> block;
+        std::size_t start = 0;
+        for (std::size_t nl = pending.find('\n'); nl != std::string::npos;
+             nl = pending.find('\n', start)) {
+          block.push_back(pending.substr(start, nl - start));
+          start = nl + 1;
+          if (block.size() >= static_cast<std::size_t>(max_batch)) break;
+        }
+        pending.erase(0, start);
+        if (block.empty()) {
+          if (!final_flush || pending.empty()) return;
+          block.push_back(std::move(pending));
+          pending.clear();
+        }
+        std::string out;
+        for (const std::string& resp : server.handle_lines(block)) {
+          out += resp;
+          out += '\n';
+        }
+        std::size_t sent = 0;
+        while (sent < out.size()) {
+          const ssize_t w =
+              ::write(conn, out.data() + sent, out.size() - sent);
+          if (w <= 0) {
+            conn_ok = false;
+            return;
+          }
+          sent += static_cast<std::size_t>(w);
+        }
+      }
+    };
     for (;;) {
       const ssize_t got = ::read(conn, buf, sizeof(buf));
       if (got <= 0) break;
       pending.append(buf, static_cast<std::size_t>(got));
-      // Serve every complete line received so far as one block: lines that
-      // arrived together batch together.
-      std::vector<std::string> block;
-      std::size_t start = 0;
-      for (std::size_t nl = pending.find('\n'); nl != std::string::npos;
-           nl = pending.find('\n', start)) {
-        block.push_back(pending.substr(start, nl - start));
-        start = nl + 1;
-        if (block.size() >= static_cast<std::size_t>(max_batch)) break;
-      }
-      pending.erase(0, start);
-      if (block.empty()) continue;
-      std::string out;
-      for (const std::string& resp : server.handle_lines(block)) {
-        out += resp;
-        out += '\n';
-      }
-      std::size_t sent = 0;
-      while (sent < out.size()) {
-        const ssize_t w = ::write(conn, out.data() + sent, out.size() - sent);
-        if (w <= 0) break;
-        sent += static_cast<std::size_t>(w);
-      }
+      drain(/*final_flush=*/false);
+      if (!conn_ok) break;
     }
+    if (conn_ok) drain(/*final_flush=*/true);
     ::close(conn);
   }
   ::close(listener);

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Framing smoke test for `rlc_serve --socket`.
+
+Sends one burst of request lines much larger than the server's --max-batch
+in a single write, then waits for exactly one response line per request.
+A server that drains at most one batch of its receive buffer per read()
+deadlocks here — the client blocks on recv() while the server blocks on
+read() — which the socket timeout turns into a hard failure instead of a
+hang.  The last request is sent WITHOUT a trailing newline before the
+write side is half-closed, so the EOF flush path (serve buffered lines on
+half-close, getline semantics for the unterminated tail) is covered too.
+
+Usage: serve_socket_smoke.py [--server PATH] [--requests N] [--max-batch M]
+Exit codes: 0 all responses received and well-formed, 1 failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+
+
+def wait_for_socket(path: str, proc: subprocess.Popen, timeout: float) -> None:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            raise RuntimeError(f"server exited early with code {proc.returncode}")
+        if os.path.exists(path):
+            return
+        time.sleep(0.05)
+    raise RuntimeError(f"socket {path} did not appear within {timeout}s")
+
+
+def recv_lines(conn: socket.socket, want: int, timeout: float) -> list[str]:
+    conn.settimeout(timeout)
+    buf = b""
+    while buf.count(b"\n") < want:
+        chunk = conn.recv(65536)
+        if not chunk:
+            break
+        buf += chunk
+    return buf.decode("utf-8").splitlines()
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--server", default="./build/bench/rlc_serve")
+    ap.add_argument("--requests", type=int, default=64)
+    ap.add_argument("--max-batch", type=int, default=4)
+    ap.add_argument("--timeout", type=float, default=30.0)
+    args = ap.parse_args()
+
+    sock_path = os.path.join(tempfile.mkdtemp(prefix="rlc_serve_"), "sock")
+    proc = subprocess.Popen(
+        [args.server, "--socket", sock_path, "--max-batch", str(args.max_batch)],
+        stdout=subprocess.DEVNULL,
+    )
+    try:
+        wait_for_socket(sock_path, proc, args.timeout)
+        # ping answers immediately, so the burst exercises framing, not the
+        # optimizer; the ids let us check one response per request, in order.
+        lines = [
+            json.dumps({"op": "ping", "id": i}) for i in range(args.requests)
+        ]
+        burst = ("\n".join(lines)).encode("utf-8")  # no trailing newline
+        with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as conn:
+            conn.connect(sock_path)
+            conn.sendall(burst)
+            conn.shutdown(socket.SHUT_WR)  # half-close: EOF flush path
+            responses = recv_lines(conn, args.requests, args.timeout)
+        if len(responses) != args.requests:
+            print(
+                f"FAIL: sent {args.requests} requests, got "
+                f"{len(responses)} responses",
+                file=sys.stderr,
+            )
+            return 1
+        for i, line in enumerate(responses):
+            resp = json.loads(line)
+            if resp.get("id") != i or resp.get("status") != "ok":
+                print(f"FAIL: response {i} is {line!r}", file=sys.stderr)
+                return 1
+        print(
+            f"OK: {args.requests} burst requests over max_batch="
+            f"{args.max_batch} socket, one ordered response each"
+        )
+        return 0
+    finally:
+        proc.terminate()
+        proc.wait(timeout=10)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,6 +16,7 @@
 #include <new>
 #include <stdexcept>
 #include <string>
+#include <type_traits>
 #include <utility>
 
 namespace rlc {
@@ -112,25 +113,34 @@ class [[nodiscard]] StatusOr {
   StatusOr(const StatusOr& o) : status_(o.status_), has_value_(o.has_value_) {
     if (has_value_) ::new (static_cast<void*>(&storage_)) T(o.ref());
   }
-  StatusOr(StatusOr&& o) noexcept
+  StatusOr(StatusOr&& o) noexcept(std::is_nothrow_move_constructible_v<T>)
       : status_(std::move(o.status_)), has_value_(o.has_value_) {
     if (has_value_) ::new (static_cast<void*>(&storage_)) T(std::move(o.ref()));
   }
+  // Assignment constructs into storage FIRST and flips has_value_ only on
+  // success: if T's copy/move constructor throws, the destructor must not
+  // run ~T over uninitialized storage.  (Basic guarantee: on throw *this is
+  // valueless with the source's status.)
   StatusOr& operator=(const StatusOr& o) {
     if (this != &o) {
       destroy();
       status_ = o.status_;
-      has_value_ = o.has_value_;
-      if (has_value_) ::new (static_cast<void*>(&storage_)) T(o.ref());
+      if (o.has_value_) {
+        ::new (static_cast<void*>(&storage_)) T(o.ref());
+        has_value_ = true;
+      }
     }
     return *this;
   }
-  StatusOr& operator=(StatusOr&& o) noexcept {
+  StatusOr& operator=(StatusOr&& o) noexcept(
+      std::is_nothrow_move_constructible_v<T>) {
     if (this != &o) {
       destroy();
       status_ = std::move(o.status_);
-      has_value_ = o.has_value_;
-      if (has_value_) ::new (static_cast<void*>(&storage_)) T(std::move(o.ref()));
+      if (o.has_value_) {
+        ::new (static_cast<void*>(&storage_)) T(std::move(o.ref()));
+        has_value_ = true;
+      }
     }
     return *this;
   }

@@ -26,11 +26,16 @@ struct DelayResult {
 
 struct DelayOptions {
   double f = 0.5;  ///< threshold fraction, 0 < f < 1 (50% delay default)
-  union {
-    double rel_tolerance = 1e-13;  ///< relative tolerance on tau
-    [[deprecated("renamed to rel_tolerance")]] double rel_tol;
-  };
+  double rel_tolerance = 1e-13;  ///< relative tolerance on tau
   int max_iterations = 100;
+
+  // Deprecated pre-1.0 spelling (see DESIGN.md "Options hygiene").
+  [[deprecated("renamed to rel_tolerance")]] double& rel_tol() {
+    return rel_tolerance;
+  }
+  [[deprecated("renamed to rel_tolerance")]] double rel_tol() const {
+    return rel_tolerance;
+  }
 };
 
 /// First time v(tau) = f.  Brackets the first crossing with a geometric

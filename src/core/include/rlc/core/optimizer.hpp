@@ -58,20 +58,30 @@ enum class OptimMethod { kNewton, kNelderMead };
 /// Naming convention (DESIGN.md "Options hygiene"): iteration budgets are
 /// `max_iterations`, tolerances are spelled-out `*_tolerance` — matching
 /// math::NewtonOptions / math::NelderMeadOptions.  The pre-1.0 abbreviated
-/// spellings survive one release as deprecated aliases of the same storage.
+/// spellings survive one release as deprecated accessor functions onto the
+/// renamed fields (reading the inactive member of a union alias is formally
+/// UB, so field-spelled aliases are not an option).
 struct OptimOptions {
   double f = 0.5;            ///< delay threshold fraction
   double h0 = 0.0;           ///< initial segment length (0: 0.9 * h_optRC)
   double k0 = 0.0;           ///< initial repeater size (0: 0.9 * k_optRC)
-  union {
-    int max_iterations = 80;  ///< Newton budget for the (h, k) system
-    [[deprecated("renamed to max_iterations")]] int max_newton_iterations;
-  };
-  union {
-    double residual_tolerance = 1e-9;  ///< on normalized residuals
-    [[deprecated("renamed to residual_tolerance")]] double residual_tol;
-  };
+  int max_iterations = 80;   ///< Newton budget for the (h, k) system
+  double residual_tolerance = 1e-9;  ///< on normalized residuals
   bool allow_fallback = true;  ///< Nelder-Mead when Newton fails
+
+  [[deprecated("renamed to max_iterations")]] int& max_newton_iterations() {
+    return max_iterations;
+  }
+  [[deprecated("renamed to max_iterations")]] int max_newton_iterations()
+      const {
+    return max_iterations;
+  }
+  [[deprecated("renamed to residual_tolerance")]] double& residual_tol() {
+    return residual_tolerance;
+  }
+  [[deprecated("renamed to residual_tolerance")]] double residual_tol() const {
+    return residual_tolerance;
+  }
 };
 
 struct OptimResult {

@@ -79,6 +79,45 @@ TEST(StatusOr, CopiesAndMovesNonTrivialPayloads) {
   EXPECT_EQ(b.status().code(), StatusCode::kInternal);
 }
 
+// A payload whose copy constructor throws on demand: assignment must leave
+// the target valueless (never "has_value_ over garbage storage") when the
+// payload copy throws mid-assignment.
+struct ThrowOnCopy {
+  static inline bool armed = false;
+  std::string tag;
+  explicit ThrowOnCopy(std::string t) : tag(std::move(t)) {}
+  ThrowOnCopy(const ThrowOnCopy& o) : tag(o.tag) {
+    if (armed) throw std::runtime_error("copy blew up");
+  }
+  ThrowOnCopy(ThrowOnCopy&&) = default;
+  ThrowOnCopy& operator=(const ThrowOnCopy&) = default;
+  ThrowOnCopy& operator=(ThrowOnCopy&&) = default;
+};
+
+TEST(StatusOr, ThrowingCopyAssignmentLeavesTargetValueless) {
+  ThrowOnCopy::armed = false;
+  StatusOr<ThrowOnCopy> src = ThrowOnCopy("fresh");
+  StatusOr<ThrowOnCopy> dst = ThrowOnCopy("stale");
+  ThrowOnCopy::armed = true;
+  EXPECT_THROW(dst = src, std::runtime_error);
+  ThrowOnCopy::armed = false;
+  // The old value is gone and no new one was constructed; destroying dst
+  // (end of scope) must not run ~ThrowOnCopy on uninitialized storage.
+  EXPECT_FALSE(dst.is_ok());
+  dst = src;  // recoverable: a later assignment works
+  ASSERT_TRUE(dst.is_ok());
+  EXPECT_EQ(dst->tag, "fresh");
+}
+
+TEST(StatusOr, MoveAssignmentNoexceptTracksPayload) {
+  static_assert(
+      std::is_nothrow_move_assignable_v<StatusOr<std::vector<int>>>);
+  static_assert(
+      std::is_nothrow_move_constructible_v<StatusOr<std::vector<int>>>);
+  // ThrowOnCopy's move ctor is noexcept, so its StatusOr stays noexcept.
+  static_assert(std::is_nothrow_move_assignable_v<StatusOr<ThrowOnCopy>>);
+}
+
 TEST(Version, LooksLikeSemver) {
   const std::string v = version();
   // PROJECT_VERSION from CMake: digits and dots, at least "X.Y".

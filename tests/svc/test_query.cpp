@@ -58,6 +58,27 @@ TEST(QueryRequest, FromJsonRejectsBadShapes) {
             StatusCode::kInvalidArgument);
 }
 
+TEST(QueryRequest, FromJsonRejectsNonIntegralAndOutOfRangeInts) {
+  // Integer fields reject fractions and doubles outside int range; the
+  // out-of-range case must produce a clean Status, not a float-cast UB.
+  for (const char* line : {
+           "{\"max_iterations\": 3.5}",
+           "{\"max_iterations\": 1e300}",
+           "{\"max_iterations\": -1e300}",
+           "{\"max_iterations\": 2147483648}",
+           "{\"talbot_points\": 1e19}",
+       }) {
+    EXPECT_EQ(QueryRequest::from_json(io::parse_json(line)).status().code(),
+              StatusCode::kInvalidArgument)
+        << line;
+  }
+  // The extremes that do fit still parse.
+  const auto max_ok =
+      QueryRequest::from_json(io::parse_json("{\"max_iterations\": 2147483647}"));
+  ASSERT_TRUE(max_ok.is_ok()) << max_ok.status().to_string();
+  EXPECT_EQ(max_ok->max_iterations, 2147483647);
+}
+
 TEST(QueryRequest, CacheKeyIgnoresDeadlineOnly) {
   QueryRequest a;
   QueryRequest b = a;
