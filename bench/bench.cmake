@@ -9,10 +9,21 @@ target_link_libraries(rlc_run PRIVATE
 set_target_properties(rlc_run PROPERTIES
   RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
 
-# NDJSON query server over rlc::svc (stdin/stdout or a Unix socket), plus
-# the cold-vs-warm serving bench behind --bench.
+# NDJSON query server over rlc::svc (stdin/stdout, or the epoll event loop
+# with shard routing on a Unix socket), plus the cold-vs-warm serving bench
+# behind --bench.
 add_executable(rlc_serve bench/rlc_serve.cpp)
 target_link_libraries(rlc_serve PRIVATE
   rlc_svc rlc_scenario rlc_io rlc_exec rlc_core rlc_obs rlcopt_warnings)
 set_target_properties(rlc_serve PROPERTIES
+  RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+
+# Open-loop replay load generator against a running rlc_serve socket —
+# Poisson arrivals, persistent connections, latency measured from the
+# scheduled arrival time (coordinated-omission-free).  Writes the
+# BENCH_load.json artifact.
+add_executable(rlc_load bench/rlc_load.cpp)
+target_link_libraries(rlc_load PRIVATE
+  rlc_svc rlc_io rlc_obs rlcopt_warnings)
+set_target_properties(rlc_load PROPERTIES
   RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)

@@ -1,0 +1,435 @@
+/// \file rlc_load.cpp
+/// Open-loop replay load generator for a running rlc_serve socket.
+///
+/// The generator draws a Poisson arrival process at the offered rate
+/// (--qps), assigns each arrival round-robin to one of --connections
+/// persistent Unix-socket connections, and sends the request AT ITS
+/// SCHEDULED TIME whether or not earlier responses have come back.  That is
+/// the open-loop discipline: a slow server does not slow the generator
+/// down, it builds queueing delay — so recorded latency (measured from the
+/// scheduled arrival, not from the write) honestly includes the time spent
+/// waiting behind other requests.  Closed-loop harnesses (send, wait,
+/// send) hide exactly that failure mode ("coordinated omission").
+///
+/// Each connection is a sender thread (paces its slice of the schedule)
+/// plus a receiver thread (reads response lines, matches them against the
+/// same pre-generated slice — the server guarantees per-connection request
+/// order, so response k on a connection answers that connection's request
+/// k; the echoed id pins it).  Latencies land in an rlc::obs histogram;
+/// quantiles and error counts go to the BENCH_load.json artifact that
+/// scripts/validate_bench_json.py checks.
+///
+/// The workload replays --keys distinct queries (both technologies swept
+/// over the paper's inductance range), so a sharded server sees every
+/// shard's cache warm up once and then serve hits — the sustained-serving
+/// regime, not the cold-compute regime the --bench mode of rlc_serve
+/// measures.
+///
+/// Exit codes: 0 run completed (errors are recorded, not fatal),
+/// 2 bad usage or connect/setup failure.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "rlc/base/version.hpp"
+#include "rlc/io/json.hpp"
+#include "rlc/io/json_reader.hpp"
+#include "rlc/obs/metrics.hpp"
+#include "rlc/svc/query.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#define RLC_LOAD_HAVE_UNIX_SOCKETS 1
+#else
+#define RLC_LOAD_HAVE_UNIX_SOCKETS 0
+#endif
+
+namespace {
+
+struct Args {
+  std::string socket_path;
+  std::size_t connections = 8;
+  std::size_t keys = 256;        // distinct query keys replayed
+  double qps = 0.0;              // offered rate; 0 picks a mode default
+  long long requests = 0;        // total; 0 picks a mode default
+  unsigned long long seed = 42;  // arrival + key sequence seed
+  bool quick = false;
+  bool exact = false;            // with_exact_delay on the replayed queries
+  std::string json_path;         // artifact destination
+};
+
+int usage(const char* argv0, int code) {
+  std::FILE* out = code == 0 ? stdout : stderr;
+  std::fprintf(out,
+               "usage: %s --socket PATH [options]\n"
+               "  --socket PATH      rlc_serve Unix socket to load (required)\n"
+               "  --connections N    concurrent connections (default 8)\n"
+               "  --qps R            offered arrival rate "
+               "(default 1000 quick, 10000 full)\n"
+               "  --requests N       total requests "
+               "(default 2000 quick, 1000000 full)\n"
+               "  --keys N           distinct query keys (default 256)\n"
+               "  --exact            replay exact-waveform queries\n"
+               "  --seed S           arrival/key RNG seed (default 42)\n"
+               "  --quick            CI-sized run\n"
+               "  --json FILE        artifact path (default BENCH_load.json)\n"
+               "  --version          print the library version\n",
+               argv0);
+  return code;
+}
+
+#if RLC_LOAD_HAVE_UNIX_SOCKETS
+
+using Clock = std::chrono::steady_clock;
+
+/// One scheduled arrival: when (relative to run start) and which key.
+struct Arrival {
+  double at_seconds = 0.0;
+  std::uint32_t key = 0;
+};
+
+struct ConnStats {
+  std::uint64_t responses = 0;
+  std::uint64_t errors = 0;        // non-ok status on the wire
+  std::uint64_t id_mismatches = 0; // response id != expected request id
+  bool transport_failed = false;
+};
+
+int connect_unix(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof(addr.sun_path)) return -1;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool write_all(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + sent, data.size() - sent);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return false;
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Pace this connection's slice of the schedule, then half-close so the
+/// server flushes remaining responses and closes its side (EOF for the
+/// receiver thread).
+void sender_main(int fd, const std::vector<Arrival>& slice,
+                 const std::vector<std::string>& key_lines,
+                 std::uint64_t first_id, std::size_t stride,
+                 Clock::time_point start, ConnStats* stats) {
+  std::string line;
+  for (std::size_t k = 0; k < slice.size(); ++k) {
+    const auto due =
+        start + std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double>(slice[k].at_seconds));
+    std::this_thread::sleep_until(due);  // past-due sends go immediately
+    // key_lines holds the request minus id; splice the global id in.
+    const std::uint64_t id = first_id + k * stride;
+    line = "{\"id\":";
+    line += std::to_string(id);
+    line += ',';
+    line += key_lines[slice[k].key];
+    line += '\n';
+    if (!write_all(fd, line)) {
+      stats->transport_failed = true;
+      return;
+    }
+  }
+  ::shutdown(fd, SHUT_WR);
+}
+
+/// Read response lines; response k answers this connection's request k
+/// (per-connection ordering is a server guarantee — the echoed id verifies
+/// it).  Latency is measured from the request's SCHEDULED arrival.
+void receiver_main(int fd, const std::vector<Arrival>& slice,
+                   std::uint64_t first_id, std::size_t stride,
+                   Clock::time_point start, int latency_hist,
+                   ConnStats* stats) {
+  std::string pending;
+  char buf[64 * 1024];
+  std::size_t k = 0;
+  auto handle = [&](const std::string& resp) {
+    if (k >= slice.size()) return;
+    const double lat_us =
+        std::chrono::duration<double, std::micro>(
+            Clock::now() -
+            (start + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(slice[k].at_seconds))))
+            .count();
+    const std::uint64_t want_id = first_id + k * stride;
+    ++k;
+    ++stats->responses;
+    rlc::obs::Registry::global().record(latency_hist, lat_us);
+    try {
+      const rlc::io::JsonValue v = rlc::io::parse_json(resp);
+      if (v.string_or("status", "") != "ok") ++stats->errors;
+      const rlc::io::JsonValue* id = v.find("id");
+      if (!id || id->kind() != rlc::io::JsonValue::Kind::kNumber ||
+          static_cast<std::uint64_t>(id->as_number()) != want_id) {
+        ++stats->id_mismatches;
+      }
+    } catch (const std::exception&) {
+      ++stats->errors;
+    }
+  };
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0) {
+      stats->transport_failed = true;
+      return;
+    }
+    if (n == 0) break;  // server closed after flushing (half-close done)
+    pending.append(buf, static_cast<std::size_t>(n));
+    std::size_t startpos = 0;
+    for (std::size_t nl = pending.find('\n'); nl != std::string::npos;
+         nl = pending.find('\n', startpos)) {
+      handle(pending.substr(startpos, nl - startpos));
+      startpos = nl + 1;
+    }
+    pending.erase(0, startpos);
+  }
+  if (k < slice.size()) stats->transport_failed = true;
+}
+
+int run_load(const Args& args) {
+  const double qps = args.qps > 0 ? args.qps : (args.quick ? 1000.0 : 10000.0);
+  const std::uint64_t total = static_cast<std::uint64_t>(
+      args.requests > 0 ? args.requests : (args.quick ? 2000 : 1000000));
+  const std::size_t conns = std::max<std::size_t>(1, args.connections);
+  const std::size_t keys = std::max<std::size_t>(1, args.keys);
+
+  // The replayed key set: both technologies swept over the paper's
+  // inductance range.  Rendered once, minus the id, so the send path only
+  // splices an integer.
+  std::vector<std::string> key_lines;
+  key_lines.reserve(keys);
+  for (std::size_t i = 0; i < keys; ++i) {
+    rlc::svc::QueryRequest q;
+    q.technology = (i % 2 == 0) ? "250nm" : "100nm";
+    q.l = keys > 1 ? 5.0e-6 * static_cast<double>(i) /
+                         static_cast<double>(keys - 1)
+                   : 2.5e-6;
+    q.with_exact_delay = args.exact;
+    std::string line = q.to_json().str();
+    // to_json renders a full object; reuse its body inside our envelope.
+    if (line.size() < 2 || line.front() != '{' || line.back() != '}') {
+      std::fprintf(stderr, "rlc_load: unexpected request rendering\n");
+      return 2;
+    }
+    key_lines.push_back("\"op\":\"query\"," +
+                        line.substr(1, line.size() - 2) + "}");
+  }
+
+  // One global Poisson process at the offered rate, dealt round-robin onto
+  // the connections; the aggregate the server sees is the Poisson stream.
+  std::mt19937_64 rng(args.seed);
+  std::exponential_distribution<double> gap(qps);
+  std::uniform_int_distribution<std::uint32_t> pick(
+      0, static_cast<std::uint32_t>(keys - 1));
+  std::vector<std::vector<Arrival>> slices(conns);
+  for (auto& s : slices) s.reserve(total / conns + 1);
+  double t = 0.0;
+  for (std::uint64_t i = 0; i < total; ++i) {
+    t += gap(rng);
+    slices[i % conns].push_back(Arrival{t, pick(rng)});
+  }
+  const double offered_span = t;
+
+  std::vector<int> fds(conns, -1);
+  for (std::size_t c = 0; c < conns; ++c) {
+    fds[c] = connect_unix(args.socket_path);
+    if (fds[c] < 0) {
+      std::fprintf(stderr, "rlc_load: cannot connect to %s\n",
+                   args.socket_path.c_str());
+      for (int fd : fds) {
+        if (fd >= 0) ::close(fd);
+      }
+      return 2;
+    }
+  }
+
+  const int latency_hist = rlc::obs::Registry::global().histogram(
+      "load.latency_us", 1.0, 1.0e8, 64);
+
+  std::fprintf(stderr,
+               "rlc_load: %llu requests @ %.0f q/s over %zu connections "
+               "(%zu keys, seed %llu)\n",
+               static_cast<unsigned long long>(total), qps, conns, keys,
+               static_cast<unsigned long long>(args.seed));
+
+  std::vector<ConnStats> stats(conns);
+  std::vector<std::thread> threads;
+  threads.reserve(conns * 2);
+  const Clock::time_point start = Clock::now();
+  for (std::size_t c = 0; c < conns; ++c) {
+    threads.emplace_back(receiver_main, fds[c], std::cref(slices[c]),
+                         static_cast<std::uint64_t>(c), conns, start,
+                         latency_hist, &stats[c]);
+    threads.emplace_back(sender_main, fds[c], std::cref(slices[c]),
+                         std::cref(key_lines), static_cast<std::uint64_t>(c),
+                         conns, start, &stats[c]);
+  }
+  for (std::thread& th : threads) th.join();
+  const double wall =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  for (int fd : fds) ::close(fd);
+
+  ConnStats sum;
+  bool transport_failed = false;
+  for (const ConnStats& s : stats) {
+    sum.responses += s.responses;
+    sum.errors += s.errors;
+    sum.id_mismatches += s.id_mismatches;
+    transport_failed = transport_failed || s.transport_failed;
+  }
+
+  const rlc::obs::MetricsSnapshot snap =
+      rlc::obs::Registry::global().snapshot();
+  rlc::obs::HistogramSnapshot lat;
+  for (const auto& h : snap.histograms) {
+    if (h.name == "load.latency_us") lat = h;
+  }
+
+  const double achieved = wall > 0 ? static_cast<double>(sum.responses) / wall
+                                   : 0.0;
+  std::printf("rlc_load: %llu/%llu responses in %.2fs\n",
+              static_cast<unsigned long long>(sum.responses),
+              static_cast<unsigned long long>(total), wall);
+  std::printf("  offered %.0f q/s   achieved %.0f q/s\n", qps, achieved);
+  std::printf("  latency p50 %.0f us   p99 %.0f us   max %.0f us\n",
+              lat.quantile(0.5), lat.quantile(0.99), lat.max);
+  std::printf("  errors %llu   id mismatches %llu%s\n",
+              static_cast<unsigned long long>(sum.errors),
+              static_cast<unsigned long long>(sum.id_mismatches),
+              transport_failed ? "   TRANSPORT FAILED" : "");
+
+  rlc::io::Json j;
+  j.set("schema", 1);
+  j.set("bench", "load");
+  j.set("version", rlc::version());
+  j.set("quick", args.quick);
+  j.set("connections", static_cast<long long>(conns));
+  j.set("keys", static_cast<long long>(keys));
+  j.set("requests", static_cast<long long>(total));
+  j.set("seed", static_cast<long long>(args.seed));
+  j.set("duration_seconds", wall);
+  j.set("offered_span_seconds", offered_span);
+  rlc::io::Json m;
+  m.set("offered_qps", qps);
+  m.set("achieved_qps", achieved);
+  m.set("responses", static_cast<long long>(sum.responses));
+  m.set("errors", static_cast<long long>(sum.errors));
+  m.set("id_mismatches", static_cast<long long>(sum.id_mismatches));
+  m.set("transport_failed", transport_failed);
+  m.set("p50_latency_us", lat.quantile(0.5));
+  m.set("p99_latency_us", lat.quantile(0.99));
+  m.set("max_latency_us", lat.max);
+  m.set("mean_latency_us", lat.mean());
+  j.set("metrics", m);
+  const std::string path =
+      args.json_path.empty() ? "BENCH_load.json" : args.json_path;
+  if (!rlc::io::write_json_file(path, j)) return 2;
+  std::printf("  wrote %s\n", path.c_str());
+  return 0;
+}
+
+#endif  // RLC_LOAD_HAVE_UNIX_SOCKETS
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    const auto need_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "rlc_load: %s needs a value\n", flag);
+        std::exit(usage(argv[0], 2));
+      }
+      return argv[++i];
+    };
+    const auto parse_positive = [&](const char* flag, long long* out) {
+      char* end = nullptr;
+      const long long v = std::strtoll(need_value(flag), &end, 10);
+      if (!end || *end != '\0' || v < 1) {
+        std::fprintf(stderr, "rlc_load: invalid %s value\n", flag);
+        std::exit(2);
+      }
+      *out = v;
+    };
+    if (a == "--help" || a == "-h") return usage(argv[0], 0);
+    if (a == "--version") {
+      std::printf("%s\n", rlc::version());
+      return 0;
+    }
+    if (a == "--socket") {
+      args.socket_path = need_value("--socket");
+    } else if (a == "--connections") {
+      long long v = 0;
+      parse_positive("--connections", &v);
+      args.connections = static_cast<std::size_t>(v);
+    } else if (a == "--keys") {
+      long long v = 0;
+      parse_positive("--keys", &v);
+      args.keys = static_cast<std::size_t>(v);
+    } else if (a == "--requests") {
+      parse_positive("--requests", &args.requests);
+    } else if (a == "--qps") {
+      char* end = nullptr;
+      const double v = std::strtod(need_value("--qps"), &end);
+      if (!end || *end != '\0' || !(v > 0)) {
+        std::fprintf(stderr, "rlc_load: invalid --qps value\n");
+        return 2;
+      }
+      args.qps = v;
+    } else if (a == "--seed") {
+      char* end = nullptr;
+      const unsigned long long v = std::strtoull(need_value("--seed"), &end, 10);
+      if (!end || *end != '\0') {
+        std::fprintf(stderr, "rlc_load: invalid --seed value\n");
+        return 2;
+      }
+      args.seed = v;
+    } else if (a == "--json") {
+      args.json_path = need_value("--json");
+    } else if (a == "--quick") {
+      args.quick = true;
+    } else if (a == "--exact") {
+      args.exact = true;
+    } else {
+      std::fprintf(stderr, "rlc_load: unknown option %s\n", a.c_str());
+      return usage(argv[0], 2);
+    }
+  }
+  if (args.socket_path.empty()) {
+    std::fprintf(stderr, "rlc_load: --socket is required\n");
+    return usage(argv[0], 2);
+  }
+#if RLC_LOAD_HAVE_UNIX_SOCKETS
+  return run_load(args);
+#else
+  std::fprintf(stderr, "rlc_load: Unix sockets unavailable on this platform\n");
+  return 2;
+#endif
+}

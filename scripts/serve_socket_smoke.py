@@ -1,22 +1,30 @@
 #!/usr/bin/env python3
-"""Framing smoke test for `rlc_serve --socket`.
+"""Framing and concurrency smoke test for `rlc_serve --socket`.
 
-Sends one burst of request lines much larger than the server's --max-batch
-in a single write, then waits for exactly one response line per request.
-A server that drains at most one batch of its receive buffer per read()
-deadlocks here — the client blocks on recv() while the server blocks on
-read() — which the socket timeout turns into a hard failure instead of a
-hang.  The last request is sent WITHOUT a trailing newline before the
-write side is half-closed, so the EOF flush path (serve buffered lines on
-half-close, getline semantics for the unterminated tail) is covered too.
+Phase 1 (single client): one burst of request lines much larger than the
+server's --max-batch in a single write, then exactly one response line per
+request.  A server that drains at most one batch of its receive buffer per
+read() deadlocks here — the client blocks on recv() while the server
+blocks on read() — which the socket timeout turns into a hard failure
+instead of a hang.  The last request is sent WITHOUT a trailing newline
+before the write side is half-closed, so the EOF flush path (serve
+buffered lines on half-close, getline semantics for the unterminated tail)
+is covered too.
+
+Phase 2 (concurrent clients): --clients connections at once, each sending
+its own burst of more than max_batch requests with per-client ids.  Every
+client must get exactly its own responses, in its own request order — the
+event loop must not mix frames across connections or starve a client.
 
 Usage: serve_socket_smoke.py [--server PATH] [--requests N] [--max-batch M]
+                             [--clients C] [--shards S]
 Exit codes: 0 all responses received and well-formed, 1 failure.
 """
 
 from __future__ import annotations
 
 import argparse
+import concurrent.futures
 import json
 import os
 import socket
@@ -48,47 +56,75 @@ def recv_lines(conn: socket.socket, want: int, timeout: float) -> list[str]:
     return buf.decode("utf-8").splitlines()
 
 
+def run_burst(sock_path: str, requests: int, first_id: int,
+              timeout: float) -> str | None:
+    """One connection, one over-max_batch burst with a half-closed tail.
+    Returns None on success, an error description otherwise."""
+    lines = [
+        json.dumps({"op": "ping", "id": first_id + i}) for i in range(requests)
+    ]
+    burst = ("\n".join(lines)).encode("utf-8")  # no trailing newline
+    with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as conn:
+        conn.connect(sock_path)
+        conn.sendall(burst)
+        conn.shutdown(socket.SHUT_WR)  # half-close: EOF flush path
+        responses = recv_lines(conn, requests, timeout)
+    if len(responses) != requests:
+        return f"sent {requests} requests, got {len(responses)} responses"
+    for i, line in enumerate(responses):
+        resp = json.loads(line)
+        if resp.get("id") != first_id + i or resp.get("status") != "ok":
+            return f"response {i} is {line!r}"
+    return None
+
+
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--server", default="./build/bench/rlc_serve")
     ap.add_argument("--requests", type=int, default=64)
     ap.add_argument("--max-batch", type=int, default=4)
+    ap.add_argument("--clients", type=int, default=8)
+    ap.add_argument("--shards", type=int, default=2)
     ap.add_argument("--timeout", type=float, default=30.0)
     args = ap.parse_args()
 
     sock_path = os.path.join(tempfile.mkdtemp(prefix="rlc_serve_"), "sock")
     proc = subprocess.Popen(
-        [args.server, "--socket", sock_path, "--max-batch", str(args.max_batch)],
+        [args.server, "--socket", sock_path, "--max-batch",
+         str(args.max_batch), "--shards", str(args.shards)],
         stdout=subprocess.DEVNULL,
     )
     try:
         wait_for_socket(sock_path, proc, args.timeout)
-        # ping answers immediately, so the burst exercises framing, not the
-        # optimizer; the ids let us check one response per request, in order.
-        lines = [
-            json.dumps({"op": "ping", "id": i}) for i in range(args.requests)
-        ]
-        burst = ("\n".join(lines)).encode("utf-8")  # no trailing newline
-        with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as conn:
-            conn.connect(sock_path)
-            conn.sendall(burst)
-            conn.shutdown(socket.SHUT_WR)  # half-close: EOF flush path
-            responses = recv_lines(conn, args.requests, args.timeout)
-        if len(responses) != args.requests:
-            print(
-                f"FAIL: sent {args.requests} requests, got "
-                f"{len(responses)} responses",
-                file=sys.stderr,
-            )
+
+        # Phase 1: single-client burst framing (ping answers immediately, so
+        # this exercises framing, not the optimizer).
+        error = run_burst(sock_path, args.requests, 0, args.timeout)
+        if error is not None:
+            print(f"FAIL (single client): {error}", file=sys.stderr)
             return 1
-        for i, line in enumerate(responses):
-            resp = json.loads(line)
-            if resp.get("id") != i or resp.get("status") != "ok":
-                print(f"FAIL: response {i} is {line!r}", file=sys.stderr)
-                return 1
+
+        # Phase 2: concurrent clients, ids namespaced per client so any
+        # cross-connection leak or reordering is caught by the id check.
+        with concurrent.futures.ThreadPoolExecutor(args.clients) as pool:
+            futures = [
+                pool.submit(run_burst, sock_path, args.requests,
+                            (c + 1) * 100000, args.timeout)
+                for c in range(args.clients)
+            ]
+            failures = [
+                f"client {c}: {f.result()}"
+                for c, f in enumerate(futures) if f.result() is not None
+            ]
+        if failures:
+            for f in failures:
+                print(f"FAIL (concurrent): {f}", file=sys.stderr)
+            return 1
+
         print(
-            f"OK: {args.requests} burst requests over max_batch="
-            f"{args.max_batch} socket, one ordered response each"
+            f"OK: burst of {args.requests} over max_batch={args.max_batch}, "
+            f"then {args.clients} concurrent clients x {args.requests} "
+            f"requests ({args.shards} shards), one ordered response each"
         )
         return 0
     finally:

@@ -1,0 +1,102 @@
+#include "rlc/svc/router.hpp"
+
+#include <thread>
+#include <utility>
+
+namespace rlc::svc {
+
+ShardRouter::ShardRouter(const RouterOptions& opts) {
+  const std::size_t n = opts.shards > 0 ? opts.shards : 1;
+  sessions_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    SessionOptions sopts;
+    sopts.threads = opts.threads_per_shard;
+    sopts.cache_capacity = opts.cache_capacity;
+    sessions_.push_back(std::make_unique<Session>(sopts));
+  }
+}
+
+ShardRouter::~ShardRouter() = default;
+
+std::size_t ShardRouter::threads() const {
+  std::size_t total = 0;
+  for (const auto& s : sessions_) total += s->threads();
+  return total;
+}
+
+std::size_t ShardRouter::placement(std::uint64_t key_hash,
+                                   std::size_t shards) {
+  // Jump Consistent Hash (Lamping & Veach, 2014): O(log n), no table, and
+  // growing the shard count moves only the minimal fraction of keys.
+  if (shards <= 1) return 0;
+  std::int64_t b = -1;
+  std::int64_t j = 0;
+  while (j < static_cast<std::int64_t>(shards)) {
+    b = j;
+    key_hash = key_hash * 2862933555777941757ULL + 1;
+    j = static_cast<std::int64_t>(
+        static_cast<double>(b + 1) *
+        (static_cast<double>(std::int64_t{1} << 31) /
+         static_cast<double>((key_hash >> 33) + 1)));
+  }
+  return static_cast<std::size_t>(b);
+}
+
+std::size_t ShardRouter::shard_of(const QueryRequest& req) const {
+  return placement(req.cache_hash(), sessions_.size());
+}
+
+rlc::StatusOr<QueryResult> ShardRouter::submit(const QueryRequest& req) {
+  return sessions_[shard_of(req)]->submit(req);
+}
+
+std::vector<rlc::StatusOr<QueryResult>> ShardRouter::submit_batch(
+    const std::vector<QueryRequest>& reqs) {
+  const std::size_t n = reqs.size();
+  const std::size_t s = sessions_.size();
+  if (n == 0) return {};
+  if (s == 1) return sessions_[0]->submit_batch(reqs);
+
+  // Partition by home shard, remembering where each request came from.
+  std::vector<std::vector<QueryRequest>> parts(s);
+  std::vector<std::vector<std::size_t>> origin(s);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t home = shard_of(reqs[i]);
+    parts[home].push_back(reqs[i]);
+    origin[home].push_back(i);
+  }
+
+  // One helper thread per non-empty shard except the last, which runs on
+  // the calling thread — shards solve their sub-batches concurrently, each
+  // on its own pool.  Per-request determinism makes the reassembly order
+  // independent of which shard finishes first.
+  std::vector<std::vector<rlc::StatusOr<QueryResult>>> shard_out(s);
+  std::vector<std::size_t> active;
+  for (std::size_t j = 0; j < s; ++j) {
+    if (!parts[j].empty()) active.push_back(j);
+  }
+  std::vector<std::thread> helpers;
+  helpers.reserve(active.size() > 0 ? active.size() - 1 : 0);
+  for (std::size_t a = 0; a + 1 < active.size(); ++a) {
+    const std::size_t j = active[a];
+    helpers.emplace_back([this, j, &parts, &shard_out] {
+      shard_out[j] = sessions_[j]->submit_batch(parts[j]);
+    });
+  }
+  if (!active.empty()) {
+    const std::size_t j = active.back();
+    shard_out[j] = sessions_[j]->submit_batch(parts[j]);
+  }
+  for (std::thread& t : helpers) t.join();
+
+  std::vector<rlc::StatusOr<QueryResult>> out(
+      n, rlc::Status::internal("request slot never ran"));
+  for (std::size_t j = 0; j < s; ++j) {
+    for (std::size_t k = 0; k < origin[j].size(); ++k) {
+      out[origin[j][k]] = std::move(shard_out[j][k]);
+    }
+  }
+  return out;
+}
+
+}  // namespace rlc::svc

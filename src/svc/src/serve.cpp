@@ -2,140 +2,12 @@
 
 #include <algorithm>
 #include <cstddef>
-#include <optional>
 #include <string>
-#include <utility>
-#include <variant>
 #include <vector>
 
-#include "rlc/base/version.hpp"
-#include "rlc/io/json.hpp"
-#include "rlc/io/json_reader.hpp"
+#include "wire.hpp"
 
 namespace rlc::svc {
-
-namespace {
-
-/// Echoed request id: absent, string, or number (other kinds are rejected
-/// as malformed so a response can always be correlated unambiguously).
-using RequestId = std::variant<std::monostate, std::string, double>;
-
-io::Json envelope(const RequestId& id) {
-  io::Json j;
-  j.set("schema", kServeSchemaVersion);
-  j.set("version", rlc::version());
-  if (const std::string* s = std::get_if<std::string>(&id)) j.set("id", *s);
-  if (const double* d = std::get_if<double>(&id)) j.set("id", *d);
-  return j;
-}
-
-std::string render_ok(const RequestId& id, const io::Json& result) {
-  io::Json j = envelope(id);
-  j.set("status", "ok");
-  j.set("code", 0);
-  j.set("result", result);
-  return j.str();
-}
-
-std::string render_error(const RequestId& id, const rlc::Status& st) {
-  io::Json j = envelope(id);
-  j.set("status", st.code_name());
-  j.set("code", static_cast<int>(st.code()));
-  j.set("message", st.message());
-  return j.str();
-}
-
-/// One parsed request line, ready to execute.
-struct Parsed {
-  enum class Op { kQuery, kScenario, kPing, kError };
-  Op op = Op::kError;
-  RequestId id;
-  QueryRequest query;
-  scenario::ScenarioSpec spec;
-  double deadline_seconds = Session::kNoDeadline;
-  rlc::Status error;  ///< op == kError: what was wrong with the line
-};
-
-Parsed parse_line(const std::string& line) {
-  Parsed p;
-  io::JsonValue v;
-  try {
-    v = io::parse_json(line);
-  } catch (const std::exception& e) {
-    p.error = rlc::Status::invalid_argument(
-        std::string("malformed request line: ") + e.what());
-    return p;
-  }
-  if (v.kind() != io::JsonValue::Kind::kObject) {
-    p.error =
-        rlc::Status::invalid_argument("request line must be a JSON object");
-    return p;
-  }
-  if (const io::JsonValue* id = v.find("id")) {
-    switch (id->kind()) {
-      case io::JsonValue::Kind::kString:
-        p.id = id->as_string();
-        break;
-      case io::JsonValue::Kind::kNumber:
-        p.id = id->as_number();
-        break;
-      case io::JsonValue::Kind::kNull:
-        break;
-      default:
-        p.error = rlc::Status::invalid_argument(
-            "id must be a string or a number");
-        return p;
-    }
-  }
-  const std::string op = v.string_or("op", "");
-  if (op == "ping") {
-    p.op = Parsed::Op::kPing;
-    return p;
-  }
-  if (op == "query") {
-    rlc::StatusOr<QueryRequest> req = QueryRequest::from_json(v);
-    if (!req.is_ok()) {
-      p.error = req.status();
-      return p;
-    }
-    p.op = Parsed::Op::kQuery;
-    p.query = std::move(*req);
-    return p;
-  }
-  if (op == "scenario") {
-    const io::JsonValue* spec = v.find("spec");
-    if (!spec) {
-      p.error = rlc::Status::invalid_argument(
-          "scenario request needs a \"spec\" object");
-      return p;
-    }
-    rlc::StatusOr<scenario::ScenarioSpec> parsed =
-        scenario::ScenarioSpec::from_json(*spec);
-    if (!parsed.is_ok()) {
-      p.error = parsed.status();
-      return p;
-    }
-    p.op = Parsed::Op::kScenario;
-    p.spec = std::move(*parsed);
-    if (const io::JsonValue* d = v.find("deadline_seconds");
-        d && !d->is_null()) {
-      try {
-        p.deadline_seconds = d->as_number();
-      } catch (const std::exception&) {
-        p.error =
-            rlc::Status::invalid_argument("deadline_seconds must be a number");
-        p.op = Parsed::Op::kError;
-      }
-    }
-    return p;
-  }
-  p.error = rlc::Status::invalid_argument(
-      op.empty() ? std::string("request needs an \"op\" field")
-                 : "unknown op \"" + op + "\" (query | scenario | ping)");
-  return p;
-}
-
-}  // namespace
 
 Server::Server(Session& session, const ServeOptions& opts)
     : session_(session), opts_(opts) {}
@@ -148,16 +20,18 @@ std::string Server::handle_line(const std::string& line) {
 std::vector<std::string> Server::handle_lines(
     const std::vector<std::string>& lines) {
   const std::size_t n = lines.size();
-  std::vector<Parsed> parsed;
+  std::vector<wire::Parsed> parsed;
   parsed.reserve(n);
-  for (const std::string& line : lines) parsed.push_back(parse_line(line));
+  for (const std::string& line : lines) {
+    parsed.push_back(wire::parse_line(line));
+  }
 
   std::vector<std::string> out(n);
 
   // Queries in the block run as batches (input order within each batch).
   std::vector<std::size_t> query_idx;
   for (std::size_t i = 0; i < n; ++i) {
-    if (parsed[i].op == Parsed::Op::kQuery) query_idx.push_back(i);
+    if (parsed[i].op == wire::Parsed::Op::kQuery) query_idx.push_back(i);
   }
   const std::size_t max_batch =
       opts_.max_batch > 0 ? static_cast<std::size_t>(opts_.max_batch) : 1;
@@ -172,37 +46,18 @@ std::vector<std::string> Server::handle_lines(
     std::vector<rlc::StatusOr<QueryResult>> results =
         session_.submit_batch(reqs);
     for (std::size_t j = begin; j < end; ++j) {
-      const Parsed& p = parsed[query_idx[j]];
+      const wire::Parsed& p = parsed[query_idx[j]];
       const rlc::StatusOr<QueryResult>& r = results[j - begin];
-      out[query_idx[j]] = r.is_ok() ? render_ok(p.id, r->to_json())
-                                    : render_error(p.id, r.status());
+      out[query_idx[j]] = r.is_ok()
+                              ? wire::render_ok(p.id, r->to_json())
+                              : wire::render_error(p.id, r.status());
     }
   }
 
   // Everything else runs in place.
   for (std::size_t i = 0; i < n; ++i) {
-    Parsed& p = parsed[i];
-    switch (p.op) {
-      case Parsed::Op::kQuery:
-        break;  // answered above
-      case Parsed::Op::kPing: {
-        io::Json pong;
-        pong.set("pong", true);
-        pong.set("threads", static_cast<long long>(session_.threads()));
-        out[i] = render_ok(p.id, pong);
-        break;
-      }
-      case Parsed::Op::kScenario: {
-        rlc::StatusOr<scenario::ScenarioResult> r =
-            session_.run_scenario(p.spec, p.deadline_seconds);
-        out[i] = r.is_ok() ? render_ok(p.id, r->to_json())
-                           : render_error(p.id, r.status());
-        break;
-      }
-      case Parsed::Op::kError:
-        out[i] = render_error(p.id, p.error);
-        break;
-    }
+    if (parsed[i].op == wire::Parsed::Op::kQuery) continue;  // answered above
+    out[i] = wire::execute_and_render(session_, parsed[i], session_.threads());
   }
   return out;
 }

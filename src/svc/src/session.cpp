@@ -213,14 +213,16 @@ std::vector<rlc::StatusOr<QueryResult>> Session::submit_batch(
   // One task per request (grain 1): requests are coarse relative to the
   // queue, and per-request sharding keeps a slow solve from serializing its
   // chunk-mates.  answer() never throws, so every slot gets filled.
+  //
+  // Queue-depth accounting is batch-level, not per-request: a gauge is one
+  // SHARED atomic (see obs/metrics.hpp), so decrementing it inside the
+  // lambda put a contended RMW on the parallel cold path — the only shared
+  // write between workers.  Depth now drops when the batch completes; the
+  // max gauge still records the true high-water mark.
   std::vector<std::optional<rlc::StatusOr<QueryResult>>> slots(n);
   impl_->pool.parallel_for(
-      n,
-      [&](std::size_t i) {
-        slots[i] = impl_->answer(reqs[i], cancel);
-        reg.gauge_add(m.queue_depth, -1);
-      },
-      1);
+      n, [&](std::size_t i) { slots[i] = impl_->answer(reqs[i], cancel); }, 1);
+  reg.gauge_add(m.queue_depth, -static_cast<std::int64_t>(n));
 
   std::vector<rlc::StatusOr<QueryResult>> out;
   out.reserve(n);

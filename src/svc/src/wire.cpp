@@ -1,0 +1,146 @@
+#include "wire.hpp"
+
+#include <utility>
+
+#include "rlc/base/version.hpp"
+#include "rlc/io/json.hpp"
+#include "rlc/io/json_reader.hpp"
+#include "rlc/svc/serve.hpp"
+
+namespace rlc::svc::wire {
+
+namespace {
+
+io::Json envelope(const RequestId& id) {
+  io::Json j;
+  j.set("schema", kServeSchemaVersion);
+  j.set("version", rlc::version());
+  if (const std::string* s = std::get_if<std::string>(&id)) j.set("id", *s);
+  if (const double* d = std::get_if<double>(&id)) j.set("id", *d);
+  return j;
+}
+
+}  // namespace
+
+std::string render_ok(const RequestId& id, const io::Json& result) {
+  io::Json j = envelope(id);
+  j.set("status", "ok");
+  j.set("code", 0);
+  j.set("result", result);
+  return j.str();
+}
+
+std::string render_error(const RequestId& id, const rlc::Status& st) {
+  io::Json j = envelope(id);
+  j.set("status", st.code_name());
+  j.set("code", static_cast<int>(st.code()));
+  j.set("message", st.message());
+  return j.str();
+}
+
+Parsed parse_line(const std::string& line) {
+  Parsed p;
+  io::JsonValue v;
+  try {
+    v = io::parse_json(line);
+  } catch (const std::exception& e) {
+    p.error = rlc::Status::invalid_argument(
+        std::string("malformed request line: ") + e.what());
+    return p;
+  }
+  if (v.kind() != io::JsonValue::Kind::kObject) {
+    p.error =
+        rlc::Status::invalid_argument("request line must be a JSON object");
+    return p;
+  }
+  if (const io::JsonValue* id = v.find("id")) {
+    switch (id->kind()) {
+      case io::JsonValue::Kind::kString:
+        p.id = id->as_string();
+        break;
+      case io::JsonValue::Kind::kNumber:
+        p.id = id->as_number();
+        break;
+      case io::JsonValue::Kind::kNull:
+        break;
+      default:
+        p.error = rlc::Status::invalid_argument(
+            "id must be a string or a number");
+        return p;
+    }
+  }
+  const std::string op = v.string_or("op", "");
+  if (op == "ping") {
+    p.op = Parsed::Op::kPing;
+    return p;
+  }
+  if (op == "query") {
+    rlc::StatusOr<QueryRequest> req = QueryRequest::from_json(v);
+    if (!req.is_ok()) {
+      p.error = req.status();
+      return p;
+    }
+    p.op = Parsed::Op::kQuery;
+    p.query = std::move(*req);
+    return p;
+  }
+  if (op == "scenario") {
+    const io::JsonValue* spec = v.find("spec");
+    if (!spec) {
+      p.error = rlc::Status::invalid_argument(
+          "scenario request needs a \"spec\" object");
+      return p;
+    }
+    rlc::StatusOr<scenario::ScenarioSpec> parsed =
+        scenario::ScenarioSpec::from_json(*spec);
+    if (!parsed.is_ok()) {
+      p.error = parsed.status();
+      return p;
+    }
+    p.op = Parsed::Op::kScenario;
+    p.spec = std::move(*parsed);
+    if (const io::JsonValue* d = v.find("deadline_seconds");
+        d && !d->is_null()) {
+      try {
+        p.deadline_seconds = d->as_number();
+      } catch (const std::exception&) {
+        p.error =
+            rlc::Status::invalid_argument("deadline_seconds must be a number");
+        p.op = Parsed::Op::kError;
+      }
+    }
+    return p;
+  }
+  p.error = rlc::Status::invalid_argument(
+      op.empty() ? std::string("request needs an \"op\" field")
+                 : "unknown op \"" + op + "\" (query | scenario | ping)");
+  return p;
+}
+
+std::string execute_and_render(Session& session, const Parsed& p,
+                               std::size_t threads) {
+  switch (p.op) {
+    case Parsed::Op::kPing: {
+      io::Json pong;
+      pong.set("pong", true);
+      pong.set("threads", static_cast<long long>(threads));
+      return render_ok(p.id, pong);
+    }
+    case Parsed::Op::kQuery: {
+      rlc::StatusOr<QueryResult> r = session.submit(p.query);
+      return r.is_ok() ? render_ok(p.id, r->to_json())
+                       : render_error(p.id, r.status());
+    }
+    case Parsed::Op::kScenario: {
+      rlc::StatusOr<scenario::ScenarioResult> r =
+          session.run_scenario(p.spec, p.deadline_seconds);
+      return r.is_ok() ? render_ok(p.id, r->to_json())
+                       : render_error(p.id, r.status());
+    }
+    case Parsed::Op::kError:
+      break;
+  }
+  return render_error(p.id, p.error);
+}
+
+}  // namespace rlc::svc::wire

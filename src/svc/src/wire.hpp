@@ -1,0 +1,50 @@
+#pragma once
+
+/// \file wire.hpp
+/// Internal NDJSON wire-format helpers shared by the two front ends of the
+/// query service: the synchronous Server (serve.cpp, stdin/pipe mode) and
+/// the epoll EventLoopServer (server.cpp, socket mode).  One request line
+/// parses to one Parsed; one Parsed renders to exactly one response line.
+/// Not installed — the stable surface is serve.hpp / server.hpp.
+
+#include <string>
+#include <variant>
+
+#include "rlc/base/status.hpp"
+#include "rlc/scenario/spec.hpp"
+#include "rlc/svc/query.hpp"
+#include "rlc/svc/session.hpp"
+
+namespace rlc::svc::wire {
+
+/// Echoed request id: absent, string, or number (other kinds are rejected
+/// as malformed so a response can always be correlated unambiguously).
+using RequestId = std::variant<std::monostate, std::string, double>;
+
+/// One parsed request line, ready to execute.
+struct Parsed {
+  enum class Op { kQuery, kScenario, kPing, kError };
+  Op op = Op::kError;
+  RequestId id;
+  QueryRequest query;
+  scenario::ScenarioSpec spec;
+  double deadline_seconds = Session::kNoDeadline;
+  rlc::Status error;  ///< op == kError: what was wrong with the line
+};
+
+/// Never throws; malformed input becomes op == kError with a typed Status.
+Parsed parse_line(const std::string& line);
+
+/// Render one response line (no trailing newline).
+std::string render_ok(const RequestId& id, const io::Json& result);
+std::string render_error(const RequestId& id, const rlc::Status& st);
+
+/// The full per-request execution shared by both front ends: queries go
+/// through session.submit, scenarios through session.run_scenario, pings
+/// answer inline, errors echo their Status.  `threads` is what a ping
+/// reports (the serving concurrency, which for a sharded server is not the
+/// session's own pool size).
+std::string execute_and_render(Session& session, const Parsed& p,
+                               std::size_t threads);
+
+}  // namespace rlc::svc::wire
