@@ -38,6 +38,7 @@
 #include <thread>
 #include <vector>
 
+#include "rlc/base/simd.hpp"
 #include "rlc/base/version.hpp"
 #include "rlc/io/json.hpp"
 #include "rlc/io/json_reader.hpp"
@@ -328,6 +329,7 @@ int run_load(const Args& args) {
   j.set("schema", 1);
   j.set("bench", "load");
   j.set("version", rlc::version());
+  j.set("simd", rlc::simd::active_level_name());
   j.set("quick", args.quick);
   j.set("connections", static_cast<long long>(conns));
   j.set("keys", static_cast<long long>(keys));

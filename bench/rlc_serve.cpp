@@ -30,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "rlc/base/simd.hpp"
 #include "rlc/base/status.hpp"
 #include "rlc/base/version.hpp"
 #include "rlc/exec/thread_pool.hpp"
@@ -292,6 +293,7 @@ int run_bench(const Args& args) {
   j.set("schema", rlc::svc::kServeSchemaVersion);
   j.set("bench", "serve");
   j.set("version", rlc::version());
+  j.set("simd", rlc::simd::active_level_name());
   j.set("quick", args.quick);
   j.set("threads", static_cast<long long>(parallel.threads()));
   j.set("requests", static_cast<long long>(reqs.size()));

@@ -5,9 +5,9 @@ Two modes:
 
   validate_bench_json.py ARTIFACT_DIR
       The BENCH_<name>.json artifacts rlc_run --json emits.  Checks
-      1. the schema-4 envelope for EVERY artifact (field types, version
-         stamp, rectangular tables, finite numbers, embedded spec,
-         observability block),
+      1. the schema-5 envelope for EVERY artifact (field types, version
+         stamp, simd level, rectangular tables, finite numbers, embedded
+         spec, observability block),
       2. per-scenario physics invariants for the experiments whose shape
          the paper pins down (fig4, fig7, table1, perf_exact, ...),
       3. the BENCH_serve.json throughput artifact when present (its own
@@ -30,9 +30,12 @@ import re
 import sys
 from pathlib import Path
 
-SCHEMA_VERSION = 4
+SCHEMA_VERSION = 5
 SERVE_SCHEMA_VERSION = 1
 VERSION_RE = re.compile(r"^\d+\.\d+\.\d+$")
+
+# rlc::simd::active_level_name() values (src/base/.../simd.hpp).
+SIMD_LEVELS = {"avx2", "scalar"}
 
 # rlc::StatusCode wire integers (stable; see src/base/.../status.hpp).
 STATUS_CODES = {
@@ -68,12 +71,19 @@ def check_version_stamp(name, d):
         err(name, f"version stamp {v!r} missing or not semver")
 
 
+def check_simd_stamp(name, d):
+    s = d.get("simd")
+    if s not in SIMD_LEVELS:
+        err(name, f"simd level {s!r} not in {sorted(SIMD_LEVELS)}")
+
+
 def check_envelope(name, d):
     if d.get("schema") != SCHEMA_VERSION:
         err(name, f"schema {d.get('schema')!r} != {SCHEMA_VERSION}")
     if d.get("bench") != name:
         err(name, f"bench {d.get('bench')!r} != file stem {name!r}")
     check_version_stamp(name, d)
+    check_simd_stamp(name, d)
     if d.get("error"):
         err(name, f"scenario errored: {d['error']}")
         return
@@ -203,12 +213,33 @@ def check_invariants(name, d):
         if worst > 25.0:
             err(name, f"two-pole delay error {worst}% vs exact exceeds 25%")
     elif name == "perf_exact":
-        # Accuracy is a hard invariant; speedups are advisory because CI
-        # runs every scenario concurrently with --all.
+        # Accuracy is a hard invariant; windowed-vs-per-t speedups are
+        # advisory because CI runs every scenario concurrently with --all.
         budget = metrics.get("rel_err_budget", 1e-3)
         if metrics.get("max_rel_err", math.inf) > budget:
             err(name, f"max_rel_err {metrics.get('max_rel_err')} "
                       f"exceeds budget {budget}")
+        # The SoA batch kernel must agree with the memoized per-point
+        # evaluator at any simd level.  1e-8 not 1e-12: the comparison spans
+        # deep-rolloff contour nodes where |H| is within a few hundred
+        # orders of magnitude of underflow and the reference's own complex
+        # division sequencing costs relative digits; the tight 1e-12
+        # scalar-vs-simd pin lives in tests/tline/test_batch_evaluator.cpp.
+        kerr = metrics.get("batch_kernel_rel_err", math.inf)
+        if kerr > 1e-8:
+            err(name, f"batch_kernel_rel_err {kerr} exceeds 1e-8: "
+                      "batch kernel disagrees with the per-point evaluator")
+        # The batch-vs-per-point speedup IS enforced on full runs: the
+        # head-to-head times both variants inside the same scenario, so
+        # concurrent CI load cancels out of the ratio.  Quick runs use
+        # too few reps for a stable ratio and are advisory only.
+        if not d.get("quick", True) and d.get("simd") == "avx2":
+            target = metrics.get("batch_speedup_target", 2.5)
+            got = metrics.get("batch_speedup", 0.0)
+            if got < target:
+                err(name, f"batch_speedup {got:.2f} below target {target} "
+                          "on a full avx2 run: the SoA batch kernel "
+                          "regressed vs scalar_per_point")
 
 
 def check_serve_artifact(name, d):
@@ -222,6 +253,7 @@ def check_serve_artifact(name, d):
     if d.get("bench") != "serve":
         err(name, f"bench {d.get('bench')!r} != 'serve'")
     check_version_stamp(name, d)
+    check_simd_stamp(name, d)
     for key, kind in (("quick", bool), ("threads", int), ("requests", int),
                       ("metrics", dict)):
         if not isinstance(d.get(key), kind):
@@ -265,6 +297,7 @@ def check_load_artifact(name, d):
     if d.get("bench") != "load":
         err(name, f"bench {d.get('bench')!r} != 'load'")
     check_version_stamp(name, d)
+    check_simd_stamp(name, d)
     for key, kind in (("quick", bool), ("connections", int),
                       ("requests", int), ("duration_seconds", (int, float)),
                       ("metrics", dict)):

@@ -1,0 +1,65 @@
+#pragma once
+
+/// \file function_ref.hpp
+/// rlc::FunctionRef<Sig>: a trivially-copyable, non-owning reference to a
+/// callable — two words (object pointer + thunk), no heap, no virtual
+/// dispatch machinery.  The hot-path replacement for `const std::function&`
+/// parameters: a call costs one indirect jump, construction costs nothing,
+/// and any callable (lambda, functor, std::function, function pointer)
+/// binds implicitly.
+///
+/// Lifetime: a FunctionRef does NOT keep its target alive.  Passing a
+/// temporary as a function argument is fine (the temporary outlives the
+/// call), but never store a FunctionRef beyond the lifetime of what it was
+/// bound to.
+
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace rlc {
+
+template <typename Sig>
+class FunctionRef;
+
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  /// Binds any callable invocable as R(Args...).  The constraint keeps
+  /// overload sets of differently-shaped FunctionRef parameters
+  /// unambiguous (a per-point evaluator never converts to a batch one).
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, FunctionRef> &&
+                std::is_invocable_r_v<R, F&, Args...>>>
+  FunctionRef(F&& f) noexcept {  // NOLINT(runtime/explicit)
+    if constexpr (std::is_function_v<std::remove_reference_t<F>>) {
+      // A plain function: store the function pointer itself (an object
+      // pointer to the function would not fit the void* erasure).  The
+      // function-pointer <-> void* round trip is conditionally-supported
+      // but universal on the platforms this library targets.
+      obj_ = reinterpret_cast<void*>(std::addressof(f));
+      thunk_ = [](void* obj, Args... args) -> R {
+        return reinterpret_cast<
+            std::add_pointer_t<std::remove_reference_t<F>>>(obj)(
+            std::forward<Args>(args)...);
+      };
+    } else {
+      obj_ = const_cast<void*>(static_cast<const void*>(std::addressof(f)));
+      thunk_ = [](void* obj, Args... args) -> R {
+        return (*static_cast<std::remove_reference_t<F>*>(obj))(
+            std::forward<Args>(args)...);
+      };
+    }
+  }
+
+  R operator()(Args... args) const {
+    return thunk_(obj_, std::forward<Args>(args)...);
+  }
+
+ private:
+  void* obj_;
+  R (*thunk_)(void*, Args...);
+};
+
+}  // namespace rlc

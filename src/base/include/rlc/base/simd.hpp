@@ -1,0 +1,72 @@
+#pragma once
+
+/// \file simd.hpp
+/// Runtime-dispatched SIMD kernel layer for the batched math hot paths.
+///
+/// The library is built for a generic x86-64 (or non-x86) baseline; the
+/// AVX2+FMA kernels live in their own translation unit compiled with
+/// -mavx2 -mfma and are only ever CALLED after runtime cpuid detection says
+/// the host supports them.  Callers pick a Level once (usually
+/// active_level()) and hand it to the batch primitives; every primitive has
+/// a scalar implementation that the test suite pins against the vector one
+/// to <= 1e-12 relative error (in practice ~1 ulp).
+///
+/// Environment override: RLC_SIMD
+///   * unset / "on" / "auto"  — use what cpuid detected,
+///   * "off" / "scalar"       — force the scalar kernels,
+///   * "avx2"                 — request AVX2; falls back to scalar when the
+///                              host cannot run it.
+/// Any other value throws std::invalid_argument on first use (same strict
+/// contract as RLC_NUM_THREADS).  The result is cached process-wide.
+
+#include <cstddef>
+
+namespace rlc::simd {
+
+enum class Level {
+  kScalar = 0,  ///< portable std:: math, one lane at a time
+  kAvx2 = 1,    ///< 4-wide double kernels (AVX2 + FMA)
+};
+
+/// Highest level this binary + CPU can run (cpuid; ignores RLC_SIMD).
+Level detected_level() noexcept;
+
+/// The level batch kernels should dispatch to: detected_level() narrowed
+/// by the RLC_SIMD environment variable.  Cached on first call.
+Level active_level();
+
+/// "scalar" | "avx2" — the spelling used by the bench envelope `simd`
+/// field and checked by scripts/validate_bench_json.py.
+const char* level_name(Level level) noexcept;
+
+/// level_name(active_level()).
+const char* active_level_name();
+
+/// RLC_SIMD parsing, exposed for tests: `value` is the raw env string
+/// (nullptr = unset), `detected` the cpuid ceiling.  Throws
+/// std::invalid_argument on an unknown spelling.
+Level resolve_level(const char* value, Level detected);
+
+// ---------------------------------------------------------------- kernels
+//
+// SoA batch primitives.  Input and output arrays must not alias except
+// where noted; any n (including 0) is valid — vector kernels process the
+// tail scalar.  All of them match the scalar std:: results to ~1 ulp;
+// non-finite inputs produce the IEEE-expected non-finite outputs.
+
+/// out[i] = exp(x[i])
+void exp_pd(Level level, const double* x, double* out, std::size_t n);
+
+/// s[i] = sin(x[i]), c[i] = cos(x[i]).  Arguments of huge magnitude
+/// (|x| > ~2^31) fall back to scalar libm per lane so range reduction
+/// never loses the quadrant.
+void sincos_pd(Level level, const double* x, double* s, double* c,
+               std::size_t n);
+
+/// Complex exp, SoA: out_re[i] + i*out_im[i] = exp(re[i] + i*im[i]).
+/// This is the one transcendental of the Eq. (1) batch kernel: cosh and
+/// sinh of theta*h both come from a single cexp.
+void cexp_pd(Level level, const double* re, const double* im, double* out_re,
+             double* out_im, std::size_t n);
+
+}  // namespace rlc::simd

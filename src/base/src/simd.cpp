@@ -1,0 +1,108 @@
+#include "rlc/base/simd.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+#include "simd_kernels.hpp"
+
+namespace rlc::simd {
+
+namespace detail {
+
+void exp_pd_scalar(const double* x, double* out, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = std::exp(x[i]);
+}
+
+void sincos_pd_scalar(const double* x, double* s, double* c, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    s[i] = std::sin(x[i]);
+    c[i] = std::cos(x[i]);
+  }
+}
+
+void cexp_pd_scalar(const double* re, const double* im, double* out_re,
+                    double* out_im, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const double e = std::exp(re[i]);
+    out_re[i] = e * std::cos(im[i]);
+    out_im[i] = e * std::sin(im[i]);
+  }
+}
+
+}  // namespace detail
+
+Level detected_level() noexcept {
+#if defined(RLC_SIMD_HAVE_AVX2)
+  static const bool ok =
+      __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+  return ok ? Level::kAvx2 : Level::kScalar;
+#else
+  return Level::kScalar;
+#endif
+}
+
+Level resolve_level(const char* value, Level detected) {
+  if (value == nullptr) return detected;
+  const std::string v(value);
+  if (v.empty() || v == "on" || v == "auto") return detected;
+  if (v == "off" || v == "scalar" || v == "0") return Level::kScalar;
+  if (v == "avx2") {
+    // A request, not a demand: a host without AVX2 still gets a correct
+    // binary, just the scalar kernels.
+    return detected == Level::kAvx2 ? Level::kAvx2 : Level::kScalar;
+  }
+  throw std::invalid_argument(
+      "RLC_SIMD='" + v +
+      "': expected one of off|scalar|0|avx2|on|auto (or unset)");
+}
+
+Level active_level() {
+  static const Level level =
+      resolve_level(std::getenv("RLC_SIMD"), detected_level());
+  return level;
+}
+
+const char* level_name(Level level) noexcept {
+  return level == Level::kAvx2 ? "avx2" : "scalar";
+}
+
+const char* active_level_name() { return level_name(active_level()); }
+
+void exp_pd(Level level, const double* x, double* out, std::size_t n) {
+#if defined(RLC_SIMD_HAVE_AVX2)
+  if (level == Level::kAvx2) {
+    detail::exp_pd_avx2(x, out, n);
+    return;
+  }
+#endif
+  (void)level;
+  detail::exp_pd_scalar(x, out, n);
+}
+
+void sincos_pd(Level level, const double* x, double* s, double* c,
+               std::size_t n) {
+#if defined(RLC_SIMD_HAVE_AVX2)
+  if (level == Level::kAvx2) {
+    detail::sincos_pd_avx2(x, s, c, n);
+    return;
+  }
+#endif
+  (void)level;
+  detail::sincos_pd_scalar(x, s, c, n);
+}
+
+void cexp_pd(Level level, const double* re, const double* im, double* out_re,
+             double* out_im, std::size_t n) {
+#if defined(RLC_SIMD_HAVE_AVX2)
+  if (level == Level::kAvx2) {
+    detail::cexp_pd_avx2(re, im, out_re, out_im, n);
+    return;
+  }
+#endif
+  (void)level;
+  detail::cexp_pd_scalar(re, im, out_re, out_im, n);
+}
+
+}  // namespace rlc::simd

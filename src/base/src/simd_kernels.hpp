@@ -1,0 +1,25 @@
+#pragma once
+
+/// \file simd_kernels.hpp
+/// Internal kernel entry points behind rlc/base/simd.hpp.  The _avx2
+/// symbols live in simd_avx2.cpp, the only translation unit compiled with
+/// -mavx2 -mfma; they must never be called unless cpuid reported AVX2+FMA
+/// (simd.cpp's dispatch guarantees this).
+
+#include <cstddef>
+
+namespace rlc::simd::detail {
+
+void exp_pd_scalar(const double* x, double* out, std::size_t n);
+void sincos_pd_scalar(const double* x, double* s, double* c, std::size_t n);
+void cexp_pd_scalar(const double* re, const double* im, double* out_re,
+                    double* out_im, std::size_t n);
+
+#if defined(RLC_SIMD_HAVE_AVX2)
+void exp_pd_avx2(const double* x, double* out, std::size_t n);
+void sincos_pd_avx2(const double* x, double* s, double* c, std::size_t n);
+void cexp_pd_avx2(const double* re, const double* im, double* out_re,
+                  double* out_im, std::size_t n);
+#endif
+
+}  // namespace rlc::simd::detail

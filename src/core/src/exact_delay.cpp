@@ -10,6 +10,7 @@
 #include "rlc/math/brent.hpp"
 #include "rlc/obs/metrics.hpp"
 #include "rlc/obs/trace.hpp"
+#include "rlc/tline/batch_evaluator.hpp"
 #include "rlc/tline/evaluator.hpp"
 
 namespace rlc::core {
@@ -52,13 +53,25 @@ void validate_options(const ExactOptions& o, bool threshold_path) {
   }
 }
 
-/// The fast exact-waveform engine: one TransferEvaluator (hoisted
-/// invariants + F(s) memoization) feeding shared-contour Talbot windows.
+/// Span adapter from the SoA batch evaluator onto the laplace inverters'
+/// BatchLaplaceFnRef signature (two words, no allocation).
+struct BatchStep {
+  const tline::BatchTransferEvaluator* ev;
+  void operator()(const double* s_re, const double* s_im, double* f_re,
+                  double* f_im, std::size_t n) const {
+    ev->step(s_re, s_im, f_re, f_im, n);
+  }
+};
+
+/// The fast exact-waveform engine: a SoA BatchTransferEvaluator fills every
+/// cold Talbot contour in one vectorized pass (the cache-miss hot path),
+/// while the memoizing per-point TransferEvaluator backs the legacy
+/// reference bisection.
 class WaveformEngine {
  public:
   WaveformEngine(const tline::LineParams& line, double h,
                  const tline::DriverLoad& dl, const ExactOptions& opts)
-      : eval_(line, h, dl), F_(eval_.step_fn()), opts_(opts) {}
+      : eval_(line, h, dl), batch_(line, h, dl), opts_(opts) {}
 
   /// Waveform at arbitrary times, grouped into shared-contour windows.
   std::vector<double> sample(const std::vector<double>& times) {
@@ -77,7 +90,7 @@ class WaveformEngine {
     std::size_t i = 0;
     while (i < idx.size()) {
       const double t_max = times[idx[i]];
-      const rlc::laplace::TalbotContour contour(F_, t_max,
+      const rlc::laplace::TalbotContour contour(bstep_, t_max,
                                                 opts_.window_points);
       ++windows_;
       const double t_min = t_max / opts_.window_ratio;
@@ -101,7 +114,7 @@ class WaveformEngine {
     double t_hi = hi;
     bool top_window = true;
     while (true) {
-      const rlc::laplace::TalbotContour contour(F_, t_hi,
+      const rlc::laplace::TalbotContour contour(bstep_, t_hi,
                                                 opts_.window_points);
       ++windows_;
       if (top_window) {
@@ -147,7 +160,8 @@ class WaveformEngine {
   /// reference and as the rescue path when the engine loses its bracket.
   std::optional<double> legacy_threshold(double tau_scale, double f) {
     const auto v = [&](double t) {
-      return rlc::laplace::talbot_invert(F_, t, opts_.talbot_points);
+      return rlc::laplace::talbot_invert(eval_.step_ref(), t,
+                                         opts_.talbot_points);
     };
     double lo = kSearchLo * tau_scale, hi = kSearchHi * tau_scale;
     // The hi endpoint is negated so a non-finite value (kernel overflow at
@@ -164,7 +178,8 @@ class WaveformEngine {
 
   ExactStats stats() const {
     ExactStats s;
-    s.transfer_evals = static_cast<std::int64_t>(eval_.evaluations());
+    s.transfer_evals =
+        static_cast<std::int64_t>(eval_.evaluations() + batch_.evaluations());
     s.cache_hits = static_cast<std::int64_t>(eval_.cache_hits());
     s.windows = windows_;
     s.brent_iterations = brent_iterations_;
@@ -195,7 +210,7 @@ class WaveformEngine {
       // fall through to the fresh-contour attempts
     }
     for (int attempt = 0; attempt < 8; ++attempt) {
-      const rlc::laplace::TalbotContour c(F_, b, opts_.window_points);
+      const rlc::laplace::TalbotContour c(bstep_, b, opts_.window_points);
       ++windows_;
       const double ga = c.eval(a) - f;
       const double gb = c.eval(b) - f;
@@ -234,8 +249,10 @@ class WaveformEngine {
     double t = t0, t_best = t0;
     double g_best = std::numeric_limits<double>::infinity();
     for (int i = 0; i < 3; ++i) {
-      const double g =
-          rlc::laplace::talbot_invert(F_, t, opts_.talbot_points) - f;
+      const double g = rlc::laplace::talbot_invert(
+                           rlc::laplace::BatchLaplaceFnRef(bstep_), t,
+                           opts_.talbot_points) -
+                       f;
       if (!(std::abs(g) < g_best)) break;  // stalled: keep the best point
       g_best = std::abs(g);
       t_best = t;
@@ -252,7 +269,8 @@ class WaveformEngine {
   }
 
   rlc::tline::TransferEvaluator eval_;
-  rlc::laplace::LaplaceFn F_;
+  rlc::tline::BatchTransferEvaluator batch_;
+  BatchStep bstep_{&batch_};
   ExactOptions opts_;
   std::int64_t windows_ = 0;
   std::int64_t brent_iterations_ = 0;

@@ -18,6 +18,16 @@
 ///     inversion with ~M*(t/t_max) contour points, so the window ratio
 ///     lambda trades evaluations against accuracy at the window foot.
 ///
+/// Two evaluator signatures, both non-owning FunctionRef views:
+///   * per-point (LaplaceFnRef): cplx F(cplx s) — simple, M calls per
+///     contour;
+///   * span-of-nodes (BatchLaplaceFnRef): fill F at n SoA nodes in ONE
+///     call.  This is the primary path — a batched evaluator (e.g.
+///     rlc::tline::BatchTransferEvaluator) amortizes its vectorized
+///     transcendental core over the whole contour instead of being called
+///     through type-erased dispatch M times.  The per-point overloads
+///     adapt onto it.
+///
 /// Requirements: F(s) analytic for Re(s) > 0 with all singularities in the
 /// open left half-plane (true for the passive RC/RLC structures here) and
 /// f real-valued.
@@ -27,17 +37,37 @@
 #include <functional>
 #include <vector>
 
+#include "rlc/base/function_ref.hpp"
+
 namespace rlc::laplace {
 
-/// F: Laplace-domain function; must accept complex s with Re(s) > 0.
+/// Owning per-point evaluator type, kept for callers that store F.
 using LaplaceFn = std::function<std::complex<double>(std::complex<double>)>;
+
+/// Non-owning per-point evaluator view: must accept complex s with
+/// Re(s) > 0.  Binds to lambdas, LaplaceFn, functors — no allocation.
+using LaplaceFnRef =
+    FunctionRef<std::complex<double>(std::complex<double>)>;
+
+/// Non-owning span-of-nodes (SoA) evaluator view:
+///   F(s_re, s_im, f_re, f_im, n) writes F(s_i) into f_re[i] + i f_im[i]
+/// for the n nodes s_i = s_re[i] + i s_im[i].
+using BatchLaplaceFnRef = FunctionRef<void(
+    const double* s_re, const double* s_im, double* f_re, double* f_im,
+    std::size_t n)>;
 
 /// Invert F at a single time t > 0 with M Talbot contour points.
 /// M ~ 32-64 gives ~10-12 significant digits for smooth f.
-double talbot_invert(const LaplaceFn& F, double t, int M = 48);
+double talbot_invert(LaplaceFnRef F, double t, int M = 48);
+
+/// Batch form: the M node samples come from one span evaluation and the
+/// M complex exponentials exp(s_k t) from one vectorized sweep.
+double talbot_invert(BatchLaplaceFnRef F, double t, int M = 48);
 
 /// Invert F on a vector of time points (each with its own contour).
-std::vector<double> talbot_invert(const LaplaceFn& F,
+std::vector<double> talbot_invert(LaplaceFnRef F,
+                                  const std::vector<double>& times, int M = 48);
+std::vector<double> talbot_invert(BatchLaplaceFnRef F,
                                   const std::vector<double>& times, int M = 48);
 
 /// A Talbot contour fixed at t_max with its F samples cached: construction
@@ -46,9 +76,13 @@ std::vector<double> talbot_invert(const LaplaceFn& F,
 /// of the fast exact-waveform engine (rlc::core exact_* fast paths).
 class TalbotContour {
  public:
-  /// Samples F at the M contour nodes for the contour tuned to t_max.
+  /// Samples F at the M contour nodes for the contour tuned to t_max —
+  /// one span call, SoA end to end.  This is the primary constructor.
   /// Throws std::invalid_argument for t_max <= 0 or M < 4.
-  TalbotContour(const LaplaceFn& F, double t_max, int M = 48);
+  TalbotContour(BatchLaplaceFnRef F, double t_max, int M = 48);
+
+  /// Per-point adapter: same contour, F called node by node.
+  TalbotContour(LaplaceFnRef F, double t_max, int M = 48);
 
   double t_max() const noexcept { return t_max_; }
   int points() const noexcept { return static_cast<int>(weight_re_.size()); }
@@ -74,7 +108,11 @@ class TalbotContour {
 /// [t_max/lambda, t_max]; lambda >= 1 bounds the window so callers cannot
 /// silently push times into the inaccurate deep-foot regime.  Throws
 /// std::invalid_argument on a time outside the window or lambda < 1.
-std::vector<double> talbot_invert_window(const LaplaceFn& F,
+std::vector<double> talbot_invert_window(LaplaceFnRef F,
+                                         const std::vector<double>& times,
+                                         double t_max, int M = 48,
+                                         double lambda = 4.0);
+std::vector<double> talbot_invert_window(BatchLaplaceFnRef F,
                                          const std::vector<double>& times,
                                          double t_max, int M = 48,
                                          double lambda = 4.0);

@@ -4,7 +4,9 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <vector>
 
+#include "rlc/base/simd.hpp"
 #include "rlc/math/constants.hpp"
 #include "rlc/obs/metrics.hpp"
 #include "rlc/obs/trace.hpp"
@@ -56,16 +58,53 @@ const ContourBasis& contour_basis(int M) {
   return basis;
 }
 
-}  // namespace
+/// Adapts a per-point evaluator onto the span-of-nodes signature, so the
+/// per-point overloads are thin shims over the batch implementations.
+struct PointAdapter {
+  LaplaceFnRef f;
+  void operator()(const double* s_re, const double* s_im, double* f_re,
+                  double* f_im, std::size_t n) const {
+    for (std::size_t i = 0; i < n; ++i) {
+      const cplx v = f(cplx{s_re[i], s_im[i]});
+      f_re[i] = v.real();
+      f_im[i] = v.imag();
+    }
+  }
+};
 
-double talbot_invert(const LaplaceFn& F, double t, int M) {
-  if (!(t > 0.0)) throw std::invalid_argument("talbot_invert: t must be > 0");
-  if (M < 4) throw std::invalid_argument("talbot_invert: M must be >= 4");
+/// Per-thread SoA scratch for the batch per-t inversion: node coordinates,
+/// F samples and exp(s t) lanes.  Reused across calls — the engine's
+/// refinement loop inverts at a handful of t per solve.
+struct InvertScratch {
+  std::vector<double> sr, si, fr, fi, er, ei;
+  void resize(std::size_t m) {
+    sr.resize(m);
+    si.resize(m);
+    fr.resize(m);
+    fi.resize(m);
+    er.resize(m);
+    ei.resize(m);
+  }
+};
+
+void count_invert(int M) {
   auto& reg = obs::Registry::global();
   static const int kCalls = reg.counter("talbot.invert.calls");
   static const int kEvals = reg.counter("talbot.invert.f_evals");
   reg.add(kCalls);
   reg.add(kEvals, M);
+}
+
+void validate_invert(double t, int M) {
+  if (!(t > 0.0)) throw std::invalid_argument("talbot_invert: t must be > 0");
+  if (M < 4) throw std::invalid_argument("talbot_invert: M must be >= 4");
+}
+
+}  // namespace
+
+double talbot_invert(LaplaceFnRef F, double t, int M) {
+  validate_invert(t, M);
+  count_invert(M);
   rlc::checkpoint();  // one stop point per inversion, not per node
   const double r = 2.0 * M / (5.0 * t);
   double acc = 0.0;
@@ -77,7 +116,40 @@ double talbot_invert(const LaplaceFn& F, double t, int M) {
   return acc * r / M;
 }
 
-std::vector<double> talbot_invert(const LaplaceFn& F,
+double talbot_invert(BatchLaplaceFnRef F, double t, int M) {
+  validate_invert(t, M);
+  count_invert(M);
+  rlc::checkpoint();
+  const double r = 2.0 * M / (5.0 * t);
+  const ContourBasis& basis = contour_basis(M);
+  thread_local InvertScratch sc;
+  const auto m = static_cast<std::size_t>(M);
+  sc.resize(m);
+  for (std::size_t k = 0; k < m; ++k) {
+    sc.sr[k] = r * basis.base[k].real();
+    sc.si[k] = r * basis.base[k].imag();
+  }
+  F(sc.sr.data(), sc.si.data(), sc.fr.data(), sc.fi.data(), m);
+  // exp(s_k t) for the whole contour in one vectorized sweep; reuse the
+  // node lanes as the scaled arguments.
+  for (std::size_t k = 0; k < m; ++k) {
+    sc.sr[k] *= t;
+    sc.si[k] *= t;
+  }
+  simd::cexp_pd(simd::active_level(), sc.sr.data(), sc.si.data(),
+                sc.er.data(), sc.ei.data(), m);
+  double acc = 0.0;
+  for (std::size_t k = 0; k < m; ++k) {
+    const double wr = basis.weight[k].real();
+    const double wi = basis.weight[k].imag();
+    const double fwr = sc.fr[k] * wr - sc.fi[k] * wi;
+    const double fwi = sc.fr[k] * wi + sc.fi[k] * wr;
+    acc += sc.er[k] * fwr - sc.ei[k] * fwi;
+  }
+  return acc * r / M;
+}
+
+std::vector<double> talbot_invert(LaplaceFnRef F,
                                   const std::vector<double>& times, int M) {
   std::vector<double> out;
   out.reserve(times.size());
@@ -85,7 +157,15 @@ std::vector<double> talbot_invert(const LaplaceFn& F,
   return out;
 }
 
-TalbotContour::TalbotContour(const LaplaceFn& F, double t_max, int M) {
+std::vector<double> talbot_invert(BatchLaplaceFnRef F,
+                                  const std::vector<double>& times, int M) {
+  std::vector<double> out;
+  out.reserve(times.size());
+  for (double t : times) out.push_back(talbot_invert(F, t, M));
+  return out;
+}
+
+TalbotContour::TalbotContour(BatchLaplaceFnRef F, double t_max, int M) {
   if (!(t_max > 0.0)) {
     throw std::invalid_argument("TalbotContour: t_max must be > 0");
   }
@@ -100,20 +180,32 @@ TalbotContour::TalbotContour(const LaplaceFn& F, double t_max, int M) {
   reg.record(kEvalsPerContour, static_cast<double>(M));
   t_max_ = t_max;
   r_ = 2.0 * M / (5.0 * t_max);
-  node_re_.reserve(M);
-  node_im_.reserve(M);
-  weight_re_.reserve(M);
-  weight_im_.reserve(M);
+  const auto m = static_cast<std::size_t>(M);
   const ContourBasis& basis = contour_basis(M);
-  for (int k = 0; k < M; ++k) {
-    const cplx s = r_ * basis.base[k];
-    const cplx w = F(s) * basis.weight[k];
-    node_re_.push_back(s.real());
-    node_im_.push_back(s.imag());
-    weight_re_.push_back(w.real());
-    weight_im_.push_back(w.imag());
+  node_re_.resize(m);
+  node_im_.resize(m);
+  weight_re_.resize(m);
+  weight_im_.resize(m);
+  for (std::size_t k = 0; k < m; ++k) {
+    node_re_[k] = r_ * basis.base[k].real();
+    node_im_[k] = r_ * basis.base[k].imag();
+  }
+  // One span evaluation for all M samples; the weights then fold in the
+  // path factors (1 + i sigma_k) in place.
+  F(node_re_.data(), node_im_.data(), weight_re_.data(), weight_im_.data(),
+    m);
+  for (std::size_t k = 0; k < m; ++k) {
+    const double fr = weight_re_[k];
+    const double fi = weight_im_[k];
+    const double wr = basis.weight[k].real();
+    const double wi = basis.weight[k].imag();
+    weight_re_[k] = fr * wr - fi * wi;
+    weight_im_[k] = fr * wi + fi * wr;
   }
 }
+
+TalbotContour::TalbotContour(LaplaceFnRef F, double t_max, int M)
+    : TalbotContour(BatchLaplaceFnRef(PointAdapter{F}), t_max, M) {}
 
 double TalbotContour::eval(double t) const {
   // Allow a hair past t_max so root-finders can probe the upper bracket
@@ -134,7 +226,7 @@ double TalbotContour::eval(double t) const {
   return acc * r_ / static_cast<double>(m);
 }
 
-std::vector<double> talbot_invert_window(const LaplaceFn& F,
+std::vector<double> talbot_invert_window(BatchLaplaceFnRef F,
                                          const std::vector<double>& times,
                                          double t_max, int M, double lambda) {
   if (!(lambda >= 1.0)) {
@@ -154,6 +246,14 @@ std::vector<double> talbot_invert_window(const LaplaceFn& F,
   out.reserve(times.size());
   for (double t : times) out.push_back(contour.eval(t));
   return out;
+}
+
+std::vector<double> talbot_invert_window(LaplaceFnRef F,
+                                         const std::vector<double>& times,
+                                         double t_max, int M, double lambda) {
+  const PointAdapter adapter{F};
+  return talbot_invert_window(BatchLaplaceFnRef(adapter), times, t_max, M,
+                              lambda);
 }
 
 }  // namespace rlc::laplace

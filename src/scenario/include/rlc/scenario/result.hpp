@@ -23,8 +23,10 @@ namespace rlc::scenario {
 /// ScenarioResult::to_json.  History: 1 was the ad-hoc perf-bench format,
 /// 2 added the scenario envelope, 3 added the `observability` block
 /// (metrics snapshot + span rollup), 4 added the library `version` stamp
-/// (every artifact and every rlc_serve response carries rlc::version()).
-inline constexpr int kSchemaVersion = 4;
+/// (every artifact and every rlc_serve response carries rlc::version()),
+/// 5 added the `simd` field ("avx2" | "scalar" — the kernel level the
+/// process resolved at startup from cpuid + RLC_SIMD).
+inline constexpr int kSchemaVersion = 5;
 
 /// One table cell: a number or a short text label (e.g. "-" for a
 /// non-converged point, a technology name in a key column).
@@ -103,10 +105,11 @@ struct ScenarioResult {
   }
   void note(std::string text) { notes.push_back(std::move(text)); }
 
-  /// The schema-3 artifact envelope (see README "Machine-readable
-  /// artifacts"): schema, bench, title, quick, threads, wall_seconds,
-  /// spec{...}, counters{...}, observability{...}, tables[...],
-  /// metrics{...}, notes[...], and `error` when the run failed.
+  /// The versioned artifact envelope (see README "Machine-readable
+  /// artifacts"): schema, version, bench, title, quick, threads, simd,
+  /// wall_seconds, spec{...}, counters{...}, observability{...},
+  /// tables[...], metrics{...}, notes[...], and `error` when the run
+  /// failed.
   io::Json to_json() const;
 
   /// Order-sensitive digest of every numeric cell and metric — equal

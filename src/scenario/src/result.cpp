@@ -1,5 +1,6 @@
 #include "rlc/scenario/result.hpp"
 
+#include "rlc/base/simd.hpp"
 #include "rlc/base/version.hpp"
 
 #include <cstdio>
@@ -65,6 +66,7 @@ io::Json ScenarioResult::to_json() const {
   j.set("title", title);
   j.set("quick", spec.quick);
   j.set("threads", threads);
+  j.set("simd", rlc::simd::active_level_name());
   j.set("wall_seconds", wall_seconds);
   j.set("spec", spec.to_json());
 

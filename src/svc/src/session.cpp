@@ -3,6 +3,7 @@
 #include <chrono>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <utility>
 
 #include "rlc/core/exact_delay.hpp"
@@ -28,6 +29,7 @@ struct SvcMetrics {
   int queue_depth;
   int queue_depth_max;
   int batch_size;
+  int batch_grouped;
   int latency_us;
   static const SvcMetrics& get() {
     auto& r = obs::Registry::global();
@@ -42,6 +44,7 @@ struct SvcMetrics {
         r.gauge("svc.queue_depth"),
         r.gauge("svc.queue_depth_max"),
         r.histogram("svc.batch_size", 1.0, 4096.0, 12),
+        r.counter("svc.batch.grouped"),
         r.histogram("svc.latency_us", 1.0, 1.0e7, 32),
     };
     return m;
@@ -210,6 +213,27 @@ std::vector<rlc::StatusOr<QueryResult>> Session::submit_batch(
   reg.gauge_add(m.queue_depth, static_cast<std::int64_t>(n));
   reg.gauge_max(m.queue_depth_max, static_cast<std::int64_t>(n));
 
+  // Group same-key requests before fanning out: the first occurrence of
+  // each cache key (in request order, so grouping is deterministic across
+  // thread counts) is the LEADER and solves in the first parallel pass —
+  // its cold cache miss pays the batched SoA contour sweeps exactly once
+  // per distinct line.  The remaining duplicates run in a second pass and
+  // resolve from the cache the leaders just filled, which matches what
+  // serial submission order would have produced (a leader whose solve
+  // failed caches nothing, so its followers recompute — and fail — the
+  // same way).
+  std::vector<std::size_t> leaders, followers;
+  leaders.reserve(n);
+  {
+    std::unordered_map<std::string, std::size_t> first_of;
+    first_of.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const bool lead = first_of.emplace(reqs[i].cache_key(), i).second;
+      (lead ? leaders : followers).push_back(i);
+    }
+  }
+  reg.add(m.batch_grouped, static_cast<std::int64_t>(followers.size()));
+
   // One task per request (grain 1): requests are coarse relative to the
   // queue, and per-request sharding keeps a slow solve from serializing its
   // chunk-mates.  answer() never throws, so every slot gets filled.
@@ -221,7 +245,19 @@ std::vector<rlc::StatusOr<QueryResult>> Session::submit_batch(
   // max gauge still records the true high-water mark.
   std::vector<std::optional<rlc::StatusOr<QueryResult>>> slots(n);
   impl_->pool.parallel_for(
-      n, [&](std::size_t i) { slots[i] = impl_->answer(reqs[i], cancel); }, 1);
+      leaders.size(),
+      [&](std::size_t j) {
+        slots[leaders[j]] = impl_->answer(reqs[leaders[j]], cancel);
+      },
+      1);
+  if (!followers.empty()) {
+    impl_->pool.parallel_for(
+        followers.size(),
+        [&](std::size_t j) {
+          slots[followers[j]] = impl_->answer(reqs[followers[j]], cancel);
+        },
+        1);
+  }
   reg.gauge_add(m.queue_depth, -static_cast<std::int64_t>(n));
 
   std::vector<rlc::StatusOr<QueryResult>> out;

@@ -46,9 +46,24 @@ class TransferEvaluator {
     return transfer(s) / s;
   }
 
-  /// Adapter for the laplace inverters (matches rlc::laplace::LaplaceFn).
-  /// The returned callable references *this — it must not outlive the
-  /// evaluator.
+  /// Lightweight step-transform adapter: a two-word trivially-copyable
+  /// functor that binds to rlc::FunctionRef without any heap allocation or
+  /// virtual dispatch (unlike std::function, whose type-erased copy used to
+  /// sit on the inverter hot path).  References *this — must not outlive
+  /// the evaluator.
+  struct StepFn {
+    const TransferEvaluator* ev;
+    std::complex<double> operator()(std::complex<double> s) const {
+      return ev->step(s);
+    }
+  };
+
+  /// Adapter for the laplace inverters' per-point signature.
+  StepFn step_ref() const noexcept { return StepFn{this}; }
+
+  /// Owning std::function adapter, kept for callers that need to store the
+  /// callable beyond the evaluator expression.  Prefer step_ref() on hot
+  /// paths — this one allocates.
   std::function<std::complex<double>(std::complex<double>)> step_fn() const {
     return [this](std::complex<double> s) { return step(s); };
   }

@@ -17,10 +17,12 @@ using cplx = std::complex<double>;
 
 std::size_t TransferEvaluator::KeyHash::operator()(
     const std::pair<double, double>& k) const noexcept {
-  // Exact-bit-pattern hash; equality stays the exact double comparison, so
-  // distinct s never alias.
-  const auto a = std::bit_cast<std::uint64_t>(k.first);
-  const auto b = std::bit_cast<std::uint64_t>(k.second);
+  // Bit-pattern hash; equality stays the exact double comparison, so
+  // distinct s never alias.  +0.0 canonicalizes the signed zeros: -0.0 and
+  // +0.0 compare equal, so they MUST hash equal or the same key lands in
+  // two buckets and the table invariant breaks.
+  const auto a = std::bit_cast<std::uint64_t>(k.first + 0.0);
+  const auto b = std::bit_cast<std::uint64_t>(k.second + 0.0);
   std::uint64_t x = a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2));
   x ^= x >> 33;
   x *= 0xff51afd7ed558ccdULL;

@@ -1,0 +1,243 @@
+#include "rlc/base/simd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <random>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace rlc::simd {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+constexpr double kDenormMin = std::numeric_limits<double>::denorm_min();
+
+// ---- RLC_SIMD parsing (resolve_level is pure: env string in, Level out).
+
+TEST(SimdResolve, UnsetAndAutoUseDetected) {
+  for (const char* v : {static_cast<const char*>(nullptr), "on", "auto"}) {
+    EXPECT_EQ(resolve_level(v, Level::kAvx2), Level::kAvx2);
+    EXPECT_EQ(resolve_level(v, Level::kScalar), Level::kScalar);
+  }
+}
+
+TEST(SimdResolve, OffForcesScalar) {
+  for (const char* v : {"off", "scalar", "0"}) {
+    EXPECT_EQ(resolve_level(v, Level::kAvx2), Level::kScalar) << v;
+    EXPECT_EQ(resolve_level(v, Level::kScalar), Level::kScalar) << v;
+  }
+}
+
+TEST(SimdResolve, Avx2RequestIsCappedByDetection) {
+  EXPECT_EQ(resolve_level("avx2", Level::kAvx2), Level::kAvx2);
+  // Requesting AVX2 on a host without it must not crash the process later:
+  // the resolver degrades to scalar instead of dispatching illegal ops.
+  EXPECT_EQ(resolve_level("avx2", Level::kScalar), Level::kScalar);
+}
+
+TEST(SimdResolve, UnknownSpellingThrows) {
+  // Same strict contract as RLC_NUM_THREADS: a typo is an error, not a
+  // silent fallback that quietly changes which kernels a benchmark ran.
+  for (const char* v : {"fast", "AVX512", "1", "onn"}) {
+    EXPECT_THROW(resolve_level(v, Level::kAvx2), std::invalid_argument) << v;
+  }
+  // `RLC_SIMD=` (set but empty) behaves like unset.
+  EXPECT_EQ(resolve_level("", Level::kAvx2), Level::kAvx2);
+}
+
+TEST(SimdResolve, LevelNamesMatchTheArtifactSchema) {
+  // scripts/validate_bench_json.py checks simd in {"avx2", "scalar"}.
+  EXPECT_STREQ(level_name(Level::kScalar), "scalar");
+  EXPECT_STREQ(level_name(Level::kAvx2), "avx2");
+  const std::string active = active_level_name();
+  EXPECT_TRUE(active == "scalar" || active == "avx2") << active;
+  EXPECT_EQ(active, level_name(active_level()));
+}
+
+// ---- Scalar kernel correctness against libm (any host).
+
+TEST(SimdKernels, ScalarExpMatchesLibm) {
+  std::mt19937_64 rng(42);
+  std::uniform_real_distribution<double> dist(-700.0, 700.0);
+  std::vector<double> x(257), out(257);
+  for (auto& v : x) v = dist(rng);
+  exp_pd(Level::kScalar, x.data(), out.data(), x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double ref = std::exp(x[i]);
+    EXPECT_NEAR(out[i], ref, 1e-12 * ref) << "x = " << x[i];
+  }
+}
+
+TEST(SimdKernels, ScalarSincosMatchesLibm) {
+  std::mt19937_64 rng(43);
+  std::uniform_real_distribution<double> dist(-100.0, 100.0);
+  std::vector<double> x(257), s(257), c(257);
+  for (auto& v : x) v = dist(rng);
+  sincos_pd(Level::kScalar, x.data(), s.data(), c.data(), x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(s[i], std::sin(x[i]), 1e-12) << x[i];
+    EXPECT_NEAR(c[i], std::cos(x[i]), 1e-12) << x[i];
+  }
+}
+
+// ---- Vector-vs-scalar agreement (pins the AVX2 kernels when present).
+
+TEST(SimdKernels, VectorExpAgreesWithScalar) {
+  if (detected_level() != Level::kAvx2) {
+    GTEST_SKIP() << "host has no AVX2; scalar path is the only path";
+  }
+  std::mt19937_64 rng(44);
+  std::uniform_real_distribution<double> dist(-745.0, 709.0);
+  // Odd length exercises the vector kernel's scalar tail.
+  std::vector<double> x(1031), a(1031), b(1031);
+  for (auto& v : x) v = dist(rng);
+  exp_pd(Level::kScalar, x.data(), a.data(), x.size());
+  exp_pd(Level::kAvx2, x.data(), b.data(), x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (a[i] == 0.0) {
+      EXPECT_EQ(b[i], 0.0) << "x = " << x[i];
+    } else {
+      EXPECT_NEAR(b[i], a[i], 1e-12 * a[i]) << "x = " << x[i];
+    }
+  }
+}
+
+TEST(SimdKernels, VectorSincosAgreesWithScalar) {
+  if (detected_level() != Level::kAvx2) {
+    GTEST_SKIP() << "host has no AVX2; scalar path is the only path";
+  }
+  std::mt19937_64 rng(45);
+  std::uniform_real_distribution<double> dist(-1e4, 1e4);
+  std::vector<double> x(1031);
+  for (auto& v : x) v = dist(rng);
+  // Include the huge-argument lanes that must fall back to libm per lane.
+  x[0] = 1e9;
+  x[1] = -3.7e12;
+  x[2] = 2.5e15;
+  std::vector<double> ss(x.size()), cs(x.size()), sv(x.size()), cv(x.size());
+  sincos_pd(Level::kScalar, x.data(), ss.data(), cs.data(), x.size());
+  sincos_pd(Level::kAvx2, x.data(), sv.data(), cv.data(), x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(sv[i], ss[i], 1e-12) << "x = " << x[i];
+    EXPECT_NEAR(cv[i], cs[i], 1e-12) << "x = " << x[i];
+  }
+}
+
+TEST(SimdKernels, VectorCexpAgreesWithScalar) {
+  if (detected_level() != Level::kAvx2) {
+    GTEST_SKIP() << "host has no AVX2; scalar path is the only path";
+  }
+  std::mt19937_64 rng(46);
+  std::uniform_real_distribution<double> re(-50.0, 50.0);
+  std::uniform_real_distribution<double> im(-1e3, 1e3);
+  std::vector<double> xr(517), xi(517);
+  for (std::size_t i = 0; i < xr.size(); ++i) {
+    xr[i] = re(rng);
+    xi[i] = im(rng);
+  }
+  std::vector<double> ar(xr.size()), ai(xr.size());
+  std::vector<double> br(xr.size()), bi(xr.size());
+  cexp_pd(Level::kScalar, xr.data(), xi.data(), ar.data(), ai.data(),
+          xr.size());
+  cexp_pd(Level::kAvx2, xr.data(), xi.data(), br.data(), bi.data(),
+          xr.size());
+  for (std::size_t i = 0; i < xr.size(); ++i) {
+    const double mag = std::hypot(ar[i], ai[i]);
+    EXPECT_NEAR(br[i], ar[i], 1e-12 * mag) << xr[i] << " + " << xi[i] << "i";
+    EXPECT_NEAR(bi[i], ai[i], 1e-12 * mag) << xr[i] << " + " << xi[i] << "i";
+  }
+}
+
+// ---- Edge cases, run at every level the host supports.
+
+std::vector<Level> levels_to_test() {
+  std::vector<Level> out{Level::kScalar};
+  if (detected_level() == Level::kAvx2) out.push_back(Level::kAvx2);
+  return out;
+}
+
+TEST(SimdKernels, ExpEdgeCases) {
+  const std::vector<double> x = {
+      +0.0, -0.0, kDenormMin, -kDenormMin, 1.0, -1.0,
+      709.7,    // just below the overflow clamp
+      710.0,    // overflows to inf
+      -745.0,   // subnormal result
+      -746.0,   // underflows to 0
+      kInf, -kInf, kNan};
+  for (Level level : levels_to_test()) {
+    std::vector<double> out(x.size());
+    exp_pd(level, x.data(), out.data(), x.size());
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      const double ref = std::exp(x[i]);
+      if (std::isnan(ref)) {
+        EXPECT_TRUE(std::isnan(out[i])) << level_name(level) << " " << x[i];
+      } else if (std::isinf(ref) || ref == 0.0) {
+        EXPECT_EQ(out[i], ref) << level_name(level) << " " << x[i];
+      } else {
+        EXPECT_NEAR(out[i], ref, 1e-12 * ref + 1e-300)
+            << level_name(level) << " x = " << x[i];
+      }
+    }
+  }
+}
+
+TEST(SimdKernels, SincosEdgeCases) {
+  const std::vector<double> x = {+0.0, -0.0,  kDenormMin, 1e-300, M_PI,
+                                 -M_PI, M_PI_2, 1e8,        1e16,   -1e16};
+  for (Level level : levels_to_test()) {
+    std::vector<double> s(x.size()), c(x.size());
+    sincos_pd(level, x.data(), s.data(), c.data(), x.size());
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      EXPECT_NEAR(s[i], std::sin(x[i]), 1e-12)
+          << level_name(level) << " " << x[i];
+      EXPECT_NEAR(c[i], std::cos(x[i]), 1e-12)
+          << level_name(level) << " " << x[i];
+    }
+    // Both zero encodings land exactly on (sin, cos) = (0, 1); the sign of
+    // the zero itself is unspecified across kernel levels.
+    EXPECT_EQ(s[0], 0.0);
+    EXPECT_EQ(s[1], 0.0);
+    EXPECT_EQ(c[0], 1.0);
+    EXPECT_EQ(c[1], 1.0);
+  }
+}
+
+TEST(SimdKernels, CexpOverflowAndZeroLanes) {
+  // Lanes whose real part overflows/underflows exp must produce the same
+  // inf/0 pattern at every level — the batch transfer kernel's saturation
+  // guard keys off these.
+  const std::vector<double> re = {800.0, -800.0, 0.0, 709.0};
+  const std::vector<double> im = {1.0, 1.0, 0.0, 2.0};
+  for (Level level : levels_to_test()) {
+    std::vector<double> or_(re.size()), oi(re.size());
+    cexp_pd(level, re.data(), im.data(), or_.data(), oi.data(), re.size());
+    EXPECT_FALSE(std::isfinite(or_[0])) << level_name(level);
+    EXPECT_EQ(or_[1], 0.0) << level_name(level);
+    EXPECT_EQ(oi[1], 0.0) << level_name(level);
+    EXPECT_DOUBLE_EQ(or_[2], 1.0) << level_name(level);
+    EXPECT_DOUBLE_EQ(oi[2], 0.0) << level_name(level);
+    const double mag = std::exp(709.0);
+    EXPECT_NEAR(or_[3], mag * std::cos(2.0), 1e-12 * mag)
+        << level_name(level);
+    EXPECT_NEAR(oi[3], mag * std::sin(2.0), 1e-12 * mag)
+        << level_name(level);
+  }
+}
+
+TEST(SimdKernels, ZeroLengthIsANoop) {
+  double sentinel = 123.0;
+  for (Level level : levels_to_test()) {
+    exp_pd(level, nullptr, &sentinel, 0);
+    sincos_pd(level, nullptr, &sentinel, &sentinel, 0);
+    cexp_pd(level, nullptr, nullptr, &sentinel, &sentinel, 0);
+    EXPECT_EQ(sentinel, 123.0);
+  }
+}
+
+}  // namespace
+}  // namespace rlc::simd

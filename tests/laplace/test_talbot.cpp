@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstddef>
 
 #include "rlc/core/pade.hpp"
 #include "rlc/core/two_pole.hpp"
@@ -149,6 +150,78 @@ TEST(TalbotWindow, FootAccuracyDegradesGracefully) {
   const double osc_foot = std::abs(osc.eval(1.0) - g(1.0));
   EXPECT_LT(osc_top, 0.02);
   EXPECT_GT(osc_foot, 10.0 * osc_top);
+}
+
+// ---- SoA batch evaluator plumbing (BatchLaplaceFnRef overloads). ----
+
+namespace {
+/// Batch form of 1/(s + a), counting span calls and total nodes.
+struct BatchPole {
+  double a;
+  int* calls;
+  std::size_t* nodes;
+  void operator()(const double* sr, const double* si, double* fr, double* fi,
+                  std::size_t n) const {
+    ++*calls;
+    *nodes += n;
+    for (std::size_t i = 0; i < n; ++i) {
+      const cplx v = 1.0 / (cplx{sr[i], si[i]} + a);
+      fr[i] = v.real();
+      fi[i] = v.imag();
+    }
+  }
+};
+}  // namespace
+
+TEST(TalbotBatch, InvertMatchesPerPoint) {
+  // The batch overload feeds all M nodes to F in ONE span call and must
+  // reproduce the per-point inversion.  Agreement is bounded by the
+  // contour's own cancellation roundoff, not ulps: the sum cancels terms
+  // of magnitude exp(2M/5) ~ 2e8 down to O(1), so independently rounded
+  // exp evaluations legitimately differ at the ~1e-8 absolute level —
+  // the same noise floor the inversion accuracy itself sits on.
+  const double a = 3.0;
+  int calls = 0;
+  std::size_t nodes = 0;
+  const BatchPole batch{a, &calls, &nodes};
+  const LaplaceFn point = [a](cplx s) { return 1.0 / (s + a); };
+  for (double t : {0.05, 0.3, 1.0, 2.0}) {
+    const double got = talbot_invert(BatchLaplaceFnRef(batch), t, 48);
+    EXPECT_NEAR(got, std::exp(-a * t), 1e-7) << t;
+    EXPECT_NEAR(got, talbot_invert(point, t, 48), 5e-8) << t;
+  }
+  EXPECT_EQ(calls, 4);
+  EXPECT_EQ(nodes, 4u * 48u);
+}
+
+TEST(TalbotBatch, ContourMatchesPerPointConstruction) {
+  // A TalbotContour built from the batch evaluator carries the same cached
+  // samples as one built per-point: eval() agrees bit-for-bit across the
+  // whole window.
+  const double a = 3.0;
+  int calls = 0;
+  std::size_t nodes = 0;
+  const BatchPole batch{a, &calls, &nodes};
+  const LaplaceFn point = [a](cplx s) { return 1.0 / (s + a); };
+  const TalbotContour from_batch(BatchLaplaceFnRef(batch), 2.0, 48);
+  const TalbotContour from_point(LaplaceFnRef(point), 2.0, 48);
+  EXPECT_EQ(calls, 1);       // one span call covers the whole contour
+  EXPECT_EQ(nodes, 48u);
+  for (double t : {0.5, 0.9, 1.4, 2.0}) {
+    EXPECT_DOUBLE_EQ(from_batch.eval(t), from_point.eval(t)) << t;
+    EXPECT_NEAR(from_batch.eval(t), std::exp(-a * t), 1e-6) << t;
+  }
+}
+
+TEST(TalbotBatch, VectorTimesOverload) {
+  int calls = 0;
+  std::size_t nodes = 0;
+  const BatchPole batch{1.0, &calls, &nodes};
+  const auto v = talbot_invert(BatchLaplaceFnRef(batch),
+                               std::vector<double>{0.5, 1.0}, 48);
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_NEAR(v[0], std::exp(-0.5), 1e-7);
+  EXPECT_NEAR(v[1], std::exp(-1.0), 1e-7);
 }
 
 TEST(TalbotWindow, RejectsTimesOutsideTheWindow) {

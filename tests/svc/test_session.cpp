@@ -4,9 +4,11 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <thread>
 #include <vector>
 
+#include "rlc/obs/metrics.hpp"
 #include "rlc/scenario/registry.hpp"
 
 namespace rlc::svc {
@@ -82,6 +84,47 @@ TEST(Session, BatchMatchesSerialBitForBitAcrossThreadCounts) {
       EXPECT_TRUE(batch[i]->same_answer(expected[i]))
           << "threads=" << threads << " i=" << i;
     }
+  }
+}
+
+TEST(Session, BatchGroupsDuplicateKeysThroughTheCache) {
+  // A batch with repeated cache keys: each distinct key solves exactly once
+  // (the leader pass), every duplicate is served from the cache the leaders
+  // filled, the svc.batch.grouped counter records the follower count, and
+  // the grouping is deterministic for any pool size because it follows
+  // request order.
+  std::vector<QueryRequest> reqs;
+  for (int rep = 0; rep < 3; ++rep) {
+    for (int i = 0; i < 4; ++i) {
+      QueryRequest q;
+      q.l = 1.0e-6 * i;
+      reqs.push_back(q);
+    }
+  }
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    Session session(SessionOptions{threads, 256});
+    const auto before = obs::Registry::global().snapshot();
+    const auto batch = session.submit_batch(reqs);
+    const auto grouped =
+        obs::Registry::global().snapshot().delta_since(before);
+    ASSERT_EQ(batch.size(), reqs.size());
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+      ASSERT_TRUE(batch[i].is_ok()) << i;
+      // First occurrence of each key is the cold leader; the two repeats
+      // are cache hits — exactly as serial submission would have flagged.
+      EXPECT_EQ(batch[i]->from_cache, i >= 4u) << "threads=" << threads
+                                               << " i=" << i;
+      EXPECT_TRUE(batch[i]->same_answer(*batch[i % 4]))
+          << "threads=" << threads << " i=" << i;
+    }
+    const auto stats = session.cache_stats();
+    EXPECT_EQ(stats.misses, 4u);
+    EXPECT_EQ(stats.hits, 8u);
+    std::int64_t grouped_count = -1;
+    for (const auto& [name, value] : grouped.counters) {
+      if (name == "svc.batch.grouped") grouped_count = value;
+    }
+    EXPECT_EQ(grouped_count, 8) << "threads=" << threads;
   }
 }
 

@@ -4,6 +4,7 @@
 
 #include <cmath>
 #include <complex>
+#include <type_traits>
 
 #include "rlc/core/technology.hpp"
 #include "rlc/tline/transfer.hpp"
@@ -73,6 +74,40 @@ TEST(TransferEvaluator, MemoizesRepeatProbes) {
   ev.step(s2);
   EXPECT_EQ(ev.evaluations(), 2u);
   EXPECT_EQ(ev.cache_hits(), 2u);
+}
+
+TEST(TransferEvaluator, SignedZeroKeysHitTheSameMemoSlot) {
+  // -0.0 == +0.0, so the memo's key equality says the probes are the same
+  // node — the hash must agree, or the equal key can land in a different
+  // bucket and silently re-evaluate (the old bit_cast-of-raw-double hash
+  // separated the two zero encodings).
+  const Case c = paper_case(1e-6);
+  const TransferEvaluator ev(c.line, c.h, c.dl);
+  const cplx pos = ev.transfer(cplx{+0.0, 1e9});
+  EXPECT_EQ(ev.evaluations(), 1u);
+  EXPECT_EQ(ev.transfer(cplx{-0.0, 1e9}), pos);
+  EXPECT_EQ(ev.evaluations(), 1u);
+  EXPECT_EQ(ev.cache_hits(), 1u);
+  // Same on the imaginary axis component.
+  ev.transfer(cplx{1e8, +0.0});
+  EXPECT_EQ(ev.evaluations(), 2u);
+  ev.transfer(cplx{1e8, -0.0});
+  EXPECT_EQ(ev.evaluations(), 2u);
+  EXPECT_EQ(ev.cache_hits(), 2u);
+}
+
+TEST(TransferEvaluator, StepRefAvoidsAllocationAndMatchesStepFn) {
+  // step_ref() is the hot-path handle: a two-word functor with no
+  // std::function type-erasure, binding implicitly to the per-point
+  // FunctionRef overloads of talbot_invert/TalbotContour.
+  const Case c = paper_case(1e-6);
+  const TransferEvaluator ev(c.line, c.h, c.dl);
+  const auto ref = ev.step_ref();
+  const cplx s{1e8, 5e9};
+  EXPECT_EQ(ref(s), ev.step(s));
+  EXPECT_EQ(ref(s), ev.step_fn()(s));
+  static_assert(sizeof(ref) == sizeof(const TransferEvaluator*));
+  static_assert(std::is_trivially_copyable_v<decltype(ref)>);
 }
 
 TEST(TransferEvaluator, ValidatesTheLine) {
