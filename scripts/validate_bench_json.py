@@ -5,9 +5,9 @@ Two modes:
 
   validate_bench_json.py ARTIFACT_DIR
       The BENCH_<name>.json artifacts rlc_run --json emits.  Checks
-      1. the schema-5 envelope for EVERY artifact (field types, version
+      1. the schema-6 envelope for EVERY artifact (field types, version
          stamp, simd level, rectangular tables, finite numbers, embedded
-         spec, observability block),
+         spec, observability block, optional coupling block),
       2. per-scenario physics invariants for the experiments whose shape
          the paper pins down (fig4, fig7, table1, perf_exact, ...),
       3. the BENCH_serve.json throughput artifact when present (its own
@@ -30,7 +30,7 @@ import re
 import sys
 from pathlib import Path
 
-SCHEMA_VERSION = 5
+SCHEMA_VERSION = 6
 SERVE_SCHEMA_VERSION = 1
 VERSION_RE = re.compile(r"^\d+\.\d+\.\d+$")
 
@@ -50,6 +50,7 @@ EXPECTED_SCENARIOS = [
     "fig11", "fig12", "ablation_pade", "ablation_ladder",
     "ablation_baselines", "ext_crosstalk", "ext_frequency_response",
     "ext_scaling_trend", "ext_skin_effect", "perf_solvers", "perf_exact",
+    "xtalk_quiet", "xtalk_inphase", "xtalk_antiphase", "xtalk_noise_opt",
 ]
 
 errors = []
@@ -97,6 +98,8 @@ def check_envelope(name, d):
         return  # shape already broken; skip the deep checks
 
     check_observability(name, d["observability"])
+    if "coupling" in d:
+        check_coupling(name, d["coupling"])
 
     if d["spec"].get("scenario") != name:
         err(name, f"spec.scenario {d['spec'].get('scenario')!r} != {name!r}")
@@ -162,8 +165,88 @@ def check_observability(name, o):
         err(name, "tracing was on but the span rollup is empty")
 
 
+def check_coupling(name, c):
+    """Schema-6 optional coupling block: the multi-conductor summary a
+    coupled scenario stamps on its envelope."""
+    if not isinstance(c, dict):
+        err(name, "coupling block is not an object")
+        return
+    n = c.get("n_conductors")
+    if not isinstance(n, int) or isinstance(n, bool) or n < 2:
+        err(name, f"coupling.n_conductors = {n!r} must be an int >= 2")
+    for key in ("cc", "km", "peak_noise", "noise_width"):
+        v = c.get(key)
+        if not isinstance(v, (int, float)) or isinstance(v, bool) \
+                or not math.isfinite(v):
+            err(name, f"coupling.{key} = {v!r} not a finite number")
+            return
+    if c["cc"] < 0:
+        err(name, f"coupling.cc = {c['cc']} must be >= 0")
+    if not (-1.0 < c["km"] < 1.0):
+        err(name, f"coupling.km = {c['km']} must satisfy |km| < 1")
+    if c["peak_noise"] < 0 or c["noise_width"] < 0:
+        err(name, "coupling noise metrics must be >= 0")
+
+
+def col_index(table, name_part):
+    """Index of the first column whose name contains name_part; None if
+    absent."""
+    for i, col in enumerate(table.get("columns", [])):
+        if name_part in col:
+            return i
+    return None
+
+
+def check_xtalk(name, d):
+    """Shared invariants of the xtalk_* crosstalk scenarios: physical noise,
+    delay ordering on the purely capacitive rows, and analytical-vs-MNA
+    agreement.  Full runs use the converged-ladder MNA reference and must
+    sit within 5e-3 per unit swing (the integration-test pin); quick runs
+    use a coarse ladder and get a 5e-2 sanity bound instead."""
+    tables, metrics = d["tables"], d["metrics"]
+    if "coupling" not in d:
+        err(name, "xtalk scenario without a coupling block")
+    rel_budget = 5e-2 if d.get("quick", True) else 5e-3
+    if name != "xtalk_noise_opt":
+        rel = metrics.get("max_wave_rel_err")
+        if rel is None or rel > rel_budget:
+            err(name, f"max_wave_rel_err = {rel} exceeds {rel_budget} "
+                      "(analytical engine disagrees with the MNA reference)")
+    t = tables[0]
+    km_col = col_index(t, "km")
+    if name == "xtalk_quiet":
+        peak = col_index(t, "peak (V)")
+        for row in t["rows"]:
+            if row[peak] < 0:
+                err(name, f"negative victim peak noise {row[peak]}")
+    elif name in ("xtalk_inphase", "xtalk_antiphase"):
+        quiet = col_index(t, "d_quiet")
+        other = col_index(t, "d_anti" if name == "xtalk_antiphase"
+                          else "d_inphase")
+        for row in t["rows"]:
+            if row[km_col] != 0:
+                continue  # inductive coupling legitimately reverses the order
+            dq, do = row[quiet], row[other]
+            if name == "xtalk_antiphase" and not dq <= do * (1 + 1e-9):
+                err(name, f"km=0 row: d_quiet {dq} > d_anti {do} "
+                          "(Miller ordering violated)")
+            if name == "xtalk_inphase" and not do <= dq * (1 + 1e-9):
+                err(name, f"km=0 row: d_inphase {do} > d_quiet {dq} "
+                          "(Miller ordering violated)")
+    elif name == "xtalk_noise_opt":
+        vmax = col_index(t, "vmax")
+        peak = col_index(t, "peak noise")
+        for row in t["rows"]:
+            if row[peak] > row[vmax] * (1 + 1e-6):
+                err(name, f"peak noise {row[peak]} exceeds the vmax "
+                          f"{row[vmax]} budget the optimizer promised")
+
+
 def check_invariants(name, d):
     tables, metrics = d["tables"], d["metrics"]
+    if name.startswith("xtalk_"):
+        check_xtalk(name, d)
+        return
     if name == "table1":
         # Paper Table 1: h_optRC 14.40 mm (250nm) / 11.10 mm (100nm).
         for key, want in (("h_optRC_250nm_mm", 14.40),

@@ -1,0 +1,75 @@
+#pragma once
+
+/// \file crosstalk.hpp
+/// Closed-form crosstalk-noise metrics for coupled interconnect.
+///
+/// The analytical coupled engine (rlc::core exact_coupled_*) recomposes
+/// victim waveforms from modal responses; these helpers provide the
+/// closed-form surrogate the optimizer's noise-constrained mode uses for
+/// seeding and the scenarios report alongside the exact numbers:
+///
+///   * the Miller-range effective capacitance of Section 1.1 (the
+///     switching-dependent factor on the coupling caps),
+///   * the one-pole modal surrogate of victim noise: when each mode is
+///     approximated by v_j(t) = 1 - exp(-t/tau_j), the quiet victim of a
+///     2-conductor bus sees a difference of exponentials whose peak, peak
+///     time and half-magnitude width have closed forms,
+///   * sampled-waveform noise metrics (peak / t_peak / width) for
+///     measured or simulated records.
+///
+/// Layering: depends on rlc_math only — modal time constants come from the
+/// caller (two-pole segment delays of the modal lines), keeping this header
+/// free of transmission-line types.
+
+#include <span>
+
+namespace rlc::analysis {
+
+/// Aggressor-relative switching of the neighbours (paper Section 1.1).
+enum class SwitchingMode {
+  kVictimQuiet,  ///< neighbours held: coupling caps see the full edge
+  kInPhase,      ///< neighbours switch along: coupling caps see no edge
+  kAntiPhase,    ///< neighbours switch against: Miller-doubled coupling
+};
+
+/// Effective per-unit-length capacitance seen by a conductor of a
+/// symmetric bus: c plus the Miller-weighted coupling to `neighbours`
+/// nearest neighbours (0x / 1x / 2x per neighbour for in-phase / quiet /
+/// anti-phase).  Throws std::domain_error on negative c/cc or
+/// neighbours < 0.
+double miller_effective_capacitance(double c, double cc, SwitchingMode mode,
+                                    int neighbours = 1);
+
+/// Peak / timing / width of a crosstalk-noise pulse.
+struct NoiseEstimate {
+  double peak = 0.0;    ///< max |v(t)| over t > 0
+  double t_peak = 0.0;  ///< argmax time
+  double width = 0.0;   ///< time with |v(t)| >= peak/2
+};
+
+/// Closed-form metrics of the two-exponential pulse
+///   v(t) = amplitude * (exp(-t/tau_slow) - exp(-t/tau_fast)),
+/// the one-pole modal surrogate of quiet-victim noise.  The peak has the
+/// classical closed form amplitude * (r^{r/(1-r)} - r^{1/(1-r)}) at
+/// t_peak = tau_f tau_s ln(tau_s/tau_f)/(tau_s - tau_f) with
+/// r = tau_fast/tau_slow; the half-magnitude width is resolved by two
+/// bracketed Brent solves on the same expression.  The order of the two
+/// time constants does not matter; equal time constants give a zero pulse.
+/// Throws std::domain_error on non-positive time constants.
+NoiseEstimate two_exponential_noise(double tau_a, double tau_b,
+                                    double amplitude);
+
+/// Quiet-victim surrogate of a symmetric 2-conductor bus: the victim sees
+/// swing/2 * (exp(-t/tau_odd) - exp(-t/tau_even)) when each mode is a
+/// one-pole response with the given time constants.
+NoiseEstimate modal_victim_noise(double tau_even, double tau_odd,
+                                 double swing = 1.0);
+
+/// Sampled-record counterpart: peak |v - baseline|, its time, and the
+/// linearly interpolated half-magnitude width around the peak.  t must be
+/// strictly increasing and match v in length (throws std::invalid_argument
+/// otherwise); an empty record returns zeros.
+NoiseEstimate peak_noise_metrics(std::span<const double> t,
+                                 std::span<const double> v, double baseline);
+
+}  // namespace rlc::analysis

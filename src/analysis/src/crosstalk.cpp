@@ -1,0 +1,130 @@
+#include "rlc/analysis/crosstalk.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "rlc/math/brent.hpp"
+
+namespace rlc::analysis {
+
+namespace {
+
+/// Miller factor per neighbour for the coupling caps.
+double miller_factor(SwitchingMode mode) {
+  switch (mode) {
+    case SwitchingMode::kInPhase:
+      return 0.0;
+    case SwitchingMode::kVictimQuiet:
+      return 1.0;
+    case SwitchingMode::kAntiPhase:
+      return 2.0;
+  }
+  throw std::domain_error("miller_effective_capacitance: bad mode");
+}
+
+}  // namespace
+
+double miller_effective_capacitance(double c, double cc, SwitchingMode mode,
+                                    int neighbours) {
+  if (!(c >= 0.0) || !(cc >= 0.0)) {
+    throw std::domain_error(
+        "miller_effective_capacitance: c and cc must be >= 0");
+  }
+  if (neighbours < 0) {
+    throw std::domain_error(
+        "miller_effective_capacitance: neighbours must be >= 0");
+  }
+  return c + static_cast<double>(neighbours) * miller_factor(mode) * cc;
+}
+
+NoiseEstimate two_exponential_noise(double tau_a, double tau_b,
+                                    double amplitude) {
+  if (!(tau_a > 0.0) || !(tau_b > 0.0)) {
+    throw std::domain_error(
+        "two_exponential_noise: time constants must be > 0");
+  }
+  NoiseEstimate out;
+  const double tau_f = std::min(tau_a, tau_b);
+  const double tau_s = std::max(tau_a, tau_b);
+  if (tau_f == tau_s || amplitude == 0.0) return out;
+
+  const double r = tau_f / tau_s;
+  // t* where the two decay rates balance; v there via the closed form.
+  out.t_peak = tau_f * tau_s * std::log(tau_s / tau_f) / (tau_s - tau_f);
+  out.peak = std::abs(amplitude) * (std::pow(r, r / (1.0 - r)) -
+                                    std::pow(r, 1.0 / (1.0 - r)));
+
+  // Half-magnitude crossings bracket t_peak: v is monotone on each side
+  // (single interior extremum), rising from 0 and decaying back to 0.
+  const auto v = [&](double t) {
+    return std::abs(amplitude) *
+           (std::exp(-t / tau_s) - std::exp(-t / tau_f));
+  };
+  const double half = 0.5 * out.peak;
+  double t_hi = out.t_peak;
+  while (v(t_hi) >= half) t_hi *= 2.0;
+  const auto left = rlc::math::brent_root(
+      [&](double t) { return v(t) - half; }, 0.0, out.t_peak, 1e-12 * tau_s);
+  const auto right = rlc::math::brent_root(
+      [&](double t) { return v(t) - half; }, out.t_peak, t_hi, 1e-12 * tau_s);
+  if (left.converged && right.converged) out.width = right.x - left.x;
+  return out;
+}
+
+NoiseEstimate modal_victim_noise(double tau_even, double tau_odd,
+                                 double swing) {
+  return two_exponential_noise(tau_even, tau_odd, 0.5 * swing);
+}
+
+NoiseEstimate peak_noise_metrics(std::span<const double> t,
+                                 std::span<const double> v, double baseline) {
+  if (t.size() != v.size()) {
+    throw std::invalid_argument(
+        "peak_noise_metrics: t and v must have equal length");
+  }
+  for (std::size_t i = 1; i < t.size(); ++i) {
+    if (!(t[i] > t[i - 1])) {
+      throw std::invalid_argument(
+          "peak_noise_metrics: t must be strictly increasing");
+    }
+  }
+  NoiseEstimate out;
+  if (t.empty()) return out;
+
+  std::size_t k = 0;
+  for (std::size_t i = 1; i < v.size(); ++i) {
+    if (std::abs(v[i] - baseline) > std::abs(v[k] - baseline)) k = i;
+  }
+  out.peak = std::abs(v[k] - baseline);
+  out.t_peak = t[k];
+  if (out.peak == 0.0) return out;
+
+  // Half-magnitude width, linearly interpolated on the record; records
+  // that never drop below half on a side are credited up to the edge.
+  const double sign = v[k] >= baseline ? 1.0 : -1.0;
+  const auto dev = [&](std::size_t i) { return sign * (v[i] - baseline); };
+  const double half = 0.5 * out.peak;
+  double t_left = t.front();
+  for (std::size_t i = k; i-- > 0;) {
+    if (dev(i) < half) {
+      const double den = dev(i + 1) - dev(i);
+      t_left = t[i] + (t[i + 1] - t[i]) *
+                          (den > 0.0 ? (half - dev(i)) / den : 0.0);
+      break;
+    }
+  }
+  double t_right = t.back();
+  for (std::size_t i = k + 1; i < v.size(); ++i) {
+    if (dev(i) < half) {
+      const double den = dev(i - 1) - dev(i);
+      t_right = t[i - 1] + (t[i] - t[i - 1]) *
+                               (den > 0.0 ? (dev(i - 1) - half) / den : 0.0);
+      break;
+    }
+  }
+  out.width = std::max(0.0, t_right - t_left);
+  return out;
+}
+
+}  // namespace rlc::analysis

@@ -18,6 +18,7 @@
 ///     plain exact_step_response overload): one full Talbot contour per
 ///     time point / bisection probe.  Kept as the accuracy reference.
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <vector>
@@ -25,6 +26,7 @@
 #include "rlc/core/technology.hpp"
 #include "rlc/exec/counters.hpp"
 #include "rlc/exec/thread_pool.hpp"
+#include "rlc/tline/coupled_line.hpp"
 #include "rlc/tline/transfer.hpp"
 
 namespace rlc::core {
@@ -113,6 +115,55 @@ std::optional<double> exact_threshold_delay(const Technology& tech, double l,
                                             double tau_scale, double f,
                                             const ExactOptions& opts,
                                             ExactStats* stats = nullptr);
+
+/// Switching pattern of a coupled bus: per-conductor far-end voltages
+/// before (initial, the settled pre-switch state) and after (target) the
+/// step at t = 0.  Quiet victim: initial = target on the victim conductor;
+/// anti-phase aggressor: initial 1 -> target 0 while the victim rises.
+struct CoupledExcitation {
+  std::vector<double> initial;
+  std::vector<double> target;
+};
+
+/// Multi-output engine entry point: far-end waveforms of EVERY conductor
+/// of the coupled bus at the given times, recomposed from the modal scalar
+/// responses.  Each excited mode is inverted with the Euler (Abate-Whitt)
+/// method — one SoA span evaluation over every node of every time point —
+/// because underdamped modal ringing tails sit outside the fixed-Talbot
+/// contour's accuracy envelope (silent modes — zero modal weight — cost
+/// nothing).  Result is [conductor][time], in volts of the excitation's
+/// unit system.
+std::vector<std::vector<double>> exact_coupled_step_response(
+    const tline::CoupledLine& bus, double h, const tline::DriverLoad& dl,
+    const CoupledExcitation& exc, const std::vector<double>& times,
+    const ExactOptions& opts = {}, ExactStats* stats = nullptr);
+
+/// First time conductor `conductor` crosses v = f (absolute level, same
+/// units as the excitation) inside the 0.02..8 x tau_scale search window.
+/// The composite victim waveform is evaluated through the SAME lazy
+/// window-descent + Brent-polish machinery as the scalar path — per-mode
+/// shared contours, recomposed per probe.  Honors opts.legacy_bisection.
+std::optional<double> exact_coupled_threshold_delay(
+    const tline::CoupledLine& bus, double h, const tline::DriverLoad& dl,
+    const CoupledExcitation& exc, std::size_t conductor, double tau_scale,
+    double f, const ExactOptions& opts = {}, ExactStats* stats = nullptr);
+
+/// Exact victim-noise query: peak deviation of conductor `victim` from its
+/// initial level, the time of the peak, and the pulse width (time spent
+/// above half the peak magnitude).  Grid scan over the search window plus a
+/// Brent refinement of the peak, both on the Euler inversion path (noise
+/// peaks live in the ringing region where shared Talbot windows are least
+/// accurate).
+struct CoupledNoiseResult {
+  double peak = 0.0;    ///< max |v(t) - v(0-)| over the search window
+  double t_peak = 0.0;  ///< argmax time [s]
+  double width = 0.0;   ///< time with |v - v(0-)| >= peak/2 [s]
+};
+
+CoupledNoiseResult exact_coupled_victim_noise(
+    const tline::CoupledLine& bus, double h, const tline::DriverLoad& dl,
+    const CoupledExcitation& exc, std::size_t victim, double tau_scale,
+    const ExactOptions& opts = {}, ExactStats* stats = nullptr);
 
 /// One exact-delay evaluation of an exact_sweep.
 struct ExactSweepTask {

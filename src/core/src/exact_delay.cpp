@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <memory>
 #include <stdexcept>
 
 #include "rlc/core/delay.hpp"
+#include "rlc/laplace/euler.hpp"
 #include "rlc/laplace/talbot.hpp"
 #include "rlc/math/brent.hpp"
 #include "rlc/obs/metrics.hpp"
@@ -67,11 +69,65 @@ struct BatchStep {
 /// cold Talbot contour in one vectorized pass (the cache-miss hot path),
 /// while the memoizing per-point TransferEvaluator backs the legacy
 /// reference bisection.
+///
+/// The engine is channelized for the coupled-line refactor: K >= 1 modal
+/// channels, each a scalar (line, h, dl) evaluator pair with a
+/// recomposition coefficient, combined per probe as
+///   v(t) = offset + sum_k coef_k v_k(t).
+/// The single-conductor constructor builds one channel flagged as a pure
+/// passthrough, which bypasses the recomposition sum entirely so the
+/// scalar path stays BIT-identical to the pre-refactor engine.
 class WaveformEngine {
  public:
+  /// Scalar (single-conductor) engine.
   WaveformEngine(const tline::LineParams& line, double h,
                  const tline::DriverLoad& dl, const ExactOptions& opts)
-      : eval_(line, h, dl), batch_(line, h, dl), opts_(opts) {}
+      : opts_(opts), single_(true) {
+    channels_.push_back(std::make_unique<Channel>(line, h, dl, 1.0));
+  }
+
+  /// Coupled composite engine: one channel per contributing mode.
+  /// `modes[k]` runs with coefficient `coefs[k]`; `offset` is the
+  /// conductor's pre-switch level.
+  WaveformEngine(const std::vector<tline::LineParams>& modes,
+                 const std::vector<double>& coefs, double offset, double h,
+                 const tline::DriverLoad& dl, const ExactOptions& opts)
+      : opts_(opts), offset_(offset), single_(false) {
+    channels_.reserve(modes.size());
+    for (std::size_t k = 0; k < modes.size(); ++k) {
+      if (coefs[k] == 0.0) continue;  // silent mode: contributes nothing
+      channels_.push_back(std::make_unique<Channel>(modes[k], h, dl, coefs[k]));
+    }
+  }
+
+  /// One composite shared-contour window: a TalbotContour per channel, all
+  /// anchored at the same t_max (the scalar case degenerates to exactly
+  /// the old single contour).
+  class Window {
+   public:
+    Window(WaveformEngine& e, double t_max) : e_(&e) {
+      contours_.reserve(e.channels_.size());
+      for (const auto& ch : e.channels_) {
+        contours_.emplace_back(rlc::laplace::BatchLaplaceFnRef(ch->bstep),
+                               t_max, e.opts_.window_points);
+        ++e.windows_;
+      }
+    }
+    double eval(double t) const {
+      if (e_->single_) return contours_[0].eval(t);
+      double acc = e_->offset_;
+      for (std::size_t k = 0; k < contours_.size(); ++k)
+        acc += e_->channels_[k]->coef * contours_[k].eval(t);
+      return acc;
+    }
+    double t_max() const noexcept {
+      return contours_.empty() ? 0.0 : contours_[0].t_max();
+    }
+
+   private:
+    WaveformEngine* e_;
+    std::vector<rlc::laplace::TalbotContour> contours_;
+  };
 
   /// Waveform at arbitrary times, grouped into shared-contour windows.
   std::vector<double> sample(const std::vector<double>& times) {
@@ -90,12 +146,10 @@ class WaveformEngine {
     std::size_t i = 0;
     while (i < idx.size()) {
       const double t_max = times[idx[i]];
-      const rlc::laplace::TalbotContour contour(bstep_, t_max,
-                                                opts_.window_points);
-      ++windows_;
+      const Window window(*this, t_max);
       const double t_min = t_max / opts_.window_ratio;
       while (i < idx.size() && times[idx[i]] >= t_min * (1.0 - 1e-12)) {
-        out[idx[i]] = contour.eval(times[idx[i]]);
+        out[idx[i]] = window.eval(times[idx[i]]);
         ++i;
       }
     }
@@ -114,9 +168,7 @@ class WaveformEngine {
     double t_hi = hi;
     bool top_window = true;
     while (true) {
-      const rlc::laplace::TalbotContour contour(bstep_, t_hi,
-                                                opts_.window_points);
-      ++windows_;
+      const Window contour(*this, t_hi);
       if (top_window) {
         // !(>= f) instead of (< f): a non-finite eval (kernel overflow at
         // extreme window scales) must mean "cannot certify a crossing",
@@ -158,10 +210,19 @@ class WaveformEngine {
 
   /// Legacy per-t bisection (the pre-engine implementation), kept as the
   /// reference and as the rescue path when the engine loses its bracket.
+  /// Composite engines bisect the recomposed waveform (one memoized per-t
+  /// inversion per channel per probe).
   std::optional<double> legacy_threshold(double tau_scale, double f) {
     const auto v = [&](double t) {
-      return rlc::laplace::talbot_invert(eval_.step_ref(), t,
-                                         opts_.talbot_points);
+      if (single_) {
+        return rlc::laplace::talbot_invert(channels_[0]->eval.step_ref(), t,
+                                           opts_.talbot_points);
+      }
+      double acc = offset_;
+      for (const auto& ch : channels_)
+        acc += ch->coef * rlc::laplace::talbot_invert(ch->eval.step_ref(), t,
+                                                      opts_.talbot_points);
+      return acc;
     };
     double lo = kSearchLo * tau_scale, hi = kSearchHi * tau_scale;
     // The hi endpoint is negated so a non-finite value (kernel overflow at
@@ -176,11 +237,99 @@ class WaveformEngine {
     return 0.5 * (lo + hi);
   }
 
+  /// Composite waveform via the Euler (Abate-Whitt) inversion: one span
+  /// evaluation per channel covering every node of every time point.  This
+  /// is the accuracy path for waveform-shaped queries (victim noise, the
+  /// coupled sampling API): ringing tails of underdamped modal lines sit
+  /// outside the fixed-Talbot contour's comfort zone, while the vertical
+  /// Euler contour keeps ~1e-7 absolute error there (see laplace/euler.hpp).
+  std::vector<double> sample_euler(const std::vector<double>& ts) {
+    std::vector<double> out(ts.size(), offset_);
+    for (const auto& ch : channels_) {
+      const std::vector<double> v = rlc::laplace::euler_invert(
+          rlc::laplace::BatchLaplaceFnRef(ch->bstep), ts);
+      for (std::size_t i = 0; i < ts.size(); ++i) out[i] += ch->coef * v[i];
+    }
+    return out;
+  }
+
+  double eval_euler(double t) {
+    double acc = offset_;
+    for (const auto& ch : channels_) {
+      acc += ch->coef * rlc::laplace::euler_invert(
+                            rlc::laplace::BatchLaplaceFnRef(ch->bstep), t);
+    }
+    return acc;
+  }
+
+  /// Peak deviation of the composite waveform from its pre-switch level
+  /// (the victim-noise query): geometric grid scan over the search window,
+  /// Brent refinement of the peak, and a half-magnitude pulse width from
+  /// the scan samples.  Runs on the Euler path — noise peaks live in the
+  /// ringing region where shared Talbot windows are least accurate.
+  CoupledNoiseResult noise(double tau_scale) {
+    const double lo = kSearchLo * tau_scale;
+    const double hi = kSearchHi * tau_scale;
+    const int n = 400;
+    std::vector<double> ts(n);
+    const double g = std::pow(hi / lo, 1.0 / (n - 1));
+    for (int i = 0; i < n; ++i) ts[i] = lo * std::pow(g, i);
+    ts.back() = hi;
+    const std::vector<double> v = sample_euler(ts);
+    std::vector<double> dev(v.size());
+    for (std::size_t i = 0; i < v.size(); ++i) dev[i] = v[i] - offset_;
+    std::size_t k = 0;
+    for (std::size_t i = 1; i < dev.size(); ++i)
+      if (std::abs(dev[i]) > std::abs(dev[k])) k = i;
+
+    CoupledNoiseResult out;
+    out.peak = std::abs(dev[k]);
+    out.t_peak = ts[k];
+    if (out.peak == 0.0) return out;
+
+    const double sign = dev[k] >= 0.0 ? 1.0 : -1.0;
+    if (k > 0 && k + 1 < ts.size()) {
+      const auto r = rlc::math::brent_minimize(
+          [&](double t) { return -sign * (eval_euler(t) - offset_); },
+          ts[k - 1], ts[k + 1], 1e-6 * tau_scale);
+      brent_iterations_ += r.iterations;
+      if (r.converged && -r.fx >= out.peak) {
+        out.t_peak = r.x;
+        out.peak = -r.fx;
+      }
+    }
+
+    // Width: time spent with sign*dev >= peak/2, interpolated on the scan.
+    const double half = 0.5 * out.peak;
+    double t_left = lo, t_right = hi;
+    for (std::size_t i = k; i-- > 0;) {
+      if (sign * dev[i] < half) {
+        const double num = half - sign * dev[i];
+        const double den = sign * dev[i + 1] - sign * dev[i];
+        t_left = ts[i] + (ts[i + 1] - ts[i]) * (den > 0.0 ? num / den : 0.0);
+        break;
+      }
+    }
+    for (std::size_t i = k + 1; i < dev.size(); ++i) {
+      if (sign * dev[i] < half) {
+        const double num = sign * dev[i - 1] - half;
+        const double den = sign * dev[i - 1] - sign * dev[i];
+        t_right =
+            ts[i - 1] + (ts[i] - ts[i - 1]) * (den > 0.0 ? num / den : 0.0);
+        break;
+      }
+    }
+    out.width = std::max(0.0, t_right - t_left);
+    return out;
+  }
+
   ExactStats stats() const {
     ExactStats s;
-    s.transfer_evals =
-        static_cast<std::int64_t>(eval_.evaluations() + batch_.evaluations());
-    s.cache_hits = static_cast<std::int64_t>(eval_.cache_hits());
+    for (const auto& ch : channels_) {
+      s.transfer_evals += static_cast<std::int64_t>(ch->eval.evaluations() +
+                                                    ch->batch.evaluations());
+      s.cache_hits += static_cast<std::int64_t>(ch->eval.cache_hits());
+    }
     s.windows = windows_;
     s.brent_iterations = brent_iterations_;
     s.legacy_fallbacks = legacy_fallbacks_;
@@ -196,10 +345,10 @@ class WaveformEngine {
   /// custom window ratios) and boundary straddles get a fresh contour
   /// anchored at the bracket top, where the bracket is re-verified and
   /// widened by grid steps if the coarser window misplaced it.
-  std::optional<double> polish(const rlc::laplace::TalbotContour* window,
-                               double ga_win, double gb_win, double a,
-                               double b, double gstep, double lo, double hi,
-                               double tau_scale, double f) {
+  std::optional<double> polish(const Window* window, double ga_win,
+                               double gb_win, double a, double b, double gstep,
+                               double lo, double hi, double tau_scale,
+                               double f) {
     if (window != nullptr && b >= 0.25 * window->t_max() && ga_win <= 0.0 &&
         gb_win >= 0.0) {
       const auto r = rlc::math::brent_root(
@@ -210,8 +359,7 @@ class WaveformEngine {
       // fall through to the fresh-contour attempts
     }
     for (int attempt = 0; attempt < 8; ++attempt) {
-      const rlc::laplace::TalbotContour c(bstep_, b, opts_.window_points);
-      ++windows_;
+      const Window c(*this, b);
       const double ga = c.eval(a) - f;
       const double gb = c.eval(b) - f;
       if (ga <= 0.0 && gb >= 0.0) {
@@ -239,8 +387,8 @@ class WaveformEngine {
   /// root-finder precision.  The slope comes from the cached contour
   /// (relative accuracy ~1e-3 there is ample for Newton), so each step
   /// costs exactly one per-t inversion.
-  double refine_per_t(const rlc::laplace::TalbotContour& c, double t0,
-                      double lo, double hi, double tau_scale, double f) {
+  double refine_per_t(const Window& c, double t0, double lo, double hi,
+                      double tau_scale, double f) {
     const double dt = 1e-3 * t0;
     const double t_up = std::min(t0 + dt, c.t_max());
     const double t_dn = t0 - dt;
@@ -249,10 +397,7 @@ class WaveformEngine {
     double t = t0, t_best = t0;
     double g_best = std::numeric_limits<double>::infinity();
     for (int i = 0; i < 3; ++i) {
-      const double g = rlc::laplace::talbot_invert(
-                           rlc::laplace::BatchLaplaceFnRef(bstep_), t,
-                           opts_.talbot_points) -
-                       f;
+      const double g = invert_per_t(t) - f;
       if (!(std::abs(g) < g_best)) break;  // stalled: keep the best point
       g_best = std::abs(g);
       t_best = t;
@@ -268,10 +413,39 @@ class WaveformEngine {
     return t_best;
   }
 
-  rlc::tline::TransferEvaluator eval_;
-  rlc::tline::BatchTransferEvaluator batch_;
-  BatchStep bstep_{&batch_};
+  /// One modal channel: the scalar evaluator pair plus its recomposition
+  /// coefficient.  Held by unique_ptr — the evaluators flush metrics at
+  /// destruction, so they must never be copied.
+  struct Channel {
+    Channel(const tline::LineParams& line, double h,
+            const tline::DriverLoad& dl, double coef_in)
+        : eval(line, h, dl), batch(line, h, dl), coef(coef_in) {}
+    rlc::tline::TransferEvaluator eval;
+    rlc::tline::BatchTransferEvaluator batch;
+    BatchStep bstep{&batch};
+    double coef;
+  };
+
+  /// Composite per-t inversion on the batch integrand (the accuracy
+  /// reference refine_per_t converges onto).
+  double invert_per_t(double t) const {
+    if (single_) {
+      return rlc::laplace::talbot_invert(
+          rlc::laplace::BatchLaplaceFnRef(channels_[0]->bstep), t,
+          opts_.talbot_points);
+    }
+    double acc = offset_;
+    for (const auto& ch : channels_)
+      acc += ch->coef * rlc::laplace::talbot_invert(
+                            rlc::laplace::BatchLaplaceFnRef(ch->bstep), t,
+                            opts_.talbot_points);
+    return acc;
+  }
+
+  std::vector<std::unique_ptr<Channel>> channels_;
   ExactOptions opts_;
+  double offset_ = 0.0;
+  bool single_ = false;
   std::int64_t windows_ = 0;
   std::int64_t brent_iterations_ = 0;
   std::int64_t legacy_fallbacks_ = 0;
@@ -297,6 +471,129 @@ std::vector<double> exact_step_response_windowed(
   RLC_TRACE_SPAN("exact_sample");
   WaveformEngine engine(line, h, dl, opts);
   auto out = engine.sample(times);
+  if (stats) *stats += engine.stats();
+  return out;
+}
+
+namespace {
+
+/// Shared setup of every coupled query: validate the excitation against the
+/// bus, diagonalize, and project the switch vector onto the modes.
+struct CoupledSetup {
+  tline::ModalDecomposition modal;
+  std::vector<double> dm;  ///< modal weights of (target - initial)
+};
+
+CoupledSetup coupled_setup(const tline::CoupledLine& bus,
+                           const CoupledExcitation& exc) {
+  const std::size_t n = bus.conductors();
+  if (exc.initial.size() != n || exc.target.size() != n) {
+    throw std::invalid_argument(
+        "CoupledExcitation: initial/target must have one entry per "
+        "conductor");
+  }
+  CoupledSetup s;
+  s.modal = tline::modal_decomposition(bus);
+  std::vector<double> du(n);
+  for (std::size_t i = 0; i < n; ++i) du[i] = exc.target[i] - exc.initial[i];
+  s.dm = s.modal.modal_weights(du);
+  return s;
+}
+
+/// Composite engine for one observed conductor: channel coefficients
+/// coef_j = W(conductor, j) * dm_j, offset = the conductor's initial level.
+WaveformEngine conductor_engine(const CoupledSetup& su,
+                                const CoupledExcitation& exc,
+                                std::size_t conductor, double h,
+                                const tline::DriverLoad& dl,
+                                const ExactOptions& opts) {
+  std::vector<double> coefs(su.modal.size());
+  for (std::size_t j = 0; j < su.modal.size(); ++j)
+    coefs[j] = su.modal.vectors(conductor, j) * su.dm[j];
+  return WaveformEngine(su.modal.modes, coefs, exc.initial[conductor], h, dl,
+                        opts);
+}
+
+}  // namespace
+
+std::vector<std::vector<double>> exact_coupled_step_response(
+    const tline::CoupledLine& bus, double h, const tline::DriverLoad& dl,
+    const CoupledExcitation& exc, const std::vector<double>& times,
+    const ExactOptions& opts, ExactStats* stats) {
+  validate_options(opts, /*threshold_path=*/false);
+  RLC_TRACE_SPAN("exact_coupled_sample");
+  const CoupledSetup su = coupled_setup(bus, exc);
+  const std::size_t n = bus.conductors();
+  const std::size_t n_modes = su.modal.size();
+
+  // One Euler inversion per EXCITED mode — a single span evaluation over
+  // every node of every time point feeds the SoA batch kernel — and the
+  // modal responses are then recomposed into all n conductor waveforms.
+  // (Shared Talbot windows are NOT used here: underdamped modal ringing
+  // tails need the vertical-contour accuracy; see laplace/euler.hpp.)
+  std::vector<std::vector<double>> modal_v(n_modes);
+  for (std::size_t j = 0; j < n_modes; ++j) {
+    if (su.dm[j] == 0.0) continue;
+    tline::BatchTransferEvaluator batch(su.modal.modes[j], h, dl);
+    const BatchStep bstep{&batch};
+    modal_v[j] = rlc::laplace::euler_invert(
+        rlc::laplace::BatchLaplaceFnRef(bstep), times);
+    if (stats) {
+      stats->transfer_evals +=
+          static_cast<std::int64_t>(batch.evaluations());
+    }
+  }
+  std::vector<std::vector<double>> out(n,
+                                       std::vector<double>(times.size()));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t ti = 0; ti < times.size(); ++ti) {
+      double acc = exc.initial[i];
+      for (std::size_t j = 0; j < n_modes; ++j) {
+        if (modal_v[j].empty()) continue;
+        acc += su.modal.vectors(i, j) * su.dm[j] * modal_v[j][ti];
+      }
+      out[i][ti] = acc;
+    }
+  }
+  return out;
+}
+
+std::optional<double> exact_coupled_threshold_delay(
+    const tline::CoupledLine& bus, double h, const tline::DriverLoad& dl,
+    const CoupledExcitation& exc, std::size_t conductor, double tau_scale,
+    double f, const ExactOptions& opts, ExactStats* stats) {
+  if (conductor >= bus.conductors()) {
+    throw std::invalid_argument(
+        "exact_coupled_threshold_delay: conductor index out of range");
+  }
+  validate_threshold_args(tau_scale, f);
+  validate_options(opts, /*threshold_path=*/!opts.legacy_bisection);
+  RLC_TRACE_SPAN("exact_coupled_threshold");
+  const CoupledSetup su = coupled_setup(bus, exc);
+  WaveformEngine engine = conductor_engine(su, exc, conductor, h, dl, opts);
+  const auto out = opts.legacy_bisection ? engine.legacy_threshold(tau_scale, f)
+                                         : engine.threshold(tau_scale, f);
+  if (stats) *stats += engine.stats();
+  return out;
+}
+
+CoupledNoiseResult exact_coupled_victim_noise(
+    const tline::CoupledLine& bus, double h, const tline::DriverLoad& dl,
+    const CoupledExcitation& exc, std::size_t victim, double tau_scale,
+    const ExactOptions& opts, ExactStats* stats) {
+  if (victim >= bus.conductors()) {
+    throw std::invalid_argument(
+        "exact_coupled_victim_noise: conductor index out of range");
+  }
+  if (!(tau_scale > 0.0)) {
+    throw std::domain_error(
+        "exact_coupled_victim_noise: tau_scale must be > 0");
+  }
+  validate_options(opts, /*threshold_path=*/false);
+  RLC_TRACE_SPAN("exact_coupled_noise");
+  const CoupledSetup su = coupled_setup(bus, exc);
+  WaveformEngine engine = conductor_engine(su, exc, victim, h, dl, opts);
+  CoupledNoiseResult out = engine.noise(tau_scale);
   if (stats) *stats += engine.stats();
   return out;
 }

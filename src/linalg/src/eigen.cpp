@@ -1,0 +1,233 @@
+#include "rlc/linalg/eigen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+
+namespace rlc::linalg {
+
+namespace {
+
+double frobenius(const MatrixD& a) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < a.cols(); ++j) acc += a(i, j) * a(i, j);
+  return std::sqrt(acc);
+}
+
+double off_diagonal_norm(const MatrixD& a) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < a.cols(); ++j)
+      if (i != j) acc += a(i, j) * a(i, j);
+  return std::sqrt(acc);
+}
+
+void require_symmetric(const MatrixD& a, const char* who) {
+  if (a.rows() != a.cols())
+    throw std::invalid_argument(std::string(who) + ": matrix must be square");
+  if (a.rows() == 0)
+    throw std::invalid_argument(std::string(who) + ": matrix must be nonempty");
+  const double scale = std::max(frobenius(a), 1.0);
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = i + 1; j < a.cols(); ++j)
+      if (std::abs(a(i, j) - a(j, i)) > 1e-12 * scale)
+        throw std::invalid_argument(std::string(who) +
+                                    ": matrix must be symmetric");
+}
+
+/// One Jacobi rotation zeroing a(p,q), applied in place to `a` (both sides)
+/// and accumulated into the columns of `v`.
+void jacobi_rotate(MatrixD& a, MatrixD& v, std::size_t p, std::size_t q) {
+  const double apq = a(p, q);
+  if (apq == 0.0) return;
+  const double tau = (a(q, q) - a(p, p)) / (2.0 * apq);
+  // Stable root of t^2 + 2 tau t - 1 = 0 with |t| <= 1.
+  const double t = (tau >= 0.0)
+                       ? 1.0 / (tau + std::sqrt(1.0 + tau * tau))
+                       : -1.0 / (-tau + std::sqrt(1.0 + tau * tau));
+  const double c = 1.0 / std::sqrt(1.0 + t * t);
+  const double s = t * c;
+  const std::size_t n = a.rows();
+  for (std::size_t k = 0; k < n; ++k) {
+    const double akp = a(k, p);
+    const double akq = a(k, q);
+    a(k, p) = c * akp - s * akq;
+    a(k, q) = s * akp + c * akq;
+  }
+  for (std::size_t k = 0; k < n; ++k) {
+    const double apk = a(p, k);
+    const double aqk = a(q, k);
+    a(p, k) = c * apk - s * aqk;
+    a(q, k) = s * apk + c * aqk;
+  }
+  a(p, q) = 0.0;
+  a(q, p) = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    const double vkp = v(k, p);
+    const double vkq = v(k, q);
+    v(k, p) = c * vkp - s * vkq;
+    v(k, q) = s * vkp + c * vkq;
+  }
+}
+
+MatrixD identity(std::size_t n) {
+  MatrixD id(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) id(i, i) = 1.0;
+  return id;
+}
+
+/// Jacobi on a working copy, accumulating rotations into `v` (which may
+/// already hold a basis -- used by the cluster pass).
+std::vector<double> jacobi_core(MatrixD work, MatrixD& v, double tol,
+                                int max_sweeps, const char* who) {
+  const std::size_t n = work.rows();
+  const double scale = std::max(frobenius(work), 1e-300);
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    if (off_diagonal_norm(work) <= tol * scale) {
+      std::vector<double> values(n);
+      for (std::size_t i = 0; i < n; ++i) values[i] = work(i, i);
+      return values;
+    }
+    for (std::size_t p = 0; p + 1 < n; ++p)
+      for (std::size_t q = p + 1; q < n; ++q) jacobi_rotate(work, v, p, q);
+  }
+  if (off_diagonal_norm(work) <= tol * scale) {
+    std::vector<double> values(n);
+    for (std::size_t i = 0; i < n; ++i) values[i] = work(i, i);
+    return values;
+  }
+  throw std::runtime_error(std::string(who) + ": Jacobi failed to converge");
+}
+
+void sort_columns_by_value(std::vector<double>& values, MatrixD& vectors) {
+  const std::size_t n = values.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t i, std::size_t j) {
+    return values[i] < values[j];
+  });
+  std::vector<double> sorted_values(n);
+  MatrixD sorted_vectors(vectors.rows(), n);
+  for (std::size_t j = 0; j < n; ++j) {
+    sorted_values[j] = values[order[j]];
+    for (std::size_t i = 0; i < vectors.rows(); ++i)
+      sorted_vectors(i, j) = vectors(i, order[j]);
+  }
+  values = std::move(sorted_values);
+  vectors = std::move(sorted_vectors);
+}
+
+}  // namespace
+
+EigenResult jacobi_eigensolve(const MatrixD& a, double tol, int max_sweeps) {
+  require_symmetric(a, "jacobi_eigensolve");
+  EigenResult r;
+  r.vectors = identity(a.rows());
+  r.values = jacobi_core(a, r.vectors, tol, max_sweeps, "jacobi_eigensolve");
+  sort_columns_by_value(r.values, r.vectors);
+  return r;
+}
+
+SimultaneousDiagResult simultaneous_diagonalize(const MatrixD& a,
+                                                const MatrixD& b,
+                                                double tol) {
+  require_symmetric(a, "simultaneous_diagonalize");
+  require_symmetric(b, "simultaneous_diagonalize");
+  if (a.rows() != b.rows())
+    throw std::invalid_argument(
+        "simultaneous_diagonalize: dimension mismatch");
+  const std::size_t n = a.rows();
+
+  EigenResult ea = jacobi_eigensolve(a);
+  MatrixD w = std::move(ea.vectors);
+
+  // B projected into the A-eigenbasis: bw = W^T B W.
+  MatrixD bw(n, n, 0.0);
+  {
+    MatrixD tmp(n, n, 0.0);  // B W
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = 0; j < n; ++j) {
+        double acc = 0.0;
+        for (std::size_t k = 0; k < n; ++k) acc += b(i, k) * w(k, j);
+        tmp(i, j) = acc;
+      }
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = 0; j < n; ++j) {
+        double acc = 0.0;
+        for (std::size_t k = 0; k < n; ++k) acc += w(k, i) * tmp(k, j);
+        bw(i, j) = acc;
+      }
+  }
+
+  // Within each cluster of degenerate A-eigenvalues the basis is free up to
+  // rotation; sub-Jacobi on the corresponding block of bw fixes it so B
+  // becomes diagonal there too.
+  const double a_scale =
+      std::max(std::abs(ea.values.front()), std::abs(ea.values.back()));
+  const double cluster_tol = 1e-9 * std::max(a_scale, 1e-300);
+  std::size_t lo = 0;
+  while (lo < n) {
+    std::size_t hi = lo + 1;
+    while (hi < n && std::abs(ea.values[hi] - ea.values[hi - 1]) <= cluster_tol)
+      ++hi;
+    const std::size_t m = hi - lo;
+    if (m > 1) {
+      MatrixD block(m, m);
+      for (std::size_t i = 0; i < m; ++i)
+        for (std::size_t j = 0; j < m; ++j) block(i, j) = bw(lo + i, lo + j);
+      // Symmetrize away projection roundoff before rotating.
+      for (std::size_t i = 0; i < m; ++i)
+        for (std::size_t j = i + 1; j < m; ++j) {
+          const double avg = 0.5 * (block(i, j) + block(j, i));
+          block(i, j) = avg;
+          block(j, i) = avg;
+        }
+      MatrixD rot = identity(m);
+      jacobi_core(block, rot, 1e-15, 64, "simultaneous_diagonalize");
+      // Rotate the cluster's columns of W: W[:, lo:hi] *= rot.
+      for (std::size_t i = 0; i < n; ++i) {
+        std::vector<double> row(m);
+        for (std::size_t j = 0; j < m; ++j) {
+          double acc = 0.0;
+          for (std::size_t k = 0; k < m; ++k) acc += w(i, lo + k) * rot(k, j);
+          row[j] = acc;
+        }
+        for (std::size_t j = 0; j < m; ++j) w(i, lo + j) = row[j];
+      }
+    }
+    lo = hi;
+  }
+
+  // Recompute W^T B W with the fixed basis and check it is diagonal.
+  SimultaneousDiagResult r;
+  r.a_values = std::move(ea.values);
+  r.b_values.resize(n);
+  const double b_scale = std::max(frobenius(b), 1e-300);
+  MatrixD tmp(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k < n; ++k) acc += b(i, k) * w(k, j);
+      tmp(i, j) = acc;
+    }
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k < n; ++k) acc += w(k, i) * tmp(k, j);
+      if (i == j) {
+        r.b_values[i] = acc;
+      } else if (std::abs(acc) > tol * b_scale) {
+        throw std::runtime_error(
+            "simultaneous_diagonalize: matrices do not commute "
+            "(residual " +
+            std::to_string(std::abs(acc) / b_scale) + ")");
+      }
+    }
+  r.vectors = std::move(w);
+  return r;
+}
+
+}  // namespace rlc::linalg

@@ -93,6 +93,7 @@ void register_paper_scenarios(ScenarioRegistry& r);
 void register_ring_scenarios(ScenarioRegistry& r);
 void register_ablation_scenarios(ScenarioRegistry& r);
 void register_extension_scenarios(ScenarioRegistry& r);
+void register_xtalk_scenarios(ScenarioRegistry& r);
 void register_perf_scenarios(ScenarioRegistry& r);
 
 }  // namespace rlc::scenario

@@ -25,8 +25,10 @@ namespace rlc::scenario {
 /// (metrics snapshot + span rollup), 4 added the library `version` stamp
 /// (every artifact and every rlc_serve response carries rlc::version()),
 /// 5 added the `simd` field ("avx2" | "scalar" — the kernel level the
-/// process resolved at startup from cpuid + RLC_SIMD).
-inline constexpr int kSchemaVersion = 5;
+/// process resolved at startup from cpuid + RLC_SIMD), 6 added the
+/// optional `coupling` block (multi-conductor scenarios: bus width,
+/// coupling strengths and headline noise metrics).
+inline constexpr int kSchemaVersion = 6;
 
 /// One table cell: a number or a short text label (e.g. "-" for a
 /// non-converged point, a technology name in a key column).
@@ -85,6 +87,21 @@ struct Observability {
   io::Json to_json() const;
 };
 
+/// Coupled-bus summary of a multi-conductor scenario (schema >= 6).  A
+/// scenario that models coupling fills this; n_conductors == 0 (the
+/// default) means "no coupling block" and the envelope omits it, so
+/// single-line artifacts are byte-compatible with schema 5 modulo the
+/// version bump.
+struct CouplingInfo {
+  int n_conductors = 0;      ///< bus width; 0: scenario has no coupling
+  double cc = 0.0;           ///< representative coupling cap [F/m]
+  double km = 0.0;           ///< representative inductive coefficient
+  double peak_noise = 0.0;   ///< worst victim peak noise of the run [V]
+  double noise_width = 0.0;  ///< its half-magnitude pulse width [s]
+
+  io::Json to_json() const;
+};
+
 /// Everything one scenario run produced.
 struct ScenarioResult {
   std::string name;   ///< scenario name (registry key)
@@ -95,6 +112,7 @@ struct ScenarioResult {
   std::vector<std::string> notes;
   exec::Counters::Snapshot counters;
   Observability observability;
+  CouplingInfo coupling;  ///< filled by multi-conductor scenarios
   double wall_seconds = 0.0;
   int threads = 1;     ///< pool size the run saw
   std::string error;   ///< non-empty: the scenario threw; everything else

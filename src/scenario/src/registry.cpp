@@ -85,6 +85,7 @@ void register_all_scenarios() {
     register_ring_scenarios(r);
     register_ablation_scenarios(r);
     register_extension_scenarios(r);
+    register_xtalk_scenarios(r);
     register_perf_scenarios(r);
     return true;
   }();

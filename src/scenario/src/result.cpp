@@ -58,6 +58,16 @@ io::Json Observability::to_json() const {
   return j;
 }
 
+io::Json CouplingInfo::to_json() const {
+  io::Json j;
+  j.set("n_conductors", n_conductors);
+  j.set("cc", cc);
+  j.set("km", km);
+  j.set("peak_noise", peak_noise);
+  j.set("noise_width", noise_width);
+  return j;
+}
+
 io::Json ScenarioResult::to_json() const {
   io::Json j;
   j.set("schema", kSchemaVersion);
@@ -82,6 +92,7 @@ io::Json ScenarioResult::to_json() const {
   j.set("counters", counters_j);
 
   j.set("observability", observability.to_json());
+  if (coupling.n_conductors > 0) j.set("coupling", coupling.to_json());
 
   io::JsonArray tables_j;
   for (const auto& t : tables) tables_j.push(t.to_json());

@@ -31,6 +31,17 @@ struct QueryRequest {
   int talbot_points = 48;         ///< exact-engine contour size
   double line_length = 0.0;       ///< >0: also report L/h * tau over L [m]
 
+  /// Coupled-bus extension (schema-transparent: the defaults reproduce the
+  /// single-line query bit-for-bit).  n_conductors >= 2 sizes a symmetric
+  /// bus of identical wires: the optimizer works on the quiet-neighbour
+  /// effective line and the answer carries the exact victim noise at the
+  /// optimum; noise_vmax > 0 additionally routes through the
+  /// noise-constrained active-set solve (peak_noise <= noise_vmax).
+  int n_conductors = 1;      ///< 1 (scalar), 2 or 3
+  double coupling_cc = 0.0;  ///< line-to-line capacitance [F/m], >= 0
+  double coupling_km = 0.0;  ///< inductive coupling coefficient, |km| < 1
+  double noise_vmax = 0.0;   ///< >0: peak-noise budget [V] (needs n >= 2)
+
   /// Per-request latency budget in seconds, measured from the moment the
   /// service picks the request up.  Infinity (the default) means no
   /// deadline; 0 is an already-expired budget and comes back
@@ -68,6 +79,10 @@ struct QueryResult {
   double total_delay = 0.0;       ///< line_length > 0: delay_per_length * L
   double exact_delay = 0.0;       ///< exact-waveform segment delay [s]
   bool has_exact = false;         ///< exact_delay is meaningful
+  double peak_noise = 0.0;        ///< exact victim peak noise [V]
+  double noise_width = 0.0;       ///< its half-magnitude width [s]
+  bool constraint_active = false; ///< noise_vmax bound the (h, k) answer
+  bool has_noise = false;         ///< the noise fields are meaningful
   int newton_iterations = 0;
   std::string method;       ///< "newton" | "nelder_mead"
   bool from_cache = false;  ///< served from the session result cache

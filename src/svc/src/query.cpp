@@ -31,6 +31,24 @@ rlc::Status QueryRequest::validate() const {
   if (!std::isfinite(line_length) || line_length < 0.0) {
     return bad("line_length must be finite and >= 0");
   }
+  if (n_conductors < 1 || n_conductors > 3) {
+    return bad("n_conductors must be 1, 2 or 3 (got " +
+               std::to_string(n_conductors) + ")");
+  }
+  if (!std::isfinite(coupling_cc) || coupling_cc < 0.0) {
+    return bad("coupling_cc must be finite and >= 0");
+  }
+  if (!std::isfinite(coupling_km) || std::abs(coupling_km) >= 1.0) {
+    return bad("coupling_km must satisfy |km| < 1");
+  }
+  if (!std::isfinite(noise_vmax) || noise_vmax < 0.0) {
+    return bad("noise_vmax must be finite and >= 0");
+  }
+  if (n_conductors == 1 &&
+      (coupling_cc != 0.0 || coupling_km != 0.0 || noise_vmax != 0.0)) {
+    return bad(
+        "coupling_cc/coupling_km/noise_vmax require n_conductors >= 2");
+  }
   if (std::isnan(deadline_seconds) || deadline_seconds < 0.0) {
     return bad("deadline_seconds must be >= 0 (or infinity for none)");
   }
@@ -58,6 +76,14 @@ std::string QueryRequest::cache_key() const {
   key += std::to_string(talbot_points);
   key += ";L=";
   key += io::render_number(line_length);
+  key += ";nc=";
+  key += std::to_string(n_conductors);
+  key += ";cc=";
+  key += io::render_number(coupling_cc);
+  key += ";km=";
+  key += io::render_number(coupling_km);
+  key += ";vmax=";
+  key += io::render_number(noise_vmax);
   return key;
 }
 
@@ -81,6 +107,10 @@ io::Json QueryRequest::to_json() const {
   j.set("with_exact_delay", with_exact_delay);
   j.set("talbot_points", talbot_points);
   j.set("line_length", line_length);
+  j.set("n_conductors", n_conductors);
+  j.set("coupling_cc", coupling_cc);
+  j.set("coupling_km", coupling_km);
+  j.set("noise_vmax", noise_vmax);
   // Infinity renders as null; from_json treats null/absent as "no deadline".
   j.set("deadline_seconds", deadline_seconds);
   return j;
@@ -158,6 +188,10 @@ rlc::StatusOr<QueryRequest> QueryRequest::from_json(const io::JsonValue& v) {
            take_bool(v, "with_exact_delay", &req.with_exact_delay),
            take_int(v, "talbot_points", &req.talbot_points),
            take_number(v, "line_length", &req.line_length),
+           take_int(v, "n_conductors", &req.n_conductors),
+           take_number(v, "coupling_cc", &req.coupling_cc),
+           take_number(v, "coupling_km", &req.coupling_km),
+           take_number(v, "noise_vmax", &req.noise_vmax),
            take_number(v, "deadline_seconds", &req.deadline_seconds),
        }) {
     if (!st.is_ok()) return st;
@@ -174,6 +208,11 @@ io::Json QueryResult::to_json() const {
   j.set("delay_per_length", delay_per_length);
   if (total_delay > 0.0) j.set("total_delay", total_delay);
   if (has_exact) j.set("exact_delay", exact_delay);
+  if (has_noise) {
+    j.set("peak_noise", peak_noise);
+    j.set("noise_width", noise_width);
+    j.set("constraint_active", constraint_active);
+  }
   j.set("newton_iterations", newton_iterations);
   j.set("method", method);
   j.set("from_cache", from_cache);
@@ -185,7 +224,10 @@ bool QueryResult::same_answer(const QueryResult& o) const {
   return h == o.h && k == o.k && tau == o.tau &&
          delay_per_length == o.delay_per_length &&
          total_delay == o.total_delay && exact_delay == o.exact_delay &&
-         has_exact == o.has_exact &&
+         has_exact == o.has_exact && peak_noise == o.peak_noise &&
+         noise_width == o.noise_width &&
+         constraint_active == o.constraint_active &&
+         has_noise == o.has_noise &&
          newton_iterations == o.newton_iterations && method == o.method;
 }
 

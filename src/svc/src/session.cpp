@@ -10,6 +10,7 @@
 #include "rlc/core/optimizer.hpp"
 #include "rlc/obs/metrics.hpp"
 #include "rlc/scenario/registry.hpp"
+#include "rlc/tline/coupled_line.hpp"
 
 namespace rlc::svc {
 
@@ -142,6 +143,7 @@ struct Session::Impl {
     opts.f = req.threshold;
     opts.max_iterations = req.max_iterations;
     opts.residual_tolerance = req.residual_tolerance;
+    if (req.n_conductors > 1) return compute_coupled(req, tech, opts);
     const core::OptimResult opt = core::optimize_rlc(tech, req.l, opts);
     if (!opt.converged) {
       return rlc::Status::no_convergence(
@@ -172,6 +174,103 @@ struct Session::Impl {
       } else {
         return rlc::Status::no_convergence(
             "exact-waveform engine did not bracket the threshold crossing");
+      }
+    }
+    return r;
+  }
+
+  /// Coupled-bus solve (n_conductors >= 2).  The (h, k) answer is sized on
+  /// the quiet-neighbour effective line (Miller-1: eff.c += d_max * cc),
+  /// exactly like the noise-constrained optimizer's unconstrained leg, and
+  /// every answer carries the exact victim noise at the optimum — the peak
+  /// is bit-identical to what optimize_rlc_noise_constrained reports for
+  /// the same sizing because both call exact_coupled_victim_noise with the
+  /// same bus, excitation and tau scale.
+  rlc::StatusOr<QueryResult> compute_coupled(const QueryRequest& req,
+                                             const core::Technology& tech,
+                                             const core::OptimOptions& opts) {
+    const std::size_t n = static_cast<std::size_t>(req.n_conductors);
+    const tline::LineParams line = tech.line(req.l);
+    const double d_max = n >= 3 ? 2.0 : 1.0;
+    tline::LineParams eff = line;
+    eff.c += d_max * req.coupling_cc;
+
+    QueryResult r;
+    if (req.noise_vmax > 0.0) {
+      core::NoiseConstraintOptions nc;
+      nc.cc = req.coupling_cc;
+      nc.km = req.coupling_km;
+      nc.conductors = n;
+      nc.vmax = req.noise_vmax;
+      nc.optim = opts;
+      const core::NoiseOptimResult nr =
+          core::optimize_rlc_noise_constrained(tech, req.l, nc);
+      if (!nr.converged) {
+        return rlc::Status::no_convergence(
+            "noise-constrained optimizer could not meet peak_noise <= " +
+            io::render_number(req.noise_vmax) + " V (technology " +
+            req.technology + ", best " + io::render_number(nr.peak_noise) +
+            " V)");
+      }
+      r.h = nr.sizing.h;
+      r.k = nr.sizing.k;
+      r.tau = nr.sizing.tau;
+      r.delay_per_length = nr.sizing.delay_per_length;
+      r.newton_iterations = nr.sizing.newton_iterations;
+      r.method = nr.sizing.method == core::OptimMethod::kNewton
+                     ? "newton"
+                     : "nelder_mead";
+      r.constraint_active = nr.constraint_active;
+    } else {
+      const core::OptimResult opt = core::optimize_rlc(tech.rep, eff, opts);
+      if (!opt.converged) {
+        return rlc::Status::no_convergence(
+            "optimizer did not converge within " +
+            std::to_string(req.max_iterations) +
+            " iterations (technology " + req.technology +
+            ", coupled, l=" + io::render_number(req.l) + " H/m)");
+      }
+      r.h = opt.h;
+      r.k = opt.k;
+      r.tau = opt.tau;
+      r.delay_per_length = opt.delay_per_length;
+      r.newton_iterations = opt.newton_iterations;
+      r.method = opt.method == core::OptimMethod::kNewton ? "newton"
+                                                          : "nelder_mead";
+    }
+    if (req.line_length > 0.0) {
+      r.total_delay = r.delay_per_length * req.line_length;
+    }
+
+    // Exact victim noise at the answer: center aggressor, edge victim —
+    // the same pattern the noise-constrained solve budgets against.
+    const tline::CoupledLine bus =
+        tline::symmetric_bus(line, req.coupling_cc, req.coupling_km, n);
+    const std::size_t aggressor = n / 2;
+    core::CoupledExcitation exc{std::vector<double>(n, 0.0),
+                                std::vector<double>(n, 0.0)};
+    exc.target[aggressor] = 1.0;
+    const tline::DriverLoad dl = tech.rep.scaled(r.k);
+    const core::CoupledNoiseResult noise =
+        core::exact_coupled_victim_noise(bus, r.h, dl, exc, 0, r.tau);
+    r.peak_noise = noise.peak;
+    r.noise_width = noise.width;
+    r.has_noise = true;
+
+    if (req.with_exact_delay) {
+      core::ExactOptions eo;
+      eo.talbot_points = req.talbot_points;
+      eo.window_points = req.talbot_points;
+      // Aggressor threshold crossing with quiet neighbours (the coupled
+      // engine takes f as an absolute level; the swing here is 1 V).
+      if (std::optional<double> exact = core::exact_coupled_threshold_delay(
+              bus, r.h, dl, exc, aggressor, r.tau, req.threshold, eo)) {
+        r.exact_delay = *exact;
+        r.has_exact = true;
+      } else {
+        return rlc::Status::no_convergence(
+            "coupled exact-waveform engine did not bracket the threshold "
+            "crossing");
       }
     }
     return r;

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "rlc/obs/metrics.hpp"
+#include "transfer_detail.hpp"
 
 namespace rlc::tline {
 
@@ -117,8 +118,9 @@ void BatchTransferEvaluator::eval(const double* s_re, const double* s_im,
         continue;
       }
       double chr, chi, shr, shi;  // cosh(th), sinh(th)/th
-      // Same guard as detail::cosh_sinhc: |th| < 1e-4  <=>  |th^2| < 1e-8.
-      if (std::sqrt(wr[i] * wr[i] + wi[i] * wi[i]) < 1e-8) {
+      // Same guard as detail::cosh_sinhc: |th| < t  <=>  |th^2| < t^2.
+      if (std::sqrt(wr[i] * wr[i] + wi[i] * wi[i]) <
+          detail::kSeriesGuardThresholdSq) {
         // Series in w = th^2, analytic through th = 0.
         const double w2r = wr[i] * wr[i] - wi[i] * wi[i];
         const double w2i = 2.0 * wr[i] * wi[i];

@@ -15,9 +15,18 @@ namespace rlc::tline::detail {
 
 using cplx = std::complex<double>;
 
+/// Series-guard threshold on |theta h|: below this the cosh/sinhc pair is
+/// evaluated by its Taylor series instead of exp (analytic at 0, avoids
+/// 0/0).  The batch kernel tests |(theta h)^2| instead (it carries theta^2
+/// in SoA form), so it compares against the SQUARE of this constant — both
+/// spellings live here so the scalar and SIMD guards cannot drift.
+inline constexpr double kSeriesGuardThreshold = 1e-4;
+inline constexpr double kSeriesGuardThresholdSq =
+    kSeriesGuardThreshold * kSeriesGuardThreshold;
+
 /// sinh(x)/x with a series fallback near zero (analytic at x = 0).
 inline cplx sinhc(cplx x) {
-  if (std::abs(x) < 1e-4) {
+  if (std::abs(x) < kSeriesGuardThreshold) {
     const cplx x2 = x * x;
     return 1.0 + x2 / 6.0 + x2 * x2 / 120.0;
   }
@@ -29,7 +38,7 @@ inline cplx sinhc(cplx x) {
 /// sinhc near zero.  One exp instead of cosh + sinh halves the dominant
 /// transcendental cost of a transfer evaluation.
 inline void cosh_sinhc(cplx x, cplx& ch, cplx& shc) {
-  if (std::abs(x) < 1e-4) {
+  if (std::abs(x) < kSeriesGuardThreshold) {
     const cplx x2 = x * x;
     ch = 1.0 + x2 / 2.0 + x2 * x2 / 24.0;
     shc = 1.0 + x2 / 6.0 + x2 * x2 / 120.0;

@@ -1,0 +1,154 @@
+// Closed-form crosstalk metrics: Miller capacitance range, the
+// two-exponential modal surrogate (peak / t_peak / width closed forms vs a
+// brute-force scan), sampled-record metrics, and the surrogate's agreement
+// with the exact coupled engine on a mildly coupled bus.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "rlc/analysis/crosstalk.hpp"
+#include "rlc/core/delay.hpp"
+#include "rlc/core/elmore.hpp"
+#include "rlc/core/exact_delay.hpp"
+#include "rlc/core/technology.hpp"
+#include "rlc/tline/coupled_line.hpp"
+
+namespace {
+
+using rlc::analysis::miller_effective_capacitance;
+using rlc::analysis::modal_victim_noise;
+using rlc::analysis::NoiseEstimate;
+using rlc::analysis::peak_noise_metrics;
+using rlc::analysis::SwitchingMode;
+using rlc::analysis::two_exponential_noise;
+
+TEST(MillerCapacitance, CoversThePaperRange) {
+  const double c = 2.0e-10, cc = 6.0e-11;
+  const double quiet =
+      miller_effective_capacitance(c, cc, SwitchingMode::kVictimQuiet);
+  const double inphase =
+      miller_effective_capacitance(c, cc, SwitchingMode::kInPhase);
+  const double anti =
+      miller_effective_capacitance(c, cc, SwitchingMode::kAntiPhase);
+  EXPECT_DOUBLE_EQ(inphase, c);
+  EXPECT_DOUBLE_EQ(quiet, c + cc);
+  EXPECT_DOUBLE_EQ(anti, c + 2.0 * cc);
+  // Bus interior conductor: two neighbours double the coupling term.
+  EXPECT_DOUBLE_EQ(
+      miller_effective_capacitance(c, cc, SwitchingMode::kAntiPhase, 2),
+      c + 4.0 * cc);
+  EXPECT_THROW(miller_effective_capacitance(-1.0, cc, SwitchingMode::kInPhase),
+               std::domain_error);
+  EXPECT_THROW(
+      miller_effective_capacitance(c, cc, SwitchingMode::kInPhase, -1),
+      std::domain_error);
+}
+
+TEST(TwoExponentialNoise, ClosedFormMatchesBruteForceScan) {
+  const double tau_f = 2.0e-12, tau_s = 5.0e-12, a = 0.5;
+  const NoiseEstimate est = two_exponential_noise(tau_f, tau_s, a);
+
+  double peak = 0.0, t_peak = 0.0;
+  const auto v = [&](double t) {
+    return a * (std::exp(-t / tau_s) - std::exp(-t / tau_f));
+  };
+  for (double t = 0.0; t < 50.0e-12; t += 1.0e-15) {
+    if (v(t) > peak) {
+      peak = v(t);
+      t_peak = t;
+    }
+  }
+  EXPECT_NEAR(est.peak, peak, 1e-6 * peak);
+  EXPECT_NEAR(est.t_peak, t_peak, 2e-15);
+  // Width: scan the half-magnitude interval.
+  double t_l = 0.0, t_r = 0.0;
+  for (double t = 0.0; t < 50.0e-12; t += 1.0e-15) {
+    if (v(t) >= 0.5 * peak) {
+      if (t_l == 0.0) t_l = t;
+      t_r = t;
+    }
+  }
+  EXPECT_NEAR(est.width, t_r - t_l, 5e-15);
+  // Order of the time constants is irrelevant; sign of the amplitude too.
+  const NoiseEstimate swapped = two_exponential_noise(tau_s, tau_f, -a);
+  EXPECT_DOUBLE_EQ(swapped.peak, est.peak);
+  EXPECT_DOUBLE_EQ(swapped.t_peak, est.t_peak);
+}
+
+TEST(TwoExponentialNoise, DegenerateAndInvalidInputs) {
+  const NoiseEstimate zero = two_exponential_noise(1e-12, 1e-12, 0.5);
+  EXPECT_EQ(zero.peak, 0.0);
+  EXPECT_EQ(zero.width, 0.0);
+  EXPECT_EQ(two_exponential_noise(1e-12, 2e-12, 0.0).peak, 0.0);
+  EXPECT_THROW(two_exponential_noise(0.0, 1e-12, 0.5), std::domain_error);
+  EXPECT_THROW(two_exponential_noise(1e-12, -1.0, 0.5), std::domain_error);
+}
+
+TEST(PeakNoiseMetrics, RecoversTheClosedFormFromSamples) {
+  const double tau_f = 1.5e-12, tau_s = 6.0e-12, a = 0.4;
+  const NoiseEstimate exact = two_exponential_noise(tau_f, tau_s, a);
+  std::vector<double> t, v;
+  const double base = 0.7;  // nonzero baseline exercises the deviation path
+  for (double x = 0.0; x < 60.0e-12; x += 2.0e-14) {
+    t.push_back(x);
+    v.push_back(base + a * (std::exp(-x / tau_s) - std::exp(-x / tau_f)));
+  }
+  const NoiseEstimate m = peak_noise_metrics(t, v, base);
+  EXPECT_NEAR(m.peak, exact.peak, 1e-3 * exact.peak);
+  EXPECT_NEAR(m.t_peak, exact.t_peak, 4e-14);
+  EXPECT_NEAR(m.width, exact.width, 1e-2 * exact.width);
+}
+
+TEST(PeakNoiseMetrics, NegativePulseAndValidation) {
+  std::vector<double> t{0.0, 1.0, 2.0, 3.0, 4.0};
+  std::vector<double> v{0.0, -0.2, -1.0, -0.2, 0.0};
+  const NoiseEstimate m = peak_noise_metrics(t, v, 0.0);
+  EXPECT_DOUBLE_EQ(m.peak, 1.0);
+  EXPECT_DOUBLE_EQ(m.t_peak, 2.0);
+  EXPECT_NEAR(m.width, 1.25, 1e-12);  // interpolated half crossings
+
+  EXPECT_EQ(peak_noise_metrics({}, {}, 0.0).peak, 0.0);
+  std::vector<double> bad_t{0.0, 0.0, 1.0};
+  std::vector<double> bad_v{0.0, 1.0, 0.0};
+  EXPECT_THROW(peak_noise_metrics(bad_t, bad_v, 0.0), std::invalid_argument);
+  EXPECT_THROW(peak_noise_metrics(t, bad_v, 0.0), std::invalid_argument);
+}
+
+TEST(ModalVictimNoise, TracksTheExactEngineOnAMildBus) {
+  // The surrogate feeds optimizer seeding, so it must sit in the right
+  // ballpark (tens of percent), not match exactly.
+  const auto tech = rlc::core::Technology::nm250();
+  const auto rc = rlc::core::rc_optimum(tech.rep, tech.r, tech.c);
+  const auto line = tech.line(5.0e-7);
+  const double cc = 0.25 * line.c;
+  const auto bus = rlc::tline::symmetric_bus(line, cc, 0.1, 2);
+  const auto modal = rlc::tline::modal_decomposition(bus);
+
+  const auto d_even =
+      rlc::core::segment_delay(tech.rep, modal.modes[0], rc.h, rc.k);
+  const auto d_odd =
+      rlc::core::segment_delay(tech.rep, modal.modes[1], rc.h, rc.k);
+  ASSERT_TRUE(d_even.converged);
+  ASSERT_TRUE(d_odd.converged);
+  const NoiseEstimate est = modal_victim_noise(d_even.tau, d_odd.tau);
+  ASSERT_GT(est.peak, 0.0);
+
+  rlc::tline::LineParams eff = line;
+  eff.c += 2.0 * cc;
+  const auto d = rlc::core::segment_delay(tech.rep, eff, rc.h, rc.k);
+  const rlc::core::CoupledExcitation exc{{0.0, 0.0}, {1.0, 0.0}};
+  const auto exact = rlc::core::exact_coupled_victim_noise(
+      bus, rc.h, tech.rep.scaled(rc.k), exc, 1, d.tau);
+  ASSERT_GT(exact.peak, 0.0);
+  // One-pole modal edges are softer than the true two-pole/RLC ones, so
+  // the surrogate reads low; it must stay within a small factor to be a
+  // useful seed.
+  EXPECT_GT(est.peak, 0.25 * exact.peak);
+  EXPECT_LT(est.peak, 2.0 * exact.peak);
+  EXPECT_GT(est.t_peak, 0.25 * exact.t_peak);
+  EXPECT_LT(est.t_peak, 4.0 * exact.t_peak);
+}
+
+}  // namespace

@@ -1,0 +1,114 @@
+// Noise-constrained (h, k) optimization: inactive constraint degenerates
+// to the unconstrained optimum, active constraint meets the budget at the
+// smallest delay cost, both technology nodes.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "rlc/core/optimizer.hpp"
+#include "rlc/core/technology.hpp"
+
+namespace {
+
+using rlc::core::NoiseConstraintOptions;
+using rlc::core::NoiseOptimResult;
+using rlc::core::optimize_rlc;
+using rlc::core::optimize_rlc_noise_constrained;
+using rlc::core::OptimResult;
+using rlc::core::Technology;
+
+NoiseConstraintOptions coupling(double vmax) {
+  NoiseConstraintOptions c;
+  c.cc = 0.0;  // set per test from the line's own c
+  c.km = 0.2;
+  c.conductors = 2;
+  c.vmax = vmax;
+  return c;
+}
+
+class NoiseOptimizer : public ::testing::TestWithParam<const char*> {
+ protected:
+  Technology tech() const {
+    return std::string(GetParam()) == "250nm" ? Technology::nm250()
+                                              : Technology::nm100();
+  }
+};
+
+TEST_P(NoiseOptimizer, InactiveConstraintMatchesUnconstrained) {
+  const Technology t = tech();
+  const double l = 1.0e-6;
+  NoiseConstraintOptions c = coupling(/*vmax=*/0.9);  // never binding
+  c.cc = 0.25 * t.line(l).c;
+
+  const NoiseOptimResult r = optimize_rlc_noise_constrained(t, l, c);
+  ASSERT_TRUE(r.converged);
+  EXPECT_FALSE(r.constraint_active);
+  EXPECT_LE(r.peak_noise, c.vmax);
+
+  // Bitwise the unconstrained solve on the quiet-neighbour effective line
+  // (delay trivially within the 1% acceptance bound).
+  rlc::tline::LineParams eff = t.line(l);
+  eff.c += c.cc;
+  const OptimResult un = optimize_rlc(t.rep, eff, c.optim);
+  ASSERT_TRUE(un.converged);
+  EXPECT_EQ(r.sizing.h, un.h);
+  EXPECT_EQ(r.sizing.k, un.k);
+  EXPECT_NEAR(r.sizing.delay_per_length, un.delay_per_length,
+              0.01 * un.delay_per_length);
+}
+
+TEST_P(NoiseOptimizer, ActiveConstraintMeetsTheBudget) {
+  const Technology t = tech();
+  const double l = 1.0e-6;
+  NoiseConstraintOptions probe = coupling(/*vmax=*/0.9);
+  probe.cc = 0.3 * t.line(l).c;
+  probe.km = 0.3;
+  const NoiseOptimResult free_run =
+      optimize_rlc_noise_constrained(t, l, probe);
+  ASSERT_TRUE(free_run.converged);
+  ASSERT_GT(free_run.peak_noise, 0.0);
+
+  // Budget at 60% of the unconstrained noise forces the boundary.
+  NoiseConstraintOptions c = probe;
+  c.vmax = 0.6 * free_run.peak_noise;
+  const NoiseOptimResult r = optimize_rlc_noise_constrained(t, l, c);
+  ASSERT_TRUE(r.converged);
+  EXPECT_TRUE(r.constraint_active);
+  EXPECT_LE(r.peak_noise, c.vmax * (1.0 + 1e-6));
+  // The boundary solution sits on the budget, not far inside it.
+  EXPECT_GT(r.peak_noise, 0.95 * c.vmax);
+  // Constrained delay cannot beat the unconstrained optimum; the budget is
+  // bought by upsizing the repeaters above the unconstrained size.
+  EXPECT_GE(r.sizing.delay_per_length,
+            free_run.sizing.delay_per_length * (1.0 - 1e-9));
+  EXPECT_GT(r.sizing.k, free_run.sizing.k);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothNodes, NoiseOptimizer,
+                         ::testing::Values("250nm", "100nm"));
+
+TEST(NoiseOptimizerValidation, RejectsBadRequests) {
+  const Technology t = Technology::nm250();
+  NoiseConstraintOptions c = coupling(0.1);
+  c.conductors = 1;
+  EXPECT_THROW(optimize_rlc_noise_constrained(t, 1e-6, c),
+               std::invalid_argument);
+  c = coupling(0.1);
+  c.conductors = 9;
+  EXPECT_THROW(optimize_rlc_noise_constrained(t, 1e-6, c),
+               std::invalid_argument);
+  c = coupling(0.1);
+  c.cc = -1.0;
+  EXPECT_THROW(optimize_rlc_noise_constrained(t, 1e-6, c),
+               std::invalid_argument);
+  c = coupling(0.1);
+  c.km = 1.0;
+  EXPECT_THROW(optimize_rlc_noise_constrained(t, 1e-6, c),
+               std::invalid_argument);
+  c = coupling(0.0);
+  EXPECT_THROW(optimize_rlc_noise_constrained(t, 1e-6, c),
+               std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,157 @@
+// Cross-check of the analytical coupled-line engine (modal decomposition +
+// Euler inversion for waveforms/noise, shared Talbot windows for threshold
+// crossings) against the mini-SPICE MNA coupled-ladder reference: far-end
+// waveforms, victim peak noise and switching delays must agree to the
+// discretization error of a fine ladder.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "rlc/core/delay.hpp"
+#include "rlc/core/elmore.hpp"
+#include "rlc/core/exact_delay.hpp"
+#include "rlc/core/technology.hpp"
+#include "rlc/ringosc/coupled_bus.hpp"
+#include "rlc/tline/coupled_line.hpp"
+
+namespace {
+
+using rlc::core::CoupledExcitation;
+using rlc::core::exact_coupled_step_response;
+using rlc::core::exact_coupled_threshold_delay;
+using rlc::core::exact_coupled_victim_noise;
+using rlc::core::Technology;
+using rlc::ringosc::CoupledStepResult;
+using rlc::ringosc::CouplingParams;
+using rlc::ringosc::run_coupled_step;
+
+struct XtalkSetup {
+  Technology tech;
+  rlc::tline::LineParams line;
+  double h, k, tau;
+  double cc, km;
+};
+
+XtalkSetup make_setup(const Technology& tech, double ccf, double km) {
+  XtalkSetup s{tech, tech.line(1.0e-6), 0.0, 0.0, 0.0, 0.0, km};
+  const auto rc = rlc::core::rc_optimum(tech.rep, tech.r, tech.c);
+  // The paper's operating point: RC-optimal segmentation and sizing.
+  s.h = rc.h;
+  s.k = rc.k;
+  s.cc = ccf * s.line.c;
+  // Search/time scale: two-pole delay with the quiet-neighbour capacitance.
+  rlc::tline::LineParams eff = s.line;
+  eff.c += 2.0 * s.cc;
+  const auto d = rlc::core::segment_delay(tech.rep, eff, s.h, s.k);
+  s.tau = d.converged ? d.tau : rc.tau;
+  return s;
+}
+
+double interp(const std::vector<double>& ts, const std::vector<double>& vs,
+              double t) {
+  const auto it = std::lower_bound(ts.begin(), ts.end(), t);
+  if (it == ts.begin()) return vs.front();
+  if (it == ts.end()) return vs.back();
+  const std::size_t i = static_cast<std::size_t>(it - ts.begin());
+  const double w = (t - ts[i - 1]) / (ts[i] - ts[i - 1]);
+  return vs[i - 1] + w * (vs[i] - vs[i - 1]);
+}
+
+TEST(CoupledVsSpice, TwoLineQuietVictimWaveforms) {
+  const XtalkSetup s = make_setup(Technology::nm100(), 0.3, 0.3);
+  const auto bus = rlc::tline::symmetric_bus(s.line, s.cc, s.km, 2);
+  const CoupledExcitation exc{{0.0, 0.0}, {1.0, 0.0}};
+
+  std::vector<double> times;
+  for (double m = 0.3; m <= 8.0; m *= 1.25) times.push_back(m * s.tau);
+  const auto analytic =
+      exact_coupled_step_response(bus, s.h, s.tech.rep.scaled(s.k), exc,
+                                  times);
+
+  const CoupledStepResult mna =
+      run_coupled_step(s.tech, {s.cc, s.km}, 1.0e-6, s.h, s.k, exc.initial,
+                       exc.target, 10.0 * s.tau, 6000, 64);
+  ASSERT_TRUE(mna.completed);
+
+  for (std::size_t w = 0; w < 2; ++w) {
+    for (std::size_t i = 0; i < times.size(); ++i) {
+      const double ref = interp(mna.time, mna.far_end[w], times[i]);
+      EXPECT_NEAR(analytic[w][i], ref, 5e-3)
+          << "conductor " << w << " t/tau = " << times[i] / s.tau;
+    }
+  }
+}
+
+TEST(CoupledVsSpice, ThreeLineCenterAggressor) {
+  const XtalkSetup s = make_setup(Technology::nm250(), 0.25, 0.2);
+  const auto bus = rlc::tline::symmetric_bus(s.line, s.cc, s.km, 3);
+  // Center conductor switches; both edge victims quiet.
+  const CoupledExcitation exc{{0.0, 0.0, 0.0}, {0.0, 1.0, 0.0}};
+
+  std::vector<double> times;
+  for (double m = 0.4; m <= 6.0; m *= 1.4) times.push_back(m * s.tau);
+  const auto analytic =
+      exact_coupled_step_response(bus, s.h, s.tech.rep.scaled(s.k), exc,
+                                  times);
+
+  const CoupledStepResult mna =
+      run_coupled_step(s.tech, {s.cc, s.km}, 1.0e-6, s.h, s.k, exc.initial,
+                       exc.target, 8.0 * s.tau, 6000, 64);
+  ASSERT_TRUE(mna.completed);
+
+  for (std::size_t w = 0; w < 3; ++w) {
+    for (std::size_t i = 0; i < times.size(); ++i) {
+      const double ref = interp(mna.time, mna.far_end[w], times[i]);
+      EXPECT_NEAR(analytic[w][i], ref, 5e-3)
+          << "conductor " << w << " t/tau = " << times[i] / s.tau;
+    }
+  }
+  // Symmetry: the two edge victims see the same coupling.
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    EXPECT_NEAR(analytic[0][i], analytic[2][i], 1e-9);
+  }
+}
+
+TEST(CoupledVsSpice, DelaysAndNoiseAgree) {
+  const XtalkSetup s = make_setup(Technology::nm100(), 0.3, 0.2);
+  const auto bus = rlc::tline::symmetric_bus(s.line, s.cc, s.km, 2);
+  const auto dl = s.tech.rep.scaled(s.k);
+
+  // Victim quiet: analytic noise peak vs MNA peak deviation.
+  const CoupledExcitation quiet{{0.0, 0.0}, {1.0, 0.0}};
+  const auto noise = exact_coupled_victim_noise(bus, s.h, dl, quiet, 1, s.tau);
+  const CoupledStepResult mna = run_coupled_step(
+      s.tech, {s.cc, s.km}, 1.0e-6, s.h, s.k, quiet.initial, quiet.target,
+      12.0 * s.tau, 4800, 48);
+  ASSERT_TRUE(mna.completed);
+  double mna_peak = 0.0;
+  for (double v : mna.far_end[1]) mna_peak = std::max(mna_peak, std::abs(v));
+  EXPECT_GT(noise.peak, 0.0);
+  EXPECT_NEAR(noise.peak, mna_peak, 5e-3);
+
+  // In-phase switching: both conductors cross 50% at the even-mode delay.
+  const CoupledExcitation inphase{{0.0, 0.0}, {1.0, 1.0}};
+  const auto d_in =
+      exact_coupled_threshold_delay(bus, s.h, dl, inphase, 0, s.tau, 0.5);
+  ASSERT_TRUE(d_in.has_value());
+  const CoupledStepResult mna_in = run_coupled_step(
+      s.tech, {s.cc, s.km}, 1.0e-6, s.h, s.k, inphase.initial, inphase.target,
+      12.0 * s.tau, 4800, 48);
+  ASSERT_TRUE(mna_in.completed);
+  double mna_delay = -1.0;
+  for (std::size_t i = 1; i < mna_in.time.size(); ++i) {
+    if (mna_in.far_end[0][i] >= 0.5 && mna_in.far_end[0][i - 1] < 0.5) {
+      const double w = (0.5 - mna_in.far_end[0][i - 1]) /
+                       (mna_in.far_end[0][i] - mna_in.far_end[0][i - 1]);
+      mna_delay = mna_in.time[i - 1] + w * (mna_in.time[i] - mna_in.time[i - 1]);
+      break;
+    }
+  }
+  ASSERT_GT(mna_delay, 0.0);
+  EXPECT_NEAR(*d_in, mna_delay, 5e-3 * mna_delay);
+}
+
+}  // namespace

@@ -1,0 +1,143 @@
+#include "rlc/linalg/eigen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace {
+
+using rlc::linalg::jacobi_eigensolve;
+using rlc::linalg::MatrixD;
+using rlc::linalg::simultaneous_diagonalize;
+
+MatrixD reconstruct(const rlc::linalg::EigenResult& r) {
+  const std::size_t n = r.values.size();
+  MatrixD a(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      for (std::size_t k = 0; k < n; ++k)
+        a(i, j) += r.vectors(i, k) * r.values[k] * r.vectors(j, k);
+  return a;
+}
+
+TEST(JacobiEigen, DiagonalMatrixIsItsOwnDecomposition) {
+  MatrixD a(3, 3, 0.0);
+  a(0, 0) = 3.0;
+  a(1, 1) = 1.0;
+  a(2, 2) = 2.0;
+  auto r = jacobi_eigensolve(a);
+  ASSERT_EQ(r.values.size(), 3u);
+  EXPECT_DOUBLE_EQ(r.values[0], 1.0);
+  EXPECT_DOUBLE_EQ(r.values[1], 2.0);
+  EXPECT_DOUBLE_EQ(r.values[2], 3.0);
+}
+
+TEST(JacobiEigen, TwoByTwoAnalytic) {
+  // [[2, 1], [1, 2]] has eigenvalues 1 and 3 with (1,-1)/sqrt2, (1,1)/sqrt2.
+  MatrixD a(2, 2);
+  a(0, 0) = 2.0;
+  a(0, 1) = 1.0;
+  a(1, 0) = 1.0;
+  a(1, 1) = 2.0;
+  auto r = jacobi_eigensolve(a);
+  EXPECT_NEAR(r.values[0], 1.0, 1e-14);
+  EXPECT_NEAR(r.values[1], 3.0, 1e-14);
+  EXPECT_NEAR(std::abs(r.vectors(0, 1)), std::sqrt(0.5), 1e-14);
+  EXPECT_NEAR(std::abs(r.vectors(1, 1)), std::sqrt(0.5), 1e-14);
+}
+
+TEST(JacobiEigen, ReconstructsAndIsOrthonormal) {
+  MatrixD a(4, 4, 0.0);
+  // Symmetric tridiagonal with a corner entry.
+  for (std::size_t i = 0; i < 4; ++i) a(i, i) = 2.0 + 0.1 * double(i);
+  for (std::size_t i = 0; i + 1 < 4; ++i) {
+    a(i, i + 1) = -0.7;
+    a(i + 1, i) = -0.7;
+  }
+  a(0, 3) = 0.05;
+  a(3, 0) = 0.05;
+  auto r = jacobi_eigensolve(a);
+  MatrixD back = reconstruct(r);
+  for (std::size_t i = 0; i < 4; ++i)
+    for (std::size_t j = 0; j < 4; ++j)
+      EXPECT_NEAR(back(i, j), a(i, j), 1e-12);
+  // W^T W = I.
+  for (std::size_t i = 0; i < 4; ++i)
+    for (std::size_t j = 0; j < 4; ++j) {
+      double dot = 0.0;
+      for (std::size_t k = 0; k < 4; ++k)
+        dot += r.vectors(k, i) * r.vectors(k, j);
+      EXPECT_NEAR(dot, i == j ? 1.0 : 0.0, 1e-13);
+    }
+  // Ascending order.
+  for (std::size_t i = 0; i + 1 < 4; ++i) EXPECT_LE(r.values[i], r.values[i + 1]);
+}
+
+TEST(JacobiEigen, RejectsNonSymmetric) {
+  MatrixD a(2, 2, 0.0);
+  a(0, 1) = 1.0;
+  a(1, 0) = 2.0;
+  EXPECT_THROW(jacobi_eigensolve(a), std::invalid_argument);
+  EXPECT_THROW(jacobi_eigensolve(MatrixD(2, 3)), std::invalid_argument);
+  EXPECT_THROW(jacobi_eigensolve(MatrixD{}), std::invalid_argument);
+}
+
+TEST(SimultaneousDiag, CommutingPairSharedBasis) {
+  // Both polynomials in the path adjacency => commuting.
+  const std::size_t n = 3;
+  MatrixD adj(n, n, 0.0);
+  adj(0, 1) = adj(1, 0) = adj(1, 2) = adj(2, 1) = 1.0;
+  MatrixD a(n, n, 0.0), b(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    a(i, i) = 2.0;
+    b(i, i) = 5.0;
+  }
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) {
+      a(i, j) += 0.3 * adj(i, j);
+      b(i, j) += -1.1 * adj(i, j);
+    }
+  auto r = simultaneous_diagonalize(a, b);
+  // Check W^T A W and W^T B W are the reported diagonals.
+  for (std::size_t j = 0; j < n; ++j) {
+    std::vector<double> col(n);
+    for (std::size_t i = 0; i < n; ++i) col[i] = r.vectors(i, j);
+    auto av = a.multiply(col);
+    auto bv = b.multiply(col);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(av[i], r.a_values[j] * col[i], 1e-12);
+      EXPECT_NEAR(bv[i], r.b_values[j] * col[i], 1e-12);
+    }
+  }
+}
+
+TEST(SimultaneousDiag, DegenerateAClusterStillDiagonalizesB) {
+  // A = I (fully degenerate): any basis diagonalizes A, so the cluster pass
+  // must pick the one that diagonalizes B.
+  MatrixD a(3, 3, 0.0), b(3, 3, 0.0);
+  for (std::size_t i = 0; i < 3; ++i) a(i, i) = 4.0;
+  b(0, 0) = 1.0;
+  b(1, 1) = 2.0;
+  b(2, 2) = 3.0;
+  b(0, 1) = b(1, 0) = 0.5;
+  b(1, 2) = b(2, 1) = -0.25;
+  auto r = simultaneous_diagonalize(a, b);
+  for (std::size_t j = 0; j < 3; ++j) EXPECT_NEAR(r.a_values[j], 4.0, 1e-13);
+  // b_values must be the eigenvalues of b.
+  auto eb = jacobi_eigensolve(b);
+  std::vector<double> got = r.b_values;
+  std::sort(got.begin(), got.end());
+  for (std::size_t j = 0; j < 3; ++j) EXPECT_NEAR(got[j], eb.values[j], 1e-12);
+}
+
+TEST(SimultaneousDiag, NonCommutingPairThrows) {
+  MatrixD a(2, 2, 0.0), b(2, 2, 0.0);
+  a(0, 0) = 1.0;
+  a(1, 1) = 2.0;  // distinct eigenvalues, basis is e1/e2
+  b(0, 0) = 1.0;
+  b(1, 1) = 1.0;
+  b(0, 1) = b(1, 0) = 0.7;  // not diagonal in that basis
+  EXPECT_THROW(simultaneous_diagonalize(a, b), std::runtime_error);
+}
+
+}  // namespace

@@ -16,9 +16,10 @@ namespace {
 using rlc::scenario::Scenario;
 using rlc::scenario::ScenarioRegistry;
 
-/// The 19 experiments the retired per-figure binaries served.  If a
-/// scenario is renamed or dropped, this list is the reviewable record of
-/// that decision — update it deliberately, not to make the test pass.
+/// The 19 experiments the retired per-figure binaries served plus the
+/// four coupled-line crosstalk scenarios of the multi-conductor stack.
+/// If a scenario is renamed or dropped, this list is the reviewable record
+/// of that decision — update it deliberately, not to make the test pass.
 const std::vector<std::string> kLegacyBenchNames = {
     "table1",        "fig2",
     "fig4",          "fig5",
@@ -29,7 +30,9 @@ const std::vector<std::string> kLegacyBenchNames = {
     "ablation_baselines", "ext_crosstalk",
     "ext_frequency_response", "ext_scaling_trend",
     "ext_skin_effect", "perf_solvers",
-    "perf_exact",
+    "perf_exact",      "xtalk_quiet",
+    "xtalk_inphase",   "xtalk_antiphase",
+    "xtalk_noise_opt",
 };
 
 TEST(ScenarioRegistry, EveryLegacyBenchIsRegistered) {

@@ -29,6 +29,41 @@ TEST(QueryRequest, ValidateChecksEveryField) {
   EXPECT_TRUE(invalid([](QueryRequest& q) { q.talbot_points = 2; }));
   EXPECT_TRUE(invalid([](QueryRequest& q) { q.line_length = -0.01; }));
   EXPECT_TRUE(invalid([](QueryRequest& q) { q.deadline_seconds = -1.0; }));
+  EXPECT_TRUE(invalid([](QueryRequest& q) { q.n_conductors = 0; }));
+  EXPECT_TRUE(invalid([](QueryRequest& q) { q.n_conductors = 4; }));
+  EXPECT_TRUE(invalid([](QueryRequest& q) {
+    q.n_conductors = 2;
+    q.coupling_cc = -1e-12;
+  }));
+  EXPECT_TRUE(invalid([](QueryRequest& q) {
+    q.n_conductors = 2;
+    q.coupling_km = 1.0;
+  }));
+  EXPECT_TRUE(invalid([](QueryRequest& q) {
+    q.n_conductors = 2;
+    q.noise_vmax = -0.1;
+  }));
+  // Coupling knobs without a bus: a scalar query must stay bit-identical
+  // to the pre-coupling wire, so nonzero coupling fields at n = 1 are a
+  // caller error, not a silent no-op.
+  EXPECT_TRUE(invalid([](QueryRequest& q) { q.coupling_cc = 1e-12; }));
+  EXPECT_TRUE(invalid([](QueryRequest& q) { q.coupling_km = 0.2; }));
+  EXPECT_TRUE(invalid([](QueryRequest& q) { q.noise_vmax = 0.1; }));
+}
+
+TEST(QueryRequest, CoupledRequestValidatesAndRoundTrips) {
+  QueryRequest q;
+  q.technology = "100nm";
+  q.l = 1.0e-6;
+  q.n_conductors = 3;
+  q.coupling_cc = 2.5e-11;
+  q.coupling_km = 0.3;
+  q.noise_vmax = 0.12;
+  ASSERT_TRUE(q.validate().is_ok()) << q.validate().to_string();
+  const io::JsonValue v = io::parse_json(q.to_json().str());
+  const rlc::StatusOr<QueryRequest> back = QueryRequest::from_json(v);
+  ASSERT_TRUE(back.is_ok()) << back.status().to_string();
+  EXPECT_EQ(*back, q);
 }
 
 TEST(QueryRequest, JsonRoundTrip) {
@@ -100,6 +135,10 @@ TEST(QueryRequest, CacheKeyIgnoresDeadlineOnly) {
   EXPECT_TRUE(differs([](QueryRequest& q) { q.with_exact_delay = true; }));
   EXPECT_TRUE(differs([](QueryRequest& q) { q.talbot_points = 64; }));
   EXPECT_TRUE(differs([](QueryRequest& q) { q.line_length = 0.02; }));
+  EXPECT_TRUE(differs([](QueryRequest& q) { q.n_conductors = 2; }));
+  EXPECT_TRUE(differs([](QueryRequest& q) { q.coupling_cc = 1e-11; }));
+  EXPECT_TRUE(differs([](QueryRequest& q) { q.coupling_km = 0.3; }));
+  EXPECT_TRUE(differs([](QueryRequest& q) { q.noise_vmax = 0.1; }));
 }
 
 TEST(LruCache, HitMissAndRecency) {

@@ -115,6 +115,59 @@ TEST_F(ServeTest, BatchedQueriesMatchSingleShot) {
   }
 }
 
+TEST_F(ServeTest, CoupledQueryRoundTripsOnTheWire) {
+  // A coupled-bus query (schema-transparent extension fields) answers with
+  // the noise payload; batched repeats are bit-identical to the single shot.
+  const std::string line =
+      "{\"op\":\"query\",\"technology\":\"100nm\",\"l\":1e-6,"
+      "\"n_conductors\":2,\"coupling_cc\":2.5e-11,\"coupling_km\":0.3}";
+  Session fresh(SessionOptions{1, 0});
+  Server reference(fresh);
+  const io::JsonValue single = response_of(reference, line);
+  ASSERT_EQ(single.string_or("status", ""), "ok")
+      << single.string_or("message", "");
+  const io::JsonValue* result = single.find("result");
+  ASSERT_NE(result, nullptr);
+  EXPECT_GT(result->number_or("peak_noise", 0.0), 0.0);
+  EXPECT_GT(result->number_or("noise_width", 0.0), 0.0);
+  for (const std::string& resp : server_.handle_lines({line, line})) {
+    const io::JsonValue v = io::parse_json(resp);
+    ASSERT_EQ(v.string_or("status", ""), "ok");
+    EXPECT_EQ(v.find("result")->number_or("h", 0.0),
+              result->number_or("h", 0.0));
+    EXPECT_EQ(v.find("result")->number_or("peak_noise", 0.0),
+              result->number_or("peak_noise", 0.0));
+  }
+  // Scalar answers never grow the noise fields — the pre-coupling wire
+  // shape is preserved byte-for-byte.
+  const io::JsonValue scalar = response_of(
+      server_, "{\"op\":\"query\",\"technology\":\"100nm\",\"l\":1e-6}");
+  ASSERT_EQ(scalar.string_or("status", ""), "ok");
+  EXPECT_EQ(scalar.find("result")->find("peak_noise"), nullptr);
+}
+
+TEST_F(ServeTest, CoupledFieldsAtScalarArityAreRejectedOnTheWire) {
+  const io::JsonValue v = response_of(
+      server_, "{\"op\":\"query\",\"l\":1e-6,\"coupling_cc\":1e-11}");
+  EXPECT_EQ(v.string_or("status", ""), "invalid_argument");
+  EXPECT_EQ(v.int_or("code", -1), 1);
+}
+
+TEST_F(ServeTest, XtalkScenarioRunsOnTheWire) {
+  const io::JsonValue v = response_of(
+      server_,
+      "{\"op\":\"scenario\",\"id\":11,\"spec\":{\"scenario\":\"xtalk_quiet\","
+      "\"quick\":true}}");
+  ASSERT_EQ(v.string_or("status", ""), "ok") << v.string_or("message", "");
+  const io::JsonValue* result = v.find("result");
+  ASSERT_NE(result, nullptr);
+  EXPECT_EQ(result->string_or("bench", ""), "xtalk_quiet");
+  const io::JsonValue* coupling = result->find("coupling");
+  ASSERT_NE(coupling, nullptr);
+  EXPECT_EQ(coupling->int_or("n_conductors", 0), 2);
+  EXPECT_GE(coupling->number_or("peak_noise", -1.0), 0.0);
+}
+
 TEST_F(ServeTest, DeadlineZeroQueryIsDeadlineExceededOnTheWire) {
   const io::JsonValue v = response_of(
       server_, "{\"op\":\"query\",\"l\":1e-6,\"deadline_seconds\":0}");

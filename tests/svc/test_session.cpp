@@ -10,9 +10,23 @@
 
 #include "rlc/obs/metrics.hpp"
 #include "rlc/scenario/registry.hpp"
+#include "rlc/scenario/spec.hpp"
 
 namespace rlc::svc {
 namespace {
+
+/// A representative coupled request: 30% capacitive + 0.3 inductive
+/// coupling at the paper's 1 nH/mm operating point.
+QueryRequest coupled_request(const char* tech, int conductors) {
+  QueryRequest q;
+  q.technology = tech;
+  q.l = 1.0e-6;
+  q.n_conductors = conductors;
+  q.coupling_cc =
+      0.3 * scenario::technology_by_name(tech).line(q.l).c;
+  q.coupling_km = 0.3;
+  return q;
+}
 
 /// The workload of the determinism tests: both technologies over the
 /// paper's inductance range, a couple of exact-engine and total-delay
@@ -35,6 +49,13 @@ std::vector<QueryRequest> grid_requests() {
   total.l = 1.0e-6;
   total.line_length = 0.01;
   reqs.push_back(total);
+  // Coupled-bus variants: plain 2- and 3-wire queries plus one
+  // noise-constrained solve, so batch determinism covers the coupled path.
+  reqs.push_back(coupled_request("100nm", 2));
+  reqs.push_back(coupled_request("250nm", 3));
+  QueryRequest constrained = coupled_request("100nm", 2);
+  constrained.noise_vmax = 0.12;
+  reqs.push_back(constrained);
   return reqs;
 }
 
@@ -237,6 +258,65 @@ TEST(Session, MidBatchCancellationStopsCleanly) {
   // 64 exact-engine solves on 4 threads take far longer than 5 ms, so at
   // least the tail of the batch must have been cancelled.
   EXPECT_GT(cancelled, 0);
+}
+
+TEST(Session, CoupledQueryCarriesExactVictimNoise) {
+  Session session(SessionOptions{1, 0});
+  const QueryRequest q = coupled_request("100nm", 2);
+  const auto r = session.submit(q);
+  ASSERT_TRUE(r.is_ok()) << r.status().to_string();
+  EXPECT_TRUE(r->has_noise);
+  EXPECT_GT(r->peak_noise, 0.0);
+  EXPECT_LT(r->peak_noise, 1.0);
+  EXPECT_GT(r->noise_width, 0.0);
+  EXPECT_FALSE(r->constraint_active);
+
+  // The quiet-neighbour effective line is heavier than the bare line, so
+  // the coupled sizing must differ from the scalar answer.
+  QueryRequest scalar;
+  scalar.technology = q.technology;
+  scalar.l = q.l;
+  const auto s = session.submit(scalar);
+  ASSERT_TRUE(s.is_ok());
+  EXPECT_FALSE(s->has_noise);
+  EXPECT_NE(r->h, s->h);
+  EXPECT_NE(r->delay_per_length, s->delay_per_length);
+
+  // A wider bus doubles the quiet-neighbour Miller load: different answer,
+  // different cache entry.
+  const auto wide = session.submit(coupled_request("100nm", 3));
+  ASSERT_TRUE(wide.is_ok());
+  EXPECT_NE(wide->h, r->h);
+}
+
+TEST(Session, NoiseConstrainedQueryMeetsTheBudget) {
+  Session session(SessionOptions{1, 0});
+  const QueryRequest free_q = coupled_request("100nm", 2);
+  const auto free_r = session.submit(free_q);
+  ASSERT_TRUE(free_r.is_ok()) << free_r.status().to_string();
+  ASSERT_GT(free_r->peak_noise, 0.0);
+
+  // Budget below the unconstrained peak: the active-set solve must bind,
+  // meet the budget, and upsize the repeaters to get there.
+  QueryRequest tight = free_q;
+  tight.noise_vmax = 0.6 * free_r->peak_noise;
+  const auto tight_r = session.submit(tight);
+  ASSERT_TRUE(tight_r.is_ok()) << tight_r.status().to_string();
+  EXPECT_TRUE(tight_r->constraint_active);
+  EXPECT_TRUE(tight_r->has_noise);
+  EXPECT_LE(tight_r->peak_noise, tight.noise_vmax * (1.0 + 1e-6));
+  EXPECT_GT(tight_r->k, free_r->k);
+  EXPECT_GE(tight_r->delay_per_length, free_r->delay_per_length);
+
+  // A budget above the free-running peak is inactive: bit-identical sizing.
+  QueryRequest loose = free_q;
+  loose.noise_vmax = 2.0 * free_r->peak_noise;
+  const auto loose_r = session.submit(loose);
+  ASSERT_TRUE(loose_r.is_ok()) << loose_r.status().to_string();
+  EXPECT_FALSE(loose_r->constraint_active);
+  EXPECT_EQ(loose_r->h, free_r->h);
+  EXPECT_EQ(loose_r->k, free_r->k);
+  EXPECT_EQ(loose_r->peak_noise, free_r->peak_noise);
 }
 
 TEST(Session, InvalidRequestAndUnknownTechnologyAreTypedErrors) {
