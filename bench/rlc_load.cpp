@@ -25,6 +25,12 @@
 /// regime, not the cold-compute regime the --bench mode of rlc_serve
 /// measures.
 ///
+/// Mid-run, a dedicated scraper connection issues the admin ops
+/// ({"op":"stats"} and {"op":"metrics","format":"prometheus"}) against the
+/// loaded server — exercising the observability plane while the serving
+/// plane is saturated, exactly how a Prometheus scrape hits production.
+/// The scrape lands in the artifact's "telemetry" block (schema 2).
+///
 /// Exit codes: 0 run completed (errors are recorded, not fatal),
 /// 2 bad usage or connect/setup failure.
 
@@ -43,6 +49,7 @@
 #include "rlc/io/json.hpp"
 #include "rlc/io/json_reader.hpp"
 #include "rlc/obs/metrics.hpp"
+#include "rlc/obs/trace.hpp"
 #include "rlc/svc/query.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -213,6 +220,91 @@ void receiver_main(int fd, const std::vector<Arrival>& slice,
   if (k < slice.size()) stats->transport_failed = true;
 }
 
+/// What the mid-run admin scrape observed.  attempted && !ok means the
+/// scrape ran against a server that refused or garbled the admin ops —
+/// recorded in the artifact, not fatal (same policy as request errors).
+struct ScrapeResult {
+  bool attempted = false;
+  bool ok = false;
+  long long prometheus_series = 0;  // non-comment, non-empty exposition lines
+  long long prometheus_bytes = 0;
+  long long server_requests = -1;
+  long long connections_open = -1;
+  long long trace_ring_capacity = -1;
+  long long trace_dropped = -1;
+};
+
+/// Sleep until mid-run, then scrape the admin plane over its own
+/// connection: one stats op, one Prometheus metrics op, half-close, read
+/// both response lines to EOF.
+void scraper_main(const std::string& path, double delay_seconds,
+                  Clock::time_point start, ScrapeResult* out) {
+  out->attempted = true;
+  std::this_thread::sleep_until(
+      start + std::chrono::duration_cast<Clock::duration>(
+                  std::chrono::duration<double>(delay_seconds)));
+  const int fd = connect_unix(path);
+  if (fd < 0) return;
+  if (!write_all(fd,
+                 "{\"op\":\"stats\"}\n"
+                 "{\"op\":\"metrics\",\"format\":\"prometheus\"}\n")) {
+    ::close(fd);
+    return;
+  }
+  ::shutdown(fd, SHUT_WR);  // server flushes both responses, then EOF
+  std::string all;
+  char buf[64 * 1024];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    all.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  std::vector<std::string> lines;
+  std::size_t pos = 0;
+  for (std::size_t nl = all.find('\n'); nl != std::string::npos;
+       nl = all.find('\n', pos)) {
+    lines.push_back(all.substr(pos, nl - pos));
+    pos = nl + 1;
+  }
+  if (lines.size() < 2) return;
+  try {
+    const rlc::io::JsonValue stats = rlc::io::parse_json(lines[0]);
+    const rlc::io::JsonValue metrics = rlc::io::parse_json(lines[1]);
+    if (stats.string_or("status", "") != "ok" ||
+        metrics.string_or("status", "") != "ok") {
+      return;
+    }
+    if (const rlc::io::JsonValue* r = stats.find("result")) {
+      if (const rlc::io::JsonValue* server = r->find("server")) {
+        out->server_requests = server->int_or("requests", -1);
+        out->connections_open = server->int_or("connections_open", -1);
+      }
+      if (const rlc::io::JsonValue* trace = r->find("trace")) {
+        out->trace_ring_capacity = trace->int_or("ring_capacity", -1);
+        out->trace_dropped = trace->int_or("dropped", -1);
+      }
+    }
+    const rlc::io::JsonValue* r = metrics.find("result");
+    if (!r) return;
+    const std::string body = r->string_or("body", "");
+    out->prometheus_bytes = static_cast<long long>(body.size());
+    std::size_t at = 0;
+    while (at <= body.size()) {
+      const std::size_t nl = body.find('\n', at);
+      const std::string line =
+          body.substr(at, nl == std::string::npos ? nl : nl - at);
+      if (!line.empty() && line[0] != '#') ++out->prometheus_series;
+      if (nl == std::string::npos) break;
+      at = nl + 1;
+    }
+    out->ok = true;
+  } catch (const std::exception&) {
+    // leave ok == false
+  }
+}
+
 int run_load(const Args& args) {
   const double qps = args.qps > 0 ? args.qps : (args.quick ? 1000.0 : 10000.0);
   const std::uint64_t total = static_cast<std::uint64_t>(
@@ -280,8 +372,9 @@ int run_load(const Args& args) {
                static_cast<unsigned long long>(args.seed));
 
   std::vector<ConnStats> stats(conns);
+  ScrapeResult scrape;
   std::vector<std::thread> threads;
-  threads.reserve(conns * 2);
+  threads.reserve(conns * 2 + 1);
   const Clock::time_point start = Clock::now();
   for (std::size_t c = 0; c < conns; ++c) {
     threads.emplace_back(receiver_main, fds[c], std::cref(slices[c]),
@@ -291,6 +384,10 @@ int run_load(const Args& args) {
                          std::cref(key_lines), static_cast<std::uint64_t>(c),
                          conns, start, &stats[c]);
   }
+  // Scrape halfway through the offered schedule, while the serving plane
+  // is under load (that is the point: admin ops must answer mid-burst).
+  threads.emplace_back(scraper_main, args.socket_path, offered_span * 0.5,
+                       start, &scrape);
   for (std::thread& th : threads) th.join();
   const double wall =
       std::chrono::duration<double>(Clock::now() - start).count();
@@ -324,9 +421,19 @@ int run_load(const Args& args) {
               static_cast<unsigned long long>(sum.errors),
               static_cast<unsigned long long>(sum.id_mismatches),
               transport_failed ? "   TRANSPORT FAILED" : "");
+  if (scrape.ok) {
+    std::printf("  telemetry scrape: %lld series, %lld bytes "
+                "(server saw %lld requests mid-run)\n",
+                scrape.prometheus_series, scrape.prometheus_bytes,
+                scrape.server_requests);
+  } else {
+    std::printf("  telemetry scrape FAILED\n");
+  }
 
   rlc::io::Json j;
-  j.set("schema", 1);
+  // schema history: 1 initial load artifact; 2 adds the "telemetry" block
+  // (mid-run admin scrape).
+  j.set("schema", 2);
   j.set("bench", "load");
   j.set("version", rlc::version());
   j.set("simd", rlc::simd::active_level_name());
@@ -349,6 +456,16 @@ int run_load(const Args& args) {
   m.set("max_latency_us", lat.max);
   m.set("mean_latency_us", lat.mean());
   j.set("metrics", m);
+  rlc::io::Json tel;
+  tel.set("scrape_attempted", scrape.attempted);
+  tel.set("scrape_ok", scrape.ok);
+  tel.set("prometheus_series", scrape.prometheus_series);
+  tel.set("prometheus_bytes", scrape.prometheus_bytes);
+  tel.set("server_requests", scrape.server_requests);
+  tel.set("connections_open", scrape.connections_open);
+  tel.set("trace_ring_capacity", scrape.trace_ring_capacity);
+  tel.set("trace_dropped", scrape.trace_dropped);
+  j.set("telemetry", tel);
   const std::string path =
       args.json_path.empty() ? "BENCH_load.json" : args.json_path;
   if (!rlc::io::write_json_file(path, j)) return 2;
@@ -427,6 +544,15 @@ int main(int argc, char** argv) {
   if (args.socket_path.empty()) {
     std::fprintf(stderr, "rlc_load: --socket is required\n");
     return usage(argv[0], 2);
+  }
+  // Same strictness as rlc_run/rlc_serve: a malformed RLC_TRACE_RING is a
+  // caller error, not a silent fallback — the latency histograms share the
+  // obs registry whose tracer would consume the override.
+  if (const auto ring = rlc::obs::Tracer::parse_ring_capacity_strict(
+          std::getenv("RLC_TRACE_RING"));
+      !ring.is_ok()) {
+    std::fprintf(stderr, "rlc_load: %s\n", ring.status().to_string().c_str());
+    return 2;
   }
 #if RLC_LOAD_HAVE_UNIX_SOCKETS
   return run_load(args);

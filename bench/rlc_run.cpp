@@ -25,6 +25,7 @@
 #include "rlc/exec/thread_pool.hpp"
 #include "rlc/io/json.hpp"
 #include "rlc/io/json_reader.hpp"
+#include "rlc/obs/exporter.hpp"
 #include "rlc/obs/metrics.hpp"
 #include "rlc/obs/progress.hpp"
 #include "rlc/obs/trace.hpp"
@@ -114,6 +115,14 @@ int main(int argc, char** argv) {
       !parsed.is_ok()) {
     std::fprintf(stderr, "rlc_run: %s\n",
                  parsed.status().to_string().c_str());
+    return 2;
+  }
+  // Same strictness for the tracer ring override (--trace sizes the
+  // per-thread rings from it before any spans are recorded).
+  if (const auto ring = rlc::obs::Tracer::parse_ring_capacity_strict(
+          std::getenv("RLC_TRACE_RING"));
+      !ring.is_ok()) {
+    std::fprintf(stderr, "rlc_run: %s\n", ring.status().to_string().c_str());
     return 2;
   }
 
@@ -233,8 +242,8 @@ int main(int argc, char** argv) {
   }
 
   if (metrics) {
-    const std::string table =
-        rlc::obs::Registry::global().snapshot().without_zeros().table();
+    const std::string table = rlc::obs::Exporter::text(
+        rlc::obs::Registry::global().snapshot().without_zeros());
     std::fprintf(stderr, "\n-- metrics registry --\n%s", table.c_str());
   }
 

@@ -35,7 +35,9 @@
 #include "rlc/base/version.hpp"
 #include "rlc/exec/thread_pool.hpp"
 #include "rlc/io/json.hpp"
+#include "rlc/obs/exporter.hpp"
 #include "rlc/obs/metrics.hpp"
+#include "rlc/obs/trace.hpp"
 #include "rlc/svc/serve.hpp"
 #include "rlc/svc/server.hpp"
 #include "rlc/svc/session.hpp"
@@ -95,28 +97,15 @@ bool parse_size(const char* text, std::size_t* out) {
   return true;
 }
 
-/// Echo the svc.* slice of the metrics registry to stderr.
+/// Echo the svc.* slice of the metrics registry to stderr (the shared
+/// obs::Exporter text renderer — same formatting as rlc_run --metrics and
+/// the admin {"op":"metrics","format":"text"} body).
 void dump_metrics() {
   const rlc::obs::MetricsSnapshot snap =
-      rlc::obs::Registry::global().snapshot();
-  for (const auto& [name, value] : snap.counters) {
-    if (name.rfind("svc.", 0) == 0) {
-      std::fprintf(stderr, "%-24s %lld\n", name.c_str(),
-                   static_cast<long long>(value));
-    }
-  }
-  for (const auto& [name, value] : snap.gauges) {
-    if (name.rfind("svc.", 0) == 0) {
-      std::fprintf(stderr, "%-24s %lld\n", name.c_str(),
-                   static_cast<long long>(value));
-    }
-  }
-  for (const auto& h : snap.histograms) {
-    if (h.name.rfind("svc.", 0) != 0 || h.count == 0) continue;
-    std::fprintf(stderr, "%-24s count %llu  p50 %.0f  p99 %.0f  max %.0f\n",
-                 h.name.c_str(), static_cast<unsigned long long>(h.count),
-                 h.quantile(0.5), h.quantile(0.99), h.max);
-  }
+      rlc::obs::Exporter::filter(rlc::obs::Registry::global().snapshot(),
+                                 "svc.")
+          .without_zeros();
+  std::fputs(rlc::obs::Exporter::text(snap).c_str(), stderr);
 }
 
 // ---------------------------------------------------------------------------
@@ -394,6 +383,15 @@ int main(int argc, char** argv) {
           rlc::exec::parse_thread_count_strict(std::getenv("RLC_NUM_THREADS"));
       !env.is_ok()) {
     std::fprintf(stderr, "rlc_serve: %s\n", env.status().to_string().c_str());
+    return 2;
+  }
+  // Same contract for RLC_TRACE_RING: the admin trace op sizes its rings
+  // from it, so a garbage value must not silently serve with the default.
+  if (const rlc::StatusOr<std::size_t> ring =
+          rlc::obs::Tracer::parse_ring_capacity_strict(
+              std::getenv("RLC_TRACE_RING"));
+      !ring.is_ok()) {
+    std::fprintf(stderr, "rlc_serve: %s\n", ring.status().to_string().c_str());
     return 2;
   }
 

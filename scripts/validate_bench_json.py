@@ -5,16 +5,18 @@ Two modes:
 
   validate_bench_json.py ARTIFACT_DIR
       The BENCH_<name>.json artifacts rlc_run --json emits.  Checks
-      1. the schema-6 envelope for EVERY artifact (field types, version
+      1. the schema-7 envelope for EVERY artifact (field types, version
          stamp, simd level, rectangular tables, finite numbers, embedded
-         spec, observability block, optional coupling block),
+         spec, observability block, telemetry block, optional coupling
+         block),
       2. per-scenario physics invariants for the experiments whose shape
          the paper pins down (fig4, fig7, table1, perf_exact, ...),
       3. the BENCH_serve.json throughput artifact when present (its own
          schema: cold-vs-warm q/s with a measurable warm-cache speedup;
          full runs on multi-core hosts must also show cold-path scaling),
       4. the BENCH_load.json open-loop replay artifact when present (every
-         request answered, zero errors/mismatches, ordered quantiles).
+         request answered, zero errors/mismatches, ordered quantiles, and
+         — schema 2 — the mid-run admin-scrape telemetry block).
 
   validate_bench_json.py --serve-responses FILE
       An NDJSON response transcript captured from rlc_serve: every line a
@@ -30,8 +32,9 @@ import re
 import sys
 from pathlib import Path
 
-SCHEMA_VERSION = 6
+SCHEMA_VERSION = 7
 SERVE_SCHEMA_VERSION = 1
+LOAD_SCHEMA_VERSION = 2
 VERSION_RE = re.compile(r"^\d+\.\d+\.\d+$")
 
 # rlc::simd::active_level_name() values (src/base/.../simd.hpp).
@@ -98,6 +101,7 @@ def check_envelope(name, d):
         return  # shape already broken; skip the deep checks
 
     check_observability(name, d["observability"])
+    check_telemetry(name, d.get("telemetry"))
     if "coupling" in d:
         check_coupling(name, d["coupling"])
 
@@ -163,6 +167,27 @@ def check_observability(name, o):
             err(name, f"span {span!r} with non-positive count")
     if o["tracing"] and not o["spans"]:
         err(name, "tracing was on but the span rollup is empty")
+
+
+def check_telemetry(name, t):
+    """Schema-7 telemetry block: exporter-derived scrape stats over the
+    run's metrics delta plus the tracer ring configuration."""
+    if not isinstance(t, dict):
+        err(name, "telemetry block missing or not an object")
+        return
+    for key in ("prometheus_series", "prometheus_bytes",
+                "trace_ring_capacity", "dropped_spans"):
+        v = t.get(key)
+        if not isinstance(v, int) or isinstance(v, bool) or v < 0:
+            err(name, f"telemetry.{key} = {v!r} not a non-negative integer")
+            return
+    if t["trace_ring_capacity"] < 1:
+        err(name, f"telemetry.trace_ring_capacity = "
+                  f"{t['trace_ring_capacity']} must be >= 1")
+    # A non-empty metrics delta must cost bytes to scrape; series implies
+    # bytes (every sample line ends in a newline).
+    if t["prometheus_series"] > 0 and t["prometheus_bytes"] <= 0:
+        err(name, "telemetry claims series but zero exposition bytes")
 
 
 def check_coupling(name, c):
@@ -374,9 +399,10 @@ def check_serve_artifact(name, d):
 def check_load_artifact(name, d):
     """BENCH_load.json: the rlc_load open-loop replay record.  Structural
     checks plus the serving-correctness invariants that hold at any scale:
-    every request answered, nothing mis-correlated, transport intact."""
-    if d.get("schema") != SERVE_SCHEMA_VERSION:
-        err(name, f"schema {d.get('schema')!r} != {SERVE_SCHEMA_VERSION}")
+    every request answered, nothing mis-correlated, transport intact, and
+    (schema 2) a successful mid-run admin scrape of the loaded server."""
+    if d.get("schema") != LOAD_SCHEMA_VERSION:
+        err(name, f"schema {d.get('schema')!r} != {LOAD_SCHEMA_VERSION}")
     if d.get("bench") != "load":
         err(name, f"bench {d.get('bench')!r} != 'load'")
     check_version_stamp(name, d)
@@ -411,6 +437,21 @@ def check_load_artifact(name, d):
                                   <= m["p99_latency_us"]
                                   <= m["max_latency_us"]):
         err(name, "latency quantiles out of order")
+    t = d.get("telemetry")
+    if not isinstance(t, dict):
+        err(name, "telemetry block missing (schema 2 requires the "
+                  "mid-run admin scrape record)")
+        return
+    if not t.get("scrape_ok"):
+        err(name, "mid-run admin scrape failed: the observability plane "
+                  "did not answer while the serving plane was loaded")
+        return
+    if t.get("prometheus_series", 0) < 1 or t.get("prometheus_bytes", 0) < 1:
+        err(name, "scrape succeeded but the Prometheus exposition was "
+                  "empty — the server recorded no svc metrics under load?")
+    if t.get("trace_ring_capacity", 0) < 1:
+        err(name, f"telemetry.trace_ring_capacity = "
+                  f"{t.get('trace_ring_capacity')!r} must be >= 1")
 
 
 def check_serve_responses(path):

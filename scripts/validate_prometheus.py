@@ -1,0 +1,246 @@
+#!/usr/bin/env python3
+"""Validate Prometheus text exposition (format 0.0.4) from rlc's exporter.
+
+Two modes:
+
+  validate_prometheus.py FILE
+      Validate an exposition file (e.g. a saved scrape).
+
+  validate_prometheus.py --scrape SOCKET [--out FILE]
+      Connect to a running rlc_serve Unix socket, issue the admin op
+      {"op":"metrics","format":"prometheus"}, unwrap the NDJSON response
+      envelope, validate the exposition body, and optionally save it to
+      FILE (so CI can archive exactly what a Prometheus server would have
+      scraped).
+
+Checks:
+  * every line is a comment, blank, or `name{labels} value`;
+  * metric names match [a-zA-Z_:][a-zA-Z0-9_:]* (the exporter must have
+    sanitized the registry's dotted names);
+  * every sample belongs to exactly one `# TYPE` declaration (counter,
+    gauge, or histogram) and histogram samples use only the _bucket /
+    _sum / _count suffixes;
+  * no duplicate series (same name + label set twice);
+  * every value parses as a float; counters and bucket counts are >= 0;
+  * histogram buckets are cumulative (non-decreasing in le order), end at
+    le="+Inf", and the +Inf bucket equals the _count sample.
+
+Exits non-zero listing every violation; prints a one-line summary on
+success.  Stdlib only.
+"""
+
+import json
+import re
+import socket
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})?\s+(\S+)$")
+LABELS_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+TYPES = {"counter", "gauge", "histogram"}
+
+errors = []
+
+
+def err(line_no, message):
+    errors.append(f"line {line_no}: {message}")
+
+
+def parse_value(text):
+    if text == "+Inf":
+        return float("inf")
+    if text == "-Inf":
+        return float("-inf")
+    return float(text)  # raises ValueError on garbage
+
+
+def base_name(name, types):
+    """The TYPE-declared metric a sample line belongs to.  Histogram
+    samples carry _bucket/_sum/_count suffixes; everything else matches
+    its declaration exactly."""
+    if name in types:
+        return name
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            stem = name[: -len(suffix)]
+            if types.get(stem) == "histogram":
+                return stem
+    return None
+
+
+def validate(text):
+    """Validate one exposition document; returns (series, histograms)."""
+    types = {}       # metric name -> declared type
+    seen = set()     # (name, sorted label tuple) -> duplicate detection
+    series = 0
+    # histogram name -> list of (le, count, line_no); plus sum/count samples
+    buckets = {}
+    counts = {}
+
+    for line_no, raw in enumerate(text.splitlines(), 1):
+        line = raw.rstrip("\r")
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) >= 2 and parts[1] == "TYPE":
+                if len(parts) != 4:
+                    err(line_no, f"malformed TYPE comment: {line!r}")
+                    continue
+                name, kind = parts[2], parts[3]
+                if not NAME_RE.match(name):
+                    err(line_no, f"TYPE declares invalid name {name!r}")
+                if kind not in TYPES:
+                    err(line_no, f"TYPE {name} declares unknown kind "
+                                 f"{kind!r} (counter | gauge | histogram)")
+                if name in types:
+                    err(line_no, f"duplicate TYPE declaration for {name}")
+                types[name] = kind
+            continue
+        m = SAMPLE_RE.match(line)
+        if not m:
+            err(line_no, f"unparseable sample line: {line!r}")
+            continue
+        name, labels_raw, value_raw = m.group(1), m.group(2), m.group(3)
+        if not NAME_RE.match(name):
+            err(line_no, f"invalid metric name {name!r}")
+            continue
+        labels = {}
+        if labels_raw:
+            body = labels_raw[1:-1]
+            consumed = 0
+            for lm in LABELS_RE.finditer(body):
+                labels[lm.group(1)] = lm.group(2)
+                consumed = lm.end()
+            rest = body[consumed:].strip().strip(",")
+            if rest:
+                err(line_no, f"unparseable label text {rest!r} in {line!r}")
+        try:
+            value = parse_value(value_raw)
+        except ValueError:
+            err(line_no, f"value {value_raw!r} of {name} is not a number")
+            continue
+        key = (name, tuple(sorted(labels.items())))
+        if key in seen:
+            err(line_no, f"duplicate series {name}{sorted(labels.items())}")
+        seen.add(key)
+        series += 1
+
+        stem = base_name(name, types)
+        if stem is None:
+            err(line_no, f"sample {name} has no matching TYPE declaration")
+            continue
+        kind = types[stem]
+        if kind == "counter" and value < 0:
+            err(line_no, f"counter {name} is negative ({value})")
+        if kind == "histogram":
+            if name == stem + "_bucket":
+                le = labels.get("le")
+                if le is None:
+                    err(line_no, f"{name} bucket without an le label")
+                    continue
+                try:
+                    le_v = parse_value(le)
+                except ValueError:
+                    err(line_no, f"{name} le={le!r} is not a number")
+                    continue
+                if value < 0:
+                    err(line_no, f"bucket count of {stem} is negative")
+                buckets.setdefault(stem, []).append((le_v, value, line_no))
+            elif name == stem + "_count":
+                if value < 0:
+                    err(line_no, f"{name} is negative")
+                counts[stem] = (value, line_no)
+            # _sum needs no extra checks beyond being a number
+
+    for stem, bs in buckets.items():
+        line_no = bs[-1][2]
+        les = [b[0] for b in bs]
+        if les != sorted(les):
+            err(line_no, f"histogram {stem} buckets not in ascending "
+                         "le order")
+        vals = [b[1] for b in bs]
+        if any(b < a for a, b in zip(vals, vals[1:])):
+            err(line_no, f"histogram {stem} bucket counts not cumulative")
+        if not les or les[-1] != float("inf"):
+            err(line_no, f"histogram {stem} does not end at le=\"+Inf\"")
+        elif stem in counts and vals[-1] != counts[stem][0]:
+            err(counts[stem][1],
+                f"histogram {stem}_count {counts[stem][0]} != +Inf bucket "
+                f"{vals[-1]}")
+        if stem not in counts:
+            err(line_no, f"histogram {stem} has buckets but no _count")
+
+    return series, len(buckets)
+
+
+def scrape(path):
+    """Issue the Prometheus metrics admin op against a Unix socket and
+    return the exposition body."""
+    with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as s:
+        s.settimeout(30.0)
+        s.connect(path)
+        s.sendall(b'{"op":"metrics","format":"prometheus"}\n')
+        s.shutdown(socket.SHUT_WR)
+        data = b""
+        while b"\n" not in data:
+            chunk = s.recv(1 << 16)
+            if not chunk:
+                break
+            data += chunk
+    line = data.split(b"\n", 1)[0].decode("utf-8", "replace")
+    if not line:
+        sys.exit("FAIL scrape: no response line from the server")
+    try:
+        env = json.loads(line)
+    except json.JSONDecodeError as e:
+        sys.exit(f"FAIL scrape: response is not JSON: {e}")
+    if env.get("status") != "ok":
+        sys.exit(f"FAIL scrape: server answered status "
+                 f"{env.get('status')!r}: {env.get('message')!r}")
+    result = env.get("result") or {}
+    if result.get("content_type") != "text/plain; version=0.0.4":
+        sys.exit(f"FAIL scrape: content_type "
+                 f"{result.get('content_type')!r} is not the 0.0.4 "
+                 "exposition type")
+    body = result.get("body")
+    if not isinstance(body, str) or not body:
+        sys.exit("FAIL scrape: ok response without an exposition body")
+    return body
+
+
+def main():
+    args = sys.argv[1:]
+    out_path = None
+    if "--out" in args:
+        i = args.index("--out")
+        if i + 1 >= len(args):
+            sys.exit("--out needs a value")
+        out_path = args[i + 1]
+        del args[i:i + 2]
+    if len(args) == 2 and args[0] == "--scrape":
+        text = scrape(args[1])
+        source = f"scrape of {args[1]}"
+    elif len(args) == 1 and not args[0].startswith("-"):
+        with open(args[0], encoding="utf-8") as f:
+            text = f.read()
+        source = args[0]
+    else:
+        sys.exit(__doc__)
+    if out_path:
+        with open(out_path, "w", encoding="utf-8") as f:
+            f.write(text)
+    series, histograms = validate(text)
+    if series == 0:
+        err(0, "exposition contains no samples")
+    if errors:
+        for e in errors:
+            print(f"FAIL {e}", file=sys.stderr)
+        sys.exit(1)
+    print(f"ok: {source}: {series} series ({histograms} histograms) valid "
+          "Prometheus 0.0.4 exposition")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#pragma once
+
+/// \file exporter.hpp
+/// Renderers for a MetricsSnapshot: Prometheus text exposition 0.0.4,
+/// canonical rlc::io JSON, and the human-readable table the bench drivers
+/// print to stderr.  One formatting authority instead of per-driver
+/// dumpers — the serving admin surface ({"op":"metrics"}) and the CLI
+/// `--metrics` flags all call into here.
+///
+/// Prometheus mapping:
+///   * registry names use '.' and '-' as separators; both are rewritten to
+///     '_' (and any other character outside [a-zA-Z0-9_:] likewise), with a
+///     leading '_' prefixed when the first character is not a valid start;
+///   * counters become `counter` series, gauges `gauge`;
+///   * a log-scale HistogramSnapshot becomes the cumulative
+///     `_bucket{le="..."}` family (underflow bin counts under the first
+///     interior edge, overflow only under le="+Inf"), plus `_sum`/`_count`;
+///   * every family carries its `# TYPE` line; label values are escaped
+///     per the exposition format (backslash, double-quote, newline).
+
+#include <string>
+
+#include "rlc/io/json.hpp"
+#include "rlc/obs/metrics.hpp"
+
+namespace rlc::obs {
+
+class Exporter {
+ public:
+  /// Prometheus text exposition 0.0.4 of the whole snapshot.  Metric names
+  /// are sanitized (see sanitize_metric_name); two registry names that
+  /// collide after sanitization are disambiguated with a numeric suffix so
+  /// the output never contains duplicate series.
+  static std::string prometheus(const MetricsSnapshot& snap);
+
+  /// Canonical JSON (delegates to MetricsSnapshot::to_json — one shape for
+  /// artifacts and the admin {"op":"metrics","format":"json"} response).
+  static io::Json json(const MetricsSnapshot& snap);
+
+  /// Human-readable table (one line per metric); the single implementation
+  /// behind MetricsSnapshot::table() and the drivers' stderr dumps.
+  static std::string text(const MetricsSnapshot& snap);
+
+  /// Copy of `snap` keeping only metrics whose name starts with `prefix`
+  /// (e.g. "svc." for the serving drivers).
+  static MetricsSnapshot filter(const MetricsSnapshot& snap,
+                                const std::string& prefix);
+
+  /// Rewrite a registry name into the Prometheus name charset
+  /// [a-zA-Z_:][a-zA-Z0-9_:]*: '.'/'-'/anything else invalid becomes '_',
+  /// and a leading digit gets a '_' prefix.  Empty input becomes "_".
+  static std::string sanitize_metric_name(const std::string& name);
+
+  /// Escape a label value for the exposition format: backslash,
+  /// double-quote and newline are backslash-escaped.
+  static std::string escape_label_value(const std::string& value);
+
+  /// Content type to serve the prometheus() body under.
+  static const char* content_type() { return "text/plain; version=0.0.4"; }
+};
+
+}  // namespace rlc::obs

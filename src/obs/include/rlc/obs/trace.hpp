@@ -36,6 +36,7 @@
 #include <string>
 #include <vector>
 
+#include "rlc/base/status.hpp"
 #include "rlc/io/json.hpp"
 
 namespace rlc::obs {
@@ -95,9 +96,30 @@ class Tracer {
   /// Monotonic nanoseconds (steady_clock); public for tests.
   static std::int64_t now_ns() noexcept;
 
-  /// Per-thread ring capacity in spans (64Ki ≈ 2 MiB per recording
-  /// thread, allocated lazily on that thread's first span).
+  /// Default per-thread ring capacity in spans (64Ki ≈ 2 MiB per recording
+  /// thread, allocated lazily on that thread's first span).  Overridable
+  /// via RLC_TRACE_RING, resolved once at tracer construction.
   static constexpr std::size_t kRingCapacity = std::size_t{1} << 16;
+
+  /// Upper bound accepted from RLC_TRACE_RING (4Mi spans ≈ 128 MiB per
+  /// recording thread — past that the ring is the memory bug).
+  static constexpr std::size_t kMaxRingCapacity = std::size_t{1} << 22;
+
+  /// Strict parse of an RLC_TRACE_RING value, mirroring the
+  /// RLC_NUM_THREADS contract (rlc::exec::parse_thread_count_strict):
+  /// nullptr (unset) means "use the default" and returns 0; anything else
+  /// must be an integer in [1, kMaxRingCapacity] or the parse fails with
+  /// invalid_argument.  Drivers call this at startup and exit non-zero on
+  /// error; the tracer itself falls back to the default with a one-shot
+  /// stderr warning so a bad value can never crash library users.
+  static rlc::StatusOr<std::size_t> parse_ring_capacity_strict(
+      const char* text);
+
+  /// The per-thread ring capacity in effect (RLC_TRACE_RING if valid,
+  /// else kRingCapacity).  Rings created before a capacity change would
+  /// keep their size, but the value is resolved once in the constructor
+  /// so every ring in a process agrees.
+  std::size_t ring_capacity() const;
 
  private:
   Tracer();

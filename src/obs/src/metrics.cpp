@@ -1,5 +1,7 @@
 #include "rlc/obs/metrics.hpp"
 
+#include "rlc/obs/exporter.hpp"
+
 #include <algorithm>
 #include <array>
 #include <atomic>
@@ -217,35 +219,7 @@ io::Json MetricsSnapshot::to_json() const {
   return j;
 }
 
-std::string MetricsSnapshot::table() const {
-  std::string out;
-  char buf[256];
-  std::size_t width = 0;
-  for (const auto& c : counters) width = std::max(width, c.first.size());
-  for (const auto& g : gauges) width = std::max(width, g.first.size());
-  for (const auto& h : histograms) width = std::max(width, h.name.size());
-  const int w = static_cast<int>(width);
-  for (const auto& [name, value] : counters) {
-    std::snprintf(buf, sizeof buf, "counter    %-*s  %lld\n", w, name.c_str(),
-                  static_cast<long long>(value));
-    out += buf;
-  }
-  for (const auto& [name, value] : gauges) {
-    std::snprintf(buf, sizeof buf, "gauge      %-*s  %lld\n", w, name.c_str(),
-                  static_cast<long long>(value));
-    out += buf;
-  }
-  for (const auto& h : histograms) {
-    std::snprintf(buf, sizeof buf,
-                  "histogram  %-*s  count %llu | mean %.3g | p50 %.3g | "
-                  "p90 %.3g | p99 %.3g | max %.3g\n",
-                  w, h.name.c_str(), static_cast<unsigned long long>(h.count),
-                  h.mean(), h.quantile(0.5), h.quantile(0.9), h.quantile(0.99),
-                  h.max);
-    out += buf;
-  }
-  return out;
-}
+std::string MetricsSnapshot::table() const { return Exporter::text(*this); }
 
 // ------------------------------------------------------------------ Registry
 

@@ -1,7 +1,10 @@
 #include "rlc/obs/trace.hpp"
 
 #include <algorithm>
+#include <cerrno>
 #include <chrono>
+#include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <mutex>
 
@@ -27,7 +30,7 @@ struct Slot {
 };
 
 struct Ring {
-  explicit Ring(int tid_in) : slots(Tracer::kRingCapacity), tid(tid_in) {}
+  Ring(int tid_in, std::size_t capacity) : slots(capacity), tid(tid_in) {}
 
   std::vector<Slot> slots;
   std::atomic<std::uint32_t> count{0};
@@ -68,11 +71,12 @@ struct Tracer::Impl {
   std::int64_t epoch_ns = 0;
   std::atomic<std::uint64_t> generation{0};  // bumped by enable()/clear()
   int next_tid = 1;
+  std::size_t ring_cap = Tracer::kRingCapacity;  // resolved once in the ctor
 
   Ring& local_ring() {
     const std::uint64_t gen = generation.load(std::memory_order_acquire);
     if (t_state.ring == nullptr) {
-      auto* r = new Ring(0);
+      auto* r = new Ring(0, ring_cap);
       std::lock_guard<std::mutex> lk(mu);
       r->tid = next_tid++;
       rings.push_back(r);
@@ -87,7 +91,18 @@ struct Tracer::Impl {
   }
 };
 
-Tracer::Tracer() : impl_(new Impl) {}
+Tracer::Tracer() : impl_(new Impl) {
+  const char* env = std::getenv("RLC_TRACE_RING");
+  auto parsed = parse_ring_capacity_strict(env);
+  if (!parsed.is_ok()) {
+    // Library fallback only: the CLI drivers validate RLC_TRACE_RING at
+    // startup and exit before the tracer is ever constructed.
+    std::fprintf(stderr, "rlc::obs: %s; using the default ring (%zu)\n",
+                 parsed.status().message().c_str(), kRingCapacity);
+  } else if (parsed.value() > 0) {
+    impl_->ring_cap = parsed.value();
+  }
+}
 
 Tracer::~Tracer() { delete impl_; }
 
@@ -96,6 +111,29 @@ Tracer& Tracer::global() {
   static Tracer* t = new Tracer;
   return *t;
 }
+
+rlc::StatusOr<std::size_t> Tracer::parse_ring_capacity_strict(
+    const char* text) {
+  if (!text) return std::size_t{0};  // unset: default capacity
+  const auto reject = [&](const std::string& why) {
+    return rlc::Status::invalid_argument("RLC_TRACE_RING \"" +
+                                         std::string(text) + "\" " + why);
+  };
+  if (*text == '\0') return reject("is empty");
+  char* end = nullptr;
+  errno = 0;
+  const long v = std::strtol(text, &end, 10);
+  if (end == text || *end != '\0') return reject("is not an integer");
+  if (errno == ERANGE) return reject("overflows");
+  if (v <= 0) return reject("must be >= 1");
+  if (static_cast<unsigned long>(v) > kMaxRingCapacity) {
+    return reject("exceeds the " + std::to_string(kMaxRingCapacity) +
+                  "-span limit");
+  }
+  return static_cast<std::size_t>(v);
+}
+
+std::size_t Tracer::ring_capacity() const { return impl_->ring_cap; }
 
 std::int64_t Tracer::now_ns() noexcept {
   return std::chrono::duration_cast<std::chrono::nanoseconds>(

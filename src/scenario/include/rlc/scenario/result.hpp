@@ -27,8 +27,10 @@ namespace rlc::scenario {
 /// 5 added the `simd` field ("avx2" | "scalar" — the kernel level the
 /// process resolved at startup from cpuid + RLC_SIMD), 6 added the
 /// optional `coupling` block (multi-conductor scenarios: bus width,
-/// coupling strengths and headline noise metrics).
-inline constexpr int kSchemaVersion = 6;
+/// coupling strengths and headline noise metrics), 7 added the
+/// `telemetry` block (exporter-derived stats over the run's metrics
+/// delta: Prometheus series/byte counts plus tracer ring configuration).
+inline constexpr int kSchemaVersion = 7;
 
 /// One table cell: a number or a short text label (e.g. "-" for a
 /// non-converged point, a technology name in a key column).

@@ -2,6 +2,7 @@
 
 #include "rlc/base/simd.hpp"
 #include "rlc/base/version.hpp"
+#include "rlc/obs/exporter.hpp"
 
 #include <cstdio>
 #include <stdexcept>
@@ -92,6 +93,31 @@ io::Json ScenarioResult::to_json() const {
   j.set("counters", counters_j);
 
   j.set("observability", observability.to_json());
+
+  // schema 7: what this run's metrics delta costs to scrape.  Series is
+  // the number of sample lines (non-comment, non-empty) a Prometheus
+  // endpoint would expose for exactly these metrics.
+  {
+    const std::string prom = obs::Exporter::prometheus(observability.metrics);
+    long long series = 0;
+    std::size_t at = 0;
+    while (at < prom.size()) {
+      const std::size_t nl = prom.find('\n', at);
+      const std::size_t end = nl == std::string::npos ? prom.size() : nl;
+      if (end > at && prom[at] != '#') ++series;
+      if (nl == std::string::npos) break;
+      at = nl + 1;
+    }
+    io::Json tel;
+    tel.set("prometheus_series", series);
+    tel.set("prometheus_bytes", static_cast<long long>(prom.size()));
+    tel.set("trace_ring_capacity",
+            static_cast<long long>(obs::Tracer::global().ring_capacity()));
+    tel.set("dropped_spans",
+            static_cast<long long>(observability.dropped_spans));
+    j.set("telemetry", tel);
+  }
+
   if (coupling.n_conductors > 0) j.set("coupling", coupling.to_json());
 
   io::JsonArray tables_j;

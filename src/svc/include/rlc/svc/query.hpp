@@ -48,6 +48,16 @@ struct QueryRequest {
   /// deadline_exceeded without starting any work.
   double deadline_seconds = std::numeric_limits<double>::infinity();
 
+  /// Optional client-supplied trace id (<= kMaxTraceIdLength chars).  Empty
+  /// (the default) means untraced: the response is byte-identical to the
+  /// pre-tracing wire format.  Non-empty echoes the id on the result along
+  /// with per-stage timings (queue/cache/solve) and makes the request
+  /// eligible for the slow-query log.  Excluded from cache_key(): a trace
+  /// id changes what is reported about the answer, never the answer.
+  std::string trace_id;
+
+  static constexpr std::size_t kMaxTraceIdLength = 128;
+
   /// OK or invalid_argument naming the first bad field.
   rlc::Status validate() const;
 
@@ -87,6 +97,13 @@ struct QueryResult {
   std::string method;       ///< "newton" | "nelder_mead"
   bool from_cache = false;  ///< served from the session result cache
   double wall_seconds = 0.0;  ///< compute time of THIS call (~0 on a hit)
+
+  /// Tracing block, populated (and serialized) only when the request
+  /// carried a trace_id — old clients see byte-identical responses.
+  std::string trace_id;   ///< echoed from the request
+  double queue_us = 0.0;  ///< receive -> session pickup (0 for direct calls)
+  double cache_us = 0.0;  ///< result-cache lookup time
+  double solve_us = 0.0;  ///< engine time (0 on a cache hit)
 
   io::Json to_json() const;
 

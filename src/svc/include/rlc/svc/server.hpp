@@ -97,14 +97,19 @@ class EventLoopServer {
   /// Serving concurrency reported by ping: sum of shard pool sizes.
   std::size_t threads() const;
 
-  /// Monotonic counters, readable from any thread while serving.
+  /// Counters readable from any thread while serving.  All fields are
+  /// monotonic except connections_open, which is a level gauge
+  /// (accepted - closed at the moment of the read).
   struct Stats {
     std::uint64_t connections_accepted = 0;
     std::uint64_t connections_closed = 0;
-    std::uint64_t requests = 0;         ///< lines parsed into requests
-    std::uint64_t responses = 0;        ///< response lines fully written
-    std::uint64_t reads_paused = 0;     ///< backpressure engagements
-    std::uint64_t oversized_lines = 0;  ///< lines over max_line_bytes
+    std::uint64_t connections_open = 0;  ///< gauge: currently connected
+    std::uint64_t requests = 0;          ///< lines parsed into requests
+    std::uint64_t responses = 0;         ///< response lines fully written
+    std::uint64_t reads_paused = 0;      ///< backpressure engagements
+    std::uint64_t oversized_lines = 0;   ///< lines over max_line_bytes
+    std::uint64_t bytes_in = 0;          ///< request bytes read off sockets
+    std::uint64_t bytes_out = 0;         ///< response bytes written
   };
   Stats stats() const;
 

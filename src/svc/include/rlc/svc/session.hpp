@@ -84,6 +84,15 @@ class Session {
   std::vector<rlc::StatusOr<QueryResult>> submit_batch(
       const std::vector<QueryRequest>& reqs, const CancelToken& cancel);
 
+  /// Batch submit with per-request receive timestamps (obs::Tracer::now_ns
+  /// clock; 0 or an empty vector means unknown).  The gap between a
+  /// request's receive stamp and its pickup on a worker is attributed as
+  /// queue time in the per-stage tracing (query.hpp trace block) — the
+  /// event-loop server stamps requests as they are framed off the wire.
+  std::vector<rlc::StatusOr<QueryResult>> submit_batch(
+      const std::vector<QueryRequest>& reqs, const CancelToken& cancel,
+      const std::vector<std::int64_t>& received_ns);
+
   /// Run a full registered scenario on the session pool (the rlc_serve
   /// "scenario" op).  Uncached — scenario envelopes carry wall-clock and
   /// counter fields that are not content-addressable.  The deadline (in

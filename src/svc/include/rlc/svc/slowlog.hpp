@@ -1,0 +1,77 @@
+#pragma once
+
+/// \file slowlog.hpp
+/// Worst-N slow-query log for the serving plane.
+///
+/// Every request that carries a trace_id is offered to the log with its
+/// per-stage timings (queue -> cache lookup -> solve); the log keeps the
+/// kCapacity worst by total time, so a scrape of the admin {"op":"stats"}
+/// endpoint can attribute tail latency to queueing vs. cache misses vs.
+/// solver time without any per-request I/O.  Untraced traffic never
+/// touches the log — sampling is the client's choice of which requests to
+/// stamp with a trace_id.
+///
+/// Concurrency: admissions take a mutex (traced requests are the sampled
+/// minority), but a relaxed atomic floor of the current worst set lets a
+/// full log reject fast entries without the lock.
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "rlc/io/json.hpp"
+
+namespace rlc::svc {
+
+class SlowQueryLog {
+ public:
+  /// The process-wide log the Session records into and the admin stats op
+  /// reads from.
+  static SlowQueryLog& global();
+
+  SlowQueryLog() = default;
+  SlowQueryLog(const SlowQueryLog&) = delete;
+  SlowQueryLog& operator=(const SlowQueryLog&) = delete;
+
+  struct Entry {
+    std::string trace_id;
+    std::string technology;
+    std::uint64_t cache_hash = 0;  ///< FNV-1a of the request cache key
+    bool from_cache = false;
+    std::string status;     ///< "ok" or the Status code name
+    double queue_us = 0.0;  ///< receive -> session pickup
+    double cache_us = 0.0;  ///< result-cache lookup
+    double solve_us = 0.0;  ///< engine time (0 on a hit)
+    double total_us = 0.0;  ///< queue + cache + solve
+  };
+
+  /// Offer one traced request; kept only while it ranks among the
+  /// kCapacity worst by total_us.
+  void note(Entry e);
+
+  /// The current worst set, total_us descending.
+  std::vector<Entry> worst() const;
+
+  /// {"recorded": n, "entries": [...worst-first...]} for the admin op.
+  io::Json to_json() const;
+
+  /// Total admissions offered since start/clear (including ones that did
+  /// not rank).
+  std::uint64_t recorded() const {
+    return recorded_.load(std::memory_order_relaxed);
+  }
+
+  void clear();
+
+  static constexpr std::size_t kCapacity = 32;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<Entry> entries_;  ///< sorted total_us descending
+  std::atomic<double> floor_us_{0.0};  ///< min total_us once full
+  std::atomic<std::uint64_t> recorded_{0};
+};
+
+}  // namespace rlc::svc

@@ -52,6 +52,10 @@ rlc::Status QueryRequest::validate() const {
   if (std::isnan(deadline_seconds) || deadline_seconds < 0.0) {
     return bad("deadline_seconds must be >= 0 (or infinity for none)");
   }
+  if (trace_id.size() > kMaxTraceIdLength) {
+    return bad("trace_id must be <= " + std::to_string(kMaxTraceIdLength) +
+               " characters (got " + std::to_string(trace_id.size()) + ")");
+  }
   return rlc::Status::ok();
 }
 
@@ -113,6 +117,8 @@ io::Json QueryRequest::to_json() const {
   j.set("noise_vmax", noise_vmax);
   // Infinity renders as null; from_json treats null/absent as "no deadline".
   j.set("deadline_seconds", deadline_seconds);
+  // Only when set: untraced requests must serialize exactly as before.
+  if (!trace_id.empty()) j.set("trace_id", trace_id);
   return j;
 }
 
@@ -193,6 +199,7 @@ rlc::StatusOr<QueryRequest> QueryRequest::from_json(const io::JsonValue& v) {
            take_number(v, "coupling_km", &req.coupling_km),
            take_number(v, "noise_vmax", &req.noise_vmax),
            take_number(v, "deadline_seconds", &req.deadline_seconds),
+           take_string(v, "trace_id", &req.trace_id),
        }) {
     if (!st.is_ok()) return st;
   }
@@ -217,6 +224,14 @@ io::Json QueryResult::to_json() const {
   j.set("method", method);
   j.set("from_cache", from_cache);
   j.set("wall_seconds", wall_seconds);
+  // Tracing block: present only for traced requests, so responses to
+  // clients that never set trace_id stay byte-identical.
+  if (!trace_id.empty()) {
+    j.set("trace_id", trace_id);
+    j.set("queue_us", queue_us);
+    j.set("cache_us", cache_us);
+    j.set("solve_us", solve_us);
+  }
   return j;
 }
 

@@ -11,6 +11,7 @@
 #include <utility>
 #include <vector>
 
+#include "rlc/obs/trace.hpp"
 #include "wire.hpp"
 
 #if defined(__linux__)
@@ -101,6 +102,7 @@ struct EventLoopServer::Impl {
   struct ShardTask {
     std::uint64_t conn_id = 0;
     std::uint64_t seq = 0;
+    std::int64_t received_ns = 0;  ///< Tracer::now_ns at framing time
     wire::Parsed parsed;
   };
 
@@ -131,6 +133,8 @@ struct EventLoopServer::Impl {
   std::atomic<std::uint64_t> st_responses{0};
   std::atomic<std::uint64_t> st_paused{0};
   std::atomic<std::uint64_t> st_oversized{0};
+  std::atomic<std::uint64_t> st_bytes_in{0};
+  std::atomic<std::uint64_t> st_bytes_out{0};
 
   // ---- setup -----------------------------------------------------------
 
@@ -213,10 +217,15 @@ struct EventLoopServer::Impl {
       }
       if (!qidx.empty()) {
         std::vector<QueryRequest> reqs;
+        std::vector<std::int64_t> received;
         reqs.reserve(qidx.size());
-        for (std::size_t i : qidx) reqs.push_back(taken[i].parsed.query);
+        received.reserve(qidx.size());
+        for (std::size_t i : qidx) {
+          reqs.push_back(taken[i].parsed.query);
+          received.push_back(taken[i].received_ns);
+        }
         std::vector<rlc::StatusOr<QueryResult>> results =
-            session.submit_batch(reqs);
+            session.submit_batch(reqs, CancelToken{}, received);
         for (std::size_t k = 0; k < qidx.size(); ++k) {
           const wire::Parsed& p = taken[qidx[k]].parsed;
           const rlc::StatusOr<QueryResult>& r = results[k];
@@ -298,6 +307,8 @@ struct EventLoopServer::Impl {
                          MSG_NOSIGNAL);
       if (n > 0) {
         c.woff += static_cast<std::size_t>(n);
+        st_bytes_out.fetch_add(static_cast<std::uint64_t>(n),
+                               std::memory_order_relaxed);
         continue;
       }
       if (n < 0 && errno == EINTR) continue;
@@ -329,9 +340,41 @@ struct EventLoopServer::Impl {
     return conns.count(id) != 0;
   }
 
+  /// Live event-loop counters for the admin stats op.  Runs on the loop
+  /// thread (handle_line), so conns is safe to read; shard queue depths
+  /// take each queue's mutex briefly.
+  io::Json server_stats_json() {
+    io::Json j;
+    j.set("connections_accepted",
+          static_cast<long long>(st_accepted.load(std::memory_order_relaxed)));
+    j.set("connections_closed",
+          static_cast<long long>(st_closed.load(std::memory_order_relaxed)));
+    j.set("connections_open", static_cast<long long>(conns.size()));
+    j.set("requests",
+          static_cast<long long>(st_requests.load(std::memory_order_relaxed)));
+    j.set("responses", static_cast<long long>(
+                           st_responses.load(std::memory_order_relaxed)));
+    j.set("reads_paused",
+          static_cast<long long>(st_paused.load(std::memory_order_relaxed)));
+    j.set("oversized_lines", static_cast<long long>(
+                                 st_oversized.load(std::memory_order_relaxed)));
+    j.set("bytes_in",
+          static_cast<long long>(st_bytes_in.load(std::memory_order_relaxed)));
+    j.set("bytes_out",
+          static_cast<long long>(st_bytes_out.load(std::memory_order_relaxed)));
+    io::JsonArray depths;
+    for (auto& q : queues) {
+      std::lock_guard<std::mutex> lk(q->mu);
+      depths.push(static_cast<long long>(q->tasks.size()));
+    }
+    j.set("shard_queue_depths", depths);
+    return j;
+  }
+
   /// Parse + route one complete request line on connection `c`.
   void handle_line(Conn& c, const std::string& line) {
     st_requests.fetch_add(1, std::memory_order_relaxed);
+    const std::int64_t received_ns = obs::Tracer::now_ns();
     wire::Parsed p = wire::parse_line(line);
     const std::uint64_t seq = c.next_seq++;
     if (p.op == wire::Parsed::Op::kPing || p.op == wire::Parsed::Op::kError) {
@@ -339,6 +382,18 @@ struct EventLoopServer::Impl {
       // the same sequencing path as dispatched requests.
       c.ready[seq] =
           wire::execute_and_render(router.shard(0), p, router.threads());
+      return;
+    }
+    if (p.op == wire::Parsed::Op::kMetrics ||
+        p.op == wire::Parsed::Op::kStats ||
+        p.op == wire::Parsed::Op::kTrace) {
+      // Admin introspection answers inline too: a scrape must observe the
+      // live server, not wait in line behind the solver queues.
+      wire::AdminEnv env;
+      env.session = &router.shard(0);
+      env.router = &router;
+      env.server_block = [this] { return server_stats_json(); };
+      c.ready[seq] = wire::execute_admin(p, env);
       return;
     }
     std::size_t shard_idx;
@@ -351,7 +406,7 @@ struct EventLoopServer::Impl {
     ShardQueue& q = *queues[shard_idx];
     {
       std::lock_guard<std::mutex> lk(q.mu);
-      q.tasks.push_back(ShardTask{c.id, seq, std::move(p)});
+      q.tasks.push_back(ShardTask{c.id, seq, received_ns, std::move(p)});
     }
     q.cv.notify_one();
   }
@@ -393,6 +448,8 @@ struct EventLoopServer::Impl {
       ssize_t n = ::read(c.fd, buf, sizeof(buf));
       if (n > 0) {
         c.rbuf.append(buf, static_cast<std::size_t>(n));
+        st_bytes_in.fetch_add(static_cast<std::uint64_t>(n),
+                              std::memory_order_relaxed);
         if (c.rbuf.size() > opts.max_line_bytes &&
             c.rbuf.find('\n') == std::string::npos) {
           break;  // oversized: stop reading, consume_rbuf rejects it
@@ -605,10 +662,17 @@ EventLoopServer::Stats EventLoopServer::stats() const {
   s.connections_accepted =
       impl_->st_accepted.load(std::memory_order_relaxed);
   s.connections_closed = impl_->st_closed.load(std::memory_order_relaxed);
+  // Gauge: closed is incremented after accepted, so a racy read can
+  // transiently see closed > accepted — clamp instead of wrapping.
+  s.connections_open = s.connections_accepted >= s.connections_closed
+                           ? s.connections_accepted - s.connections_closed
+                           : 0;
   s.requests = impl_->st_requests.load(std::memory_order_relaxed);
   s.responses = impl_->st_responses.load(std::memory_order_relaxed);
   s.reads_paused = impl_->st_paused.load(std::memory_order_relaxed);
   s.oversized_lines = impl_->st_oversized.load(std::memory_order_relaxed);
+  s.bytes_in = impl_->st_bytes_in.load(std::memory_order_relaxed);
+  s.bytes_out = impl_->st_bytes_out.load(std::memory_order_relaxed);
   return s;
 }
 

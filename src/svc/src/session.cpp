@@ -9,7 +9,9 @@
 #include "rlc/core/exact_delay.hpp"
 #include "rlc/core/optimizer.hpp"
 #include "rlc/obs/metrics.hpp"
+#include "rlc/obs/trace.hpp"
 #include "rlc/scenario/registry.hpp"
+#include "rlc/svc/slowlog.hpp"
 #include "rlc/tline/coupled_line.hpp"
 
 namespace rlc::svc {
@@ -32,6 +34,10 @@ struct SvcMetrics {
   int batch_size;
   int batch_grouped;
   int latency_us;
+  int stage_queue_us;
+  int stage_cache_us;
+  int stage_solve_us;
+  int slow_total_us;
   static const SvcMetrics& get() {
     auto& r = obs::Registry::global();
     static const SvcMetrics m{
@@ -47,6 +53,10 @@ struct SvcMetrics {
         r.histogram("svc.batch_size", 1.0, 4096.0, 12),
         r.counter("svc.batch.grouped"),
         r.histogram("svc.latency_us", 1.0, 1.0e7, 32),
+        r.histogram("svc.stage.queue_us", 1.0, 1.0e7, 32),
+        r.histogram("svc.stage.cache_us", 1.0, 1.0e7, 32),
+        r.histogram("svc.stage.solve_us", 1.0, 1.0e7, 32),
+        r.histogram("svc.slow.total_us", 1.0, 1.0e7, 32),
     };
     return m;
   }
@@ -55,6 +65,33 @@ struct SvcMetrics {
 double seconds_since(std::chrono::steady_clock::time_point t0) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
       .count();
+}
+
+/// Record the per-stage histograms for every request and offer traced
+/// requests to the slow-query log.  Stage time is observation, never part
+/// of the answer.
+void account_stages(const QueryRequest& req, const char* status,
+                    bool from_cache, double queue_us, double cache_us,
+                    double solve_us) {
+  auto& reg = obs::Registry::global();
+  const SvcMetrics& m = SvcMetrics::get();
+  reg.record(m.stage_queue_us, queue_us);
+  reg.record(m.stage_cache_us, cache_us);
+  reg.record(m.stage_solve_us, solve_us);
+  if (req.trace_id.empty()) return;
+  const double total_us = queue_us + cache_us + solve_us;
+  reg.record(m.slow_total_us, total_us);
+  SlowQueryLog::Entry e;
+  e.trace_id = req.trace_id;
+  e.technology = req.technology;
+  e.cache_hash = req.cache_hash();
+  e.from_cache = from_cache;
+  e.status = status;
+  e.queue_us = queue_us;
+  e.cache_us = cache_us;
+  e.solve_us = solve_us;
+  e.total_us = total_us;
+  SlowQueryLog::global().note(std::move(e));
 }
 
 }  // namespace
@@ -72,12 +109,25 @@ struct Session::Impl {
   /// mode is a Status (the boundary rule).  Order matters — validation,
   /// then the pre-flight deadline/cancel check, then the cache, then the
   /// solve — so an expired deadline does no work and writes nothing.
+  ///
+  /// `received_ns` (Tracer::now_ns clock, 0 = unknown) is when the server
+  /// first read the request off the wire; the gap to pickup here is the
+  /// queue stage of the per-request attribution.
   rlc::StatusOr<QueryResult> answer(const QueryRequest& req,
-                                    const CancelToken& cancel) {
+                                    const CancelToken& cancel,
+                                    std::int64_t received_ns = 0) {
     auto& reg = obs::Registry::global();
     const SvcMetrics& m = SvcMetrics::get();
     const auto t0 = std::chrono::steady_clock::now();
     reg.add(m.requests);
+
+    double queue_us = 0.0;
+    if (received_ns > 0) {
+      const std::int64_t now = obs::Tracer::now_ns();
+      if (now > received_ns) {
+        queue_us = static_cast<double>(now - received_ns) / 1e3;
+      }
+    }
 
     if (rlc::Status st = req.validate(); !st.is_ok()) {
       reg.add(m.errors);
@@ -85,45 +135,74 @@ struct Session::Impl {
     }
     if (cancel.cancel_requested()) {
       reg.add(m.cancelled);
+      account_stages(req, "cancelled", false, queue_us, 0.0, 0.0);
       return rlc::Status::cancelled("request cancelled before start");
     }
     const Deadline deadline = Deadline::after(req.deadline_seconds);
     if (deadline.expired()) {
       reg.add(m.deadline_exceeded);
+      account_stages(req, "deadline_exceeded", false, queue_us, 0.0, 0.0);
       return rlc::Status::deadline_exceeded(
           "deadline expired before the solve started");
     }
 
     const std::string key = req.cache_key();
-    if (std::optional<QueryResult> hit = cache.get(key)) {
+    const auto t_cache = std::chrono::steady_clock::now();
+    std::optional<QueryResult> hit = cache.get(key);
+    const double cache_us = seconds_since(t_cache) * 1e6;
+    if (hit) {
       reg.add(m.cache_hits);
       hit->from_cache = true;
       hit->wall_seconds = seconds_since(t0);
       reg.record(m.latency_us, hit->wall_seconds * 1e6);
+      account_stages(req, "ok", true, queue_us, cache_us, 0.0);
+      hit->trace_id = req.trace_id;  // empty for untraced: nothing emitted
+      hit->queue_us = queue_us;
+      hit->cache_us = cache_us;
+      hit->solve_us = 0.0;
       return *hit;
     }
     reg.add(m.cache_misses);
 
     ExecScope scope(cancel, deadline);
+    const auto t_solve = std::chrono::steady_clock::now();
     try {
       rlc::StatusOr<QueryResult> result = compute(req);
+      const double solve_us = seconds_since(t_solve) * 1e6;
       if (result.is_ok()) {
         result->wall_seconds = seconds_since(t0);
+        // Cache BEFORE stamping the trace block: cached entries are shared
+        // across clients and must stay trace-free.
         cache.put(key, *result);
         reg.record(m.latency_us, result->wall_seconds * 1e6);
-      } else if (result.status().code() == StatusCode::kNoConvergence) {
-        reg.add(m.errors);
+        account_stages(req, "ok", false, queue_us, cache_us, solve_us);
+        result->trace_id = req.trace_id;
+        result->queue_us = queue_us;
+        result->cache_us = cache_us;
+        result->solve_us = solve_us;
+      } else {
+        if (result.status().code() == StatusCode::kNoConvergence) {
+          reg.add(m.errors);
+        }
+        account_stages(req, result.status().code_name(), false, queue_us,
+                       cache_us, solve_us);
       }
       return result;
     } catch (const CancelledError& e) {
       reg.add(e.code() == StatusCode::kDeadlineExceeded ? m.deadline_exceeded
                                                         : m.cancelled);
+      account_stages(req, e.to_status().code_name(), false, queue_us,
+                     cache_us, seconds_since(t_solve) * 1e6);
       return e.to_status();
     } catch (const std::invalid_argument& e) {
       reg.add(m.errors);
+      account_stages(req, "invalid_argument", false, queue_us, cache_us,
+                     seconds_since(t_solve) * 1e6);
       return rlc::Status::invalid_argument(e.what());
     } catch (const std::exception& e) {
       reg.add(m.errors);
+      account_stages(req, "internal", false, queue_us, cache_us,
+                     seconds_since(t_solve) * 1e6);
       return rlc::Status::internal(std::string("query failed: ") + e.what());
     }
   }
@@ -304,6 +383,12 @@ std::vector<rlc::StatusOr<QueryResult>> Session::submit_batch(
 
 std::vector<rlc::StatusOr<QueryResult>> Session::submit_batch(
     const std::vector<QueryRequest>& reqs, const CancelToken& cancel) {
+  return submit_batch(reqs, cancel, {});
+}
+
+std::vector<rlc::StatusOr<QueryResult>> Session::submit_batch(
+    const std::vector<QueryRequest>& reqs, const CancelToken& cancel,
+    const std::vector<std::int64_t>& received_ns) {
   auto& reg = obs::Registry::global();
   const SvcMetrics& m = SvcMetrics::get();
   const std::size_t n = reqs.size();
@@ -343,17 +428,22 @@ std::vector<rlc::StatusOr<QueryResult>> Session::submit_batch(
   // write between workers.  Depth now drops when the batch completes; the
   // max gauge still records the true high-water mark.
   std::vector<std::optional<rlc::StatusOr<QueryResult>>> slots(n);
+  const auto stamp_of = [&received_ns](std::size_t i) -> std::int64_t {
+    return i < received_ns.size() ? received_ns[i] : 0;
+  };
   impl_->pool.parallel_for(
       leaders.size(),
       [&](std::size_t j) {
-        slots[leaders[j]] = impl_->answer(reqs[leaders[j]], cancel);
+        slots[leaders[j]] = impl_->answer(reqs[leaders[j]], cancel,
+                                          stamp_of(leaders[j]));
       },
       1);
   if (!followers.empty()) {
     impl_->pool.parallel_for(
         followers.size(),
         [&](std::size_t j) {
-          slots[followers[j]] = impl_->answer(reqs[followers[j]], cancel);
+          slots[followers[j]] = impl_->answer(reqs[followers[j]], cancel,
+                                              stamp_of(followers[j]));
         },
         1);
   }

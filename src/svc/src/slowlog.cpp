@@ -1,0 +1,68 @@
+#include "rlc/svc/slowlog.hpp"
+
+#include <algorithm>
+
+namespace rlc::svc {
+
+SlowQueryLog& SlowQueryLog::global() {
+  // Never destroyed: pool workers may record past main()'s static teardown.
+  static SlowQueryLog* log = new SlowQueryLog;
+  return *log;
+}
+
+void SlowQueryLog::note(Entry e) {
+  recorded_.fetch_add(1, std::memory_order_relaxed);
+  // Lock-free reject: once the log is full, anything at or below the
+  // current floor cannot rank.  The floor only rises, so a stale read can
+  // admit a loser (harmless, fixed under the lock) but never reject a
+  // winner that a fresh read would admit.
+  if (e.total_us <= floor_us_.load(std::memory_order_relaxed)) return;
+  std::lock_guard<std::mutex> lk(mu_);
+  if (entries_.size() >= kCapacity &&
+      e.total_us <= entries_.back().total_us) {
+    return;
+  }
+  auto pos = std::upper_bound(
+      entries_.begin(), entries_.end(), e,
+      [](const Entry& a, const Entry& b) { return a.total_us > b.total_us; });
+  entries_.insert(pos, std::move(e));
+  if (entries_.size() > kCapacity) entries_.pop_back();
+  if (entries_.size() >= kCapacity) {
+    floor_us_.store(entries_.back().total_us, std::memory_order_relaxed);
+  }
+}
+
+std::vector<SlowQueryLog::Entry> SlowQueryLog::worst() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return entries_;
+}
+
+io::Json SlowQueryLog::to_json() const {
+  io::JsonArray arr;
+  for (const Entry& e : worst()) {
+    io::Json j;
+    j.set("trace_id", e.trace_id);
+    j.set("technology", e.technology);
+    j.set("cache_hash", static_cast<long long>(e.cache_hash));
+    j.set("from_cache", e.from_cache);
+    j.set("status", e.status);
+    j.set("queue_us", e.queue_us);
+    j.set("cache_us", e.cache_us);
+    j.set("solve_us", e.solve_us);
+    j.set("total_us", e.total_us);
+    arr.push(j);
+  }
+  io::Json out;
+  out.set("recorded", static_cast<long long>(recorded()));
+  out.set("entries", arr);
+  return out;
+}
+
+void SlowQueryLog::clear() {
+  std::lock_guard<std::mutex> lk(mu_);
+  entries_.clear();
+  floor_us_.store(0.0, std::memory_order_relaxed);
+  recorded_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace rlc::svc

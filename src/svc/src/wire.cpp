@@ -5,7 +5,12 @@
 #include "rlc/base/version.hpp"
 #include "rlc/io/json.hpp"
 #include "rlc/io/json_reader.hpp"
+#include "rlc/obs/exporter.hpp"
+#include "rlc/obs/metrics.hpp"
+#include "rlc/obs/trace.hpp"
+#include "rlc/svc/router.hpp"
 #include "rlc/svc/serve.hpp"
+#include "rlc/svc/slowlog.hpp"
 
 namespace rlc::svc::wire {
 
@@ -74,6 +79,38 @@ Parsed parse_line(const std::string& line) {
     p.op = Parsed::Op::kPing;
     return p;
   }
+  if (op == "metrics") {
+    p.format = v.string_or("format", "prometheus");
+    if (p.format != "prometheus" && p.format != "json" &&
+        p.format != "text") {
+      p.error = rlc::Status::invalid_argument(
+          "metrics format \"" + p.format +
+          "\" unknown (prometheus | json | text)");
+      return p;
+    }
+    p.op = Parsed::Op::kMetrics;
+    return p;
+  }
+  if (op == "stats") {
+    p.op = Parsed::Op::kStats;
+    return p;
+  }
+  if (op == "trace") {
+    p.trace_action = v.string_or("action", "");
+    if (p.trace_action != "start" && p.trace_action != "stop" &&
+        p.trace_action != "dump") {
+      p.error = rlc::Status::invalid_argument(
+          p.trace_action.empty()
+              ? std::string("trace request needs an \"action\" field "
+                            "(start | stop | dump)")
+              : "trace action \"" + p.trace_action +
+                    "\" unknown (start | stop | dump)");
+      return p;
+    }
+    p.chrome = v.bool_or("chrome", false);
+    p.op = Parsed::Op::kTrace;
+    return p;
+  }
   if (op == "query") {
     rlc::StatusOr<QueryRequest> req = QueryRequest::from_json(v);
     if (!req.is_ok()) {
@@ -112,9 +149,104 @@ Parsed parse_line(const std::string& line) {
     return p;
   }
   p.error = rlc::Status::invalid_argument(
-      op.empty() ? std::string("request needs an \"op\" field")
-                 : "unknown op \"" + op + "\" (query | scenario | ping)");
+      op.empty()
+          ? std::string("request needs an \"op\" field")
+          : "unknown op \"" + op +
+                "\" (query | scenario | ping | metrics | stats | trace)");
   return p;
+}
+
+namespace {
+
+io::Json cache_stats_json(const LruCache<QueryResult>::Stats& cs) {
+  io::Json j;
+  j.set("hits", static_cast<long long>(cs.hits));
+  j.set("misses", static_cast<long long>(cs.misses));
+  j.set("evictions", static_cast<long long>(cs.evictions));
+  j.set("size", static_cast<long long>(cs.size));
+  j.set("capacity", static_cast<long long>(cs.capacity));
+  return j;
+}
+
+std::string render_metrics(const Parsed& p) {
+  const obs::MetricsSnapshot snap = obs::Registry::global().snapshot();
+  io::Json result;
+  result.set("format", p.format);
+  if (p.format == "json") {
+    result.set("metrics", obs::Exporter::json(snap));
+  } else if (p.format == "text") {
+    result.set("content_type", "text/plain");
+    result.set("body", obs::Exporter::text(snap));
+  } else {
+    result.set("content_type", obs::Exporter::content_type());
+    result.set("body", obs::Exporter::prometheus(snap));
+  }
+  return render_ok(p.id, result);
+}
+
+std::string render_stats(const Parsed& p, const AdminEnv& env) {
+  io::Json result;
+  if (env.server_block) result.set("server", env.server_block());
+  io::JsonArray shards;
+  if (env.router != nullptr) {
+    for (std::size_t i = 0; i < env.router->shards(); ++i) {
+      io::Json s;
+      s.set("shard", static_cast<long long>(i));
+      s.set("threads",
+            static_cast<long long>(env.router->shard(i).threads()));
+      s.set("cache", cache_stats_json(env.router->shard(i).cache_stats()));
+      shards.push(s);
+    }
+  } else if (env.session != nullptr) {
+    io::Json s;
+    s.set("shard", 0);
+    s.set("threads", static_cast<long long>(env.session->threads()));
+    s.set("cache", cache_stats_json(env.session->cache_stats()));
+    shards.push(s);
+  }
+  result.set("shards", shards);
+  const obs::Tracer& tracer = obs::Tracer::global();
+  io::Json trace;
+  trace.set("enabled", obs::Tracer::enabled());
+  trace.set("span_count", static_cast<long long>(tracer.span_count()));
+  trace.set("dropped", static_cast<long long>(tracer.dropped()));
+  trace.set("ring_capacity", static_cast<long long>(tracer.ring_capacity()));
+  result.set("trace", trace);
+  result.set("slow_queries", SlowQueryLog::global().to_json());
+  return render_ok(p.id, result);
+}
+
+std::string render_trace(const Parsed& p) {
+  obs::Tracer& tracer = obs::Tracer::global();
+  io::Json result;
+  if (p.trace_action == "start") {
+    tracer.enable();
+    result.set("tracing", true);
+  } else if (p.trace_action == "stop") {
+    tracer.disable();
+    result.set("tracing", false);
+  } else {  // dump
+    result.set("tracing", obs::Tracer::enabled());
+    result.set("rollup", tracer.rollup_json());
+    if (p.chrome) result.set("chrome_trace", tracer.chrome_trace_json());
+  }
+  return render_ok(p.id, result);
+}
+
+}  // namespace
+
+std::string execute_admin(const Parsed& p, const AdminEnv& env) {
+  switch (p.op) {
+    case Parsed::Op::kMetrics:
+      return render_metrics(p);
+    case Parsed::Op::kStats:
+      return render_stats(p, env);
+    case Parsed::Op::kTrace:
+      return render_trace(p);
+    default:
+      return render_error(
+          p.id, rlc::Status::internal("execute_admin on a non-admin op"));
+  }
 }
 
 std::string execute_and_render(Session& session, const Parsed& p,
@@ -136,6 +268,13 @@ std::string execute_and_render(Session& session, const Parsed& p,
           session.run_scenario(p.spec, p.deadline_seconds);
       return r.is_ok() ? render_ok(p.id, r->to_json())
                        : render_error(p.id, r.status());
+    }
+    case Parsed::Op::kMetrics:
+    case Parsed::Op::kStats:
+    case Parsed::Op::kTrace: {
+      AdminEnv env;
+      env.session = &session;
+      return execute_admin(p, env);
     }
     case Parsed::Op::kError:
       break;

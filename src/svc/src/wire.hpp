@@ -7,6 +7,7 @@
 /// parses to one Parsed; one Parsed renders to exactly one response line.
 /// Not installed — the stable surface is serve.hpp / server.hpp.
 
+#include <functional>
 #include <string>
 #include <variant>
 
@@ -15,20 +16,29 @@
 #include "rlc/svc/query.hpp"
 #include "rlc/svc/session.hpp"
 
+namespace rlc::svc {
+class ShardRouter;
+}  // namespace rlc::svc
+
 namespace rlc::svc::wire {
 
 /// Echoed request id: absent, string, or number (other kinds are rejected
 /// as malformed so a response can always be correlated unambiguously).
 using RequestId = std::variant<std::monostate, std::string, double>;
 
-/// One parsed request line, ready to execute.
+/// One parsed request line, ready to execute.  kMetrics/kStats/kTrace are
+/// the reserved admin ops — answered inline by the front end (never queued
+/// behind solver work) from live registry/tracer/router state.
 struct Parsed {
-  enum class Op { kQuery, kScenario, kPing, kError };
+  enum class Op { kQuery, kScenario, kPing, kMetrics, kStats, kTrace, kError };
   Op op = Op::kError;
   RequestId id;
   QueryRequest query;
   scenario::ScenarioSpec spec;
   double deadline_seconds = Session::kNoDeadline;
+  std::string format = "prometheus";  ///< kMetrics: prometheus | json | text
+  std::string trace_action;           ///< kTrace: start | stop | dump
+  bool chrome = false;  ///< kTrace dump: include the Chrome trace document
   rlc::Status error;  ///< op == kError: what was wrong with the line
 };
 
@@ -39,11 +49,26 @@ Parsed parse_line(const std::string& line);
 std::string render_ok(const RequestId& id, const io::Json& result);
 std::string render_error(const RequestId& id, const rlc::Status& st);
 
+/// What the admin ops can see.  `session` is required (single-session
+/// front end stats); `router` adds per-shard cache stats when serving
+/// sharded; `server_block`, when set, contributes the event-loop server's
+/// own counters (connections, bytes, queue depths) to the stats response.
+struct AdminEnv {
+  Session* session = nullptr;
+  ShardRouter* router = nullptr;
+  std::function<io::Json()> server_block;
+};
+
+/// Execute one admin op (kMetrics/kStats/kTrace) against live process
+/// state and render the response line.  Cheap and lock-light by design —
+/// front ends answer these inline on the I/O thread, like pings.
+std::string execute_admin(const Parsed& p, const AdminEnv& env);
+
 /// The full per-request execution shared by both front ends: queries go
 /// through session.submit, scenarios through session.run_scenario, pings
-/// answer inline, errors echo their Status.  `threads` is what a ping
-/// reports (the serving concurrency, which for a sharded server is not the
-/// session's own pool size).
+/// and admin ops answer inline, errors echo their Status.  `threads` is
+/// what a ping reports (the serving concurrency, which for a sharded
+/// server is not the session's own pool size).
 std::string execute_and_render(Session& session, const Parsed& p,
                                std::size_t threads);
 

@@ -1,0 +1,205 @@
+/// rlc::obs::Exporter: the single formatting authority for metrics.
+/// Golden Prometheus text for a hand-built snapshot, name sanitization of
+/// the registry's dotted names, bucket cumulativity of the histogram
+/// family, collision disambiguation, snapshot filtering, and a
+/// scrape-under-load race (renderers vs live recorders — run under TSan
+/// in CI).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "rlc/obs/exporter.hpp"
+#include "rlc/obs/metrics.hpp"
+
+namespace {
+
+using rlc::obs::Exporter;
+using rlc::obs::HistogramSnapshot;
+using rlc::obs::MetricsSnapshot;
+using rlc::obs::Registry;
+
+HistogramSnapshot make_hist(const std::string& name,
+                            const std::vector<double>& samples, double lo,
+                            double hi, int n) {
+  HistogramSnapshot h;
+  h.name = name;
+  h.lo = lo;
+  h.hi = hi;
+  h.bins.assign(static_cast<std::size_t>(n) + 2, 0);
+  for (double v : samples) {
+    ++h.bins[HistogramSnapshot::bin_index(lo, hi, n, v)];
+    ++h.count;
+    h.sum += v;
+    h.min = h.count == 1 ? v : std::min(h.min, v);
+    h.max = h.count == 1 ? v : std::max(h.max, v);
+  }
+  return h;
+}
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> out;
+  std::istringstream in(text);
+  for (std::string line; std::getline(in, line);) out.push_back(line);
+  return out;
+}
+
+TEST(ExporterNames, SanitizesDotsDashesAndBadStarts) {
+  EXPECT_EQ(Exporter::sanitize_metric_name("svc.cache.hits"),
+            "svc_cache_hits");
+  EXPECT_EQ(Exporter::sanitize_metric_name("load-latency.us"),
+            "load_latency_us");
+  EXPECT_EQ(Exporter::sanitize_metric_name("newton.2d.solves"),
+            "newton_2d_solves");
+  EXPECT_EQ(Exporter::sanitize_metric_name("9lives"), "_9lives");
+  EXPECT_EQ(Exporter::sanitize_metric_name(""), "_");
+  EXPECT_EQ(Exporter::sanitize_metric_name("already_fine:ok"),
+            "already_fine:ok");
+  EXPECT_EQ(Exporter::sanitize_metric_name("sp ace/slash"),
+            "sp_ace_slash");
+}
+
+TEST(ExporterNames, EscapesLabelValues) {
+  EXPECT_EQ(Exporter::escape_label_value("plain"), "plain");
+  EXPECT_EQ(Exporter::escape_label_value("a\"b"), "a\\\"b");
+  EXPECT_EQ(Exporter::escape_label_value("a\\b"), "a\\\\b");
+  EXPECT_EQ(Exporter::escape_label_value("a\nb"), "a\\nb");
+}
+
+TEST(ExporterPrometheus, GoldenCounterAndGauge) {
+  MetricsSnapshot snap;
+  snap.counters.emplace_back("svc.requests", 42);
+  snap.gauges.emplace_back("pool.pending", 7);
+  EXPECT_EQ(Exporter::prometheus(snap),
+            "# TYPE svc_requests counter\n"
+            "svc_requests 42\n"
+            "# TYPE pool_pending gauge\n"
+            "pool_pending 7\n");
+}
+
+TEST(ExporterPrometheus, HistogramBucketsAreCumulativeAndEndAtInf) {
+  MetricsSnapshot snap;
+  // 4 interior bins over [1, 16]: edges 1, 2, 4, 8, 16.  One underflow
+  // sample (0.5), one overflow sample (100), interior samples 1.5 and 3.
+  snap.histograms.push_back(
+      make_hist("svc.latency.us", {0.5, 1.5, 3.0, 100.0}, 1.0, 16.0, 4));
+  const std::string out = Exporter::prometheus(snap);
+  const std::vector<std::string> lines = lines_of(out);
+  ASSERT_EQ(lines.size(), 9u);
+  EXPECT_EQ(lines[0], "# TYPE svc_latency_us histogram");
+  // Underflow counts under every finite edge; overflow only under +Inf.
+  EXPECT_EQ(lines[1], "svc_latency_us_bucket{le=\"1\"} 1");
+  EXPECT_EQ(lines[2], "svc_latency_us_bucket{le=\"2\"} 2");
+  EXPECT_EQ(lines[3], "svc_latency_us_bucket{le=\"4\"} 3");
+  EXPECT_EQ(lines[4], "svc_latency_us_bucket{le=\"8\"} 3");
+  EXPECT_EQ(lines[5], "svc_latency_us_bucket{le=\"16\"} 3");
+  EXPECT_EQ(lines[6], "svc_latency_us_bucket{le=\"+Inf\"} 4");
+  EXPECT_EQ(lines[7], "svc_latency_us_sum 105");
+  EXPECT_EQ(lines[8], "svc_latency_us_count 4");
+}
+
+TEST(ExporterPrometheus, BucketCountsNeverDecrease) {
+  MetricsSnapshot snap;
+  std::vector<double> samples;
+  for (int i = 0; i < 500; ++i) samples.push_back(0.01 * (i + 1) * (i + 1));
+  snap.histograms.push_back(make_hist("h", samples, 1.0, 1000.0, 24));
+  std::uint64_t prev = 0;
+  bool saw_inf = false;
+  for (const std::string& line : lines_of(Exporter::prometheus(snap))) {
+    if (line.rfind("h_bucket", 0) != 0) continue;
+    const std::uint64_t v = std::stoull(line.substr(line.rfind(' ') + 1));
+    EXPECT_GE(v, prev) << line;
+    prev = v;
+    saw_inf = saw_inf || line.find("le=\"+Inf\"") != std::string::npos;
+  }
+  EXPECT_TRUE(saw_inf);
+  EXPECT_EQ(prev, snap.histograms[0].count);  // +Inf bucket is the total
+}
+
+TEST(ExporterPrometheus, CollidingSanitizedNamesGetDistinctSeries) {
+  MetricsSnapshot snap;
+  snap.counters.emplace_back("svc.cache.hits", 1);
+  snap.counters.emplace_back("svc.cache-hits", 2);
+  snap.counters.emplace_back("svc.cache_hits", 3);
+  const std::string out = Exporter::prometheus(snap);
+  // All three must appear, under three distinct names.
+  std::vector<std::string> sample_names;
+  for (const std::string& line : lines_of(out)) {
+    if (line.empty() || line[0] == '#') continue;
+    sample_names.push_back(line.substr(0, line.find(' ')));
+  }
+  ASSERT_EQ(sample_names.size(), 3u);
+  EXPECT_NE(sample_names[0], sample_names[1]);
+  EXPECT_NE(sample_names[1], sample_names[2]);
+  EXPECT_NE(sample_names[0], sample_names[2]);
+}
+
+TEST(ExporterJson, DelegatesToSnapshotToJson) {
+  MetricsSnapshot snap;
+  snap.counters.emplace_back("a.b", 5);
+  EXPECT_EQ(Exporter::json(snap).str(), snap.to_json().str());
+}
+
+TEST(ExporterText, TableDelegatesToText) {
+  MetricsSnapshot snap;
+  snap.counters.emplace_back("a.b", 5);
+  snap.gauges.emplace_back("g", -2);
+  EXPECT_EQ(snap.table(), Exporter::text(snap));
+  EXPECT_NE(Exporter::text(snap).find("a.b"), std::string::npos);
+}
+
+TEST(ExporterFilter, KeepsOnlyThePrefix) {
+  MetricsSnapshot snap;
+  snap.counters.emplace_back("svc.requests", 1);
+  snap.counters.emplace_back("newton.solves", 2);
+  snap.gauges.emplace_back("svc.open", 3);
+  snap.gauges.emplace_back("pool.pending", 4);
+  snap.histograms.push_back(make_hist("svc.lat", {1.0}, 1.0, 10.0, 4));
+  snap.histograms.push_back(make_hist("load.lat", {1.0}, 1.0, 10.0, 4));
+  const MetricsSnapshot kept = Exporter::filter(snap, "svc.");
+  ASSERT_EQ(kept.counters.size(), 1u);
+  EXPECT_EQ(kept.counters[0].first, "svc.requests");
+  ASSERT_EQ(kept.gauges.size(), 1u);
+  EXPECT_EQ(kept.gauges[0].first, "svc.open");
+  ASSERT_EQ(kept.histograms.size(), 1u);
+  EXPECT_EQ(kept.histograms[0].name, "svc.lat");
+}
+
+TEST(ExporterPrometheus, EmptySnapshotRendersEmpty) {
+  EXPECT_EQ(Exporter::prometheus(MetricsSnapshot{}), "");
+}
+
+// The admin endpoint renders snapshots while the serving plane records —
+// this is exactly the scrape-under-load pattern, and it must be race-free
+// (TSan runs this binary in CI).
+TEST(ExporterConcurrency, ScrapeWhileRecordingIsClean) {
+  auto& reg = Registry::global();
+  const int c = reg.counter("exporter.race.count");
+  const int h = reg.histogram("exporter.race.lat", 1.0, 1.0e6, 16);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  writers.reserve(4);
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        reg.add(c);
+        reg.record(h, 123.0);
+      }
+    });
+  }
+  std::string last;
+  for (int i = 0; i < 200; ++i) {
+    last = Exporter::prometheus(reg.snapshot());
+  }
+  stop.store(true);
+  for (auto& th : writers) th.join();
+  EXPECT_NE(last.find("exporter_race_count"), std::string::npos);
+  EXPECT_NE(last.find("exporter_race_lat_bucket"), std::string::npos);
+}
+
+}  // namespace

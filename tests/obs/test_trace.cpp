@@ -252,4 +252,49 @@ TEST(TraceDeterminism, ScenarioNumbersAreIdenticalWithTracingOnAndOff) {
   EXPECT_GT(newton_span->count, 0u);
 }
 
+// RLC_TRACE_RING parsing is strict for the same reason RLC_NUM_THREADS is:
+// a garbled ring size is a configuration error worth stopping for, not
+// something to paper over with the default.  (The drivers exit 2 on a bad
+// value; the library constructor falls back to the default with a warning.)
+TEST(TraceRingEnv, UnsetMeansDefault) {
+  const auto parsed = Tracer::parse_ring_capacity_strict(nullptr);
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
+  EXPECT_EQ(*parsed, 0u);  // 0 = "use the compiled-in default"
+}
+
+TEST(TraceRingEnv, AcceptsPlainPositiveIntegers) {
+  const auto parsed = Tracer::parse_ring_capacity_strict("4096");
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
+  EXPECT_EQ(*parsed, 4096u);
+  const auto one = Tracer::parse_ring_capacity_strict("1");
+  ASSERT_TRUE(one.is_ok());
+  EXPECT_EQ(*one, 1u);
+  const auto max = Tracer::parse_ring_capacity_strict(
+      std::to_string(Tracer::kMaxRingCapacity).c_str());
+  ASSERT_TRUE(max.is_ok());
+  EXPECT_EQ(*max, Tracer::kMaxRingCapacity);
+}
+
+TEST(TraceRingEnv, RejectsGarbageZeroNegativeAndOversize) {
+  EXPECT_FALSE(Tracer::parse_ring_capacity_strict("").is_ok());
+  EXPECT_FALSE(Tracer::parse_ring_capacity_strict("  ").is_ok());
+  EXPECT_FALSE(Tracer::parse_ring_capacity_strict("abc").is_ok());
+  EXPECT_FALSE(Tracer::parse_ring_capacity_strict("12abc").is_ok());
+  EXPECT_FALSE(Tracer::parse_ring_capacity_strict("4096.5").is_ok());
+  EXPECT_FALSE(Tracer::parse_ring_capacity_strict("0").is_ok());
+  EXPECT_FALSE(Tracer::parse_ring_capacity_strict("-1").is_ok());
+  EXPECT_FALSE(
+      Tracer::parse_ring_capacity_strict("99999999999999999999").is_ok());
+  EXPECT_FALSE(Tracer::parse_ring_capacity_strict(
+                   std::to_string(Tracer::kMaxRingCapacity + 1).c_str())
+                   .is_ok());
+}
+
+TEST(TraceRingEnv, DefaultRingCapacityMatchesTheCompiledConstant) {
+  // The suite runs without RLC_TRACE_RING set, so the live tracer must
+  // report the compiled-in default (FullRingDropsNewestAndCountsThem
+  // depends on exactly this).
+  EXPECT_EQ(Tracer::global().ring_capacity(), Tracer::kRingCapacity);
+}
+
 }  // namespace

@@ -141,6 +141,64 @@ TEST(QueryRequest, CacheKeyIgnoresDeadlineOnly) {
   EXPECT_TRUE(differs([](QueryRequest& q) { q.noise_vmax = 0.1; }));
 }
 
+// trace_id is delivery metadata like deadline_seconds: it must never split
+// the cache key (a traced and an untraced client share the same cached
+// solve) and must stay invisible on the wire unless the client sent one —
+// rlc_load splices to_json() bodies byte-for-byte, so this is load-bearing.
+TEST(QueryRequest, TraceIdIsCacheKeyAndSchemaTransparent) {
+  QueryRequest a;
+  QueryRequest b = a;
+  b.trace_id = "req-7";
+  EXPECT_EQ(a.cache_key(), b.cache_key());
+  EXPECT_EQ(a.cache_hash(), b.cache_hash());
+
+  // Untraced requests render without any trace field at all.
+  EXPECT_EQ(a.to_json().str().find("trace_id"), std::string::npos);
+  const std::string traced = b.to_json().str();
+  EXPECT_NE(traced.find("\"trace_id\": \"req-7\""), std::string::npos);
+
+  // Round trip keeps the id.
+  const auto back = QueryRequest::from_json(io::parse_json(traced));
+  ASSERT_TRUE(back.is_ok()) << back.status().to_string();
+  EXPECT_EQ(back->trace_id, "req-7");
+  EXPECT_EQ(back->cache_key(), a.cache_key());
+}
+
+TEST(QueryRequest, TraceIdLengthIsCapped) {
+  QueryRequest q;
+  q.trace_id = std::string(QueryRequest::kMaxTraceIdLength, 'x');
+  EXPECT_TRUE(q.validate().is_ok());
+  q.trace_id += 'x';
+  EXPECT_EQ(q.validate().code(), StatusCode::kInvalidArgument);
+}
+
+// Untraced results render without the per-stage timing block, so existing
+// clients see byte-identical responses; traced results carry it.
+TEST(QueryResult, TraceBlockOnlyWhenTraced) {
+  QueryResult r;
+  r.h = 1.0e-3;
+  const std::string plain = r.to_json().str();
+  EXPECT_EQ(plain.find("trace_id"), std::string::npos);
+  EXPECT_EQ(plain.find("queue_us"), std::string::npos);
+
+  r.trace_id = "t1";
+  r.queue_us = 12.5;
+  r.cache_us = 1.5;
+  r.solve_us = 800.0;
+  const std::string traced = r.to_json().str();
+  EXPECT_NE(traced.find("\"trace_id\": \"t1\""), std::string::npos);
+  EXPECT_NE(traced.find("\"queue_us\": 12.5"), std::string::npos);
+  EXPECT_NE(traced.find("\"cache_us\": 1.5"), std::string::npos);
+  EXPECT_NE(traced.find("\"solve_us\": 800"), std::string::npos);
+
+  // The trace block must not disturb answer equality (it is delivery
+  // metadata, not physics).
+  QueryResult untraced = r;
+  untraced.trace_id.clear();
+  untraced.queue_us = untraced.cache_us = untraced.solve_us = 0.0;
+  EXPECT_TRUE(r.same_answer(untraced));
+}
+
 TEST(LruCache, HitMissAndRecency) {
   LruCache<int> cache(2);
   EXPECT_FALSE(cache.get("a").has_value());

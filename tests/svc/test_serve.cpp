@@ -7,6 +7,7 @@
 
 #include "rlc/base/version.hpp"
 #include "rlc/io/json_reader.hpp"
+#include "rlc/svc/slowlog.hpp"
 
 namespace rlc::svc {
 namespace {
@@ -194,6 +195,116 @@ TEST_F(ServeTest, UnknownScenarioIsNotFoundOnTheWire) {
       "{\"op\":\"scenario\",\"spec\":{\"scenario\":\"no_such_thing\"}}");
   EXPECT_EQ(v.string_or("status", ""), "not_found");
   EXPECT_EQ(v.int_or("code", -1), 2);
+}
+
+// ---------------------------------------------------------------------------
+// Live telemetry on the stdio front end
+
+TEST_F(ServeTest, AdminOpsWorkWithoutAnEventLoop) {
+  // The stdio front end exposes the same admin surface as the socket
+  // server, minus the server block (there is no event loop to report on).
+  const io::JsonValue metrics =
+      response_of(server_, "{\"op\":\"metrics\",\"id\":1}");
+  ASSERT_EQ(metrics.string_or("status", ""), "ok");
+  const io::JsonValue* mr = metrics.find("result");
+  ASSERT_NE(mr, nullptr);
+  EXPECT_EQ(mr->string_or("format", ""), "prometheus");
+  EXPECT_EQ(mr->string_or("content_type", ""), "text/plain; version=0.0.4");
+
+  const io::JsonValue json_fmt = response_of(
+      server_, "{\"op\":\"metrics\",\"format\":\"json\",\"id\":2}");
+  ASSERT_EQ(json_fmt.string_or("status", ""), "ok");
+  EXPECT_NE(json_fmt.find("result")->find("metrics"), nullptr);
+
+  const io::JsonValue stats = response_of(server_, "{\"op\":\"stats\"}");
+  ASSERT_EQ(stats.string_or("status", ""), "ok");
+  const io::JsonValue* sr = stats.find("result");
+  ASSERT_NE(sr, nullptr);
+  EXPECT_EQ(sr->find("server"), nullptr);  // no event loop behind stdio
+  const io::JsonValue* shards = sr->find("shards");
+  ASSERT_NE(shards, nullptr);
+  ASSERT_EQ(shards->items().size(), 1u);
+  EXPECT_NE(sr->find("trace"), nullptr);
+  EXPECT_NE(sr->find("slow_queries"), nullptr);
+
+  const io::JsonValue bad = response_of(
+      server_, "{\"op\":\"metrics\",\"format\":\"protobuf\"}");
+  EXPECT_EQ(bad.string_or("status", ""), "invalid_argument");
+}
+
+TEST_F(ServeTest, TracedColdCoupledQueryLandsInTheSlowLogWithStageTimes) {
+  // The acceptance path: a client-traced cold coupled query must come back
+  // stamped with its trace_id and per-stage timings (solve_us > 0 for a
+  // cold solve), and the slow-query log must attribute the same request.
+  SlowQueryLog::global().clear();
+  const io::JsonValue v = response_of(
+      server_,
+      "{\"op\":\"query\",\"id\":1,\"technology\":\"100nm\",\"l\":1.1e-6,"
+      "\"n_conductors\":2,\"coupling_cc\":2.5e-11,\"coupling_km\":0.25,"
+      "\"trace_id\":\"slow-accept-1\"}");
+  ASSERT_EQ(v.string_or("status", ""), "ok") << v.string_or("message", "");
+  const io::JsonValue* result = v.find("result");
+  ASSERT_NE(result, nullptr);
+  EXPECT_EQ(result->string_or("trace_id", ""), "slow-accept-1");
+  EXPECT_GT(result->number_or("solve_us", -1.0), 0.0);
+  EXPECT_GE(result->number_or("queue_us", -1.0), 0.0);
+  EXPECT_GE(result->number_or("cache_us", -1.0), 0.0);
+
+  const std::vector<SlowQueryLog::Entry> worst = SlowQueryLog::global().worst();
+  ASSERT_FALSE(worst.empty());
+  const SlowQueryLog::Entry* mine = nullptr;
+  for (const auto& e : worst) {
+    if (e.trace_id == "slow-accept-1") mine = &e;
+  }
+  ASSERT_NE(mine, nullptr) << "traced request missing from the slow log";
+  EXPECT_EQ(mine->technology, "100nm");
+  EXPECT_EQ(mine->status, "ok");
+  EXPECT_FALSE(mine->from_cache);
+  EXPECT_GT(mine->solve_us, 0.0);
+  EXPECT_GE(mine->total_us, mine->solve_us);
+
+  // A repeat of the same key is a cache hit: still stamped with ITS OWN
+  // trace id, but with solve_us == 0 and from_cache in the log.
+  const io::JsonValue hit = response_of(
+      server_,
+      "{\"op\":\"query\",\"id\":2,\"technology\":\"100nm\",\"l\":1.1e-6,"
+      "\"n_conductors\":2,\"coupling_cc\":2.5e-11,\"coupling_km\":0.25,"
+      "\"trace_id\":\"slow-accept-2\"}");
+  ASSERT_EQ(hit.string_or("status", ""), "ok");
+  EXPECT_EQ(hit.find("result")->string_or("trace_id", ""), "slow-accept-2");
+  EXPECT_EQ(hit.find("result")->number_or("solve_us", -1.0), 0.0);
+
+  // An untraced repeat sees the cached result WITHOUT any trace leakage
+  // from the traced clients that warmed the key.
+  const io::JsonValue plain = response_of(
+      server_,
+      "{\"op\":\"query\",\"id\":3,\"technology\":\"100nm\",\"l\":1.1e-6,"
+      "\"n_conductors\":2,\"coupling_cc\":2.5e-11,\"coupling_km\":0.25}");
+  ASSERT_EQ(plain.string_or("status", ""), "ok");
+  EXPECT_EQ(plain.find("result")->find("trace_id"), nullptr);
+  EXPECT_EQ(plain.find("result")->find("solve_us"), nullptr);
+  SlowQueryLog::global().clear();
+}
+
+TEST_F(ServeTest, SlowLogKeepsTheWorstNOrderedByTotal) {
+  SlowQueryLog::global().clear();
+  for (int i = 0; i < 50; ++i) {
+    SlowQueryLog::Entry e;
+    e.trace_id = "t" + std::to_string(i);
+    e.status = "ok";
+    e.total_us = static_cast<double>(100 + i);
+    SlowQueryLog::global().note(e);
+  }
+  const auto worst = SlowQueryLog::global().worst();
+  ASSERT_EQ(worst.size(), SlowQueryLog::kCapacity);
+  // Descending by total, and only the top 32 of the 50 survive.
+  EXPECT_EQ(worst.front().total_us, 149.0);
+  EXPECT_EQ(worst.back().total_us, 118.0);
+  for (std::size_t i = 1; i < worst.size(); ++i) {
+    EXPECT_LE(worst[i].total_us, worst[i - 1].total_us);
+  }
+  EXPECT_EQ(SlowQueryLog::global().recorded(), 50u);
+  SlowQueryLog::global().clear();
 }
 
 }  // namespace
