@@ -58,14 +58,15 @@ void usage(std::FILE* out) {
 
 void list_scenarios() {
   const auto& reg = rlc::scenario::ScenarioRegistry::global();
-  std::printf("%-24s %-10s %s\n", "name", "group", "title");
+  std::printf("%-24s %-10s %-9s %s\n", "name", "group", "objective", "title");
   bench::rule();
   for (const auto& name : reg.names()) {
     const auto* s = reg.find(name);
-    std::printf("%-24s %-10s %s\n", s->name.c_str(), s->group.c_str(),
-                s->title.c_str());
+    std::printf("%-24s %-10s %-9s %s\n", s->name.c_str(), s->group.c_str(),
+                s->objective.c_str(), s->title.c_str());
   }
-  std::printf("\n%zu scenarios registered.\n", reg.size());
+  std::printf("\n%zu scenarios registered (BENCH schema v%d).\n", reg.size(),
+              rlc::scenario::kSchemaVersion);
 }
 
 }  // namespace

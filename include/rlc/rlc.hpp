@@ -13,7 +13,9 @@
 /// The stable surface is, from the bottom of the stack up:
 ///   * rlc::Status / rlc::StatusOr<T>, rlc::version()  (rlc/base)
 ///   * cancellation tokens + deadlines                 (rlc/base/cancel.hpp)
-///   * the checked optimizer entry points              (rlc/core/optimizer.hpp)
+///   * the typed optimize() entry point + Pareto sweep (rlc/core/optimize_api.hpp)
+///   * its thin legacy wrappers                        (rlc/core/optimizer.hpp)
+///   * the repeater-chain power models                 (rlc/core/power.hpp)
 ///   * ScenarioSpec/ScenarioResult + the registry      (rlc/scenario)
 ///   * Session / Server — the query service            (rlc/svc)
 ///
@@ -27,7 +29,9 @@
 #include "rlc/base/cancel.hpp"
 #include "rlc/base/status.hpp"
 #include "rlc/base/version.hpp"
+#include "rlc/core/optimize_api.hpp"
 #include "rlc/core/optimizer.hpp"
+#include "rlc/core/power.hpp"
 #include "rlc/core/technology.hpp"
 #include "rlc/scenario/registry.hpp"
 #include "rlc/scenario/result.hpp"

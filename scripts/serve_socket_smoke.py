@@ -11,6 +11,11 @@ before the write side is half-closed, so the EOF flush path (serve
 buffered lines on half-close, getline semantics for the unterminated tail)
 is covered too.
 
+Between the phases one objective:"power" query runs end to end (the ok
+response must carry a consistent power block and beat the delay-optimal
+reference power at 10% slack) and one unknown-objective query must come
+back as a typed invalid_argument naming the offending value.
+
 Phase 2 (concurrent clients): --clients connections at once, each sending
 its own burst of more than max_batch requests with per-client ids.  Every
 client must get exactly its own responses, in its own request order — the
@@ -78,6 +83,45 @@ def run_burst(sock_path: str, requests: int, first_id: int,
     return None
 
 
+def run_power_query(sock_path: str, timeout: float) -> str | None:
+    """One objective:"power" round-trip: the typed objective API must work
+    end to end over the socket — an ok response carrying the power block,
+    and a typed invalid_argument (naming the bad value) for an unknown
+    objective.  Returns None on success, an error description otherwise."""
+    reqs = [
+        {"op": "query", "id": "power-ok", "technology": "100nm", "l": 1e-6,
+         "objective": "power", "delay_slack_eps": 0.1},
+        {"op": "query", "id": "power-bad", "technology": "100nm", "l": 1e-6,
+         "objective": "minpower"},
+    ]
+    payload = "\n".join(json.dumps(r) for r in reqs) + "\n"
+    with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as conn:
+        conn.connect(sock_path)
+        conn.sendall(payload.encode("utf-8"))
+        conn.shutdown(socket.SHUT_WR)
+        lines = recv_lines(conn, len(reqs), timeout)
+    if len(lines) != len(reqs):
+        return f"sent {len(reqs)} power requests, got {len(lines)} responses"
+    ok = json.loads(lines[0])
+    if ok.get("id") != "power-ok" or ok.get("status") != "ok":
+        return f"power query did not succeed: {lines[0]!r}"
+    result = ok.get("result", {})
+    total = result.get("power_total", 0)
+    parts = (result.get("power_dynamic", 0) + result.get("power_short_circuit", 0)
+             + result.get("power_leakage", 0))
+    if not (isinstance(total, float) and total > 0):
+        return f"ok power response without a positive power_total: {lines[0]!r}"
+    if abs(parts - total) > 1e-9 * total:
+        return f"power_total {total} != sum of components {parts}"
+    if not result.get("power_total") < result.get("power_ref", 0):
+        return "10% slack bought no power at all"
+    bad = json.loads(lines[1])
+    if bad.get("status") != "invalid_argument" \
+            or "minpower" not in bad.get("message", ""):
+        return f"unknown objective not rejected by name: {lines[1]!r}"
+    return None
+
+
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--server", default="./build/bench/rlc_serve")
@@ -104,6 +148,14 @@ def main() -> int:
             print(f"FAIL (single client): {error}", file=sys.stderr)
             return 1
 
+        # Phase 1b: one real optimizer round-trip per objective family —
+        # the power objective (with its wire-level power block) and the
+        # typed rejection of an unknown objective string.
+        error = run_power_query(sock_path, args.timeout)
+        if error is not None:
+            print(f"FAIL (power objective): {error}", file=sys.stderr)
+            return 1
+
         # Phase 2: concurrent clients, ids namespaced per client so any
         # cross-connection leak or reordering is caught by the id check.
         with concurrent.futures.ThreadPoolExecutor(args.clients) as pool:
@@ -123,8 +175,9 @@ def main() -> int:
 
         print(
             f"OK: burst of {args.requests} over max_batch={args.max_batch}, "
-            f"then {args.clients} concurrent clients x {args.requests} "
-            f"requests ({args.shards} shards), one ordered response each"
+            f"a power-objective round-trip, then {args.clients} concurrent "
+            f"clients x {args.requests} requests ({args.shards} shards), "
+            f"one ordered response each"
         )
         return 0
     finally:

@@ -54,6 +54,7 @@ EXPECTED_SCENARIOS = [
     "ablation_baselines", "ext_crosstalk", "ext_frequency_response",
     "ext_scaling_trend", "ext_skin_effect", "perf_solvers", "perf_exact",
     "xtalk_quiet", "xtalk_inphase", "xtalk_antiphase", "xtalk_noise_opt",
+    "power_100nm", "power_35nm", "pareto_100nm", "pareto_35nm",
 ]
 
 errors = []
@@ -267,10 +268,114 @@ def check_xtalk(name, d):
                           f"{row[vmax]} budget the optimizer promised")
 
 
+def check_power(name, d):
+    """power_<node>: delay-slack-constrained power minimization.  Every
+    answer must honour its slack bound against the scenario's own delay
+    reference, power must fall monotonically as slack grows (a looser
+    constraint can only help), and the solver must never lose to the
+    brute-force grid it is cross-checked against in-table."""
+    t, metrics = d["tables"][0], d["metrics"]
+    eps_c = col_index(t, "eps")
+    delay_c = col_index(t, "delay/len")
+    power_c = col_index(t, "power (mW/m)")
+    saved_c = col_index(t, "saved")
+    active_c = col_index(t, "active")
+    grid_c = col_index(t, "grid p")
+    if None in (eps_c, delay_c, power_c, saved_c, active_c, grid_c):
+        err(name, f"power table columns changed: {t['columns']}")
+        return
+    delay_ref = metrics.get("delay_ref_ps_mm", 0.0)
+    power_ref = metrics.get("power_ref_mW_m", 0.0)
+    if not delay_ref > 0 or not power_ref > 0:
+        err(name, f"delay_ref_ps_mm/power_ref_mW_m not positive: "
+                  f"{delay_ref}, {power_ref}")
+        return
+    prev_power = math.inf
+    for row in t["rows"]:
+        eps, dpl, p = row[eps_c], row[delay_c], row[power_c]
+        if not p > 0:
+            err(name, f"eps={eps} row: power {p} not positive")
+        if dpl > (1.0 + eps) * delay_ref * (1 + 1e-6):
+            err(name, f"eps={eps} row: delay {dpl} breaks the "
+                      f"(1+eps)*T_opt = {(1.0 + eps) * delay_ref} bound")
+        if p > prev_power * (1 + 1e-9):
+            err(name, f"eps={eps} row: power {p} rose above the tighter-"
+                      f"slack row's {prev_power} (monotonicity violated)")
+        prev_power = p
+        if eps == 0:
+            # Zero slack pins the delay optimum bitwise: nothing saved.
+            if abs(row[saved_c]) > 1e-9:
+                err(name, f"eps=0 row saved {row[saved_c]}% != 0")
+            if abs(p - power_ref) > 1e-9 * power_ref:
+                err(name, f"eps=0 row power {p} != power_ref {power_ref}")
+        gp = row[grid_c]
+        if isinstance(gp, (int, float)) and not isinstance(gp, bool):
+            if p > gp * (1 + 1e-9):
+                err(name, f"eps={eps} row: solver power {p} worse than the "
+                          f"best feasible grid point {gp}")
+    excess = metrics.get("max_grid_excess_pct", math.inf)
+    if excess > 1e-7:
+        err(name, f"max_grid_excess_pct = {excess}: the continuous solver "
+                  "lost to its own brute-force grid")
+
+
+def check_pareto(name, d):
+    """pareto_<node>: the emitted front must actually be a front — sorted
+    by delay with strictly decreasing power (structural non-dominance) —
+    and the summary metrics must restate its endpoints."""
+    t, metrics = d["tables"][0], d["metrics"]
+    delay_c = col_index(t, "delay/len")
+    power_c = col_index(t, "power (mW/m)")
+    dyn_c, sc_c, leak_c = (col_index(t, p) for p in ("dyn", "sc", "leak"))
+    if None in (delay_c, power_c, dyn_c, sc_c, leak_c):
+        err(name, f"pareto table columns changed: {t['columns']}")
+        return
+    rows = t["rows"]
+    if metrics.get("front_points") != len(rows):
+        err(name, f"front_points {metrics.get('front_points')} != "
+                  f"{len(rows)} table rows")
+    prev = None
+    for row in rows:
+        dpl, p = row[delay_c], row[power_c]
+        parts = row[dyn_c] + row[sc_c] + row[leak_c]
+        if not (p > 0 and row[dyn_c] > 0 and row[sc_c] > 0 and row[leak_c] > 0):
+            err(name, f"non-positive power component in row {row}")
+        if abs(parts - p) > 1e-6 * p:
+            err(name, f"power {p} != dyn+sc+leak {parts}")
+        if prev is not None:
+            pd, pp = prev
+            if not dpl > pd:
+                err(name, f"front not sorted by increasing delay: "
+                          f"{dpl} after {pd}")
+            if not p < pp:
+                err(name, f"dominated point on the front: power {p} not "
+                          f"below predecessor's {pp}")
+        prev = (dpl, p)
+    if rows:
+        checks = (("delay_min_ps_mm", rows[0][delay_c]),
+                  ("delay_max_ps_mm", rows[-1][delay_c]),
+                  ("power_max_mW_m", rows[0][power_c]),
+                  ("power_min_mW_m", rows[-1][power_c]))
+        for key, want in checks:
+            got = metrics.get(key)
+            if got is None or abs(got - want) > 1e-9 * abs(want):
+                err(name, f"metric {key} = {got} disagrees with the "
+                          f"table endpoint {want}")
+        if metrics.get("power_span_ratio", 0.0) < 1.0:
+            err(name, "power_span_ratio below 1: the frugal end is not "
+                      "cheaper than the fast end")
+
+
 def check_invariants(name, d):
     tables, metrics = d["tables"], d["metrics"]
     if name.startswith("xtalk_"):
         check_xtalk(name, d)
+        return
+    if name.startswith("power_"):
+        check_power(name, d)
+        return
+    if name.startswith("pareto_"):
+        check_pareto(name, d)
         return
     if name == "table1":
         # Paper Table 1: h_optRC 14.40 mm (250nm) / 11.10 mm (100nm).

@@ -28,14 +28,8 @@ struct DelayOptions {
   double f = 0.5;  ///< threshold fraction, 0 < f < 1 (50% delay default)
   double rel_tolerance = 1e-13;  ///< relative tolerance on tau
   int max_iterations = 100;
-
-  // Deprecated pre-1.0 spelling (see DESIGN.md "Options hygiene").
-  [[deprecated("renamed to rel_tolerance")]] double& rel_tol() {
-    return rel_tolerance;
-  }
-  [[deprecated("renamed to rel_tolerance")]] double rel_tol() const {
-    return rel_tolerance;
-  }
+  // The deprecated rel_tol accessor alias (one-release grace period, see
+  // DESIGN.md "Options hygiene") has been removed.
 };
 
 /// First time v(tau) = f.  Brackets the first crossing with a geometric

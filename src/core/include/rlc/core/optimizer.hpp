@@ -57,10 +57,9 @@ enum class OptimMethod { kNewton, kNelderMead };
 
 /// Naming convention (DESIGN.md "Options hygiene"): iteration budgets are
 /// `max_iterations`, tolerances are spelled-out `*_tolerance` — matching
-/// math::NewtonOptions / math::NelderMeadOptions.  The pre-1.0 abbreviated
-/// spellings survive one release as deprecated accessor functions onto the
-/// renamed fields (reading the inactive member of a union alias is formally
-/// UB, so field-spelled aliases are not an option).
+/// math::NewtonOptions / math::NelderMeadOptions.  The deprecated pre-1.0
+/// accessor aliases (max_newton_iterations, residual_tol) announced for a
+/// one-release grace period have been removed.
 struct OptimOptions {
   double f = 0.5;            ///< delay threshold fraction
   double h0 = 0.0;           ///< initial segment length (0: 0.9 * h_optRC)
@@ -68,20 +67,6 @@ struct OptimOptions {
   int max_iterations = 80;   ///< Newton budget for the (h, k) system
   double residual_tolerance = 1e-9;  ///< on normalized residuals
   bool allow_fallback = true;  ///< Nelder-Mead when Newton fails
-
-  [[deprecated("renamed to max_iterations")]] int& max_newton_iterations() {
-    return max_iterations;
-  }
-  [[deprecated("renamed to max_iterations")]] int max_newton_iterations()
-      const {
-    return max_iterations;
-  }
-  [[deprecated("renamed to residual_tolerance")]] double& residual_tol() {
-    return residual_tolerance;
-  }
-  [[deprecated("renamed to residual_tolerance")]] double residual_tol() const {
-    return residual_tolerance;
-  }
 };
 
 struct OptimResult {
@@ -175,8 +160,12 @@ NoiseOptimResult optimize_rlc_noise_constrained(
 // ---------------------------------------------------------------------------
 // Checked entry points (the public boundary — see DESIGN.md "Errors").
 //
-// The throwing/flag-carrying functions above remain the low-level surface;
-// these wrappers validate their arguments up front (invalid_argument),
+// Since the objective API redesign (optimize_api.hpp) the single typed
+// entry point is rlc::core::optimize(OptimizeRequest); the functions below
+// are THIN DOCUMENTED WRAPPERS kept for source compatibility:
+// try_optimize_rlc forwards to optimize() with objective kDelay, and the
+// throwing/flag-carrying functions above are the internal kernels optimize()
+// dispatches to.  All of them validate up front (invalid_argument),
 // translate non-convergence into a typed Status (no_convergence), honor the
 // cooperative cancellation scope (cancelled / deadline_exceeded), and catch
 // everything else at the boundary (internal).  No exception escapes them.
@@ -186,6 +175,8 @@ NoiseOptimResult optimize_rlc_noise_constrained(
 rlc::Status validate_optim_request(double l, const OptimOptions& opts);
 
 /// Checked optimize_rlc: Status instead of a converged flag or a throw.
+/// Wrapper over optimize() with objective kDelay and conductors == 1;
+/// answers are bit-identical to the unified entry point's sizing.
 rlc::StatusOr<OptimResult> try_optimize_rlc(const Technology& tech, double l,
                                             const OptimOptions& opts = {});
 

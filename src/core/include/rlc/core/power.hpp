@@ -1,0 +1,82 @@
+#pragma once
+
+/// \file power.hpp
+/// Repeater-chain power models for the (h, k) methodology: the second
+/// objective axis next to the paper's delay-per-unit-length.  Following the
+/// RIP decomposition (dynamic + short-circuit + leakage, see PAPERS.md),
+/// every term is expressed PER UNIT LENGTH of line so it composes directly
+/// with delay_per_length:
+///
+///   * dynamic:       a f Vdd^2 [ c + (c0 + cp) k / h ]       (C V^2 f)
+///   * short-circuit: a f ksc (Vdd - 2 Vt)^3 / Vdd [ ... ]    (Veendrick)
+///   * leakage:       k i_off Vdd / h                         (per repeater)
+///
+/// where a is the switching activity, f the switching rate, c the wire
+/// capacitance per length, (c0 + cp) the repeater input + parasitic
+/// capacitance per unit size and i_off the minimum-repeater off current.
+/// Every size-dependent term scales with the repeater area per unit length
+/// k / h, so power falls monotonically with h and rises with k — the
+/// delay-power trade the constrained optimizer and the Pareto sweep in
+/// optimize_api.hpp work against.
+///
+/// Technology (Table 1) carries no leakage or threshold data, so the model
+/// derives both from the node the same way Technology::interpolated derives
+/// its electrical parameters: a constant-ratio-per-generation law anchored
+/// at the two calibrated nodes.
+
+#include "rlc/core/technology.hpp"
+
+namespace rlc::core {
+
+/// Switching environment of a power estimate.  The defaults model a busy
+/// global wire: 1 GHz switching at activity 0.15, Vt = Vdd / 5.
+struct PowerEnv {
+  double f_clock = 1.0e9;    ///< switching rate [Hz]
+  double activity = 0.15;    ///< switching activity factor, in (0, 1]
+  double vt_fraction = 0.2;  ///< Vt / Vdd for the short-circuit term
+
+  bool operator==(const PowerEnv&) const = default;
+};
+
+/// Power of the repeated line per unit length [W/m], by mechanism.
+struct PowerBreakdown {
+  double dynamic = 0.0;        ///< C V^2 f switching power [W/m]
+  double short_circuit = 0.0;  ///< crowbar power during transitions [W/m]
+  double leakage = 0.0;        ///< subthreshold leakage [W/m]
+
+  double total() const { return dynamic + short_circuit + leakage; }
+};
+
+/// Calibrated per-technology power model.  Build once via from_technology,
+/// then evaluate per (h, k); evaluation is pure arithmetic (no solves), so
+/// grid sweeps are cheap.
+struct PowerModel {
+  double vdd = 0.0;      ///< supply [V]
+  double vt = 0.0;       ///< threshold [V] (vt_fraction * vdd)
+  double activity = 0.0; ///< switching activity
+  double f_clock = 0.0;  ///< switching rate [Hz]
+  double c_wire = 0.0;   ///< wire capacitance per length [F/m]
+  double c_rep = 0.0;    ///< repeater cap per unit size, c0 + cp [F]
+  double i_leak0 = 0.0;  ///< minimum-repeater off current [A]
+
+  /// Derive the model from a technology node.  Leakage follows the same
+  /// constant-ratio-per-generation law as Technology::interpolated,
+  /// anchored at 5 nA (250 nm) and 50 nA (100 nm).  Throws
+  /// std::invalid_argument on a non-positive env.
+  static PowerModel from_technology(const Technology& tech,
+                                    const PowerEnv& env = {});
+
+  /// Chain power per unit length at segmentation h [m] and size k.
+  /// Throws std::domain_error unless h > 0 and k > 0.
+  PowerBreakdown per_length(double h, double k) const;
+};
+
+/// Minimum-repeater off current for a node [A] (the leakage anchor law;
+/// exposed for tests and trend tables).
+double leakage_current_for_node(double node_m);
+
+/// Convenience: total chain power per unit length [W/m] at (h, k).
+double chain_power_per_length(const Technology& tech, double h, double k,
+                              const PowerEnv& env = {});
+
+}  // namespace rlc::core

@@ -11,12 +11,14 @@
 #include <string>
 
 #include "rlc/core/exact_delay.hpp"
+#include "rlc/core/optimize_api.hpp"
 #include "rlc/math/brent.hpp"
 #include "rlc/math/nelder_mead.hpp"
 #include "rlc/math/newton.hpp"
 #include "rlc/tline/coupled_line.hpp"
 #include "rlc/obs/metrics.hpp"
 #include "rlc/obs/trace.hpp"
+#include "status_boundary.hpp"
 
 namespace rlc::core {
 
@@ -516,39 +518,17 @@ rlc::Status validate_optim_request(double l, const OptimOptions& opts) {
   return rlc::Status::ok();
 }
 
-namespace {
-
-/// Shared boundary: run `body` and convert every escape hatch to a Status.
-template <typename T, typename Body>
-rlc::StatusOr<T> at_boundary(Body&& body) {
-  try {
-    return body();
-  } catch (const rlc::CancelledError& e) {
-    return e.to_status();
-  } catch (const std::invalid_argument& e) {
-    return rlc::Status::invalid_argument(e.what());
-  } catch (const std::domain_error& e) {
-    return rlc::Status::invalid_argument(e.what());
-  } catch (const std::exception& e) {
-    return rlc::Status::internal(e.what());
-  }
-}
-
-}  // namespace
-
 rlc::StatusOr<OptimResult> try_optimize_rlc(const Technology& tech, double l,
                                             const OptimOptions& opts) {
-  if (rlc::Status s = validate_optim_request(l, opts); !s.is_ok()) return s;
-  return at_boundary<OptimResult>([&]() -> rlc::StatusOr<OptimResult> {
-    const OptimResult r = optimize_rlc(tech, l, opts);
-    if (!r.converged) {
-      return rlc::Status::no_convergence(
-          "optimizer did not converge (Newton budget " +
-          std::to_string(opts.max_iterations) +
-          (opts.allow_fallback ? ", Nelder-Mead fallback exhausted)" : ")"));
-    }
-    return r;
-  });
+  // Thin wrapper over the unified entry point (optimize_api.hpp): a
+  // delay-objective scalar request dispatches to optimize_rlc above, so the
+  // sizing is bit-identical to what this function always returned.
+  OptimizeRequest req;
+  req.l = l;
+  req.optim = opts;
+  rlc::StatusOr<OptimizeResponse> resp = optimize(tech, req);
+  if (!resp.is_ok()) return resp.status();
+  return resp->sizing;
 }
 
 rlc::StatusOr<std::vector<OptimResult>> try_optimize_rlc_sweep(
@@ -560,7 +540,7 @@ rlc::StatusOr<std::vector<OptimResult>> try_optimize_rlc_sweep(
     }
   }
   using Out = std::vector<OptimResult>;
-  return at_boundary<Out>([&]() -> rlc::StatusOr<Out> {
+  return internal::at_boundary<Out>([&]() -> rlc::StatusOr<Out> {
     return optimize_rlc_sweep(tech, l_values, sweep);
   });
 }

@@ -1,0 +1,84 @@
+#include "rlc/core/power.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rlc::core {
+
+namespace {
+
+/// Veendrick short-circuit prefactor: E_sc per transition of a balanced
+/// inverter chain is ~(2.2/12) (Vdd - 2Vt)^3 / Vdd times the switched
+/// capacitance over the supply slope.  Kept as one named constant so the
+/// term stays recognizably the literature form.
+constexpr double kShortCircuitSlope = 2.2 / 12.0;
+
+/// Leakage anchors: minimum-repeater off current at the two calibrated
+/// nodes.  The constant-ratio-per-generation law between them mirrors
+/// Technology::interpolated.
+constexpr double kLeakNode250 = 250.0e-9, kLeak250 = 5.0e-9;   // 5 nA
+constexpr double kLeakNode100 = 100.0e-9, kLeak100 = 50.0e-9;  // 50 nA
+
+}  // namespace
+
+double leakage_current_for_node(double node_m) {
+  if (!(node_m > 0.0)) {
+    throw std::domain_error("leakage_current_for_node: node must be > 0");
+  }
+  const double s =
+      std::log(node_m / kLeakNode250) / std::log(kLeakNode100 / kLeakNode250);
+  return kLeak250 * std::pow(kLeak100 / kLeak250, s);
+}
+
+PowerModel PowerModel::from_technology(const Technology& tech,
+                                       const PowerEnv& env) {
+  tech.validate();
+  if (!(env.f_clock > 0.0)) {
+    throw std::invalid_argument("PowerEnv: f_clock must be > 0");
+  }
+  if (!(env.activity > 0.0) || !(env.activity <= 1.0)) {
+    throw std::invalid_argument("PowerEnv: activity must be in (0, 1]");
+  }
+  if (!(env.vt_fraction > 0.0) || !(env.vt_fraction < 0.5)) {
+    // vt_fraction >= 0.5 leaves no (Vdd - 2Vt) crowbar window at all; treat
+    // it as a configuration error rather than silently zeroing the term.
+    throw std::invalid_argument("PowerEnv: vt_fraction must be in (0, 0.5)");
+  }
+  PowerModel m;
+  m.vdd = tech.vdd;
+  m.vt = env.vt_fraction * tech.vdd;
+  m.activity = env.activity;
+  m.f_clock = env.f_clock;
+  m.c_wire = tech.c;
+  m.c_rep = tech.rep.c0 + tech.rep.cp;
+  m.i_leak0 = leakage_current_for_node(tech.node);
+  return m;
+}
+
+PowerBreakdown PowerModel::per_length(double h, double k) const {
+  if (!(h > 0.0)) {
+    throw std::domain_error("PowerModel::per_length: h must be > 0");
+  }
+  if (!(k > 0.0)) {
+    throw std::domain_error("PowerModel::per_length: k must be > 0");
+  }
+  // Switched capacitance per unit length: the wire itself plus one size-k
+  // repeater (input + parasitic) every h meters.
+  const double c_per_len = c_wire + c_rep * k / h;
+  PowerBreakdown p;
+  p.dynamic = activity * f_clock * vdd * vdd * c_per_len;
+  const double crowbar = vdd - 2.0 * vt;
+  p.short_circuit =
+      crowbar > 0.0 ? activity * f_clock * kShortCircuitSlope *
+                          (crowbar * crowbar * crowbar) / vdd * c_per_len
+                    : 0.0;
+  p.leakage = k * i_leak0 * vdd / h;
+  return p;
+}
+
+double chain_power_per_length(const Technology& tech, double h, double k,
+                              const PowerEnv& env) {
+  return PowerModel::from_technology(tech, env).per_length(h, k).total();
+}
+
+}  // namespace rlc::core

@@ -44,6 +44,11 @@ struct Scenario {
   std::string group;  ///< "figure" | "table" | "ablation" | "extension" | "perf"
   ScenarioSpec defaults;  ///< tuned per-scenario default spec
   ScenarioFn fn;
+  /// Objective family of the experiment's headline numbers:
+  /// "delay" (the paper's tau/h metric), "noise" (crosstalk scenarios),
+  /// "power" (power-aware sizing / Pareto sweeps).  Registration rejects
+  /// anything else; rlc_run --list shows the column.
+  std::string objective = "delay";
 };
 
 class ScenarioRegistry {
@@ -94,6 +99,7 @@ void register_ring_scenarios(ScenarioRegistry& r);
 void register_ablation_scenarios(ScenarioRegistry& r);
 void register_extension_scenarios(ScenarioRegistry& r);
 void register_xtalk_scenarios(ScenarioRegistry& r);
+void register_power_scenarios(ScenarioRegistry& r);
 void register_perf_scenarios(ScenarioRegistry& r);
 
 }  // namespace rlc::scenario

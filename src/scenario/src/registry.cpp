@@ -47,6 +47,12 @@ void ScenarioRegistry::add(Scenario s) {
     throw std::invalid_argument("rlc::scenario: duplicate scenario \"" +
                                 s.name + "\"");
   }
+  if (s.objective != "delay" && s.objective != "noise" &&
+      s.objective != "power") {
+    throw std::invalid_argument("rlc::scenario: objective of \"" + s.name +
+                                "\" must be delay, noise or power (got \"" +
+                                s.objective + "\")");
+  }
   if (s.defaults.scenario.empty()) s.defaults.scenario = s.name;
   if (const rlc::Status st = s.defaults.validate(); !st.is_ok()) {
     // Registering broken defaults is a programmer error, not a request
@@ -86,6 +92,7 @@ void register_all_scenarios() {
     register_ablation_scenarios(r);
     register_extension_scenarios(r);
     register_xtalk_scenarios(r);
+    register_power_scenarios(r);
     register_perf_scenarios(r);
     return true;
   }();

@@ -391,18 +391,18 @@ ScenarioResult xtalk_noise_opt(const ScenarioSpec& spec,
 void register_xtalk_scenarios(ScenarioRegistry& r) {
   r.add({"xtalk_quiet",
          "Quiet-victim crosstalk noise: modal engine vs coupled-ladder MNA",
-         "extension", {}, xtalk_quiet});
+         "extension", {}, xtalk_quiet, "noise"});
   r.add({"xtalk_inphase",
          "In-phase switching delay vs quiet baseline (analytical, MNA check)",
-         "extension", {}, xtalk_inphase});
+         "extension", {}, xtalk_inphase, "noise"});
   r.add({"xtalk_antiphase",
          "Anti-phase switching delay vs quiet baseline (analytical, MNA "
          "check)",
-         "extension", {}, xtalk_antiphase});
+         "extension", {}, xtalk_antiphase, "noise"});
   r.add({"xtalk_noise_opt",
          "Noise-constrained (h, k) optimization: delay cost of a noise "
          "budget",
-         "extension", {}, xtalk_noise_opt});
+         "extension", {}, xtalk_noise_opt, "noise"});
 }
 
 }  // namespace rlc::scenario

@@ -42,6 +42,20 @@ struct QueryRequest {
   double coupling_km = 0.0;  ///< inductive coupling coefficient, |km| < 1
   double noise_vmax = 0.0;   ///< >0: peak-noise budget [V] (needs n >= 2)
 
+  /// Objective extension (schema-transparent: an omitted/default objective
+  /// serializes, hashes and answers byte-identically to the pre-objective
+  /// scalar wire).  "power" minimizes total chain power subject to
+  /// delay <= (1 + delay_slack_eps) * T_opt (core::optimize, objective
+  /// kPower); any other non-default string is a typed invalid_argument —
+  /// never a silent fallback to "delay".  Requires n_conductors == 1.
+  std::string objective = "delay";  ///< "delay" | "power"
+  /// Power-objective delay slack (>= 0; infinity = unconstrained).  Only
+  /// meaningful — and only on the wire / in the cache key — with
+  /// objective "power".
+  double delay_slack_eps = kDefaultDelaySlackEps;
+
+  static constexpr double kDefaultDelaySlackEps = 0.05;
+
   /// Per-request latency budget in seconds, measured from the moment the
   /// service picks the request up.  Infinity (the default) means no
   /// deadline; 0 is an already-expired budget and comes back
@@ -93,6 +107,18 @@ struct QueryResult {
   double noise_width = 0.0;       ///< its half-magnitude width [s]
   bool constraint_active = false; ///< noise_vmax bound the (h, k) answer
   bool has_noise = false;         ///< the noise fields are meaningful
+
+  /// Power block, populated (and serialized) only for objective "power" —
+  /// default-objective responses keep the pre-power wire shape byte-for-
+  /// byte.  All power figures are chain power per unit length [W/m].
+  double power_total = 0.0;          ///< total at the answer
+  double power_dynamic = 0.0;        ///< C V^2 f component
+  double power_short_circuit = 0.0;  ///< crowbar component
+  double power_leakage = 0.0;        ///< subthreshold component
+  double delay_ref = 0.0;            ///< delay-optimal T_opt [s/m]
+  double power_ref = 0.0;            ///< power at the delay optimum [W/m]
+  bool power_constraint_active = false;  ///< the slack bound the answer
+  bool has_power = false;            ///< the power fields are meaningful
   int newton_iterations = 0;
   std::string method;       ///< "newton" | "nelder_mead"
   bool from_cache = false;  ///< served from the session result cache

@@ -49,6 +49,22 @@ rlc::Status QueryRequest::validate() const {
     return bad(
         "coupling_cc/coupling_km/noise_vmax require n_conductors >= 2");
   }
+  // An unknown objective is a typed error, never a silent "delay" fallback:
+  // a client that asks for "minpower" must not get a delay answer cached
+  // under a key that will collide with a future spelling.
+  if (objective != "delay" && objective != "power") {
+    return bad("objective must be \"delay\" or \"power\" (got \"" + objective +
+               "\")");
+  }
+  if (std::isnan(delay_slack_eps) || delay_slack_eps < 0.0) {
+    return bad("delay_slack_eps must be >= 0 (or infinity for unconstrained)");
+  }
+  if (objective == "power" && n_conductors != 1) {
+    return bad("objective \"power\" requires n_conductors == 1");
+  }
+  if (objective != "power" && delay_slack_eps != kDefaultDelaySlackEps) {
+    return bad("delay_slack_eps requires objective \"power\"");
+  }
   if (std::isnan(deadline_seconds) || deadline_seconds < 0.0) {
     return bad("deadline_seconds must be >= 0 (or infinity for none)");
   }
@@ -88,6 +104,14 @@ std::string QueryRequest::cache_key() const {
   key += io::render_number(coupling_km);
   key += ";vmax=";
   key += io::render_number(noise_vmax);
+  // Objective block only when non-default, so every pre-objective key (and
+  // its FNV hash, pinned by tests) is preserved verbatim.
+  if (objective != "delay") {
+    key += ";obj=";
+    key += objective;
+    key += ";eps=";
+    key += io::render_number(delay_slack_eps);
+  }
   return key;
 }
 
@@ -115,6 +139,12 @@ io::Json QueryRequest::to_json() const {
   j.set("coupling_cc", coupling_cc);
   j.set("coupling_km", coupling_km);
   j.set("noise_vmax", noise_vmax);
+  // Only when non-default: delay-objective requests serialize exactly as
+  // before the objective extension.
+  if (objective != "delay") {
+    j.set("objective", objective);
+    j.set("delay_slack_eps", delay_slack_eps);
+  }
   // Infinity renders as null; from_json treats null/absent as "no deadline".
   j.set("deadline_seconds", deadline_seconds);
   // Only when set: untraced requests must serialize exactly as before.
@@ -198,6 +228,8 @@ rlc::StatusOr<QueryRequest> QueryRequest::from_json(const io::JsonValue& v) {
            take_number(v, "coupling_cc", &req.coupling_cc),
            take_number(v, "coupling_km", &req.coupling_km),
            take_number(v, "noise_vmax", &req.noise_vmax),
+           take_string(v, "objective", &req.objective),
+           take_number(v, "delay_slack_eps", &req.delay_slack_eps),
            take_number(v, "deadline_seconds", &req.deadline_seconds),
            take_string(v, "trace_id", &req.trace_id),
        }) {
@@ -219,6 +251,17 @@ io::Json QueryResult::to_json() const {
     j.set("peak_noise", peak_noise);
     j.set("noise_width", noise_width);
     j.set("constraint_active", constraint_active);
+  }
+  // Power block: present only for power-objective answers, so every
+  // delay-objective response stays byte-identical to the pre-power wire.
+  if (has_power) {
+    j.set("power_total", power_total);
+    j.set("power_dynamic", power_dynamic);
+    j.set("power_short_circuit", power_short_circuit);
+    j.set("power_leakage", power_leakage);
+    j.set("delay_ref", delay_ref);
+    j.set("power_ref", power_ref);
+    j.set("power_constraint_active", power_constraint_active);
   }
   j.set("newton_iterations", newton_iterations);
   j.set("method", method);
@@ -242,7 +285,13 @@ bool QueryResult::same_answer(const QueryResult& o) const {
          has_exact == o.has_exact && peak_noise == o.peak_noise &&
          noise_width == o.noise_width &&
          constraint_active == o.constraint_active &&
-         has_noise == o.has_noise &&
+         has_noise == o.has_noise && power_total == o.power_total &&
+         power_dynamic == o.power_dynamic &&
+         power_short_circuit == o.power_short_circuit &&
+         power_leakage == o.power_leakage && delay_ref == o.delay_ref &&
+         power_ref == o.power_ref &&
+         power_constraint_active == o.power_constraint_active &&
+         has_power == o.has_power &&
          newton_iterations == o.newton_iterations && method == o.method;
 }
 

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "rlc/core/exact_delay.hpp"
+#include "rlc/core/optimize_api.hpp"
 #include "rlc/core/optimizer.hpp"
 #include "rlc/obs/metrics.hpp"
 #include "rlc/obs/trace.hpp"
@@ -181,8 +182,22 @@ struct Session::Impl {
         result->cache_us = cache_us;
         result->solve_us = solve_us;
       } else {
-        if (result.status().code() == StatusCode::kNoConvergence) {
-          reg.add(m.errors);
+        // The unified core::optimize() entry point converts mid-solve
+        // cancellation into a Status at ITS boundary (instead of letting
+        // CancelledError unwind to the catches below), so the counters must
+        // cover both delivery mechanisms.
+        switch (result.status().code()) {
+          case StatusCode::kNoConvergence:
+            reg.add(m.errors);
+            break;
+          case StatusCode::kCancelled:
+            reg.add(m.cancelled);
+            break;
+          case StatusCode::kDeadlineExceeded:
+            reg.add(m.deadline_exceeded);
+            break;
+          default:
+            break;
         }
         account_stages(req, result.status().code_name(), false, queue_us,
                        cache_us, solve_us);
@@ -223,13 +238,29 @@ struct Session::Impl {
     opts.max_iterations = req.max_iterations;
     opts.residual_tolerance = req.residual_tolerance;
     if (req.n_conductors > 1) return compute_coupled(req, tech, opts);
-    const core::OptimResult opt = core::optimize_rlc(tech, req.l, opts);
-    if (!opt.converged) {
-      return rlc::Status::no_convergence(
-          "optimizer did not converge within " +
-          std::to_string(req.max_iterations) + " iterations (technology " +
-          req.technology + ", l=" + io::render_number(req.l) + " H/m)");
+
+    // Scalar path: the unified typed entry point.  objective "delay" is the
+    // pure delay kernel (bit-identical to the pre-objective optimize_rlc
+    // answer, pinned by tests/svc); objective "power" is the
+    // delay-slack-constrained power minimization.
+    core::OptimizeRequest oreq;
+    oreq.objective = req.objective == "power" ? core::Objective::kPower
+                                              : core::Objective::kDelay;
+    oreq.l = req.l;
+    oreq.optim = opts;
+    if (oreq.objective == core::Objective::kPower) {
+      oreq.constraints.delay_slack_eps = req.delay_slack_eps;
     }
+    rlc::StatusOr<core::OptimizeResponse> oresp = core::optimize(tech, oreq);
+    if (!oresp.is_ok()) {
+      if (oresp.status().code() == StatusCode::kNoConvergence) {
+        return rlc::Status::no_convergence(
+            oresp.status().message() + " (technology " + req.technology +
+            ", l=" + io::render_number(req.l) + " H/m)");
+      }
+      return oresp.status();
+    }
+    const core::OptimResult& opt = oresp->sizing;
     QueryResult r;
     r.h = opt.h;
     r.k = opt.k;
@@ -238,6 +269,16 @@ struct Session::Impl {
     r.newton_iterations = opt.newton_iterations;
     r.method =
         opt.method == core::OptimMethod::kNewton ? "newton" : "nelder_mead";
+    if (oresp->has_power) {
+      r.power_total = oresp->power.total();
+      r.power_dynamic = oresp->power.dynamic;
+      r.power_short_circuit = oresp->power.short_circuit;
+      r.power_leakage = oresp->power.leakage;
+      r.delay_ref = oresp->delay_ref;
+      r.power_ref = oresp->power_ref;
+      r.power_constraint_active = oresp->delay_constraint_active;
+      r.has_power = true;
+    }
     if (req.line_length > 0.0) {
       r.total_delay = r.delay_per_length * req.line_length;
     }

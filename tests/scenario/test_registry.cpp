@@ -17,7 +17,8 @@ using rlc::scenario::Scenario;
 using rlc::scenario::ScenarioRegistry;
 
 /// The 19 experiments the retired per-figure binaries served plus the
-/// four coupled-line crosstalk scenarios of the multi-conductor stack.
+/// four coupled-line crosstalk scenarios of the multi-conductor stack and
+/// the four power-objective scenarios of the objective-API redesign.
 /// If a scenario is renamed or dropped, this list is the reviewable record
 /// of that decision — update it deliberately, not to make the test pass.
 const std::vector<std::string> kLegacyBenchNames = {
@@ -32,7 +33,9 @@ const std::vector<std::string> kLegacyBenchNames = {
     "ext_skin_effect", "perf_solvers",
     "perf_exact",      "xtalk_quiet",
     "xtalk_inphase",   "xtalk_antiphase",
-    "xtalk_noise_opt",
+    "xtalk_noise_opt", "power_100nm",
+    "power_35nm",      "pareto_100nm",
+    "pareto_35nm",
 };
 
 TEST(ScenarioRegistry, EveryLegacyBenchIsRegistered) {
@@ -65,6 +68,20 @@ TEST(ScenarioRegistry, GroupsAreConsistent) {
   EXPECT_EQ(reg.find("perf_exact")->group, "perf");
 }
 
+TEST(ScenarioRegistry, ObjectivesAreConsistent) {
+  rlc::scenario::register_all_scenarios();
+  const auto& reg = ScenarioRegistry::global();
+  for (const auto& name : reg.names()) {
+    const std::string& o = reg.find(name)->objective;
+    EXPECT_TRUE(o == "delay" || o == "noise" || o == "power")
+        << name << " objective " << o;
+  }
+  EXPECT_EQ(reg.find("fig4")->objective, "delay");
+  EXPECT_EQ(reg.find("xtalk_quiet")->objective, "noise");
+  EXPECT_EQ(reg.find("power_100nm")->objective, "power");
+  EXPECT_EQ(reg.find("pareto_35nm")->objective, "power");
+}
+
 TEST(ScenarioRegistry, RegisterAllIsIdempotent) {
   rlc::scenario::register_all_scenarios();
   const std::size_t n = ScenarioRegistry::global().size();
@@ -88,6 +105,10 @@ TEST(ScenarioRegistry, RejectsDuplicatesAndBlanks) {
   Scenario blank = s;
   blank.name.clear();
   EXPECT_THROW(local.add(blank), std::invalid_argument);
+  Scenario odd = s;
+  odd.name = "y";
+  odd.objective = "area";
+  EXPECT_THROW(local.add(odd), std::invalid_argument);
 }
 
 TEST(ScenarioRegistry, QuickSpecShrinksGrids) {

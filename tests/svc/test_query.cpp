@@ -49,6 +49,29 @@ TEST(QueryRequest, ValidateChecksEveryField) {
   EXPECT_TRUE(invalid([](QueryRequest& q) { q.coupling_cc = 1e-12; }));
   EXPECT_TRUE(invalid([](QueryRequest& q) { q.coupling_km = 0.2; }));
   EXPECT_TRUE(invalid([](QueryRequest& q) { q.noise_vmax = 0.1; }));
+  // Unknown objective strings are a typed error, never a silent fallback.
+  EXPECT_TRUE(invalid([](QueryRequest& q) { q.objective = "minpower"; }));
+  EXPECT_TRUE(invalid([](QueryRequest& q) { q.objective = ""; }));
+  EXPECT_TRUE(invalid([](QueryRequest& q) { q.objective = "Power"; }));
+  EXPECT_TRUE(invalid([](QueryRequest& q) {
+    q.objective = "power";
+    q.delay_slack_eps = -0.1;
+  }));
+  // Power applies to the scalar solve only.
+  EXPECT_TRUE(invalid([](QueryRequest& q) {
+    q.objective = "power";
+    q.n_conductors = 2;
+  }));
+  // A slack without the power objective is a confused request.
+  EXPECT_TRUE(invalid([](QueryRequest& q) { q.delay_slack_eps = 0.2; }));
+}
+
+TEST(QueryRequest, UnknownObjectiveNamesTheValueOnTheWire) {
+  const auto parsed = QueryRequest::from_json(
+      io::parse_json("{\"objective\": \"minpower\"}"));
+  ASSERT_FALSE(parsed.is_ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(parsed.status().message().find("minpower"), std::string::npos);
 }
 
 TEST(QueryRequest, CoupledRequestValidatesAndRoundTrips) {
@@ -139,6 +162,63 @@ TEST(QueryRequest, CacheKeyIgnoresDeadlineOnly) {
   EXPECT_TRUE(differs([](QueryRequest& q) { q.coupling_cc = 1e-11; }));
   EXPECT_TRUE(differs([](QueryRequest& q) { q.coupling_km = 0.3; }));
   EXPECT_TRUE(differs([](QueryRequest& q) { q.noise_vmax = 0.1; }));
+  EXPECT_TRUE(differs([](QueryRequest& q) { q.objective = "power"; }));
+  EXPECT_TRUE(differs([](QueryRequest& q) {
+    q.objective = "power";
+    q.delay_slack_eps = 0.10;
+  }));
+}
+
+// The objective extension is schema-transparent: the default-objective key,
+// hash, and wire body are byte-identical to the pre-objective wire (old
+// cache entries and rlc_load replays stay valid), and only non-default
+// objectives append the obj/eps block.
+TEST(QueryRequest, ObjectiveIsSchemaTransparent) {
+  QueryRequest a;
+  EXPECT_EQ(a.cache_key().find("obj="), std::string::npos);
+  EXPECT_EQ(a.to_json().str().find("objective"), std::string::npos);
+  EXPECT_EQ(a.to_json().str().find("delay_slack_eps"), std::string::npos);
+
+  QueryRequest p = a;
+  p.objective = "power";
+  p.delay_slack_eps = 0.10;
+  ASSERT_TRUE(p.validate().is_ok()) << p.validate().to_string();
+  EXPECT_NE(p.cache_key().find(";obj=power;eps="), std::string::npos);
+  const std::string wire = p.to_json().str();
+  EXPECT_NE(wire.find("\"objective\": \"power\""), std::string::npos);
+  EXPECT_NE(wire.find("\"delay_slack_eps\": 0.1"), std::string::npos);
+
+  const auto back = QueryRequest::from_json(io::parse_json(wire));
+  ASSERT_TRUE(back.is_ok()) << back.status().to_string();
+  EXPECT_EQ(*back, p);
+}
+
+// Power-block serialization mirrors the noise/trace blocks: present only
+// when the answer carries power numbers, so delay-objective responses stay
+// byte-identical to the pre-power wire.
+TEST(QueryResult, PowerBlockOnlyWhenPowered) {
+  QueryResult r;
+  r.h = 1.0e-3;
+  EXPECT_EQ(r.to_json().str().find("power_total"), std::string::npos);
+
+  QueryResult p = r;
+  p.has_power = true;
+  p.power_total = 0.05;
+  p.power_dynamic = 0.04;
+  p.power_short_circuit = 0.008;
+  p.power_leakage = 0.002;
+  p.delay_ref = 1.2e-8;
+  p.power_ref = 0.06;
+  p.power_constraint_active = true;
+  const std::string wire = p.to_json().str();
+  EXPECT_NE(wire.find("\"power_total\": 0.05"), std::string::npos);
+  EXPECT_NE(wire.find("\"power_constraint_active\": true"),
+            std::string::npos);
+  // The power numbers are part of the answer, not delivery metadata.
+  EXPECT_FALSE(p.same_answer(r));
+  QueryResult q = p;
+  q.power_total = 0.051;
+  EXPECT_FALSE(q.same_answer(p));
 }
 
 // trace_id is delivery metadata like deadline_seconds: it must never split

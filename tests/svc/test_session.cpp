@@ -8,6 +8,8 @@
 #include <thread>
 #include <vector>
 
+#include "rlc/core/optimize_api.hpp"
+#include "rlc/io/json_reader.hpp"
 #include "rlc/obs/metrics.hpp"
 #include "rlc/scenario/registry.hpp"
 #include "rlc/scenario/spec.hpp"
@@ -56,6 +58,12 @@ std::vector<QueryRequest> grid_requests() {
   QueryRequest constrained = coupled_request("100nm", 2);
   constrained.noise_vmax = 0.12;
   reqs.push_back(constrained);
+  // Power-objective variant, so batch determinism covers the power path.
+  QueryRequest power;
+  power.objective = "power";
+  power.l = 1.0e-6;
+  power.delay_slack_eps = 0.10;
+  reqs.push_back(power);
   return reqs;
 }
 
@@ -80,6 +88,64 @@ TEST(Session, TotalDelayScalesWithLineLength) {
   const auto r = session.submit(q);
   ASSERT_TRUE(r.is_ok());
   EXPECT_NEAR(r->total_delay, r->delay_per_length * 0.01, 1e-22);
+}
+
+TEST(Session, PowerObjectiveCarriesThePowerBlock) {
+  Session session(SessionOptions{1, 0});
+  QueryRequest q;
+  q.objective = "power";
+  q.l = 1.0e-6;
+  q.delay_slack_eps = 0.05;
+  const auto r = session.submit(q);
+  ASSERT_TRUE(r.is_ok()) << r.status().to_string();
+  ASSERT_TRUE(r->has_power);
+  EXPECT_GT(r->power_total, 0.0);
+  EXPECT_NEAR(r->power_total,
+              r->power_dynamic + r->power_short_circuit + r->power_leakage,
+              1e-12 * r->power_total);
+  // The slack bound holds and the slack bought real power.
+  EXPECT_LE(r->delay_per_length, 1.05 * r->delay_ref * (1.0 + 1e-9));
+  EXPECT_LT(r->power_total, r->power_ref);
+  EXPECT_TRUE(r->power_constraint_active);
+  // Session is a thin wrapper: the answer is bitwise core::optimize's.
+  core::OptimizeRequest oreq;
+  oreq.objective = core::Objective::kPower;
+  oreq.l = q.l;
+  oreq.constraints.delay_slack_eps = q.delay_slack_eps;
+  const auto direct = core::optimize(
+      scenario::technology_by_name(q.technology), oreq);
+  ASSERT_TRUE(direct.is_ok());
+  EXPECT_EQ(r->h, direct->sizing.h);
+  EXPECT_EQ(r->k, direct->sizing.k);
+  EXPECT_EQ(r->power_total, direct->power.total());
+}
+
+// The wire pin of the objective extension: a scalar query with the
+// objective omitted answers byte-identically (same to_json bytes, modulo
+// delivery metadata) to one that spells objective "delay" — and carries no
+// power block at all.
+TEST(Session, OmittedObjectiveIsByteIdenticalOnTheWire) {
+  const char* base = "{\"technology\": \"100nm\", \"l\": 2e-06}";
+  const char* explicit_delay =
+      "{\"technology\": \"100nm\", \"l\": 2e-06, \"objective\": \"delay\"}";
+  const auto qa = QueryRequest::from_json(io::parse_json(base));
+  const auto qb = QueryRequest::from_json(io::parse_json(explicit_delay));
+  ASSERT_TRUE(qa.is_ok());
+  ASSERT_TRUE(qb.is_ok());
+  EXPECT_EQ(*qa, *qb);
+  EXPECT_EQ(qa->cache_key(), qb->cache_key());
+
+  Session sa(SessionOptions{1, 0});
+  Session sb(SessionOptions{1, 0});
+  auto ra = sa.submit(*qa);
+  auto rb = sb.submit(*qb);
+  ASSERT_TRUE(ra.is_ok());
+  ASSERT_TRUE(rb.is_ok());
+  // Strip delivery metadata (timing differs run to run), then compare the
+  // rendered wire bytes exactly.
+  ra->wall_seconds = rb->wall_seconds = 0.0;
+  EXPECT_EQ(ra->to_json().str(), rb->to_json().str());
+  EXPECT_EQ(ra->to_json().str().find("power"), std::string::npos);
 }
 
 TEST(Session, BatchMatchesSerialBitForBitAcrossThreadCounts) {
